@@ -1,0 +1,41 @@
+# MobiGATE build targets. Everything is stdlib-only Go.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt examples experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Smoke-run every example program.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/distillation
+	$(GO) run ./examples/analysis
+	$(GO) run ./examples/webaccel
+	$(GO) run ./examples/handoff
+	$(GO) run ./examples/recursive
+
+# Regenerate every figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/mobibench -exp all
+
+clean:
+	$(GO) clean ./...

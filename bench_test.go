@@ -1,0 +1,452 @@
+// Benchmarks regenerating the thesis's evaluation (Chapter 7), one bench
+// per figure, plus ablation benches for the design choices DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The printed series correspond to the paper's figures; see EXPERIMENTS.md
+// for the paper-vs-measured comparison.
+package mobigate
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"mobigate/internal/event"
+	"mobigate/internal/experiments"
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/queue"
+	"mobigate/internal/server"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+	"mobigate/internal/streamlet"
+)
+
+// chainBench pushes b.N messages of msgSize bytes through k redirectors,
+// reporting per-message latency (the Figure 7-2 quantity).
+func chainBench(b *testing.B, k, msgSize int, mode msgpool.Mode) {
+	b.Helper()
+	pool := msgpool.New(mode)
+	st := stream.New("bench", pool, nil)
+	prev := ""
+	for i := 0; i < k; i++ {
+		id := fmt.Sprintf("r%d", i)
+		if _, err := st.AddStreamlet(id, nil, services.Redirector{}); err != nil {
+			b.Fatal(err)
+		}
+		if prev != "" {
+			if err := st.Connect(Port(prev, "po"), Port(id, "pi"), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	in, err := st.OpenInlet(Port("r0", "pi"), 1<<24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out, err := st.OpenOutlet(Port(prev, "po"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st.Start()
+	defer st.End()
+
+	body := services.GenText(msgSize, 1)
+	b.SetBytes(int64(msgSize))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMessage(services.TypePlainText, body)
+		if err := in.Send(m); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := out.Receive(30 * time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	perStreamlet := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(k)
+	b.ReportMetric(perStreamlet, "ns/streamlet")
+}
+
+// BenchmarkFig72StreamletOverhead regenerates Figure 7-2: per-message delay
+// versus the number of chained redirector streamlets (10 KB messages).
+func BenchmarkFig72StreamletOverhead(b *testing.B) {
+	for _, k := range []int{1, 5, 10, 15, 20, 25, 30} {
+		b.Run(fmt.Sprintf("streamlets=%d", k), func(b *testing.B) {
+			chainBench(b, k, 10*1024, msgpool.ByReference)
+		})
+	}
+}
+
+// BenchmarkFig73PassByReference / BenchmarkFig73PassByValue regenerate
+// Figure 7-3: 30 redirectors, message sizes 10 KB … 1000 KB, under the two
+// buffer-management schemes.
+func BenchmarkFig73PassByReference(b *testing.B) {
+	for _, size := range []int{10 << 10, 50 << 10, 100 << 10, 200 << 10, 400 << 10, 700 << 10, 1000 << 10} {
+		b.Run(fmt.Sprintf("size=%dKB", size>>10), func(b *testing.B) {
+			chainBench(b, 30, size, msgpool.ByReference)
+		})
+	}
+}
+
+func BenchmarkFig73PassByValue(b *testing.B) {
+	for _, size := range []int{10 << 10, 50 << 10, 100 << 10, 200 << 10, 400 << 10, 700 << 10, 1000 << 10} {
+		b.Run(fmt.Sprintf("size=%dKB", size>>10), func(b *testing.B) {
+			chainBench(b, 30, size, msgpool.ByValue)
+		})
+	}
+}
+
+// BenchmarkFig76Reconfiguration regenerates Figure 7-6: the time to insert
+// n redirector streamlets into a running stream (the ReconfigExp reaction).
+func BenchmarkFig76Reconfiguration(b *testing.B) {
+	for _, n := range []int{1, 5, 10, 20, 50, 100} {
+		b.Run(fmt.Sprintf("inserted=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				pool := msgpool.New(msgpool.ByReference)
+				st := stream.New("reconf", pool, nil)
+				if _, err := st.AddStreamlet("a", nil, services.Redirector{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.AddStreamlet("z", nil, services.Redirector{}); err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Connect(Port("a", "po"), Port("z", "pi"), nil); err != nil {
+					b.Fatal(err)
+				}
+				ids := make([]string, n)
+				for j := 0; j < n; j++ {
+					ids[j] = fmt.Sprintf("ins%d", j)
+					if _, err := st.AddStreamlet(ids[j], nil, services.Redirector{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				st.Start()
+				prev := "a"
+				b.StartTimer()
+				for j := 0; j < n; j++ {
+					if err := st.Insert(prev, "z", ids[j], "pi", "po"); err != nil {
+						b.Fatal(err)
+					}
+					prev = ids[j]
+				}
+				b.StopTimer()
+				st.End()
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(n), "ns/insert")
+		})
+	}
+}
+
+// BenchmarkEq71Decomposition reports the suspend / channel / activate terms
+// of the reconfiguration-time equation.
+func BenchmarkEq71Decomposition(b *testing.B) {
+	var agg stream.ReconfigTiming
+	runs := 0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Eq71([]int{10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg.Suspend += rows[0].Suspend
+		agg.Channels += rows[0].Channels
+		agg.Activate += rows[0].Activate
+		runs++
+	}
+	b.ReportMetric(float64(agg.Suspend.Nanoseconds())/float64(runs), "ns/suspend10")
+	b.ReportMetric(float64(agg.Channels.Nanoseconds())/float64(runs), "ns/channels10")
+	b.ReportMetric(float64(agg.Activate.Nanoseconds())/float64(runs), "ns/activate10")
+}
+
+// BenchmarkFig77EndToEnd regenerates Figure 7-7: end-to-end information
+// throughput with and without MobiGATE over the emulated wireless link.
+// Reported metrics are in Kb/s of original information delivered.
+func BenchmarkFig77EndToEnd(b *testing.B) {
+	for _, bw := range []int64{20_000, 100_000, 500_000, 2_000_000} {
+		b.Run(fmt.Sprintf("bw=%dKbps", bw/1000), func(b *testing.B) {
+			cfg := experiments.Fig77Config{
+				BandwidthsBps: []int64{bw},
+				Delays:        []time.Duration{time.Millisecond},
+				Messages:      30,
+				ImageRatio:    0.5,
+				Seed:          2004,
+			}
+			var with, without, calibrated float64
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.Fig77(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				with = rows[0].WithBps
+				without = rows[0].WithoutBps
+				calibrated = rows[0].WithCalibratedBps
+			}
+			b.ReportMetric(with/1000, "Kbps-with")
+			b.ReportMetric(without/1000, "Kbps-without")
+			b.ReportMetric(calibrated/1000, "Kbps-with-2004hw")
+		})
+	}
+}
+
+// --- Ablation benches -----------------------------------------------------
+
+// BenchmarkAblationStreamletPooling compares stateless-processor pooling
+// against per-request construction (§3.3.4's design choice).
+func BenchmarkAblationStreamletPooling(b *testing.B) {
+	decl := &mcl.StreamletDecl{Name: "c", Kind: mcl.Stateless, Library: services.LibTextCompress}
+	for _, pooled := range []bool{true, false} {
+		name := "pooled"
+		if !pooled {
+			name = "fresh"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := streamlet.NewDirectory()
+			services.RegisterAll(dir)
+			m := server.NewStreamletManager(dir)
+			m.DisablePooling = !pooled
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := m.Acquire(decl)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.Release(decl, p)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationChannelModes compares synchronous rendezvous channels
+// against asynchronous buffered ones (§4.2.2's channel Type attribute).
+func BenchmarkAblationChannelModes(b *testing.B) {
+	for _, mode := range []mcl.ChannelMode{mcl.Async, mcl.Sync} {
+		b.Run(mode.String(), func(b *testing.B) {
+			q := queue.New("ab", queue.Options{Mode: mode, CapacityBytes: 1 << 20})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					if _, ok := q.Fetch(nil); !ok {
+						return
+					}
+				}
+			}()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := q.Post("m", 64, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			q.Close()
+			<-done
+		})
+	}
+}
+
+// BenchmarkAblationEventFiltering compares multicast with category
+// subscription filtering against flooding every application (§6.4's
+// subscription design).
+func BenchmarkAblationEventFiltering(b *testing.B) {
+	const apps = 64
+	makeApps := func(m *event.Manager, subscribeAll bool) {
+		for i := 0; i < apps; i++ {
+			app := benchSubscriber(fmt.Sprintf("app%d", i))
+			if subscribeAll {
+				for c := event.Category(0); c < event.CategoryCount; c++ {
+					m.Subscribe(c, app)
+				}
+			} else {
+				m.Subscribe(event.Category(i%int(event.CategoryCount)), app)
+			}
+		}
+	}
+	evt := event.ContextEvent{EventID: event.LOW_BANDWIDTH, Category: event.NetworkVariation}
+	b.Run("filtered", func(b *testing.B) {
+		m := event.NewManager(nil)
+		defer m.Close()
+		makeApps(m, false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Multicast(evt)
+		}
+	})
+	b.Run("flooded", func(b *testing.B) {
+		m := event.NewManager(nil)
+		defer m.Close()
+		makeApps(m, true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Multicast(evt)
+		}
+	})
+}
+
+type benchSubscriber string
+
+func (s benchSubscriber) SubscriberName() string     { return string(s) }
+func (s benchSubscriber) OnEvent(event.ContextEvent) {}
+
+// BenchmarkMCLCompile measures full front-end cost (lex, parse, compile,
+// type-check) on the web-acceleration script.
+func BenchmarkMCLCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := CompileMCL(experiments.WebAccelScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSemanticAnalysis measures the chapter-5 analyses on the compiled
+// web-acceleration stream.
+func BenchmarkSemanticAnalysis(b *testing.B) {
+	cfg, err := CompileMCL(experiments.WebAccelScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := AnalyzeStream(cfg, "webaccel", AnalysisRules{})
+		if err != nil || !rep.OK() {
+			b.Fatalf("%v %v", err, rep)
+		}
+	}
+}
+
+// --- Micro-benchmarks on the substrates ------------------------------------
+
+// BenchmarkMIMEWireCodec measures the wire encode+decode round trip the
+// Communicator and Message Distributor pay per message.
+func BenchmarkMIMEWireCodec(b *testing.B) {
+	for _, size := range []int{1 << 10, 64 << 10} {
+		b.Run(fmt.Sprintf("size=%dKB", size>>10), func(b *testing.B) {
+			m := NewMessage(services.TypePlainText, services.GenText(size, 1))
+			m.SetSession("sess-bench")
+			m.PushPeer("text/decompress")
+			b.SetBytes(int64(size))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				wire := m.Encode()
+				if _, err := mime.Decode(wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueuePostFetch measures one post+fetch+ack cycle through a
+// MessageQueue.
+func BenchmarkQueuePostFetch(b *testing.B) {
+	q := queue.New("bench", queue.Options{CapacityBytes: 1 << 24})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := q.Post("m", 64, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := q.TryFetch(); !ok {
+			b.Fatal("fetch failed")
+		}
+		q.Ack()
+	}
+}
+
+// BenchmarkPoolForward compares the per-hop cost of the two buffer
+// management schemes in isolation (the mechanism under Figure 7-3).
+func BenchmarkPoolForward(b *testing.B) {
+	for _, mode := range []msgpool.Mode{msgpool.ByReference, msgpool.ByValue} {
+		b.Run(mode.String(), func(b *testing.B) {
+			pool := msgpool.New(mode)
+			m := NewMessage(services.TypePlainText, services.GenText(64<<10, 1))
+			id := pool.Put(m)
+			b.SetBytes(64 << 10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				fid, err := pool.Forward(id)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if fid != id {
+					pool.Remove(fid)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServiceStreamlets measures the standalone cost of each standard
+// service on representative payloads.
+func BenchmarkServiceStreamlets(b *testing.B) {
+	img := services.GenImageMessage(64, 64, 1)
+	txt := services.GenTextMessage(8<<10, 1)
+	cases := []struct {
+		name string
+		proc streamlet.Processor
+		msg  func() *mime.Message
+	}{
+		{"downsample", &services.DownSampler{}, func() *mime.Message { return img.Clone() }},
+		{"gray16", services.Gray16Mapper{}, func() *mime.Message { return img.Clone() }},
+		{"gif2jpeg", &services.Transcoder{}, func() *mime.Message { return img.Clone() }},
+		{"compress", &services.Compressor{}, func() *mime.Message { return txt.Clone() }},
+		{"redirector", services.Redirector{}, func() *mime.Message { return txt.Clone() }},
+		{"sign", &services.Signer{}, func() *mime.Message { return txt.Clone() }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := c.msg()
+				b.StartTimer()
+				if _, err := c.proc.Process(streamlet.Input{Port: "pi", Msg: m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDropPolicy compares the §6.7 wait-then-drop postMessage
+// against indefinite blocking when a fast producer outruns a slow consumer.
+func BenchmarkAblationDropPolicy(b *testing.B) {
+	cases := []struct {
+		name    string
+		timeout time.Duration
+	}{
+		{"wait-then-drop", 2 * time.Millisecond},
+		{"block", -1},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			q := queue.New("drop", queue.Options{CapacityBytes: 4 << 10, DropTimeout: c.timeout})
+			done := make(chan struct{})
+			go func() { // slow consumer: 10µs per message
+				defer close(done)
+				for {
+					if _, ok := q.Fetch(nil); !ok {
+						return
+					}
+					time.Sleep(10 * time.Microsecond)
+				}
+			}()
+			dropped := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := q.Post("m", 1024, nil); err == queue.ErrDropped {
+					dropped++
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			q.Close()
+			<-done
+			b.ReportMetric(float64(dropped)/float64(b.N)*100, "%dropped")
+		})
+	}
+}

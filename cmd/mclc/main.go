@@ -1,0 +1,200 @@
+// Command mclc is the MCL compiler and static analyzer: it compiles
+// MobiGATE Coordination Language scripts, reports compile-time type errors,
+// and runs the chapter-5 semantic analyses (feedback loops, open circuits,
+// mutual exclusion, dependency, preorder) on every stream.
+//
+// Usage:
+//
+//	mclc [-q] [-no-analyze] script.mcl...
+//
+// Exit status is 0 when every script compiles and passes analysis, 1 on
+// compile errors, 2 on analysis violations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/semantics"
+)
+
+var (
+	quiet     = flag.Bool("q", false, "only print errors and violations")
+	noAnalyze = flag.Bool("no-analyze", false, "skip the semantic analyses")
+	dot       = flag.Bool("dot", false, "emit each stream's topology as GraphViz dot")
+	unit      = flag.Bool("unit", false, "compile all scripts together as one unit (library + app)")
+	rulesPath = flag.String("rules", "", "rules file with exclude/depend/preorder/allow-open directives")
+	format    = flag.Bool("fmt", false, "print each script reformatted in canonical MCL instead of analyzing")
+)
+
+// loadRules reads the -rules file (empty Rules when the flag is unset).
+func loadRules() (semantics.Rules, error) {
+	if *rulesPath == "" {
+		return semantics.Rules{}, nil
+	}
+	src, err := os.ReadFile(*rulesPath)
+	if err != nil {
+		return semantics.Rules{}, err
+	}
+	return semantics.ParseRules(string(src))
+}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mclc [-q] [-no-analyze] [-dot] [-unit] script.mcl...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(1)
+	}
+	if *format {
+		os.Exit(formatFiles(flag.Args()))
+	}
+	if *unit {
+		os.Exit(compileUnit(flag.Args()))
+	}
+	status := 0
+	for _, path := range flag.Args() {
+		if s := compileOne(path); s > status {
+			status = s
+		}
+	}
+	os.Exit(status)
+}
+
+// compileUnit compiles every script as a single compilation unit, so an
+// application file can use streamlet definitions from library files.
+func compileUnit(paths []string) int {
+	sources := make(map[string]string, len(paths))
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mclc: %v\n", err)
+			return 1
+		}
+		sources[path] = string(src)
+	}
+	cfg, err := mcl.CompileSources(sources, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		return 1
+	}
+	label := strings.Join(paths, "+")
+	if !*quiet {
+		printSummary(label, cfg)
+	}
+	if *noAnalyze {
+		return 0
+	}
+	return analyzeAll(label, cfg)
+}
+
+func compileOne(path string) int {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mclc: %v\n", err)
+		return 1
+	}
+	cfg, err := mcl.Compile(string(src), nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+		return 1
+	}
+	if !*quiet {
+		printSummary(path, cfg)
+	}
+	if *dot {
+		names := make([]string, 0, len(cfg.Streams))
+		for name := range cfg.Streams {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Print(semantics.BuildGraph(cfg.Streams[name]).DOT(name))
+		}
+	}
+	if *noAnalyze {
+		return 0
+	}
+	return analyzeAll(path, cfg)
+}
+
+func analyzeAll(label string, cfg *mcl.Config) int {
+	extra, err := loadRules()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mclc: %v\n", err)
+		return 1
+	}
+	status := 0
+	names := make([]string, 0, len(cfg.Streams))
+	for name := range cfg.Streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sc := cfg.Streams[name]
+		rules := semantics.Rules{AllowedOpenPorts: semantics.OpenPorts(sc)}.Merge(extra)
+		rep := semantics.Analyze(sc, rules)
+		for _, v := range rep.Violations {
+			fmt.Fprintf(os.Stderr, "%s: stream %s: %s\n", label, name, v)
+			status = 2
+		}
+	}
+	return status
+}
+
+// formatFiles prints each script in canonical form (mcl.Format).
+func formatFiles(paths []string) int {
+	status := 0
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mclc: %v\n", err)
+			status = 1
+			continue
+		}
+		f, err := mcl.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			status = 1
+			continue
+		}
+		fmt.Print(mcl.Format(f))
+	}
+	return status
+}
+
+func printSummary(path string, cfg *mcl.Config) {
+	fmt.Printf("%s: %d streamlet defs, %d channel defs, %d streams",
+		path, len(cfg.File.Streamlets), len(cfg.File.Channels), len(cfg.Streams))
+	if cfg.Main != "" {
+		fmt.Printf(" (main: %s)", cfg.Main)
+	}
+	fmt.Println()
+	names := make([]string, 0, len(cfg.Streams))
+	for name := range cfg.Streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sc := cfg.Streams[name]
+		fmt.Printf("  stream %s: %d instances, %d channels, %d connections, %d reactions\n",
+			name, len(sc.Instances), len(sc.Channels), len(sc.Connections), len(sc.Whens))
+		for _, conn := range sc.Connections {
+			ch := conn.Channel
+			if ch == "" {
+				ch = "(default)"
+			}
+			fmt.Printf("    %s -> %s via %s\n", conn.From, conn.To, ch)
+		}
+		for _, w := range sc.Whens {
+			fmt.Printf("    when %s: %d actions\n", w.Event, len(w.Actions))
+		}
+	}
+}

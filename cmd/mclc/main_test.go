@@ -1,0 +1,128 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func repoPath(t *testing.T, rel string) string {
+	t.Helper()
+	p := filepath.Join("..", "..", rel)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("missing %s: %v", rel, err)
+	}
+	return p
+}
+
+func TestCompileOneGoodScripts(t *testing.T) {
+	*quiet = true
+	for _, f := range []string{"testdata/distillation.mcl", "testdata/webaccel.mcl"} {
+		if status := compileOne(repoPath(t, f)); status != 0 {
+			t.Errorf("%s: status %d", f, status)
+		}
+	}
+}
+
+func TestCompileOneLoopScript(t *testing.T) {
+	*quiet = true
+	if status := compileOne(repoPath(t, "testdata/broken-loop.mcl")); status != 2 {
+		t.Errorf("loop script status = %d, want 2", status)
+	}
+}
+
+func TestCompileOneSyntaxError(t *testing.T) {
+	*quiet = true
+	tmp := filepath.Join(t.TempDir(), "bad.mcl")
+	if err := os.WriteFile(tmp, []byte("stream { oops"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if status := compileOne(tmp); status != 1 {
+		t.Errorf("syntax error status = %d, want 1", status)
+	}
+	if status := compileOne(filepath.Join(t.TempDir(), "missing.mcl")); status != 1 {
+		t.Error("missing file not an error")
+	}
+}
+
+func TestCompileOneVerboseSummary(t *testing.T) {
+	*quiet = false
+	defer func() { *quiet = true }()
+	if status := compileOne(repoPath(t, "testdata/distillation.mcl")); status != 0 {
+		t.Errorf("status = %d", status)
+	}
+}
+
+func TestNoAnalyzeSkipsViolations(t *testing.T) {
+	*quiet = true
+	*noAnalyze = true
+	defer func() { *noAnalyze = false }()
+	if status := compileOne(repoPath(t, "testdata/broken-loop.mcl")); status != 0 {
+		t.Errorf("-no-analyze status = %d, want 0", status)
+	}
+}
+
+func TestCompileUnit(t *testing.T) {
+	*quiet = true
+	paths := []string{
+		repoPath(t, "testdata/stdlib.mcl"),
+		repoPath(t, "testdata/secureapp.mcl"),
+	}
+	if status := compileUnit(paths); status != 0 {
+		t.Errorf("unit compile status = %d", status)
+	}
+	// The app alone fails (missing library definitions).
+	if status := compileOne(paths[1]); status != 1 {
+		t.Errorf("lone app status = %d, want 1", status)
+	}
+	if status := compileUnit([]string{filepath.Join(t.TempDir(), "missing.mcl")}); status != 1 {
+		t.Error("missing file in unit not an error")
+	}
+}
+
+func TestRulesFlagDrivesAnalysis(t *testing.T) {
+	*quiet = true
+	*rulesPath = repoPath(t, "testdata/policy.rules")
+	defer func() { *rulesPath = "" }()
+	// secureapp wires sign before compress: policy satisfied.
+	if status := compileUnit([]string{
+		repoPath(t, "testdata/stdlib.mcl"),
+		repoPath(t, "testdata/secureapp.mcl"),
+	}); status != 0 {
+		t.Errorf("policy-satisfying unit status = %d", status)
+	}
+	// A reversed order violates the preorder.
+	tmp := filepath.Join(t.TempDir(), "reversed.mcl")
+	src := `
+main stream reversedApp {
+	streamlet c = new-streamlet (libCompress);
+	streamlet s = new-streamlet (libSign);
+	connect (c.po, s.pi);
+}
+`
+	if err := os.WriteFile(tmp, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if status := compileUnit([]string{repoPath(t, "testdata/stdlib.mcl"), tmp}); status != 2 {
+		t.Errorf("policy-violating unit status = %d, want 2", status)
+	}
+	// Missing rules file is an error.
+	*rulesPath = filepath.Join(t.TempDir(), "none.rules")
+	if status := compileOne(repoPath(t, "testdata/webaccel.mcl")); status != 1 {
+		t.Errorf("missing rules file status = %d", status)
+	}
+}
+
+func TestFormatFiles(t *testing.T) {
+	if status := formatFiles([]string{repoPath(t, "testdata/webaccel.mcl")}); status != 0 {
+		t.Errorf("format status = %d", status)
+	}
+	tmp := filepath.Join(t.TempDir(), "bad.mcl")
+	_ = os.WriteFile(tmp, []byte("not mcl"), 0o644)
+	if status := formatFiles([]string{tmp}); status != 1 {
+		t.Errorf("format of bad file = %d", status)
+	}
+	if status := formatFiles([]string{filepath.Join(t.TempDir(), "gone.mcl")}); status != 1 {
+		t.Error("missing file formatted")
+	}
+}

@@ -1,0 +1,152 @@
+// Command mobibench regenerates the thesis's Chapter 7 evaluation as
+// printed series, one table per figure:
+//
+//	mobibench -exp fig7.2   # streamlet overhead vs chain length
+//	mobibench -exp fig7.3   # passing by reference vs by value
+//	mobibench -exp fig7.6   # reconfiguration time vs insertions
+//	mobibench -exp eq7.1    # reconfiguration time decomposition
+//	mobibench -exp fig7.7   # end-to-end throughput sweep
+//	mobibench -exp all      # everything
+//
+// Shapes, not absolute numbers, are the comparison target: the 2004 Java
+// testbed measured ~12 ms per streamlet; this runtime measures microseconds
+// (see EXPERIMENTS.md, which records both).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mobigate/internal/experiments"
+)
+
+var (
+	exp      = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, all")
+	messages = flag.Int("messages", 60, "messages per fig7.7 point")
+	samples  = flag.Int("samples", 50, "messages per latency sample (fig7.2/7.3)")
+	loss     = flag.Float64("loss", 0, "link loss rate for fig7.7 (0..1)")
+)
+
+func main() {
+	flag.Parse()
+	switch *exp {
+	case "fig7.2":
+		runFig72()
+	case "fig7.3":
+		runFig73()
+	case "fig7.6":
+		runFig76()
+	case "eq7.1":
+		runEq71()
+	case "fig7.7":
+		runFig77()
+	case "all":
+		runFig72()
+		runFig73()
+		runFig76()
+		runEq71()
+		runFig77()
+	default:
+		fmt.Fprintf(os.Stderr, "mobibench: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(1)
+	}
+}
+
+func runFig72() {
+	fmt.Println("=== Figure 7-2: streamlet overhead (10 KB messages) ===")
+	fmt.Println("streamlets  per-message     per-streamlet")
+	rows, err := experiments.Fig72([]int{1, 5, 10, 15, 20, 25, 30}, 10*1024, *samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%10d  %12v  %14v\n", r.Streamlets, r.PerMessage.Round(time.Microsecond), r.PerStreamlet.Round(time.Microsecond))
+	}
+	fmt.Println()
+}
+
+func runFig73() {
+	fmt.Println("=== Figure 7-3: passing by reference vs passing by value (30 redirectors) ===")
+	fmt.Println("  size(KB)  by-reference      by-value     ratio")
+	sizes := []int{10 << 10, 50 << 10, 100 << 10, 200 << 10, 400 << 10, 700 << 10, 1000 << 10}
+	rows, err := experiments.Fig73(sizes, 30, *samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		ratio := float64(r.ByValue) / float64(r.ByReference)
+		fmt.Printf("%10d  %12v  %12v  %7.2fx\n",
+			r.MessageBytes>>10,
+			r.ByReference.Round(time.Microsecond),
+			r.ByValue.Round(time.Microsecond), ratio)
+	}
+	fmt.Println()
+}
+
+func runFig76() {
+	fmt.Println("=== Figure 7-6: reconfiguration overhead ===")
+	fmt.Println(" inserted        total     per-insert")
+	rows, err := experiments.Fig76([]int{1, 5, 10, 20, 50, 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%9d  %11v  %13v\n",
+			r.Inserted, r.Total.Round(time.Microsecond),
+			(r.Total / time.Duration(r.Inserted)).Round(time.Microsecond))
+	}
+	fmt.Println()
+}
+
+func runEq71() {
+	fmt.Println("=== Equation 7-1: T = Σ suspend + n·channel + Σ activate ===")
+	fmt.Println(" inserted      suspend     channels     activate")
+	rows, err := experiments.Eq71([]int{1, 10, 50})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("%9d  %11v  %11v  %11v\n", r.Inserted,
+			r.Suspend.Round(time.Microsecond),
+			r.Channels.Round(time.Microsecond),
+			r.Activate.Round(time.Microsecond))
+	}
+	fmt.Println()
+}
+
+func runFig77() {
+	fmt.Println("=== Figure 7-7: end-to-end throughput (Kb/s of original information) ===")
+	fmt.Println("Columns: without MobiGATE | with MobiGATE (this hardware) | with MobiGATE")
+	fmt.Println("(2004-calibrated 12 ms/streamlet overhead). TC = Text Compressor inserted.")
+	cfg := experiments.DefaultFig77Config()
+	cfg.Messages = *messages
+	cfg.LossRate = *loss
+	if *loss > 0 {
+		fmt.Printf("(link loss rate %.0f%%)\n", *loss*100)
+	}
+	rows, err := experiments.Fig77(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lastDelay time.Duration = -1
+	for _, r := range rows {
+		if r.Delay != lastDelay {
+			fmt.Printf("\n-- transmission delay %v --\n", r.Delay)
+			fmt.Println(" bw(Kb/s)    without       with   with-2004   reduction")
+			lastDelay = r.Delay
+		}
+		tc := " "
+		if r.Reconfigured {
+			tc = "TC"
+		}
+		fmt.Printf("%9d  %9.1f  %9.1f  %10.1f  %8.2fx %s\n",
+			r.BandwidthBps/1000,
+			r.WithoutBps/1000, r.WithBps/1000, r.WithCalibratedBps/1000,
+			r.ReductionRatio, tc)
+	}
+	fmt.Println()
+}

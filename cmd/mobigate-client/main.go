@@ -1,0 +1,85 @@
+// Command mobigate-client is a thin MobiGATE client: it connects to a
+// gateway, requests a stream deployment, reverse-processes the adapted flow
+// through its peer streamlets (decompression, decryption), and prints a
+// summary of what arrived.
+//
+// Usage:
+//
+//	mobigate-client -connect host:7700 -stream webflow [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"mobigate"
+	"mobigate/internal/server"
+)
+
+var (
+	connectAddr = flag.String("connect", "127.0.0.1:7700", "gateway address")
+	streamName  = flag.String("stream", "", "stream to request (required)")
+	verbose     = flag.Bool("v", false, "print every received message")
+)
+
+func main() {
+	flag.Parse()
+	if *streamName == "" {
+		flag.Usage()
+		os.Exit(1)
+	}
+	conn, err := net.Dial("tcp", *connectAddr)
+	if err != nil {
+		log.Fatalf("mobigate-client: %v", err)
+	}
+	defer conn.Close()
+
+	req := mobigate.NewMessage(mustType("*/*"), nil)
+	req.SetHeader(server.HeaderRequestStream, *streamName)
+	if _, err := req.WriteTo(conn); err != nil {
+		log.Fatalf("mobigate-client: sending request: %v", err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		_ = tc.CloseWrite()
+	}
+
+	var mu sync.Mutex
+	var count int
+	var bytes int64
+	start := time.Now()
+	mc := mobigate.NewClient(mobigate.ClientOptions{
+		Ordered:      true, // restore gateway delivery order
+		ErrorHandler: func(err error) { log.Printf("message error: %v", err) },
+	}, func(m *mobigate.Message) {
+		mu.Lock()
+		count++
+		bytes += int64(m.Len())
+		mu.Unlock()
+		if *verbose {
+			fmt.Printf("  %-24s %8d B  session=%s\n",
+				m.Header("Content-Type"), m.Len(), m.Session())
+		}
+	})
+	if err := mc.ServeConn(conn); err != nil {
+		log.Fatalf("mobigate-client: %v", err)
+	}
+	elapsed := time.Since(start)
+	processed, failed := mc.Stats()
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("received %d messages (%d bytes of application data) in %v\n", count, bytes, elapsed.Round(time.Millisecond))
+	fmt.Printf("reverse-processed %d, failed %d\n", processed, failed)
+}
+
+func mustType(s string) mobigate.MediaType {
+	t, err := mobigate.ParseMediaType(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

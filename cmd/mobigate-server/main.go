@@ -1,0 +1,105 @@
+// Command mobigate-server runs a MobiGATE gateway: it compiles an MCL
+// script, deploys its streams on demand, and serves adapted flows to
+// MobiGATE clients over TCP. The origin data flow is a synthetic mixed
+// image/text workload (a stand-in for the web origin of the thesis's §7.5
+// testbed).
+//
+// Usage:
+//
+//	mobigate-server -script app.mcl [-listen :7700] [-messages 50]
+//	                [-image-ratio 0.5] [-strict]
+//
+// Clients connect, send a request message whose X-Request-Stream header
+// names the stream to deploy, and receive the adapted flow in MIME wire
+// format. Typing an event name (e.g. LOW_BANDWIDTH) on stdin raises it.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mobigate"
+	"mobigate/internal/mime"
+	"mobigate/internal/services"
+)
+
+var (
+	scriptPath = flag.String("script", "", "MCL script to load (required)")
+	listenAddr = flag.String("listen", ":7700", "TCP listen address")
+	messages   = flag.Int("messages", 50, "origin messages per client session")
+	imageRatio = flag.Float64("image-ratio", 0.5, "fraction of image messages in the origin flow")
+	seed       = flag.Int64("seed", 2004, "workload seed")
+	strict     = flag.Bool("strict", false, "reject deployment on any semantic violation")
+)
+
+func main() {
+	flag.Parse()
+	if *scriptPath == "" {
+		flag.Usage()
+		os.Exit(1)
+	}
+	src, err := os.ReadFile(*scriptPath)
+	if err != nil {
+		log.Fatalf("mobigate-server: %v", err)
+	}
+
+	gw := mobigate.NewGateway(mobigate.GatewayOptions{
+		Strict:       *strict,
+		ErrorHandler: func(err error) { log.Printf("stream error: %v", err) },
+	})
+	defer gw.Close()
+	if err := gw.LoadScript(string(src)); err != nil {
+		log.Fatalf("mobigate-server: %v", err)
+	}
+	cfg := gw.Config()
+	log.Printf("loaded %s: %d streams (main %q)", *scriptPath, len(cfg.Streams), cfg.Main)
+	for name := range cfg.Streams {
+		if rep := gw.Report(name); rep != nil && !rep.OK() {
+			for _, v := range rep.Violations {
+				log.Printf("analysis: stream %s: %s", name, v)
+			}
+		}
+	}
+
+	source := func(req *mime.Message) <-chan *mime.Message {
+		ch := make(chan *mime.Message)
+		go func() {
+			defer close(ch)
+			for _, m := range services.MixedWorkload(*messages, *imageRatio, *seed) {
+				ch <- m
+			}
+		}()
+		return ch
+	}
+	fe := mobigate.NewFrontend(gw, source)
+	addr, err := fe.Listen(*listenAddr)
+	if err != nil {
+		log.Fatalf("mobigate-server: %v", err)
+	}
+	defer fe.Close()
+	log.Printf("listening on %s; sessions serve %d origin messages each", addr, *messages)
+	log.Printf("type an event name (e.g. LOW_BANDWIDTH) + enter to raise it; ctrl-D to quit")
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		ev := strings.ToUpper(strings.TrimSpace(sc.Text()))
+		switch ev {
+		case "":
+			continue
+		case "STATS":
+			for _, alias := range gw.Deployed() {
+				fmt.Print(gw.Stream(alias).StatsSnapshot())
+			}
+			continue
+		}
+		if err := gw.Raise(ev, ""); err != nil {
+			log.Printf("raise %s: %v", ev, err)
+			continue
+		}
+		fmt.Printf("raised %s to %d deployed streams\n", ev, len(gw.Deployed()))
+	}
+}

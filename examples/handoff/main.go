@@ -1,0 +1,135 @@
+// Handoff: the §8.2.1 wireless-handoff mechanism — a session starts on a
+// fast WaveLAN-like network, receives a vertical-handoff notification for a
+// slow GPRS-like network, and the gateway migrates: in-flight messages are
+// replayed onto the new link (nothing is lost), HANDOFF and LOW_BANDWIDTH
+// are raised, and the stream reconfigures its composition for the new
+// conditions. A second handoff returns to the fast network.
+//
+// Run with:
+//
+//	go run ./examples/handoff
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mobigate"
+	"mobigate/internal/experiments"
+	"mobigate/internal/handoff"
+	"mobigate/internal/netem"
+	"mobigate/internal/services"
+	"mobigate/internal/streamlet"
+)
+
+func main() {
+	initial := netem.MustNew(netem.Config{BandwidthBps: 2_000_000, Delay: 2 * time.Millisecond})
+
+	var session *handoff.Manager
+	gw := mobigate.NewGateway(mobigate.GatewayOptions{
+		ErrorHandler: func(err error) { log.Printf("stream error: %v", err) },
+		ExtraServices: func(dir *mobigate.Directory) {
+			dir.Register("net/communicator", func() streamlet.Processor {
+				return &services.Communicator{SinkTo: services.SinkFunc(func(m *mobigate.Message) error {
+					return session.SendMessage(m)
+				})}
+			})
+		},
+	})
+	defer gw.Close()
+
+	session = handoff.NewManager(initial, "wavelan", netem.Virtual, gw.Events(),
+		experiments.CompressorThresholdBps, "")
+
+	if err := gw.LoadScript(experiments.WebAccelScript); err != nil {
+		log.Fatal(err)
+	}
+	st, err := gw.Deploy("webaccel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := st.OpenInlet(mobigate.Port("sw", "pi"), 1<<22)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mc := mobigate.NewClient(mobigate.ClientOptions{}, nil)
+	pump := func(n int, seed int64) {
+		for _, m := range services.MixedWorkload(n, 0.5, seed) {
+			if err := in.Send(m); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	drain := func(n int) int64 {
+		var bytes int64
+		for i := 0; i < n; i++ {
+			d, err := session.Receive(10 * time.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := mc.Process(d.Msg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bytes += int64(out.Len())
+		}
+		return bytes
+	}
+
+	_, network := session.Current()
+	fmt.Printf("session on %s at %d Kb/s\n", network, linkBandwidth(session)/1000)
+	pump(6, 1)
+	fmt.Printf("  delivered %d bytes to the application\n", drain(6))
+
+	// Leave 4 messages in flight on the old link, then hand off.
+	pump(4, 2)
+	time.Sleep(50 * time.Millisecond) // let them cross onto the old link
+	fmt.Println("\nvertical handoff notification: gprs, 50 Kb/s, 100 ms")
+	if _, err := session.Handoff(handoff.Notification{
+		NetworkID:    "gprs",
+		BandwidthBps: 50_000,
+		Delay:        100 * time.Millisecond,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	waitForReconfig(st, 1)
+	handoffs, replayed := session.Stats()
+	_, network = session.Current()
+	fmt.Printf("  now on %s; %d handoff(s), %d in-flight messages replayed without loss\n",
+		network, handoffs, replayed)
+	fmt.Printf("  stream reconfigured (%d): text branch now compressed\n", st.Reconfigurations())
+	fmt.Printf("  delivered %d bytes (incl. the replayed backlog)\n", drain(4))
+
+	pump(6, 3)
+	fmt.Printf("  delivered %d more bytes over gprs\n", drain(6))
+
+	fmt.Println("\nvertical handoff notification: wavelan, 2 Mb/s, 2 ms")
+	if _, err := session.Handoff(handoff.Notification{
+		NetworkID:    "wavelan",
+		BandwidthBps: 2_000_000,
+		Delay:        2 * time.Millisecond,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	waitForReconfig(st, 2)
+	fmt.Printf("  stream reconfigured (%d): compressor removed\n", st.Reconfigurations())
+	pump(6, 4)
+	fmt.Printf("  delivered %d bytes back on wavelan\n", drain(6))
+}
+
+func linkBandwidth(s *handoff.Manager) int64 {
+	l, _ := s.Current()
+	return l.Bandwidth()
+}
+
+func waitForReconfig(st *mobigate.Stream, want uint64) {
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Reconfigurations() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st.Reconfigurations() < want {
+		log.Fatalf("reconfiguration %d never arrived", want)
+	}
+}

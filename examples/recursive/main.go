@@ -1,0 +1,105 @@
+// Recursive: recursive composition (§4.4.2, Figure 4-9) through the public
+// API. An inner stream — sign then compress — is wrapped as a composite
+// streamlet by declaring a streamlet with the same name, and reused inside
+// an outer stream behind a cache. From the outer stream's point of view the
+// whole security pipeline is a single black box.
+//
+// Run with:
+//
+//	go run ./examples/recursive
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"mobigate"
+)
+
+const script = `
+streamlet signer {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "integrity/sign"; }
+}
+streamlet compressor {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+streamlet cache {
+	port { in pi : text; out po : text; }
+	attribute { type = STATEFUL; library = "general/cache"; }
+}
+
+// The inner composition: authenticate, then shrink.
+stream securePipe {
+	streamlet a = new-streamlet (signer);
+	streamlet b = new-streamlet (compressor);
+	connect (a.po, b.pi);
+}
+
+// The Figure 4-9 idiom: a streamlet declaration with the stream's name
+// turns securePipe into a composite streamlet with ports pi and po.
+streamlet securePipe {
+	port { in pi : text; out po : text; }
+	attribute { type = STATEFUL; library = "mcl:securePipe"; }
+}
+
+main stream outerFlow {
+	streamlet k = new-streamlet (cache);
+	streamlet p = new-streamlet (securePipe);
+	connect (k.po, p.pi);
+}
+`
+
+func main() {
+	gw := mobigate.NewGateway(mobigate.GatewayOptions{
+		ErrorHandler: func(err error) { log.Printf("stream error: %v", err) },
+	})
+	defer gw.Close()
+	if err := gw.LoadScript(script); err != nil {
+		log.Fatal(err)
+	}
+	st, err := gw.Deploy("outerFlow")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	in, err := st.OpenInlet(mobigate.Port("k", "pi"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The composite's exit is the inner compressor's output.
+	inner := st.Inner("p")
+	out, err := inner.OpenOutlet(mobigate.Port("b", "po"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mc := mobigate.NewClient(mobigate.ClientOptions{}, nil)
+	text, _ := mobigate.ParseMediaType("text/plain")
+
+	body := []byte(strings.Repeat("recursive composition promotes modularization and re-usability. ", 40))
+	if err := in.Send(mobigate.NewMessage(text, append([]byte(nil), body...))); err != nil {
+		log.Fatal(err)
+	}
+	m, err := out.Receive(5 * time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("through cache -> [securePipe: sign -> compress]: %d B -> %d B\n", len(body), m.Len())
+	fmt.Printf("reverse peers recorded for the client: %v\n", m.Peers())
+
+	restored, err := mc.Process(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("client verified + decompressed intact:", bytes.Equal(restored.Body(), body))
+
+	snap := st.StatsSnapshot()
+	for _, i := range snap.Instances {
+		fmt.Printf("  instance %-4s composite=%-5v processed=%d\n", i.ID, i.Composite, i.Processed)
+	}
+}

@@ -1,0 +1,135 @@
+// Webaccel: the §7.5 case study end to end — the web-acceleration stream
+// runs over an emulated wireless link whose bandwidth drops mid-session.
+// The bandwidth monitor raises LOW_BANDWIDTH through the event system, the
+// stream's when-block inserts the Text Compressor, and the client-side
+// MobiGATE transparently reverses the compression.
+//
+// Run with:
+//
+//	go run ./examples/webaccel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mobigate"
+	"mobigate/internal/experiments"
+	"mobigate/internal/netem"
+	"mobigate/internal/services"
+	"mobigate/internal/streamlet"
+)
+
+func main() {
+	// A real-time emulated wireless link: 1 Mb/s, 5 ms one-way delay.
+	link := netem.MustNew(netem.Config{
+		BandwidthBps: 1_000_000,
+		Delay:        5 * time.Millisecond,
+		Mode:         netem.RealTime,
+		NoAck:        true,
+	})
+	defer link.Close()
+
+	comm := &services.Communicator{SinkTo: link}
+	gw := mobigate.NewGateway(mobigate.GatewayOptions{
+		ErrorHandler: func(err error) { log.Printf("stream error: %v", err) },
+		ExtraServices: func(dir *mobigate.Directory) {
+			dir.Register("net/communicator", func() streamlet.Processor { return comm })
+		},
+	})
+	defer gw.Close()
+	if err := gw.LoadScript(experiments.WebAccelScript); err != nil {
+		log.Fatal(err)
+	}
+	st, err := gw.Deploy("webaccel")
+	if err != nil {
+		log.Fatal(err)
+	}
+	in, err := st.OpenInlet(mobigate.Port("sw", "pi"), 1<<22)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Context awareness: crossing the 100 Kb/s threshold raises
+	// LOW_BANDWIDTH / HIGH_BANDWIDTH into the gateway's event system.
+	netem.WatchBandwidth(link, gw.Events(), experiments.CompressorThresholdBps, "")
+
+	// The mobile client on the far side of the link.
+	received := make(chan *mobigate.Message, 256)
+	mc := mobigate.NewClient(mobigate.ClientOptions{}, nil)
+
+	send := func(n int, seed int64) {
+		for _, m := range services.MixedWorkload(n, 0.5, seed) {
+			if err := in.Send(m); err != nil {
+				log.Fatal(err)
+			}
+		}
+		for i := 0; i < n; i++ {
+			d, err := link.Receive(30 * time.Second)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out, err := mc.Process(d.Msg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			received <- out
+		}
+	}
+
+	report := func(phase string, n int, elapsed time.Duration) {
+		var bytes int64
+		for i := 0; i < n; i++ {
+			m := <-received
+			bytes += int64(m.Len())
+		}
+		sent, _ := link.Stats()
+		fmt.Printf("%-28s %2d messages, %7d B delivered to app, %8d B on the wire, %v\n",
+			phase, n, bytes, sent, elapsed.Round(time.Millisecond))
+	}
+
+	fmt.Printf("link at %d Kb/s (above threshold: no compressor)\n", link.Bandwidth()/1000)
+	t0 := time.Now()
+	send(6, 1)
+	report("phase 1 (1 Mb/s):", 6, time.Since(t0))
+
+	fmt.Printf("\nsignal fades: link drops to 60 Kb/s -> LOW_BANDWIDTH raised\n")
+	if err := link.SetBandwidth(60_000); err != nil {
+		log.Fatal(err)
+	}
+	waitForReconfig(st, 1)
+	fmt.Printf("stream reconfigured (%d so far); text now flows through the compressor\n",
+		st.Reconfigurations())
+	t1 := time.Now()
+	send(6, 2)
+	report("phase 2 (60 Kb/s + TC):", 6, time.Since(t1))
+
+	fmt.Printf("\nsignal recovers: link back to 1 Mb/s -> HIGH_BANDWIDTH raised\n")
+	if err := link.SetBandwidth(1_000_000); err != nil {
+		log.Fatal(err)
+	}
+	waitForReconfig(st, 2)
+	t2 := time.Now()
+	send(6, 3)
+	report("phase 3 (restored):", 6, time.Since(t2))
+
+	sent, errs := comm.Stats()
+	fmt.Printf("\ncommunicator sent %d messages (%d errors); client reverse-processed %d\n",
+		sent, errs, countStats(mc))
+}
+
+func waitForReconfig(st *mobigate.Stream, want uint64) {
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Reconfigurations() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st.Reconfigurations() < want {
+		log.Fatalf("reconfiguration %d never arrived", want)
+	}
+}
+
+func countStats(mc *mobigate.Client) uint64 {
+	processed, _ := mc.Stats()
+	return processed
+}

@@ -1,0 +1,3 @@
+module mobigate
+
+go 1.22

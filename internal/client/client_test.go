@@ -1,0 +1,214 @@
+package client
+
+import (
+	"bytes"
+	"errors"
+
+	"strings"
+	"sync"
+	"testing"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/services"
+	"mobigate/internal/streamlet"
+)
+
+func peerDir() *streamlet.Directory {
+	dir := streamlet.NewDirectory()
+	services.RegisterClientPeers(dir)
+	return dir
+}
+
+func TestProcessNoPeersPassthrough(t *testing.T) {
+	c := New(Options{Peers: peerDir()}, nil)
+	m := mime.NewMessage(mime.MustParse("text/plain"), []byte("plain"))
+	out, err := c.Process(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out.Body()) != "plain" {
+		t.Errorf("body = %q", out.Body())
+	}
+	processed, failed := c.Stats()
+	if processed != 1 || failed != 0 {
+		t.Errorf("stats = %d, %d", processed, failed)
+	}
+}
+
+func TestProcessReversesCompression(t *testing.T) {
+	original := services.GenText(4096, 3)
+	m := mime.NewMessage(services.TypePlainText, append([]byte(nil), original...))
+	comp := &services.Compressor{}
+	ems, err := comp.Process(streamlet.Input{Msg: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := ems[0].Msg
+	wire.PushPeer(services.CompressorPeerID) // what the runtime does server-side
+
+	c := New(Options{Peers: peerDir()}, nil)
+	out, err := c.Process(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Body(), original) {
+		t.Error("reverse processing did not restore body")
+	}
+	if len(out.Peers()) != 0 {
+		t.Error("peer chain not consumed")
+	}
+}
+
+func TestProcessReversesStackedTransforms(t *testing.T) {
+	// Server side: compress then encrypt → chain [compress, encrypt];
+	// client must decrypt first, then decompress (LIFO).
+	original := services.GenText(2048, 5)
+	m := mime.NewMessage(services.TypePlainText, append([]byte(nil), original...))
+
+	comp := &services.Compressor{}
+	ems, err := comp.Process(streamlet.Input{Msg: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = ems[0].Msg
+	m.PushPeer(services.CompressorPeerID)
+
+	enc := &services.Encryptor{}
+	ems, err = enc.Process(streamlet.Input{Msg: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m = ems[0].Msg
+	m.PushPeer(services.EncryptorPeerID)
+
+	c := New(Options{Peers: peerDir()}, nil)
+	out, err := c.Process(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Body(), original) {
+		t.Error("stacked reverse processing failed")
+	}
+}
+
+func TestProcessUnknownPeerFails(t *testing.T) {
+	c := New(Options{Peers: peerDir()}, nil)
+	m := mime.NewMessage(services.TypePlainText, []byte("x"))
+	m.PushPeer("ghost/peer")
+	if _, err := c.Process(m); err == nil || !strings.Contains(err.Error(), "ghost/peer") {
+		t.Errorf("unknown peer error = %v", err)
+	}
+	_, failed := c.Stats()
+	if failed != 1 {
+		t.Errorf("failed = %d", failed)
+	}
+}
+
+func TestProcessPeerErrorPropagates(t *testing.T) {
+	dir := streamlet.NewDirectory()
+	dir.Register("boom", func() streamlet.Processor {
+		return streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+			return nil, errors.New("kaput")
+		})
+	})
+	c := New(Options{Peers: dir}, nil)
+	m := mime.NewMessage(services.TypePlainText, []byte("x"))
+	m.PushPeer("boom")
+	if _, err := c.Process(m); err == nil || !strings.Contains(err.Error(), "kaput") {
+		t.Errorf("peer error = %v", err)
+	}
+}
+
+func TestServeConnDistributesAll(t *testing.T) {
+	// Build a wire stream of 20 compressed messages.
+	var wireBuf bytes.Buffer
+	var originals [][]byte
+	for i := 0; i < 20; i++ {
+		body := services.GenText(512+i*13, int64(i))
+		originals = append(originals, body)
+		m := mime.NewMessage(services.TypePlainText, append([]byte(nil), body...))
+		ems, err := (&services.Compressor{}).Process(streamlet.Input{Msg: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ems[0].Msg.PushPeer(services.CompressorPeerID)
+		if _, err := ems[0].Msg.WriteTo(&wireBuf); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var mu sync.Mutex
+	var got [][]byte
+	c := New(Options{Peers: peerDir(), Distributors: 3}, func(m *mime.Message) {
+		mu.Lock()
+		got = append(got, m.Body())
+		mu.Unlock()
+	})
+	if err := c.ServeConn(&wireBuf); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("delivered %d messages", len(got))
+	}
+	// Multi-threaded distribution may reorder; match as a set.
+	want := map[string]bool{}
+	for _, b := range originals {
+		want[string(b)] = true
+	}
+	for _, b := range got {
+		if !want[string(b)] {
+			t.Error("unexpected or corrupted message body")
+		}
+	}
+}
+
+func TestServeConnTruncatedStream(t *testing.T) {
+	c := New(Options{Peers: peerDir()}, nil)
+	if err := c.ServeConn(strings.NewReader("Content-Length: 100\r\n\r\nshort")); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	if err := c.ServeConn(strings.NewReader("")); err != nil {
+		t.Errorf("empty stream: %v", err)
+	}
+}
+
+func TestDispatchErrorHandler(t *testing.T) {
+	var mu sync.Mutex
+	var errs []error
+	c := New(Options{
+		Peers:        peerDir(),
+		ErrorHandler: func(err error) { mu.Lock(); errs = append(errs, err); mu.Unlock() },
+	}, nil)
+	m := mime.NewMessage(services.TypePlainText, []byte("x"))
+	m.PushPeer("ghost")
+	var wg sync.WaitGroup
+	c.Dispatch(m, &wg)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 1 {
+		t.Errorf("errors = %v", errs)
+	}
+}
+
+func TestClientPoolReuse(t *testing.T) {
+	c := New(Options{Peers: peerDir(), PoolSize: 2}, nil)
+	for i := 0; i < 5; i++ {
+		m := mime.NewMessage(services.TypePlainText, services.GenText(100, int64(i)))
+		ems, _ := (&services.Compressor{}).Process(streamlet.Input{Msg: m})
+		ems[0].Msg.PushPeer(services.CompressorPeerID)
+		if _, err := c.Process(ems[0].Msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	pool := c.pools[services.CompressorPeerID]
+	c.mu.Unlock()
+	if pool == nil {
+		t.Fatal("pool not created")
+	}
+	created, reused := pool.Stats()
+	if created == 0 || reused == 0 {
+		t.Errorf("created=%d reused=%d", created, reused)
+	}
+}

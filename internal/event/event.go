@@ -1,0 +1,149 @@
+// Package event implements the MobiGATE event system of thesis §6.4: client
+// variations and system conditions are modelled as unparameterized context
+// events, classified into four categories (Table 6-1), and multicast by an
+// Event Manager to the stream applications that subscribed to the relevant
+// category. Events carry no data — they exist purely to trigger the
+// evolution of coordinated streamlets.
+//
+// The package also implements the §8.2.1 recommendation of dynamic event
+// inclusion: applications may register new event identifiers (and even new
+// categories) at runtime via Catalog.Register.
+package event
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Category is one axis along which clients may vary (Table 6-1).
+type Category int
+
+const (
+	// SystemCommand events control application lifecycle.
+	SystemCommand Category = iota
+	// NetworkVariation events report wireless link changes.
+	NetworkVariation
+	// HardwareVariation events report device capability changes.
+	HardwareVariation
+	// SoftwareVariation events report client software changes.
+	SoftwareVariation
+	// CategoryCount is the number of built-in categories.
+	CategoryCount
+)
+
+var categoryNames = [...]string{
+	SystemCommand:     "System Command",
+	NetworkVariation:  "Network Variation",
+	HardwareVariation: "Hardware Variation",
+	SoftwareVariation: "Software Variation",
+}
+
+func (c Category) String() string {
+	if int(c) < len(categoryNames) {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Custom Category %d", int(c))
+}
+
+// Built-in event identifiers (Table 6-1 and §4.2.3).
+const (
+	// System commands.
+	PAUSE  = "PAUSE"
+	RESUME = "RESUME"
+	END    = "END"
+	// Network variations.
+	LOW_BANDWIDTH  = "LOW_BANDWIDTH"
+	HIGH_BANDWIDTH = "HIGH_BANDWIDTH"
+	HIGH_LATENCY   = "HIGH_LATENCY"
+	HIGH_LOSS      = "HIGH_LOSS"
+	HANDOFF        = "HANDOFF"
+	// Hardware variations.
+	LOW_ENERGY   = "LOW_ENERGY"
+	LOW_GRAYS    = "LOW_GRAYS"
+	SMALL_SCREEN = "SMALL_SCREEN"
+	LOW_MEMORY   = "LOW_MEMORY"
+	// Software variations.
+	FORMAT_UNSUPPORTED = "FORMAT_UNSUPPORTED"
+	CODEC_MISSING      = "CODEC_MISSING"
+)
+
+// ContextEvent is the MobiGATE event object of Figure 6-5.
+type ContextEvent struct {
+	// EventID identifies the event (e.g. "LOW_BANDWIDTH").
+	EventID string
+	// Category is the event's classification.
+	Category Category
+	// Source names the stream application the event belongs to; an empty
+	// source means the event concerns every application.
+	Source string
+}
+
+func (e ContextEvent) String() string {
+	if e.Source == "" {
+		return fmt.Sprintf("%s [%s]", e.EventID, e.Category)
+	}
+	return fmt.Sprintf("%s [%s] for %s", e.EventID, e.Category, e.Source)
+}
+
+// Catalog maps event identifiers to categories. The zero value is unusable;
+// use NewCatalog, which seeds the Table 6-1 events.
+type Catalog struct {
+	mu         sync.RWMutex
+	events     map[string]Category
+	nextCustom Category
+}
+
+// NewCatalog returns a catalog seeded with the built-in events.
+func NewCatalog() *Catalog {
+	c := &Catalog{events: make(map[string]Category), nextCustom: CategoryCount}
+	for id, cat := range map[string]Category{
+		PAUSE: SystemCommand, RESUME: SystemCommand, END: SystemCommand,
+		LOW_BANDWIDTH: NetworkVariation, HIGH_BANDWIDTH: NetworkVariation,
+		HIGH_LATENCY: NetworkVariation, HIGH_LOSS: NetworkVariation, HANDOFF: NetworkVariation,
+		LOW_ENERGY: HardwareVariation, LOW_GRAYS: HardwareVariation,
+		SMALL_SCREEN: HardwareVariation, LOW_MEMORY: HardwareVariation,
+		FORMAT_UNSUPPORTED: SoftwareVariation, CODEC_MISSING: SoftwareVariation,
+	} {
+		c.events[id] = cat
+	}
+	return c
+}
+
+// Register adds a new event identifier under an existing category (§8.2.1
+// dynamic event inclusion). Registering an existing identifier with a
+// different category is an error.
+func (c *Catalog) Register(id string, cat Category) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.events[id]; ok && prev != cat {
+		return fmt.Errorf("event: %s already registered under %s", id, prev)
+	}
+	c.events[id] = cat
+	return nil
+}
+
+// RegisterCategory allocates a fresh custom category identifier.
+func (c *Catalog) RegisterCategory() Category {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cat := c.nextCustom
+	c.nextCustom++
+	return cat
+}
+
+// CategoryOf returns the category of an event identifier.
+func (c *Catalog) CategoryOf(id string) (Category, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	cat, ok := c.events[id]
+	return cat, ok
+}
+
+// Event builds a ContextEvent for a known identifier.
+func (c *Catalog) Event(id, source string) (ContextEvent, error) {
+	cat, ok := c.CategoryOf(id)
+	if !ok {
+		return ContextEvent{}, fmt.Errorf("event: unknown event %q", id)
+	}
+	return ContextEvent{EventID: id, Category: cat, Source: source}, nil
+}

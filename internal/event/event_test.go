@@ -1,0 +1,216 @@
+package event
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCatalogBuiltins(t *testing.T) {
+	c := NewCatalog()
+	cases := map[string]Category{
+		PAUSE: SystemCommand, RESUME: SystemCommand, END: SystemCommand,
+		LOW_BANDWIDTH: NetworkVariation, HANDOFF: NetworkVariation,
+		LOW_ENERGY: HardwareVariation, LOW_GRAYS: HardwareVariation,
+		FORMAT_UNSUPPORTED: SoftwareVariation,
+	}
+	for id, want := range cases {
+		got, ok := c.CategoryOf(id)
+		if !ok || got != want {
+			t.Errorf("CategoryOf(%s) = %v, %v", id, got, ok)
+		}
+	}
+	if _, ok := c.CategoryOf("NOPE"); ok {
+		t.Error("unknown event found")
+	}
+}
+
+func TestCatalogRegister(t *testing.T) {
+	c := NewCatalog()
+	if err := c.Register("THERMAL_THROTTLE", HardwareVariation); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.CategoryOf("THERMAL_THROTTLE"); !ok || got != HardwareVariation {
+		t.Error("registered event missing")
+	}
+	// Idempotent same-category registration.
+	if err := c.Register("THERMAL_THROTTLE", HardwareVariation); err != nil {
+		t.Errorf("re-register same: %v", err)
+	}
+	// Conflicting category rejected.
+	if err := c.Register("THERMAL_THROTTLE", NetworkVariation); err == nil {
+		t.Error("conflicting re-register accepted")
+	}
+	// Custom categories are distinct and usable.
+	c1 := c.RegisterCategory()
+	c2 := c.RegisterCategory()
+	if c1 == c2 || c1 < CategoryCount {
+		t.Errorf("custom categories %v %v", c1, c2)
+	}
+	if err := c.Register("MY_EVENT", c1); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c1.String(), "Custom") {
+		t.Errorf("custom category String = %q", c1.String())
+	}
+}
+
+func TestCatalogEvent(t *testing.T) {
+	c := NewCatalog()
+	evt, err := c.Event(LOW_ENERGY, "app1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evt.Category != HardwareVariation || evt.Source != "app1" {
+		t.Errorf("evt = %+v", evt)
+	}
+	if _, err := c.Event("GHOST", ""); err == nil {
+		t.Error("unknown event built")
+	}
+	if !strings.Contains(evt.String(), "LOW_ENERGY") || !strings.Contains(evt.String(), "app1") {
+		t.Errorf("String = %q", evt.String())
+	}
+	anon := ContextEvent{EventID: END, Category: SystemCommand}
+	if strings.Contains(anon.String(), "for") {
+		t.Errorf("broadcast String = %q", anon.String())
+	}
+}
+
+// recorder is a test subscriber.
+type recorder struct {
+	name string
+	mu   sync.Mutex
+	got  []ContextEvent
+}
+
+func (r *recorder) SubscriberName() string { return r.name }
+func (r *recorder) OnEvent(e ContextEvent) {
+	r.mu.Lock()
+	r.got = append(r.got, e)
+	r.mu.Unlock()
+}
+func (r *recorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.got)
+}
+
+func TestMulticastCategoryFiltering(t *testing.T) {
+	m := NewManager(nil)
+	defer m.Close()
+	netApp := &recorder{name: "netApp"}
+	hwApp := &recorder{name: "hwApp"}
+	m.Subscribe(NetworkVariation, netApp)
+	m.Subscribe(HardwareVariation, hwApp)
+
+	m.Multicast(ContextEvent{EventID: LOW_BANDWIDTH, Category: NetworkVariation})
+	if netApp.count() != 1 || hwApp.count() != 0 {
+		t.Errorf("counts = %d, %d", netApp.count(), hwApp.count())
+	}
+	m.Multicast(ContextEvent{EventID: LOW_ENERGY, Category: HardwareVariation})
+	if netApp.count() != 1 || hwApp.count() != 1 {
+		t.Errorf("counts = %d, %d", netApp.count(), hwApp.count())
+	}
+}
+
+func TestMulticastSourceDirected(t *testing.T) {
+	m := NewManager(nil)
+	defer m.Close()
+	a := &recorder{name: "a"}
+	b := &recorder{name: "b"}
+	m.Subscribe(SystemCommand, a)
+	m.Subscribe(SystemCommand, b)
+
+	m.Multicast(ContextEvent{EventID: PAUSE, Category: SystemCommand, Source: "a"})
+	if a.count() != 1 || b.count() != 0 {
+		t.Errorf("directed: a=%d b=%d", a.count(), b.count())
+	}
+	m.Multicast(ContextEvent{EventID: PAUSE, Category: SystemCommand})
+	if a.count() != 2 || b.count() != 1 {
+		t.Errorf("broadcast: a=%d b=%d", a.count(), b.count())
+	}
+	delivered, filtered := m.Stats()
+	if delivered != 3 || filtered != 1 {
+		t.Errorf("stats = %d, %d", delivered, filtered)
+	}
+}
+
+func TestSubscribeIdempotentAndUnsubscribe(t *testing.T) {
+	m := NewManager(nil)
+	defer m.Close()
+	a := &recorder{name: "a"}
+	m.Subscribe(SystemCommand, a)
+	m.Subscribe(SystemCommand, a) // duplicate ignored
+	m.Multicast(ContextEvent{EventID: END, Category: SystemCommand})
+	if a.count() != 1 {
+		t.Errorf("duplicate subscription delivered %d", a.count())
+	}
+	m.Unsubscribe(SystemCommand, a)
+	m.Multicast(ContextEvent{EventID: END, Category: SystemCommand})
+	if a.count() != 1 {
+		t.Error("unsubscribed app still receives")
+	}
+	m.Unsubscribe(SystemCommand, a) // second remove is a no-op
+}
+
+func TestPostAsyncAndRaise(t *testing.T) {
+	m := NewManager(nil)
+	a := &recorder{name: "a"}
+	m.Subscribe(NetworkVariation, a)
+	if err := m.Raise(LOW_BANDWIDTH, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Raise("GHOST", ""); err == nil {
+		t.Error("raise unknown succeeded")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for a.count() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if a.count() != 1 {
+		t.Errorf("async delivery count = %d", a.count())
+	}
+	m.Close()
+	m.Close()                                                   // idempotent
+	m.Post(ContextEvent{EventID: END, Category: SystemCommand}) // discarded, no panic
+}
+
+func TestCloseDrainsQueued(t *testing.T) {
+	m := NewManager(nil)
+	a := &recorder{name: "a"}
+	m.Subscribe(SystemCommand, a)
+	for i := 0; i < 50; i++ {
+		m.Post(ContextEvent{EventID: PAUSE, Category: SystemCommand})
+	}
+	m.Close()
+	if a.count() == 0 {
+		t.Error("queued events lost on close")
+	}
+}
+
+func TestManagerConcurrency(t *testing.T) {
+	m := NewManager(nil)
+	defer m.Close()
+	apps := make([]*recorder, 8)
+	for i := range apps {
+		apps[i] = &recorder{name: string(rune('a' + i))}
+		m.Subscribe(NetworkVariation, apps[i])
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Multicast(ContextEvent{EventID: LOW_BANDWIDTH, Category: NetworkVariation})
+			}
+		}()
+	}
+	wg.Wait()
+	for _, a := range apps {
+		if a.count() != 400 {
+			t.Errorf("%s got %d", a.name, a.count())
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package event
+
+import (
+	"sync"
+)
+
+// Subscriber receives multicast events. Stream applications implement this
+// (their onEvent method, §6.3).
+type Subscriber interface {
+	// SubscriberName identifies the application for source-directed events.
+	SubscriberName() string
+	// OnEvent handles a delivered event. Called from the Manager's
+	// dispatch goroutine; implementations should not block for long.
+	OnEvent(ContextEvent)
+}
+
+// Manager is the Event Manager of §3.3.5/§6.4: it controls subscription,
+// triggering and monitoring, and multicasts events among stream
+// applications. Applications that did not subscribe to an event's category
+// never see it, avoiding the overhead of processing an event flood.
+type Manager struct {
+	catalog *Catalog
+
+	mu   sync.RWMutex
+	subs map[Category][]Subscriber
+
+	dispatch chan ContextEvent
+	done     chan struct{}
+	wg       sync.WaitGroup
+
+	delivered uint64
+	filtered  uint64
+}
+
+// NewManager creates a manager over the given catalog (nil for built-ins).
+// Call Close when done to stop the asynchronous dispatcher.
+func NewManager(catalog *Catalog) *Manager {
+	if catalog == nil {
+		catalog = NewCatalog()
+	}
+	m := &Manager{
+		catalog:  catalog,
+		subs:     make(map[Category][]Subscriber),
+		dispatch: make(chan ContextEvent, 256),
+		done:     make(chan struct{}),
+	}
+	m.wg.Add(1)
+	go m.run()
+	return m
+}
+
+// Catalog returns the manager's event catalog.
+func (m *Manager) Catalog() *Catalog { return m.catalog }
+
+// Subscribe registers app for all events of a category (subscribeEvt of
+// Figure 6-7).
+func (m *Manager) Subscribe(cat Category, app Subscriber) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range m.subs[cat] {
+		if s == app {
+			return
+		}
+	}
+	m.subs[cat] = append(m.subs[cat], app)
+}
+
+// Unsubscribe removes app from a category (unsubscribeEvt).
+func (m *Manager) Unsubscribe(cat Category, app Subscriber) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	list := m.subs[cat]
+	for i, s := range list {
+		if s == app {
+			m.subs[cat] = append(list[:i], list[i+1:]...)
+			return
+		}
+	}
+}
+
+// Multicast synchronously delivers an event to every subscriber of its
+// category (multicastEvent of Figure 6-7). Source-directed events are
+// delivered only to the named application.
+func (m *Manager) Multicast(evt ContextEvent) {
+	m.mu.RLock()
+	list := make([]Subscriber, len(m.subs[evt.Category]))
+	copy(list, m.subs[evt.Category])
+	m.mu.RUnlock()
+	for _, s := range list {
+		if evt.Source != "" && s.SubscriberName() != evt.Source {
+			m.mu.Lock()
+			m.filtered++
+			m.mu.Unlock()
+			continue
+		}
+		s.OnEvent(evt)
+		m.mu.Lock()
+		m.delivered++
+		m.mu.Unlock()
+	}
+}
+
+// Post queues an event for asynchronous multicast from the manager's
+// dispatch goroutine. It never blocks the caller; events posted after
+// Close are discarded.
+func (m *Manager) Post(evt ContextEvent) {
+	select {
+	case <-m.done:
+	case m.dispatch <- evt:
+	}
+}
+
+// Raise resolves an event identifier through the catalog and posts it.
+func (m *Manager) Raise(id, source string) error {
+	evt, err := m.catalog.Event(id, source)
+	if err != nil {
+		return err
+	}
+	m.Post(evt)
+	return nil
+}
+
+// Stats returns delivered and source-filtered event counts.
+func (m *Manager) Stats() (delivered, filtered uint64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.delivered, m.filtered
+}
+
+// Close stops the dispatcher after draining queued events.
+func (m *Manager) Close() {
+	select {
+	case <-m.done:
+		return
+	default:
+	}
+	close(m.done)
+	m.wg.Wait()
+}
+
+func (m *Manager) run() {
+	defer m.wg.Done()
+	for {
+		select {
+		case evt := <-m.dispatch:
+			m.Multicast(evt)
+		case <-m.done:
+			// Drain what is already queued, then exit.
+			for {
+				select {
+				case evt := <-m.dispatch:
+					m.Multicast(evt)
+				default:
+					return
+				}
+			}
+		}
+	}
+}

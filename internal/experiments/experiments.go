@@ -1,0 +1,226 @@
+// Package experiments regenerates every figure of the thesis's Chapter 7
+// evaluation on the Go reproduction:
+//
+//	Figure 7-2 — streamlet overhead vs chain length (redirectors)
+//	Figure 7-3 — passing by reference vs passing by value
+//	Figure 7-6 — reconfiguration time vs number of inserted streamlets
+//	Figure 7-7 — end-to-end throughput with/without MobiGATE
+//	Equation 7-1 — decomposition of reconfiguration time
+//
+// Absolute numbers differ from the 2004 Java testbed (this runtime is three
+// orders of magnitude faster); the shapes — linear overhead growth, the
+// by-reference win that widens with message size, linear reconfiguration
+// cost, and the MobiGATE throughput win that grows as bandwidth shrinks —
+// are the reproduction targets (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+)
+
+// buildRedirectorChain composes entry → r1 → … → rk → exit over the given
+// pool mode and returns the stream with its endpoints.
+func buildRedirectorChain(k int, mode msgpool.Mode) (*stream.Stream, *stream.Inlet, *stream.Outlet, error) {
+	pool := msgpool.New(mode)
+	st := stream.New(fmt.Sprintf("chain-%d", k), pool, nil)
+	var prev string
+	for i := 0; i < k; i++ {
+		id := fmt.Sprintf("r%d", i)
+		if _, err := st.AddStreamlet(id, nil, services.Redirector{}); err != nil {
+			return nil, nil, nil, err
+		}
+		if prev != "" {
+			from := mcl.PortRef{Inst: prev, Port: "po"}
+			to := mcl.PortRef{Inst: id, Port: "pi"}
+			if err := st.Connect(from, to, nil); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		prev = id
+	}
+	in, err := st.OpenInlet(mcl.PortRef{Inst: "r0", Port: "pi"}, 1<<22)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, err := st.OpenOutlet(mcl.PortRef{Inst: prev, Port: "po"})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st.Start()
+	return st, in, out, nil
+}
+
+// Fig72Row is one point of Figure 7-2.
+type Fig72Row struct {
+	Streamlets   int
+	PerMessage   time.Duration // mean end-to-end latency through the chain
+	PerStreamlet time.Duration // PerMessage / Streamlets
+}
+
+// Fig72 measures per-message delay through chains of redirector streamlets
+// (§7.2): msgs messages of msgSize bytes traverse each chain length in
+// counts; the delay should grow linearly with the chain length.
+func Fig72(counts []int, msgSize, msgs int) ([]Fig72Row, error) {
+	rows := make([]Fig72Row, 0, len(counts))
+	for _, k := range counts {
+		st, in, out, err := buildRedirectorChain(k, msgpool.ByReference)
+		if err != nil {
+			return nil, err
+		}
+		perMsg, err := measureLatency(in, out, msgSize, msgs)
+		st.End()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig72Row{
+			Streamlets:   k,
+			PerMessage:   perMsg,
+			PerStreamlet: perMsg / time.Duration(k),
+		})
+	}
+	return rows, nil
+}
+
+// measureLatency sends msgs messages one at a time (latency, not pipelined
+// throughput — matching the §7.2 methodology) and returns the mean.
+func measureLatency(in *stream.Inlet, out *stream.Outlet, msgSize, msgs int) (time.Duration, error) {
+	// One warm-up message primes pools and scheduler.
+	if err := roundTrip(in, out, msgSize, 0); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < msgs; i++ {
+		if err := roundTrip(in, out, msgSize, int64(i+1)); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(msgs), nil
+}
+
+func roundTrip(in *stream.Inlet, out *stream.Outlet, msgSize int, seed int64) error {
+	m := mime.NewMessage(services.TypePlainText, services.GenText(msgSize, seed))
+	if err := in.Send(m); err != nil {
+		return err
+	}
+	_, err := out.Receive(30 * time.Second)
+	return err
+}
+
+// Fig73Row is one point of Figure 7-3.
+type Fig73Row struct {
+	MessageBytes int
+	ByReference  time.Duration
+	ByValue      time.Duration
+}
+
+// Fig73 compares the two buffer-management schemes (§7.3): messages of each
+// size traverse a chain of `redirectors` streamlets under pass-by-reference
+// and pass-by-value pools.
+func Fig73(sizes []int, redirectors, msgs int) ([]Fig73Row, error) {
+	rows := make([]Fig73Row, 0, len(sizes))
+	for _, size := range sizes {
+		row := Fig73Row{MessageBytes: size}
+		for _, mode := range []msgpool.Mode{msgpool.ByReference, msgpool.ByValue} {
+			st, in, out, err := buildRedirectorChain(redirectors, mode)
+			if err != nil {
+				return nil, err
+			}
+			perMsg, err := measureLatency(in, out, size, msgs)
+			st.End()
+			if err != nil {
+				return nil, err
+			}
+			if mode == msgpool.ByReference {
+				row.ByReference = perMsg
+			} else {
+				row.ByValue = perMsg
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig76Row is one point of Figure 7-6.
+type Fig76Row struct {
+	Inserted int
+	Total    time.Duration
+	Timing   stream.ReconfigTiming
+}
+
+// Fig76 measures reconfiguration time (§7.4): the ReconfigExp reaction
+// inserts n redirector streamlets into a running two-streamlet stream and
+// records Te − Ts. The insertion point follows Figure 7-4's protocol for
+// every streamlet added.
+func Fig76(inserts []int) ([]Fig76Row, error) {
+	rows := make([]Fig76Row, 0, len(inserts))
+	for _, n := range inserts {
+		st, _, _, err := buildRedirectorChain(2, msgpool.ByReference)
+		if err != nil {
+			return nil, err
+		}
+		// Pre-create the instances; the measured reaction is the
+		// reconfiguration itself (suspend/rewire/activate), as in Fig 7-5
+		// where ReconfigExp only times the insert loop.
+		ids := make([]string, n)
+		for i := 0; i < n; i++ {
+			ids[i] = fmt.Sprintf("ins%d", i)
+			if _, err := st.AddStreamlet(ids[i], nil, services.Redirector{}); err != nil {
+				st.End()
+				return nil, err
+			}
+		}
+		var agg stream.ReconfigTiming
+		prev := "r0"
+		ts := time.Now()
+		for i := 0; i < n; i++ {
+			if err := st.Insert(prev, "r1", ids[i], "pi", "po"); err != nil {
+				st.End()
+				return nil, err
+			}
+			t := st.LastReconfigTiming()
+			agg.Suspend += t.Suspend
+			agg.Channels += t.Channels
+			agg.Activate += t.Activate
+			prev = ids[i]
+		}
+		total := time.Since(ts)
+		st.End()
+		rows = append(rows, Fig76Row{Inserted: n, Total: total, Timing: agg})
+	}
+	return rows, nil
+}
+
+// Eq71Row decomposes one reconfiguration per Equation 7-1.
+type Eq71Row struct {
+	Inserted int
+	Suspend  time.Duration // Σ s_i
+	Channels time.Duration // n·c
+	Activate time.Duration // Σ a_i
+}
+
+// Eq71 reports the suspend / channel-creation / activation terms of the
+// reconfiguration-time equation for each insertion count.
+func Eq71(inserts []int) ([]Eq71Row, error) {
+	fig, err := Fig76(inserts)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Eq71Row, len(fig))
+	for i, r := range fig {
+		rows[i] = Eq71Row{
+			Inserted: r.Inserted,
+			Suspend:  r.Timing.Suspend,
+			Channels: r.Timing.Channels,
+			Activate: r.Timing.Activate,
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,189 @@
+// Package handoff implements the §8.2.1 recommendation of supporting
+// wireless handoffs: when a mobile client with multiple wireless interfaces
+// switches networks, the gateway must learn the new network's
+// characteristics (the TranSend-style notification of §2.2.1), migrate the
+// adaptation — re-evaluating bandwidth-dependent compositions through the
+// event system — and keep the application state synchronized so that no
+// in-flight message is lost.
+//
+// The Manager owns the session's current link. The gateway's Communicator
+// sends through Manager.Sink(), which transparently follows handoffs;
+// Handoff quiesces sending, replays undelivered messages from the old link
+// onto the new one (in order, ahead of new traffic), re-raises the
+// bandwidth context events, and resumes.
+package handoff
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mobigate/internal/event"
+	"mobigate/internal/mime"
+	"mobigate/internal/netem"
+)
+
+// Notification carries the characteristics of the network the client
+// switched to — the essential content of a vertical-handoff notification
+// packet.
+type Notification struct {
+	// NetworkID names the new attachment (e.g. "wavelan", "gprs").
+	NetworkID string
+	// BandwidthBps is the expected throughput of the new network.
+	BandwidthBps int64
+	// Delay is the new one-way propagation delay.
+	Delay time.Duration
+	// LossRate is the new link's loss rate.
+	LossRate float64
+}
+
+// Manager coordinates one session's movement between emulated links.
+type Manager struct {
+	events    *event.Manager
+	threshold int64
+	source    string
+
+	// gate serializes handoffs against in-flight sends: senders hold the
+	// read side for the duration of one Send, Handoff holds the write side
+	// while it closes, drains and swaps links. This guarantees that no
+	// message can land on the old link after the drain (quiescence).
+	gate sync.RWMutex
+
+	mu       sync.Mutex
+	current  *netem.Link
+	network  string
+	mode     netem.Mode
+	handoffs uint64
+	replayed uint64
+}
+
+// NewManager starts a session on an initial link. threshold is the
+// LOW_BANDWIDTH boundary (the §7.5 compressor threshold); source names the
+// stream application the raised events are directed at ("" broadcasts).
+func NewManager(initial *netem.Link, networkID string, mode netem.Mode, em *event.Manager, thresholdBps int64, source string) *Manager {
+	return &Manager{
+		events:    em,
+		threshold: thresholdBps,
+		source:    source,
+		current:   initial,
+		network:   networkID,
+		mode:      mode,
+	}
+}
+
+// Current returns the active link and network name.
+func (m *Manager) Current() (*netem.Link, string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.current, m.network
+}
+
+// Stats returns completed handoffs and messages replayed across them.
+func (m *Manager) Stats() (handoffs, replayed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.handoffs, m.replayed
+}
+
+// SendMessage implements services.Sink: it always sends on the current
+// link. During a handoff the call blocks until the switch completes, so
+// post-handoff traffic is ordered after the replayed backlog.
+func (m *Manager) SendMessage(msg *mime.Message) error {
+	m.gate.RLock()
+	m.mu.Lock()
+	l := m.current
+	m.mu.Unlock()
+	err := l.Send(msg)
+	m.gate.RUnlock()
+	if err == netem.ErrLinkClosed {
+		// The link was torn down by a handoff that slipped between gate
+		// acquisitions; retry on the new link (nothing was transmitted).
+		return m.SendMessage(msg)
+	}
+	return err
+}
+
+// Receive drains the next delivery from the current link.
+func (m *Manager) Receive(timeout time.Duration) (netem.Delivery, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		m.mu.Lock()
+		l := m.current
+		m.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return netem.Delivery{}, fmt.Errorf("handoff: receive timed out after %v", timeout)
+		}
+		d, err := l.Receive(remaining)
+		if err == netem.ErrLinkClosed {
+			continue // a handoff swapped links under us; retry on the new one
+		}
+		return d, err
+	}
+}
+
+// Handoff switches the session to the network described by n:
+//
+//  1. a new link is brought up with the notified characteristics;
+//  2. the old link is closed and its undelivered messages are replayed
+//     onto the new link, in order, ahead of any new traffic (state
+//     synchronization — nothing in flight is lost);
+//  3. HANDOFF is raised, and LOW_BANDWIDTH / HIGH_BANDWIDTH re-evaluated
+//     against the threshold so bandwidth-dependent compositions migrate;
+//  4. sending resumes on the new link.
+func (m *Manager) Handoff(n Notification) (*netem.Link, error) {
+	if n.BandwidthBps <= 0 {
+		return nil, fmt.Errorf("handoff: notification lacks bandwidth")
+	}
+	// Quiesce: wait for in-flight sends, block new ones until the swap is
+	// complete.
+	m.gate.Lock()
+	defer m.gate.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	old := m.current
+	oldBelow := old.Bandwidth() < m.threshold
+
+	next, err := netem.New(netem.Config{
+		BandwidthBps: n.BandwidthBps,
+		Delay:        n.Delay,
+		LossRate:     n.LossRate,
+		Mode:         m.mode,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("handoff: bringing up %s: %w", n.NetworkID, err)
+	}
+
+	// Quiesce and drain: close the old link, then replay everything that
+	// had crossed it but was not yet consumed by the client.
+	old.Close()
+	for {
+		d, ok := old.TryReceive()
+		if !ok {
+			break
+		}
+		if err := next.Send(d.Msg); err != nil {
+			next.Close()
+			return nil, fmt.Errorf("handoff: replaying backlog: %w", err)
+		}
+		m.replayed++
+	}
+
+	m.current = next
+	m.network = n.NetworkID
+	m.handoffs++
+
+	// Context events: the handoff itself, then bandwidth re-evaluation.
+	if m.events != nil {
+		_ = m.events.Raise(event.HANDOFF, m.source)
+		newBelow := n.BandwidthBps < m.threshold
+		if newBelow && !oldBelow {
+			_ = m.events.Raise(event.LOW_BANDWIDTH, m.source)
+		}
+		if !newBelow && oldBelow {
+			_ = m.events.Raise(event.HIGH_BANDWIDTH, m.source)
+		}
+	}
+	return next, nil
+}

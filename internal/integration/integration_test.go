@@ -1,0 +1,369 @@
+// Package integration exercises whole-system paths that span the server,
+// client, MCL, events and services packages together.
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate"
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/server"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+	"mobigate/internal/streamlet"
+)
+
+// distillationOverTCP is a full-stack script: sign + compress the text
+// flow; the client must verify and decompress transparently.
+const secureFlowScript = `
+streamlet signer {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "integrity/sign"; }
+}
+streamlet compressor {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; param-level = 6; }
+}
+main stream secureflow {
+	streamlet sg = new-streamlet (signer);
+	streamlet c = new-streamlet (compressor);
+	connect (sg.po, c.pi);
+}
+`
+
+func TestSecureFlowOverTCP(t *testing.T) {
+	gw := mobigate.NewGateway(mobigate.GatewayOptions{
+		ErrorHandler: func(err error) { t.Logf("stream error: %v", err) },
+	})
+	defer gw.Close()
+	if err := gw.LoadScript(secureFlowScript); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 10
+	bodies := make([][]byte, n)
+	for i := range bodies {
+		bodies[i] = services.GenText(2048+i*31, int64(i))
+	}
+	source := func(*mime.Message) <-chan *mime.Message {
+		ch := make(chan *mime.Message)
+		go func() {
+			defer close(ch)
+			for _, b := range bodies {
+				ch <- mime.NewMessage(services.TypePlainText, append([]byte(nil), b...))
+			}
+		}()
+		return ch
+	}
+	fe := mobigate.NewFrontend(gw, source)
+	addr, err := fe.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	req := mobigate.NewMessage(mime.Wildcard, nil)
+	req.SetHeader(server.HeaderRequestStream, "secureflow")
+	if _, err := req.WriteTo(conn); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.(*net.TCPConn).CloseWrite()
+
+	var mu sync.Mutex
+	var got [][]byte
+	mc := mobigate.NewClient(mobigate.ClientOptions{
+		ErrorHandler: func(err error) { t.Errorf("client: %v", err) },
+	}, func(m *mobigate.Message) {
+		mu.Lock()
+		got = append(got, m.Body())
+		mu.Unlock()
+	})
+	if err := mc.ServeConn(conn); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("received %d/%d", len(got), n)
+	}
+	want := map[string]bool{}
+	for _, b := range bodies {
+		want[string(b)] = true
+	}
+	for _, b := range got {
+		if !want[string(b)] {
+			t.Error("verified+decompressed body does not match any original")
+		}
+	}
+}
+
+// TestStreamletSharing exercises §4.4.3: one stateless processor instance
+// serves two concurrently running streams; the Content-Session tag keeps
+// their messages apart.
+func TestStreamletSharing(t *testing.T) {
+	shared := &services.Compressor{}
+	dir := streamlet.NewDirectory()
+	dir.Register("shared/compress", func() streamlet.Processor { return shared })
+
+	src := `
+streamlet c { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "shared/compress"; } }
+stream flowA { streamlet s = new-streamlet (c); }
+stream flowB { streamlet s = new-streamlet (c); }
+`
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(name string) (*stream.Stream, *stream.Inlet, *stream.Outlet) {
+		st, err := stream.FromConfig(cfg, name, nil, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := st.OpenInlet(mcl.PortRef{Inst: "s", Port: "pi"}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := st.OpenOutlet(mcl.PortRef{Inst: "s", Port: "po"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Start()
+		t.Cleanup(st.End)
+		return st, in, out
+	}
+	stA, inA, outA := run("flowA")
+	stB, inB, outB := run("flowB")
+
+	// Both streams use the very same processor instance.
+	if stA.Streamlet("s").Processor() != stB.Streamlet("s").Processor() {
+		t.Fatal("processor instance not shared")
+	}
+
+	var wg sync.WaitGroup
+	push := func(in *stream.Inlet, prefix string) {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			m := mime.NewMessage(services.TypePlainText,
+				[]byte(fmt.Sprintf("%s-%02d %s", prefix, i, services.GenText(512, int64(i)))))
+			if err := in.Send(m); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go push(inA, "A")
+	go push(inB, "B")
+	wg.Wait()
+
+	check := func(out *stream.Outlet, st *stream.Stream, prefix string) {
+		for i := 0; i < 20; i++ {
+			m, err := out.Receive(5 * time.Second)
+			if err != nil {
+				t.Fatalf("%s message %d: %v", prefix, i, err)
+			}
+			if m.Session() != st.SessionID() {
+				t.Fatalf("%s message carries session %q, want %q", prefix, m.Session(), st.SessionID())
+			}
+		}
+	}
+	check(outA, stA, "A")
+	check(outB, stB, "B")
+	if stA.SessionID() == stB.SessionID() {
+		t.Error("streams share a session id")
+	}
+}
+
+// TestRecursiveCompositionEndToEnd runs the Figure 4-9 idiom live: a stream
+// reused as a composite streamlet inside another stream, messages flowing
+// through both layers.
+func TestRecursiveCompositionEndToEnd(t *testing.T) {
+	src := `
+streamlet signer { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "integrity/sign"; } }
+streamlet compressor { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "text/compress"; } }
+stream innerFlow {
+	streamlet a = new-streamlet (signer);
+	streamlet b = new-streamlet (compressor);
+	connect (a.po, b.pi);
+}
+streamlet innerFlow { port { in pi : text; out po : text; } attribute { type = STATEFUL; library = "mcl:innerFlow"; } }
+streamlet cache { port { in pi : text; out po : text; } attribute { type = STATEFUL; library = "general/cache"; } }
+main stream outerFlow {
+	streamlet k = new-streamlet (cache);
+	streamlet f = new-streamlet (innerFlow);
+	connect (k.po, f.pi);
+}
+`
+	dir := streamlet.NewDirectory()
+	services.RegisterAll(dir)
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := stream.FromConfig(cfg, "outerFlow", nil, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.End()
+	in, err := st.OpenInlet(mcl.PortRef{Inst: "k", Port: "pi"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := st.Inner("f")
+	if inner == nil {
+		t.Fatal("composite missing")
+	}
+	out, err := inner.OpenOutlet(mcl.PortRef{Inst: "b", Port: "po"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+
+	body := services.GenText(4096, 1)
+	if err := in.Send(mime.NewMessage(services.TypePlainText, append([]byte(nil), body...))); err != nil {
+		t.Fatal(err)
+	}
+	m, err := out.Receive(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The flow passed cache → signer → compressor: compressed, tagged, and
+	// carrying both reverse peers.
+	if m.Len() >= len(body) {
+		t.Error("not compressed")
+	}
+	peers := m.Peers()
+	if len(peers) != 2 || peers[0] != services.SignerPeerID || peers[1] != services.CompressorPeerID {
+		t.Errorf("peers = %v", peers)
+	}
+	// Client restores it fully.
+	mc := mobigate.NewClient(mobigate.ClientOptions{}, nil)
+	back, err := mc.Process(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.Body(), body) {
+		t.Error("round trip failed")
+	}
+}
+
+// TestEventDrivenSessionsOverTCP raises an event while TCP sessions are
+// live; every per-session stream instance reconfigures.
+func TestEventDrivenSessionsOverTCP(t *testing.T) {
+	src := `
+streamlet cache { port { in pi : text; out po : text; } attribute { type = STATEFUL; library = "general/cache"; } }
+streamlet compressor { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "text/compress"; } }
+main stream adaptive {
+	streamlet k = new-streamlet (cache);
+	streamlet c = new-streamlet (compressor);
+	when (LOW_BANDWIDTH) {
+		connect (k.po, c.pi);
+	}
+}
+`
+	gw := mobigate.NewGateway(mobigate.GatewayOptions{})
+	defer gw.Close()
+	if err := gw.LoadScript(src); err != nil {
+		t.Fatal(err)
+	}
+	st, err := gw.Deploy("adaptive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gw.Raise(event.LOW_BANDWIDTH, ""); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Reconfigurations() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st.Reconfigurations() != 1 {
+		t.Fatalf("reconfigurations = %d", st.Reconfigurations())
+	}
+	// The post-reconfiguration topology compresses: k → c.
+	in, err := st.OpenInlet(mobigate.Port("k", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(mobigate.Port("c", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := services.GenText(4096, 2)
+	if err := in.Send(mime.NewMessage(services.TypePlainText, body)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := out.Receive(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() >= len(body) {
+		t.Error("reconfigured flow did not compress")
+	}
+}
+
+// TestUpstreamDirection exercises §3.2's note that the architecture also
+// addresses client-to-server flows: the MobiGATE "server" runs on the
+// mobile node adapting the upload (compressing before the expensive link),
+// and the fixed host reverse-processes with the thin-client machinery.
+func TestUpstreamDirection(t *testing.T) {
+	// Mobile-side gateway compresses uploads.
+	mobile := mobigate.NewGateway(mobigate.GatewayOptions{})
+	defer mobile.Close()
+	if err := mobile.LoadScript(`
+streamlet compressor {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+main stream upload {
+	streamlet c = new-streamlet (compressor);
+}`); err != nil {
+		t.Fatal(err)
+	}
+	st, err := mobile.Deploy("upload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := st.OpenInlet(mobigate.Port("c", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(mobigate.Port("c", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The fixed host uses the same reverse-processing machinery.
+	fixedHost := mobigate.NewClient(mobigate.ClientOptions{}, nil)
+
+	body := services.GenText(8192, 11)
+	if err := in.Send(mime.NewMessage(services.TypePlainText, append([]byte(nil), body...))); err != nil {
+		t.Fatal(err)
+	}
+	m, err := out.Receive(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() >= len(body) {
+		t.Error("upload not compressed before the wireless hop")
+	}
+	got, err := fixedHost.Process(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Body(), body) {
+		t.Error("fixed host did not restore the upload")
+	}
+}

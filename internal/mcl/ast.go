@@ -1,0 +1,300 @@
+package mcl
+
+import (
+	"mobigate/internal/mime"
+)
+
+// File is a parsed MCL script: a set of streamlet definitions, channel
+// definitions, and stream (composition) descriptions.
+type File struct {
+	Streamlets []*StreamletDecl
+	Channels   []*ChannelDecl
+	Streams    []*StreamDecl
+}
+
+// PortDir distinguishes input (sink) from output (source) ports.
+type PortDir int
+
+const (
+	// PortIn is a sink port: the entity reads messages from it.
+	PortIn PortDir = iota
+	// PortOut is a source port: the entity writes messages to it.
+	PortOut
+)
+
+func (d PortDir) String() string {
+	if d == PortIn {
+		return "in"
+	}
+	return "out"
+}
+
+// PortDecl declares a typed port (Figure 4-3): `in pi : multipart/mixed;`.
+type PortDecl struct {
+	Dir  PortDir
+	Name string
+	Type mime.MediaType
+	Pos  Pos
+}
+
+// StreamletKind is the Type attribute: STATELESS streamlets may be pooled
+// and shared between streams; STATEFUL ones are per-stream (§3.3.4).
+type StreamletKind int
+
+const (
+	Stateless StreamletKind = iota
+	Stateful
+)
+
+func (k StreamletKind) String() string {
+	if k == Stateless {
+		return "STATELESS"
+	}
+	return "STATEFUL"
+}
+
+// StreamletDecl is a streamlet definition per Figure 4-3, extended with
+// the §8.2.1 control-interface recommendation: attribute entries of the
+// form `param-<name> = <value>;` become operation parameters the
+// coordinator hands to the streamlet at instantiation (e.g. a compression
+// rate for the text compressor).
+type StreamletDecl struct {
+	Name        string
+	Ports       []PortDecl
+	Kind        StreamletKind
+	Library     string // code-level component, e.g. "general/switch"
+	Description string
+	// Params are control-interface parameters, keyed without the "param-"
+	// prefix; values keep their source spelling.
+	Params map[string]string
+	Pos    Pos
+}
+
+// Port looks up a declared port by name.
+func (d *StreamletDecl) Port(name string) (PortDecl, bool) {
+	for _, p := range d.Ports {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PortDecl{}, false
+}
+
+// ChannelMode is the channel Type attribute (Figure 4-4): synchronous
+// channels are zero-length buffers, asynchronous ones are FIFO buffers.
+type ChannelMode int
+
+const (
+	Async ChannelMode = iota
+	Sync
+)
+
+func (m ChannelMode) String() string {
+	if m == Sync {
+		return "SYNC"
+	}
+	return "ASYNC"
+}
+
+// ChannelCategory captures the pending-unit disconnect semantics of §4.2.2.
+type ChannelCategory int
+
+const (
+	// CatBK (break-keep) is the default: the channel keeps its sink
+	// connection when detached from its source, so pending units drain.
+	CatBK ChannelCategory = iota
+	// CatS guarantees no pending units ever exist in the channel.
+	CatS
+	// CatBB disconnects both ends as soon as one end is disconnected.
+	CatBB
+	// CatKB keeps the source side when the sink is disconnected.
+	CatKB
+	// CatKK cannot be disconnected at either side.
+	CatKK
+)
+
+var categoryNames = map[ChannelCategory]string{
+	CatS: "S", CatBB: "BB", CatBK: "BK", CatKB: "KB", CatKK: "KK",
+}
+
+func (c ChannelCategory) String() string { return categoryNames[c] }
+
+// ParseChannelCategory maps the attribute token to a category.
+func ParseChannelCategory(s string) (ChannelCategory, bool) {
+	for c, n := range categoryNames {
+		if n == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// ChannelDecl is a channel definition per Figure 4-4.
+type ChannelDecl struct {
+	Name     string
+	Ports    []PortDecl // exactly one in, one out after validation
+	Mode     ChannelMode
+	Category ChannelCategory
+	BufferKB int // FIFO capacity in KBytes for Async channels
+	Pos      Pos
+}
+
+// In returns the channel's sink-side (input) port.
+func (d *ChannelDecl) In() PortDecl {
+	for _, p := range d.Ports {
+		if p.Dir == PortIn {
+			return p
+		}
+	}
+	return PortDecl{}
+}
+
+// Out returns the channel's source-side (output) port.
+func (d *ChannelDecl) Out() PortDecl {
+	for _, p := range d.Ports {
+		if p.Dir == PortOut {
+			return p
+		}
+	}
+	return PortDecl{}
+}
+
+// StreamDecl is a stream (coordination script) per Figure 4-5. Body holds
+// the initial-configuration statements; Whens the event reactions.
+type StreamDecl struct {
+	Name  string
+	Main  bool
+	Body  []Stmt
+	Whens []*WhenBlock
+	Pos   Pos
+}
+
+// WhenBlock is `when (EVENT) { ...actions... }`.
+type WhenBlock struct {
+	Event string
+	Body  []Stmt
+	Pos   Pos
+}
+
+// PortRef references `instance.port` inside a stream body.
+type PortRef struct {
+	Inst string
+	Port string
+	Pos  Pos
+}
+
+func (r PortRef) String() string { return r.Inst + "." + r.Port }
+
+// Stmt is one composition statement inside a stream or when block.
+type Stmt interface {
+	stmt()
+	Position() Pos
+}
+
+// NewStreamletStmt is `streamlet s1, s2 = new-streamlet (def);`.
+type NewStreamletStmt struct {
+	Vars []string
+	Def  string
+	Pos  Pos
+}
+
+// NewChannelStmt is `channel c1, c2 = new-channel (def);`.
+type NewChannelStmt struct {
+	Vars []string
+	Def  string
+	Pos  Pos
+}
+
+// RemoveStreamletStmt is `remove-streamlet (s1);`.
+type RemoveStreamletStmt struct {
+	Var string
+	Pos Pos
+}
+
+// RemoveChannelStmt is `remove-channel (c1);`.
+type RemoveChannelStmt struct {
+	Var string
+	Pos Pos
+}
+
+// ConnectStmt is `connect (p.o, q.i[, c]);`. When Channel is empty the
+// system creates a default asynchronous BK channel of 100 KBytes (§4.2.3).
+type ConnectStmt struct {
+	From    PortRef
+	To      PortRef
+	Channel string // optional explicit channel variable
+	Pos     Pos
+}
+
+// DisconnectStmt is `disconnect (p.o, q.i);`.
+type DisconnectStmt struct {
+	From PortRef
+	To   PortRef
+	Pos  Pos
+}
+
+// DisconnectAllStmt is `disconnectall (s);`.
+type DisconnectAllStmt struct {
+	Var string
+	Pos Pos
+}
+
+func (*NewStreamletStmt) stmt()    {}
+func (*NewChannelStmt) stmt()      {}
+func (*RemoveStreamletStmt) stmt() {}
+func (*RemoveChannelStmt) stmt()   {}
+func (*ConnectStmt) stmt()         {}
+func (*DisconnectStmt) stmt()      {}
+func (*DisconnectAllStmt) stmt()   {}
+
+func (s *NewStreamletStmt) Position() Pos    { return s.Pos }
+func (s *NewChannelStmt) Position() Pos      { return s.Pos }
+func (s *RemoveStreamletStmt) Position() Pos { return s.Pos }
+func (s *RemoveChannelStmt) Position() Pos   { return s.Pos }
+func (s *ConnectStmt) Position() Pos         { return s.Pos }
+func (s *DisconnectStmt) Position() Pos      { return s.Pos }
+func (s *DisconnectAllStmt) Position() Pos   { return s.Pos }
+
+// Streamlet looks up a streamlet definition by name.
+func (f *File) Streamlet(name string) (*StreamletDecl, bool) {
+	for _, d := range f.Streamlets {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Channel looks up a channel definition by name.
+func (f *File) Channel(name string) (*ChannelDecl, bool) {
+	for _, d := range f.Channels {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Stream looks up a stream declaration by name.
+func (f *File) Stream(name string) (*StreamDecl, bool) {
+	for _, d := range f.Streams {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// MainStream returns the stream labeled main, or the sole stream when only
+// one is declared.
+func (f *File) MainStream() (*StreamDecl, bool) {
+	for _, d := range f.Streams {
+		if d.Main {
+			return d, true
+		}
+	}
+	if len(f.Streams) == 1 {
+		return f.Streams[0], true
+	}
+	return nil, false
+}

@@ -1,0 +1,519 @@
+package mcl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mobigate/internal/mime"
+)
+
+// DefaultBufferKB is the buffer of the implicit channel the system creates
+// for a two-argument connect(...): asynchronous, BK, 100 KBytes (§4.2.3).
+const DefaultBufferKB = 100
+
+// CompositeLibraryPrefix marks a streamlet declaration as being implemented
+// by an MCL stream (recursive composition, §4.4.2): library = "mcl:name".
+const CompositeLibraryPrefix = "mcl:"
+
+// InstanceKind distinguishes native streamlets from composite (stream-
+// backed) streamlets.
+type InstanceKind int
+
+const (
+	// KindStreamlet instantiates a code-level (native) streamlet.
+	KindStreamlet InstanceKind = iota
+	// KindComposite instantiates a stream reused as a streamlet (§4.4.2).
+	KindComposite
+)
+
+func (k InstanceKind) String() string {
+	if k == KindComposite {
+		return "composite"
+	}
+	return "streamlet"
+}
+
+// Instance is one streamlet instance inside a stream configuration.
+type Instance struct {
+	Var  string
+	Def  string       // definition name as written in the script
+	Kind InstanceKind //
+	// Decl is the effective interface: the streamlet declaration itself,
+	// or, for composites, a synthesized declaration whose ports are the
+	// inner ports left unsatisfied by inner connections (§5.1.4).
+	Decl *StreamletDecl
+	// Stream is the backing stream name for composites ("" otherwise).
+	Stream string
+	// PortMap maps each interface port name of a composite to the inner
+	// instance port it stands for (nil for native streamlets).
+	PortMap map[string]PortRef
+	Pos     Pos
+}
+
+// ChannelInstance is one channel instance inside a stream configuration.
+type ChannelInstance struct {
+	Var      string
+	Decl     *ChannelDecl
+	Implicit bool // created by a two-argument connect
+	Pos      Pos
+}
+
+// Connection is a routing-table row: producer port → channel → consumer
+// port. It is the unit the Coordination Manager uses to route messages.
+type Connection struct {
+	From    PortRef
+	To      PortRef
+	Channel string
+	Pos     Pos
+}
+
+// WhenConfig is a compiled event reaction.
+type WhenConfig struct {
+	Event   string
+	Actions []Stmt
+}
+
+// ExternalPort is an inner port left unsatisfied by the stream's initial
+// connections and therefore exported on the composite interface (§5.1.4).
+type ExternalPort struct {
+	// Decl carries the exported name (inner "inst.port" flattened to
+	// "inst_port") and the port's direction and type.
+	Decl PortDecl
+	// Inner is the inner instance port this external port stands for.
+	Inner PortRef
+}
+
+// StreamConfig is the configuration table derived from one stream
+// description: meta-information on streamlet composition, message type
+// constraints, port connections and routing (§3.3.1).
+type StreamConfig struct {
+	Name      string
+	Main      bool
+	Instances map[string]*Instance
+	Channels  map[string]*ChannelInstance
+	// Connections in declaration order (the routing table).
+	Connections []*Connection
+	Whens       []*WhenConfig
+	// ExternalPorts is the derived interface when this stream is reused as
+	// a composite streamlet: inner ports unsatisfied by inner connections.
+	ExternalPorts []ExternalPort
+	// Order preserves instance declaration order for deterministic setup.
+	Order []string
+}
+
+// Instance returns the named instance, or nil.
+func (sc *StreamConfig) Instance(v string) *Instance { return sc.Instances[v] }
+
+// Config is the full compiled script: all configuration tables plus the
+// resolved declarations, ready for the Coordination Manager.
+type Config struct {
+	File     *File
+	Registry *mime.Registry
+	Streams  map[string]*StreamConfig
+	// Main is the entry stream name ("" when the script has none, e.g. a
+	// pure library of definitions).
+	Main string
+}
+
+// Stream returns the named compiled stream, or nil.
+func (c *Config) Stream(name string) *StreamConfig { return c.Streams[name] }
+
+// MainStream returns the compiled entry stream, or nil.
+func (c *Config) MainStream() *StreamConfig {
+	if c.Main == "" {
+		return nil
+	}
+	return c.Streams[c.Main]
+}
+
+// Compile parses and compiles src against reg (nil means the default
+// registry). It performs every compile-time validation of §3.3.6/§4.4.1:
+// definition resolution, port existence and direction checks, and MIME
+// subtype compatibility on every connection.
+func Compile(src string, reg *mime.Registry) (*Config, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(f, reg)
+}
+
+// CompileFile compiles an already-parsed file.
+func CompileFile(f *File, reg *mime.Registry) (*Config, error) {
+	if reg == nil {
+		reg = mime.DefaultRegistry()
+	}
+	c := &compiler{
+		file:    f,
+		reg:     reg,
+		cfg:     &Config{File: f, Registry: reg, Streams: make(map[string]*StreamConfig)},
+		visited: make(map[string]int),
+	}
+	// Compile every stream; composites force dependency-order recursion.
+	for _, s := range f.Streams {
+		if _, err := c.compileStream(s.Name); err != nil {
+			return nil, err
+		}
+	}
+	if m, ok := f.MainStream(); ok {
+		c.cfg.Main = m.Name
+	}
+	return c.cfg, nil
+}
+
+type compiler struct {
+	file *File
+	reg  *mime.Registry
+	cfg  *Config
+	// visited: 0 unvisited, 1 in progress (cycle detection), 2 done.
+	visited map[string]int
+}
+
+func (c *compiler) compileStream(name string) (*StreamConfig, error) {
+	if sc, ok := c.cfg.Streams[name]; ok {
+		return sc, nil
+	}
+	decl, ok := c.file.Stream(name)
+	if !ok {
+		return nil, fmt.Errorf("mcl: unknown stream %q", name)
+	}
+	switch c.visited[name] {
+	case 1:
+		return nil, errf(decl.Pos, "recursive composition cycle through stream %q", name)
+	}
+	c.visited[name] = 1
+	defer func() { c.visited[name] = 2 }()
+
+	sc := &StreamConfig{
+		Name:      name,
+		Main:      decl.Main,
+		Instances: make(map[string]*Instance),
+		Channels:  make(map[string]*ChannelInstance),
+	}
+
+	for _, st := range decl.Body {
+		if err := c.compileStmt(sc, st, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, w := range decl.Whens {
+		wc := &WhenConfig{Event: w.Event}
+		for _, st := range w.Body {
+			if err := c.compileStmt(sc, st, true); err != nil {
+				return nil, err
+			}
+			wc.Actions = append(wc.Actions, st)
+		}
+		sc.Whens = append(sc.Whens, wc)
+	}
+
+	sc.ExternalPorts = deriveExternalPorts(sc)
+	c.cfg.Streams[name] = sc
+	return sc, nil
+}
+
+// compileStmt validates one statement in the context of sc. Statements in
+// when-blocks (inWhen) are validated for name resolution and type
+// compatibility but do not contribute to the initial routing table.
+func (c *compiler) compileStmt(sc *StreamConfig, st Stmt, inWhen bool) error {
+	switch s := st.(type) {
+	case *NewStreamletStmt:
+		for _, v := range s.Vars {
+			inst, err := c.resolveStreamletDef(s.Def, v, s.Pos)
+			if err != nil {
+				return err
+			}
+			if err := declareVar(sc, v, s.Pos); err != nil {
+				return err
+			}
+			sc.Instances[v] = inst
+			sc.Order = append(sc.Order, v)
+		}
+	case *NewChannelStmt:
+		decl, ok := c.file.Channel(s.Def)
+		if !ok {
+			return errf(s.Pos, "unknown channel definition %q", s.Def)
+		}
+		for _, v := range s.Vars {
+			if err := declareVar(sc, v, s.Pos); err != nil {
+				return err
+			}
+			sc.Channels[v] = &ChannelInstance{Var: v, Decl: decl, Pos: s.Pos}
+		}
+	case *RemoveStreamletStmt:
+		if sc.Instances[s.Var] == nil {
+			return errf(s.Pos, "remove-streamlet: unknown streamlet instance %q", s.Var)
+		}
+	case *RemoveChannelStmt:
+		if sc.Channels[s.Var] == nil {
+			return errf(s.Pos, "remove-channel: unknown channel instance %q", s.Var)
+		}
+	case *ConnectStmt:
+		conn, err := c.checkConnect(sc, s)
+		if err != nil {
+			return err
+		}
+		if !inWhen {
+			if err := checkPortFree(sc, s); err != nil {
+				return err
+			}
+			sc.Connections = append(sc.Connections, conn)
+		}
+	case *DisconnectStmt:
+		if _, err := c.resolvePort(sc, s.From, PortOut); err != nil {
+			return err
+		}
+		if _, err := c.resolvePort(sc, s.To, PortIn); err != nil {
+			return err
+		}
+	case *DisconnectAllStmt:
+		if sc.Instances[s.Var] == nil {
+			return errf(s.Pos, "disconnectall: unknown streamlet instance %q", s.Var)
+		}
+	default:
+		return errf(st.Position(), "unsupported statement %T", st)
+	}
+	return nil
+}
+
+func declareVar(sc *StreamConfig, v string, pos Pos) error {
+	if sc.Instances[v] != nil || sc.Channels[v] != nil {
+		return errf(pos, "duplicate instance variable %q in stream %s", v, sc.Name)
+	}
+	return nil
+}
+
+// resolveStreamletDef resolves a new-streamlet(def): a native streamlet
+// declaration; a composite wrapper declaration (its name matches a stream
+// declaration, the Figure 4-9 idiom, or its library is "mcl:stream"); or a
+// bare stream name (auto-derived composite interface).
+func (c *compiler) resolveStreamletDef(def, v string, pos Pos) (*Instance, error) {
+	if d, ok := c.file.Streamlet(def); ok {
+		backing := ""
+		if strings.HasPrefix(d.Library, CompositeLibraryPrefix) {
+			backing = strings.TrimPrefix(d.Library, CompositeLibraryPrefix)
+		} else if _, isStream := c.file.Stream(d.Name); isStream {
+			backing = d.Name
+		}
+		if backing == "" {
+			return &Instance{Var: v, Def: def, Kind: KindStreamlet, Decl: d, Pos: pos}, nil
+		}
+		bsc, err := c.compileStream(backing)
+		if err != nil {
+			return nil, errf(pos, "composite streamlet %q: %v", def, err)
+		}
+		pm, err := c.mapCompositeInterface(d, bsc)
+		if err != nil {
+			return nil, err
+		}
+		return &Instance{Var: v, Def: def, Kind: KindComposite, Decl: d, Stream: backing, PortMap: pm, Pos: pos}, nil
+	}
+	if _, ok := c.file.Stream(def); ok {
+		bsc, err := c.compileStream(def)
+		if err != nil {
+			return nil, err
+		}
+		// Auto-derived wrapper: export every unsatisfied inner port.
+		decl := &StreamletDecl{
+			Name:        def,
+			Kind:        Stateful, // a composition carries per-stream state
+			Library:     CompositeLibraryPrefix + def,
+			Description: "composite streamlet derived from stream " + def,
+			Pos:         pos,
+		}
+		pm := make(map[string]PortRef, len(bsc.ExternalPorts))
+		for _, ep := range bsc.ExternalPorts {
+			decl.Ports = append(decl.Ports, ep.Decl)
+			pm[ep.Decl.Name] = ep.Inner
+		}
+		return &Instance{Var: v, Def: def, Kind: KindComposite, Decl: decl, Stream: def, PortMap: pm, Pos: pos}, nil
+	}
+	return nil, errf(pos, "unknown streamlet definition %q", def)
+}
+
+// mapCompositeInterface binds each port the wrapper declaration exports to
+// a type-compatible unsatisfied inner port of the backing stream (first
+// compatible match in declaration order, each inner port used at most
+// once). The wrapper may export a subset of the unsatisfied ports — inner
+// ports left unbound stay private to the composition (e.g. ports only
+// connected by when-block reconfigurations, like Figure 4-6's optional
+// streamlets).
+func (c *compiler) mapCompositeInterface(d *StreamletDecl, bsc *StreamConfig) (map[string]PortRef, error) {
+	used := make(map[string]bool)
+	pm := make(map[string]PortRef, len(d.Ports))
+	for _, p := range d.Ports {
+		found := false
+		for _, ep := range bsc.ExternalPorts {
+			if used[ep.Decl.Name] || ep.Decl.Dir != p.Dir {
+				continue
+			}
+			// Inputs: data entering the declared port must be acceptable
+			// at the inner sink. Outputs: data leaving the inner source
+			// must conform to the declared type.
+			var ok bool
+			if p.Dir == PortIn {
+				ok = c.reg.SubtypeOf(p.Type, ep.Decl.Type)
+			} else {
+				ok = c.reg.SubtypeOf(ep.Decl.Type, p.Type)
+			}
+			if ok {
+				used[ep.Decl.Name] = true
+				pm[p.Name] = ep.Inner
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, errf(p.Pos,
+				"composite %s: no unsatisfied %s port of stream %s is compatible with declared port %s : %s",
+				d.Name, p.Dir, bsc.Name, p.Name, p.Type)
+		}
+	}
+	return pm, nil
+}
+
+// resolvePort resolves inst.port and checks its direction.
+func (c *compiler) resolvePort(sc *StreamConfig, ref PortRef, want PortDir) (PortDecl, error) {
+	inst := sc.Instances[ref.Inst]
+	if inst == nil {
+		return PortDecl{}, errf(ref.Pos, "unknown streamlet instance %q", ref.Inst)
+	}
+	p, ok := inst.Decl.Port(ref.Port)
+	if !ok {
+		return PortDecl{}, errf(ref.Pos, "streamlet %s (%s) has no port %q", ref.Inst, inst.Def, ref.Port)
+	}
+	if p.Dir != want {
+		return PortDecl{}, errf(ref.Pos, "port %s is an %s port; a connection needs its %s side here",
+			ref, p.Dir, want)
+	}
+	return p, nil
+}
+
+// checkConnect validates a connect statement and returns its routing row.
+// Restrictions of §4.4.1: streamlet ports connect only through channels
+// (structurally guaranteed: the row always names a channel, implicit or
+// explicit), and the source type must equal or specialize the sink type,
+// threaded through the channel's own port types when one is given.
+func (c *compiler) checkConnect(sc *StreamConfig, s *ConnectStmt) (*Connection, error) {
+	from, err := c.resolvePort(sc, s.From, PortOut)
+	if err != nil {
+		return nil, err
+	}
+	to, err := c.resolvePort(sc, s.To, PortIn)
+	if err != nil {
+		return nil, err
+	}
+	if s.From.Inst == s.To.Inst {
+		return nil, errf(s.Pos, "cannot connect streamlet %q to itself", s.From.Inst)
+	}
+
+	conn := &Connection{From: s.From, To: s.To, Channel: s.Channel, Pos: s.Pos}
+	if s.Channel == "" {
+		// Implicit default channel: the check degenerates to source ⊑ sink.
+		if !c.reg.SubtypeOf(from.Type, to.Type) {
+			return nil, errf(s.Pos, "type mismatch: source %s has type %s which is not a subtype of sink %s type %s",
+				s.From, from.Type, s.To, to.Type)
+		}
+		return conn, nil
+	}
+	ch := sc.Channels[s.Channel]
+	if ch == nil {
+		return nil, errf(s.Pos, "unknown channel instance %q", s.Channel)
+	}
+	cin, cout := ch.Decl.In(), ch.Decl.Out()
+	if !c.reg.SubtypeOf(from.Type, cin.Type) {
+		return nil, errf(s.Pos, "type mismatch: source %s type %s is not a subtype of channel %s input type %s",
+			s.From, from.Type, s.Channel, cin.Type)
+	}
+	if !c.reg.SubtypeOf(cout.Type, to.Type) {
+		return nil, errf(s.Pos, "type mismatch: channel %s output type %s is not a subtype of sink %s type %s",
+			s.Channel, cout.Type, s.To, to.Type)
+	}
+	return conn, nil
+}
+
+// checkPortFree rejects a second initial connection on the same source or
+// sink port: the initial topology must be unambiguous (runtime fan-in is
+// still possible through reconfiguration, tracked by the queue's
+// producer/consumer counts).
+func checkPortFree(sc *StreamConfig, s *ConnectStmt) error {
+	for _, conn := range sc.Connections {
+		if conn.From.Inst == s.From.Inst && conn.From.Port == s.From.Port {
+			return errf(s.Pos, "source port %s already connected (at %s)", s.From, conn.Pos)
+		}
+		if conn.To.Inst == s.To.Inst && conn.To.Port == s.To.Port {
+			return errf(s.Pos, "sink port %s already connected (at %s)", s.To, conn.Pos)
+		}
+	}
+	return nil
+}
+
+// deriveExternalPorts computes the composite interface per §5.1.4: all
+// inner streamlet ports not involved in any initial connection, exported
+// under flattened names ("inst_port"), in declaration order.
+func deriveExternalPorts(sc *StreamConfig) []ExternalPort {
+	usedFrom := map[string]bool{}
+	usedTo := map[string]bool{}
+	for _, conn := range sc.Connections {
+		usedFrom[conn.From.String()] = true
+		usedTo[conn.To.String()] = true
+	}
+	var ext []ExternalPort
+	for _, v := range sc.Order { // declaration order keeps output stable
+		inst := sc.Instances[v]
+		if inst == nil {
+			continue
+		}
+		for _, p := range inst.Decl.Ports {
+			ref := PortRef{Inst: v, Port: p.Name, Pos: p.Pos}
+			exported := PortDecl{Dir: p.Dir, Name: v + "_" + p.Name, Type: p.Type, Pos: p.Pos}
+			if p.Dir == PortIn && !usedTo[ref.String()] {
+				ext = append(ext, ExternalPort{Decl: exported, Inner: ref})
+			}
+			if p.Dir == PortOut && !usedFrom[ref.String()] {
+				ext = append(ext, ExternalPort{Decl: exported, Inner: ref})
+			}
+		}
+	}
+	return ext
+}
+
+// MergeFiles combines several parsed files into one compilation unit —
+// e.g. a reusable streamlet-library file plus an application script. The
+// global-name uniqueness rules of §5.1 apply across the whole unit.
+func MergeFiles(files ...*File) (*File, error) {
+	merged := &File{}
+	for _, f := range files {
+		merged.Streamlets = append(merged.Streamlets, f.Streamlets...)
+		merged.Channels = append(merged.Channels, f.Channels...)
+		merged.Streams = append(merged.Streams, f.Streams...)
+	}
+	if err := validateFile(merged); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}
+
+// CompileSources parses each named source and compiles them together as one
+// unit. The name keys appear in error messages.
+func CompileSources(sources map[string]string, reg *mime.Registry) (*Config, error) {
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	files := make([]*File, 0, len(names))
+	for _, n := range names {
+		f, err := Parse(sources[n])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", n, err)
+		}
+		files = append(files, f)
+	}
+	merged, err := MergeFiles(files...)
+	if err != nil {
+		return nil, err
+	}
+	return CompileFile(merged, reg)
+}

@@ -1,0 +1,375 @@
+package mcl
+
+import (
+	"strings"
+	"testing"
+
+	"mobigate/internal/mime"
+)
+
+func compileOK(t *testing.T, src string) *Config {
+	t.Helper()
+	cfg, err := Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestCompileDistillation(t *testing.T) {
+	cfg := compileOK(t, distillationScript)
+	sc := cfg.Stream("streamApp")
+	if sc == nil {
+		t.Fatal("streamApp not compiled")
+	}
+	if len(sc.Instances) != 7 {
+		t.Errorf("instances = %d", len(sc.Instances))
+	}
+	if len(sc.Channels) != 3 {
+		t.Errorf("channels = %d", len(sc.Channels))
+	}
+	if len(sc.Connections) != 5 {
+		t.Errorf("connections = %d", len(sc.Connections))
+	}
+	if len(sc.Whens) != 2 {
+		t.Errorf("whens = %d", len(sc.Whens))
+	}
+	// Main: single stream is implicit main.
+	if cfg.Main != "streamApp" {
+		t.Errorf("main = %q", cfg.Main)
+	}
+	// Routing row shape.
+	row := sc.Connections[0]
+	if row.From.String() != "s1.po1" || row.To.String() != "s2.pi" || row.Channel != "c1" {
+		t.Errorf("row 0 = %+v", row)
+	}
+	// Implicit channel rows have no channel variable.
+	if sc.Connections[1].Channel != "" {
+		t.Errorf("row 1 channel = %q", sc.Connections[1].Channel)
+	}
+}
+
+func TestCompileExternalPortsDerivation(t *testing.T) {
+	cfg := compileOK(t, distillationScript)
+	sc := cfg.Stream("streamApp")
+	var ins, outs []string
+	for _, ep := range sc.ExternalPorts {
+		if ep.Decl.Dir == PortIn {
+			ins = append(ins, ep.Inner.String())
+		} else {
+			outs = append(outs, ep.Inner.String())
+		}
+	}
+	// Unsatisfied sinks: s1.pi (entry), s3.pi (only connected on LOW_GRAYS),
+	// s4.pi (only on LOW_ENERGY).
+	wantIns := []string{"s1.pi", "s3.pi", "s4.pi"}
+	if strings.Join(ins, " ") != strings.Join(wantIns, " ") {
+		t.Errorf("external ins = %v, want %v", ins, wantIns)
+	}
+	// Unsatisfied sources: s3.po and s7.po.
+	wantOuts := []string{"s3.po", "s7.po"}
+	if strings.Join(outs, " ") != strings.Join(wantOuts, " ") {
+		t.Errorf("external outs = %v, want %v", outs, wantOuts)
+	}
+	// Exported names are flattened.
+	if sc.ExternalPorts[0].Decl.Name != "s1_pi" {
+		t.Errorf("flattened name = %q", sc.ExternalPorts[0].Decl.Name)
+	}
+}
+
+func TestCompileRecursiveComposition(t *testing.T) {
+	cfg := compileOK(t, recursiveScript+`
+streamlet streamApp {
+	port {
+		in  pi : multipart/mixed;
+		out po : multipart/mixed;
+	}
+	attribute {
+		type = STATEFUL;
+		library = "general/streamApp";
+		description = "match the stream object streamApp to a streamlet";
+	}
+}
+`)
+	if cfg.Main != "compositeStream" {
+		t.Errorf("main = %q", cfg.Main)
+	}
+	sc := cfg.Stream("compositeStream")
+	t2 := sc.Instance("t2")
+	if t2 == nil {
+		t.Fatal("t2 missing")
+	}
+	if t2.Kind != KindComposite || t2.Stream != "streamApp" {
+		t.Errorf("t2 = %+v", t2)
+	}
+	// Declared wrapper port pi must map to the inner entry s1.pi; po to the
+	// only compatible multipart source, s7.po.
+	if got := t2.PortMap["pi"].String(); got != "s1.pi" {
+		t.Errorf("pi maps to %s", got)
+	}
+	if got := t2.PortMap["po"].String(); got != "s7.po" {
+		t.Errorf("po maps to %s", got)
+	}
+}
+
+func TestCompileWithoutWrapperRequiresFlattenedNames(t *testing.T) {
+	// Reusing a stream without a wrapper declaration exports flattened
+	// names (s1_pi), so the Figure 4-9 spelling t2.pi must be rejected.
+	_, err := Compile(recursiveScript, nil)
+	if err == nil || !strings.Contains(err.Error(), "no port") {
+		t.Errorf("want missing-port error, got %v", err)
+	}
+}
+
+func TestCompileAutoDerivedCompositeNames(t *testing.T) {
+	src := `
+streamlet a {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "x/a"; }
+}
+stream inner {
+	streamlet s1 = new-streamlet (a);
+	streamlet s2 = new-streamlet (a);
+	connect (s1.po, s2.pi);
+}
+main stream outer {
+	streamlet u = new-streamlet (a);
+	streamlet v = new-streamlet (inner);
+	connect (u.po, v.s1_pi);
+}
+`
+	cfg := compileOK(t, src)
+	v := cfg.Stream("outer").Instance("v")
+	if v.Kind != KindComposite {
+		t.Fatalf("v kind = %v", v.Kind)
+	}
+	if got := v.PortMap["s1_pi"].String(); got != "s1.pi" {
+		t.Errorf("s1_pi maps to %s", got)
+	}
+	if got := v.PortMap["s2_po"].String(); got != "s2.po" {
+		t.Errorf("s2_po maps to %s", got)
+	}
+}
+
+func TestCompileRecursionCycleDetected(t *testing.T) {
+	src := `
+streamlet base { port { in pi : text; out po : text; } attribute { library = "x"; } }
+streamlet wrapA { port { in pi : text; out po : text; } attribute { library = "mcl:a"; } }
+streamlet wrapB { port { in pi : text; out po : text; } attribute { library = "mcl:b"; } }
+stream a { streamlet s = new-streamlet (wrapB); }
+stream b { streamlet s = new-streamlet (wrapA); }
+`
+	_, err := Compile(src, nil)
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("want recursion cycle error, got %v", err)
+	}
+}
+
+func TestCompileTypeErrors(t *testing.T) {
+	defs := `
+streamlet textsrc { port { out po : text/plain; } attribute { library = "x"; } }
+streamlet textsink { port { in pi : text; } attribute { library = "x"; } }
+streamlet imgsink { port { in pi : image/gif; } attribute { library = "x"; } }
+streamlet richsink { port { in pi : text/richtext; } attribute { library = "x"; } }
+streamlet both { port { in pi : text; out po : text; } attribute { library = "x"; } }
+channel imgchan { port { in cin : image/*; out cout : image/*; } }
+`
+	cases := []struct {
+		name, body, wantSub string
+	}{
+		{"source not subtype of sink", `
+			streamlet a = new-streamlet (textsrc);
+			streamlet b = new-streamlet (imgsink);
+			connect (a.po, b.pi);`, "type mismatch"},
+		{"specialized sink rejects general source", `
+			streamlet a = new-streamlet (textsrc);
+			streamlet b = new-streamlet (richsink);
+			connect (a.po, b.pi);`, "type mismatch"},
+		{"source incompatible with channel input", `
+			streamlet a = new-streamlet (textsrc);
+			streamlet b = new-streamlet (textsink);
+			channel c = new-channel (imgchan);
+			connect (a.po, b.pi, c);`, "channel c input"},
+		{"unknown channel", `
+			streamlet a = new-streamlet (textsrc);
+			streamlet b = new-streamlet (textsink);
+			connect (a.po, b.pi, nosuch);`, "unknown channel instance"},
+		{"unknown def", `streamlet a = new-streamlet (nosuch);`, "unknown streamlet definition"},
+		{"unknown port", `
+			streamlet a = new-streamlet (textsrc);
+			streamlet b = new-streamlet (textsink);
+			connect (a.nope, b.pi);`, "no port"},
+		{"wrong direction", `
+			streamlet a = new-streamlet (textsrc);
+			streamlet b = new-streamlet (textsink);
+			connect (b.pi, a.po);`, "in port"},
+		{"self connection", `
+			streamlet a = new-streamlet (both);
+			connect (a.po, a.pi);`, "itself"},
+		{"double source use", `
+			streamlet a = new-streamlet (textsrc);
+			streamlet b = new-streamlet (textsink);
+			streamlet b2 = new-streamlet (textsink);
+			connect (a.po, b.pi);
+			connect (a.po, b2.pi);`, "already connected"},
+		{"double sink use", `
+			streamlet a = new-streamlet (textsrc);
+			streamlet a2 = new-streamlet (textsrc);
+			streamlet b = new-streamlet (textsink);
+			connect (a.po, b.pi);
+			connect (a2.po, b.pi);`, "already connected"},
+		{"duplicate variable", `
+			streamlet a = new-streamlet (textsrc);
+			streamlet a = new-streamlet (textsrc);`, "duplicate instance variable"},
+		{"remove unknown", `remove-streamlet (ghost);`, "unknown streamlet instance"},
+	}
+	for _, c := range cases {
+		src := defs + "stream s {" + c.body + "}"
+		_, err := Compile(src, nil)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestCompileSubtypeThroughChannel(t *testing.T) {
+	// text/richtext source through a text channel into a text sink: legal,
+	// since text/richtext ⊑ text ⊑ text (§4.4.1's PostScript-to-Text →
+	// Text Compressor example).
+	src := `
+streamlet ps2text { port { in pi : application/postscript; out po : text/richtext; } attribute { library = "x"; } }
+streamlet compress { port { in pi : text; out po : text; } attribute { library = "x"; } }
+channel textchan { port { in cin : text; out cout : text; } }
+stream s {
+	streamlet a = new-streamlet (ps2text);
+	streamlet b = new-streamlet (compress);
+	channel c = new-channel (textchan);
+	connect (a.po, b.pi, c);
+}
+`
+	compileOK(t, src)
+}
+
+func TestCompileRegistryEdgeUsed(t *testing.T) {
+	reg := mime.NewRegistry()
+	if err := reg.AddSubtype(mime.MustParse("application/x-note"), mime.MustParse("text/plain")); err != nil {
+		t.Fatal(err)
+	}
+	src := `
+streamlet notesrc { port { out po : application/x-note; } attribute { library = "x"; } }
+streamlet textsink { port { in pi : text/plain; } attribute { library = "x"; } }
+stream s {
+	streamlet a = new-streamlet (notesrc);
+	streamlet b = new-streamlet (textsink);
+	connect (a.po, b.pi);
+}
+`
+	if _, err := Compile(src, reg); err != nil {
+		t.Errorf("registry edge not honored: %v", err)
+	}
+	if _, err := Compile(src, mime.NewRegistry()); err == nil {
+		t.Error("compile without edge should fail")
+	}
+}
+
+func TestCompileWhenActionsValidated(t *testing.T) {
+	src := `
+streamlet a { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet s1 = new-streamlet (a);
+	streamlet s2 = new-streamlet (a);
+	when (LOW_BANDWIDTH) {
+		connect (s1.po, ghost.pi);
+	}
+}
+`
+	_, err := Compile(src, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown streamlet instance") {
+		t.Errorf("when action not validated: %v", err)
+	}
+}
+
+func TestCompileWhenAllowsReconnectOfOccupiedPort(t *testing.T) {
+	// Occupancy is a runtime property during reconfiguration; when-blocks
+	// may reference ports that are connected initially (they disconnect
+	// first at runtime, Figure 4-8 LOW_GRAYS).
+	cfg := compileOK(t, distillationScript)
+	if len(cfg.Stream("streamApp").Whens[1].Actions) != 3 {
+		t.Error("LOW_GRAYS actions missing")
+	}
+}
+
+func TestCompileCompositeWrapperIncompatible(t *testing.T) {
+	src := `
+streamlet a { port { in pi : image/gif; out po : image/gif; } attribute { library = "x"; } }
+stream inner {
+	streamlet s1 = new-streamlet (a);
+}
+streamlet inner2 { port { in pi : text; out po : text; } attribute { library = "mcl:inner"; } }
+main stream outer {
+	streamlet v = new-streamlet (inner2);
+}
+`
+	_, err := Compile(src, nil)
+	if err == nil || !strings.Contains(err.Error(), "compatible") {
+		t.Errorf("incompatible wrapper accepted: %v", err)
+	}
+}
+
+func TestCompileEmptyFileAndLibraryOnly(t *testing.T) {
+	cfg := compileOK(t, `streamlet a { port { in pi : text; } attribute { library = "x"; } }`)
+	if cfg.Main != "" || len(cfg.Streams) != 0 {
+		t.Errorf("library-only compile: %+v", cfg)
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	cfg := compileOK(t, distillationScript)
+	if cfg.MainStream() == nil {
+		t.Error("MainStream nil")
+	}
+	if cfg.Stream("nope") != nil {
+		t.Error("unknown stream not nil")
+	}
+	empty := &Config{}
+	if empty.MainStream() != nil {
+		t.Error("empty config MainStream not nil")
+	}
+}
+
+func TestMergeFilesAndCompileSources(t *testing.T) {
+	lib := `
+streamlet f { port { in pi : text; out po : text; } attribute { library = "x"; } }
+`
+	app := `
+main stream app {
+	streamlet a = new-streamlet (f);
+	streamlet b = new-streamlet (f);
+	connect (a.po, b.pi);
+}
+`
+	cfg, err := CompileSources(map[string]string{"lib.mcl": lib, "app.mcl": app}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Main != "app" || len(cfg.Stream("app").Instances) != 2 {
+		t.Errorf("merged compile wrong: %+v", cfg.Main)
+	}
+	// The app alone must not compile (definition missing).
+	if _, err := Compile(app, nil); err == nil {
+		t.Error("app compiled without its library")
+	}
+	// Cross-file duplicate names are rejected.
+	if _, err := CompileSources(map[string]string{"a.mcl": lib, "b.mcl": lib}, nil); err == nil {
+		t.Error("duplicate cross-file definitions accepted")
+	}
+	// Parse errors carry the file name.
+	if _, err := CompileSources(map[string]string{"bad.mcl": "wibble"}, nil); err == nil ||
+		!strings.Contains(err.Error(), "bad.mcl") {
+		t.Errorf("error lacks file name: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package mcl
+
+// distillationScript is the thesis's running example: the datatype-specific
+// distillation application of Figures 4-6/4-7/4-8, with streamlet and
+// channel descriptions plus the streamApp composition script.
+const distillationScript = `
+// Streamlet descriptions (Figure 4-7).
+streamlet switch {
+	port {
+		in  pi  : multipart/mixed;
+		out po1 : image/gif;
+		out po2 : application/postscript;
+	}
+	attribute {
+		type = STATELESS;
+		library = "general/switch";
+		description = "Dividing incoming messages based on the semantic type of the data";
+	}
+}
+
+streamlet img_down_sample {
+	port {
+		in  pi : image/*;
+		out po : image/*;
+	}
+	attribute {
+		type = STATELESS;
+		library = "image/downsample";
+		description = "Lossy compression of an image by reducing the sample rate";
+	}
+}
+
+streamlet map_to_16_grays {
+	port {
+		in  pi : image/*;
+		out po : image/*;
+	}
+	attribute {
+		type = STATELESS;
+		library = "image/gray16";
+	}
+}
+
+streamlet powerSaving {
+	port {
+		in pi : multipart/mixed;
+	}
+	attribute {
+		type = STATEFUL;
+		library = "system/powersave";
+	}
+}
+
+streamlet postscript2text {
+	port {
+		in  pi : application/postscript;
+		out po : text/richtext;
+	}
+	attribute {
+		type = STATELESS;
+		library = "text/ps2text";
+	}
+}
+
+streamlet text_compress {
+	port {
+		in  pi : text;
+		out po : text;
+	}
+	attribute {
+		type = STATELESS;
+		library = "text/compress";
+	}
+}
+
+streamlet merge {
+	port {
+		in  pi1 : image/*;
+		in  pi2 : text;
+		out po  : multipart/mixed;
+	}
+	attribute {
+		type = STATEFUL;
+		library = "general/merge";
+	}
+}
+
+// Channel description: a 1024-KByte channel for image traffic.
+channel largeBufferChan {
+	port {
+		in  cin  : image/*;
+		out cout : image/*;
+	}
+	attribute {
+		type = ASYNC;
+		category = BK;
+		buffer = 1024;
+	}
+}
+
+// Stream description (Figure 4-8).
+stream streamApp {
+	streamlet s1 = new-streamlet (switch);
+	streamlet s2 = new-streamlet (img_down_sample);
+	streamlet s3 = new-streamlet (map_to_16_grays);
+	streamlet s4 = new-streamlet (powerSaving);
+	streamlet s5 = new-streamlet (postscript2text);
+	streamlet s6 = new-streamlet (text_compress);
+	streamlet s7 = new-streamlet (merge);
+
+	channel c1, c2, c3 = new-channel (largeBufferChan);
+
+	connect (s1.po1, s2.pi, c1);
+	connect (s1.po2, s5.pi);
+	connect (s2.po, s7.pi1, c2);
+	connect (s5.po, s6.pi);
+	connect (s6.po, s7.pi2);
+
+	when (LOW_ENERGY) {
+		connect (s7.po, s4.pi);
+	}
+	when (LOW_GRAYS) {
+		disconnect (s2.po, s7.pi1);
+		connect (s2.po, s3.pi, c2);
+		connect (s3.po, s7.pi1, c3);
+	}
+}
+`
+
+// recursiveScript reuses streamApp as a composite streamlet (Figure 4-9).
+const recursiveScript = distillationScript + `
+streamlet cache {
+	port {
+		in  pi : multipart/mixed;
+		out po : multipart/mixed;
+	}
+	attribute {
+		type = STATEFUL;
+		library = "general/cache";
+	}
+}
+
+main stream compositeStream {
+	streamlet t1 = new-streamlet (cache);
+	streamlet t2 = new-streamlet (streamApp);
+	connect (t1.po, t2.pi);
+}
+`

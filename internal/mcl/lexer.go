@@ -1,0 +1,236 @@
+package mcl
+
+import (
+	"strings"
+)
+
+// Lexer tokenizes MCL source. Identifiers may contain letters, digits,
+// underscores and interior hyphens (so the primitives `new-streamlet` etc.
+// lex as single tokens and are then keyword-matched); `//` starts a line
+// comment and `/* ... */` a block comment.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes the whole input, returning the token stream (terminated by
+// a TokEOF token) or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peekAt(n int) byte {
+	if lx.off+n >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+n]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || ('0' <= c && c <= '9')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	start := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: start}, nil
+	}
+
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		return lx.lexIdent(start), nil
+	case isDigit(c):
+		return lx.lexNumber(start), nil
+	case c == '"':
+		return lx.lexString(start)
+	}
+
+	lx.advance()
+	var kind TokenKind
+	switch c {
+	case '{':
+		kind = TokLBrace
+	case '}':
+		kind = TokRBrace
+	case '(':
+		kind = TokLParen
+	case ')':
+		kind = TokRParen
+	case ';':
+		kind = TokSemicolon
+	case ':':
+		kind = TokColon
+	case ',':
+		kind = TokComma
+	case '.':
+		kind = TokDot
+	case '=':
+		kind = TokEquals
+	case '/':
+		kind = TokSlash
+	case '*':
+		kind = TokStar
+	default:
+		return Token{}, errf(start, "unexpected character %q", string(c))
+	}
+	return Token{Kind: kind, Text: string(c), Pos: start}, nil
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peekAt(1) == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peekAt(1) == '*' && !lx.afterTypeChar():
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peekAt(1) == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// afterTypeChar reports whether the current offset directly follows an
+// identifier character or '*' with no intervening space. In that position a
+// "/*" sequence is the slash of a media-type expression such as "image/*"
+// or "*/*", not the start of a block comment.
+func (lx *Lexer) afterTypeChar() bool {
+	if lx.off == 0 {
+		return false
+	}
+	p := lx.src[lx.off-1]
+	return isIdentCont(p) || p == '*'
+}
+
+func (lx *Lexer) lexIdent(start Pos) Token {
+	var b strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if isIdentCont(c) {
+			b.WriteByte(lx.advance())
+			continue
+		}
+		// Interior hyphen followed by an identifier character keeps the
+		// token going: new-streamlet, remove-channel, x-raster.
+		if c == '-' && isIdentCont(lx.peekAt(1)) {
+			b.WriteByte(lx.advance())
+			continue
+		}
+		break
+	}
+	text := b.String()
+	if kw, ok := keywords[strings.ToLower(text)]; ok {
+		return Token{Kind: kw, Text: text, Pos: start}
+	}
+	return Token{Kind: TokIdent, Text: text, Pos: start}
+}
+
+func (lx *Lexer) lexNumber(start Pos) Token {
+	var b strings.Builder
+	for lx.off < len(lx.src) && isDigit(lx.peek()) {
+		b.WriteByte(lx.advance())
+	}
+	return Token{Kind: TokNumber, Text: b.String(), Pos: start}
+}
+
+func (lx *Lexer) lexString(start Pos) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for lx.off < len(lx.src) {
+		c := lx.advance()
+		switch c {
+		case '"':
+			return Token{Kind: TokString, Text: b.String(), Pos: start}, nil
+		case '\n':
+			return Token{}, errf(start, "newline in string literal")
+		case '\\':
+			if lx.off >= len(lx.src) {
+				return Token{}, errf(start, "unterminated string literal")
+			}
+			esc := lx.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(esc)
+			default:
+				return Token{}, errf(start, "unknown escape \\%c", esc)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return Token{}, errf(start, "unterminated string literal")
+}

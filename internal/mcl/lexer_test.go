@@ -1,0 +1,161 @@
+package mcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks, err := Lex(`streamlet s { port { in pi : text/plain; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{
+		TokStreamlet, TokIdent, TokLBrace, TokPort, TokLBrace,
+		TokIn, TokIdent, TokColon, TokIdent, TokSlash, TokIdent,
+		TokSemicolon, TokRBrace, TokRBrace, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("token count = %d, want %d: %v", len(got), len(want), toks)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexHyphenatedKeywords(t *testing.T) {
+	toks, err := Lex(`new-streamlet remove-streamlet new-channel remove-channel x-raster`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokNewStreamlet, TokRemoveStreamlet, TokNewChannel, TokRemoveChannel, TokIdent, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+	if toks[4].Text != "x-raster" {
+		t.Errorf("hyphenated ident = %q", toks[4].Text)
+	}
+}
+
+func TestLexTrailingHyphenNotConsumed(t *testing.T) {
+	// "abc-" should lex as ident "abc" and then fail on the stray '-'.
+	if _, err := Lex(`abc- `); err == nil {
+		t.Error("stray hyphen accepted")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	src := `
+// a line comment
+streamlet /* inline */ s {
+/* a block
+   comment */ }
+`
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokStreamlet, TokIdent, TokLBrace, TokRBrace, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("with comments: token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	if _, err := Lex(`streamlet /* never closed`); err == nil {
+		t.Error("unterminated block comment accepted")
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks, err := Lex(`"hello world" "with \"escape\" and \n newline"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "hello world" {
+		t.Errorf("string 0 = %q", toks[0].Text)
+	}
+	if toks[1].Text != "with \"escape\" and \n newline" {
+		t.Errorf("string 1 = %q", toks[1].Text)
+	}
+	for _, bad := range []string{`"unterminated`, "\"newline\nin string\"", `"bad \q escape"`} {
+		if _, err := Lex(bad); err == nil {
+			t.Errorf("Lex(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex(`buffer = 1024;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != TokNumber || toks[2].Text != "1024" {
+		t.Errorf("number token = %v", toks[2])
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("streamlet\n  foo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("pos 0 = %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("pos 1 = %v", toks[1].Pos)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	_, err := Lex("streamlet $bad")
+	if err == nil {
+		t.Fatal("unexpected char accepted")
+	}
+	if !strings.Contains(err.Error(), "1:11") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Lex(`STREAMLET Connect WHEN`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []TokenKind{TokStreamlet, TokConnect, TokWhen}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %s, want %s", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexFixtureScript(t *testing.T) {
+	toks, err := Lex(distillationScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) < 100 {
+		t.Errorf("fixture produced only %d tokens", len(toks))
+	}
+	if toks[len(toks)-1].Kind != TokEOF {
+		t.Error("missing EOF")
+	}
+}

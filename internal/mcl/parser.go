@@ -1,0 +1,653 @@
+package mcl
+
+import (
+	"strconv"
+	"strings"
+
+	"mobigate/internal/mime"
+)
+
+// Parser consumes a token stream and produces a *File.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse lexes and parses an MCL script.
+func Parse(src string) (*File, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	return p.parseFile()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) accept(k TokenKind) (Token, bool) {
+	if p.cur().Kind == k {
+		return p.next(), true
+	}
+	return Token{}, false
+}
+
+func (p *Parser) expect(k TokenKind) (Token, error) {
+	if t, ok := p.accept(k); ok {
+		return t, nil
+	}
+	return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for {
+		switch p.cur().Kind {
+		case TokEOF:
+			if err := validateFile(f); err != nil {
+				return nil, err
+			}
+			return f, nil
+		case TokStreamlet:
+			d, err := p.parseStreamletDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Streamlets = append(f.Streamlets, d)
+		case TokChannel:
+			d, err := p.parseChannelDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Channels = append(f.Channels, d)
+		case TokMain, TokStream:
+			d, err := p.parseStreamDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Streams = append(f.Streams, d)
+		default:
+			return nil, errf(p.cur().Pos, "expected declaration, found %s", p.cur())
+		}
+	}
+}
+
+// parseMediaType parses `type [/ subtype]` where each part is an identifier
+// or `*`. Examples: text, text/richtext, image/*, */*.
+func (p *Parser) parseMediaType() (mime.MediaType, error) {
+	start := p.cur().Pos
+	part := func() (string, error) {
+		if t, ok := p.accept(TokStar); ok {
+			return t.Text, nil
+		}
+		t, err := p.expect(TokIdent)
+		if err != nil {
+			return "", err
+		}
+		return t.Text, nil
+	}
+	top, err := part()
+	if err != nil {
+		return mime.MediaType{}, errf(start, "expected media type")
+	}
+	expr := top
+	if _, ok := p.accept(TokSlash); ok {
+		sub, err := part()
+		if err != nil {
+			return mime.MediaType{}, errf(start, "expected media subtype after '/'")
+		}
+		expr = top + "/" + sub
+	}
+	mt, err := mime.ParseMediaType(expr)
+	if err != nil {
+		return mime.MediaType{}, errf(start, "%v", err)
+	}
+	return mt, nil
+}
+
+// parsePortBlock parses `port { in name : type; out name : type; ... }`.
+func (p *Parser) parsePortBlock() ([]PortDecl, error) {
+	if _, err := p.expect(TokPort); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var ports []PortDecl
+	for {
+		if _, ok := p.accept(TokRBrace); ok {
+			return ports, nil
+		}
+		var dir PortDir
+		switch p.cur().Kind {
+		case TokIn:
+			dir = PortIn
+		case TokOut:
+			dir = PortOut
+		default:
+			return nil, errf(p.cur().Pos, "expected 'in' or 'out' port declaration, found %s", p.cur())
+		}
+		p.next()
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokColon); err != nil {
+			return nil, err
+		}
+		mt, err := p.parseMediaType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		ports = append(ports, PortDecl{Dir: dir, Name: name.Text, Type: mt, Pos: name.Pos})
+	}
+}
+
+// attrValue is one parsed `key = value;` attribute.
+type attrValue struct {
+	key  string
+	text string // identifier or string literal text
+	num  int
+	kind TokenKind
+	pos  Pos
+}
+
+func (p *Parser) parseAttributeBlock() ([]attrValue, error) {
+	if _, err := p.expect(TokAttribute); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var attrs []attrValue
+	for {
+		if _, ok := p.accept(TokRBrace); ok {
+			return attrs, nil
+		}
+		key, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokEquals); err != nil {
+			return nil, err
+		}
+		av := attrValue{key: strings.ToLower(key.Text), pos: key.Pos}
+		switch t := p.cur(); t.Kind {
+		case TokIdent:
+			av.text = t.Text
+			av.kind = TokIdent
+			p.next()
+		case TokString:
+			av.text = t.Text
+			av.kind = TokString
+			p.next()
+		case TokNumber:
+			n, err := strconv.Atoi(t.Text)
+			if err != nil {
+				return nil, errf(t.Pos, "invalid number %q", t.Text)
+			}
+			av.num = n
+			av.kind = TokNumber
+			p.next()
+		default:
+			return nil, errf(t.Pos, "expected attribute value, found %s", t)
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, av)
+	}
+}
+
+func (p *Parser) parseStreamletDecl() (*StreamletDecl, error) {
+	kw, _ := p.expect(TokStreamlet)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	d := &StreamletDecl{Name: name.Text, Pos: kw.Pos}
+	for {
+		switch p.cur().Kind {
+		case TokPort:
+			ports, err := p.parsePortBlock()
+			if err != nil {
+				return nil, err
+			}
+			d.Ports = append(d.Ports, ports...)
+		case TokAttribute:
+			attrs, err := p.parseAttributeBlock()
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range attrs {
+				switch a.key {
+				case "type":
+					switch strings.ToUpper(a.text) {
+					case "STATELESS":
+						d.Kind = Stateless
+					case "STATEFUL":
+						d.Kind = Stateful
+					default:
+						return nil, errf(a.pos, "streamlet type must be STATELESS or STATEFUL, got %q", a.text)
+					}
+				case "library":
+					d.Library = a.text
+				case "description":
+					d.Description = a.text
+				default:
+					if name, ok := strings.CutPrefix(a.key, "param-"); ok && name != "" {
+						if d.Params == nil {
+							d.Params = make(map[string]string)
+						}
+						if a.kind == TokNumber {
+							d.Params[name] = strconv.Itoa(a.num)
+						} else {
+							d.Params[name] = a.text
+						}
+						continue
+					}
+					return nil, errf(a.pos, "unknown streamlet attribute %q", a.key)
+				}
+			}
+		case TokRBrace:
+			p.next()
+			return d, nil
+		default:
+			return nil, errf(p.cur().Pos, "expected 'port', 'attribute' or '}' in streamlet %s, found %s", d.Name, p.cur())
+		}
+	}
+}
+
+func (p *Parser) parseChannelDecl() (*ChannelDecl, error) {
+	kw, _ := p.expect(TokChannel)
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	d := &ChannelDecl{Name: name.Text, Pos: kw.Pos, BufferKB: DefaultBufferKB}
+	for {
+		switch p.cur().Kind {
+		case TokPort:
+			ports, err := p.parsePortBlock()
+			if err != nil {
+				return nil, err
+			}
+			d.Ports = append(d.Ports, ports...)
+		case TokAttribute:
+			attrs, err := p.parseAttributeBlock()
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range attrs {
+				switch a.key {
+				case "type":
+					switch strings.ToUpper(a.text) {
+					case "SYNC", "SYNCHRONOUS":
+						d.Mode = Sync
+					case "ASYNC", "ASYNCHRONOUS":
+						d.Mode = Async
+					default:
+						return nil, errf(a.pos, "channel type must be SYNC or ASYNC, got %q", a.text)
+					}
+				case "category":
+					c, ok := ParseChannelCategory(strings.ToUpper(a.text))
+					if !ok {
+						return nil, errf(a.pos, "channel category must be one of S, BB, BK, KB, KK; got %q", a.text)
+					}
+					d.Category = c
+				case "buffer":
+					if a.kind != TokNumber || a.num <= 0 {
+						return nil, errf(a.pos, "channel buffer must be a positive number of KBytes")
+					}
+					d.BufferKB = a.num
+				case "description":
+					// informative only
+				default:
+					return nil, errf(a.pos, "unknown channel attribute %q", a.key)
+				}
+			}
+		case TokRBrace:
+			p.next()
+			return d, nil
+		default:
+			return nil, errf(p.cur().Pos, "expected 'port', 'attribute' or '}' in channel %s, found %s", d.Name, p.cur())
+		}
+	}
+}
+
+func (p *Parser) parseStreamDecl() (*StreamDecl, error) {
+	d := &StreamDecl{}
+	if t, ok := p.accept(TokMain); ok {
+		d.Main = true
+		d.Pos = t.Pos
+	}
+	kw, err := p.expect(TokStream)
+	if err != nil {
+		return nil, err
+	}
+	if !d.Main {
+		d.Pos = kw.Pos
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	d.Name = name.Text
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokRBrace:
+			p.next()
+			return d, nil
+		case TokWhen:
+			w, err := p.parseWhenBlock()
+			if err != nil {
+				return nil, err
+			}
+			d.Whens = append(d.Whens, w)
+		default:
+			s, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			d.Body = append(d.Body, s)
+		}
+	}
+}
+
+func (p *Parser) parseWhenBlock() (*WhenBlock, error) {
+	kw, _ := p.expect(TokWhen)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	ev, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	w := &WhenBlock{Event: strings.ToUpper(ev.Text), Pos: kw.Pos}
+	for {
+		if _, ok := p.accept(TokRBrace); ok {
+			return w, nil
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		w.Body = append(w.Body, s)
+	}
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	switch t := p.cur(); t.Kind {
+	case TokStreamlet:
+		return p.parseNewDecl(TokNewStreamlet)
+	case TokChannel:
+		return p.parseNewDecl(TokNewChannel)
+	case TokConnect:
+		return p.parseConnect()
+	case TokDisconnect:
+		return p.parseDisconnect()
+	case TokDisconnectAll:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		return &DisconnectAllStmt{Var: v.Text, Pos: t.Pos}, nil
+	case TokRemoveStreamlet, TokRemoveChannel:
+		p.next()
+		if _, err := p.expect(TokLParen); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemicolon); err != nil {
+			return nil, err
+		}
+		if t.Kind == TokRemoveStreamlet {
+			return &RemoveStreamletStmt{Var: v.Text, Pos: t.Pos}, nil
+		}
+		return &RemoveChannelStmt{Var: v.Text, Pos: t.Pos}, nil
+	default:
+		return nil, errf(t.Pos, "expected statement, found %s", t)
+	}
+}
+
+// parseNewDecl parses `streamlet v1, v2 = new-streamlet (def);` or the
+// channel analogue. The figure 4-8 spelling `new channel (def)` (space
+// instead of hyphen) is also accepted.
+func (p *Parser) parseNewDecl(want TokenKind) (Stmt, error) {
+	start := p.next() // 'streamlet' or 'channel' keyword
+	var vars []string
+	for {
+		v, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, v.Text)
+		if _, ok := p.accept(TokComma); !ok {
+			break
+		}
+	}
+	if _, err := p.expect(TokEquals); err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case want:
+		p.next()
+	case TokIdent:
+		// `new streamlet` / `new channel` split spelling.
+		if strings.ToLower(p.cur().Text) == "new" {
+			p.next()
+			switch {
+			case want == TokNewStreamlet && p.cur().Kind == TokStreamlet,
+				want == TokNewChannel && p.cur().Kind == TokChannel:
+				p.next()
+			default:
+				return nil, errf(p.cur().Pos, "expected %s", want)
+			}
+		} else {
+			return nil, errf(p.cur().Pos, "expected %s, found %s", want, p.cur())
+		}
+	default:
+		return nil, errf(p.cur().Pos, "expected %s, found %s", want, p.cur())
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	def, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	if want == TokNewStreamlet {
+		return &NewStreamletStmt{Vars: vars, Def: def.Text, Pos: start.Pos}, nil
+	}
+	return &NewChannelStmt{Vars: vars, Def: def.Text, Pos: start.Pos}, nil
+}
+
+func (p *Parser) parsePortRef() (PortRef, error) {
+	inst, err := p.expect(TokIdent)
+	if err != nil {
+		return PortRef{}, err
+	}
+	if _, err := p.expect(TokDot); err != nil {
+		return PortRef{}, err
+	}
+	port, err := p.expect(TokIdent)
+	if err != nil {
+		return PortRef{}, err
+	}
+	return PortRef{Inst: inst.Text, Port: port.Text, Pos: inst.Pos}, nil
+}
+
+func (p *Parser) parseConnect() (Stmt, error) {
+	kw, _ := p.expect(TokConnect)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	from, err := p.parsePortRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	to, err := p.parsePortRef()
+	if err != nil {
+		return nil, err
+	}
+	st := &ConnectStmt{From: from, To: to, Pos: kw.Pos}
+	if _, ok := p.accept(TokComma); ok {
+		ch, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		st.Channel = ch.Text
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *Parser) parseDisconnect() (Stmt, error) {
+	kw, _ := p.expect(TokDisconnect)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	from, err := p.parsePortRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokComma); err != nil {
+		return nil, err
+	}
+	to, err := p.parsePortRef()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return &DisconnectStmt{From: from, To: to, Pos: kw.Pos}, nil
+}
+
+// validateFile applies structural rules that do not need the compiler:
+// name uniqueness (ENTITY identifiers are global names, §5.1 — with the
+// one sanctioned exception that a streamlet declaration may share the name
+// of a stream, which is how Figure 4-9 maps a stream to a composite
+// streamlet) and channel port shape (exactly one in, one out, §5.1.2).
+func validateFile(f *File) error {
+	seen := map[string]Pos{}
+	check := func(name string, pos Pos) error {
+		if prev, ok := seen[name]; ok {
+			return errf(pos, "duplicate declaration of %q (previous at %s)", name, prev)
+		}
+		seen[name] = pos
+		return nil
+	}
+	for _, d := range f.Streamlets {
+		if err := check(d.Name, d.Pos); err != nil {
+			return err
+		}
+		if err := validatePorts(d.Name, d.Ports); err != nil {
+			return err
+		}
+	}
+	for _, d := range f.Channels {
+		if err := check(d.Name, d.Pos); err != nil {
+			return err
+		}
+		if err := validatePorts(d.Name, d.Ports); err != nil {
+			return err
+		}
+		ins, outs := 0, 0
+		for _, p := range d.Ports {
+			if p.Dir == PortIn {
+				ins++
+			} else {
+				outs++
+			}
+		}
+		if ins != 1 || outs != 1 {
+			return errf(d.Pos, "channel %s must declare exactly one in port and one out port", d.Name)
+		}
+	}
+	mains := 0
+	streamSeen := map[string]Pos{}
+	for _, d := range f.Streams {
+		if prev, ok := streamSeen[d.Name]; ok {
+			return errf(d.Pos, "duplicate stream %q (previous at %s)", d.Name, prev)
+		}
+		streamSeen[d.Name] = d.Pos
+		// A channel may not share a stream's name; a streamlet may (it is
+		// the composite wrapper of Figure 4-9).
+		if prev, ok := seen[d.Name]; ok {
+			if _, isStreamlet := f.Streamlet(d.Name); !isStreamlet {
+				return errf(d.Pos, "stream %q clashes with a non-streamlet declaration at %s", d.Name, prev)
+			}
+		}
+		if d.Main {
+			mains++
+		}
+	}
+	if mains > 1 {
+		return errf(f.Streams[0].Pos, "multiple streams labeled main")
+	}
+	return nil
+}
+
+func validatePorts(owner string, ports []PortDecl) error {
+	seen := map[string]Pos{}
+	for _, p := range ports {
+		if prev, ok := seen[p.Name]; ok {
+			return errf(p.Pos, "duplicate port %q in %s (previous at %s)", p.Name, owner, prev)
+		}
+		seen[p.Name] = p.Pos
+	}
+	return nil
+}

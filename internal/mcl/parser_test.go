@@ -1,0 +1,215 @@
+package mcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDistillationScript(t *testing.T) {
+	f, err := Parse(distillationScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Streamlets) != 7 {
+		t.Errorf("streamlets = %d, want 7", len(f.Streamlets))
+	}
+	if len(f.Channels) != 1 {
+		t.Errorf("channels = %d, want 1", len(f.Channels))
+	}
+	if len(f.Streams) != 1 {
+		t.Errorf("streams = %d, want 1", len(f.Streams))
+	}
+
+	sw, ok := f.Streamlet("switch")
+	if !ok {
+		t.Fatal("streamlet switch missing")
+	}
+	if sw.Kind != Stateless {
+		t.Errorf("switch kind = %v", sw.Kind)
+	}
+	if sw.Library != "general/switch" {
+		t.Errorf("switch library = %q", sw.Library)
+	}
+	if len(sw.Ports) != 3 {
+		t.Fatalf("switch ports = %d", len(sw.Ports))
+	}
+	pi, ok := sw.Port("pi")
+	if !ok || pi.Dir != PortIn || pi.Type.String() != "multipart/mixed" {
+		t.Errorf("switch.pi = %+v", pi)
+	}
+	po1, _ := sw.Port("po1")
+	if po1.Dir != PortOut || po1.Type.String() != "image/gif" {
+		t.Errorf("switch.po1 = %+v", po1)
+	}
+
+	mg, _ := f.Streamlet("merge")
+	if mg.Kind != Stateful {
+		t.Errorf("merge kind = %v", mg.Kind)
+	}
+
+	ch, ok := f.Channel("largeBufferChan")
+	if !ok {
+		t.Fatal("channel missing")
+	}
+	if ch.Mode != Async || ch.Category != CatBK || ch.BufferKB != 1024 {
+		t.Errorf("channel attrs = %v %v %d", ch.Mode, ch.Category, ch.BufferKB)
+	}
+	if ch.In().Name != "cin" || ch.Out().Name != "cout" {
+		t.Errorf("channel ports: in=%q out=%q", ch.In().Name, ch.Out().Name)
+	}
+
+	app, _ := f.Stream("streamApp")
+	if len(app.Body) != 13 {
+		t.Errorf("stream body stmts = %d, want 13", len(app.Body))
+	}
+	if len(app.Whens) != 2 {
+		t.Fatalf("whens = %d", len(app.Whens))
+	}
+	if app.Whens[0].Event != "LOW_ENERGY" || app.Whens[1].Event != "LOW_GRAYS" {
+		t.Errorf("when events = %q %q", app.Whens[0].Event, app.Whens[1].Event)
+	}
+	if len(app.Whens[1].Body) != 3 {
+		t.Errorf("LOW_GRAYS actions = %d", len(app.Whens[1].Body))
+	}
+}
+
+func TestParseStatementShapes(t *testing.T) {
+	src := `
+stream s {
+	streamlet a, b = new-streamlet (def);
+	channel c1 = new-channel (chdef);
+	connect (a.o, b.i, c1);
+	connect (a.o2, b.i2);
+	disconnect (a.o, b.i);
+	disconnectall (a);
+	remove-streamlet (a);
+	remove-channel (c1);
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Streams[0].Body
+	if len(body) != 8 {
+		t.Fatalf("stmts = %d", len(body))
+	}
+	ns := body[0].(*NewStreamletStmt)
+	if len(ns.Vars) != 2 || ns.Vars[1] != "b" || ns.Def != "def" {
+		t.Errorf("new-streamlet = %+v", ns)
+	}
+	cs := body[2].(*ConnectStmt)
+	if cs.From.String() != "a.o" || cs.To.String() != "b.i" || cs.Channel != "c1" {
+		t.Errorf("connect = %+v", cs)
+	}
+	cs2 := body[3].(*ConnectStmt)
+	if cs2.Channel != "" {
+		t.Errorf("implicit connect has channel %q", cs2.Channel)
+	}
+	if _, ok := body[4].(*DisconnectStmt); !ok {
+		t.Error("stmt 4 not disconnect")
+	}
+	if da, ok := body[5].(*DisconnectAllStmt); !ok || da.Var != "a" {
+		t.Error("stmt 5 not disconnectall(a)")
+	}
+	if _, ok := body[6].(*RemoveStreamletStmt); !ok {
+		t.Error("stmt 6 not remove-streamlet")
+	}
+	if _, ok := body[7].(*RemoveChannelStmt); !ok {
+		t.Error("stmt 7 not remove-channel")
+	}
+}
+
+func TestParseNewChannelSpaceSpelling(t *testing.T) {
+	// Figure 4-8 writes `new channel (...)` with a space.
+	src := `stream s { channel c1, c2, c3 = new channel (chdef); }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := f.Streams[0].Body[0].(*NewChannelStmt)
+	if len(nc.Vars) != 3 || nc.Def != "chdef" {
+		t.Errorf("new channel = %+v", nc)
+	}
+}
+
+func TestParseMainStream(t *testing.T) {
+	f, err := Parse(`stream a { } main stream b { } stream c { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.MainStream()
+	if !ok || m.Name != "b" {
+		t.Errorf("main = %v, %v", m, ok)
+	}
+}
+
+func TestParseSingleStreamIsImplicitMain(t *testing.T) {
+	f, err := Parse(`stream only { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := f.MainStream()
+	if !ok || m.Name != "only" {
+		t.Error("single stream should be implicit main")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"duplicate streamlet", `streamlet a { } streamlet a { }`, "duplicate"},
+		{"duplicate port", `streamlet a { port { in p : text; in p : text; } }`, "duplicate port"},
+		{"channel two ins", `channel c { port { in a : text; in b : text; } }`, "exactly one in"},
+		{"channel no ports", `channel c { }`, "exactly one in"},
+		{"two mains", `main stream a { } main stream b { }`, "multiple streams labeled main"},
+		{"bad streamlet kind", `streamlet a { attribute { type = WEIRD; } }`, "STATELESS or STATEFUL"},
+		{"bad channel category", `channel c { port { in a : text; out b : text; } attribute { category = XX; } }`, "category"},
+		{"bad buffer", `channel c { port { in a : text; out b : text; } attribute { buffer = 0; } }`, "buffer"},
+		{"unknown attribute", `streamlet a { attribute { color = red; } }`, "unknown streamlet attribute"},
+		{"missing semicolon", `stream s { connect (a.o, b.i) }`, "expected ';'"},
+		{"garbage toplevel", `wibble`, "expected declaration"},
+		{"bad media type", `streamlet a { port { in p : text/; } }`, "subtype"},
+		{"stream name clash with channel", `channel x { port { in a : text; out b : text; } } stream x { }`, "clashes"},
+		{"duplicate stream", `stream x { } stream x { }`, "duplicate stream"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseErrorsCarryPosition(t *testing.T) {
+	_, err := Parse("stream s {\n  bogus-stmt;\n}")
+	if err == nil {
+		t.Fatal("accepted")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}
+
+func TestChannelCategoryParsing(t *testing.T) {
+	for _, n := range []string{"S", "BB", "BK", "KB", "KK"} {
+		c, ok := ParseChannelCategory(n)
+		if !ok || c.String() != n {
+			t.Errorf("ParseChannelCategory(%q) = %v, %v", n, c, ok)
+		}
+	}
+	if _, ok := ParseChannelCategory("ZZ"); ok {
+		t.Error("bogus category parsed")
+	}
+}
+
+func TestPortDirString(t *testing.T) {
+	if PortIn.String() != "in" || PortOut.String() != "out" {
+		t.Error("PortDir strings wrong")
+	}
+}

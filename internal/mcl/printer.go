@@ -1,0 +1,143 @@
+package mcl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Format renders a parsed file back to canonical MCL source. The output
+// parses to an equivalent file (Format ∘ Parse is idempotent), making it
+// usable as a formatter for MCL scripts.
+func Format(f *File) string {
+	var b strings.Builder
+	p := printer{b: &b}
+	for i, d := range f.Streamlets {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		p.streamlet(d)
+	}
+	for i, d := range f.Channels {
+		if i > 0 || len(f.Streamlets) > 0 {
+			b.WriteByte('\n')
+		}
+		p.channel(d)
+	}
+	for i, d := range f.Streams {
+		if i > 0 || len(f.Streamlets)+len(f.Channels) > 0 {
+			b.WriteByte('\n')
+		}
+		p.stream(d)
+	}
+	return b.String()
+}
+
+type printer struct {
+	b *strings.Builder
+}
+
+func (p printer) linef(depth int, format string, args ...any) {
+	for i := 0; i < depth; i++ {
+		p.b.WriteByte('\t')
+	}
+	fmt.Fprintf(p.b, format, args...)
+	p.b.WriteByte('\n')
+}
+
+func quote(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	s = strings.ReplaceAll(s, "\t", `\t`)
+	return `"` + s + `"`
+}
+
+func (p printer) ports(depth int, ports []PortDecl) {
+	if len(ports) == 0 {
+		return
+	}
+	p.linef(depth, "port {")
+	for _, pt := range ports {
+		p.linef(depth+1, "%s %s : %s;", pt.Dir, pt.Name, pt.Type.Base())
+	}
+	p.linef(depth, "}")
+}
+
+func (p printer) streamlet(d *StreamletDecl) {
+	p.linef(0, "streamlet %s {", d.Name)
+	p.ports(1, d.Ports)
+	p.linef(1, "attribute {")
+	p.linef(2, "type = %s;", d.Kind)
+	if d.Library != "" {
+		p.linef(2, "library = %s;", quote(d.Library))
+	}
+	if d.Description != "" {
+		p.linef(2, "description = %s;", quote(d.Description))
+	}
+	keys := make([]string, 0, len(d.Params))
+	for k := range d.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.linef(2, "param-%s = %s;", k, quote(d.Params[k]))
+	}
+	p.linef(1, "}")
+	p.linef(0, "}")
+}
+
+func (p printer) channel(d *ChannelDecl) {
+	p.linef(0, "channel %s {", d.Name)
+	p.ports(1, d.Ports)
+	p.linef(1, "attribute {")
+	p.linef(2, "type = %s;", d.Mode)
+	p.linef(2, "category = %s;", d.Category)
+	p.linef(2, "buffer = %d;", d.BufferKB)
+	p.linef(1, "}")
+	p.linef(0, "}")
+}
+
+func (p printer) stream(d *StreamDecl) {
+	kw := "stream"
+	if d.Main {
+		kw = "main stream"
+	}
+	p.linef(0, "%s %s {", kw, d.Name)
+	for _, s := range d.Body {
+		p.stmt(1, s)
+	}
+	for _, w := range d.Whens {
+		p.linef(1, "when (%s) {", w.Event)
+		for _, s := range w.Body {
+			p.stmt(2, s)
+		}
+		p.linef(1, "}")
+	}
+	p.linef(0, "}")
+}
+
+func (p printer) stmt(depth int, s Stmt) {
+	switch st := s.(type) {
+	case *NewStreamletStmt:
+		p.linef(depth, "streamlet %s = new-streamlet (%s);", strings.Join(st.Vars, ", "), st.Def)
+	case *NewChannelStmt:
+		p.linef(depth, "channel %s = new-channel (%s);", strings.Join(st.Vars, ", "), st.Def)
+	case *RemoveStreamletStmt:
+		p.linef(depth, "remove-streamlet (%s);", st.Var)
+	case *RemoveChannelStmt:
+		p.linef(depth, "remove-channel (%s);", st.Var)
+	case *ConnectStmt:
+		if st.Channel != "" {
+			p.linef(depth, "connect (%s, %s, %s);", st.From, st.To, st.Channel)
+		} else {
+			p.linef(depth, "connect (%s, %s);", st.From, st.To)
+		}
+	case *DisconnectStmt:
+		p.linef(depth, "disconnect (%s, %s);", st.From, st.To)
+	case *DisconnectAllStmt:
+		p.linef(depth, "disconnectall (%s);", st.Var)
+	default:
+		p.linef(depth, "/* unknown statement %T */", s)
+	}
+}

@@ -1,0 +1,119 @@
+package mcl
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// stripPositions deep-compares two files ignoring source positions by
+// comparing their canonical formatted forms.
+func canon(t *testing.T, f *File) string {
+	t.Helper()
+	return Format(f)
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	f1, err := Parse(distillationScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := Format(f1)
+	f2, err := Parse(src2)
+	if err != nil {
+		t.Fatalf("formatted output does not parse: %v\n%s", err, src2)
+	}
+	if canon(t, f1) != canon(t, f2) {
+		t.Error("Format is not idempotent over Parse")
+	}
+	// Structural checks survive.
+	if len(f2.Streamlets) != len(f1.Streamlets) || len(f2.Streams) != len(f1.Streams) {
+		t.Error("declarations lost in round trip")
+	}
+	app1, _ := f1.Stream("streamApp")
+	app2, _ := f2.Stream("streamApp")
+	if len(app2.Body) != len(app1.Body) || len(app2.Whens) != len(app1.Whens) {
+		t.Error("stream statements lost in round trip")
+	}
+}
+
+func TestFormatRoundTripRecursive(t *testing.T) {
+	f1, err := Parse(recursiveScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Parse(Format(f1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon(t, f1) != canon(t, f2) {
+		t.Error("recursive script not stable under format")
+	}
+	// Both compile identically.
+	if _, err := CompileFile(f2, nil); err == nil {
+		t.Error("recursive script without wrapper should fail identically after format")
+	}
+}
+
+func TestFormatQuoting(t *testing.T) {
+	src := `streamlet s { attribute { description = "has \"quotes\" and \n newline"; library = "x"; } }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	f2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("quoted output does not parse: %v\n%s", err, out)
+	}
+	if f2.Streamlets[0].Description != f.Streamlets[0].Description {
+		t.Errorf("description mangled: %q vs %q", f2.Streamlets[0].Description, f.Streamlets[0].Description)
+	}
+}
+
+func TestFormatCompilesEquivalently(t *testing.T) {
+	cfg1, err := Compile(distillationScript, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := Parse(distillationScript)
+	cfg2, err := Compile(Format(f), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc1, sc2 := cfg1.Stream("streamApp"), cfg2.Stream("streamApp")
+	if len(sc1.Connections) != len(sc2.Connections) {
+		t.Fatal("connection counts differ")
+	}
+	for i := range sc1.Connections {
+		a, b := sc1.Connections[i], sc2.Connections[i]
+		if a.From.String() != b.From.String() || a.To.String() != b.To.String() || a.Channel != b.Channel {
+			t.Errorf("row %d differs: %v vs %v", i, a, b)
+		}
+	}
+	if !reflect.DeepEqual(whenEvents(sc1), whenEvents(sc2)) {
+		t.Error("when events differ")
+	}
+}
+
+func whenEvents(sc *StreamConfig) []string {
+	var out []string
+	for _, w := range sc.Whens {
+		out = append(out, w.Event)
+	}
+	return out
+}
+
+func TestFormatMainKeyword(t *testing.T) {
+	f, err := Parse(`stream a { } main stream b { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	if !strings.Contains(out, "main stream b") {
+		t.Errorf("main keyword lost:\n%s", out)
+	}
+	if strings.Contains(out, "main stream a") {
+		t.Error("main keyword added to non-main stream")
+	}
+}

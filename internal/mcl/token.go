@@ -1,0 +1,145 @@
+// Package mcl implements the MobiGATE Coordination Language: lexer, parser,
+// and compiler (thesis chapter 4). MCL describes applications as streamlets
+// connected by typed channels inside streams; the compiler turns a script
+// into the configuration tables the Coordination Manager executes (§3.3.6)
+// and performs the MIME-based compatibility checks of §4.4.1.
+package mcl
+
+import "fmt"
+
+// TokenKind enumerates MCL token classes.
+type TokenKind int
+
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokNumber
+	TokString
+
+	// Punctuation.
+	TokLBrace    // {
+	TokRBrace    // }
+	TokLParen    // (
+	TokRParen    // )
+	TokSemicolon // ;
+	TokColon     // :
+	TokComma     // ,
+	TokDot       // .
+	TokEquals    // =
+	TokSlash     // /
+	TokStar      // *
+
+	// Keywords.
+	TokStreamlet
+	TokChannel
+	TokStream
+	TokMain
+	TokPort
+	TokAttribute
+	TokIn
+	TokOut
+	TokWhen
+	TokConnect
+	TokDisconnect
+	TokDisconnectAll
+	TokNewStreamlet
+	TokRemoveStreamlet
+	TokNewChannel
+	TokRemoveChannel
+)
+
+var keywords = map[string]TokenKind{
+	"streamlet":        TokStreamlet,
+	"channel":          TokChannel,
+	"stream":           TokStream,
+	"main":             TokMain,
+	"port":             TokPort,
+	"attribute":        TokAttribute,
+	"in":               TokIn,
+	"out":              TokOut,
+	"when":             TokWhen,
+	"connect":          TokConnect,
+	"disconnect":       TokDisconnect,
+	"disconnectall":    TokDisconnectAll,
+	"new-streamlet":    TokNewStreamlet,
+	"remove-streamlet": TokRemoveStreamlet,
+	"new-channel":      TokNewChannel,
+	"remove-channel":   TokRemoveChannel,
+}
+
+var kindNames = map[TokenKind]string{
+	TokEOF:             "end of file",
+	TokIdent:           "identifier",
+	TokNumber:          "number",
+	TokString:          "string",
+	TokLBrace:          "'{'",
+	TokRBrace:          "'}'",
+	TokLParen:          "'('",
+	TokRParen:          "')'",
+	TokSemicolon:       "';'",
+	TokColon:           "':'",
+	TokComma:           "','",
+	TokDot:             "'.'",
+	TokEquals:          "'='",
+	TokSlash:           "'/'",
+	TokStar:            "'*'",
+	TokStreamlet:       "'streamlet'",
+	TokChannel:         "'channel'",
+	TokStream:          "'stream'",
+	TokMain:            "'main'",
+	TokPort:            "'port'",
+	TokAttribute:       "'attribute'",
+	TokIn:              "'in'",
+	TokOut:             "'out'",
+	TokWhen:            "'when'",
+	TokConnect:         "'connect'",
+	TokDisconnect:      "'disconnect'",
+	TokDisconnectAll:   "'disconnectall'",
+	TokNewStreamlet:    "'new-streamlet'",
+	TokRemoveStreamlet: "'remove-streamlet'",
+	TokNewChannel:      "'new-channel'",
+	TokRemoveChannel:   "'remove-channel'",
+}
+
+func (k TokenKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	Line int // 1-based
+	Col  int // 1-based, in bytes
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its literal text and position.
+type Token struct {
+	Kind TokenKind
+	Text string
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber, TokString:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is an MCL front-end error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("mcl:%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

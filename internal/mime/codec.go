@@ -1,0 +1,119 @@
+package mime
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Wire format: RFC-822-style header block terminated by an empty line, then
+// exactly Content-Length body bytes. Writers always emit Content-Length and
+// Message-Id so readers can frame messages on a byte stream; this is the
+// format the Communicator streamlet puts on the wireless link and the
+// client's Message Distributor parses back (§3.4.1).
+
+const maxHeaderBytes = 64 << 10
+
+// WriteTo serializes the message to w. It returns the number of bytes
+// written.
+func (m *Message) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	for _, k := range m.keys {
+		if k == HeaderContentLength || k == HeaderMessageID {
+			continue // re-emitted canonically below
+		}
+		b.WriteString(k)
+		b.WriteString(": ")
+		b.WriteString(m.fields[k])
+		b.WriteString("\r\n")
+	}
+	b.WriteString(HeaderMessageID)
+	b.WriteString(": ")
+	b.WriteString(m.ID)
+	b.WriteString("\r\n")
+	b.WriteString(HeaderContentLength)
+	b.WriteString(": ")
+	b.WriteString(strconv.Itoa(len(m.body)))
+	b.WriteString("\r\n\r\n")
+
+	n1, err := io.WriteString(w, b.String())
+	if err != nil {
+		return int64(n1), err
+	}
+	n2, err := w.Write(m.body)
+	return int64(n1 + n2), err
+}
+
+// Encode serializes the message to a byte slice.
+func (m *Message) Encode() []byte {
+	var sb strings.Builder
+	sb.Grow(len(m.body) + 256)
+	if _, err := m.WriteTo(&sb); err != nil {
+		panic(err) // strings.Builder never errors
+	}
+	return []byte(sb.String())
+}
+
+// ReadMessage parses one wire-format message from r. It returns io.EOF when
+// the stream ends cleanly before any byte of a new message, and
+// io.ErrUnexpectedEOF when a message is truncated.
+func ReadMessage(r *bufio.Reader) (*Message, error) {
+	m := &Message{fields: make(map[string]string, 8)}
+	headerBytes := 0
+	first := true
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			if err == io.EOF && first && line == "" {
+				return nil, io.EOF
+			}
+			if err == io.EOF {
+				return nil, io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		first = false
+		headerBytes += len(line)
+		if headerBytes > maxHeaderBytes {
+			return nil, fmt.Errorf("mime: header block exceeds %d bytes", maxHeaderBytes)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break // end of headers
+		}
+		colon := strings.IndexByte(line, ':')
+		if colon <= 0 {
+			return nil, fmt.Errorf("mime: malformed header line %q", line)
+		}
+		key := strings.TrimSpace(line[:colon])
+		val := strings.TrimSpace(line[colon+1:])
+		m.SetHeader(key, val)
+	}
+
+	n := parseContentLength(m.Header(HeaderContentLength))
+	if n < 0 {
+		return nil, fmt.Errorf("mime: missing or invalid Content-Length")
+	}
+	m.ID = m.Header(HeaderMessageID)
+	if m.ID == "" {
+		m.ID = fmt.Sprintf("msg-%d", msgCounter.Add(1))
+	}
+	m.DelHeader(HeaderContentLength)
+	m.DelHeader(HeaderMessageID)
+
+	m.body = make([]byte, n)
+	if _, err := io.ReadFull(r, m.body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// Decode parses a message from a byte slice.
+func Decode(data []byte) (*Message, error) {
+	return ReadMessage(bufio.NewReader(strings.NewReader(string(data))))
+}

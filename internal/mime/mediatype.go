@@ -1,0 +1,167 @@
+// Package mime implements the MIME media-type system that MobiGATE uses as
+// the underlying type definition for messages and streamlet ports (thesis
+// §4.1), together with the MIME message representation and wire codec that
+// streamlets exchange (§6.2, §6.5).
+//
+// Port and message types form a lattice rooted at "*/*": a bare top-level
+// type such as "text" denotes the whole family "text/*", and a full type
+// such as "text/richtext" is a subtype of both "text" and "*/*". A Registry
+// can extend the lattice with explicit subtype edges (Figure 4-1 allows a
+// type to have multiple direct supertypes).
+package mime
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MediaType is a parsed MIME media type such as "text/plain; charset=utf-8".
+// A Subtype of "*" denotes the whole top-level family; Type "*" (with
+// Subtype "*") denotes the universal type.
+type MediaType struct {
+	// Type is the top-level media type ("text", "image", ... or "*").
+	Type string
+	// Subtype is the subtype ("plain", "gif", ...) or "*" for the family.
+	Subtype string
+	// Params holds the optional attribute=value parameters, keys lowercased.
+	Params map[string]string
+}
+
+// Wildcard is the universal media type "*/*", the top of the lattice.
+var Wildcard = MediaType{Type: "*", Subtype: "*"}
+
+// ParseMediaType parses a media-type expression following the simplified
+// Content-Type grammar of Figure 4-2:
+//
+//	type "/" subtype *( ";" attribute "=" value )
+//
+// A bare top-level type ("text") is accepted and normalized to the family
+// form ("text/*"). Both names are lowercased; parameter values keep case.
+func ParseMediaType(s string) (MediaType, error) {
+	rest := strings.TrimSpace(s)
+	if rest == "" {
+		return MediaType{}, fmt.Errorf("mime: empty media type")
+	}
+	var paramPart string
+	if i := strings.IndexByte(rest, ';'); i >= 0 {
+		rest, paramPart = rest[:i], rest[i+1:]
+	}
+	rest = strings.TrimSpace(rest)
+
+	mt := MediaType{}
+	if i := strings.IndexByte(rest, '/'); i >= 0 {
+		mt.Type = strings.ToLower(strings.TrimSpace(rest[:i]))
+		mt.Subtype = strings.ToLower(strings.TrimSpace(rest[i+1:]))
+	} else {
+		mt.Type = strings.ToLower(rest)
+		mt.Subtype = "*"
+	}
+	if !validToken(mt.Type) || !validToken(mt.Subtype) {
+		return MediaType{}, fmt.Errorf("mime: malformed media type %q", s)
+	}
+
+	if paramPart != "" {
+		mt.Params = make(map[string]string)
+		for _, kv := range strings.Split(paramPart, ";") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			eq := strings.IndexByte(kv, '=')
+			if eq <= 0 {
+				return MediaType{}, fmt.Errorf("mime: malformed parameter %q in %q", kv, s)
+			}
+			key := strings.ToLower(strings.TrimSpace(kv[:eq]))
+			val := strings.TrimSpace(kv[eq+1:])
+			val = strings.Trim(val, `"`)
+			if !validToken(key) {
+				return MediaType{}, fmt.Errorf("mime: malformed parameter name %q in %q", key, s)
+			}
+			mt.Params[key] = val
+		}
+	}
+	return mt, nil
+}
+
+// MustParse is ParseMediaType that panics on error; for use with constants.
+func MustParse(s string) MediaType {
+	mt, err := ParseMediaType(s)
+	if err != nil {
+		panic(err)
+	}
+	return mt
+}
+
+func validToken(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '-' || c == '+' || c == '.' || c == '_' || c == '*':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the media type, including parameters in sorted key order.
+func (m MediaType) String() string {
+	var b strings.Builder
+	b.WriteString(m.Type)
+	b.WriteByte('/')
+	b.WriteString(m.Subtype)
+	if len(m.Params) > 0 {
+		keys := make([]string, 0, len(m.Params))
+		for k := range m.Params {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "; %s=%s", k, m.Params[k])
+		}
+	}
+	return b.String()
+}
+
+// Base returns the media type without parameters.
+func (m MediaType) Base() MediaType {
+	return MediaType{Type: m.Type, Subtype: m.Subtype}
+}
+
+// IsWildcard reports whether m is the universal type "*/*".
+func (m MediaType) IsWildcard() bool { return m.Type == "*" && m.Subtype == "*" }
+
+// IsFamily reports whether m denotes a whole top-level family like "text/*".
+func (m MediaType) IsFamily() bool { return m.Subtype == "*" && m.Type != "*" }
+
+// Equal reports base-type equality, ignoring parameters.
+func (m MediaType) Equal(o MediaType) bool {
+	return m.Type == o.Type && m.Subtype == o.Subtype
+}
+
+// key is the canonical map key for the base type.
+func (m MediaType) key() string { return m.Type + "/" + m.Subtype }
+
+// SubtypeOf reports whether m is equal to or a lattice subtype of o, using
+// only the structural rules (no registry edges):
+//
+//   - everything is a subtype of "*/*";
+//   - "t/s" and "t/*" are subtypes of "t/*";
+//   - "t/s" is a subtype of "t/s".
+//
+// This is the compatibility relation of §4.4.1: a source port of type m may
+// feed a sink port of type o iff m.SubtypeOf(o).
+func (m MediaType) SubtypeOf(o MediaType) bool {
+	if o.IsWildcard() {
+		return true
+	}
+	if m.Type != o.Type {
+		return false
+	}
+	return o.Subtype == "*" || m.Subtype == o.Subtype
+}

@@ -1,0 +1,254 @@
+package mime
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseMediaType(t *testing.T) {
+	cases := []struct {
+		in      string
+		typ     string
+		subtype string
+		params  map[string]string
+		wantErr bool
+	}{
+		{in: "text/plain", typ: "text", subtype: "plain"},
+		{in: "TEXT/PLAIN", typ: "text", subtype: "plain"},
+		{in: " image/gif ", typ: "image", subtype: "gif"},
+		{in: "text", typ: "text", subtype: "*"},
+		{in: "*/*", typ: "*", subtype: "*"},
+		{in: "multipart/mixed", typ: "multipart", subtype: "mixed"},
+		{in: "text/plain; charset=us-ascii", typ: "text", subtype: "plain", params: map[string]string{"charset": "us-ascii"}},
+		{in: `text/plain; charset="utf-8"; format=flowed`, typ: "text", subtype: "plain", params: map[string]string{"charset": "utf-8", "format": "flowed"}},
+		{in: "application/x-postscript", typ: "application", subtype: "x-postscript"},
+		{in: "", wantErr: true},
+		{in: "text/", wantErr: true},
+		{in: "/plain", wantErr: true},
+		{in: "te xt/plain", wantErr: true},
+		{in: "text/plain; =bad", wantErr: true},
+		{in: "text/plain; bad", wantErr: true},
+	}
+	for _, c := range cases {
+		mt, err := ParseMediaType(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseMediaType(%q): want error, got %v", c.in, mt)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMediaType(%q): %v", c.in, err)
+			continue
+		}
+		if mt.Type != c.typ || mt.Subtype != c.subtype {
+			t.Errorf("ParseMediaType(%q) = %s/%s, want %s/%s", c.in, mt.Type, mt.Subtype, c.typ, c.subtype)
+		}
+		for k, v := range c.params {
+			if mt.Params[k] != v {
+				t.Errorf("ParseMediaType(%q) param %q = %q, want %q", c.in, k, mt.Params[k], v)
+			}
+		}
+	}
+}
+
+func TestMediaTypeString(t *testing.T) {
+	mt := MustParse("text/plain; b=2; a=1")
+	if got := mt.String(); got != "text/plain; a=1; b=2" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := mt.Base().String(); got != "text/plain" {
+		t.Errorf("Base().String() = %q", got)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"text/plain", "image/*", "*/*", "text/plain; a=1"} {
+		mt := MustParse(s)
+		back, err := ParseMediaType(mt.String())
+		if err != nil {
+			t.Fatalf("round trip %q: %v", s, err)
+		}
+		if !back.Equal(mt) {
+			t.Errorf("round trip %q: got %v", s, back)
+		}
+	}
+}
+
+func TestSubtypeOfStructural(t *testing.T) {
+	cases := []struct {
+		from, to string
+		want     bool
+	}{
+		{"text/plain", "*/*", true},
+		{"text/plain", "text", true},
+		{"text/plain", "text/*", true},
+		{"text/plain", "text/plain", true},
+		{"text/richtext", "text", true},
+		{"text/*", "text/*", true},
+		{"text/*", "*/*", true},
+		{"*/*", "*/*", true},
+		{"text", "text/plain", false}, // family is NOT a subtype of a member
+		{"*/*", "text", false},
+		{"text/plain", "text/richtext", false},
+		{"image/gif", "text", false},
+		{"multipart/mixed", "multipart/alternative", false},
+	}
+	for _, c := range cases {
+		got := MustParse(c.from).SubtypeOf(MustParse(c.to))
+		if got != c.want {
+			t.Errorf("SubtypeOf(%s, %s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// Property: SubtypeOf is reflexive and transitive over the structural rules.
+func TestSubtypeOfProperties(t *testing.T) {
+	types := []MediaType{
+		MustParse("*/*"), MustParse("text/*"), MustParse("text/plain"),
+		MustParse("text/richtext"), MustParse("image/*"), MustParse("image/gif"),
+		MustParse("application/pdf"),
+	}
+	for _, a := range types {
+		if !a.SubtypeOf(a) {
+			t.Errorf("SubtypeOf not reflexive for %s", a)
+		}
+	}
+	for _, a := range types {
+		for _, b := range types {
+			for _, c := range types {
+				if a.SubtypeOf(b) && b.SubtypeOf(c) && !a.SubtypeOf(c) {
+					t.Errorf("transitivity violated: %s <= %s <= %s", a, b, c)
+				}
+			}
+		}
+	}
+	// Antisymmetry on base types.
+	for _, a := range types {
+		for _, b := range types {
+			if a.SubtypeOf(b) && b.SubtypeOf(a) && !a.Equal(b) {
+				t.Errorf("antisymmetry violated: %s vs %s", a, b)
+			}
+		}
+	}
+}
+
+func TestRegistrySubtypeEdges(t *testing.T) {
+	r := NewRegistry()
+	rich := MustParse("text/richtext")
+	enr := MustParse("text/enriched")
+	if r.SubtypeOf(rich, enr) {
+		t.Fatal("no edge declared yet")
+	}
+	if err := r.AddSubtype(rich, enr); err != nil {
+		t.Fatal(err)
+	}
+	if !r.SubtypeOf(rich, enr) {
+		t.Error("declared edge not honored")
+	}
+	// Transitive through a declared edge into the structural lattice.
+	if !r.SubtypeOf(rich, MustParse("text")) {
+		t.Error("structural rule lost after edges")
+	}
+	// Cross-family edge: application/x-note is declared under text/plain.
+	note := MustParse("application/x-note")
+	if err := r.AddSubtype(note, MustParse("text/plain")); err != nil {
+		t.Fatal(err)
+	}
+	if !r.SubtypeOf(note, MustParse("text")) {
+		t.Error("cross-family transitivity failed")
+	}
+	if r.SubtypeOf(MustParse("text/plain"), note) {
+		t.Error("edge direction reversed")
+	}
+}
+
+func TestRegistryRejectsCycles(t *testing.T) {
+	r := NewRegistry()
+	a, b, c := MustParse("x/a"), MustParse("x/b"), MustParse("x/c")
+	if err := r.AddSubtype(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSubtype(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSubtype(c, a); err == nil {
+		t.Error("cycle accepted")
+	}
+	if err := r.AddSubtype(a, a); err == nil {
+		t.Error("self edge accepted")
+	}
+}
+
+func TestRegistryMultipleSupertypes(t *testing.T) {
+	r := NewRegistry()
+	child := MustParse("x/child")
+	p1, p2 := MustParse("x/p1"), MustParse("y/p2")
+	if err := r.AddSubtype(child, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AddSubtype(child, p2); err != nil {
+		t.Fatal(err)
+	}
+	if !r.SubtypeOf(child, p1) || !r.SubtypeOf(child, p2) {
+		t.Error("multiple supertypes not both reachable")
+	}
+	sups := r.Supertypes(child)
+	if len(sups) != 2 {
+		t.Errorf("Supertypes = %v", sups)
+	}
+}
+
+func TestDefaultRegistry(t *testing.T) {
+	r := DefaultRegistry()
+	if !r.SubtypeOf(MustParse("text/richtext"), MustParse("text/enriched")) {
+		t.Error("default richtext edge missing")
+	}
+}
+
+// Property-based: parse never panics and accepted inputs round-trip.
+func TestParseQuick(t *testing.T) {
+	f := func(a, b string) bool {
+		mt, err := ParseMediaType(a + "/" + b)
+		if err != nil {
+			return true
+		}
+		back, err := ParseMediaType(mt.String())
+		return err == nil && back.Equal(mt)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonicalHeaderKey(t *testing.T) {
+	cases := map[string]string{
+		"content-type":    "Content-Type",
+		"CONTENT-LENGTH":  "Content-Length",
+		"x-my-header":     "X-My-Header",
+		"Content-Session": "Content-Session",
+	}
+	for in, want := range cases {
+		if got := CanonicalHeaderKey(in); got != want {
+			t.Errorf("CanonicalHeaderKey(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestMediaTypePredicates(t *testing.T) {
+	if !Wildcard.IsWildcard() || Wildcard.IsFamily() {
+		t.Error("Wildcard predicates wrong")
+	}
+	fam := MustParse("text")
+	if fam.IsWildcard() || !fam.IsFamily() {
+		t.Error("family predicates wrong")
+	}
+	leaf := MustParse("text/plain")
+	if leaf.IsWildcard() || leaf.IsFamily() {
+		t.Error("leaf predicates wrong")
+	}
+	if !strings.Contains(leaf.String(), "/") {
+		t.Error("String missing slash")
+	}
+}

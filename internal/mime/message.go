@@ -1,0 +1,205 @@
+package mime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// Well-known header fields. Content-Session and Content-Peers are the
+// MIME-extension-fields MobiGATE defines: the session field tags every
+// message with the stream instance it belongs to (§4.4.3, streamlet
+// sharing), and the peers field is the chain of peer-streamlet IDs the
+// client's Message Distributor consumes in reverse order (§6.5).
+const (
+	HeaderContentType    = "Content-Type"
+	HeaderContentLength  = "Content-Length"
+	HeaderContentSession = "Content-Session"
+	HeaderContentPeers   = "Content-Peers"
+	HeaderMessageID      = "Message-Id"
+)
+
+// Message is a MIME-formatted message flowing through MobiGATE. Headers are
+// kept in insertion order so the wire form is stable; the body is opaque
+// bytes whose interpretation is given by Content-Type.
+type Message struct {
+	// ID identifies the message inside the central message pool; streamlets
+	// pass IDs by reference rather than copying bodies (§6.7).
+	ID string
+
+	keys   []string          // canonical header keys, insertion order
+	fields map[string]string // canonical key -> value
+	body   []byte
+}
+
+var msgCounter atomic.Uint64
+
+// NewMessage creates a message of the given media type with a fresh unique
+// ID. The body slice is retained, not copied.
+func NewMessage(t MediaType, body []byte) *Message {
+	m := &Message{
+		ID:     fmt.Sprintf("msg-%d", msgCounter.Add(1)),
+		fields: make(map[string]string, 4),
+	}
+	m.SetHeader(HeaderContentType, t.String())
+	m.body = body
+	return m
+}
+
+// CanonicalHeaderKey normalizes a header name the way net/textproto does:
+// the first letter and letters following hyphens are upper-cased.
+func CanonicalHeaderKey(k string) string {
+	b := []byte(k)
+	upper := true
+	for i, c := range b {
+		if upper && 'a' <= c && c <= 'z' {
+			b[i] = c - ('a' - 'A')
+		} else if !upper && 'A' <= c && c <= 'Z' {
+			b[i] = c + ('a' - 'A')
+		}
+		upper = c == '-'
+	}
+	return string(b)
+}
+
+// SetHeader sets a header field, replacing any previous value.
+func (m *Message) SetHeader(key, value string) {
+	if m.fields == nil {
+		m.fields = make(map[string]string, 4)
+	}
+	ck := CanonicalHeaderKey(key)
+	if _, ok := m.fields[ck]; !ok {
+		m.keys = append(m.keys, ck)
+	}
+	m.fields[ck] = value
+}
+
+// Header returns the value of a header field ("" if absent).
+func (m *Message) Header(key string) string {
+	return m.fields[CanonicalHeaderKey(key)]
+}
+
+// DelHeader removes a header field if present.
+func (m *Message) DelHeader(key string) {
+	ck := CanonicalHeaderKey(key)
+	if _, ok := m.fields[ck]; !ok {
+		return
+	}
+	delete(m.fields, ck)
+	for i, k := range m.keys {
+		if k == ck {
+			m.keys = append(m.keys[:i], m.keys[i+1:]...)
+			break
+		}
+	}
+}
+
+// Headers returns the header keys in insertion order (a copy).
+func (m *Message) Headers() []string {
+	out := make([]string, len(m.keys))
+	copy(out, m.keys)
+	return out
+}
+
+// Body returns the message body without copying.
+func (m *Message) Body() []byte { return m.body }
+
+// SetBody replaces the body (retaining the slice).
+func (m *Message) SetBody(b []byte) { m.body = b }
+
+// Len returns the body length in bytes.
+func (m *Message) Len() int { return len(m.body) }
+
+// ContentType parses the Content-Type field; it returns "*/*" when the
+// field is absent or malformed, matching the permissive behaviour the
+// Message Distributor needs for unknown payloads.
+func (m *Message) ContentType() MediaType {
+	t, err := ParseMediaType(m.Header(HeaderContentType))
+	if err != nil {
+		return Wildcard
+	}
+	return t
+}
+
+// SetContentType sets the Content-Type field.
+func (m *Message) SetContentType(t MediaType) {
+	m.SetHeader(HeaderContentType, t.String())
+}
+
+// Session returns the Content-Session stream-instance tag ("" if unset).
+func (m *Message) Session() string { return m.Header(HeaderContentSession) }
+
+// SetSession tags the message with the stream instance that owns it.
+func (m *Message) SetSession(id string) { m.SetHeader(HeaderContentSession, id) }
+
+// PushPeer appends a peer-streamlet ID to the Content-Peers chain. Server
+// streamlets call this before writing to their output port so the client
+// knows which reverse streamlets to apply (§6.5).
+func (m *Message) PushPeer(peerID string) {
+	cur := m.Header(HeaderContentPeers)
+	if cur == "" {
+		m.SetHeader(HeaderContentPeers, peerID)
+		return
+	}
+	m.SetHeader(HeaderContentPeers, cur+","+peerID)
+}
+
+// PopPeer removes and returns the most recently pushed peer ID; ok is false
+// when the chain is empty. The client distributor pops peers LIFO so the
+// last transformation applied is the first reversed.
+func (m *Message) PopPeer() (peerID string, ok bool) {
+	cur := m.Header(HeaderContentPeers)
+	if cur == "" {
+		return "", false
+	}
+	if i := strings.LastIndexByte(cur, ','); i >= 0 {
+		m.SetHeader(HeaderContentPeers, cur[:i])
+		return cur[i+1:], true
+	}
+	m.DelHeader(HeaderContentPeers)
+	return cur, true
+}
+
+// Peers returns the current peer chain in push order (possibly empty).
+func (m *Message) Peers() []string {
+	cur := m.Header(HeaderContentPeers)
+	if cur == "" {
+		return nil
+	}
+	return strings.Split(cur, ",")
+}
+
+// Clone deep-copies the message, including the body. Used by the
+// pass-by-value pool mode and by streamlets that must not alias input.
+func (m *Message) Clone() *Message {
+	c := &Message{
+		ID:     fmt.Sprintf("msg-%d", msgCounter.Add(1)),
+		keys:   make([]string, len(m.keys)),
+		fields: make(map[string]string, len(m.fields)),
+		body:   make([]byte, len(m.body)),
+	}
+	copy(c.keys, m.keys)
+	for k, v := range m.fields {
+		c.fields[k] = v
+	}
+	copy(c.body, m.body)
+	return c
+}
+
+// String summarizes the message for logs.
+func (m *Message) String() string {
+	return fmt.Sprintf("Message(%s %s %dB)", m.ID, m.Header(HeaderContentType), len(m.body))
+}
+
+// parseContentLength reads a Content-Length value; -1 when absent/invalid.
+func parseContentLength(v string) int64 {
+	if v == "" {
+		return -1
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+	if err != nil || n < 0 {
+		return -1
+	}
+	return n
+}

@@ -1,0 +1,104 @@
+package mime
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Registry is the extensible type lattice of Figure 4-1. Beyond the
+// structural wildcard/family rules of MediaType.SubtypeOf, a Registry lets
+// streamlet providers declare explicit subtype edges — e.g. that
+// "text/richtext" is a direct subtype of "text/enriched" — so the MCL
+// compatibility check can traverse a richer hierarchy. A type may have
+// multiple direct supertypes and multiple direct subtypes.
+//
+// A Registry is safe for concurrent use.
+type Registry struct {
+	mu sync.RWMutex
+	// supers maps a base-type key to its declared direct supertypes.
+	supers map[string][]MediaType
+}
+
+// NewRegistry returns an empty registry; the structural rules (wildcards,
+// top-level families) always apply even with no declared edges.
+func NewRegistry() *Registry {
+	return &Registry{supers: make(map[string][]MediaType)}
+}
+
+// DefaultRegistry carries the handful of well-known relations used in the
+// thesis examples: text/richtext ⊂ text/plain family conversions and the
+// application/postscript → text/richtext distillation chain.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	// Registered as in Figure 4-1's sample hierarchy: richtext specializes
+	// enriched text, and both are (structurally) inside text/*.
+	must(r.AddSubtype(MustParse("text/richtext"), MustParse("text/enriched")))
+	must(r.AddSubtype(MustParse("image/pgm"), MustParse("image/x-raster")))
+	return r
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// AddSubtype declares child to be a direct subtype of parent. It rejects
+// self-edges and edges that would create a cycle among declared edges
+// (the structural lattice is acyclic by construction).
+func (r *Registry) AddSubtype(child, parent MediaType) error {
+	child, parent = child.Base(), parent.Base()
+	if child.Equal(parent) {
+		return fmt.Errorf("mime: self subtype edge %s", child)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.reachesLocked(parent, child) {
+		return fmt.Errorf("mime: subtype edge %s -> %s would create a cycle", child, parent)
+	}
+	r.supers[child.key()] = append(r.supers[child.key()], parent)
+	return nil
+}
+
+// SubtypeOf reports whether from is equal to or a subtype of to, combining
+// the structural rules with declared edges transitively. This is the
+// relation used by the MCL compiler when validating connect(...) calls.
+func (r *Registry) SubtypeOf(from, to MediaType) bool {
+	if from.SubtypeOf(to) {
+		return true
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.reachesLocked(from, to)
+}
+
+// reachesLocked walks declared super edges from `from`, applying the
+// structural rule at every step, under the caller's lock.
+func (r *Registry) reachesLocked(from, to MediaType) bool {
+	seen := map[string]bool{}
+	stack := []MediaType{from.Base()}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur.key()] {
+			continue
+		}
+		seen[cur.key()] = true
+		if cur.SubtypeOf(to) {
+			return true
+		}
+		stack = append(stack, r.supers[cur.key()]...)
+	}
+	return false
+}
+
+// Supertypes returns the declared direct supertypes of t (not including the
+// structural family/wildcard supertypes). The returned slice is a copy.
+func (r *Registry) Supertypes(t MediaType) []MediaType {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	edges := r.supers[t.Base().key()]
+	out := make([]MediaType, len(edges))
+	copy(out, edges)
+	return out
+}

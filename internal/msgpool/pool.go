@@ -1,0 +1,143 @@
+// Package msgpool implements MobiGATE's centralized message storage (§6.7):
+// incoming messages are copied into a message pool once, and streamlets
+// exchange message identifiers rather than message bodies. Passing by
+// reference avoids the copying latency and memory pressure that Figure 7-3
+// measures against the naive pass-by-value scheme, which this package also
+// implements so the comparison can be reproduced.
+package msgpool
+
+import (
+	"fmt"
+	"sync"
+
+	"mobigate/internal/mime"
+)
+
+// Mode selects the buffer-management scheme.
+type Mode int
+
+const (
+	// ByReference stores each message once; Forward hands the same
+	// identifier to the next streamlet (the MobiGATE scheme).
+	ByReference Mode = iota
+	// ByValue deep-copies the message on every Forward, modelling the
+	// per-hop copying cost of value passing (the Figure 7-3 baseline).
+	ByValue
+)
+
+func (m Mode) String() string {
+	if m == ByValue {
+		return "by-value"
+	}
+	return "by-reference"
+}
+
+// Pool is a message pool. It is safe for concurrent use.
+type Pool struct {
+	mode Mode
+
+	mu   sync.RWMutex
+	msgs map[string]*mime.Message
+	// sizes records the body length counted for each entry, so accounting
+	// stays correct even when a caller mutates a stored message in place
+	// and re-registers it via Replace.
+	sizes map[string]int
+	bytes int64
+}
+
+// New creates an empty pool operating in the given mode.
+func New(mode Mode) *Pool {
+	return &Pool{mode: mode, msgs: make(map[string]*mime.Message), sizes: make(map[string]int)}
+}
+
+// Mode returns the pool's buffer-management scheme.
+func (p *Pool) Mode() Mode { return p.mode }
+
+// Put stores a message and returns its identifier.
+func (p *Pool) Put(m *mime.Message) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, exists := p.sizes[m.ID]; exists {
+		p.bytes -= int64(prev)
+	}
+	p.msgs[m.ID] = m
+	p.sizes[m.ID] = m.Len()
+	p.bytes += int64(m.Len())
+	return m.ID
+}
+
+// Get returns the message with the given identifier, or an error when the
+// identifier is unknown (e.g. the message was dropped by a full queue and
+// removed).
+func (p *Pool) Get(id string) (*mime.Message, error) {
+	p.mu.RLock()
+	m := p.msgs[id]
+	p.mu.RUnlock()
+	if m == nil {
+		return nil, fmt.Errorf("msgpool: unknown message %q", id)
+	}
+	return m, nil
+}
+
+// Forward prepares a message for handing to the next streamlet and returns
+// the identifier to enqueue. By reference this is the identity; by value
+// the message is deep-copied and the copy stored under a fresh identifier.
+func (p *Pool) Forward(id string) (string, error) {
+	if p.mode == ByReference {
+		return id, nil
+	}
+	m, err := p.Get(id)
+	if err != nil {
+		return "", err
+	}
+	c := m.Clone()
+	p.Put(c)
+	return c.ID, nil
+}
+
+// Remove deletes a message from the pool (after final delivery, or when a
+// queue dropped it). Unknown identifiers are ignored.
+func (p *Pool) Remove(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.msgs[id]; ok {
+		p.bytes -= int64(p.sizes[id])
+		delete(p.msgs, id)
+		delete(p.sizes, id)
+	}
+}
+
+// Replace atomically substitutes the stored message for id with m (a
+// streamlet that transformed the body in place registers the result). The
+// returned identifier is m's (which may differ from id). The old entry is
+// removed when the identifiers differ.
+func (p *Pool) Replace(id string, m *mime.Message) string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if old, ok := p.msgs[id]; ok && old.ID != m.ID {
+		p.bytes -= int64(p.sizes[id])
+		delete(p.msgs, id)
+		delete(p.sizes, id)
+	}
+	if _, exists := p.sizes[m.ID]; exists {
+		p.bytes -= int64(p.sizes[m.ID])
+	}
+	p.msgs[m.ID] = m
+	p.sizes[m.ID] = m.Len()
+	p.bytes += int64(m.Len())
+	return m.ID
+}
+
+// Len returns the number of pooled messages.
+func (p *Pool) Len() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.msgs)
+}
+
+// Bytes returns the total body bytes held by the pool.
+func (p *Pool) Bytes() int64 {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return p.bytes
+}

@@ -1,0 +1,153 @@
+package msgpool
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mobigate/internal/mime"
+)
+
+func msg(body string) *mime.Message {
+	return mime.NewMessage(mime.MustParse("text/plain"), []byte(body))
+}
+
+func TestPutGetRemove(t *testing.T) {
+	p := New(ByReference)
+	m := msg("hello")
+	id := p.Put(m)
+	if id != m.ID {
+		t.Errorf("Put returned %q", id)
+	}
+	got, err := p.Get(id)
+	if err != nil || got != m {
+		t.Errorf("Get = %v, %v", got, err)
+	}
+	if p.Len() != 1 || p.Bytes() != 5 {
+		t.Errorf("Len=%d Bytes=%d", p.Len(), p.Bytes())
+	}
+	p.Remove(id)
+	if _, err := p.Get(id); err == nil {
+		t.Error("Get after Remove succeeded")
+	}
+	if p.Len() != 0 || p.Bytes() != 0 {
+		t.Errorf("after remove: Len=%d Bytes=%d", p.Len(), p.Bytes())
+	}
+	p.Remove("ghost") // no panic
+}
+
+func TestPutIdempotentAccounting(t *testing.T) {
+	p := New(ByReference)
+	m := msg("abcd")
+	p.Put(m)
+	p.Put(m) // same message twice must not double-count
+	if p.Bytes() != 4 || p.Len() != 1 {
+		t.Errorf("Bytes=%d Len=%d", p.Bytes(), p.Len())
+	}
+}
+
+func TestForwardByReference(t *testing.T) {
+	p := New(ByReference)
+	m := msg("shared")
+	id := p.Put(m)
+	fid, err := p.Forward(id)
+	if err != nil || fid != id {
+		t.Errorf("Forward = %q, %v", fid, err)
+	}
+	if p.Len() != 1 {
+		t.Errorf("by-ref forward grew pool to %d", p.Len())
+	}
+}
+
+func TestForwardByValue(t *testing.T) {
+	p := New(ByValue)
+	m := msg("copy me")
+	id := p.Put(m)
+	fid, err := p.Forward(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fid == id {
+		t.Error("by-value forward returned same id")
+	}
+	c, err := p.Get(fid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Body(), m.Body()) {
+		t.Error("copy corrupted")
+	}
+	c.Body()[0] = 'X'
+	if m.Body()[0] == 'X' {
+		t.Error("by-value copy aliases original")
+	}
+	if p.Len() != 2 {
+		t.Errorf("pool len = %d", p.Len())
+	}
+}
+
+func TestForwardUnknown(t *testing.T) {
+	p := New(ByValue)
+	if _, err := p.Forward("nope"); err == nil {
+		t.Error("forward unknown succeeded")
+	}
+	if _, err := New(ByReference).Get("nope"); err == nil {
+		t.Error("get unknown succeeded")
+	}
+}
+
+func TestReplace(t *testing.T) {
+	p := New(ByReference)
+	orig := msg("original body")
+	id := p.Put(orig)
+	smaller := msg("tiny")
+	nid := p.Replace(id, smaller)
+	if nid != smaller.ID {
+		t.Errorf("Replace returned %q", nid)
+	}
+	if _, err := p.Get(id); err == nil {
+		t.Error("old entry survived Replace")
+	}
+	if p.Bytes() != int64(smaller.Len()) || p.Len() != 1 {
+		t.Errorf("Bytes=%d Len=%d", p.Bytes(), p.Len())
+	}
+	// Replace with itself (transform in place, same ID).
+	smaller.SetBody([]byte("tiny-grown"))
+	p.Replace(smaller.ID, smaller)
+	if p.Bytes() != int64(smaller.Len()) {
+		t.Errorf("in-place replace bytes = %d", p.Bytes())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ByReference.String() != "by-reference" || ByValue.String() != "by-value" {
+		t.Error("mode strings")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	p := New(ByValue)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m := msg(fmt.Sprintf("g%d-i%d", g, i))
+				id := p.Put(m)
+				fid, err := p.Forward(id)
+				if err != nil {
+					t.Errorf("forward: %v", err)
+					return
+				}
+				p.Remove(fid)
+				p.Remove(id)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if p.Len() != 0 || p.Bytes() != 0 {
+		t.Errorf("leaked: Len=%d Bytes=%d", p.Len(), p.Bytes())
+	}
+}

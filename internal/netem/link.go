@@ -1,0 +1,293 @@
+// Package netem emulates the wireless operating environment of the thesis
+// testbed (§7.1): a link with configurable bandwidth, propagation delay and
+// loss, standing in for the Linux-router setup of Figure 7-1. Two modes are
+// provided: RealTime actually paces deliveries (for interactive examples),
+// while Virtual advances a simulated clock analytically so the Figure 7-7
+// sweep over 20 Kb/s … 2 Mb/s runs in milliseconds. Both modes apply the
+// same per-message cost model:
+//
+//	t(msg) = wireBits / bandwidth · 1/(1-loss)  +  RTT (when acked)
+//
+// The per-message acknowledgement term reproduces the delay-sensitivity the
+// thesis observed (its transfers were request/response over TCP), and the
+// loss rate is folded into an effective-bandwidth factor, modelling
+// link-layer retransmission of a reliable channel.
+package netem
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mobigate/internal/mime"
+)
+
+// Mode selects how the link passes time.
+type Mode int
+
+const (
+	// Virtual advances a simulated clock; Send never sleeps.
+	Virtual Mode = iota
+	// RealTime paces message delivery with the wall clock.
+	RealTime
+)
+
+func (m Mode) String() string {
+	if m == RealTime {
+		return "real-time"
+	}
+	return "virtual"
+}
+
+// headerOverheadBytes approximates per-message framing cost on the wire
+// (MIME headers plus transport framing).
+const headerOverheadBytes = 160
+
+// Config parameterizes a link.
+type Config struct {
+	// BandwidthBps is the link bandwidth in bits per second.
+	BandwidthBps int64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// LossRate in [0, 1) models link-layer retransmissions: the effective
+	// bandwidth is scaled by (1 - LossRate).
+	LossRate float64
+	// AckPerMessage adds one round-trip per message (the request/response
+	// behaviour of the thesis testbed). Default true; set NoAck to disable.
+	NoAck bool
+	// Mode selects virtual or real-time pacing.
+	Mode Mode
+	// Seed drives loss randomization bookkeeping (stats only).
+	Seed int64
+}
+
+// Delivery is a message that crossed the link, with its arrival stamp on
+// the link's clock.
+type Delivery struct {
+	Msg *mime.Message
+	// Arrival is the position of the link clock when the message fully
+	// arrived (virtual mode) or the wall-clock arrival (real-time mode,
+	// relative to link creation).
+	Arrival time.Duration
+}
+
+// Link is a point-to-point emulated wireless link. Safe for concurrent
+// senders; deliveries preserve send order.
+type Link struct {
+	mu   sync.Mutex
+	cfg  Config
+	rng  *rand.Rand
+	out  chan Delivery
+	done chan struct{}
+
+	clock     time.Duration // virtual elapsed transmission time
+	started   time.Time     // real-time base
+	bytesSent int64
+	msgsSent  int64
+	bwChanges []func(old, new int64)
+	closed    bool
+}
+
+// ErrLinkClosed is returned by Send after Close.
+var ErrLinkClosed = errors.New("netem: link closed")
+
+// New creates a link. Bandwidth must be positive.
+func New(cfg Config) (*Link, error) {
+	if cfg.BandwidthBps <= 0 {
+		return nil, fmt.Errorf("netem: bandwidth must be positive, got %d", cfg.BandwidthBps)
+	}
+	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
+		return nil, fmt.Errorf("netem: loss rate %v outside [0, 1)", cfg.LossRate)
+	}
+	return &Link{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		out:     make(chan Delivery, 4096),
+		done:    make(chan struct{}),
+		started: time.Now(),
+	}, nil
+}
+
+// MustNew is New that panics on error (for fixed configurations).
+func MustNew(cfg Config) *Link {
+	l, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Bandwidth returns the current bandwidth in bits per second.
+func (l *Link) Bandwidth() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cfg.BandwidthBps
+}
+
+// SetBandwidth changes the link bandwidth (a vertical handoff or signal
+// variation) and notifies observers.
+func (l *Link) SetBandwidth(bps int64) error {
+	if bps <= 0 {
+		return fmt.Errorf("netem: bandwidth must be positive, got %d", bps)
+	}
+	l.mu.Lock()
+	old := l.cfg.BandwidthBps
+	l.cfg.BandwidthBps = bps
+	observers := make([]func(old, new int64), len(l.bwChanges))
+	copy(observers, l.bwChanges)
+	l.mu.Unlock()
+	for _, f := range observers {
+		f(old, bps)
+	}
+	return nil
+}
+
+// OnBandwidthChange registers an observer called after every SetBandwidth.
+func (l *Link) OnBandwidthChange(f func(old, new int64)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.bwChanges = append(l.bwChanges, f)
+}
+
+// WireBytes returns the modelled on-the-wire size of a message.
+func WireBytes(m *mime.Message) int64 {
+	return int64(m.Len() + headerOverheadBytes)
+}
+
+// TransferTime returns the modelled time for one message at the current
+// configuration.
+func (l *Link) TransferTime(m *mime.Message) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.transferTimeLocked(WireBytes(m))
+}
+
+func (l *Link) transferTimeLocked(wire int64) time.Duration {
+	bits := float64(wire * 8)
+	eff := float64(l.cfg.BandwidthBps) * (1 - l.cfg.LossRate)
+	tx := time.Duration(bits / eff * float64(time.Second))
+	if l.cfg.NoAck {
+		return tx + l.cfg.Delay
+	}
+	return tx + 2*l.cfg.Delay
+}
+
+// Send transmits a message across the link. In virtual mode the link clock
+// advances and the call returns immediately; in real-time mode the call
+// sleeps for the transfer time.
+func (l *Link) Send(m *mime.Message) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrLinkClosed
+	}
+	wire := WireBytes(m)
+	cost := l.transferTimeLocked(wire)
+	l.bytesSent += wire
+	l.msgsSent++
+
+	if l.cfg.Mode == Virtual {
+		l.clock += cost
+		arrival := l.clock
+		l.mu.Unlock()
+		select {
+		case l.out <- Delivery{Msg: m, Arrival: arrival}:
+			return nil
+		case <-l.done:
+			return ErrLinkClosed
+		}
+	}
+	l.mu.Unlock()
+
+	select {
+	case <-time.After(cost):
+	case <-l.done:
+		return ErrLinkClosed
+	}
+	select {
+	case l.out <- Delivery{Msg: m, Arrival: time.Since(l.started)}:
+		return nil
+	case <-l.done:
+		return ErrLinkClosed
+	}
+}
+
+// SendMessage lets a Link serve as a services.Sink.
+func (l *Link) SendMessage(m *mime.Message) error { return l.Send(m) }
+
+// Receive returns the next delivery, waiting up to timeout.
+func (l *Link) Receive(timeout time.Duration) (Delivery, error) {
+	select {
+	case d := <-l.out:
+		return d, nil
+	case <-time.After(timeout):
+		return Delivery{}, fmt.Errorf("netem: receive timed out after %v", timeout)
+	case <-l.done:
+		// Drain anything already queued before reporting closure.
+		select {
+		case d := <-l.out:
+			return d, nil
+		default:
+			return Delivery{}, ErrLinkClosed
+		}
+	}
+}
+
+// TryReceive returns a pending delivery without blocking.
+func (l *Link) TryReceive() (Delivery, bool) {
+	select {
+	case d := <-l.out:
+		return d, true
+	default:
+		return Delivery{}, false
+	}
+}
+
+// Deliveries exposes the receive channel for select-based consumers.
+func (l *Link) Deliveries() <-chan Delivery { return l.out }
+
+// Elapsed returns the link clock: total modelled transmission time in
+// virtual mode, wall time since creation in real-time mode.
+func (l *Link) Elapsed() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.Mode == Virtual {
+		return l.clock
+	}
+	return time.Since(l.started)
+}
+
+// Stats returns cumulative wire bytes and message count.
+func (l *Link) Stats() (bytes int64, msgs int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytesSent, l.msgsSent
+}
+
+// ThroughputBps returns delivered payload bits per second of link time.
+func (l *Link) ThroughputBps() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var elapsed time.Duration
+	if l.cfg.Mode == Virtual {
+		elapsed = l.clock
+	} else {
+		elapsed = time.Since(l.started)
+	}
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(l.bytesSent*8) / elapsed.Seconds()
+}
+
+// Close shuts the link down; pending receives drain, further sends fail.
+func (l *Link) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		l.closed = true
+		close(l.done)
+	}
+}

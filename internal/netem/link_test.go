@@ -1,0 +1,271 @@
+package netem
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate/internal/event"
+	"mobigate/internal/mime"
+)
+
+func msg(n int) *mime.Message {
+	return mime.NewMessage(mime.MustParse("application/octet-stream"), make([]byte, n))
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{BandwidthBps: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := New(Config{BandwidthBps: 1000, LossRate: 1.0}); err == nil {
+		t.Error("loss rate 1.0 accepted")
+	}
+	if _, err := New(Config{BandwidthBps: 1000, LossRate: -0.1}); err == nil {
+		t.Error("negative loss accepted")
+	}
+}
+
+func TestVirtualClockAdvances(t *testing.T) {
+	// 8000 bits/s; message of 1000-160 payload bytes → wire 1000 bytes =
+	// 8000 bits → exactly 1 virtual second (no delay, no loss).
+	l := MustNew(Config{BandwidthBps: 8000, NoAck: true})
+	start := time.Now()
+	if err := l.Send(msg(1000 - headerOverheadBytes)); err != nil {
+		t.Fatal(err)
+	}
+	if real := time.Since(start); real > 100*time.Millisecond {
+		t.Errorf("virtual send took %v of wall time", real)
+	}
+	if got := l.Elapsed(); got != time.Second {
+		t.Errorf("virtual clock = %v, want 1s", got)
+	}
+	d, err := l.Receive(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Arrival != time.Second {
+		t.Errorf("arrival = %v", d.Arrival)
+	}
+}
+
+func TestAckPerMessageAddsRTT(t *testing.T) {
+	base := MustNew(Config{BandwidthBps: 8000, NoAck: true})
+	acked := MustNew(Config{BandwidthBps: 8000, Delay: 50 * time.Millisecond})
+	m := msg(1000 - headerOverheadBytes)
+	if got, want := base.TransferTime(m), time.Second; got != want {
+		t.Errorf("no-ack transfer = %v", got)
+	}
+	if got, want := acked.TransferTime(m), time.Second+100*time.Millisecond; got != want {
+		t.Errorf("acked transfer = %v, want %v", got, want)
+	}
+	// NoAck still pays one-way delay.
+	oneway := MustNew(Config{BandwidthBps: 8000, NoAck: true, Delay: 30 * time.Millisecond})
+	if got, want := oneway.TransferTime(m), time.Second+30*time.Millisecond; got != want {
+		t.Errorf("one-way transfer = %v, want %v", got, want)
+	}
+}
+
+func TestLossScalesEffectiveBandwidth(t *testing.T) {
+	clean := MustNew(Config{BandwidthBps: 8000, NoAck: true})
+	lossy := MustNew(Config{BandwidthBps: 8000, NoAck: true, LossRate: 0.5})
+	m := msg(840)
+	if lossy.TransferTime(m) <= clean.TransferTime(m) {
+		t.Error("loss did not slow the link")
+	}
+	ratio := float64(lossy.TransferTime(m)) / float64(clean.TransferTime(m))
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("50%% loss ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestVirtualOrderPreserved(t *testing.T) {
+	l := MustNew(Config{BandwidthBps: 1 << 20, NoAck: true})
+	for i := 0; i < 10; i++ {
+		m := msg(100)
+		m.SetHeader("X-Seq", string(rune('a'+i)))
+		if err := l.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var last time.Duration
+	for i := 0; i < 10; i++ {
+		d, err := l.Receive(time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Msg.Header("X-Seq") != string(rune('a'+i)) {
+			t.Errorf("order broken at %d", i)
+		}
+		if d.Arrival < last {
+			t.Error("arrival times not monotone")
+		}
+		last = d.Arrival
+	}
+}
+
+func TestRealTimeMode(t *testing.T) {
+	// 80 kb/s, 1000-byte wire message → 100 ms.
+	l := MustNew(Config{BandwidthBps: 80000, NoAck: true, Mode: RealTime})
+	start := time.Now()
+	if err := l.Send(msg(1000 - headerOverheadBytes)); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 80*time.Millisecond {
+		t.Errorf("real-time send returned in %v, want ≥ ~100ms", elapsed)
+	}
+	if _, err := l.Receive(time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetBandwidthAndObservers(t *testing.T) {
+	l := MustNew(Config{BandwidthBps: 1000})
+	var mu sync.Mutex
+	var calls [][2]int64
+	l.OnBandwidthChange(func(old, new int64) {
+		mu.Lock()
+		calls = append(calls, [2]int64{old, new})
+		mu.Unlock()
+	})
+	if err := l.SetBandwidth(2000); err != nil {
+		t.Fatal(err)
+	}
+	if l.Bandwidth() != 2000 {
+		t.Errorf("bandwidth = %d", l.Bandwidth())
+	}
+	if err := l.SetBandwidth(0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(calls) != 1 || calls[0] != [2]int64{1000, 2000} {
+		t.Errorf("calls = %v", calls)
+	}
+}
+
+func TestStatsAndThroughput(t *testing.T) {
+	l := MustNew(Config{BandwidthBps: 8000, NoAck: true})
+	if l.ThroughputBps() != 0 {
+		t.Error("throughput before traffic")
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Send(msg(840)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bytes, msgs := l.Stats()
+	if msgs != 4 || bytes != 4*1000 {
+		t.Errorf("stats = %d bytes, %d msgs", bytes, msgs)
+	}
+	// Saturated virtual link throughput equals configured bandwidth.
+	tp := l.ThroughputBps()
+	if tp < 7900 || tp > 8100 {
+		t.Errorf("throughput = %.0f, want ~8000", tp)
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	l := MustNew(Config{BandwidthBps: 8000, NoAck: true})
+	if err := l.Send(msg(100)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	l.Close() // idempotent
+	if err := l.Send(msg(100)); err != ErrLinkClosed {
+		t.Errorf("send after close = %v", err)
+	}
+	// Pending delivery drains.
+	if _, err := l.Receive(time.Second); err != nil {
+		t.Errorf("pending delivery lost: %v", err)
+	}
+	if _, err := l.Receive(10 * time.Millisecond); err != ErrLinkClosed {
+		t.Errorf("empty closed receive = %v", err)
+	}
+}
+
+func TestReceiveTimeout(t *testing.T) {
+	l := MustNew(Config{BandwidthBps: 8000})
+	if _, err := l.Receive(10 * time.Millisecond); err == nil {
+		t.Error("empty receive returned")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	l := MustNew(Config{BandwidthBps: 1 << 24, NoAck: true})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := l.Send(msg(64)); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	_, msgs := l.Stats()
+	if msgs != 200 {
+		t.Errorf("msgs = %d", msgs)
+	}
+}
+
+func TestWatchBandwidthRaisesEvents(t *testing.T) {
+	mgr := event.NewManager(nil)
+	defer mgr.Close()
+	rec := &recorder{name: "webApp"}
+	mgr.Subscribe(event.NetworkVariation, rec)
+
+	l := MustNew(Config{BandwidthBps: 200_000})
+	mon := WatchBandwidth(l, mgr, 100_000, "")
+	if mon.Below() {
+		t.Error("initially below")
+	}
+	_ = l.SetBandwidth(50_000)  // crossing down → LOW_BANDWIDTH
+	_ = l.SetBandwidth(40_000)  // still below → no event
+	_ = l.SetBandwidth(150_000) // crossing up → HIGH_BANDWIDTH
+	mgr.Close()
+
+	got := rec.events()
+	if len(got) != 2 || got[0].EventID != event.LOW_BANDWIDTH || got[1].EventID != event.HIGH_BANDWIDTH {
+		t.Errorf("events = %v", got)
+	}
+}
+
+func TestWatchBandwidthInitialBelow(t *testing.T) {
+	mgr := event.NewManager(nil)
+	rec := &recorder{name: "app"}
+	mgr.Subscribe(event.NetworkVariation, rec)
+	l := MustNew(Config{BandwidthBps: 50_000})
+	mon := WatchBandwidth(l, mgr, 100_000, "")
+	if !mon.Below() {
+		t.Error("not below at start")
+	}
+	mgr.Close()
+	if got := rec.events(); len(got) != 1 || got[0].EventID != event.LOW_BANDWIDTH {
+		t.Errorf("events = %v", got)
+	}
+}
+
+type recorder struct {
+	name string
+	mu   sync.Mutex
+	got  []event.ContextEvent
+}
+
+func (r *recorder) SubscriberName() string { return r.name }
+func (r *recorder) OnEvent(e event.ContextEvent) {
+	r.mu.Lock()
+	r.got = append(r.got, e)
+	r.mu.Unlock()
+}
+func (r *recorder) events() []event.ContextEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]event.ContextEvent, len(r.got))
+	copy(out, r.got)
+	return out
+}

@@ -1,0 +1,59 @@
+package netem
+
+import (
+	"sync"
+
+	"mobigate/internal/event"
+)
+
+// BandwidthMonitor watches a link and raises LOW_BANDWIDTH / HIGH_BANDWIDTH
+// context events when the bandwidth crosses a threshold — the context-
+// collection role the Event Manager's monitor thread plays in §6.4 (and the
+// TranSend-style handoff notification of §2.2.1). Events are raised only on
+// crossings, not on every change, so subscribed streams are not flooded.
+type BandwidthMonitor struct {
+	mu        sync.Mutex
+	below     bool
+	threshold int64
+	mgr       *event.Manager
+	source    string
+}
+
+// WatchBandwidth attaches a monitor to a link. Events carry the given
+// source ("" broadcasts to all subscribers of Network Variation events).
+// The initial state is evaluated immediately: a link already below the
+// threshold raises LOW_BANDWIDTH right away.
+func WatchBandwidth(l *Link, mgr *event.Manager, thresholdBps int64, source string) *BandwidthMonitor {
+	m := &BandwidthMonitor{threshold: thresholdBps, mgr: mgr, source: source}
+	m.evaluate(l.Bandwidth())
+	l.OnBandwidthChange(func(_, newBps int64) { m.evaluate(newBps) })
+	return m
+}
+
+func (m *BandwidthMonitor) evaluate(bps int64) {
+	m.mu.Lock()
+	wasBelow := m.below
+	m.below = bps < m.threshold
+	crossed := m.below != wasBelow
+	isBelow := m.below
+	m.mu.Unlock()
+	if !crossed && !isBelow {
+		return
+	}
+	if !crossed {
+		return
+	}
+	id := event.HIGH_BANDWIDTH
+	if isBelow {
+		id = event.LOW_BANDWIDTH
+	}
+	// Raise never fails for catalog events.
+	_ = m.mgr.Raise(id, m.source)
+}
+
+// Below reports whether the link is currently below the threshold.
+func (m *BandwidthMonitor) Below() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.below
+}

@@ -1,0 +1,452 @@
+// Package queue implements the MessageQueue abstraction of thesis §6.2: the
+// channel object through which all streamlet communication flows. A queue
+// carries message identifiers (the system passes messages by reference
+// through a central pool, §6.7) together with their byte sizes so that the
+// channel's buffer attribute — expressed in KBytes (§4.2.2) — can be
+// enforced.
+//
+// Asynchronous queues are bounded FIFO buffers whose postMessage waits up
+// to a grace period when full and then drops the message (Figure 6-9);
+// synchronous queues are zero-length rendezvous buffers that accept a value
+// only if it can be delivered immediately. The five channel categories
+// (S, BB, BK, KB, KK) govern what happens to pending units on disconnect.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"mobigate/internal/mcl"
+)
+
+// Errors returned by queue operations.
+var (
+	// ErrDropped reports that postMessage timed out on a full queue and the
+	// message was dropped (the slow-streamlet policy of §6.7).
+	ErrDropped = errors.New("queue: full, message dropped")
+	// ErrClosed reports an operation on a closed queue.
+	ErrClosed = errors.New("queue: closed")
+	// ErrDetachRefused reports a detach forbidden by the channel category.
+	ErrDetachRefused = errors.New("queue: category forbids disconnecting this side")
+	// ErrCanceled reports that the caller's stop channel fired.
+	ErrCanceled = errors.New("queue: operation canceled")
+)
+
+// DefaultDropTimeout is the grace period T of Figure 6-9 that a producer
+// waits on a full queue before dropping the message.
+const DefaultDropTimeout = 50 * time.Millisecond
+
+// Item is one queued message reference.
+type Item struct {
+	MsgID string
+	Size  int // body size in bytes, counted against the buffer capacity
+}
+
+// Options configure a queue beyond its MCL channel declaration.
+type Options struct {
+	// Mode selects synchronous (rendezvous) or asynchronous (buffered).
+	Mode mcl.ChannelMode
+	// Category is the disconnect-semantics category.
+	Category mcl.ChannelCategory
+	// CapacityBytes bounds the queued bytes of an asynchronous queue.
+	// Zero means the default 100 KBytes.
+	CapacityBytes int
+	// DropTimeout overrides DefaultDropTimeout; negative disables dropping
+	// (post blocks indefinitely while full).
+	DropTimeout time.Duration
+}
+
+// Queue is a MessageQueue. The zero value is not usable; use New.
+type Queue struct {
+	name string
+	opts Options
+
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	items      []Item
+	queuedSize int
+
+	// Producer/consumer counts (the pCount/cCount of Figure 6-3).
+	pCount int
+	cCount int
+
+	// waitingConsumers supports synchronous rendezvous: a sync post is
+	// admitted only when a consumer is blocked in Fetch.
+	waitingConsumers int
+
+	closed  bool
+	dropped uint64
+	posted  uint64
+	fetched uint64
+	acked   uint64
+}
+
+// New creates a queue named name (the channel instance variable).
+func New(name string, opts Options) *Queue {
+	if opts.CapacityBytes <= 0 {
+		opts.CapacityBytes = mcl.DefaultBufferKB * 1024
+	}
+	if opts.DropTimeout == 0 {
+		opts.DropTimeout = DefaultDropTimeout
+	}
+	q := &Queue{name: name, opts: opts}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// FromDecl creates a queue from an MCL channel declaration.
+func FromDecl(name string, d *mcl.ChannelDecl) *Queue {
+	return New(name, Options{
+		Mode:          d.Mode,
+		Category:      d.Category,
+		CapacityBytes: d.BufferKB * 1024,
+	})
+}
+
+// Name returns the queue's instance name.
+func (q *Queue) Name() string { return q.name }
+
+// Mode returns the queue's channel mode.
+func (q *Queue) Mode() mcl.ChannelMode { return q.opts.Mode }
+
+// Category returns the queue's disconnect category.
+func (q *Queue) Category() mcl.ChannelCategory { return q.opts.Category }
+
+// Post inserts a message reference, implementing postMessage of Figure 6-9:
+// if the queue is full the producer waits up to the drop timeout and then
+// drops the message, returning ErrDropped. stop aborts the wait early
+// (reconfiguration uses this to unblock suspended producers).
+func (q *Queue) Post(msgID string, size int, stop <-chan struct{}) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+
+	if q.opts.Mode == mcl.Sync {
+		return q.postSyncLocked(msgID, size, stop)
+	}
+
+	if q.queuedSize+size > q.opts.CapacityBytes && len(q.items) > 0 {
+		// Full: wait T, then drop (Figure 6-9). The timed wait is realized
+		// by a timer goroutine broadcasting on the condition variable.
+		if q.opts.DropTimeout >= 0 {
+			deadline := time.Now().Add(q.opts.DropTimeout)
+			for q.queuedSize+size > q.opts.CapacityBytes && len(q.items) > 0 && !q.closed {
+				if !q.waitUntilLocked(deadline, stop) {
+					break
+				}
+			}
+		} else {
+			for q.queuedSize+size > q.opts.CapacityBytes && len(q.items) > 0 && !q.closed {
+				if !q.waitLocked(stop) {
+					return ErrCanceled
+				}
+			}
+		}
+		if q.closed {
+			return ErrClosed
+		}
+		if stopped(stop) {
+			return ErrCanceled
+		}
+		if q.queuedSize+size > q.opts.CapacityBytes && len(q.items) > 0 {
+			q.dropped++
+			return ErrDropped
+		}
+	}
+
+	q.items = append(q.items, Item{MsgID: msgID, Size: size})
+	q.queuedSize += size
+	q.posted++
+	q.cond.Broadcast()
+	return nil
+}
+
+// postSyncLocked admits a value only when it can be delivered immediately:
+// it waits for a blocked consumer, hands the item over, and returns once
+// the consumer has taken it.
+func (q *Queue) postSyncLocked(msgID string, size int, stop <-chan struct{}) error {
+	for q.waitingConsumers == 0 || len(q.items) > 0 {
+		if q.closed {
+			return ErrClosed
+		}
+		if !q.waitLocked(stop) {
+			return ErrCanceled
+		}
+	}
+	q.items = append(q.items, Item{MsgID: msgID, Size: size})
+	q.queuedSize += size
+	q.posted++
+	q.cond.Broadcast()
+	// Wait until the rendezvous completes.
+	for len(q.items) > 0 && !q.closed {
+		if !q.waitLocked(stop) {
+			return ErrCanceled
+		}
+	}
+	if q.closed && len(q.items) > 0 {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Fetch removes and returns the oldest message reference, blocking until
+// one is available, the queue closes (ok=false), or stop fires (ok=false).
+func (q *Queue) Fetch(stop <-chan struct{}) (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// A canceled fetch must not consume an item even when one is already
+	// available: a consumer detached before its fetch loop was scheduled
+	// would otherwise steal messages destined for its replacement.
+	if stopped(stop) {
+		return Item{}, false
+	}
+	for len(q.items) == 0 {
+		if q.closed {
+			return Item{}, false
+		}
+		q.waitingConsumers++
+		q.cond.Broadcast() // wake sync producers waiting for a consumer
+		ok := q.waitLocked(stop)
+		q.waitingConsumers--
+		if !ok {
+			return Item{}, false
+		}
+	}
+	return q.takeLocked(), true
+}
+
+// TryFetch removes and returns the oldest message reference without
+// blocking.
+func (q *Queue) TryFetch() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return Item{}, false
+	}
+	return q.takeLocked(), true
+}
+
+func (q *Queue) takeLocked() Item {
+	it := q.items[0]
+	q.items = q.items[1:]
+	q.queuedSize -= it.Size
+	q.fetched++
+	q.cond.Broadcast()
+	return it
+}
+
+// waitLocked waits on the condition variable, returning false if stop fired.
+// The stop channel is bridged to the condition variable by a helper
+// goroutine armed once per call.
+func (q *Queue) waitLocked(stop <-chan struct{}) bool {
+	if stop == nil {
+		q.cond.Wait()
+		return true
+	}
+	if stopped(stop) {
+		return false
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-stop:
+			q.mu.Lock()
+			q.cond.Broadcast()
+			q.mu.Unlock()
+		case <-done:
+		}
+	}()
+	q.cond.Wait()
+	close(done)
+	return !stopped(stop)
+}
+
+// waitUntilLocked waits until the deadline (false) or a broadcast (true).
+func (q *Queue) waitUntilLocked(deadline time.Time, stop <-chan struct{}) bool {
+	remaining := time.Until(deadline)
+	if remaining <= 0 {
+		return false
+	}
+	timer := time.AfterFunc(remaining, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer timer.Stop()
+	if stop != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-stop:
+				q.mu.Lock()
+				q.cond.Broadcast()
+				q.mu.Unlock()
+			case <-done:
+			}
+		}()
+	}
+	q.cond.Wait()
+	if stopped(stop) {
+		return false
+	}
+	return time.Now().Before(deadline)
+}
+
+func stopped(stop <-chan struct{}) bool {
+	if stop == nil {
+		return false
+	}
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// Len returns the number of queued messages.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// QueuedBytes returns the byte total of queued messages.
+func (q *Queue) QueuedBytes() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queuedSize
+}
+
+// Empty reports len == 0; one of the streamlet-termination prerequisites of
+// Figure 6-8.
+func (q *Queue) Empty() bool { return q.Len() == 0 }
+
+// Ack records that a previously fetched message has been fully handled by
+// its consumer. The posted→acked lifetime makes a message continuously
+// visible to Outstanding — there is no instant where it is in neither the
+// queue nor a consumer's accounting, which the Figure 6-8 termination
+// check depends on.
+func (q *Queue) Ack() {
+	q.mu.Lock()
+	q.acked++
+	q.mu.Unlock()
+}
+
+// Outstanding returns posted − acked: messages enqueued but not yet fully
+// handled (still queued, in a consumer handoff, or being processed).
+func (q *Queue) Outstanding() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return int64(q.posted) - int64(q.acked)
+}
+
+// InFlight returns fetched − acked: messages taken out of the queue whose
+// handling has not completed.
+func (q *Queue) InFlight() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return int64(q.fetched) - int64(q.acked)
+}
+
+// Stats returns lifetime posted/fetched/dropped counters.
+func (q *Queue) Stats() (posted, fetched, dropped uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.posted, q.fetched, q.dropped
+}
+
+// IncProducer / DecProducer / IncConsumer / DecConsumer maintain the
+// pCount/cCount attachment counters of Figure 6-3.
+func (q *Queue) IncProducer() { q.mu.Lock(); q.pCount++; q.mu.Unlock() }
+func (q *Queue) IncConsumer() { q.mu.Lock(); q.cCount++; q.mu.Unlock() }
+
+func (q *Queue) DecProducer() {
+	q.mu.Lock()
+	if q.pCount > 0 {
+		q.pCount--
+	}
+	q.mu.Unlock()
+}
+
+func (q *Queue) DecConsumer() {
+	q.mu.Lock()
+	if q.cCount > 0 {
+		q.cCount--
+	}
+	q.mu.Unlock()
+}
+
+// Counts returns the current producer and consumer attachment counts.
+func (q *Queue) Counts() (producers, consumers int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.pCount, q.cCount
+}
+
+// Close marks the queue closed and wakes all waiters. Pending items remain
+// fetchable via TryFetch.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}
+
+// Closed reports whether Close was called.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// DetachSide identifies which end of the channel is being disconnected.
+type DetachSide int
+
+const (
+	// SourceSide is the producer (writer) end.
+	SourceSide DetachSide = iota
+	// SinkSide is the consumer (reader) end.
+	SinkSide
+)
+
+func (s DetachSide) String() string {
+	if s == SourceSide {
+		return "source"
+	}
+	return "sink"
+}
+
+// Detach applies the category semantics of §4.2.2 when one end of the
+// channel is disconnected. It returns whether the *other* end must also be
+// disconnected (BB), and an error when the category forbids the detach (KK,
+// or S with pending units).
+func (q *Queue) Detach(side DetachSide) (detachOther bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch q.opts.Category {
+	case mcl.CatKK:
+		return false, fmt.Errorf("%w: %s end of KK channel %s", ErrDetachRefused, side, q.name)
+	case mcl.CatS:
+		if len(q.items) > 0 {
+			return false, fmt.Errorf("queue %s: S channel has %d pending units; drain before disconnecting",
+				q.name, len(q.items))
+		}
+		return false, nil
+	case mcl.CatBB:
+		return true, nil
+	case mcl.CatBK:
+		// Break-keep: disconnecting the source keeps the sink connected so
+		// pending units drain; disconnecting the sink releases the source.
+		return false, nil
+	case mcl.CatKB:
+		return false, nil
+	}
+	return false, nil
+}

@@ -1,0 +1,443 @@
+package queue
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mobigate/internal/mcl"
+)
+
+func asyncQueue(capBytes int) *Queue {
+	return New("q", Options{CapacityBytes: capBytes})
+}
+
+func TestPostFetchFIFO(t *testing.T) {
+	q := asyncQueue(1 << 20)
+	for i := 0; i < 10; i++ {
+		if err := q.Post(fmt.Sprintf("m%d", i), 10, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 10 || q.QueuedBytes() != 100 {
+		t.Errorf("Len=%d Bytes=%d", q.Len(), q.QueuedBytes())
+	}
+	for i := 0; i < 10; i++ {
+		it, ok := q.Fetch(nil)
+		if !ok || it.MsgID != fmt.Sprintf("m%d", i) {
+			t.Fatalf("fetch %d = %v, %v", i, it, ok)
+		}
+	}
+	if !q.Empty() {
+		t.Error("queue not empty")
+	}
+	posted, fetched, dropped := q.Stats()
+	if posted != 10 || fetched != 10 || dropped != 0 {
+		t.Errorf("stats = %d %d %d", posted, fetched, dropped)
+	}
+}
+
+func TestTryFetch(t *testing.T) {
+	q := asyncQueue(1024)
+	if _, ok := q.TryFetch(); ok {
+		t.Error("TryFetch on empty succeeded")
+	}
+	if err := q.Post("a", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	it, ok := q.TryFetch()
+	if !ok || it.MsgID != "a" {
+		t.Errorf("TryFetch = %v, %v", it, ok)
+	}
+}
+
+func TestFetchBlocksUntilPost(t *testing.T) {
+	q := asyncQueue(1024)
+	got := make(chan Item, 1)
+	go func() {
+		it, ok := q.Fetch(nil)
+		if ok {
+			got <- it
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := q.Post("late", 5, nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case it := <-got:
+		if it.MsgID != "late" {
+			t.Errorf("got %v", it)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Fetch never woke")
+	}
+}
+
+func TestPostDropsWhenFull(t *testing.T) {
+	q := New("q", Options{CapacityBytes: 100, DropTimeout: 20 * time.Millisecond})
+	if err := q.Post("a", 80, nil); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := q.Post("b", 80, nil)
+	if err != ErrDropped {
+		t.Fatalf("want ErrDropped, got %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("dropped too early: %v", d)
+	}
+	_, _, dropped := q.Stats()
+	if dropped != 1 {
+		t.Errorf("dropped = %d", dropped)
+	}
+}
+
+func TestPostWaitsForSpaceWithinTimeout(t *testing.T) {
+	q := New("q", Options{CapacityBytes: 100, DropTimeout: time.Second})
+	if err := q.Post("a", 80, nil); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		q.Fetch(nil)
+	}()
+	if err := q.Post("b", 80, nil); err != nil {
+		t.Errorf("post after drain: %v", err)
+	}
+}
+
+func TestOversizedMessageEntersEmptyQueue(t *testing.T) {
+	q := New("q", Options{CapacityBytes: 10, DropTimeout: 10 * time.Millisecond})
+	if err := q.Post("huge", 1000, nil); err != nil {
+		t.Errorf("oversized into empty queue: %v", err)
+	}
+}
+
+func TestPostBlockForeverMode(t *testing.T) {
+	q := New("q", Options{CapacityBytes: 10, DropTimeout: -1})
+	if err := q.Post("a", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.Post("b", 10, nil) }()
+	select {
+	case err := <-done:
+		t.Fatalf("post returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	q.Fetch(nil)
+	if err := <-done; err != nil {
+		t.Errorf("post after drain: %v", err)
+	}
+}
+
+func TestPostCanceledByStop(t *testing.T) {
+	q := New("q", Options{CapacityBytes: 10, DropTimeout: -1})
+	if err := q.Post("a", 10, nil); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan error, 1)
+	go func() { done <- q.Post("b", 10, stop) }()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case err := <-done:
+		if err != ErrCanceled {
+			t.Errorf("want ErrCanceled, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("post not canceled")
+	}
+}
+
+func TestFetchCanceledByStop(t *testing.T) {
+	q := asyncQueue(100)
+	stop := make(chan struct{})
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Fetch(stop)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("canceled fetch returned ok")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("fetch not canceled")
+	}
+}
+
+func TestCloseWakesWaiters(t *testing.T) {
+	q := asyncQueue(100)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := q.Fetch(nil)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	if ok := <-done; ok {
+		t.Error("fetch on closed+empty returned ok")
+	}
+	if err := q.Post("x", 1, nil); err != ErrClosed {
+		t.Errorf("post after close = %v", err)
+	}
+	if !q.Closed() {
+		t.Error("Closed() false")
+	}
+}
+
+func TestClosePreservesPendingViaTryFetch(t *testing.T) {
+	q := asyncQueue(100)
+	if err := q.Post("a", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	if it, ok := q.TryFetch(); !ok || it.MsgID != "a" {
+		t.Error("pending item lost on close")
+	}
+}
+
+func TestSyncRendezvous(t *testing.T) {
+	q := New("q", Options{Mode: mcl.Sync})
+	delivered := make(chan Item, 1)
+	go func() {
+		it, ok := q.Fetch(nil)
+		if ok {
+			delivered <- it
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	start := time.Now()
+	if err := q.Post("r", 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	_ = start
+	it := <-delivered
+	if it.MsgID != "r" {
+		t.Errorf("delivered %v", it)
+	}
+	if q.Len() != 0 {
+		t.Error("sync queue retained item")
+	}
+}
+
+func TestSyncPostBlocksWithoutConsumer(t *testing.T) {
+	q := New("q", Options{Mode: mcl.Sync})
+	done := make(chan error, 1)
+	go func() { done <- q.Post("r", 1, nil) }()
+	select {
+	case err := <-done:
+		t.Fatalf("sync post without consumer returned: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	go q.Fetch(nil)
+	if err := <-done; err != nil {
+		t.Errorf("sync post after consumer: %v", err)
+	}
+}
+
+func TestProducerConsumerCounts(t *testing.T) {
+	q := asyncQueue(100)
+	q.IncProducer()
+	q.IncProducer()
+	q.IncConsumer()
+	p, c := q.Counts()
+	if p != 2 || c != 1 {
+		t.Errorf("counts = %d, %d", p, c)
+	}
+	q.DecProducer()
+	q.DecConsumer()
+	q.DecConsumer() // below zero clamps
+	p, c = q.Counts()
+	if p != 1 || c != 0 {
+		t.Errorf("counts after dec = %d, %d", p, c)
+	}
+}
+
+func TestDetachCategories(t *testing.T) {
+	mk := func(cat mcl.ChannelCategory) *Queue {
+		return New("q", Options{Category: cat})
+	}
+	// KK: refused on both sides.
+	if _, err := mk(mcl.CatKK).Detach(SourceSide); err == nil {
+		t.Error("KK source detach allowed")
+	}
+	if _, err := mk(mcl.CatKK).Detach(SinkSide); err == nil {
+		t.Error("KK sink detach allowed")
+	}
+	// BB: detaching either side requires detaching the other.
+	if other, err := mk(mcl.CatBB).Detach(SourceSide); err != nil || !other {
+		t.Errorf("BB = %v, %v", other, err)
+	}
+	// BK/KB: one-sided.
+	if other, err := mk(mcl.CatBK).Detach(SourceSide); err != nil || other {
+		t.Errorf("BK = %v, %v", other, err)
+	}
+	if other, err := mk(mcl.CatKB).Detach(SinkSide); err != nil || other {
+		t.Errorf("KB = %v, %v", other, err)
+	}
+	// S: only when empty.
+	s := mk(mcl.CatS)
+	if _, err := s.Detach(SourceSide); err != nil {
+		t.Errorf("empty S detach: %v", err)
+	}
+	if err := s.Post("a", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detach(SourceSide); err == nil {
+		t.Error("S detach with pending units allowed")
+	}
+}
+
+func TestFromDecl(t *testing.T) {
+	d := &mcl.ChannelDecl{Name: "big", Mode: mcl.Async, Category: mcl.CatKB, BufferKB: 4}
+	q := FromDecl("c1", d)
+	if q.Name() != "c1" || q.Category() != mcl.CatKB || q.Mode() != mcl.Async {
+		t.Errorf("FromDecl: %+v", q)
+	}
+	// 4 KB capacity: a 5000-byte message on a non-empty queue must drop.
+	if err := q.Post("a", 4000, nil); err != nil {
+		t.Fatal(err)
+	}
+	q2 := New("fast", Options{CapacityBytes: 4096, DropTimeout: 5 * time.Millisecond})
+	if err := q2.Post("a", 4000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := q2.Post("b", 200, nil); err != ErrDropped {
+		t.Errorf("capacity not enforced: %v", err)
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New("q", Options{CapacityBytes: 1 << 20})
+	const n = 200
+	const producers = 4
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if err := q.Post(fmt.Sprintf("p%d-%d", p, i), 8, nil); err != nil {
+					t.Errorf("post: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	var got sync.Map
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				it, ok := q.Fetch(nil)
+				if !ok {
+					return
+				}
+				if _, dup := got.LoadOrStore(it.MsgID, true); dup {
+					t.Errorf("duplicate delivery %s", it.MsgID)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for q.Len() > 0 {
+		time.Sleep(time.Millisecond)
+	}
+	q.Close()
+	cg.Wait()
+	count := 0
+	got.Range(func(_, _ any) bool { count++; return true })
+	if count != n*producers {
+		t.Errorf("delivered %d, want %d", count, n*producers)
+	}
+}
+
+func TestDetachSideString(t *testing.T) {
+	if SourceSide.String() != "source" || SinkSide.String() != "sink" {
+		t.Error("DetachSide strings")
+	}
+}
+
+func TestAckOutstandingInFlight(t *testing.T) {
+	q := asyncQueue(1 << 20)
+	if q.Outstanding() != 0 || q.InFlight() != 0 {
+		t.Fatal("fresh queue has outstanding work")
+	}
+	for i := 0; i < 3; i++ {
+		if err := q.Post(fmt.Sprintf("m%d", i), 4, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Outstanding() != 3 || q.InFlight() != 0 {
+		t.Errorf("after post: outstanding=%d inflight=%d", q.Outstanding(), q.InFlight())
+	}
+	if _, ok := q.Fetch(nil); !ok {
+		t.Fatal("fetch failed")
+	}
+	if q.Outstanding() != 3 || q.InFlight() != 1 {
+		t.Errorf("after fetch: outstanding=%d inflight=%d", q.Outstanding(), q.InFlight())
+	}
+	q.Ack()
+	if q.Outstanding() != 2 || q.InFlight() != 0 {
+		t.Errorf("after ack: outstanding=%d inflight=%d", q.Outstanding(), q.InFlight())
+	}
+	// Drain and ack the rest: everything balances.
+	for i := 0; i < 2; i++ {
+		q.Fetch(nil)
+		q.Ack()
+	}
+	if q.Outstanding() != 0 || q.InFlight() != 0 {
+		t.Errorf("after drain: outstanding=%d inflight=%d", q.Outstanding(), q.InFlight())
+	}
+}
+
+// Property: under random post/fetch/ack interleavings, a message is always
+// visible: outstanding == queued + fetched-but-unacked, and never negative.
+func TestOutstandingInvariantQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := New("inv", Options{CapacityBytes: 1 << 20})
+		unacked := 0
+		queued := 0
+		for op := 0; op < 200; op++ {
+			switch rng.Intn(3) {
+			case 0:
+				if err := q.Post("m", 1, nil); err == nil {
+					queued++
+				}
+			case 1:
+				if _, ok := q.TryFetch(); ok {
+					queued--
+					unacked++
+				}
+			case 2:
+				if unacked > 0 {
+					q.Ack()
+					unacked--
+				}
+			}
+			if q.Outstanding() != int64(queued+unacked) {
+				return false
+			}
+			if q.InFlight() != int64(unacked) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

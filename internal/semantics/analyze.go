@@ -1,0 +1,247 @@
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mobigate/internal/mcl"
+)
+
+// Rules carries the application-level relations the §5.2 analyses verify.
+// All relations are expressed over streamlet *definition* names (e.g.
+// "encrypt", "compress"), and checked across every pair of instances.
+type Rules struct {
+	// Exclusions is the `repel` partial function of §5.2.3: for every
+	// x and y ∈ Exclusions[x], no path may contain both ((x,y) and (y,x)
+	// both ∉ connect⁺).
+	Exclusions map[string][]string
+	// Dependencies is the `depend` function of §5.2.4: if an instance of x
+	// is deployed, an instance of every y ∈ Dependencies[x] must be
+	// deployed and share a path with it.
+	Dependencies map[string][]string
+	// Preorders of §5.2.5: each pair {Before, After} requires that whenever
+	// instances of both are on a common path, the Before instance comes
+	// first (an (after, before) ∈ connect⁺ pair is an order violation).
+	Preorders []Preorder
+	// AllowedOpenPorts lists "inst.port" output ports that are legitimate
+	// stream exits and therefore exempt from open-circuit detection.
+	AllowedOpenPorts []string
+}
+
+// Preorder requires deployment of Before upstream of After (§5.2.5's
+// encryption-before-compression example).
+type Preorder struct {
+	Before string
+	After  string
+}
+
+// Violation is one finding of the analyzer.
+type Violation struct {
+	// Kind is one of "feedback-loop", "open-circuit", "mutual-exclusion",
+	// "dependency", "preorder".
+	Kind string
+	// Scenario is "initial" or "when(EVENT)" — the configuration state the
+	// violation occurs in.
+	Scenario string
+	// Detail is a human-readable description.
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s [%s]: %s", v.Kind, v.Scenario, v.Detail)
+}
+
+// Report is the outcome of analyzing one stream configuration.
+type Report struct {
+	Stream     string
+	Violations []Violation
+}
+
+// OK reports whether the configuration passed every analysis.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }
+
+func (r *Report) add(kind, scenario, format string, args ...any) {
+	r.Violations = append(r.Violations, Violation{
+		Kind:     kind,
+		Scenario: scenario,
+		Detail:   fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyze runs every §5.2 analysis against the initial configuration of sc
+// and against the configuration reached by each when-block (each analyzed
+// independently from the initial state, as each event arrives on its own).
+func Analyze(sc *mcl.StreamConfig, rules Rules) *Report {
+	r := &Report{Stream: sc.Name}
+	g := BuildGraph(sc)
+
+	analyzeScenario(r, "initial", g, sc, rules, false)
+	for _, w := range sc.Whens {
+		wg := ApplyWhen(g, w.Actions)
+		// Open-circuit detection is skipped for when-scenarios: a reaction
+		// legitimately leaves previously-exported ports dangling until the
+		// complementary event restores them.
+		analyzeScenario(r, "when("+w.Event+")", wg, sc, rules, true)
+	}
+	return r
+}
+
+func analyzeScenario(r *Report, scenario string, g *Graph, sc *mcl.StreamConfig, rules Rules, skipOpen bool) {
+	var open []string
+	if !skipOpen {
+		open = OpenPorts(sc)
+	}
+	analyzeGraph(r, scenario, g, open, rules, skipOpen)
+}
+
+// AnalyzeLive runs the same analyses against a live topology snapshot —
+// the §8.2.2 recommendation of catching mis-configuration at runtime, after
+// reconfigurations have evolved the composition away from its compiled
+// form. openPorts lists currently-unbound output ports ("inst.port").
+func AnalyzeLive(name string, g *Graph, openPorts []string, rules Rules) *Report {
+	r := &Report{Stream: name}
+	analyzeGraph(r, "live", g, openPorts, rules, false)
+	return r
+}
+
+func analyzeGraph(r *Report, scenario string, g *Graph, open []string, rules Rules, skipOpen bool) {
+	// §5.2.1 feedback loops.
+	if cyc := g.FindCycle(); cyc != nil {
+		r.add("feedback-loop", scenario, "cycle %s", strings.Join(cyc, " -> "))
+	}
+
+	// §5.2.2 open circuits (initial configuration only).
+	if !skipOpen {
+		for _, ref := range open {
+			allowed := false
+			for _, a := range rules.AllowedOpenPorts {
+				if a == ref {
+					allowed = true
+					break
+				}
+			}
+			if !allowed {
+				r.add("open-circuit", scenario,
+					"output port %s is unconnected; messages reaching it would be lost", ref)
+			}
+		}
+	}
+
+	closure := g.Closure()
+	instsOf := instancesByDef(g)
+	onCommonPath := func(a, b string) bool {
+		return closure[a][b] || closure[b][a]
+	}
+
+	// §5.2.3 mutual exclusion.
+	for x, ys := range rules.Exclusions {
+		for _, y := range ys {
+			for _, xi := range instsOf[x] {
+				for _, yi := range instsOf[y] {
+					if onCommonPath(xi, yi) {
+						r.add("mutual-exclusion", scenario,
+							"exclusive streamlets %s (%s) and %s (%s) share a path", xi, x, yi, y)
+					}
+				}
+			}
+		}
+	}
+
+	// §5.2.4 dependency verification.
+	for x, ys := range rules.Dependencies {
+		for _, xi := range instsOf[x] {
+			for _, y := range ys {
+				ok := false
+				for _, yi := range instsOf[y] {
+					if onCommonPath(xi, yi) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					r.add("dependency", scenario,
+						"streamlet %s (%s) requires a connected instance of %s", xi, x, y)
+				}
+			}
+		}
+	}
+
+	// §5.2.5 preorder verification.
+	for _, po := range rules.Preorders {
+		for _, ai := range instsOf[po.After] {
+			for _, bi := range instsOf[po.Before] {
+				if closure[ai][bi] {
+					r.add("preorder", scenario,
+						"%s (%s) must be deployed before %s (%s), but the flow reaches it afterwards",
+						bi, po.Before, ai, po.After)
+				}
+			}
+		}
+	}
+}
+
+func instancesByDef(g *Graph) map[string][]string {
+	out := make(map[string][]string)
+	for _, n := range g.Nodes {
+		d := g.Defs[n]
+		out[d] = append(out[d], n)
+	}
+	for _, insts := range out {
+		sort.Strings(insts)
+	}
+	return out
+}
+
+// OpenPorts returns the "inst.port" names of every output port left
+// unconnected by the initial configuration (§5.2.2). The caller decides
+// which of these are legitimate exits (stream external ports).
+func OpenPorts(sc *mcl.StreamConfig) []string {
+	connected := make(map[string]bool, len(sc.Connections))
+	for _, c := range sc.Connections {
+		connected[c.From.String()] = true
+	}
+	var open []string
+	for _, v := range sc.Order {
+		inst := sc.Instances[v]
+		if inst == nil {
+			continue
+		}
+		for _, p := range inst.Decl.Ports {
+			if p.Dir != mcl.PortOut {
+				continue
+			}
+			ref := v + "." + p.Name
+			if !connected[ref] {
+				open = append(open, ref)
+			}
+		}
+	}
+	return open
+}
+
+// UnfedInputs returns input ports with no incoming connection; exactly the
+// sink-side analogue of OpenPorts, used to identify entry ports.
+func UnfedInputs(sc *mcl.StreamConfig) []string {
+	connected := make(map[string]bool, len(sc.Connections))
+	for _, c := range sc.Connections {
+		connected[c.To.String()] = true
+	}
+	var open []string
+	for _, v := range sc.Order {
+		inst := sc.Instances[v]
+		if inst == nil {
+			continue
+		}
+		for _, p := range inst.Decl.Ports {
+			if p.Dir != mcl.PortIn {
+				continue
+			}
+			ref := v + "." + p.Name
+			if !connected[ref] {
+				open = append(open, ref)
+			}
+		}
+	}
+	return open
+}

@@ -1,0 +1,249 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+)
+
+const feedbackSrc = `
+streamlet f { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream loopy {
+	streamlet s1 = new-streamlet (f);
+	streamlet s2 = new-streamlet (f);
+	streamlet s3 = new-streamlet (f);
+	connect (s1.po, s2.pi);
+	connect (s2.po, s3.pi);
+	connect (s3.po, s1.pi);
+}
+`
+
+func TestAnalyzeFeedbackLoop(t *testing.T) {
+	// The §5.3 case example: the three-streamlet loop must be detected.
+	cfg := mustCompile(t, feedbackSrc)
+	rep := Analyze(cfg.Stream("loopy"), Rules{})
+	if rep.OK() {
+		t.Fatal("feedback loop not reported")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "feedback-loop" && v.Scenario == "initial" {
+			found = true
+			if !strings.Contains(v.Detail, "->") {
+				t.Errorf("cycle detail missing path: %s", v.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeCleanPipeline(t *testing.T) {
+	cfg := mustCompile(t, pipelineSrc)
+	sc := cfg.Stream("line")
+	rep := Analyze(sc, Rules{AllowedOpenPorts: []string{"s3.po"}})
+	// The when-block creates s3->s1 after cutting s2->s3: no cycle
+	// (s1->s2, s3->s1 is a line), so only open-circuit could fire, and
+	// s3.po is allowed... but in when(LOW_BANDWIDTH) s3.po gets connected
+	// and s2.po dangles — open circuits are not checked in when scenarios.
+	if !rep.OK() {
+		t.Errorf("unexpected violations: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeWhenScenarioCycle(t *testing.T) {
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet s1 = new-streamlet (f);
+	streamlet s2 = new-streamlet (f);
+	connect (s1.po, s2.pi);
+	when (LOW_BANDWIDTH) {
+		connect (s2.po, s1.pi);
+	}
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"s2.po"}})
+	if rep.OK() {
+		t.Fatal("when-scenario cycle not reported")
+	}
+	v := rep.Violations[0]
+	if v.Kind != "feedback-loop" || v.Scenario != "when(LOW_BANDWIDTH)" {
+		t.Errorf("violation = %v", v)
+	}
+}
+
+func TestAnalyzeOpenCircuit(t *testing.T) {
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet s1 = new-streamlet (f);
+	streamlet s2 = new-streamlet (f);
+	connect (s1.po, s2.pi);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{})
+	if rep.OK() {
+		t.Fatal("open circuit not reported")
+	}
+	if !strings.Contains(rep.Violations[0].Detail, "s2.po") {
+		t.Errorf("detail = %s", rep.Violations[0].Detail)
+	}
+	// Allowing the exit silences it.
+	rep = Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"s2.po"}})
+	if !rep.OK() {
+		t.Errorf("allowed port still reported: %v", rep.Violations)
+	}
+}
+
+const securitySrc = `
+streamlet encrypt { port { in pi : text; out po : text; } attribute { library = "x"; } }
+streamlet compress { port { in pi : text; out po : text; } attribute { library = "x"; } }
+streamlet decrypt { port { in pi : text; out po : text; } attribute { library = "x"; } }
+streamlet plain { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet e = new-streamlet (encrypt);
+	streamlet c = new-streamlet (compress);
+	streamlet p = new-streamlet (plain);
+	connect (c.po, e.pi);
+	connect (e.po, p.pi);
+}
+`
+
+func TestAnalyzePreorderViolation(t *testing.T) {
+	// §5.2.5: encryption must be deployed before compression; the stream
+	// wires compress -> encrypt, i.e. the flow reaches encrypt after
+	// compress — a violation.
+	cfg := mustCompile(t, securitySrc)
+	rep := Analyze(cfg.Stream("s"), Rules{
+		Preorders:        []Preorder{{Before: "encrypt", After: "compress"}},
+		AllowedOpenPorts: []string{"p.po"},
+	})
+	if rep.OK() {
+		t.Fatal("preorder violation not reported")
+	}
+	if rep.Violations[0].Kind != "preorder" {
+		t.Errorf("kind = %s", rep.Violations[0].Kind)
+	}
+}
+
+func TestAnalyzePreorderSatisfied(t *testing.T) {
+	src := `
+streamlet encrypt { port { in pi : text; out po : text; } attribute { library = "x"; } }
+streamlet compress { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet e = new-streamlet (encrypt);
+	streamlet c = new-streamlet (compress);
+	connect (e.po, c.pi);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{
+		Preorders:        []Preorder{{Before: "encrypt", After: "compress"}},
+		AllowedOpenPorts: []string{"c.po"},
+	})
+	if !rep.OK() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeMutualExclusion(t *testing.T) {
+	cfg := mustCompile(t, securitySrc)
+	// encrypt and plain are exclusive but share the path c -> e -> p.
+	rep := Analyze(cfg.Stream("s"), Rules{
+		Exclusions:       map[string][]string{"encrypt": {"plain"}},
+		AllowedOpenPorts: []string{"p.po"},
+	})
+	if rep.OK() {
+		t.Fatal("mutual exclusion violation not reported")
+	}
+	if rep.Violations[0].Kind != "mutual-exclusion" {
+		t.Errorf("kind = %s", rep.Violations[0].Kind)
+	}
+}
+
+func TestAnalyzeMutualExclusionDisjointPathsOK(t *testing.T) {
+	src := `
+streamlet a { port { in pi : text; out po : text; } attribute { library = "x"; } }
+streamlet b { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet x = new-streamlet (a);
+	streamlet y = new-streamlet (b);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{
+		Exclusions:       map[string][]string{"a": {"b"}},
+		AllowedOpenPorts: []string{"x.po", "y.po"},
+	})
+	if !rep.OK() {
+		t.Errorf("disjoint exclusive streamlets flagged: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeDependency(t *testing.T) {
+	cfg := mustCompile(t, securitySrc)
+	// encrypt requires decrypt, which is absent.
+	rep := Analyze(cfg.Stream("s"), Rules{
+		Dependencies:     map[string][]string{"encrypt": {"decrypt"}},
+		AllowedOpenPorts: []string{"p.po"},
+	})
+	if rep.OK() {
+		t.Fatal("dependency violation not reported")
+	}
+	if rep.Violations[0].Kind != "dependency" {
+		t.Errorf("kind = %s", rep.Violations[0].Kind)
+	}
+}
+
+func TestAnalyzeDependencySatisfied(t *testing.T) {
+	src := `
+streamlet encrypt { port { in pi : text; out po : text; } attribute { library = "x"; } }
+streamlet decrypt { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet e = new-streamlet (encrypt);
+	streamlet d = new-streamlet (decrypt);
+	connect (e.po, d.pi);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{
+		Dependencies:     map[string][]string{"encrypt": {"decrypt"}},
+		AllowedOpenPorts: []string{"d.po"},
+	})
+	if !rep.OK() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestOpenPortsAndUnfedInputs(t *testing.T) {
+	cfg := mustCompile(t, pipelineSrc)
+	sc := cfg.Stream("line")
+	if got := OpenPorts(sc); len(got) != 1 || got[0] != "s3.po" {
+		t.Errorf("OpenPorts = %v", got)
+	}
+	if got := UnfedInputs(sc); len(got) != 1 || got[0] != "s1.pi" {
+		t.Errorf("UnfedInputs = %v", got)
+	}
+}
+
+func TestAnalyzeDistillationFixtureClean(t *testing.T) {
+	// The thesis's streamApp (with optional streamlets) must be clean once
+	// its designated entry/exits and the optional-on-event ports are known.
+	cfg := mustCompile(t, distillationForSemantics)
+	sc := cfg.Stream("streamApp")
+	rep := Analyze(sc, Rules{AllowedOpenPorts: OpenPorts(sc)})
+	if !rep.OK() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Kind: "feedback-loop", Scenario: "initial", Detail: "cycle a -> a"}
+	s := v.String()
+	if !strings.Contains(s, "feedback-loop") || !strings.Contains(s, "initial") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,61 @@
+package semantics
+
+// distillationForSemantics mirrors the thesis's Figure 4-6/4-8 application
+// for analysis-level tests (same topology as the mcl package fixture).
+const distillationForSemantics = `
+streamlet switch {
+	port { in pi : multipart/mixed; out po1 : image/gif; out po2 : application/postscript; }
+	attribute { type = STATELESS; library = "general/switch"; }
+}
+streamlet img_down_sample {
+	port { in pi : image/*; out po : image/*; }
+	attribute { type = STATELESS; library = "image/downsample"; }
+}
+streamlet map_to_16_grays {
+	port { in pi : image/*; out po : image/*; }
+	attribute { type = STATELESS; library = "image/gray16"; }
+}
+streamlet powerSaving {
+	port { in pi : multipart/mixed; }
+	attribute { type = STATEFUL; library = "system/powersave"; }
+}
+streamlet postscript2text {
+	port { in pi : application/postscript; out po : text/richtext; }
+	attribute { type = STATELESS; library = "text/ps2text"; }
+}
+streamlet text_compress {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+streamlet merge {
+	port { in pi1 : image/*; in pi2 : text; out po : multipart/mixed; }
+	attribute { type = STATEFUL; library = "general/merge"; }
+}
+channel largeBufferChan {
+	port { in cin : image/*; out cout : image/*; }
+	attribute { type = ASYNC; category = BK; buffer = 1024; }
+}
+stream streamApp {
+	streamlet s1 = new-streamlet (switch);
+	streamlet s2 = new-streamlet (img_down_sample);
+	streamlet s3 = new-streamlet (map_to_16_grays);
+	streamlet s4 = new-streamlet (powerSaving);
+	streamlet s5 = new-streamlet (postscript2text);
+	streamlet s6 = new-streamlet (text_compress);
+	streamlet s7 = new-streamlet (merge);
+	channel c1, c2, c3 = new-channel (largeBufferChan);
+	connect (s1.po1, s2.pi, c1);
+	connect (s1.po2, s5.pi);
+	connect (s2.po, s7.pi1, c2);
+	connect (s5.po, s6.pi);
+	connect (s6.po, s7.pi2);
+	when (LOW_ENERGY) {
+		connect (s7.po, s4.pi);
+	}
+	when (LOW_GRAYS) {
+		disconnect (s2.po, s7.pi1);
+		connect (s2.po, s3.pi, c2);
+		connect (s3.po, s7.pi1, c3);
+	}
+}
+`

@@ -1,0 +1,274 @@
+// Package semantics is the executable counterpart of the MCL semantic model
+// of thesis chapter 5. The Z schemas (Streamlet, Channel, Stream,
+// CompositeStreamlet, StreamGraph) become Go data structures, and the five
+// analyses — feedback-loop detection, open-circuit detection, mutual
+// exclusion, dependency verification, and preorder verification — become
+// decision procedures over the connect relation and its transitive closure.
+package semantics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mobigate/internal/mcl"
+)
+
+// Graph is the StreamGraph schema of §5.2: streamlet instances are nodes,
+// and (s1, s2) ∈ connect iff some channel leads from an output port of s1
+// to an input port of s2.
+type Graph struct {
+	// Nodes in deterministic (declaration) order.
+	Nodes []string
+	// Defs maps an instance node to its streamlet definition name; the
+	// repel/depend/preorder relations are expressed over definition names.
+	Defs map[string]string
+	// adj is the connect relation.
+	adj map[string]map[string]bool
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{Defs: make(map[string]string), adj: make(map[string]map[string]bool)}
+}
+
+// AddNode inserts an instance node with its definition name.
+func (g *Graph) AddNode(inst, def string) {
+	if _, ok := g.Defs[inst]; ok {
+		return
+	}
+	g.Nodes = append(g.Nodes, inst)
+	g.Defs[inst] = def
+	g.adj[inst] = make(map[string]bool)
+}
+
+// RemoveNode deletes a node and all its edges.
+func (g *Graph) RemoveNode(inst string) {
+	if _, ok := g.Defs[inst]; !ok {
+		return
+	}
+	delete(g.Defs, inst)
+	delete(g.adj, inst)
+	for _, m := range g.adj {
+		delete(m, inst)
+	}
+	for i, n := range g.Nodes {
+		if n == inst {
+			g.Nodes = append(g.Nodes[:i], g.Nodes[i+1:]...)
+			break
+		}
+	}
+}
+
+// AddEdge inserts (from, to) into the connect relation. Unknown endpoints
+// are added as nodes with their own name as definition.
+func (g *Graph) AddEdge(from, to string) {
+	if _, ok := g.Defs[from]; !ok {
+		g.AddNode(from, from)
+	}
+	if _, ok := g.Defs[to]; !ok {
+		g.AddNode(to, to)
+	}
+	g.adj[from][to] = true
+}
+
+// RemoveEdge deletes (from, to) if present.
+func (g *Graph) RemoveEdge(from, to string) {
+	if m, ok := g.adj[from]; ok {
+		delete(m, to)
+	}
+}
+
+// HasEdge reports (from, to) ∈ connect.
+func (g *Graph) HasEdge(from, to string) bool { return g.adj[from][to] }
+
+// Succs returns the successors of a node in sorted order.
+func (g *Graph) Succs(n string) []string {
+	out := make([]string, 0, len(g.adj[n]))
+	for s := range g.adj[n] {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	for _, n := range g.Nodes {
+		c.AddNode(n, g.Defs[n])
+	}
+	for n, m := range g.adj {
+		for s := range m {
+			c.AddEdge(n, s)
+		}
+	}
+	return c
+}
+
+// Closure computes connect⁺, the strongest transitive relation containing
+// connect (the thesis uses it in every §5.2 analysis). The result maps each
+// node to the set of nodes reachable in one or more steps.
+func (g *Graph) Closure() map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(g.Nodes))
+	for _, n := range g.Nodes {
+		reach := make(map[string]bool)
+		stack := make([]string, 0, 8)
+		for s := range g.adj[n] {
+			stack = append(stack, s)
+		}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if reach[cur] {
+				continue
+			}
+			reach[cur] = true
+			for s := range g.adj[cur] {
+				if !reach[s] {
+					stack = append(stack, s)
+				}
+			}
+		}
+		out[n] = reach
+	}
+	return out
+}
+
+// Reaches reports (from, to) ∈ connect⁺.
+func (g *Graph) Reaches(from, to string) bool {
+	seen := map[string]bool{}
+	stack := []string{}
+	for s := range g.adj[from] {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur == to {
+			return true
+		}
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		for s := range g.adj[cur] {
+			stack = append(stack, s)
+		}
+	}
+	return false
+}
+
+// FindCycle returns one feedback loop as a node sequence (first == last),
+// or nil when the graph is acyclic — the Acyclic schema of §5.2.1 holds iff
+// FindCycle returns nil (id streamlets ∩ connect⁺ = ∅).
+func (g *Graph) FindCycle() []string {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(g.Nodes))
+	parent := make(map[string]string)
+
+	var cycle []string
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		color[n] = gray
+		for _, s := range g.Succs(n) {
+			switch color[s] {
+			case white:
+				parent[s] = n
+				if dfs(s) {
+					return true
+				}
+			case gray:
+				// Unwind n back to s to extract the loop.
+				cycle = []string{s}
+				for cur := n; cur != s; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				cycle = append(cycle, s)
+				// Reverse into forward edge order.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range g.Nodes {
+		if color[n] == white && dfs(n) {
+			return cycle
+		}
+	}
+	return nil
+}
+
+// BuildGraph constructs the StreamGraph of a compiled stream configuration
+// from its initial routing table.
+func BuildGraph(sc *mcl.StreamConfig) *Graph {
+	g := NewGraph()
+	for _, v := range sc.Order {
+		if inst := sc.Instances[v]; inst != nil {
+			g.AddNode(v, inst.Def)
+		}
+	}
+	for _, conn := range sc.Connections {
+		g.AddEdge(conn.From.Inst, conn.To.Inst)
+	}
+	return g
+}
+
+// ApplyWhen evolves a graph by the actions of a when-block: connect adds
+// edges, disconnect removes them, remove-streamlet removes nodes, and
+// disconnectall isolates a node. The receiver is not modified.
+func ApplyWhen(g *Graph, actions []mcl.Stmt) *Graph {
+	out := g.Clone()
+	for _, a := range actions {
+		switch s := a.(type) {
+		case *mcl.ConnectStmt:
+			out.AddEdge(s.From.Inst, s.To.Inst)
+		case *mcl.DisconnectStmt:
+			out.RemoveEdge(s.From.Inst, s.To.Inst)
+		case *mcl.RemoveStreamletStmt:
+			out.RemoveNode(s.Var)
+		case *mcl.DisconnectAllStmt:
+			for _, succ := range out.Succs(s.Var) {
+				out.RemoveEdge(s.Var, succ)
+			}
+			for _, n := range out.Nodes {
+				out.RemoveEdge(n, s.Var)
+			}
+		case *mcl.NewStreamletStmt:
+			for _, v := range s.Vars {
+				out.AddNode(v, s.Def)
+			}
+		}
+	}
+	return out
+}
+
+// DOT renders the graph in GraphViz dot syntax, nodes labelled
+// "inst\n(def)", for topology visualization (mclc -dot).
+func (g *Graph) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	b.WriteString("\trankdir=LR;\n\tnode [shape=box];\n")
+	for _, n := range g.Nodes {
+		label := n
+		if d := g.Defs[n]; d != "" && d != n {
+			label = n + "\n(" + d + ")"
+		}
+		fmt.Fprintf(&b, "\t%q [label=%q];\n", n, label)
+	}
+	for _, n := range g.Nodes {
+		for _, s := range g.Succs(n) {
+			fmt.Fprintf(&b, "\t%q -> %q;\n", n, s)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

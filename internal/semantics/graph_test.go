@@ -1,0 +1,276 @@
+package semantics
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mobigate/internal/mcl"
+)
+
+func lineGraph(n int) *Graph {
+	g := NewGraph()
+	prev := ""
+	for i := 0; i < n; i++ {
+		name := string(rune('a' + i))
+		g.AddNode(name, name)
+		if prev != "" {
+			g.AddEdge(prev, name)
+		}
+		prev = name
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("a", "defA")
+	g.AddNode("a", "other") // idempotent
+	g.AddEdge("a", "b")     // b auto-added
+	if g.Defs["a"] != "defA" {
+		t.Errorf("Defs[a] = %q", g.Defs["a"])
+	}
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Error("edge wrong")
+	}
+	if got := g.Succs("a"); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Succs = %v", got)
+	}
+	g.RemoveEdge("a", "b")
+	if g.HasEdge("a", "b") {
+		t.Error("RemoveEdge failed")
+	}
+	g.AddEdge("a", "b")
+	g.RemoveNode("b")
+	if g.HasEdge("a", "b") || len(g.Nodes) != 1 {
+		t.Error("RemoveNode failed")
+	}
+	g.RemoveNode("ghost") // no panic
+}
+
+func TestClosureAndReaches(t *testing.T) {
+	g := lineGraph(4) // a->b->c->d
+	cl := g.Closure()
+	if !cl["a"]["d"] || cl["d"]["a"] {
+		t.Error("closure wrong on line")
+	}
+	if cl["a"]["a"] {
+		t.Error("acyclic closure contains identity")
+	}
+	if !g.Reaches("a", "c") || g.Reaches("c", "a") {
+		t.Error("Reaches wrong")
+	}
+	// Self loop: identity appears in closure.
+	g.AddEdge("d", "b")
+	cl = g.Closure()
+	if !cl["b"]["b"] {
+		t.Error("cycle member should reach itself")
+	}
+}
+
+func TestFindCycleLine(t *testing.T) {
+	if cyc := lineGraph(5).FindCycle(); cyc != nil {
+		t.Errorf("line graph has cycle %v", cyc)
+	}
+}
+
+func TestFindCycleTriangle(t *testing.T) {
+	// The §5.3 example: s1 -> s2 -> s3 -> s1.
+	g := NewGraph()
+	g.AddEdge("s1", "s2")
+	g.AddEdge("s2", "s3")
+	g.AddEdge("s3", "s1")
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("triangle cycle not found")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Errorf("cycle not closed: %v", cyc)
+	}
+	if len(cyc) != 4 {
+		t.Errorf("cycle length = %d (%v)", len(cyc), cyc)
+	}
+	// Every consecutive pair must be a real edge.
+	for i := 0; i+1 < len(cyc); i++ {
+		if !g.HasEdge(cyc[i], cyc[i+1]) {
+			t.Errorf("cycle uses non-edge %s->%s", cyc[i], cyc[i+1])
+		}
+	}
+}
+
+func TestFindCycleSelfLoop(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("x", "x")
+	if cyc := g.FindCycle(); cyc == nil {
+		t.Error("self loop not found")
+	}
+}
+
+func TestFindCycleInDisconnectedComponent(t *testing.T) {
+	g := lineGraph(3)
+	g.AddEdge("p", "q")
+	g.AddEdge("q", "p")
+	cyc := g.FindCycle()
+	if cyc == nil {
+		t.Fatal("cycle in second component missed")
+	}
+	s := strings.Join(cyc, "")
+	if !strings.Contains(s, "p") || !strings.Contains(s, "q") {
+		t.Errorf("wrong cycle %v", cyc)
+	}
+}
+
+// Property: FindCycle agrees with the closure-based Acyclic definition
+// (id ∩ connect⁺ = ∅) on random graphs.
+func TestFindCycleMatchesClosureQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := 2 + rng.Intn(8)
+		for i := 0; i < n; i++ {
+			g.AddNode(string(rune('a'+i)), "d")
+		}
+		for i := 0; i < n*2; i++ {
+			from := string(rune('a' + rng.Intn(n)))
+			to := string(rune('a' + rng.Intn(n)))
+			if from != to || rng.Intn(4) == 0 {
+				g.AddEdge(from, to)
+			}
+		}
+		hasCycleViaClosure := false
+		for node, reach := range g.Closure() {
+			if reach[node] {
+				hasCycleViaClosure = true
+				break
+			}
+		}
+		cyc := g.FindCycle()
+		if hasCycleViaClosure != (cyc != nil) {
+			return false
+		}
+		// Any reported cycle must consist of real edges and be closed.
+		if cyc != nil {
+			if cyc[0] != cyc[len(cyc)-1] {
+				return false
+			}
+			for i := 0; i+1 < len(cyc); i++ {
+				if !g.HasEdge(cyc[i], cyc[i+1]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := lineGraph(3)
+	c := g.Clone()
+	c.AddEdge("c", "a")
+	if g.HasEdge("c", "a") {
+		t.Error("clone shares adjacency")
+	}
+	c.RemoveNode("a")
+	if len(g.Nodes) != 3 {
+		t.Error("clone shares nodes")
+	}
+}
+
+func mustCompile(t *testing.T, src string) *mcl.Config {
+	t.Helper()
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+const pipelineSrc = `
+streamlet f { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream line {
+	streamlet s1 = new-streamlet (f);
+	streamlet s2 = new-streamlet (f);
+	streamlet s3 = new-streamlet (f);
+	connect (s1.po, s2.pi);
+	connect (s2.po, s3.pi);
+	when (LOW_BANDWIDTH) {
+		disconnect (s2.po, s3.pi);
+		connect (s3.po, s1.pi);
+	}
+}
+`
+
+func TestBuildGraph(t *testing.T) {
+	cfg := mustCompile(t, pipelineSrc)
+	g := BuildGraph(cfg.Stream("line"))
+	if len(g.Nodes) != 3 {
+		t.Errorf("nodes = %v", g.Nodes)
+	}
+	if !g.HasEdge("s1", "s2") || !g.HasEdge("s2", "s3") || g.HasEdge("s3", "s1") {
+		t.Error("edges wrong")
+	}
+	if g.Defs["s1"] != "f" {
+		t.Errorf("def = %q", g.Defs["s1"])
+	}
+}
+
+func TestApplyWhen(t *testing.T) {
+	cfg := mustCompile(t, pipelineSrc)
+	sc := cfg.Stream("line")
+	g := BuildGraph(sc)
+	wg := ApplyWhen(g, sc.Whens[0].Actions)
+	if wg.HasEdge("s2", "s3") {
+		t.Error("disconnect not applied")
+	}
+	if !wg.HasEdge("s3", "s1") {
+		t.Error("connect not applied")
+	}
+	// Original untouched.
+	if !g.HasEdge("s2", "s3") || g.HasEdge("s3", "s1") {
+		t.Error("ApplyWhen mutated receiver")
+	}
+}
+
+func TestApplyWhenRemoveAndDisconnectAll(t *testing.T) {
+	g := lineGraph(3) // a->b->c
+	rm := &mcl.RemoveStreamletStmt{Var: "b"}
+	g2 := ApplyWhen(g, []mcl.Stmt{rm})
+	if len(g2.Nodes) != 2 || g2.HasEdge("a", "b") {
+		t.Error("remove-streamlet not applied")
+	}
+	da := &mcl.DisconnectAllStmt{Var: "b"}
+	g3 := ApplyWhen(g, []mcl.Stmt{da})
+	if g3.HasEdge("a", "b") || g3.HasEdge("b", "c") {
+		t.Error("disconnectall left edges")
+	}
+	if len(g3.Nodes) != 3 {
+		t.Error("disconnectall should keep node")
+	}
+	ns := &mcl.NewStreamletStmt{Vars: []string{"z"}, Def: "zz"}
+	g4 := ApplyWhen(g, []mcl.Stmt{ns})
+	if g4.Defs["z"] != "zz" {
+		t.Error("new-streamlet not applied")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("s1", "filter")
+	g.AddNode("s2", "s2") // def == name: no parenthetical label
+	g.AddEdge("s1", "s2")
+	dot := g.DOT("app")
+	for _, want := range []string{
+		`digraph "app"`,
+		`"s1" [label="s1\n(filter)"]`,
+		`"s2" [label="s2"]`,
+		`"s1" -> "s2";`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT lacks %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package semantics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseRules reads the application-level relations of §5.2 from a simple
+// line-oriented format, so tooling (mclc -rules) can verify compositions
+// against project policies without writing Go:
+//
+//	# comments and blank lines are ignored
+//	exclude   <defA> <defB>     # §5.2.3: never on a common path
+//	depend    <defA> <defB>     # §5.2.4: A requires a connected B
+//	preorder  <before> <after>  # §5.2.5: before deployed upstream of after
+//	allow-open <inst.port>      # sanctioned exit port
+//
+// Definition names refer to streamlet definitions; allow-open entries refer
+// to instance ports.
+func ParseRules(src string) (Rules, error) {
+	var r Rules
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "exclude":
+			if len(fields) != 3 {
+				return r, fmt.Errorf("rules:%d: exclude wants two definition names", lineNo+1)
+			}
+			if r.Exclusions == nil {
+				r.Exclusions = make(map[string][]string)
+			}
+			r.Exclusions[fields[1]] = append(r.Exclusions[fields[1]], fields[2])
+		case "depend":
+			if len(fields) != 3 {
+				return r, fmt.Errorf("rules:%d: depend wants two definition names", lineNo+1)
+			}
+			if r.Dependencies == nil {
+				r.Dependencies = make(map[string][]string)
+			}
+			r.Dependencies[fields[1]] = append(r.Dependencies[fields[1]], fields[2])
+		case "preorder":
+			if len(fields) != 3 {
+				return r, fmt.Errorf("rules:%d: preorder wants two definition names", lineNo+1)
+			}
+			r.Preorders = append(r.Preorders, Preorder{Before: fields[1], After: fields[2]})
+		case "allow-open":
+			if len(fields) != 2 {
+				return r, fmt.Errorf("rules:%d: allow-open wants one inst.port", lineNo+1)
+			}
+			r.AllowedOpenPorts = append(r.AllowedOpenPorts, fields[1])
+		default:
+			return r, fmt.Errorf("rules:%d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	return r, nil
+}
+
+// Merge combines two rule sets (o's entries appended to r's).
+func (r Rules) Merge(o Rules) Rules {
+	out := Rules{
+		Exclusions:       map[string][]string{},
+		Dependencies:     map[string][]string{},
+		Preorders:        append(append([]Preorder(nil), r.Preorders...), o.Preorders...),
+		AllowedOpenPorts: append(append([]string(nil), r.AllowedOpenPorts...), o.AllowedOpenPorts...),
+	}
+	for k, v := range r.Exclusions {
+		out.Exclusions[k] = append(out.Exclusions[k], v...)
+	}
+	for k, v := range o.Exclusions {
+		out.Exclusions[k] = append(out.Exclusions[k], v...)
+	}
+	for k, v := range r.Dependencies {
+		out.Dependencies[k] = append(out.Dependencies[k], v...)
+	}
+	for k, v := range o.Dependencies {
+		out.Dependencies[k] = append(out.Dependencies[k], v...)
+	}
+	return out
+}

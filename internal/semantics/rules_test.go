@@ -1,0 +1,95 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRules(t *testing.T) {
+	src := `
+# security policy
+exclude encrypt plain
+depend encrypt decrypt
+preorder encrypt compress
+allow-open s3.po
+allow-open s7.po
+`
+	r, err := ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Exclusions["encrypt"]; len(got) != 1 || got[0] != "plain" {
+		t.Errorf("exclusions = %v", r.Exclusions)
+	}
+	if got := r.Dependencies["encrypt"]; len(got) != 1 || got[0] != "decrypt" {
+		t.Errorf("dependencies = %v", r.Dependencies)
+	}
+	if len(r.Preorders) != 1 || r.Preorders[0] != (Preorder{Before: "encrypt", After: "compress"}) {
+		t.Errorf("preorders = %v", r.Preorders)
+	}
+	if len(r.AllowedOpenPorts) != 2 || r.AllowedOpenPorts[1] != "s7.po" {
+		t.Errorf("allowed = %v", r.AllowedOpenPorts)
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	for _, bad := range []string{
+		"exclude onlyone",
+		"depend a b c",
+		"preorder a",
+		"allow-open",
+		"frobnicate a b",
+	} {
+		if _, err := ParseRules(bad); err == nil {
+			t.Errorf("ParseRules(%q) accepted", bad)
+		} else if !strings.Contains(err.Error(), "rules:1") {
+			t.Errorf("ParseRules(%q) error lacks line: %v", bad, err)
+		}
+	}
+}
+
+func TestRulesMerge(t *testing.T) {
+	a := Rules{
+		Exclusions:       map[string][]string{"x": {"y"}},
+		AllowedOpenPorts: []string{"a.po"},
+	}
+	b := Rules{
+		Exclusions:   map[string][]string{"x": {"z"}},
+		Dependencies: map[string][]string{"p": {"q"}},
+		Preorders:    []Preorder{{Before: "e", After: "c"}},
+	}
+	m := a.Merge(b)
+	if got := m.Exclusions["x"]; len(got) != 2 {
+		t.Errorf("merged exclusions = %v", got)
+	}
+	if len(m.Dependencies["p"]) != 1 || len(m.Preorders) != 1 || len(m.AllowedOpenPorts) != 1 {
+		t.Errorf("merge lost entries: %+v", m)
+	}
+	// Originals untouched.
+	if len(a.Exclusions["x"]) != 1 {
+		t.Error("merge mutated receiver")
+	}
+}
+
+func TestParsedRulesDriveAnalysis(t *testing.T) {
+	cfg := mustCompile(t, `
+streamlet compress { port { in pi : text; out po : text; } attribute { library = "x"; } }
+streamlet encrypt { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet c = new-streamlet (compress);
+	streamlet e = new-streamlet (encrypt);
+	connect (c.po, e.pi);
+}
+`)
+	rules, err := ParseRules("preorder encrypt compress\nallow-open e.po\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := Analyze(cfg.Stream("s"), rules)
+	if rep.OK() {
+		t.Fatal("rules file did not drive the preorder analysis")
+	}
+	if rep.Violations[0].Kind != "preorder" {
+		t.Errorf("kind = %s", rep.Violations[0].Kind)
+	}
+}

@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/semantics"
+)
+
+// Source produces the origin data flow for one client session (the fixed
+// sender S of Figure 3-1). The channel is drained until closed.
+type Source func(request *mime.Message) <-chan *mime.Message
+
+// Request headers of the front-end wire protocol.
+const (
+	// HeaderRequestStream names the MCL stream the client wants deployed.
+	HeaderRequestStream = "X-Request-Stream"
+	// HeaderSeq carries the per-session delivery sequence number the
+	// client's distributor uses to restore order after multi-threaded
+	// reverse processing.
+	HeaderSeq = "X-Seq"
+)
+
+// Frontend is the TCP face of the gateway: each client connection gets its
+// own deployed instance of the requested stream; origin messages flow in
+// through the stream's entry port and adapted messages flow out to the
+// client in MIME wire format.
+type Frontend struct {
+	srv    *Server
+	source Source
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	connID atomic.Uint64
+	closed atomic.Bool
+}
+
+// NewFrontend wraps a server with a TCP front-end.
+func NewFrontend(srv *Server, source Source) *Frontend {
+	return &Frontend{srv: srv, source: source}
+}
+
+// Listen binds the front-end and starts accepting; it returns the bound
+// address (use ":0" to pick a free port).
+func (f *Frontend) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	f.ln = ln
+	f.wg.Add(1)
+	go f.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (f *Frontend) acceptLoop() {
+	defer f.wg.Done()
+	for {
+		conn, err := f.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		f.wg.Add(1)
+		go func() {
+			defer f.wg.Done()
+			if err := f.handleConn(conn); err != nil && !f.closed.Load() {
+				if h := f.srv.opts.ErrorHandler; h != nil {
+					h(fmt.Errorf("frontend: %w", err))
+				}
+			}
+		}()
+	}
+}
+
+// EntryExit derives the entry (unfed input) and exit (open output) ports of
+// a compiled stream, the points where the front-end attaches the origin
+// source and the client connection. Ports on instances that participate in
+// the initial topology are preferred over ports of optional streamlets that
+// only when-blocks wire in (like Figure 4-6's dashed entities).
+func EntryExit(sc *mcl.StreamConfig) (entry, exit mcl.PortRef, err error) {
+	connected := map[string]bool{}
+	for _, c := range sc.Connections {
+		connected[c.From.Inst] = true
+		connected[c.To.Inst] = true
+	}
+	pick := func(refs []string) (mcl.PortRef, bool) {
+		for _, r := range refs {
+			if ref := splitRef(r); connected[ref.Inst] {
+				return ref, true
+			}
+		}
+		if len(refs) > 0 {
+			return splitRef(refs[0]), true
+		}
+		return mcl.PortRef{}, false
+	}
+	in, ok := pick(semantics.UnfedInputs(sc))
+	if !ok {
+		return entry, exit, fmt.Errorf("server: stream %s has no unfed input port", sc.Name)
+	}
+	out, ok := pick(semantics.OpenPorts(sc))
+	if !ok {
+		return entry, exit, fmt.Errorf("server: stream %s has no open output port", sc.Name)
+	}
+	return in, out, nil
+}
+
+func splitRef(s string) mcl.PortRef {
+	i := strings.IndexByte(s, '.')
+	if i < 0 {
+		return mcl.PortRef{Inst: s}
+	}
+	return mcl.PortRef{Inst: s[:i], Port: s[i+1:]}
+}
+
+func (f *Frontend) handleConn(conn net.Conn) error {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	req, err := mime.ReadMessage(br)
+	if err != nil {
+		return fmt.Errorf("reading request: %w", err)
+	}
+	name := req.Header(HeaderRequestStream)
+	if name == "" {
+		return fmt.Errorf("request lacks %s header", HeaderRequestStream)
+	}
+	cfg := f.srv.Config()
+	if cfg == nil || cfg.Stream(name) == nil {
+		return fmt.Errorf("unknown stream %q", name)
+	}
+	entry, exit, err := EntryExit(cfg.Stream(name))
+	if err != nil {
+		return err
+	}
+
+	alias := fmt.Sprintf("%s#%d", name, f.connID.Add(1))
+	st, err := f.srv.DeployInstance(name, alias)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.srv.Undeploy(alias) }()
+
+	inlet, err := st.OpenInlet(entry, 0)
+	if err != nil {
+		return err
+	}
+	outlet, err := st.OpenOutlet(exit)
+	if err != nil {
+		return err
+	}
+
+	// Feed the origin flow.
+	feedDone := make(chan struct{})
+	var fed atomic.Int64
+	go func() {
+		defer close(feedDone)
+		for m := range f.source(req) {
+			if err := inlet.Send(m); err != nil {
+				return
+			}
+			fed.Add(1)
+		}
+	}()
+
+	// Relay adapted messages to the client until the feed completes and
+	// everything fed has come out (or errored away).
+	bw := bufio.NewWriter(conn)
+	var sent int64
+	feedClosed := false
+	for {
+		m, err := outlet.TryReceive()
+		if err != nil {
+			return err
+		}
+		if m == nil {
+			// Fed messages may legitimately shrink in count (drops,
+			// merges); the session ends when everything fed has come out
+			// or the pipeline is fully drained. A final sweep catches
+			// emissions racing the drain check.
+			if feedClosed && (sent >= fed.Load() || st.CanTerminate()) {
+				for {
+					m, err := outlet.TryReceive()
+					if err != nil {
+						return err
+					}
+					if m == nil {
+						break
+					}
+					if _, err := m.WriteTo(bw); err != nil {
+						return err
+					}
+					sent++
+				}
+				break
+			}
+			select {
+			case <-feedDone:
+				feedClosed = true
+			case <-time.After(200 * time.Microsecond):
+			}
+			continue
+		}
+		m.SetHeader(HeaderSeq, strconv.FormatInt(sent, 10))
+		if _, err := m.WriteTo(bw); err != nil {
+			return err
+		}
+		sent++
+	}
+	return bw.Flush()
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (f *Frontend) Close() error {
+	f.closed.Store(true)
+	var err error
+	if f.ln != nil {
+		err = f.ln.Close()
+	}
+	f.wg.Wait()
+	return err
+}
+
+// ServeRequest runs one in-process session without TCP: origin messages
+// from src flow through a fresh instance of the named stream, and adapted
+// messages are written to w in wire format. Used by tests and the CLI's
+// one-shot mode.
+func (f *Frontend) ServeRequest(name string, src <-chan *mime.Message, w io.Writer) error {
+	cfg := f.srv.Config()
+	if cfg == nil || cfg.Stream(name) == nil {
+		return fmt.Errorf("unknown stream %q", name)
+	}
+	entry, exit, err := EntryExit(cfg.Stream(name))
+	if err != nil {
+		return err
+	}
+	alias := fmt.Sprintf("%s#req%d", name, f.connID.Add(1))
+	st, err := f.srv.DeployInstance(name, alias)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.srv.Undeploy(alias) }()
+
+	inlet, err := st.OpenInlet(entry, 0)
+	if err != nil {
+		return err
+	}
+	outlet, err := st.OpenOutlet(exit)
+	if err != nil {
+		return err
+	}
+	var fed int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for m := range src {
+			if err := inlet.Send(m); err != nil {
+				return
+			}
+			atomic.AddInt64(&fed, 1)
+		}
+	}()
+	var sent int64
+	finished := false
+	for {
+		m, err := outlet.TryReceive()
+		if err != nil {
+			return err
+		}
+		if m == nil {
+			if finished && (sent >= atomic.LoadInt64(&fed) || st.CanTerminate()) {
+				for {
+					m, err := outlet.TryReceive()
+					if err != nil {
+						return err
+					}
+					if m == nil {
+						return nil
+					}
+					m.SetHeader(HeaderSeq, strconv.FormatInt(sent, 10))
+					if _, err := m.WriteTo(w); err != nil {
+						return err
+					}
+					sent++
+				}
+			}
+			select {
+			case <-done:
+				finished = true
+			case <-time.After(200 * time.Microsecond):
+			}
+			continue
+		}
+		m.SetHeader(HeaderSeq, strconv.FormatInt(sent, 10))
+		if _, err := m.WriteTo(w); err != nil {
+			return err
+		}
+		sent++
+	}
+}

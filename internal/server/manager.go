@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/streamlet"
+)
+
+// StreamletManager is the execution-plane manager of §3.3.3: it locates
+// streamlet classes in the directory, allocates processor instances, and —
+// for Stateless streamlets — recycles instances through per-library pools
+// (§3.3.4's streamlet pooling) instead of creating and destroying one per
+// request.
+type StreamletManager struct {
+	dir *streamlet.Directory
+	// PoolSize bounds each per-library pool (default 8).
+	PoolSize int
+	// DisablePooling turns pooling off (the ablation baseline).
+	DisablePooling bool
+
+	mu    sync.Mutex
+	pools map[string]*streamlet.ProcessorPool
+
+	acquired uint64
+	released uint64
+}
+
+// NewStreamletManager creates a manager over a directory.
+func NewStreamletManager(dir *streamlet.Directory) *StreamletManager {
+	return &StreamletManager{dir: dir, pools: make(map[string]*streamlet.ProcessorPool)}
+}
+
+// Acquire returns a processor for the declaration: pooled when the
+// declaration is Stateless and pooling is enabled, freshly constructed
+// otherwise.
+func (m *StreamletManager) Acquire(decl *mcl.StreamletDecl) (streamlet.Processor, error) {
+	if decl == nil {
+		return nil, fmt.Errorf("server: nil streamlet declaration")
+	}
+	factory, err := m.dir.Lookup(decl.Library)
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.acquired++
+	m.mu.Unlock()
+	if decl.Kind != mcl.Stateless || m.DisablePooling {
+		return factory(), nil
+	}
+	return m.pool(decl.Library, factory).Get(), nil
+}
+
+// Release returns a processor to its library pool; non-stateless or
+// unpooled processors are simply discarded.
+func (m *StreamletManager) Release(decl *mcl.StreamletDecl, proc streamlet.Processor) {
+	if decl == nil || proc == nil {
+		return
+	}
+	m.mu.Lock()
+	m.released++
+	pool := m.pools[decl.Library]
+	m.mu.Unlock()
+	if decl.Kind == mcl.Stateless && !m.DisablePooling && pool != nil {
+		pool.Put(proc)
+	}
+}
+
+func (m *StreamletManager) pool(library string, factory streamlet.Factory) *streamlet.ProcessorPool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.pools[library]
+	if !ok {
+		size := m.PoolSize
+		if size <= 0 {
+			size = 8
+		}
+		p = streamlet.NewProcessorPool(factory, size)
+		m.pools[library] = p
+	}
+	return p
+}
+
+// Stats reports lifetime acquire/release counts and per-pool reuse.
+func (m *StreamletManager) Stats() (acquired, released, created, reused uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	acquired, released = m.acquired, m.released
+	for _, p := range m.pools {
+		c, r := p.Stats()
+		created += c
+		reused += r
+	}
+	return acquired, released, created, reused
+}

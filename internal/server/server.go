@@ -1,0 +1,293 @@
+// Package server implements the MobiGATE server of thesis §3.3: the
+// Coordination Manager that turns compiled MCL configuration tables into
+// running streams, the Streamlet Manager with its stateless-instance
+// pooling, the Event Manager wiring, and a TCP front-end through which
+// mobile clients receive the adapted flow.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/semantics"
+	"mobigate/internal/stream"
+	"mobigate/internal/streamlet"
+)
+
+// Options configure a Server.
+type Options struct {
+	// Directory supplies streamlet implementations; nil creates an empty
+	// one (register services before deploying).
+	Directory *streamlet.Directory
+	// Events supplies the event manager; nil creates one.
+	Events *event.Manager
+	// PoolMode selects pass-by-reference (default) or pass-by-value buffer
+	// management (§7.3).
+	PoolMode msgpool.Mode
+	// Strict makes Deploy fail when the semantic analyzer finds violations
+	// (feedback loops are always fatal).
+	Strict bool
+	// Rules are the application-level relations the analyzer verifies.
+	Rules semantics.Rules
+	// ErrorHandler receives asynchronous stream errors.
+	ErrorHandler func(error)
+}
+
+// Server is the MobiGATE gateway: it compiles MCL scripts, validates them
+// against the semantic model, and manages running stream instances.
+type Server struct {
+	opts   Options
+	dir    *streamlet.Directory
+	events *event.Manager
+	pool   *msgpool.Pool
+
+	mu      sync.Mutex
+	cfg     *mcl.Config
+	streams map[string]*stream.Stream
+	reports map[string]*semantics.Report
+	closed  bool
+}
+
+// New creates a server.
+func New(opts Options) *Server {
+	dir := opts.Directory
+	if dir == nil {
+		dir = streamlet.NewDirectory()
+	}
+	ev := opts.Events
+	if ev == nil {
+		ev = event.NewManager(nil)
+	}
+	return &Server{
+		opts:    opts,
+		dir:     dir,
+		events:  ev,
+		pool:    msgpool.New(opts.PoolMode),
+		streams: make(map[string]*stream.Stream),
+		reports: make(map[string]*semantics.Report),
+	}
+}
+
+// Directory returns the server's streamlet directory.
+func (s *Server) Directory() *streamlet.Directory { return s.dir }
+
+// Events returns the server's event manager.
+func (s *Server) Events() *event.Manager { return s.events }
+
+// Pool returns the central message pool.
+func (s *Server) Pool() *msgpool.Pool { return s.pool }
+
+// LoadScript compiles an MCL script and runs the semantic analyses on every
+// stream it declares. Compilation errors are fatal; analysis reports are
+// retained and consulted at Deploy time.
+func (s *Server) LoadScript(src string) error {
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		return err
+	}
+	return s.install(cfg)
+}
+
+// LoadScripts compiles several named sources — e.g. a streamlet-library
+// file plus an application script — as one compilation unit.
+func (s *Server) LoadScripts(sources map[string]string) error {
+	cfg, err := mcl.CompileSources(sources, nil)
+	if err != nil {
+		return err
+	}
+	return s.install(cfg)
+}
+
+func (s *Server) install(cfg *mcl.Config) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg = cfg
+	for name, sc := range cfg.Streams {
+		rules := s.opts.Rules
+		// A stream's derived external ports are its sanctioned open ends.
+		rules.AllowedOpenPorts = append(append([]string(nil), rules.AllowedOpenPorts...),
+			semantics.OpenPorts(sc)...)
+		s.reports[name] = semantics.Analyze(sc, rules)
+	}
+	return nil
+}
+
+// Config returns the loaded configuration (nil before LoadScript).
+func (s *Server) Config() *mcl.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg
+}
+
+// Report returns the semantic analysis report for a stream.
+func (s *Server) Report(name string) *semantics.Report {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reports[name]
+}
+
+// Deploy instantiates and starts a stream from the loaded script, wiring
+// its when-blocks into the event system. Deploying an already-deployed
+// stream is an error (each name runs at most one shared instance; use
+// DeployInstance for per-session copies).
+func (s *Server) Deploy(name string) (*stream.Stream, error) {
+	return s.deploy(name, name)
+}
+
+// DeployInstance deploys an independent copy of a stream under an instance
+// alias, supporting one adaptation pipeline per client session.
+func (s *Server) DeployInstance(name, alias string) (*stream.Stream, error) {
+	return s.deploy(name, alias)
+}
+
+func (s *Server) deploy(name, alias string) (*stream.Stream, error) {
+	s.mu.Lock()
+	cfg := s.cfg
+	closed := s.closed
+	if _, dup := s.streams[alias]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("server: stream %q already deployed", alias)
+	}
+	rep := s.reports[name]
+	s.mu.Unlock()
+
+	if closed {
+		return nil, fmt.Errorf("server: closed")
+	}
+	if cfg == nil {
+		return nil, fmt.Errorf("server: no script loaded")
+	}
+	if rep != nil && !rep.OK() {
+		fatal := s.opts.Strict
+		for _, v := range rep.Violations {
+			if v.Kind == "feedback-loop" {
+				fatal = true
+			}
+		}
+		if fatal {
+			return nil, fmt.Errorf("server: stream %q rejected by semantic analysis: %v", name, rep.Violations)
+		}
+	}
+
+	st, err := stream.FromConfig(cfg, name, s.pool, s.dir)
+	if err != nil {
+		return nil, err
+	}
+	st.ErrorHandler = s.opts.ErrorHandler
+
+	// Subscribe the stream to the categories of the events it reacts to,
+	// so the Coordination Manager's event filtering (§3.3.1) never wakes a
+	// stream for an irrelevant category.
+	catalog := s.events.Catalog()
+	seen := map[event.Category]bool{}
+	for _, ev := range st.Whens() {
+		cat, ok := catalog.CategoryOf(ev)
+		if !ok {
+			// Unknown event identifiers are registered dynamically under
+			// Software Variation (§8.2.1's dynamic inclusion).
+			cat = event.SoftwareVariation
+			if err := catalog.Register(ev, cat); err != nil {
+				return nil, err
+			}
+		}
+		if !seen[cat] {
+			seen[cat] = true
+			s.events.Subscribe(cat, st)
+		}
+	}
+	s.events.Subscribe(event.SystemCommand, st)
+
+	s.mu.Lock()
+	if _, dup := s.streams[alias]; dup {
+		s.mu.Unlock()
+		st.End()
+		return nil, fmt.Errorf("server: stream %q already deployed", alias)
+	}
+	s.streams[alias] = st
+	s.mu.Unlock()
+
+	st.Start()
+	return st, nil
+}
+
+// Stream returns a deployed stream by alias (nil when absent).
+func (s *Server) Stream(alias string) *stream.Stream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[alias]
+}
+
+// Deployed lists deployed stream aliases, sorted.
+func (s *Server) Deployed() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.streams))
+	for n := range s.streams {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Undeploy stops and removes a stream instance.
+func (s *Server) Undeploy(alias string) error {
+	s.mu.Lock()
+	st, ok := s.streams[alias]
+	if ok {
+		delete(s.streams, alias)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: stream %q not deployed", alias)
+	}
+	for _, cat := range allCategories(s.events.Catalog(), st) {
+		s.events.Unsubscribe(cat, st)
+	}
+	st.End()
+	return nil
+}
+
+func allCategories(catalog *event.Catalog, st *stream.Stream) []event.Category {
+	seen := map[event.Category]bool{event.SystemCommand: true}
+	out := []event.Category{event.SystemCommand}
+	for _, ev := range st.Whens() {
+		if cat, ok := catalog.CategoryOf(ev); ok && !seen[cat] {
+			seen[cat] = true
+			out = append(out, cat)
+		}
+	}
+	return out
+}
+
+// Raise injects a context event (e.g. from the netem bandwidth monitor or
+// an operator command) into the event system.
+func (s *Server) Raise(eventID, source string) error {
+	return s.events.Raise(eventID, source)
+}
+
+// Close undeploys every stream and stops the event manager.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	streams := make([]*stream.Stream, 0, len(s.streams))
+	for _, st := range s.streams {
+		streams = append(streams, st)
+	}
+	s.streams = make(map[string]*stream.Stream)
+	s.mu.Unlock()
+	for _, st := range streams {
+		st.End()
+	}
+	if s.opts.Events == nil {
+		// We own the manager.
+		s.events.Close()
+	}
+}

@@ -1,0 +1,61 @@
+package services
+
+import (
+	"fmt"
+	"sync"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/streamlet"
+)
+
+// Sink consumes messages leaving the gateway (the network side of the
+// Communicator streamlet). Implementations include the netem wireless link
+// and TCP connections in the server front-end.
+type Sink interface {
+	SendMessage(m *mime.Message) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(m *mime.Message) error
+
+// SendMessage calls f.
+func (f SinkFunc) SendMessage(m *mime.Message) error { return f(m) }
+
+// Communicator sends messages onto the network (§7.5). It terminates the
+// server-side chain: processed messages leave through the Sink and are not
+// re-emitted onto any port.
+type Communicator struct {
+	SinkTo Sink
+
+	mu   sync.Mutex
+	sent uint64
+	errs uint64
+}
+
+// Process implements streamlet.Processor.
+func (c *Communicator) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	if c.SinkTo == nil {
+		return nil, fmt.Errorf("communicator: no sink configured")
+	}
+	err := c.SinkTo.SendMessage(in.Msg)
+	c.mu.Lock()
+	if err != nil {
+		c.errs++
+	} else {
+		c.sent++
+	}
+	c.mu.Unlock()
+	if err != nil {
+		return nil, fmt.Errorf("communicator: %w", err)
+	}
+	return nil, nil
+}
+
+// Stats returns sent and errored message counts.
+func (c *Communicator) Stats() (sent, errs uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent, c.errs
+}
+
+var _ streamlet.Processor = (*Communicator)(nil)

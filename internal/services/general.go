@@ -1,0 +1,283 @@
+package services
+
+import (
+	"container/list"
+	"crypto/rc4"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/streamlet"
+)
+
+// Switch divides incoming messages based on the semantic type of the data
+// (§4.3): the first route whose media type the message's Content-Type
+// specializes wins; unmatched messages go to DefaultPort (dropped with an
+// error when empty).
+type Switch struct {
+	Routes      []SwitchRoute
+	DefaultPort string
+}
+
+// SwitchRoute maps a media-type pattern to an output port.
+type SwitchRoute struct {
+	Type mime.MediaType
+	Port string
+}
+
+// NewDistillationSwitch builds the Figure 4-6 switch: images to po1,
+// PostScript (and other text-like content) to po2.
+func NewDistillationSwitch() *Switch {
+	return &Switch{
+		Routes: []SwitchRoute{
+			{Type: mime.MustParse("image/*"), Port: "po1"},
+			{Type: TypePostScript, Port: "po2"},
+			{Type: mime.MustParse("text/*"), Port: "po2"},
+		},
+	}
+}
+
+// Process implements streamlet.Processor.
+func (s *Switch) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	ct := in.Msg.ContentType()
+	for _, r := range s.Routes {
+		if ct.SubtypeOf(r.Type) {
+			return []streamlet.Emission{{Port: r.Port, Msg: in.Msg}}, nil
+		}
+	}
+	if s.DefaultPort != "" {
+		return []streamlet.Emission{{Port: s.DefaultPort, Msg: in.Msg}}, nil
+	}
+	return nil, fmt.Errorf("switch: no route for content type %s", ct)
+}
+
+// Merge integrates different types of information into a whole body (§4.3):
+// each incoming message is retyped as a part of the multipart/mixed flow
+// and forwarded, tagged with its originating branch.
+type Merge struct {
+	mu    sync.Mutex
+	parts uint64
+}
+
+// Process implements streamlet.Processor.
+func (m *Merge) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	m.mu.Lock()
+	m.parts++
+	n := m.parts
+	m.mu.Unlock()
+	in.Msg.SetHeader("X-Part", strconv.FormatUint(n, 10))
+	in.Msg.SetHeader("X-Part-Source", in.Port)
+	in.Msg.SetHeader("X-Original-Type", in.Msg.Header(mime.HeaderContentType))
+	in.Msg.SetContentType(mime.MustParse("multipart/mixed"))
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+// Parts returns how many parts this merge has emitted.
+func (m *Merge) Parts() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.parts
+}
+
+// PowerSaving batches messages into transmission bursts so the client radio
+// can sleep between bursts (§4.3's power-saving mechanism): messages are
+// held until BurstSize have accumulated, then released together, each
+// marked with the burst number.
+type PowerSaving struct {
+	BurstSize int
+
+	mu     sync.Mutex
+	held   []*mime.Message
+	bursts uint64
+}
+
+// Process implements streamlet.Processor.
+func (p *PowerSaving) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	size := p.BurstSize
+	if size <= 1 {
+		size = 4
+	}
+	p.held = append(p.held, in.Msg)
+	if len(p.held) < size {
+		return nil, nil // keep the message for the next burst
+	}
+	p.bursts++
+	burst := strconv.FormatUint(p.bursts, 10)
+	out := make([]streamlet.Emission, len(p.held))
+	for i, m := range p.held {
+		m.SetHeader("X-Burst", burst)
+		out[i] = streamlet.Emission{Msg: m}
+	}
+	p.held = nil
+	return out, nil
+}
+
+// Flush releases any held messages regardless of burst size.
+func (p *PowerSaving) Flush() []streamlet.Emission {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]streamlet.Emission, len(p.held))
+	for i, m := range p.held {
+		out[i] = streamlet.Emission{Msg: m}
+	}
+	p.held = nil
+	return out
+}
+
+// Cache remembers transformed content by body digest (§1.2.1's caching
+// service entity): repeated payloads are marked as hits so downstream
+// entities (or the evaluation) can skip redundant work. Entries are kept
+// LRU-bounded.
+type Cache struct {
+	// MaxEntries bounds the cache (default 256).
+	MaxEntries int
+
+	mu     sync.Mutex
+	order  *list.List // of string digests, front = most recent
+	known  map[string]*list.Element
+	hits   uint64
+	misses uint64
+}
+
+// Process implements streamlet.Processor.
+func (c *Cache) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	sum := sha256.Sum256(in.Msg.Body())
+	key := hex.EncodeToString(sum[:8])
+
+	c.mu.Lock()
+	max := c.MaxEntries
+	if max <= 0 {
+		max = 256
+	}
+	if c.known == nil {
+		c.known = make(map[string]*list.Element)
+		c.order = list.New()
+	}
+	if el, ok := c.known[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		in.Msg.SetHeader("X-Cache", "HIT")
+	} else {
+		c.misses++
+		c.known[key] = c.order.PushFront(key)
+		for c.order.Len() > max {
+			back := c.order.Back()
+			c.order.Remove(back)
+			delete(c.known, back.Value.(string))
+		}
+		in.Msg.SetHeader("X-Cache", "MISS")
+	}
+	c.mu.Unlock()
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+// Stats returns hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Redirector is the §7.2 overhead probe: it reads and parses the incoming
+// message's header block (an unparse/parse round trip through the wire
+// codec — the inherent per-streamlet cost of handling a message),
+// re-encapsulates the necessary headers, and forwards the message while
+// counting hops. The body is passed untouched: body transport cost is the
+// message pool's concern (§7.3), not the streamlet's.
+type Redirector struct{}
+
+// Process implements streamlet.Processor.
+func (Redirector) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	// Parse/unparse work on the header block.
+	hdr := mime.NewMessage(in.Msg.ContentType(), nil)
+	for _, k := range in.Msg.Headers() {
+		hdr.SetHeader(k, in.Msg.Header(k))
+	}
+	parsed, err := mime.Decode(hdr.Encode())
+	if err != nil {
+		return nil, fmt.Errorf("redirector: %w", err)
+	}
+	hops, _ := strconv.Atoi(parsed.Header("X-Redirector-Hops"))
+	in.Msg.SetHeader("X-Redirector-Hops", strconv.Itoa(hops+1))
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+// Encryptor applies an RC4 keystream to the body; the client's Decryptor
+// peer reverses it. (RC4 is used as a cheap stdlib stream cipher to model
+// the thesis's encryption entity, not as a security recommendation.)
+type Encryptor struct {
+	Key []byte
+}
+
+// EncryptorPeerID identifies the client-side decryptor.
+const EncryptorPeerID = "crypto/decrypt"
+
+// PeerID implements streamlet.Peered.
+func (*Encryptor) PeerID() string { return EncryptorPeerID }
+
+// Process implements streamlet.Processor.
+func (e *Encryptor) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	out, err := rc4Apply(e.key(), in.Msg.Body())
+	if err != nil {
+		return nil, err
+	}
+	in.Msg.SetBody(out)
+	in.Msg.SetHeader("X-Encrypted", "rc4")
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+func (e *Encryptor) key() []byte {
+	if len(e.Key) > 0 {
+		return e.Key
+	}
+	return []byte("mobigate-default-key")
+}
+
+// Decryptor reverses Encryptor.
+type Decryptor struct {
+	Key []byte
+}
+
+// Process implements streamlet.Processor.
+func (d *Decryptor) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	if in.Msg.Header("X-Encrypted") != "rc4" {
+		return []streamlet.Emission{{Msg: in.Msg}}, nil
+	}
+	key := d.Key
+	if len(key) == 0 {
+		key = []byte("mobigate-default-key")
+	}
+	out, err := rc4Apply(key, in.Msg.Body())
+	if err != nil {
+		return nil, err
+	}
+	in.Msg.SetBody(out)
+	in.Msg.DelHeader("X-Encrypted")
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+func rc4Apply(key, data []byte) ([]byte, error) {
+	c, err := rc4.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(data))
+	c.XORKeyStream(out, data)
+	return out, nil
+}
+
+var (
+	_ streamlet.Processor = (*Switch)(nil)
+	_ streamlet.Processor = (*Merge)(nil)
+	_ streamlet.Processor = (*PowerSaving)(nil)
+	_ streamlet.Processor = (*Cache)(nil)
+	_ streamlet.Processor = Redirector{}
+	_ streamlet.Processor = (*Encryptor)(nil)
+	_ streamlet.Peered    = (*Encryptor)(nil)
+	_ streamlet.Processor = (*Decryptor)(nil)
+)

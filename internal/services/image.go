@@ -1,0 +1,121 @@
+package services
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/streamlet"
+)
+
+// DownSampler is the Image Down Sampling streamlet (§4.3): lossy
+// compression of an image by reducing the sample rate. Passes = how many
+// halvings to apply per message (1 → 4x fewer pixels).
+type DownSampler struct {
+	Passes int
+}
+
+// Process implements streamlet.Processor.
+func (d *DownSampler) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	passes := d.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	r, err := DecodeRaster(in.Msg.Body())
+	if err != nil {
+		return nil, fmt.Errorf("downsample: %w", err)
+	}
+	for i := 0; i < passes; i++ {
+		r = r.Downsample()
+	}
+	in.Msg.SetBody(r.Encode())
+	in.Msg.SetContentType(TypeRaster)
+	in.Msg.SetHeader("X-Downsampled", fmt.Sprintf("%d", passes))
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+// Gray16Mapper is the Map-to-16-grays streamlet (§4.3), supporting shallow
+// grayscale displays (the LOW_GRAYS reaction).
+type Gray16Mapper struct{}
+
+// Process implements streamlet.Processor.
+func (Gray16Mapper) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	r, err := DecodeRaster(in.Msg.Body())
+	if err != nil {
+		return nil, fmt.Errorf("gray16: %w", err)
+	}
+	g := r.Gray16()
+	in.Msg.SetBody(g.Encode())
+	in.Msg.SetContentType(TypeGray16)
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+// Transcoder is the Gif2Jpeg streamlet of the §7.5 web-acceleration
+// application: a lossy format conversion that trades fidelity for size. The
+// raster is quantized (dropping the low bits of every sample) and
+// deflate-compressed; Quality (1..8) sets how many bits survive.
+type Transcoder struct {
+	Quality int // bits kept per sample, default 4
+}
+
+// Process implements streamlet.Processor.
+func (t *Transcoder) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	q := t.Quality
+	if q <= 0 || q > 8 {
+		q = 4
+	}
+	r, err := DecodeRaster(in.Msg.Body())
+	if err != nil {
+		return nil, fmt.Errorf("transcode: %w", err)
+	}
+	shift := uint(8 - q)
+	quantized := make([]byte, len(r.Pix))
+	for i, p := range r.Pix {
+		quantized[i] = (p >> shift) << shift
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%s %d %d %d\n", "RJPG", r.Width, r.Height, q)
+	fw, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(quantized); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	in.Msg.SetBody(buf.Bytes())
+	in.Msg.SetContentType(TypeRasterJPEG)
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+// DecodeTranscoded reverses Transcoder for verification: it returns the
+// quantized raster.
+func DecodeTranscoded(data []byte) (*Raster, error) {
+	var magic string
+	var w, h, q int
+	buf := bytes.NewBuffer(data)
+	if _, err := fmt.Fscanf(buf, "%s %d %d %d\n", &magic, &w, &h, &q); err != nil || magic != "RJPG" {
+		return nil, fmt.Errorf("services: not a transcoded raster")
+	}
+	fr := flate.NewReader(buf)
+	defer fr.Close()
+	pix, err := io.ReadAll(fr)
+	if err != nil {
+		return nil, err
+	}
+	if len(pix) != 3*w*h {
+		return nil, fmt.Errorf("services: transcoded pixel count %d != %d", len(pix), 3*w*h)
+	}
+	return &Raster{Width: w, Height: h, Pix: pix}, nil
+}
+
+var _ streamlet.Processor = (*DownSampler)(nil)
+var _ streamlet.Processor = Gray16Mapper{}
+var _ streamlet.Processor = (*Transcoder)(nil)
+
+// typeIsImage reports whether a message carries image content.
+func typeIsImage(t mime.MediaType) bool { return t.Type == "image" }

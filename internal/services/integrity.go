@@ -1,0 +1,111 @@
+package services
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"mobigate/internal/streamlet"
+)
+
+// Integrity protection — a first concrete step on the §8.2.1 security
+// recommendation: a Signer streamlet at the gateway authenticates each
+// message body with an HMAC, and the Verifier peer at the client rejects
+// anything tampered with in transit. Like every other adaptation, the pair
+// composes through MCL and reverses through the Content-Peers chain.
+
+// IntegrityHeader carries the hex-encoded HMAC-SHA256 tag.
+const IntegrityHeader = "X-Integrity"
+
+// SignerPeerID identifies the client-side verifier.
+const SignerPeerID = "integrity/verify"
+
+// LibSign and LibVerify are the directory library names.
+const (
+	LibSign   = "integrity/sign"
+	LibVerify = "integrity/verify"
+)
+
+// Signer appends an HMAC-SHA256 tag over the message body.
+type Signer struct {
+	Key []byte
+}
+
+// PeerID implements streamlet.Peered.
+func (*Signer) PeerID() string { return SignerPeerID }
+
+// Process implements streamlet.Processor.
+func (s *Signer) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	in.Msg.SetHeader(IntegrityHeader, tag(s.key(), in.Msg.Body()))
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+// SetParam implements streamlet.Configurable: "key" sets the MAC key.
+func (s *Signer) SetParam(name, value string) error {
+	if name != "key" {
+		return fmt.Errorf("sign: unknown parameter %q", name)
+	}
+	if value == "" {
+		return fmt.Errorf("sign: key must not be empty")
+	}
+	s.Key = []byte(value)
+	return nil
+}
+
+func (s *Signer) key() []byte {
+	if len(s.Key) > 0 {
+		return s.Key
+	}
+	return []byte("mobigate-integrity-key")
+}
+
+// Verifier checks and strips the integrity tag; a missing or wrong tag is
+// an error and the message is dropped by the client runtime.
+type Verifier struct {
+	Key []byte
+}
+
+// Process implements streamlet.Processor.
+func (v *Verifier) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	want := in.Msg.Header(IntegrityHeader)
+	if want == "" {
+		return nil, fmt.Errorf("verify: message %s has no integrity tag", in.Msg.ID)
+	}
+	key := v.Key
+	if len(key) == 0 {
+		key = []byte("mobigate-integrity-key")
+	}
+	got := tag(key, in.Msg.Body())
+	if !hmac.Equal([]byte(got), []byte(want)) {
+		return nil, fmt.Errorf("verify: message %s failed integrity check", in.Msg.ID)
+	}
+	in.Msg.DelHeader(IntegrityHeader)
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+// SetParam implements streamlet.Configurable: "key" sets the MAC key.
+func (v *Verifier) SetParam(name, value string) error {
+	if name != "key" {
+		return fmt.Errorf("verify: unknown parameter %q", name)
+	}
+	if value == "" {
+		return fmt.Errorf("verify: key must not be empty")
+	}
+	v.Key = []byte(value)
+	return nil
+}
+
+func tag(key, body []byte) string {
+	mac := hmac.New(sha256.New, key)
+	mac.Write(body)
+	return hex.EncodeToString(mac.Sum(nil))
+}
+
+var (
+	_ streamlet.Processor    = (*Signer)(nil)
+	_ streamlet.Peered       = (*Signer)(nil)
+	_ streamlet.Configurable = (*Signer)(nil)
+	_ streamlet.Processor    = (*Verifier)(nil)
+	_ streamlet.Configurable = (*Verifier)(nil)
+)

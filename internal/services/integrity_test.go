@@ -1,0 +1,109 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/streamlet"
+)
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	body := GenText(2048, 3)
+	m := mime.NewMessage(TypePlainText, append([]byte(nil), body...))
+	signer := &Signer{Key: []byte("k1")}
+	out := runProc(t, signer, "pi", m)
+	if out[0].Msg.Header(IntegrityHeader) == "" {
+		t.Fatal("no tag")
+	}
+	verifier := &Verifier{Key: []byte("k1")}
+	back := runProc(t, verifier, "pi", out[0].Msg)
+	if back[0].Msg.Header(IntegrityHeader) != "" {
+		t.Error("tag not stripped")
+	}
+	if string(back[0].Msg.Body()) != string(body) {
+		t.Error("body changed")
+	}
+}
+
+func TestVerifyRejectsTampering(t *testing.T) {
+	m := mime.NewMessage(TypePlainText, []byte("authentic"))
+	out := runProc(t, &Signer{}, "pi", m)
+	out[0].Msg.Body()[0] = 'X' // tamper in transit
+	if _, err := (&Verifier{}).Process(streamlet.Input{Msg: out[0].Msg}); err == nil {
+		t.Error("tampered message verified")
+	}
+}
+
+func TestVerifyRejectsMissingTagAndWrongKey(t *testing.T) {
+	if _, err := (&Verifier{}).Process(streamlet.Input{Msg: mime.NewMessage(TypePlainText, []byte("bare"))}); err == nil {
+		t.Error("untagged message verified")
+	}
+	m := mime.NewMessage(TypePlainText, []byte("keyed"))
+	out := runProc(t, &Signer{Key: []byte("right")}, "pi", m)
+	if _, err := (&Verifier{Key: []byte("wrong")}).Process(streamlet.Input{Msg: out[0].Msg}); err == nil {
+		t.Error("wrong key verified")
+	}
+}
+
+func TestIntegrityParams(t *testing.T) {
+	s := &Signer{}
+	if err := s.SetParam("key", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if string(s.Key) != "secret" {
+		t.Error("key not set")
+	}
+	if err := s.SetParam("key", ""); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := s.SetParam("mode", "x"); err == nil {
+		t.Error("unknown param accepted")
+	}
+	v := &Verifier{}
+	if err := v.SetParam("key", "secret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.SetParam("nope", "x"); err == nil {
+		t.Error("unknown verifier param accepted")
+	}
+}
+
+func TestIntegrityRegistered(t *testing.T) {
+	dir := streamlet.NewDirectory()
+	RegisterAll(dir)
+	for _, lib := range []string{LibSign, LibVerify} {
+		if _, err := dir.Lookup(lib); err != nil {
+			t.Error(err)
+		}
+	}
+	peers := streamlet.NewDirectory()
+	RegisterClientPeers(peers)
+	if _, err := peers.Lookup(SignerPeerID); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntegrityThroughClientChain(t *testing.T) {
+	// Sign then compress at the gateway; client reverses both via the
+	// peer chain: decompress first, then verify.
+	body := GenText(1024, 9)
+	m := mime.NewMessage(TypePlainText, append([]byte(nil), body...))
+
+	sign := &Signer{}
+	out := runProc(t, sign, "pi", m)
+	out[0].Msg.PushPeer(SignerPeerID)
+	comp := &Compressor{}
+	out = runProc(t, comp, "pi", out[0].Msg)
+	out[0].Msg.PushPeer(CompressorPeerID)
+
+	// Reverse in LIFO order manually (the client package does this).
+	back := runProc(t, Decompressor{}, "pi", out[0].Msg)
+	got, err := (&Verifier{}).Process(streamlet.Input{Msg: back[0].Msg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.EqualFold(string(got[0].Msg.Body()), string(body)) {
+		t.Error("chain did not restore body")
+	}
+}

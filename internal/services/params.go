@@ -1,0 +1,140 @@
+package services
+
+import (
+	"fmt"
+	"strconv"
+
+	"mobigate/internal/streamlet"
+)
+
+// Control interfaces (§8.2.1): the tunable services accept operation
+// parameters from the coordinator — via the declaration's param-*
+// attributes or Stream.SetParam at runtime — without any change to their
+// data-port protocol.
+
+// SetParam implements streamlet.Configurable: "passes" sets how many
+// halvings each image undergoes.
+func (d *DownSampler) SetParam(name, value string) error {
+	switch name {
+	case "passes":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 || n > 8 {
+			return fmt.Errorf("downsample: passes must be 1..8, got %q", value)
+		}
+		d.Passes = n
+		return nil
+	}
+	return fmt.Errorf("downsample: unknown parameter %q", name)
+}
+
+// SetParam implements streamlet.Configurable: "quality" sets the bits kept
+// per sample (1..8).
+func (t *Transcoder) SetParam(name, value string) error {
+	switch name {
+	case "quality":
+		q, err := strconv.Atoi(value)
+		if err != nil || q < 1 || q > 8 {
+			return fmt.Errorf("transcode: quality must be 1..8, got %q", value)
+		}
+		t.Quality = q
+		return nil
+	}
+	return fmt.Errorf("transcode: unknown parameter %q", name)
+}
+
+// SetParam implements streamlet.Configurable: "level" sets the flate
+// compression level (1..9) — the compression-rate parameter §8.2.1 uses as
+// its example.
+func (c *Compressor) SetParam(name, value string) error {
+	switch name {
+	case "level":
+		l, err := strconv.Atoi(value)
+		if err != nil || l < 1 || l > 9 {
+			return fmt.Errorf("compress: level must be 1..9, got %q", value)
+		}
+		c.Level = l
+		return nil
+	}
+	return fmt.Errorf("compress: unknown parameter %q", name)
+}
+
+// SetParam implements streamlet.Configurable: "burst" sets the number of
+// messages per transmission burst.
+func (p *PowerSaving) SetParam(name, value string) error {
+	switch name {
+	case "burst":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("powersave: burst must be positive, got %q", value)
+		}
+		p.mu.Lock()
+		p.BurstSize = n
+		p.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("powersave: unknown parameter %q", name)
+}
+
+// SetParam implements streamlet.Configurable: "entries" bounds the cache.
+func (c *Cache) SetParam(name, value string) error {
+	switch name {
+	case "entries":
+		n, err := strconv.Atoi(value)
+		if err != nil || n < 1 {
+			return fmt.Errorf("cache: entries must be positive, got %q", value)
+		}
+		c.mu.Lock()
+		c.MaxEntries = n
+		c.mu.Unlock()
+		return nil
+	}
+	return fmt.Errorf("cache: unknown parameter %q", name)
+}
+
+// SetParam implements streamlet.Configurable: "key" sets the cipher key.
+func (e *Encryptor) SetParam(name, value string) error {
+	switch name {
+	case "key":
+		if value == "" {
+			return fmt.Errorf("encrypt: key must not be empty")
+		}
+		e.Key = []byte(value)
+		return nil
+	}
+	return fmt.Errorf("encrypt: unknown parameter %q", name)
+}
+
+// SetParam implements streamlet.Configurable: "key" sets the cipher key.
+func (d *Decryptor) SetParam(name, value string) error {
+	switch name {
+	case "key":
+		if value == "" {
+			return fmt.Errorf("decrypt: key must not be empty")
+		}
+		d.Key = []byte(value)
+		return nil
+	}
+	return fmt.Errorf("decrypt: unknown parameter %q", name)
+}
+
+// SetParam implements streamlet.Configurable: "default" names the port
+// unmatched messages fall through to.
+func (s *Switch) SetParam(name, value string) error {
+	switch name {
+	case "default":
+		s.DefaultPort = value
+		return nil
+	}
+	return fmt.Errorf("switch: unknown parameter %q", name)
+}
+
+var (
+	_ streamlet.Configurable = (*DownSampler)(nil)
+	_ streamlet.Configurable = (*Transcoder)(nil)
+	_ streamlet.Configurable = (*Compressor)(nil)
+	_ streamlet.Configurable = (*PowerSaving)(nil)
+	_ streamlet.Configurable = (*Cache)(nil)
+	_ streamlet.Configurable = (*Encryptor)(nil)
+	_ streamlet.Configurable = (*Decryptor)(nil)
+	_ streamlet.Configurable = (*Switch)(nil)
+)

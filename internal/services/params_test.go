@@ -1,0 +1,102 @@
+package services
+
+import (
+	"strings"
+	"testing"
+
+	"mobigate/internal/streamlet"
+)
+
+func TestSetParamAccepted(t *testing.T) {
+	cases := []struct {
+		proc  streamlet.Configurable
+		name  string
+		value string
+		check func() bool
+	}{
+		{&DownSampler{}, "passes", "3", nil},
+		{&Transcoder{}, "quality", "2", nil},
+		{&Compressor{}, "level", "9", nil},
+		{&PowerSaving{}, "burst", "7", nil},
+		{&Cache{}, "entries", "16", nil},
+		{&Encryptor{}, "key", "sekrit", nil},
+		{&Decryptor{}, "key", "sekrit", nil},
+		{&Switch{}, "default", "po2", nil},
+	}
+	for _, c := range cases {
+		if err := c.proc.SetParam(c.name, c.value); err != nil {
+			t.Errorf("%T.SetParam(%s, %s): %v", c.proc, c.name, c.value, err)
+		}
+	}
+	ds := &DownSampler{}
+	if err := ds.SetParam("passes", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Passes != 2 {
+		t.Errorf("Passes = %d", ds.Passes)
+	}
+}
+
+func TestSetParamRejected(t *testing.T) {
+	cases := []struct {
+		proc  streamlet.Configurable
+		name  string
+		value string
+	}{
+		{&DownSampler{}, "passes", "0"},
+		{&DownSampler{}, "passes", "nine"},
+		{&DownSampler{}, "color", "red"},
+		{&Transcoder{}, "quality", "12"},
+		{&Compressor{}, "level", "0"},
+		{&PowerSaving{}, "burst", "-1"},
+		{&Cache{}, "entries", "x"},
+		{&Encryptor{}, "key", ""},
+		{&Switch{}, "route", "po9"},
+	}
+	for _, c := range cases {
+		if err := c.proc.SetParam(c.name, c.value); err == nil {
+			t.Errorf("%T.SetParam(%s, %q) accepted", c.proc, c.name, c.value)
+		}
+	}
+}
+
+func TestConfigureHelper(t *testing.T) {
+	ds := &DownSampler{}
+	if err := streamlet.Configure(ds, map[string]string{"passes": "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Passes != 4 {
+		t.Errorf("Passes = %d", ds.Passes)
+	}
+	// Empty params are fine on any processor.
+	if err := streamlet.Configure(Redirector{}, nil); err != nil {
+		t.Errorf("empty configure: %v", err)
+	}
+	// Params on an unconfigurable processor are an error.
+	err := streamlet.Configure(Redirector{}, map[string]string{"x": "1"})
+	if err == nil || !strings.Contains(err.Error(), "control interface") {
+		t.Errorf("unconfigurable accepted params: %v", err)
+	}
+	// A failing param reports its name.
+	err = streamlet.Configure(ds, map[string]string{"passes": "bogus"})
+	if err == nil || !strings.Contains(err.Error(), "passes") {
+		t.Errorf("error lacks param name: %v", err)
+	}
+}
+
+func TestParamAffectsProcessing(t *testing.T) {
+	// Two passes shrink four times more than one.
+	m1 := GenImageMessage(64, 64, 1)
+	one := &DownSampler{}
+	_ = one.SetParam("passes", "1")
+	out1 := runProc(t, one, "pi", m1)
+
+	m2 := GenImageMessage(64, 64, 1)
+	two := &DownSampler{}
+	_ = two.SetParam("passes", "2")
+	out2 := runProc(t, two, "pi", m2)
+
+	if out2[0].Msg.Len() >= out1[0].Msg.Len() {
+		t.Errorf("passes param had no effect: %d vs %d", out1[0].Msg.Len(), out2[0].Msg.Len())
+	}
+}

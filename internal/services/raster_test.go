@@ -1,0 +1,153 @@
+package services
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRasterEncodeDecodeRoundTrip(t *testing.T) {
+	r := GenRaster(17, 9, 42)
+	got, err := DecodeRaster(r.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 17 || got.Height != 9 || !bytes.Equal(got.Pix, r.Pix) {
+		t.Error("round trip corrupted raster")
+	}
+}
+
+func TestDecodeRasterErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XXXX\x00\x00\x00\x05\x00\x00\x00\x05"),                              // bad magic
+		[]byte("RAST\x00\x00\x00\x05\x00\x00\x00\x05"),                              // truncated pixels
+		[]byte("RAST\x00\x00\x00\x00\x00\x00\x00\x05"),                              // zero width
+		append([]byte("RAST\xff\xff\xff\xff\x00\x00\x00\x01"), make([]byte, 64)...), // huge width
+	}
+	for i, c := range cases {
+		if _, err := DecodeRaster(c); err == nil {
+			t.Errorf("case %d: bad raster accepted", i)
+		}
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	r := NewRaster(4, 4)
+	r.Set(2, 3, 10, 20, 30)
+	cr, cg, cb := r.At(2, 3)
+	if cr != 10 || cg != 20 || cb != 30 {
+		t.Errorf("At = %d,%d,%d", cr, cg, cb)
+	}
+}
+
+func TestDownsampleHalvesAndAverages(t *testing.T) {
+	r := NewRaster(4, 2)
+	// Left 2x2 block: values 0, 2, 4, 6 → average 3 per component.
+	r.Set(0, 0, 0, 0, 0)
+	r.Set(1, 0, 2, 2, 2)
+	r.Set(0, 1, 4, 4, 4)
+	r.Set(1, 1, 6, 6, 6)
+	// Right block constant 100.
+	for _, xy := range [][2]int{{2, 0}, {3, 0}, {2, 1}, {3, 1}} {
+		r.Set(xy[0], xy[1], 100, 100, 100)
+	}
+	d := r.Downsample()
+	if d.Width != 2 || d.Height != 1 {
+		t.Fatalf("dims = %dx%d", d.Width, d.Height)
+	}
+	if cr, _, _ := d.At(0, 0); cr != 3 {
+		t.Errorf("left avg = %d", cr)
+	}
+	if cr, _, _ := d.At(1, 0); cr != 100 {
+		t.Errorf("right avg = %d", cr)
+	}
+}
+
+func TestDownsampleTinyImageUnchanged(t *testing.T) {
+	r := NewRaster(1, 5)
+	if d := r.Downsample(); d != r {
+		t.Error("degenerate image was resampled")
+	}
+}
+
+func TestDownsampleShrinksEncodedSize(t *testing.T) {
+	r := GenRaster(64, 64, 7)
+	d := r.Downsample()
+	if len(d.Encode())*3 > len(r.Encode()) {
+		t.Errorf("downsample only %d -> %d bytes", len(r.Encode()), len(d.Encode()))
+	}
+}
+
+func TestGray16QuantizesAndPacks(t *testing.T) {
+	r := NewRaster(2, 1)
+	r.Set(0, 0, 255, 255, 255) // white → level 15
+	r.Set(1, 0, 0, 0, 0)       // black → level 0
+	g := r.Gray16()
+	if g.Level(0, 0) != 15 || g.Level(1, 0) != 0 {
+		t.Errorf("levels = %d, %d", g.Level(0, 0), g.Level(1, 0))
+	}
+	if len(g.Packed) != 1 {
+		t.Errorf("packed bytes = %d", len(g.Packed))
+	}
+}
+
+func TestGray16EncodeDecodeRoundTrip(t *testing.T) {
+	g := GenRaster(33, 7, 3).Gray16()
+	got, err := DecodeGray16(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width != 33 || got.Height != 7 || !bytes.Equal(got.Packed, g.Packed) {
+		t.Error("gray16 round trip corrupted")
+	}
+	if _, err := DecodeGray16([]byte("nope")); err == nil {
+		t.Error("bad gray16 accepted")
+	}
+	if _, err := DecodeGray16([]byte("GR16\x00\x00\x00\x09\x00\x00\x00\x09")); err == nil {
+		t.Error("truncated gray16 accepted")
+	}
+}
+
+func TestGray16SizeReduction(t *testing.T) {
+	r := GenRaster(64, 64, 1)
+	g := r.Gray16()
+	ratio := float64(len(r.Encode())) / float64(len(g.Encode()))
+	if ratio < 5.5 {
+		t.Errorf("gray16 reduction ratio = %.2f, want ~6", ratio)
+	}
+}
+
+// Property: encode/decode are inverses for arbitrary dimensions.
+func TestRasterRoundTripQuick(t *testing.T) {
+	f := func(w8, h8 uint8, seed int64) bool {
+		w := int(w8%40) + 1
+		h := int(h8%40) + 1
+		r := GenRaster(w, h, seed)
+		got, err := DecodeRaster(r.Encode())
+		return err == nil && got.Width == w && got.Height == h && bytes.Equal(got.Pix, r.Pix)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gray levels are always < 16.
+func TestGray16LevelsBoundedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := GenRaster(13, 11, seed)
+		g := r.Gray16()
+		for y := 0; y < g.Height; y++ {
+			for x := 0; x < g.Width; x++ {
+				if g.Level(x, y) > 15 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

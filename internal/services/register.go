@@ -1,0 +1,53 @@
+package services
+
+import (
+	"mobigate/internal/streamlet"
+)
+
+// Library names under which the standard services are advertised in the
+// Streamlet Directory (§3.3.7). They match the `library` attributes used in
+// the thesis's MCL examples.
+const (
+	LibSwitch       = "general/switch"
+	LibMerge        = "general/merge"
+	LibCache        = "general/cache"
+	LibDownSample   = "image/downsample"
+	LibGray16       = "image/gray16"
+	LibGif2Jpeg     = "image/gif2jpeg"
+	LibPS2Text      = "text/ps2text"
+	LibTextCompress = "text/compress"
+	LibDecompress   = "text/decompress"
+	LibEncrypt      = "crypto/encrypt"
+	LibDecrypt      = "crypto/decrypt"
+	LibPowerSave    = "system/powersave"
+	LibRedirector   = "bench/redirector"
+)
+
+// RegisterAll advertises every self-contained service in the directory.
+// The Communicator is not registered: it needs an explicit network sink and
+// is wired by the server front-end.
+func RegisterAll(dir *streamlet.Directory) {
+	dir.Register(LibSwitch, func() streamlet.Processor { return NewDistillationSwitch() })
+	dir.Register(LibMerge, func() streamlet.Processor { return &Merge{} })
+	dir.Register(LibCache, func() streamlet.Processor { return &Cache{} })
+	dir.Register(LibDownSample, func() streamlet.Processor { return &DownSampler{} })
+	dir.Register(LibGray16, func() streamlet.Processor { return Gray16Mapper{} })
+	dir.Register(LibGif2Jpeg, func() streamlet.Processor { return &Transcoder{} })
+	dir.Register(LibPS2Text, func() streamlet.Processor { return PS2Text{} })
+	dir.Register(LibTextCompress, func() streamlet.Processor { return &Compressor{} })
+	dir.Register(LibDecompress, func() streamlet.Processor { return Decompressor{} })
+	dir.Register(LibEncrypt, func() streamlet.Processor { return &Encryptor{} })
+	dir.Register(LibDecrypt, func() streamlet.Processor { return &Decryptor{} })
+	dir.Register(LibPowerSave, func() streamlet.Processor { return &PowerSaving{} })
+	dir.Register(LibRedirector, func() streamlet.Processor { return Redirector{} })
+	dir.Register(LibSign, func() streamlet.Processor { return &Signer{} })
+	dir.Register(LibVerify, func() streamlet.Processor { return &Verifier{} })
+}
+
+// RegisterClientPeers advertises the reverse-processing streamlets a
+// MobiGATE client needs, keyed by peer ID (§6.5).
+func RegisterClientPeers(dir *streamlet.Directory) {
+	dir.Register(CompressorPeerID, func() streamlet.Processor { return Decompressor{} })
+	dir.Register(EncryptorPeerID, func() streamlet.Processor { return &Decryptor{} })
+	dir.Register(SignerPeerID, func() streamlet.Processor { return &Verifier{} })
+}

@@ -1,0 +1,408 @@
+package services
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/streamlet"
+)
+
+func runProc(t *testing.T, p streamlet.Processor, port string, m *mime.Message) []streamlet.Emission {
+	t.Helper()
+	out, err := p.Process(streamlet.Input{Port: port, Msg: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDownSamplerProcessor(t *testing.T) {
+	m := GenImageMessage(32, 32, 1)
+	before := m.Len()
+	out := runProc(t, &DownSampler{}, "pi", m)
+	if len(out) != 1 {
+		t.Fatalf("emissions = %d", len(out))
+	}
+	if out[0].Msg.Len() >= before {
+		t.Errorf("no shrink: %d -> %d", before, out[0].Msg.Len())
+	}
+	r, err := DecodeRaster(out[0].Msg.Body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Width != 16 || r.Height != 16 {
+		t.Errorf("dims = %dx%d", r.Width, r.Height)
+	}
+	// Two passes.
+	m2 := GenImageMessage(32, 32, 1)
+	out = runProc(t, &DownSampler{Passes: 2}, "pi", m2)
+	r, _ = DecodeRaster(out[0].Msg.Body())
+	if r.Width != 8 {
+		t.Errorf("2-pass width = %d", r.Width)
+	}
+	// Non-image input errors.
+	if _, err := (&DownSampler{}).Process(streamlet.Input{Msg: GenTextMessage(100, 1)}); err == nil {
+		t.Error("downsampling text succeeded")
+	}
+}
+
+func TestGray16MapperProcessor(t *testing.T) {
+	m := GenImageMessage(16, 16, 2)
+	out := runProc(t, Gray16Mapper{}, "pi", m)
+	if !out[0].Msg.ContentType().Equal(TypeGray16) {
+		t.Errorf("type = %s", out[0].Msg.ContentType())
+	}
+	if _, err := DecodeGray16(out[0].Msg.Body()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTranscoderLossyButDecodable(t *testing.T) {
+	m := GenImageMessage(32, 32, 3)
+	orig, _ := DecodeRaster(m.Body())
+	before := m.Len()
+	out := runProc(t, &Transcoder{Quality: 4}, "pi", m)
+	if out[0].Msg.Len() >= before {
+		t.Errorf("transcode grew message: %d -> %d", before, out[0].Msg.Len())
+	}
+	if !out[0].Msg.ContentType().Equal(TypeRasterJPEG) {
+		t.Errorf("type = %s", out[0].Msg.ContentType())
+	}
+	back, err := DecodeTranscoded(out[0].Msg.Body())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Width != 32 || back.Height != 32 {
+		t.Errorf("dims = %dx%d", back.Width, back.Height)
+	}
+	// Lossy: samples match the original up to quantization error (<16 for q=4).
+	for i := range back.Pix {
+		diff := int(orig.Pix[i]) - int(back.Pix[i])
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff >= 16 {
+			t.Fatalf("pixel %d error %d exceeds quantization bound", i, diff)
+		}
+	}
+}
+
+func TestPS2TextExtractsShows(t *testing.T) {
+	src := GenPostScript(2000, 5)
+	m := mime.NewMessage(TypePostScript, src)
+	out := runProc(t, PS2Text{}, "pi", m)
+	body := string(out[0].Msg.Body())
+	if len(body) == 0 {
+		t.Fatal("no text extracted")
+	}
+	if strings.Contains(body, "moveto") || strings.Contains(body, "%!PS") {
+		t.Error("layout commands leaked into text")
+	}
+	if !out[0].Msg.ContentType().Equal(TypeRichText) {
+		t.Errorf("type = %s", out[0].Msg.ContentType())
+	}
+	if out[0].Msg.Len() >= len(src) {
+		t.Error("conversion did not reduce size")
+	}
+}
+
+func TestExtractPostScriptText(t *testing.T) {
+	got := ExtractPostScriptText("% comment\n72 700 moveto\n(hello world) show\n(second) show\n")
+	if got != "hello world\nsecond" {
+		t.Errorf("extract = %q", got)
+	}
+	if ExtractPostScriptText("% only comments\n") != "" {
+		t.Error("comment-only doc produced text")
+	}
+}
+
+func TestCompressorDecompressorRoundTrip(t *testing.T) {
+	text := GenText(8192, 9)
+	m := mime.NewMessage(TypePlainText, append([]byte(nil), text...))
+	comp := &Compressor{}
+	out := runProc(t, comp, "pi", m)
+	if out[0].Msg.Len() >= len(text) {
+		t.Errorf("compression grew: %d -> %d", len(text), out[0].Msg.Len())
+	}
+	ratio := float64(len(text)) / float64(out[0].Msg.Len())
+	if ratio < 2 {
+		t.Errorf("compression ratio %.2f too low for redundant text", ratio)
+	}
+	if out[0].Msg.Header("Content-Encoding") != "deflate" {
+		t.Error("encoding header missing")
+	}
+	back := runProc(t, Decompressor{}, "pi", out[0].Msg)
+	if !bytes.Equal(back[0].Msg.Body(), text) {
+		t.Error("round trip corrupted text")
+	}
+	if back[0].Msg.Header("Content-Encoding") != "" {
+		t.Error("encoding header not cleared")
+	}
+}
+
+func TestDecompressorPassthroughOnPlain(t *testing.T) {
+	m := GenTextMessage(100, 1)
+	out := runProc(t, Decompressor{}, "pi", m)
+	if string(out[0].Msg.Body()) != string(GenText(100, 1)) {
+		t.Error("plain message modified")
+	}
+}
+
+func TestCompressorPeerID(t *testing.T) {
+	var p streamlet.Peered = &Compressor{}
+	if p.PeerID() != CompressorPeerID {
+		t.Errorf("peer = %q", p.PeerID())
+	}
+}
+
+func TestSwitchRoutesByType(t *testing.T) {
+	sw := NewDistillationSwitch()
+	img := runProc(t, sw, "pi", GenImageMessage(8, 8, 1))
+	if img[0].Port != "po1" {
+		t.Errorf("image routed to %q", img[0].Port)
+	}
+	ps := runProc(t, sw, "pi", GenPostScriptMessage(500, 1))
+	if ps[0].Port != "po2" {
+		t.Errorf("postscript routed to %q", ps[0].Port)
+	}
+	txt := runProc(t, sw, "pi", GenTextMessage(100, 1))
+	if txt[0].Port != "po2" {
+		t.Errorf("text routed to %q", txt[0].Port)
+	}
+	// Unroutable type without default → error.
+	odd := mime.NewMessage(mime.MustParse("audio/wav"), nil)
+	if _, err := sw.Process(streamlet.Input{Msg: odd}); err == nil {
+		t.Error("unroutable message accepted")
+	}
+	sw.DefaultPort = "po2"
+	def := runProc(t, sw, "pi", mime.NewMessage(mime.MustParse("audio/wav"), nil))
+	if def[0].Port != "po2" {
+		t.Error("default port ignored")
+	}
+}
+
+func TestMergeRetypesAndCounts(t *testing.T) {
+	mg := &Merge{}
+	a := runProc(t, mg, "pi1", GenImageMessage(8, 8, 1))
+	b := runProc(t, mg, "pi2", GenTextMessage(64, 1))
+	if a[0].Msg.ContentType().String() != "multipart/mixed" {
+		t.Errorf("type = %s", a[0].Msg.ContentType())
+	}
+	if a[0].Msg.Header("X-Part-Source") != "pi1" || b[0].Msg.Header("X-Part-Source") != "pi2" {
+		t.Error("part source headers wrong")
+	}
+	if mg.Parts() != 2 {
+		t.Errorf("parts = %d", mg.Parts())
+	}
+	if a[0].Msg.Header("X-Original-Type") == "" {
+		t.Error("original type not preserved")
+	}
+}
+
+func TestPowerSavingBatches(t *testing.T) {
+	ps := &PowerSaving{BurstSize: 3}
+	var out []streamlet.Emission
+	for i := 0; i < 2; i++ {
+		out = runProc(t, ps, "pi", GenTextMessage(10, int64(i)))
+		if len(out) != 0 {
+			t.Fatalf("burst released early at %d", i)
+		}
+	}
+	out = runProc(t, ps, "pi", GenTextMessage(10, 99))
+	if len(out) != 3 {
+		t.Fatalf("burst size = %d", len(out))
+	}
+	for _, em := range out {
+		if em.Msg.Header("X-Burst") != "1" {
+			t.Errorf("burst header = %q", em.Msg.Header("X-Burst"))
+		}
+	}
+	// Held messages can be flushed.
+	runProc(t, ps, "pi", GenTextMessage(10, 100))
+	if flushed := ps.Flush(); len(flushed) != 1 {
+		t.Errorf("flush = %d", len(flushed))
+	}
+	if again := ps.Flush(); len(again) != 0 {
+		t.Error("double flush returned messages")
+	}
+}
+
+func TestCacheHitsAndEviction(t *testing.T) {
+	c := &Cache{MaxEntries: 2}
+	m1 := mime.NewMessage(TypePlainText, []byte("alpha"))
+	out := runProc(t, c, "pi", m1)
+	if out[0].Msg.Header("X-Cache") != "MISS" {
+		t.Error("first sight not a miss")
+	}
+	m1b := mime.NewMessage(TypePlainText, []byte("alpha"))
+	out = runProc(t, c, "pi", m1b)
+	if out[0].Msg.Header("X-Cache") != "HIT" {
+		t.Error("repeat not a hit")
+	}
+	// Evict "alpha" by inserting two more distinct bodies.
+	runProc(t, c, "pi", mime.NewMessage(TypePlainText, []byte("beta")))
+	runProc(t, c, "pi", mime.NewMessage(TypePlainText, []byte("gamma")))
+	out = runProc(t, c, "pi", mime.NewMessage(TypePlainText, []byte("alpha")))
+	if out[0].Msg.Header("X-Cache") != "MISS" {
+		t.Error("evicted entry still hit")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 4 {
+		t.Errorf("stats = %d, %d", hits, misses)
+	}
+}
+
+func TestRedirectorCountsHops(t *testing.T) {
+	m := GenTextMessage(128, 1)
+	r := Redirector{}
+	out := runProc(t, r, "pi", m)
+	out = runProc(t, r, "pi", out[0].Msg)
+	out = runProc(t, r, "pi", out[0].Msg)
+	if out[0].Msg.Header("X-Redirector-Hops") != "3" {
+		t.Errorf("hops = %q", out[0].Msg.Header("X-Redirector-Hops"))
+	}
+	if !bytes.Equal(out[0].Msg.Body(), GenText(128, 1)) {
+		t.Error("redirector modified body")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	body := GenText(1024, 11)
+	m := mime.NewMessage(TypePlainText, append([]byte(nil), body...))
+	enc := &Encryptor{Key: []byte("secret")}
+	out := runProc(t, enc, "pi", m)
+	if bytes.Equal(out[0].Msg.Body(), body) {
+		t.Error("encryption is identity")
+	}
+	dec := &Decryptor{Key: []byte("secret")}
+	back := runProc(t, dec, "pi", out[0].Msg)
+	if !bytes.Equal(back[0].Msg.Body(), body) {
+		t.Error("decrypt did not recover plaintext")
+	}
+	// Wrong key garbles.
+	m2 := mime.NewMessage(TypePlainText, append([]byte(nil), body...))
+	out = runProc(t, enc, "pi", m2)
+	bad := runProc(t, &Decryptor{Key: []byte("wrong")}, "pi", out[0].Msg)
+	if bytes.Equal(bad[0].Msg.Body(), body) {
+		t.Error("wrong key decrypted")
+	}
+	// Unencrypted passthrough.
+	plain := runProc(t, dec, "pi", GenTextMessage(10, 1))
+	if plain[0].Msg.Header("X-Encrypted") != "" {
+		t.Error("passthrough marked encrypted")
+	}
+}
+
+func TestCommunicatorSink(t *testing.T) {
+	var sent []*mime.Message
+	c := &Communicator{SinkTo: SinkFunc(func(m *mime.Message) error {
+		sent = append(sent, m)
+		return nil
+	})}
+	out := runProc(t, c, "pi", GenTextMessage(10, 1))
+	if len(out) != 0 {
+		t.Error("communicator re-emitted")
+	}
+	if len(sent) != 1 {
+		t.Errorf("sent = %d", len(sent))
+	}
+	n, errs := c.Stats()
+	if n != 1 || errs != 0 {
+		t.Errorf("stats = %d, %d", n, errs)
+	}
+	if _, err := (&Communicator{}).Process(streamlet.Input{Msg: GenTextMessage(1, 1)}); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+func TestRegisterAll(t *testing.T) {
+	dir := streamlet.NewDirectory()
+	RegisterAll(dir)
+	for _, lib := range []string{
+		LibSwitch, LibMerge, LibCache, LibDownSample, LibGray16, LibGif2Jpeg,
+		LibPS2Text, LibTextCompress, LibDecompress, LibEncrypt, LibDecrypt,
+		LibPowerSave, LibRedirector,
+	} {
+		f, err := dir.Lookup(lib)
+		if err != nil {
+			t.Errorf("%s: %v", lib, err)
+			continue
+		}
+		if f() == nil {
+			t.Errorf("%s: nil processor", lib)
+		}
+	}
+	client := streamlet.NewDirectory()
+	RegisterClientPeers(client)
+	if _, err := client.Lookup(CompressorPeerID); err != nil {
+		t.Error(err)
+	}
+	if _, err := client.Lookup(EncryptorPeerID); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	a := MixedWorkload(20, 0.5, 42)
+	b := MixedWorkload(20, 0.5, 42)
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatal("workload size wrong")
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Body(), b[i].Body()) {
+			t.Fatalf("message %d differs between equal seeds", i)
+		}
+	}
+	images := 0
+	for _, m := range a {
+		if typeIsImage(m.ContentType()) {
+			images++
+		}
+	}
+	if images == 0 || images == 20 {
+		t.Errorf("image count %d not mixed", images)
+	}
+	c := MixedWorkload(20, 0.5, 43)
+	same := true
+	for i := range a {
+		if !bytes.Equal(a[i].Body(), c[i].Body()) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestGenTextSizeAndCompressibility(t *testing.T) {
+	txt := GenText(4096, 7)
+	if len(txt) != 4096 {
+		t.Errorf("size = %d", len(txt))
+	}
+}
+
+func TestDecodeTranscodedErrors(t *testing.T) {
+	if _, err := DecodeTranscoded([]byte("not transcoded")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid header, corrupt deflate stream.
+	if _, err := DecodeTranscoded([]byte("RJPG 4 4 4\nnot-deflate")); err == nil {
+		t.Error("corrupt stream accepted")
+	}
+}
+
+func TestGenPostScriptStructure(t *testing.T) {
+	doc := string(GenPostScript(3000, 1))
+	if !strings.HasPrefix(doc, "%!PS") {
+		t.Error("missing PostScript header")
+	}
+	if !strings.Contains(doc, ") show") {
+		t.Error("no show strings")
+	}
+	if !strings.Contains(doc, "showpage") {
+		t.Error("no page breaks")
+	}
+}

@@ -1,0 +1,120 @@
+package services
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"mobigate/internal/mime"
+)
+
+// Workload generation: deterministic synthetic content standing in for the
+// campus web traffic of the thesis testbed (§7.1, §7.5). Everything is
+// seeded so experiments are reproducible run to run.
+
+// GenRaster produces a w×h image with smooth gradients plus seeded noise —
+// compressible but not trivially so, like photographic content.
+func GenRaster(w, h int, seed int64) *Raster {
+	rng := rand.New(rand.NewSource(seed))
+	r := NewRaster(w, h)
+	baseR, baseG, baseB := rng.Intn(256), rng.Intn(256), rng.Intn(256)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			noise := rng.Intn(32)
+			r.Set(x, y,
+				byte((baseR+x*255/max(1, w)+noise)%256),
+				byte((baseG+y*255/max(1, h)+noise)%256),
+				byte((baseB+(x+y)*127/max(1, w+h)+noise)%256),
+			)
+		}
+	}
+	return r
+}
+
+// GenImageMessage wraps a generated raster in a message typed image/gif —
+// the type the distillation switch routes to the image branch (the body is
+// our raster stand-in for GIF content).
+func GenImageMessage(w, h int, seed int64) *mime.Message {
+	m := mime.NewMessage(mime.MustParse("image/gif"), GenRaster(w, h, seed).Encode())
+	return m
+}
+
+var loremWords = strings.Fields(`the quick brown fox jumps over a lazy dog while
+mobile gateway proxies adapt wireless data flows with streamlet composition
+and coordination channels carry typed messages between independent service
+entities under dynamic network conditions`)
+
+// GenText produces n bytes of word-salad text with roughly the
+// compressibility of English prose.
+func GenText(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.Grow(n + 16)
+	for b.Len() < n {
+		b.WriteString(loremWords[rng.Intn(len(loremWords))])
+		if rng.Intn(12) == 0 {
+			b.WriteString(".\n")
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	return []byte(b.String()[:n])
+}
+
+// GenTextMessage wraps generated text in a text/plain message.
+func GenTextMessage(n int, seed int64) *mime.Message {
+	return mime.NewMessage(TypePlainText, GenText(n, seed))
+}
+
+// GenPostScript produces a PostScript-like document of roughly n bytes with
+// comments, layout commands, and (text) show strings.
+func GenPostScript(n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("%!PS-Adobe-3.0\n% synthetic document\n/Times-Roman findfont 12 scalefont setfont\n")
+	line := 700
+	for b.Len() < n {
+		var words []string
+		for i := 0; i < 5+rng.Intn(8); i++ {
+			words = append(words, loremWords[rng.Intn(len(loremWords))])
+		}
+		fmt.Fprintf(&b, "72 %d moveto\n(%s) show\n", line, strings.Join(words, " "))
+		line -= 14
+		if line < 72 {
+			b.WriteString("showpage\n")
+			line = 700
+		}
+	}
+	b.WriteString("showpage\n%%EOF\n")
+	return []byte(b.String())
+}
+
+// GenPostScriptMessage wraps a generated document as application/postscript.
+func GenPostScriptMessage(n int, seed int64) *mime.Message {
+	return mime.NewMessage(TypePostScript, GenPostScript(n, seed))
+}
+
+// MixedWorkload generates the §7.5 flow: a deterministic interleaving of
+// image and text messages. imageRatio in [0,1] sets the fraction of image
+// messages.
+func MixedWorkload(count int, imageRatio float64, seed int64) []*mime.Message {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*mime.Message, 0, count)
+	for i := 0; i < count; i++ {
+		if rng.Float64() < imageRatio {
+			side := 64 + rng.Intn(64) // 64..127 px square
+			out = append(out, GenImageMessage(side, side, seed+int64(i)))
+		} else {
+			size := 2048 + rng.Intn(8192)
+			out = append(out, GenTextMessage(size, seed+int64(i)))
+		}
+	}
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

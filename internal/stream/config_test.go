@@ -1,0 +1,242 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/streamlet"
+)
+
+// testDirectory registers tagger processors for the libraries used in the
+// MCL scripts below.
+func testDirectory() *streamlet.Directory {
+	dir := streamlet.NewDirectory()
+	for _, lib := range []string{"x/a", "x/b", "x/c", "x/extra"} {
+		lib := lib
+		id := strings.TrimPrefix(lib, "x/")
+		dir.Register(lib, func() streamlet.Processor { return tagger(id) })
+	}
+	return dir
+}
+
+const configScript = `
+streamlet defA { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x/a"; } }
+streamlet defB { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x/b"; } }
+streamlet defC { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x/c"; } }
+channel bigChan { port { in cin : text; out cout : text; } attribute { type = ASYNC; category = BK; buffer = 64; } }
+main stream app {
+	streamlet s1 = new-streamlet (defA);
+	streamlet s2 = new-streamlet (defB);
+	streamlet s3 = new-streamlet (defC);
+	channel c1 = new-channel (bigChan);
+	connect (s1.po, s2.pi, c1);
+	when (LOW_BANDWIDTH) {
+		disconnect (s1.po, s2.pi);
+		connect (s1.po, s3.pi, c1);
+		connect (s3.po, s2.pi);
+	}
+}
+`
+
+func buildConfigApp(t *testing.T) (*Stream, *Inlet, *Outlet) {
+	t.Helper()
+	cfg, err := mcl.Compile(configScript, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FromConfig(cfg, "app", nil, testDirectory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := st.OpenInlet(ref("s1", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(ref("s2", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	t.Cleanup(st.End)
+	return st, in, out
+}
+
+func TestFromConfigInitialTopology(t *testing.T) {
+	st, in, out := buildConfigApp(t)
+	if st.Queue("c1") == nil {
+		t.Error("declared channel not instantiated")
+	}
+	if st.Streamlet("s1") == nil || st.Streamlet("s3") == nil {
+		t.Error("instances missing")
+	}
+	_ = in.Send(textMsg("m"))
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body()) != "m|a|b" {
+		t.Errorf("body = %q", got.Body())
+	}
+}
+
+func TestRunWhenRewiresThroughS3(t *testing.T) {
+	st, in, out := buildConfigApp(t)
+	if err := st.RunWhen("LOW_BANDWIDTH"); err != nil {
+		t.Fatal(err)
+	}
+	_ = in.Send(textMsg("m"))
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body()) != "m|a|c|b" {
+		t.Errorf("body after reconfig = %q", got.Body())
+	}
+	if st.Reconfigurations() == 0 {
+		t.Error("reconfiguration not counted")
+	}
+	if st.LastReconfigTiming().Total() <= 0 {
+		t.Error("timing not recorded")
+	}
+}
+
+func TestRunWhenUnknownEventNoop(t *testing.T) {
+	st, _, _ := buildConfigApp(t)
+	if err := st.RunWhen("NO_SUCH_EVENT"); err != nil {
+		t.Errorf("unknown event errored: %v", err)
+	}
+	if st.Reconfigurations() != 0 {
+		t.Error("noop counted as reconfiguration")
+	}
+}
+
+func TestRunWhenViaOnEvent(t *testing.T) {
+	st, in, out := buildConfigApp(t)
+	evs := st.Whens()
+	if len(evs) != 1 || evs[0] != "LOW_BANDWIDTH" {
+		t.Errorf("Whens = %v", evs)
+	}
+	st.OnEvent(event.ContextEvent{EventID: "LOW_BANDWIDTH", Category: event.NetworkVariation})
+	_ = in.Send(textMsg("m"))
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body()) != "m|a|c|b" {
+		t.Errorf("body = %q", got.Body())
+	}
+}
+
+func TestFromConfigCompositeRuns(t *testing.T) {
+	src := `
+streamlet defA { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x/a"; } }
+streamlet defB { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x/b"; } }
+stream inner {
+	streamlet i1 = new-streamlet (defA);
+	streamlet i2 = new-streamlet (defB);
+	connect (i1.po, i2.pi);
+}
+streamlet inner { port { in pi : text; out po : text; } attribute { type = STATEFUL; library = "mcl:inner"; } }
+main stream outer {
+	streamlet o1 = new-streamlet (defA);
+	streamlet o2 = new-streamlet (inner);
+	connect (o1.po, o2.pi);
+}
+`
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FromConfig(cfg, "outer", nil, testDirectory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := st.OpenInlet(ref("o1", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The composite's exit is inner i2.po; open the outlet through the
+	// composite port name.
+	innerStream := st.Inner("o2")
+	if innerStream == nil {
+		t.Fatal("inner stream missing")
+	}
+	out, err := innerStream.OpenOutlet(ref("i2", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	defer st.End()
+	_ = in.Send(textMsg("z"))
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body()) != "z|a|a|b" {
+		t.Errorf("composite flow = %q", got.Body())
+	}
+}
+
+func TestFromConfigErrors(t *testing.T) {
+	cfg, err := mcl.Compile(configScript, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromConfig(cfg, "ghost", nil, testDirectory()); err == nil {
+		t.Error("unknown stream accepted")
+	}
+	// Directory missing a library.
+	empty := streamlet.NewDirectory()
+	if _, err := FromConfig(cfg, "app", nil, empty); err == nil {
+		t.Error("missing library accepted")
+	}
+}
+
+func TestInletOutletErrors(t *testing.T) {
+	st, _, _ := buildConfigApp(t)
+	if _, err := st.OpenInlet(ref("ghost", "pi"), 0); err == nil {
+		t.Error("inlet on unknown instance")
+	}
+	if _, err := st.OpenOutlet(ref("ghost", "po")); err == nil {
+		t.Error("outlet on unknown instance")
+	}
+}
+
+func TestOutletTryReceive(t *testing.T) {
+	_, in, out := buildConfigApp(t)
+	if m, err := out.TryReceive(); m != nil || err != nil {
+		t.Errorf("empty TryReceive = %v, %v", m, err)
+	}
+	_ = in.Send(textMsg("m"))
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		m, err := out.TryReceive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("TryReceive never produced")
+}
+
+func TestNewChannelDecl(t *testing.T) {
+	st := New("s", nil, nil)
+	defer st.End()
+	d := &mcl.ChannelDecl{Name: "ch", Mode: mcl.Async, Category: mcl.CatBK, BufferKB: 1}
+	q, err := st.NewChannel("c1", d)
+	if err != nil || q == nil {
+		t.Fatal(err)
+	}
+	if _, err := st.NewChannel("c1", d); err == nil {
+		t.Error("duplicate channel accepted")
+	}
+	if st.Queue("c1") != q {
+		t.Error("Queue lookup failed")
+	}
+}

@@ -1,0 +1,141 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/queue"
+	"mobigate/internal/services"
+	"mobigate/internal/streamlet"
+)
+
+// TestMessageConservationUnderReconfiguration is the §6.6 no-loss property
+// under stress: while a steady flow of messages traverses a pipeline,
+// streamlets are inserted and removed concurrently (the Figure 7-4
+// protocol). Every message sent must come out exactly once — no loss, no
+// duplication — despite the topology changing underneath it.
+func TestMessageConservationUnderReconfiguration(t *testing.T) {
+	const total = 400
+	const reconfigs = 30
+
+	pool := msgpool.New(msgpool.ByReference)
+	st := New("conserve", pool, nil)
+	if _, err := st.AddStreamlet("head", nil, forward); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddStreamlet("tail", nil, forward); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Connect(ref("head", "po"), ref("tail", "pi"), nil); err != nil {
+		t.Fatal(err)
+	}
+	in, err := st.OpenInlet(ref("head", "pi"), 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(ref("tail", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	defer st.End()
+
+	// Sender: a steady trickle so messages are in flight during reconfigs.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; i++ {
+			m := mime.NewMessage(services.TypePlainText, []byte(fmt.Sprintf("m-%04d", i)))
+			if err := in.Send(m); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+			if i%16 == 0 {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+	}()
+
+	// Reconfigurer: keeps inserting a redirector after head and removing it
+	// again, using the real protocol each time.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < reconfigs; i++ {
+			id := fmt.Sprintf("mid%d", i)
+			if _, err := st.AddStreamlet(id, nil, streamlet.ProcessorFunc(
+				func(in streamlet.Input) ([]streamlet.Emission, error) {
+					return []streamlet.Emission{{Msg: in.Msg}}, nil
+				})); err != nil {
+				t.Errorf("add %s: %v", id, err)
+				return
+			}
+			if err := st.Insert("head", "tail", id, "pi", "po"); err != nil {
+				t.Errorf("insert %s: %v", id, err)
+				return
+			}
+			time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+			if err := st.Remove(id, 2*time.Second); err != nil {
+				t.Errorf("remove %s: %v", id, err)
+				return
+			}
+		}
+	}()
+
+	// Receiver: every message exactly once.
+	seen := make(map[string]int, total)
+	for i := 0; i < total; i++ {
+		m, err := out.Receive(20 * time.Second)
+		if err != nil {
+			t.Fatalf("after %d deliveries: %v", i, err)
+		}
+		seen[string(m.Body())]++
+	}
+	wg.Wait()
+
+	if len(seen) != total {
+		t.Errorf("distinct messages = %d, want %d", len(seen), total)
+	}
+	for body, n := range seen {
+		if n != 1 {
+			t.Errorf("message %q delivered %d times", body, n)
+		}
+	}
+	// Nothing extra trickles out afterwards.
+	time.Sleep(20 * time.Millisecond)
+	if m, _ := out.TryReceive(); m != nil {
+		t.Errorf("extra message %q after conservation count", m.Body())
+	}
+}
+
+// TestQueueFIFOPropertySingleConsumer: with one consumer, delivery order
+// equals post order for arbitrary message batches.
+func TestQueueFIFOPropertySingleConsumer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 25; round++ {
+		q := queue.New("fifo", queue.Options{CapacityBytes: 1 << 24})
+		n := 1 + rng.Intn(200)
+		go func() {
+			for i := 0; i < n; i++ {
+				_ = q.Post(fmt.Sprintf("r%d-%d", round, i), 1+rng.Intn(64), nil)
+			}
+		}()
+		for i := 0; i < n; i++ {
+			it, ok := q.Fetch(nil)
+			if !ok {
+				t.Fatalf("round %d: queue closed early", round)
+			}
+			if want := fmt.Sprintf("r%d-%d", round, i); it.MsgID != want {
+				t.Fatalf("round %d: got %s, want %s", round, it.MsgID, want)
+			}
+		}
+		q.Close()
+	}
+}

@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/services"
+	"mobigate/internal/streamlet"
+)
+
+// paramScript declares a compressor tuned through the §8.2.1 control
+// interface: param-level is applied at instantiation.
+const paramScript = `
+streamlet tunedCompressor {
+	port { in pi : text; out po : text; }
+	attribute {
+		type = STATELESS;
+		library = "text/compress";
+		param-level = 9;
+	}
+}
+main stream tuned {
+	streamlet c = new-streamlet (tunedCompressor);
+}
+`
+
+func servicesDir() *streamlet.Directory {
+	dir := streamlet.NewDirectory()
+	services.RegisterAll(dir)
+	return dir
+}
+
+func TestDeclarationParamsApplied(t *testing.T) {
+	cfg, err := mcl.Compile(paramScript, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl, _ := cfg.File.Streamlet("tunedCompressor")
+	if decl.Params["level"] != "9" {
+		t.Fatalf("params = %v", decl.Params)
+	}
+	st, err := FromConfig(cfg, "tuned", nil, servicesDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.End()
+	comp, ok := st.Streamlet("c").Processor().(*services.Compressor)
+	if !ok {
+		t.Fatalf("processor is %T", st.Streamlet("c").Processor())
+	}
+	if comp.Level != 9 {
+		t.Errorf("level = %d, want 9", comp.Level)
+	}
+}
+
+func TestDeclarationParamsInvalid(t *testing.T) {
+	src := strings.Replace(paramScript, "param-level = 9;", "param-level = 42;", 1)
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromConfig(cfg, "tuned", nil, servicesDir()); err == nil {
+		t.Error("invalid param accepted at instantiation")
+	}
+}
+
+func TestDeclarationParamsOnUnconfigurable(t *testing.T) {
+	src := `
+streamlet oddRedirector {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "bench/redirector"; param-x = 1; }
+}
+main stream s {
+	streamlet r = new-streamlet (oddRedirector);
+}
+`
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromConfig(cfg, "s", nil, servicesDir()); err == nil {
+		t.Error("params on unconfigurable processor accepted")
+	}
+}
+
+func TestRuntimeSetParam(t *testing.T) {
+	cfg, err := mcl.Compile(paramScript, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FromConfig(cfg, "tuned", nil, servicesDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.End()
+	st.Start()
+
+	if err := st.SetParam("c", "level", "1"); err != nil {
+		t.Fatal(err)
+	}
+	comp := st.Streamlet("c").Processor().(*services.Compressor)
+	if comp.Level != 1 {
+		t.Errorf("level = %d", comp.Level)
+	}
+	if err := st.SetParam("c", "level", "banana"); err == nil {
+		t.Error("bad runtime param accepted")
+	}
+	if err := st.SetParam("ghost", "level", "1"); err == nil {
+		t.Error("unknown instance accepted")
+	}
+
+	// The stream still processes after the parameter change.
+	in, err := st.OpenInlet(ref("c", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(ref("c", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Send(textMsg(strings.Repeat("data ", 500))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Receive(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

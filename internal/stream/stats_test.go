@@ -1,0 +1,104 @@
+package stream
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mobigate/internal/mcl"
+)
+
+func TestStatsSnapshot(t *testing.T) {
+	st, in, out := buildLine(t)
+	for i := 0; i < 5; i++ {
+		_ = in.Send(textMsg("x"))
+		if _, err := out.Receive(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.AddStreamlet("c", nil, tagger("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("a", "b", "c", "pi", "po"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := st.StatsSnapshot()
+	if snap.Name != "line" || snap.SessionID == "" {
+		t.Errorf("header = %+v", snap)
+	}
+	if snap.Reconfigurations != 1 || snap.LastReconfig.Total() <= 0 {
+		t.Errorf("reconfig stats = %d %v", snap.Reconfigurations, snap.LastReconfig)
+	}
+	if len(snap.Instances) != 3 {
+		t.Fatalf("instances = %d", len(snap.Instances))
+	}
+	byID := map[string]InstanceStats{}
+	for _, i := range snap.Instances {
+		byID[i.ID] = i
+	}
+	if byID["a"].Processed != 5 || byID["a"].State != "active" {
+		t.Errorf("a = %+v", byID["a"])
+	}
+	if len(snap.Connections) != 2 {
+		t.Errorf("connections = %d", len(snap.Connections))
+	}
+	var totalPosted uint64
+	for _, c := range snap.Connections {
+		totalPosted += c.Posted
+	}
+	if totalPosted == 0 {
+		t.Error("no channel traffic recorded")
+	}
+
+	text := snap.String()
+	for _, want := range []string{"stream line", "a", "processed=5", "->"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("String() lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestStatsSnapshotComposite(t *testing.T) {
+	cfg := mustCompileStream(t)
+	st, err := FromConfig(cfg, "outer", nil, testDirectory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.End()
+	snap := st.StatsSnapshot()
+	found := false
+	for _, i := range snap.Instances {
+		if i.ID == "v" {
+			found = true
+			if !i.Composite || i.State != "composite" {
+				t.Errorf("composite stats = %+v", i)
+			}
+		}
+	}
+	if !found {
+		t.Error("composite instance missing from snapshot")
+	}
+}
+
+func mustCompileStream(t *testing.T) *mcl.Config {
+	t.Helper()
+	src := `
+streamlet a { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x/a"; } }
+stream inner {
+	streamlet s1 = new-streamlet (a);
+	streamlet s2 = new-streamlet (a);
+	connect (s1.po, s2.pi);
+}
+main stream outer {
+	streamlet u = new-streamlet (a);
+	streamlet v = new-streamlet (inner);
+	connect (u.po, v.s1_pi);
+}
+`
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}

@@ -1,0 +1,337 @@
+package stream
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/streamlet"
+)
+
+func ref(inst, port string) mcl.PortRef { return mcl.PortRef{Inst: inst, Port: port} }
+
+func textMsg(body string) *mime.Message {
+	return mime.NewMessage(mime.MustParse("text/plain"), []byte(body))
+}
+
+// tagger appends its id to the body, making the traversal path visible.
+func tagger(id string) streamlet.Processor {
+	return streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+		in.Msg.SetBody(append(in.Msg.Body(), []byte("|"+id)...))
+		return []streamlet.Emission{{Msg: in.Msg}}, nil
+	})
+}
+
+var forward = streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+})
+
+// buildLine constructs in -> a -> b -> out and returns the endpoints.
+func buildLine(t *testing.T) (*Stream, *Inlet, *Outlet) {
+	t.Helper()
+	st := New("line", nil, nil)
+	if _, err := st.AddStreamlet("a", nil, tagger("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddStreamlet("b", nil, tagger("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Connect(ref("a", "po"), ref("b", "pi"), nil); err != nil {
+		t.Fatal(err)
+	}
+	in, err := st.OpenInlet(ref("a", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(ref("b", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	t.Cleanup(st.End)
+	return st, in, out
+}
+
+func TestLinearFlow(t *testing.T) {
+	st, in, out := buildLine(t)
+	if err := in.Send(textMsg("x")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body()) != "x|a|b" {
+		t.Errorf("body = %q", got.Body())
+	}
+	if got.Session() != st.SessionID() {
+		t.Errorf("session = %q, want %q", got.Session(), st.SessionID())
+	}
+	if st.Processed() != 2 {
+		t.Errorf("processed = %d", st.Processed())
+	}
+}
+
+func TestManyMessagesNoLeak(t *testing.T) {
+	st, in, out := buildLine(t)
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = in.Send(textMsg(fmt.Sprintf("m%d", i)))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := out.Receive(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for st.Pool().Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st.Pool().Len() != 0 {
+		t.Errorf("pool leaked %d entries", st.Pool().Len())
+	}
+}
+
+func TestInsertReconfiguration(t *testing.T) {
+	st, in, out := buildLine(t)
+	// Verify pre-insert flow.
+	_ = in.Send(textMsg("pre"))
+	if got, err := out.Receive(2 * time.Second); err != nil || string(got.Body()) != "pre|a|b" {
+		t.Fatalf("pre: %v %q", err, got.Body())
+	}
+	// Figure 7-4: insert c between a and b.
+	if _, err := st.AddStreamlet("c", nil, tagger("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("a", "b", "c", "pi", "po"); err != nil {
+		t.Fatal(err)
+	}
+	_ = in.Send(textMsg("post"))
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body()) != "post|a|c|b" {
+		t.Errorf("post-insert body = %q", got.Body())
+	}
+	timing := st.LastReconfigTiming()
+	if timing.Total() <= 0 {
+		t.Error("reconfig timing not recorded")
+	}
+	if st.Reconfigurations() != 1 {
+		t.Errorf("reconfigs = %d", st.Reconfigurations())
+	}
+}
+
+func TestInsertNoMessageLoss(t *testing.T) {
+	// Messages already queued between a and b must survive the insertion.
+	st, in, out := buildLine(t)
+	st.Streamlet("b").Pause()
+	for i := 0; i < 10; i++ {
+		_ = in.Send(textMsg(fmt.Sprintf("q%d", i)))
+	}
+	// Give the pipeline a moment to park messages in the a→b channel.
+	time.Sleep(50 * time.Millisecond)
+	if _, err := st.AddStreamlet("c", nil, tagger("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("a", "b", "c", "pi", "po"); err != nil {
+		t.Fatal(err)
+	}
+	st.Streamlet("b").Activate()
+	seen := map[string]bool{}
+	for i := 0; i < 10; i++ {
+		got, err := out.Receive(2 * time.Second)
+		if err != nil {
+			t.Fatalf("message %d lost: %v", i, err)
+		}
+		base := strings.SplitN(string(got.Body()), "|", 2)[0]
+		seen[base] = true
+	}
+	if len(seen) != 10 {
+		t.Errorf("got %d distinct messages", len(seen))
+	}
+}
+
+func TestChainedInserts(t *testing.T) {
+	// Repeatedly insert after 'a', as the ReconfigExp experiment does.
+	st, in, out := buildLine(t)
+	prev := "a"
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("r%d", i)
+		if _, err := st.AddStreamlet(id, nil, tagger(id)); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		if i == 0 {
+			err = st.Insert("a", "b", id, "pi", "po")
+		} else {
+			err = st.Insert(prev, "b", id, "pi", "po")
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev = id
+	}
+	_ = in.Send(textMsg("z"))
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "z|a|r0|r1|r2|r3|r4|b"; string(got.Body()) != want {
+		t.Errorf("body = %q, want %q", got.Body(), want)
+	}
+}
+
+func TestRemoveBridges(t *testing.T) {
+	st, in, out := buildLine(t)
+	if _, err := st.AddStreamlet("c", nil, tagger("c")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("a", "b", "c", "pi", "po"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Remove("c", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	_ = in.Send(textMsg("x"))
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body()) != "x|a|b" {
+		t.Errorf("after remove: %q", got.Body())
+	}
+	if st.Streamlet("c") != nil {
+		t.Error("removed instance still present")
+	}
+}
+
+func TestReplaceSwapsProcessor(t *testing.T) {
+	st, in, out := buildLine(t)
+	if _, err := st.AddStreamlet("b2", nil, tagger("B2")); err != nil {
+		t.Fatal(err)
+	}
+	st.Streamlet("b2").Start()
+	if err := st.Replace("b", "b2"); err != nil {
+		t.Fatal(err)
+	}
+	_ = in.Send(textMsg("x"))
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Body()) != "x|a|B2" {
+		t.Errorf("after replace: %q", got.Body())
+	}
+}
+
+func TestDisconnectUnknown(t *testing.T) {
+	st, _, _ := buildLine(t)
+	if err := st.Disconnect(ref("a", "nope"), ref("b", "pi")); err == nil {
+		t.Error("unknown disconnect succeeded")
+	}
+	if err := st.Connect(ref("ghost", "po"), ref("b", "pi"), nil); err == nil {
+		t.Error("connect to unknown instance succeeded")
+	}
+}
+
+func TestDisconnectAll(t *testing.T) {
+	st, _, _ := buildLine(t)
+	if err := st.DisconnectAll("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Disconnect(ref("a", "po"), ref("b", "pi")); err == nil {
+		t.Error("connection survived DisconnectAll")
+	}
+}
+
+func TestDuplicateInstanceRejected(t *testing.T) {
+	st := New("dup", nil, nil)
+	if _, err := st.AddStreamlet("a", nil, forward); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddStreamlet("a", nil, forward); err == nil {
+		t.Error("duplicate accepted")
+	}
+	defer st.End()
+}
+
+func TestPauseResumeEndViaEvents(t *testing.T) {
+	st, in, out := buildLine(t)
+	st.OnEvent(event.ContextEvent{EventID: event.PAUSE, Category: event.SystemCommand})
+	_ = in.Send(textMsg("held"))
+	time.Sleep(30 * time.Millisecond)
+	if m, _ := out.TryReceive(); m != nil {
+		t.Error("paused stream delivered")
+	}
+	st.OnEvent(event.ContextEvent{EventID: event.RESUME, Category: event.SystemCommand})
+	if _, err := out.Receive(2 * time.Second); err != nil {
+		t.Errorf("after resume: %v", err)
+	}
+	st.OnEvent(event.ContextEvent{EventID: event.END, Category: event.SystemCommand})
+	if st.Streamlet("a").State() != streamlet.StateEnded {
+		t.Error("END did not end members")
+	}
+}
+
+func TestSessionIDsUnique(t *testing.T) {
+	a := New("s", nil, nil)
+	b := New("s", nil, nil)
+	if a.SessionID() == b.SessionID() {
+		t.Error("session ids collide")
+	}
+}
+
+func TestDisconnectHonorsChannelCategories(t *testing.T) {
+	// KK channels refuse disconnection; S channels refuse while non-empty.
+	cfg, err := mcl.Compile(`
+streamlet f { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x/a"; } }
+channel permanent { port { in a : text; out b : text; } attribute { category = KK; } }
+channel strict { port { in a : text; out b : text; } attribute { category = S; } }
+main stream s {
+	streamlet p = new-streamlet (f);
+	streamlet q = new-streamlet (f);
+	streamlet r = new-streamlet (f);
+	channel kk = new-channel (permanent);
+	channel ss = new-channel (strict);
+	connect (p.po, q.pi, kk);
+	connect (q.po, r.pi, ss);
+}`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FromConfig(cfg, "s", nil, testDirectory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.End()
+
+	if err := st.Disconnect(ref("p", "po"), ref("q", "pi")); err == nil {
+		t.Error("KK channel disconnected")
+	}
+	// S: empty -> allowed.
+	if err := st.Disconnect(ref("q", "po"), ref("r", "pi")); err != nil {
+		t.Errorf("empty S channel refused: %v", err)
+	}
+	// Reconnect with pending units: refused.
+	ss := st.Queue("ss")
+	if err := st.Connect(ref("q", "po"), ref("r", "pi"), ss); err != nil {
+		t.Fatal(err)
+	}
+	st.Streamlet("r").Pause() // hold consumption so the unit stays pending
+	st.Pool().Put(textMsg("pending"))
+	// Post directly to simulate a unit parked in the channel.
+	if err := ss.Post("pending-id", 7, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Disconnect(ref("q", "po"), ref("r", "pi")); err == nil {
+		t.Error("S channel with pending units disconnected")
+	}
+}

@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/services"
+)
+
+// typedScript declares an image-only pipeline; pushing text through it must
+// trip the §4.1 runtime type check when enabled.
+const typedScript = `
+streamlet imgpass {
+	port { in pi : image/*; out po : image/*; }
+	attribute { type = STATELESS; library = "bench/redirector"; }
+}
+main stream typed {
+	streamlet s = new-streamlet (imgpass);
+}
+`
+
+func buildTyped(t *testing.T, check bool) (*Stream, *Inlet, *Outlet, *[]error, *sync.Mutex) {
+	t.Helper()
+	cfg, err := mcl.Compile(typedScript, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FromConfig(cfg, "typed", nil, servicesDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var errs []error
+	st.ErrorHandler = func(err error) { mu.Lock(); errs = append(errs, err); mu.Unlock() }
+	if check {
+		st.EnableRuntimeTypeCheck()
+	}
+	in, err := st.OpenInlet(ref("s", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(ref("s", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	t.Cleanup(st.End)
+	return st, in, out, &errs, &mu
+}
+
+func TestRuntimeTypeCheckDropsMismatched(t *testing.T) {
+	st, in, out, errs, mu := buildTyped(t, true)
+
+	// A conforming image message passes.
+	if err := in.Send(services.GenImageMessage(8, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Receive(2 * time.Second); err != nil {
+		t.Fatalf("image rejected: %v", err)
+	}
+
+	// A text message violates pi : image/* and is dropped with an error.
+	if err := in.Send(services.GenTextMessage(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for st.TypeErrors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st.TypeErrors() != 1 {
+		t.Fatalf("type errors = %d", st.TypeErrors())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(*errs) == 0 || !strings.Contains((*errs)[0].Error(), "violates port") {
+		t.Errorf("errors = %v", *errs)
+	}
+	if m, _ := out.TryReceive(); m != nil {
+		t.Error("mismatched message delivered")
+	}
+	if st.Pool().Len() != 0 {
+		t.Error("dropped message leaked in pool")
+	}
+}
+
+func TestRuntimeTypeCheckOffByDefault(t *testing.T) {
+	st, in, out, _, _ := buildTyped(t, false)
+	if err := in.Send(services.GenTextMessage(64, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Receive(2 * time.Second); err != nil {
+		t.Errorf("unchecked stream dropped message: %v", err)
+	}
+	if st.TypeErrors() != 0 {
+		t.Error("type errors counted while disabled")
+	}
+}
+
+func TestRuntimeTypeCheckAppliesToLateStreamlets(t *testing.T) {
+	st, _, _, _, _ := buildTyped(t, true)
+	decl := &mcl.StreamletDecl{
+		Name:    "late",
+		Ports:   []mcl.PortDecl{{Dir: mcl.PortIn, Name: "pi", Type: mime.MustParse("image/*")}},
+		Library: services.LibRedirector,
+	}
+	if err := st.NewStreamlet("late", decl); err != nil {
+		t.Fatal(err)
+	}
+	sl := st.Streamlet("late")
+	sl.Start()
+	inQ, err := st.OpenInlet(ref("late", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inQ.Send(services.GenTextMessage(32, 2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sl.TypeErrors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sl.TypeErrors() != 1 {
+		t.Errorf("late streamlet type errors = %d", sl.TypeErrors())
+	}
+}

@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/semantics"
+)
+
+// declFor builds a minimal declaration for live-verification tests (Verify
+// uses declared ports to find unbound outputs).
+func declFor(name string) *mcl.StreamletDecl {
+	return &mcl.StreamletDecl{
+		Name: name,
+		Ports: []mcl.PortDecl{
+			{Dir: mcl.PortIn, Name: "pi"},
+			{Dir: mcl.PortOut, Name: "po"},
+		},
+		Library: "x/" + name,
+	}
+}
+
+func TestVerifyCleanLiveTopology(t *testing.T) {
+	st := New("live", nil, nil)
+	defer st.End()
+	if _, err := st.AddStreamlet("a", declFor("fa"), forward); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddStreamlet("b", declFor("fb"), forward); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Connect(ref("a", "po"), ref("b", "pi"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.OpenOutlet(ref("b", "po")); err != nil {
+		t.Fatal(err)
+	}
+	rep := st.Verify(semantics.Rules{})
+	if !rep.OK() {
+		t.Errorf("violations = %v", rep.Violations)
+	}
+}
+
+func TestVerifyDetectsLiveOpenCircuit(t *testing.T) {
+	st := New("live", nil, nil)
+	defer st.End()
+	if _, err := st.AddStreamlet("a", declFor("fa"), forward); err != nil {
+		t.Fatal(err)
+	}
+	// a.po is declared but bound to nothing: messages would be lost.
+	rep := st.Verify(semantics.Rules{})
+	if rep.OK() {
+		t.Fatal("live open circuit not reported")
+	}
+	if rep.Violations[0].Kind != "open-circuit" || rep.Violations[0].Scenario != "live" {
+		t.Errorf("violation = %v", rep.Violations[0])
+	}
+	// Outlet binding silences it.
+	if _, err := st.OpenOutlet(ref("a", "po")); err != nil {
+		t.Fatal(err)
+	}
+	if rep := st.Verify(semantics.Rules{}); !rep.OK() {
+		t.Errorf("bound output still flagged: %v", rep.Violations)
+	}
+}
+
+func TestVerifyDetectsLiveCycle(t *testing.T) {
+	st := New("live", nil, nil)
+	defer st.End()
+	for _, id := range []string{"a", "b"} {
+		if _, err := st.AddStreamlet(id, declFor("f"+id), forward); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Connect(ref("a", "po"), ref("b", "pi"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Connect(ref("b", "po"), ref("a", "pi"), nil); err != nil {
+		t.Fatal(err)
+	}
+	rep := st.Verify(semantics.Rules{})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "feedback-loop" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("live cycle not found: %v", rep.Violations)
+	}
+}
+
+func TestVerifyUsesDefinitionNames(t *testing.T) {
+	st := New("live", nil, nil)
+	defer st.End()
+	if _, err := st.AddStreamlet("x1", declFor("encrypt"), forward); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.AddStreamlet("x2", declFor("compress"), forward); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Connect(ref("x2", "po"), ref("x1", "pi"), nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.OpenOutlet(ref("x1", "po")); err != nil {
+		t.Fatal(err)
+	}
+	rep := st.Verify(semantics.Rules{
+		Preorders: []semantics.Preorder{{Before: "encrypt", After: "compress"}},
+	})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "preorder" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("preorder on live topology not found: %v", rep.Violations)
+	}
+}
+
+func TestLiveVerificationAfterReconfig(t *testing.T) {
+	// A when-block that leaves a dangling output: with live verification
+	// enabled, the ErrorHandler receives a VerificationError.
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x/a"; } }
+main stream app {
+	streamlet s1 = new-streamlet (f);
+	streamlet s2 = new-streamlet (f);
+	connect (s1.po, s2.pi);
+	when (LOW_BANDWIDTH) {
+		disconnect (s1.po, s2.pi);
+	}
+}
+`
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := FromConfig(cfg, "app", nil, testDirectory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.End()
+	var mu sync.Mutex
+	var errs []error
+	st.ErrorHandler = func(err error) { mu.Lock(); errs = append(errs, err); mu.Unlock() }
+	// s2.po is a sanctioned exit; s1.po dangling after the disconnect is not.
+	st.EnableLiveVerification(semantics.Rules{AllowedOpenPorts: []string{"s2.po"}})
+	st.Start()
+
+	// Pre-reconfig topology is clean except s1.po... s1.po is connected, so
+	// only the sanctioned s2.po is open: Verify passes.
+	if rep := st.Verify(semantics.Rules{AllowedOpenPorts: []string{"s2.po"}}); !rep.OK() {
+		t.Fatalf("pre-reconfig violations: %v", rep.Violations)
+	}
+	if err := st.RunWhen("LOW_BANDWIDTH"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(errs)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) == 0 {
+		t.Fatal("live verification did not fire")
+	}
+	ve, ok := errs[0].(*VerificationError)
+	if !ok {
+		t.Fatalf("error type %T: %v", errs[0], errs[0])
+	}
+	if !strings.Contains(ve.Error(), "open-circuit") && !strings.Contains(ve.Error(), "s1.po") {
+		t.Errorf("error = %v", ve)
+	}
+}

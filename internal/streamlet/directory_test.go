@@ -1,0 +1,102 @@
+package streamlet
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDirectoryRegisterLookup(t *testing.T) {
+	d := NewDirectory()
+	d.Register("general/pass", func() Processor { return passthrough })
+	f, err := d.Lookup("general/pass")
+	if err != nil || f == nil {
+		t.Fatalf("Lookup: %v", err)
+	}
+	if _, err := d.Lookup("ghost/lib"); err == nil {
+		t.Error("unknown library found")
+	}
+	d.Register("a/z", func() Processor { return passthrough })
+	libs := d.Libraries()
+	if len(libs) != 2 || libs[0] != "a/z" || libs[1] != "general/pass" {
+		t.Errorf("Libraries = %v", libs)
+	}
+	// Re-register replaces.
+	called := false
+	d.Register("general/pass", func() Processor { called = true; return passthrough })
+	f, _ = d.Lookup("general/pass")
+	f()
+	if !called {
+		t.Error("re-register did not replace factory")
+	}
+}
+
+type countingProc struct{ n int }
+
+func (c *countingProc) Process(in Input) ([]Emission, error) {
+	c.n++
+	return nil, nil
+}
+
+func TestProcessorPoolReuse(t *testing.T) {
+	p := NewProcessorPool(func() Processor { return &countingProc{} }, 2)
+	a := p.Get()
+	created, reused := p.Stats()
+	if created != 1 || reused != 0 {
+		t.Errorf("stats = %d, %d", created, reused)
+	}
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		t.Error("pool did not reuse instance")
+	}
+	_, reused = p.Stats()
+	if reused != 1 {
+		t.Errorf("reused = %d", reused)
+	}
+}
+
+func TestProcessorPoolBounded(t *testing.T) {
+	p := NewProcessorPool(func() Processor { return &countingProc{} }, 1)
+	a, b := p.Get(), p.Get()
+	p.Put(a)
+	p.Put(b) // discarded: pool is full
+	x := p.Get()
+	y := p.Get()
+	if x != a {
+		t.Error("first Get should reuse a")
+	}
+	if y == b {
+		t.Error("overflow instance should have been discarded")
+	}
+	p.Put(nil) // no panic
+}
+
+func TestProcessorPoolDefaultSize(t *testing.T) {
+	p := NewProcessorPool(func() Processor { return &countingProc{} }, 0)
+	if cap(p.free) != 8 {
+		t.Errorf("default size = %d", cap(p.free))
+	}
+}
+
+func TestProcessorPoolConcurrent(t *testing.T) {
+	p := NewProcessorPool(func() Processor { return &countingProc{} }, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				proc := p.Get()
+				p.Put(proc)
+			}
+		}()
+	}
+	wg.Wait()
+	created, reused := p.Stats()
+	if created+reused != 800 {
+		t.Errorf("created+reused = %d", created+reused)
+	}
+	if reused == 0 {
+		t.Error("no reuse under contention")
+	}
+}

@@ -1,0 +1,615 @@
+// Package streamlet implements the Streamlet base abstraction of thesis
+// §6.1: the runtime wrapper that gives a service entity (a Processor) its
+// identity, lifecycle (pause/activate/end), input/output message-queue
+// bindings, and the glue that moves message references between the central
+// pool and the channels. Streamlet pooling for stateless service entities
+// (§3.3.4) and the streamlet directory (§3.3.7) live here too.
+package streamlet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/queue"
+)
+
+// Input is one message arriving on a named input port.
+type Input struct {
+	Port string
+	Msg  *mime.Message
+}
+
+// Emission is one message a processor sends to a named output port. An
+// empty Port is resolved to the streamlet's sole output port.
+type Emission struct {
+	Port string
+	Msg  *mime.Message
+}
+
+// Processor is the computational content of a streamlet — the processMsg()
+// logic the streamlet author supplies (Figure 6-2). Process may return zero
+// or more emissions; returning the input message (same pointer) forwards it
+// without re-pooling.
+type Processor interface {
+	Process(in Input) ([]Emission, error)
+}
+
+// ProcessorFunc adapts a function to the Processor interface.
+type ProcessorFunc func(in Input) ([]Emission, error)
+
+// Process calls f.
+func (f ProcessorFunc) Process(in Input) ([]Emission, error) { return f(in) }
+
+// Configurable is the control interface of §8.2.1: processors that
+// implement it accept operation parameters from the coordinator — at
+// instantiation (the declaration's param-* attributes) or at runtime —
+// separately from the data ports messages flow through.
+type Configurable interface {
+	// SetParam sets one named operation parameter; unknown names or
+	// unparsable values are errors.
+	SetParam(name, value string) error
+}
+
+// Configure applies a parameter map to a processor through its control
+// interface. A non-nil params map on a non-Configurable processor is an
+// error (the declaration promises tunability the implementation lacks).
+func Configure(proc Processor, params map[string]string) error {
+	if len(params) == 0 {
+		return nil
+	}
+	c, ok := proc.(Configurable)
+	if !ok {
+		return fmt.Errorf("streamlet: processor %T has no control interface for params %v", proc, params)
+	}
+	// Deterministic application order for reproducible failures.
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := c.SetParam(k, params[k]); err != nil {
+			return fmt.Errorf("streamlet: param %s=%q: %w", k, params[k], err)
+		}
+	}
+	return nil
+}
+
+// Peered is implemented by processors whose transformation must be reversed
+// by a peer streamlet at the client (§6.5); the runtime appends the peer ID
+// to every emitted message's Content-Peers chain.
+type Peered interface {
+	PeerID() string
+}
+
+// State is the streamlet lifecycle state.
+type State int32
+
+const (
+	// StateCreated is the initial state before Start.
+	StateCreated State = iota
+	// StateActive is running and processing messages.
+	StateActive
+	// StatePaused holds processing; queued messages wait (Figure 7-4 uses
+	// this during reconfiguration).
+	StatePaused
+	// StateEnded is terminal.
+	StateEnded
+)
+
+var stateNames = [...]string{"created", "active", "paused", "ended"}
+
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Streamlet is the runtime instance: the stub on the coordination plane
+// (its queue bindings) plus its processor on the execution plane.
+type Streamlet struct {
+	id   string
+	decl *mcl.StreamletDecl
+	proc Processor
+	pool *msgpool.Pool
+
+	// ErrorHandler, when set before Start, receives processing errors (the
+	// message that caused one is dropped). Defaults to discarding.
+	ErrorHandler func(error)
+
+	// typeCheck, when non-nil, enforces the §4.1 runtime check: every
+	// message entering a declared input port must carry a Content-Type
+	// equal to or specializing the port's declared type.
+	typeCheck *mime.Registry
+	typeErrs  atomic.Uint64
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	state State
+	ins   map[string]*queue.Queue
+	outs  map[string]*queue.Queue
+	pumps map[string]chan struct{} // per-input stop channels
+
+	work chan workItem // unbuffered handoff from pumps to the worker
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	processing atomic.Bool
+	// inflight counts messages fetched from an input queue but not yet
+	// fully handled — including those parked in the pump→worker handoff,
+	// which input-queue emptiness alone cannot see.
+	inflight  atomic.Int64
+	processed atomic.Uint64
+	dropped   atomic.Uint64
+}
+
+type workItem struct {
+	port  string
+	msgID string
+	// src is the queue the item came from; acked when handling completes.
+	src *queue.Queue
+}
+
+// New creates a streamlet instance. id is the instance variable name from
+// the stream configuration, decl its MCL declaration (may be nil for
+// ad-hoc instances), proc its computational content, and pool the shared
+// message pool.
+func New(id string, decl *mcl.StreamletDecl, proc Processor, pool *msgpool.Pool) *Streamlet {
+	s := &Streamlet{
+		id:    id,
+		decl:  decl,
+		proc:  proc,
+		pool:  pool,
+		ins:   make(map[string]*queue.Queue),
+		outs:  make(map[string]*queue.Queue),
+		pumps: make(map[string]chan struct{}),
+		work:  make(chan workItem),
+		done:  make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// ID returns the instance identifier.
+func (s *Streamlet) ID() string { return s.id }
+
+// Decl returns the MCL declaration (may be nil).
+func (s *Streamlet) Decl() *mcl.StreamletDecl { return s.decl }
+
+// Processor returns the computational content.
+func (s *Streamlet) Processor() Processor { return s.proc }
+
+// State returns the current lifecycle state.
+func (s *Streamlet) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Processed returns the number of messages processed.
+func (s *Streamlet) Processed() uint64 { return s.processed.Load() }
+
+// EnableTypeCheck turns on runtime message/port type matching against the
+// given registry (nil selects the default registry). Messages that fail
+// the check are dropped and reported through the ErrorHandler.
+func (s *Streamlet) EnableTypeCheck(reg *mime.Registry) {
+	if reg == nil {
+		reg = mime.DefaultRegistry()
+	}
+	s.mu.Lock()
+	s.typeCheck = reg
+	s.mu.Unlock()
+}
+
+// TypeErrors returns how many messages failed the runtime type check.
+func (s *Streamlet) TypeErrors() uint64 { return s.typeErrs.Load() }
+
+// Quiesced reports that no fetched message is awaiting or undergoing
+// processing. A paused streamlet quiesces once its in-flight messages (if
+// any) finish; new input stays parked in its queues.
+func (s *Streamlet) Quiesced() bool {
+	if s.inflight.Load() != 0 {
+		return false
+	}
+	s.mu.Lock()
+	ins := make([]*queue.Queue, 0, len(s.ins))
+	for _, q := range s.ins {
+		ins = append(ins, q)
+	}
+	s.mu.Unlock()
+	for _, q := range ins {
+		if q.InFlight() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Dropped returns the number of emissions dropped by full output queues.
+func (s *Streamlet) Dropped() uint64 { return s.dropped.Load() }
+
+// SetIn binds an input port to a queue (setIn of Figure 6-2): the queue's
+// consumer count is incremented and a pump goroutine begins fetching. Any
+// previous binding of the port is detached first.
+func (s *Streamlet) SetIn(port string, q *queue.Queue) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detachInLocked(port)
+	s.ins[port] = q
+	q.IncConsumer()
+	if s.state == StateActive || s.state == StatePaused {
+		s.startPumpLocked(port, q)
+	}
+}
+
+// SetOut binds an output port to a queue (setOut): the queue's producer
+// count is incremented.
+func (s *Streamlet) SetOut(port string, q *queue.Queue) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.outs[port]; ok {
+		old.DecProducer()
+	}
+	s.outs[port] = q
+	q.IncProducer()
+}
+
+// DetachIn unbinds an input port; the pump stops and the queue's consumer
+// count is decremented.
+func (s *Streamlet) DetachIn(port string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.detachInLocked(port)
+}
+
+func (s *Streamlet) detachInLocked(port string) {
+	if stop, ok := s.pumps[port]; ok {
+		close(stop)
+		delete(s.pumps, port)
+	}
+	if q, ok := s.ins[port]; ok {
+		q.DecConsumer()
+		delete(s.ins, port)
+	}
+}
+
+// DetachOut unbinds an output port.
+func (s *Streamlet) DetachOut(port string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q, ok := s.outs[port]; ok {
+		q.DecProducer()
+		delete(s.outs, port)
+	}
+}
+
+// Ins returns a copy of the current input-port bindings.
+func (s *Streamlet) Ins() map[string]*queue.Queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*queue.Queue, len(s.ins))
+	for p, q := range s.ins {
+		out[p] = q
+	}
+	return out
+}
+
+// Outs returns a copy of the current output-port bindings.
+func (s *Streamlet) Outs() map[string]*queue.Queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*queue.Queue, len(s.outs))
+	for p, q := range s.outs {
+		out[p] = q
+	}
+	return out
+}
+
+// In returns the queue bound to an input port (nil if unbound).
+func (s *Streamlet) In(port string) *queue.Queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ins[port]
+}
+
+// Out returns the queue bound to an output port (nil if unbound).
+func (s *Streamlet) Out(port string) *queue.Queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.outs[port]
+}
+
+// Start activates the streamlet: the worker goroutine runs and pumps start
+// on every bound input.
+func (s *Streamlet) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateCreated {
+		return
+	}
+	s.state = StateActive
+	s.wg.Add(1)
+	go s.worker()
+	for port, q := range s.ins {
+		s.startPumpLocked(port, q)
+	}
+}
+
+// startPumpLocked launches the fetch loop for one input port.
+func (s *Streamlet) startPumpLocked(port string, q *queue.Queue) {
+	if _, running := s.pumps[port]; running {
+		return
+	}
+	stop := make(chan struct{})
+	s.pumps[port] = stop
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			it, ok := q.Fetch(stop)
+			if !ok {
+				return
+			}
+			s.inflight.Add(1)
+			item := workItem{port: port, msgID: it.MsgID, src: q}
+			select {
+			case s.work <- item:
+			case <-stop:
+				// The item was fetched but the pump is being detached;
+				// putting the reference back would reorder, so hand it to
+				// the worker anyway before exiting.
+				select {
+				case s.work <- item:
+				case <-s.done:
+					s.inflight.Add(-1)
+					q.Ack() // abandoned: account it as handled
+					return
+				}
+				return
+			case <-s.done:
+				s.inflight.Add(-1)
+				q.Ack()
+				return
+			}
+		}
+	}()
+}
+
+// Pause suspends processing (the pause lifecycle method). Messages keep
+// accumulating on input queues.
+func (s *Streamlet) Pause() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateActive {
+		s.state = StatePaused
+		s.cond.Broadcast()
+	}
+}
+
+// Activate resumes processing after a Pause.
+func (s *Streamlet) Activate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StatePaused {
+		s.state = StateActive
+		s.cond.Broadcast()
+	}
+}
+
+// CanTerminate evaluates the Figure 6-8 prerequisites for safe removal:
+// every message posted to a bound input queue has been fully handled
+// (posted == acked covers queued, handoff, and in-processing states with
+// no gaps), and nothing fetched from a since-detached queue is pending.
+func (s *Streamlet) CanTerminate() bool {
+	s.mu.Lock()
+	ins := make([]*queue.Queue, 0, len(s.ins))
+	for _, q := range s.ins {
+		ins = append(ins, q)
+	}
+	s.mu.Unlock()
+	if s.inflight.Load() != 0 {
+		return false
+	}
+	for _, q := range ins {
+		if q.Outstanding() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// End terminates the streamlet (the end lifecycle method). All pumps and
+// the worker stop; bound queues are detached. Messages already fetched are
+// abandoned — callers that must avoid message loss check CanTerminate (or
+// use stream-level draining) before calling End.
+func (s *Streamlet) End() {
+	s.mu.Lock()
+	if s.state == StateEnded {
+		s.mu.Unlock()
+		return
+	}
+	prev := s.state
+	s.state = StateEnded
+	for port := range s.pumps {
+		close(s.pumps[port])
+		delete(s.pumps, port)
+	}
+	for port, q := range s.ins {
+		q.DecConsumer()
+		delete(s.ins, port)
+	}
+	for port, q := range s.outs {
+		q.DecProducer()
+		delete(s.outs, port)
+	}
+	close(s.done)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if prev != StateCreated {
+		s.wg.Wait()
+	}
+}
+
+// worker is the processMsg loop.
+func (s *Streamlet) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case it := <-s.work:
+			if !s.waitActive() {
+				s.inflight.Add(-1)
+				it.src.Ack() // abandoned on shutdown
+				return
+			}
+			s.handle(it)
+			s.inflight.Add(-1)
+			it.src.Ack()
+		}
+	}
+}
+
+// waitActive blocks while paused; false when ended.
+func (s *Streamlet) waitActive() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.state == StatePaused {
+		s.cond.Wait()
+	}
+	return s.state == StateActive
+}
+
+func (s *Streamlet) handle(it workItem) {
+	s.processing.Store(true)
+	defer s.processing.Store(false)
+
+	msg, err := s.pool.Get(it.msgID)
+	if err != nil {
+		s.fail(fmt.Errorf("streamlet %s: %w", s.id, err))
+		return
+	}
+	if err := s.checkInputType(it.port, msg); err != nil {
+		s.typeErrs.Add(1)
+		s.fail(err)
+		s.pool.Remove(it.msgID)
+		return
+	}
+	emissions, err := s.proc.Process(Input{Port: it.port, Msg: msg})
+	if err != nil {
+		s.fail(fmt.Errorf("streamlet %s: process: %w", s.id, err))
+		s.pool.Remove(it.msgID)
+		return
+	}
+	s.processed.Add(1)
+
+	peerID := ""
+	if p, ok := s.proc.(Peered); ok {
+		peerID = p.PeerID()
+	}
+
+	kept := false
+	superseded := make(map[string]bool, len(emissions))
+	for _, em := range emissions {
+		if em.Msg == nil {
+			continue
+		}
+		if em.Msg.ID == it.msgID {
+			kept = true
+		}
+		if s.emit(em, peerID) {
+			superseded[em.Msg.ID] = true
+		}
+	}
+	if !kept {
+		s.pool.Remove(it.msgID)
+	}
+	// A by-value pool forwards deep copies; the originals' pool entries are
+	// superseded once the copies are on the wire.
+	for id := range superseded {
+		s.pool.Remove(id)
+	}
+}
+
+// emit forwards one emission; it reports whether the pool handed a deep
+// copy downstream (by-value mode), in which case the original's pool entry
+// is superseded.
+func (s *Streamlet) emit(em Emission, peerID string) (copied bool) {
+	q := s.resolveOut(em.Port)
+	if q == nil {
+		// Open circuit at runtime: the §5.2.2 condition the semantic model
+		// exists to prevent. Surface it rather than losing silently.
+		s.fail(fmt.Errorf("streamlet %s: no queue bound to output port %q; message %s lost",
+			s.id, em.Port, em.Msg.ID))
+		s.pool.Remove(em.Msg.ID)
+		return false
+	}
+	if peerID != "" {
+		em.Msg.PushPeer(peerID)
+	}
+	s.pool.Put(em.Msg)
+	fid, err := s.pool.Forward(em.Msg.ID)
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	if err := q.Post(fid, em.Msg.Len(), s.done); err != nil {
+		s.dropped.Add(1)
+		s.pool.Remove(fid)
+		if err != queue.ErrDropped {
+			s.fail(fmt.Errorf("streamlet %s: post to %s: %w", s.id, q.Name(), err))
+		}
+		// The post failed; treat the original as superseded anyway when a
+		// copy was attempted, so by-value pools do not accumulate.
+	}
+	return fid != em.Msg.ID
+}
+
+// resolveOut maps an emission port to a queue; "" resolves to the sole
+// bound output.
+func (s *Streamlet) resolveOut(port string) *queue.Queue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if port != "" {
+		return s.outs[port]
+	}
+	if len(s.outs) == 1 {
+		for _, q := range s.outs {
+			return q
+		}
+	}
+	return nil
+}
+
+// checkInputType enforces the runtime port-type check of §4.1 when enabled
+// and a declaration is available for the port.
+func (s *Streamlet) checkInputType(port string, msg *mime.Message) error {
+	s.mu.Lock()
+	reg := s.typeCheck
+	s.mu.Unlock()
+	if reg == nil || s.decl == nil {
+		return nil
+	}
+	p, ok := s.decl.Port(port)
+	if !ok {
+		return nil
+	}
+	ct := msg.ContentType()
+	if !reg.SubtypeOf(ct, p.Type) {
+		return fmt.Errorf("streamlet %s: message %s type %s violates port %s : %s; message dropped",
+			s.id, msg.ID, ct, port, p.Type)
+	}
+	return nil
+}
+
+func (s *Streamlet) fail(err error) {
+	if s.ErrorHandler != nil {
+		s.ErrorHandler(err)
+	}
+}

@@ -1,0 +1,444 @@
+package streamlet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/queue"
+)
+
+func textMsg(body string) *mime.Message {
+	return mime.NewMessage(mime.MustParse("text/plain"), []byte(body))
+}
+
+// passthrough forwards every message unchanged to the default output.
+var passthrough = ProcessorFunc(func(in Input) ([]Emission, error) {
+	return []Emission{{Msg: in.Msg}}, nil
+})
+
+// upper transforms the body to upper case in place.
+var upper = ProcessorFunc(func(in Input) ([]Emission, error) {
+	in.Msg.SetBody([]byte(strings.ToUpper(string(in.Msg.Body()))))
+	return []Emission{{Msg: in.Msg}}, nil
+})
+
+func newRig(proc Processor) (*msgpool.Pool, *Streamlet, *queue.Queue, *queue.Queue) {
+	pool := msgpool.New(msgpool.ByReference)
+	s := New("s1", nil, proc, pool)
+	in := queue.New("in", queue.Options{})
+	out := queue.New("out", queue.Options{})
+	s.SetIn("pi", in)
+	s.SetOut("po", out)
+	return pool, s, in, out
+}
+
+func post(t *testing.T, pool *msgpool.Pool, q *queue.Queue, m *mime.Message) {
+	t.Helper()
+	pool.Put(m)
+	if err := q.Post(m.ID, m.Len(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fetchMsg(t *testing.T, pool *msgpool.Pool, q *queue.Queue, timeout time.Duration) *mime.Message {
+	t.Helper()
+	stop := make(chan struct{})
+	timer := time.AfterFunc(timeout, func() { close(stop) })
+	defer timer.Stop()
+	it, ok := q.Fetch(stop)
+	if !ok {
+		t.Fatal("fetch timed out")
+	}
+	m, err := pool.Get(it.MsgID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestProcessPipeline(t *testing.T) {
+	pool, s, in, out := newRig(upper)
+	s.Start()
+	defer s.End()
+
+	post(t, pool, in, textMsg("hello"))
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if string(got.Body()) != "HELLO" {
+		t.Errorf("body = %q", got.Body())
+	}
+	if s.Processed() != 1 {
+		t.Errorf("processed = %d", s.Processed())
+	}
+}
+
+func TestMultipleMessagesKeepOrder(t *testing.T) {
+	pool, s, in, out := newRig(passthrough)
+	s.Start()
+	defer s.End()
+	for i := 0; i < 20; i++ {
+		post(t, pool, in, textMsg(fmt.Sprintf("m-%02d", i)))
+	}
+	for i := 0; i < 20; i++ {
+		got := fetchMsg(t, pool, out, 2*time.Second)
+		if want := fmt.Sprintf("m-%02d", i); string(got.Body()) != want {
+			t.Fatalf("message %d = %q, want %q", i, got.Body(), want)
+		}
+	}
+}
+
+func TestPortRouting(t *testing.T) {
+	// A switch-like processor: route by first body byte.
+	sw := ProcessorFunc(func(in Input) ([]Emission, error) {
+		if in.Msg.Body()[0] == 'a' {
+			return []Emission{{Port: "poA", Msg: in.Msg}}, nil
+		}
+		return []Emission{{Port: "poB", Msg: in.Msg}}, nil
+	})
+	pool := msgpool.New(msgpool.ByReference)
+	s := New("switch", nil, sw, pool)
+	in := queue.New("in", queue.Options{})
+	outA := queue.New("outA", queue.Options{})
+	outB := queue.New("outB", queue.Options{})
+	s.SetIn("pi", in)
+	s.SetOut("poA", outA)
+	s.SetOut("poB", outB)
+	s.Start()
+	defer s.End()
+
+	post(t, pool, in, textMsg("apple"))
+	post(t, pool, in, textMsg("banana"))
+	if got := fetchMsg(t, pool, outA, 2*time.Second); string(got.Body()) != "apple" {
+		t.Errorf("outA = %q", got.Body())
+	}
+	if got := fetchMsg(t, pool, outB, 2*time.Second); string(got.Body()) != "banana" {
+		t.Errorf("outB = %q", got.Body())
+	}
+}
+
+func TestAmbiguousDefaultPortFails(t *testing.T) {
+	pool := msgpool.New(msgpool.ByReference)
+	s := New("amb", nil, passthrough, pool)
+	var errs []error
+	var mu sync.Mutex
+	s.ErrorHandler = func(err error) { mu.Lock(); errs = append(errs, err); mu.Unlock() }
+	in := queue.New("in", queue.Options{})
+	s.SetIn("pi", in)
+	s.SetOut("po1", queue.New("o1", queue.Options{}))
+	s.SetOut("po2", queue.New("o2", queue.Options{}))
+	s.Start()
+	defer s.End()
+	post(t, pool, in, textMsg("x"))
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(errs)
+		mu.Unlock()
+		if n > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("ambiguous emission did not error")
+}
+
+func TestFanInTwoPorts(t *testing.T) {
+	// Merge-like processor records which port each message arrived on.
+	var mu sync.Mutex
+	seen := map[string]string{}
+	rec := ProcessorFunc(func(in Input) ([]Emission, error) {
+		mu.Lock()
+		seen[string(in.Msg.Body())] = in.Port
+		mu.Unlock()
+		return []Emission{{Msg: in.Msg}}, nil
+	})
+	pool := msgpool.New(msgpool.ByReference)
+	s := New("merge", nil, rec, pool)
+	in1 := queue.New("in1", queue.Options{})
+	in2 := queue.New("in2", queue.Options{})
+	out := queue.New("out", queue.Options{})
+	s.SetIn("pi1", in1)
+	s.SetIn("pi2", in2)
+	s.SetOut("po", out)
+	s.Start()
+	defer s.End()
+
+	post(t, pool, in1, textMsg("one"))
+	post(t, pool, in2, textMsg("two"))
+	fetchMsg(t, pool, out, 2*time.Second)
+	fetchMsg(t, pool, out, 2*time.Second)
+	mu.Lock()
+	defer mu.Unlock()
+	if seen["one"] != "pi1" || seen["two"] != "pi2" {
+		t.Errorf("seen = %v", seen)
+	}
+}
+
+func TestPauseActivate(t *testing.T) {
+	pool, s, in, out := newRig(passthrough)
+	s.Start()
+	defer s.End()
+	if s.State() != StateActive {
+		t.Fatalf("state = %v", s.State())
+	}
+	s.Pause()
+	if s.State() != StatePaused {
+		t.Fatalf("state = %v", s.State())
+	}
+	post(t, pool, in, textMsg("held"))
+	time.Sleep(20 * time.Millisecond)
+	if out.Len() != 0 {
+		t.Error("paused streamlet emitted")
+	}
+	s.Activate()
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if string(got.Body()) != "held" {
+		t.Errorf("after resume: %q", got.Body())
+	}
+}
+
+func TestConsumedInputRemovedFromPool(t *testing.T) {
+	// A filtering processor that emits nothing must not leak pool entries.
+	drop := ProcessorFunc(func(in Input) ([]Emission, error) { return nil, nil })
+	pool, s, in, _ := newRig(drop)
+	s.Start()
+	defer s.End()
+	post(t, pool, in, textMsg("gone"))
+	deadline := time.Now().Add(2 * time.Second)
+	for pool.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if pool.Len() != 0 {
+		t.Errorf("pool leaked %d messages", pool.Len())
+	}
+}
+
+func TestTransformToNewMessageCleansOld(t *testing.T) {
+	replace := ProcessorFunc(func(in Input) ([]Emission, error) {
+		return []Emission{{Msg: textMsg("fresh")}}, nil
+	})
+	pool, s, in, out := newRig(replace)
+	s.Start()
+	defer s.End()
+	post(t, pool, in, textMsg("stale"))
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if string(got.Body()) != "fresh" {
+		t.Errorf("got %q", got.Body())
+	}
+	deadline := time.Now().Add(time.Second)
+	for pool.Len() > 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if pool.Len() != 1 {
+		t.Errorf("pool holds %d messages, want 1 (the fresh one)", pool.Len())
+	}
+}
+
+func TestProcessorErrorDropsMessage(t *testing.T) {
+	boom := ProcessorFunc(func(in Input) ([]Emission, error) {
+		return nil, errors.New("boom")
+	})
+	pool, s, in, out := newRig(boom)
+	var gotErr error
+	var mu sync.Mutex
+	s.ErrorHandler = func(err error) { mu.Lock(); gotErr = err; mu.Unlock() }
+	s.Start()
+	defer s.End()
+	post(t, pool, in, textMsg("doomed"))
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		e := gotErr
+		mu.Unlock()
+		if e != nil {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if gotErr == nil || !strings.Contains(gotErr.Error(), "boom") {
+		t.Errorf("error = %v", gotErr)
+	}
+	if out.Len() != 0 {
+		t.Error("errored message emitted")
+	}
+	if pool.Len() != 0 {
+		t.Error("errored message leaked in pool")
+	}
+}
+
+type peeredCompressor struct{}
+
+func (peeredCompressor) Process(in Input) ([]Emission, error) {
+	return []Emission{{Msg: in.Msg}}, nil
+}
+func (peeredCompressor) PeerID() string { return "decompress" }
+
+func TestPeerHeaderAppended(t *testing.T) {
+	pool := msgpool.New(msgpool.ByReference)
+	s := New("comp", nil, peeredCompressor{}, pool)
+	in := queue.New("in", queue.Options{})
+	out := queue.New("out", queue.Options{})
+	s.SetIn("pi", in)
+	s.SetOut("po", out)
+	s.Start()
+	defer s.End()
+	post(t, pool, in, textMsg("data"))
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	peers := got.Peers()
+	if len(peers) != 1 || peers[0] != "decompress" {
+		t.Errorf("peers = %v", peers)
+	}
+}
+
+func TestCanTerminate(t *testing.T) {
+	slow := ProcessorFunc(func(in Input) ([]Emission, error) {
+		time.Sleep(50 * time.Millisecond)
+		return []Emission{{Msg: in.Msg}}, nil
+	})
+	pool, s, in, out := newRig(slow)
+	s.Start()
+	defer s.End()
+	if !s.CanTerminate() {
+		t.Error("idle streamlet cannot terminate")
+	}
+	post(t, pool, in, textMsg("busy"))
+	time.Sleep(10 * time.Millisecond)
+	if s.CanTerminate() {
+		t.Error("busy streamlet can terminate")
+	}
+	fetchMsg(t, pool, out, 2*time.Second)
+	deadline := time.Now().Add(time.Second)
+	for !s.CanTerminate() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !s.CanTerminate() {
+		t.Error("drained streamlet cannot terminate")
+	}
+}
+
+func TestEndDetachesQueues(t *testing.T) {
+	_, s, in, out := newRig(passthrough)
+	s.Start()
+	if p, c := in.Counts(); c != 1 || p != 0 {
+		t.Fatalf("in counts = %d,%d", p, c)
+	}
+	s.End()
+	if _, c := in.Counts(); c != 0 {
+		t.Error("consumer count not released")
+	}
+	if p, _ := out.Counts(); p != 0 {
+		t.Error("producer count not released")
+	}
+	if s.State() != StateEnded {
+		t.Errorf("state = %v", s.State())
+	}
+	s.End() // idempotent
+}
+
+func TestRebindInputPort(t *testing.T) {
+	pool, s, in, out := newRig(passthrough)
+	s.Start()
+	defer s.End()
+	post(t, pool, in, textMsg("via-old"))
+	fetchMsg(t, pool, out, 2*time.Second)
+
+	in2 := queue.New("in2", queue.Options{})
+	s.SetIn("pi", in2)
+	if _, c := in.Counts(); c != 0 {
+		t.Error("old queue still has consumer")
+	}
+	post(t, pool, in2, textMsg("via-new"))
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if string(got.Body()) != "via-new" {
+		t.Errorf("got %q", got.Body())
+	}
+}
+
+func TestByValuePoolMode(t *testing.T) {
+	pool := msgpool.New(msgpool.ByValue)
+	s := New("s", nil, passthrough, pool)
+	in := queue.New("in", queue.Options{})
+	out := queue.New("out", queue.Options{})
+	s.SetIn("pi", in)
+	s.SetOut("po", out)
+	s.Start()
+	defer s.End()
+	m := textMsg("copy")
+	post(t, pool, in, m)
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if got.ID == m.ID {
+		t.Error("by-value did not copy")
+	}
+	if string(got.Body()) != "copy" {
+		t.Errorf("body = %q", got.Body())
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateCreated.String() != "created" || StateEnded.String() != "ended" {
+		t.Error("state strings")
+	}
+}
+
+func TestEndBeforeStart(t *testing.T) {
+	_, s, in, _ := newRig(passthrough)
+	_ = in
+	// Never started: End must not hang waiting for goroutines.
+	done := make(chan struct{})
+	go func() { s.End(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("End before Start hung")
+	}
+	if s.State() != StateEnded {
+		t.Errorf("state = %v", s.State())
+	}
+	s.Start() // no-op after End
+	if s.State() != StateEnded {
+		t.Error("Start resurrected an ended streamlet")
+	}
+}
+
+func TestPauseBeforeStartIgnored(t *testing.T) {
+	_, s, _, _ := newRig(passthrough)
+	s.Pause() // created, not active: no state change
+	if s.State() != StateCreated {
+		t.Errorf("state = %v", s.State())
+	}
+	s.Activate()
+	if s.State() != StateCreated {
+		t.Errorf("state = %v", s.State())
+	}
+	s.End()
+}
+
+func TestByValuePoolDoesNotLeakIntermediates(t *testing.T) {
+	pool := msgpool.New(msgpool.ByValue)
+	s := New("s", nil, passthrough, pool)
+	in := queue.New("in", queue.Options{CapacityBytes: 1 << 20})
+	out := queue.New("out", queue.Options{CapacityBytes: 1 << 20})
+	s.SetIn("pi", in)
+	s.SetOut("po", out)
+	s.Start()
+	defer s.End()
+	for i := 0; i < 50; i++ {
+		post(t, pool, in, textMsg(fmt.Sprintf("m%d", i)))
+		got := fetchMsg(t, pool, out, 2*time.Second)
+		pool.Remove(got.ID) // final delivery
+	}
+	deadline := time.Now().Add(time.Second)
+	for pool.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if pool.Len() != 0 {
+		t.Errorf("by-value pool leaked %d entries", pool.Len())
+	}
+}

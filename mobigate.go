@@ -1,0 +1,184 @@
+// Package mobigate is the public facade of the MobiGATE reproduction: a
+// mobile gateway proxy for the active deployment of transport entities
+// (Chan & Zheng, ICPP 2004 / HK PolyU MPhil thesis 2005).
+//
+// MobiGATE adapts data flows crossing a wireless link by composing
+// streamlets — small transport service entities such as image
+// down-sampling, text compression or caching — into streams, with the
+// composition described in the MobiGATE Coordination Language (MCL) and
+// kept completely separate from the streamlets' computation code
+// (separation of concerns). Streams reconfigure at runtime in reaction to
+// context events such as LOW_BANDWIDTH or LOW_ENERGY.
+//
+// The typical server-side flow:
+//
+//	gw := mobigate.NewGateway(mobigate.GatewayOptions{})
+//	if err := gw.LoadScript(script); err != nil { ... }
+//	st, err := gw.Deploy("myStream")
+//	in, _ := st.OpenInlet(mobigate.Port("sw", "pi"), 0)
+//	out, _ := st.OpenOutlet(mobigate.Port("mg", "po"))
+//
+// and on the mobile client:
+//
+//	mc := mobigate.NewClient(mobigate.ClientOptions{}, func(m *mobigate.Message) { ... })
+//	mc.ServeConn(conn)
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping from thesis sections to packages.
+package mobigate
+
+import (
+	"mobigate/internal/client"
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/semantics"
+	"mobigate/internal/server"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+	"mobigate/internal/streamlet"
+)
+
+// Re-exported core types. These aliases make the public API self-contained
+// while the implementation lives in internal packages.
+type (
+	// Message is a MIME-formatted message flowing through the system.
+	Message = mime.Message
+	// MediaType is a MIME media type; port and message types form a
+	// lattice rooted at "*/*".
+	MediaType = mime.MediaType
+	// TypeRegistry extends the media-type lattice with subtype edges.
+	TypeRegistry = mime.Registry
+
+	// Config is a compiled MCL script: the configuration tables the
+	// Coordination Manager executes.
+	Config = mcl.Config
+	// PortRef references an instance port ("inst.port") in a composition.
+	PortRef = mcl.PortRef
+
+	// Stream is a running composition of streamlets.
+	Stream = stream.Stream
+	// Inlet injects application messages into a stream entry port.
+	Inlet = stream.Inlet
+	// Outlet receives messages from a stream exit port.
+	Outlet = stream.Outlet
+
+	// Processor is the computational content of a streamlet.
+	Processor = streamlet.Processor
+	// ProcessorFunc adapts a function to Processor.
+	ProcessorFunc = streamlet.ProcessorFunc
+	// Input is a message arriving at a processor on a named port.
+	Input = streamlet.Input
+	// Emission is a message a processor sends to a named output port.
+	Emission = streamlet.Emission
+	// Directory advertises streamlet implementations by library name.
+	Directory = streamlet.Directory
+
+	// ContextEvent is an unparameterized context event.
+	ContextEvent = event.ContextEvent
+	// EventManager subscribes streams to event categories and multicasts.
+	EventManager = event.Manager
+
+	// AnalysisReport is the outcome of the MCL semantic analyses.
+	AnalysisReport = semantics.Report
+	// AnalysisRules carries repel/depend/preorder relations to verify.
+	AnalysisRules = semantics.Rules
+
+	// Gateway is the MobiGATE server.
+	Gateway = server.Server
+	// GatewayFrontend is the TCP face of a gateway.
+	GatewayFrontend = server.Frontend
+	// Client is the thin MobiGATE client.
+	Client = client.Client
+	// ClientOptions configure a Client.
+	ClientOptions = client.Options
+)
+
+// GatewayOptions configure NewGateway.
+type GatewayOptions struct {
+	// Strict makes Deploy fail on any semantic-analysis violation, not
+	// just feedback loops.
+	Strict bool
+	// Rules are application-level relations for the analyzer.
+	Rules AnalysisRules
+	// ErrorHandler receives asynchronous stream errors.
+	ErrorHandler func(error)
+	// ExtraServices registers additional libraries into the directory
+	// after the standard services.
+	ExtraServices func(*Directory)
+}
+
+// NewGateway creates a MobiGATE server with the standard service streamlets
+// (switch, down-sample, gray16, gif2jpeg, ps2text, compressor, merge,
+// cache, power-saving, redirector, crypto) pre-registered.
+func NewGateway(opts GatewayOptions) *Gateway {
+	dir := streamlet.NewDirectory()
+	services.RegisterAll(dir)
+	if opts.ExtraServices != nil {
+		opts.ExtraServices(dir)
+	}
+	return server.New(server.Options{
+		Directory:    dir,
+		Strict:       opts.Strict,
+		Rules:        opts.Rules,
+		ErrorHandler: opts.ErrorHandler,
+	})
+}
+
+// NewClient creates a MobiGATE client with the standard peer streamlets
+// (decompressor, decryptor) pre-registered; handler receives every
+// application-ready message.
+func NewClient(opts ClientOptions, handler func(*Message)) *Client {
+	if opts.Peers == nil {
+		opts.Peers = streamlet.NewDirectory()
+		services.RegisterClientPeers(opts.Peers)
+	}
+	return client.New(opts, handler)
+}
+
+// NewFrontend attaches a TCP front-end to a gateway; source produces the
+// origin data flow for each client session.
+func NewFrontend(gw *Gateway, source server.Source) *GatewayFrontend {
+	return server.NewFrontend(gw, source)
+}
+
+// Port builds a PortRef.
+func Port(inst, port string) PortRef { return PortRef{Inst: inst, Port: port} }
+
+// CompileMCL compiles an MCL script against the default type registry.
+func CompileMCL(src string) (*Config, error) { return mcl.Compile(src, nil) }
+
+// CompileMCLWith compiles an MCL script against a custom type registry.
+func CompileMCLWith(src string, reg *TypeRegistry) (*Config, error) {
+	return mcl.Compile(src, reg)
+}
+
+// AnalyzeStream runs the chapter-5 semantic analyses (feedback loops, open
+// circuits, mutual exclusion, dependency, preorder) on one compiled stream.
+// The stream's derived external ports are treated as sanctioned open ends.
+func AnalyzeStream(cfg *Config, name string, rules AnalysisRules) (*AnalysisReport, error) {
+	sc := cfg.Stream(name)
+	if sc == nil {
+		return nil, errUnknownStream(name)
+	}
+	rules.AllowedOpenPorts = append(append([]string(nil), rules.AllowedOpenPorts...),
+		semantics.OpenPorts(sc)...)
+	return semantics.Analyze(sc, rules), nil
+}
+
+type unknownStreamError string
+
+func (e unknownStreamError) Error() string { return "mobigate: unknown stream " + string(e) }
+
+func errUnknownStream(name string) error { return unknownStreamError(name) }
+
+// NewMessage creates a message of the given media type; the body slice is
+// retained.
+func NewMessage(t MediaType, body []byte) *Message { return mime.NewMessage(t, body) }
+
+// ParseMediaType parses a media-type expression such as "text/richtext".
+func ParseMediaType(s string) (MediaType, error) { return mime.ParseMediaType(s) }
+
+// NewTypeRegistry returns an empty extensible type registry; the structural
+// wildcard and family rules always apply.
+func NewTypeRegistry() *TypeRegistry { return mime.NewRegistry() }

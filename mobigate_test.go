@@ -1,0 +1,150 @@
+package mobigate
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"mobigate/internal/services"
+)
+
+const facadeScript = `
+streamlet compressor {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+streamlet cache {
+	port { in pi : text; out po : text; }
+	attribute { type = STATEFUL; library = "general/cache"; }
+}
+main stream pipeline {
+	streamlet k = new-streamlet (cache);
+	streamlet c = new-streamlet (compressor);
+	connect (k.po, c.pi);
+}
+`
+
+func TestGatewayDeployAndFlow(t *testing.T) {
+	gw := NewGateway(GatewayOptions{})
+	defer gw.Close()
+	if err := gw.LoadScript(facadeScript); err != nil {
+		t.Fatal(err)
+	}
+	st, err := gw.Deploy("pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := st.OpenInlet(Port("k", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(Port("c", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := ParseMediaType("text/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := services.GenText(4096, 1)
+	if err := in.Send(NewMessage(text, body)); err != nil {
+		t.Fatal(err)
+	}
+	m, err := out.Receive(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() >= len(body) {
+		t.Errorf("compression did not shrink: %d -> %d", len(body), m.Len())
+	}
+
+	// The client facade reverses it.
+	mc := NewClient(ClientOptions{}, nil)
+	back, err := mc.Process(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back.Body()) != string(body) {
+		t.Error("client did not restore original body")
+	}
+}
+
+func TestGatewayExtraServices(t *testing.T) {
+	called := false
+	gw := NewGateway(GatewayOptions{
+		ExtraServices: func(dir *Directory) {
+			called = true
+			dir.Register("custom/echo", func() Processor {
+				return ProcessorFunc(func(in Input) ([]Emission, error) {
+					return []Emission{{Msg: in.Msg}}, nil
+				})
+			})
+		},
+	})
+	defer gw.Close()
+	if !called {
+		t.Fatal("ExtraServices not invoked")
+	}
+	if _, err := gw.Directory().Lookup("custom/echo"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompileAndAnalyzeFacade(t *testing.T) {
+	cfg, err := CompileMCL(facadeScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeStream(cfg, "pipeline", AnalysisRules{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("violations: %v", rep.Violations)
+	}
+	if _, err := AnalyzeStream(cfg, "ghost", AnalysisRules{}); err == nil {
+		t.Error("unknown stream analyzed")
+	} else if !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("error = %v", err)
+	}
+	if _, err := CompileMCL("not a script"); err == nil {
+		t.Error("garbage compiled")
+	}
+}
+
+func TestCompileMCLWithRegistry(t *testing.T) {
+	src := `
+streamlet a { port { out po : application/x-note; } attribute { library = "x"; } }
+streamlet b { port { in pi : text/plain; } attribute { library = "x"; } }
+stream s {
+	streamlet p = new-streamlet (a);
+	streamlet q = new-streamlet (b);
+	connect (p.po, q.pi);
+}
+`
+	if _, err := CompileMCL(src); err == nil {
+		t.Fatal("incompatible connect accepted without registry edge")
+	}
+	custom := newRegistryWithNoteEdge(t)
+	if _, err := CompileMCLWith(src, custom); err != nil {
+		t.Errorf("registry edge ignored: %v", err)
+	}
+}
+
+func newRegistryWithNoteEdge(t *testing.T) *TypeRegistry {
+	t.Helper()
+	reg := NewTypeRegistry()
+	note, _ := ParseMediaType("application/x-note")
+	plain, _ := ParseMediaType("text/plain")
+	if err := reg.AddSubtype(note, plain); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+func TestPortHelper(t *testing.T) {
+	p := Port("sw", "pi")
+	if p.Inst != "sw" || p.Port != "pi" || p.String() != "sw.pi" {
+		t.Errorf("Port = %+v", p)
+	}
+}
