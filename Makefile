@@ -2,18 +2,22 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt examples experiments clean
+.PHONY: all build test race bench vet fmt check examples experiments clean
 
 all: build test
 
 build:
 	$(GO) build ./...
 
-test:
+# The default test flow vets first: go vet failures are bugs here, not style.
+test: vet
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
+
+# Full pre-merge gate: build, vet, tests, and the race detector.
+check: build test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

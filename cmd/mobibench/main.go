@@ -6,6 +6,7 @@
 //	mobibench -exp fig7.6   # reconfiguration time vs insertions
 //	mobibench -exp eq7.1    # reconfiguration time decomposition
 //	mobibench -exp fig7.7   # end-to-end throughput sweep
+//	mobibench -exp hops     # per-hop time composition (§7.3 breakdown)
 //	mobibench -exp all      # everything
 //
 // Shapes, not absolute numbers, are the comparison target: the 2004 Java
@@ -24,10 +25,11 @@ import (
 )
 
 var (
-	exp      = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, all")
-	messages = flag.Int("messages", 60, "messages per fig7.7 point")
-	samples  = flag.Int("samples", 50, "messages per latency sample (fig7.2/7.3)")
-	loss     = flag.Float64("loss", 0, "link loss rate for fig7.7 (0..1)")
+	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, all")
+	messages  = flag.Int("messages", 60, "messages per fig7.7 point")
+	samples   = flag.Int("samples", 50, "messages per latency sample (fig7.2/7.3)")
+	loss      = flag.Float64("loss", 0, "link loss rate for fig7.7 (0..1)")
+	bandwidth = flag.Int64("bandwidth", 100_000, "link bandwidth for the hops breakdown (bits/s)")
 )
 
 func main() {
@@ -43,12 +45,15 @@ func main() {
 		runEq71()
 	case "fig7.7":
 		runFig77()
+	case "hops":
+		runHops()
 	case "all":
 		runFig72()
 		runFig73()
 		runFig76()
 		runEq71()
 		runFig77()
+		runHops()
 	default:
 		fmt.Fprintf(os.Stderr, "mobibench: unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -148,5 +153,19 @@ func runFig77() {
 			r.WithoutBps/1000, r.WithBps/1000, r.WithCalibratedBps/1000,
 			r.ReductionRatio, tc)
 	}
+	fmt.Println()
+}
+
+func runHops() {
+	fmt.Println("=== Per-hop time composition (§7.3): queue wait vs process vs transmit ===")
+	cfg := experiments.DefaultHopsConfig()
+	cfg.Messages = *messages
+	cfg.LossRate = *loss
+	cfg.BandwidthBps = *bandwidth
+	b, err := experiments.Hops(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(b)
 	fmt.Println()
 }

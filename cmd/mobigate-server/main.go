@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mobigate-server -script app.mcl [-listen :7700] [-messages 50]
-//	                [-image-ratio 0.5] [-strict]
+//	                [-image-ratio 0.5] [-strict] [-metrics :7701]
 //
 // Clients connect, send a request message whose X-Request-Stream header
 // names the stream to deploy, and receive the adapted flow in MIME wire
@@ -28,12 +28,13 @@ import (
 )
 
 var (
-	scriptPath = flag.String("script", "", "MCL script to load (required)")
-	listenAddr = flag.String("listen", ":7700", "TCP listen address")
-	messages   = flag.Int("messages", 50, "origin messages per client session")
-	imageRatio = flag.Float64("image-ratio", 0.5, "fraction of image messages in the origin flow")
-	seed       = flag.Int64("seed", 2004, "workload seed")
-	strict     = flag.Bool("strict", false, "reject deployment on any semantic violation")
+	scriptPath  = flag.String("script", "", "MCL script to load (required)")
+	listenAddr  = flag.String("listen", ":7700", "TCP listen address")
+	messages    = flag.Int("messages", 50, "origin messages per client session")
+	imageRatio  = flag.Float64("image-ratio", 0.5, "fraction of image messages in the origin flow")
+	seed        = flag.Int64("seed", 2004, "workload seed")
+	strict      = flag.Bool("strict", false, "reject deployment on any semantic violation")
+	metricsAddr = flag.String("metrics", ":7701", "observability HTTP address (/metrics, /trace); empty disables")
 )
 
 func main() {
@@ -82,6 +83,13 @@ func main() {
 	}
 	defer fe.Close()
 	log.Printf("listening on %s; sessions serve %d origin messages each", addr, *messages)
+	if *metricsAddr != "" {
+		maddr, err := fe.ServeMetrics(*metricsAddr)
+		if err != nil {
+			log.Fatalf("mobigate-server: metrics endpoint: %v", err)
+		}
+		log.Printf("observability on http://%s/metrics (also /metrics.json, /trace, /streams)", maddr)
+	}
 	log.Printf("type an event name (e.g. LOW_BANDWIDTH) + enter to raise it; ctrl-D to quit")
 
 	sc := bufio.NewScanner(os.Stdin)

@@ -2,6 +2,15 @@ package event
 
 import (
 	"sync"
+
+	"mobigate/internal/obs"
+)
+
+// Gateway-wide event metrics (aggregated across managers).
+var (
+	mRaised    = obs.DefaultCounter(obs.MEventsRaisedTotal)
+	mDelivered = obs.DefaultCounter(obs.MEventsDeliveredTotal)
+	mFiltered  = obs.DefaultCounter(obs.MEventsFilteredTotal)
 )
 
 // Subscriber receives multicast events. Stream applications implement this
@@ -91,12 +100,14 @@ func (m *Manager) Multicast(evt ContextEvent) {
 			m.mu.Lock()
 			m.filtered++
 			m.mu.Unlock()
+			mFiltered.Inc()
 			continue
 		}
 		s.OnEvent(evt)
 		m.mu.Lock()
 		m.delivered++
 		m.mu.Unlock()
+		mDelivered.Inc()
 	}
 }
 
@@ -107,6 +118,7 @@ func (m *Manager) Post(evt ContextEvent) {
 	select {
 	case <-m.done:
 	case m.dispatch <- evt:
+		mRaised.Inc()
 	}
 }
 

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHopsBreakdown(t *testing.T) {
+	cfg := HopsConfig{
+		BandwidthBps: 200_000,
+		Delay:        time.Millisecond,
+		Messages:     20,
+		ImageRatio:   0.5,
+		Seed:         7,
+	}
+	b, err := Hops(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Delivered == 0 {
+		t.Fatal("no messages delivered")
+	}
+	if b.Reconfigured {
+		t.Error("compressor engaged above the threshold")
+	}
+	rows := map[string]HopRow{}
+	for _, r := range b.Rows {
+		rows[r.Streamlet] = r
+	}
+	// Every message passes the switch, the merger and the communicator.
+	for _, id := range []string{"sw", "mg", "cm"} {
+		r, ok := rows[id]
+		if !ok {
+			t.Fatalf("no hop row for %s in %+v", id, b.Rows)
+		}
+		if r.Messages != cfg.Messages {
+			t.Errorf("%s saw %d messages, want %d", id, r.Messages, cfg.Messages)
+		}
+		if r.BytesIn == 0 {
+			t.Errorf("%s recorded no input bytes", id)
+		}
+	}
+	// The communicator is a terminal sink: nothing leaves it downstream.
+	if rows["cm"].BytesOut != 0 {
+		t.Errorf("cm bytesOut = %d, want 0", rows["cm"].BytesOut)
+	}
+	// Images take the downsample branch; ~half the workload.
+	if r, ok := rows["ds"]; !ok || r.Messages == 0 || r.Messages >= cfg.Messages {
+		t.Errorf("ds row = %+v, want a strict subset of the workload", r)
+	}
+	if b.AvgTransmit <= 0 {
+		t.Error("no modelled transmit time")
+	}
+	out := b.String()
+	for _, want := range []string{"streamlet", "avgQueueWait", "avgProcess", "link"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHopsLowBandwidthEngagesCompressor(t *testing.T) {
+	cfg := HopsConfig{
+		BandwidthBps: 50_000,
+		Delay:        time.Millisecond,
+		Messages:     10,
+		ImageRatio:   0.0, // all text, so every message crosses tc
+		Seed:         7,
+	}
+	b, err := Hops(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Reconfigured {
+		t.Fatal("compressor not engaged below the threshold")
+	}
+	for _, r := range b.Rows {
+		if r.Streamlet == "tc" {
+			if r.Messages == 0 {
+				t.Error("tc row has no messages")
+			}
+			return
+		}
+	}
+	t.Fatalf("no tc hop row after reconfiguration: %+v", b.Rows)
+}

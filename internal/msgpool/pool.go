@@ -11,6 +11,17 @@ import (
 	"sync"
 
 	"mobigate/internal/mime"
+	"mobigate/internal/obs"
+)
+
+// Gateway-wide pool metrics (aggregated across pools).
+var (
+	mPutTotal  = obs.DefaultCounter(obs.MPoolPutTotal)
+	mHitTotal  = obs.DefaultCounter(obs.MPoolHitTotal)
+	mMissTotal = obs.DefaultCounter(obs.MPoolMissTotal)
+	mCopyTotal = obs.DefaultCounter(obs.MPoolCopyTotal)
+	mMessages  = obs.DefaultGauge(obs.MPoolMessages)
+	mBytes     = obs.DefaultGauge(obs.MPoolBytes)
 )
 
 // Mode selects the buffer-management scheme.
@@ -57,12 +68,17 @@ func (p *Pool) Mode() Mode { return p.mode }
 func (p *Pool) Put(m *mime.Message) string {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if prev, exists := p.sizes[m.ID]; exists {
+	prev, exists := p.sizes[m.ID]
+	if exists {
 		p.bytes -= int64(prev)
+	} else {
+		mMessages.Add(1)
 	}
 	p.msgs[m.ID] = m
 	p.sizes[m.ID] = m.Len()
 	p.bytes += int64(m.Len())
+	mPutTotal.Inc()
+	mBytes.Add(float64(m.Len() - prev))
 	return m.ID
 }
 
@@ -74,8 +90,10 @@ func (p *Pool) Get(id string) (*mime.Message, error) {
 	m := p.msgs[id]
 	p.mu.RUnlock()
 	if m == nil {
+		mMissTotal.Inc()
 		return nil, fmt.Errorf("msgpool: unknown message %q", id)
 	}
+	mHitTotal.Inc()
 	return m, nil
 }
 
@@ -92,6 +110,7 @@ func (p *Pool) Forward(id string) (string, error) {
 	}
 	c := m.Clone()
 	p.Put(c)
+	mCopyTotal.Inc()
 	return c.ID, nil
 }
 
@@ -102,6 +121,8 @@ func (p *Pool) Remove(id string) {
 	defer p.mu.Unlock()
 	if _, ok := p.msgs[id]; ok {
 		p.bytes -= int64(p.sizes[id])
+		mMessages.Add(-1)
+		mBytes.Add(float64(-p.sizes[id]))
 		delete(p.msgs, id)
 		delete(p.sizes, id)
 	}
@@ -116,15 +137,21 @@ func (p *Pool) Replace(id string, m *mime.Message) string {
 	defer p.mu.Unlock()
 	if old, ok := p.msgs[id]; ok && old.ID != m.ID {
 		p.bytes -= int64(p.sizes[id])
+		mMessages.Add(-1)
+		mBytes.Add(float64(-p.sizes[id]))
 		delete(p.msgs, id)
 		delete(p.sizes, id)
 	}
-	if _, exists := p.sizes[m.ID]; exists {
-		p.bytes -= int64(p.sizes[m.ID])
+	prev, exists := p.sizes[m.ID]
+	if exists {
+		p.bytes -= int64(prev)
+	} else {
+		mMessages.Add(1)
 	}
 	p.msgs[m.ID] = m
 	p.sizes[m.ID] = m.Len()
 	p.bytes += int64(m.Len())
+	mBytes.Add(float64(m.Len() - prev))
 	return m.ID
 }
 

@@ -22,6 +22,19 @@ import (
 	"time"
 
 	"mobigate/internal/mime"
+	"mobigate/internal/obs"
+)
+
+// Link metrics. The counters and the transfer-time histogram aggregate
+// across links; the bandwidth/loss gauges reflect the most recently
+// created or adjusted link (experiments and the gateway run one emulated
+// link at a time).
+var (
+	mLinkBandwidth = obs.DefaultGauge(obs.MLinkBandwidthBps)
+	mLinkLoss      = obs.DefaultGauge(obs.MLinkLossRate)
+	mLinkMsgs      = obs.DefaultCounter(obs.MLinkMessagesTotal)
+	mLinkBytes     = obs.DefaultCounter(obs.MLinkWireBytesTotal)
+	mLinkTransfer  = obs.DefaultHistogram(obs.MLinkTransferSeconds, nil)
 )
 
 // Mode selects how the link passes time.
@@ -101,6 +114,8 @@ func New(cfg Config) (*Link, error) {
 	if cfg.LossRate < 0 || cfg.LossRate >= 1 {
 		return nil, fmt.Errorf("netem: loss rate %v outside [0, 1)", cfg.LossRate)
 	}
+	mLinkBandwidth.Set(float64(cfg.BandwidthBps))
+	mLinkLoss.Set(cfg.LossRate)
 	return &Link{
 		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
@@ -135,6 +150,7 @@ func (l *Link) SetBandwidth(bps int64) error {
 	l.mu.Lock()
 	old := l.cfg.BandwidthBps
 	l.cfg.BandwidthBps = bps
+	mLinkBandwidth.Set(float64(bps))
 	observers := make([]func(old, new int64), len(l.bwChanges))
 	copy(observers, l.bwChanges)
 	l.mu.Unlock()
@@ -187,6 +203,9 @@ func (l *Link) Send(m *mime.Message) error {
 	cost := l.transferTimeLocked(wire)
 	l.bytesSent += wire
 	l.msgsSent++
+	mLinkMsgs.Inc()
+	mLinkBytes.Add(uint64(wire))
+	mLinkTransfer.Observe(cost.Seconds())
 
 	if l.cfg.Mode == Virtual {
 		l.clock += cost

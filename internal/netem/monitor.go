@@ -37,9 +37,6 @@ func (m *BandwidthMonitor) evaluate(bps int64) {
 	crossed := m.below != wasBelow
 	isBelow := m.below
 	m.mu.Unlock()
-	if !crossed && !isBelow {
-		return
-	}
 	if !crossed {
 		return
 	}

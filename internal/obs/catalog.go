@@ -1,0 +1,100 @@
+package obs
+
+// The gateway metric catalog. Every runtime package records into these
+// series on the Default registry; pre-registration at startup makes the
+// exposition endpoint list the complete catalog (zero-valued until first
+// use) even before any traffic flows. docs/OBSERVABILITY.md documents each
+// metric's meaning and the paper quantity it corresponds to — keep the two
+// lists in sync.
+const (
+	// Coordination plane: message queues (§6.2 MessageQueue, Figure 6-9).
+	MQueuePostTotal        = "mobigate_queue_post_total"
+	MQueueFetchTotal       = "mobigate_queue_fetch_total"
+	MQueueDropTotal        = "mobigate_queue_drop_total"
+	MQueuePostWaitSeconds  = "mobigate_queue_post_wait_seconds"
+	MQueueFetchWaitSeconds = "mobigate_queue_fetch_wait_seconds"
+	MQueueQueuedMessages   = "mobigate_queue_queued_messages"
+	MQueueQueuedBytes      = "mobigate_queue_queued_bytes"
+
+	// Central message pool (§6.7 pass-by-reference buffer management).
+	MPoolPutTotal  = "mobigate_pool_put_total"
+	MPoolHitTotal  = "mobigate_pool_hit_total"
+	MPoolMissTotal = "mobigate_pool_miss_total"
+	MPoolCopyTotal = "mobigate_pool_copy_total"
+	MPoolMessages  = "mobigate_pool_messages"
+	MPoolBytes     = "mobigate_pool_bytes"
+
+	// Streams and streamlets (§6.1/§6.3; Figure 7-2 per-streamlet cost,
+	// Equation 7-1 reconfiguration time).
+	MStreamletProcessSeconds = "mobigate_streamlet_process_seconds"
+	MStreamProcessedTotal    = "mobigate_stream_processed_total"
+	MStreamDroppedTotal      = "mobigate_stream_dropped_total"
+	MStreamTypeErrorsTotal   = "mobigate_stream_type_errors_total"
+	MStreamReconfigSeconds   = "mobigate_stream_reconfig_seconds"
+
+	// Emulated wireless link (§7.1 testbed; Equation 7-2 transfer term).
+	MLinkBandwidthBps    = "mobigate_link_bandwidth_bps"
+	MLinkLossRate        = "mobigate_link_loss_rate"
+	MLinkMessagesTotal   = "mobigate_link_messages_total"
+	MLinkWireBytesTotal  = "mobigate_link_wire_bytes_total"
+	MLinkTransferSeconds = "mobigate_link_transfer_seconds"
+
+	// Event system (§6.4 Event Manager).
+	MEventsRaisedTotal    = "mobigate_events_raised_total"
+	MEventsDeliveredTotal = "mobigate_events_delivered_total"
+	MEventsFilteredTotal  = "mobigate_events_filtered_total"
+
+	// Gateway server and front-end sessions (§3.3 Coordination Manager).
+	MStreamsDeployedTotal = "mobigate_streams_deployed_total"
+	MStreamsActive        = "mobigate_streams_active"
+	MSessionsTotal        = "mobigate_sessions_total"
+	MSessionsActive       = "mobigate_sessions_active"
+)
+
+// registerCatalog pre-seeds a registry with every catalog metric and its
+// help text. Labeled series (the per-streamlet process histogram) appear
+// once their first labeled observation arrives.
+func registerCatalog(r *Registry) {
+	for _, c := range []struct{ name, help string }{
+		{MQueuePostTotal, "Messages posted to channel queues."},
+		{MQueueFetchTotal, "Messages fetched from channel queues."},
+		{MQueueDropTotal, "Messages dropped by full queues after the grace period (Figure 6-9)."},
+		{MPoolPutTotal, "Messages stored into the central message pool."},
+		{MPoolHitTotal, "Pool lookups that found the message."},
+		{MPoolMissTotal, "Pool lookups for unknown message identifiers."},
+		{MPoolCopyTotal, "Deep copies made by the pass-by-value pool mode (Figure 7-3 baseline)."},
+		{MStreamProcessedTotal, "processMsg executions across all streamlets."},
+		{MStreamDroppedTotal, "Emissions lost to full output queues (wait-then-drop, paragraph 6.7)."},
+		{MStreamTypeErrorsTotal, "Messages dropped by the paragraph 4.1 runtime port-type check."},
+		{MLinkMessagesTotal, "Messages transmitted over emulated links."},
+		{MLinkWireBytesTotal, "Wire bytes (body plus framing overhead) transmitted over emulated links."},
+		{MEventsRaisedTotal, "Context events posted to the event manager."},
+		{MEventsDeliveredTotal, "Event deliveries to subscribed streams."},
+		{MEventsFilteredTotal, "Source-directed events withheld from non-matching subscribers."},
+		{MStreamsDeployedTotal, "Stream instances deployed since startup."},
+		{MSessionsTotal, "Front-end client sessions accepted since startup."},
+	} {
+		r.Counter(c.name, c.help, nil)
+	}
+	for _, g := range []struct{ name, help string }{
+		{MQueueQueuedMessages, "Messages currently queued across all channels."},
+		{MQueueQueuedBytes, "Bytes currently queued across all channels (the paragraph 4.2.2 buffer occupancy)."},
+		{MPoolMessages, "Messages currently held by the central pool."},
+		{MPoolBytes, "Body bytes currently held by the central pool."},
+		{MLinkBandwidthBps, "Configured bandwidth of the most recently adjusted link (bits/s)."},
+		{MLinkLossRate, "Configured loss rate of the most recently adjusted link."},
+		{MStreamsActive, "Stream instances currently deployed."},
+		{MSessionsActive, "Front-end client sessions currently open."},
+	} {
+		r.Gauge(g.name, g.help, nil)
+	}
+	for _, h := range []struct{ name, help string }{
+		{MQueuePostWaitSeconds, "Time producers spent in Post, including full-queue waits."},
+		{MQueueFetchWaitSeconds, "Time consumers blocked in Fetch (includes idle waiting for traffic)."},
+		{MStreamletProcessSeconds, "Per-streamlet processMsg latency (Figure 7-2 quantity), labeled by streamlet id."},
+		{MStreamReconfigSeconds, "Reconfiguration duration (Equation 7-1 total)."},
+		{MLinkTransferSeconds, "Modelled per-message link transfer time (Equation 7-2 transfer term)."},
+	} {
+		r.Histogram(h.name, h.help, nil)
+	}
+}

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter", nil)
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "a gauge", nil)
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("c_total", "", nil) != c {
+		t.Error("counter identity not stable across lookups")
+	}
+	// Different labels is a different series of the same family.
+	if r.Counter("c_total", "", Labels{"x": "1"}) == c {
+		t.Error("labeled series aliased the unlabeled one")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when re-registering a counter as a gauge")
+		}
+	}()
+	r.Gauge("m", "", nil)
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", nil)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Errorf("count = %d, want 100", s.Count)
+	}
+	if s.Sum != 5050 {
+		t.Errorf("sum = %v, want 5050", s.Sum)
+	}
+	if s.P50 < 45 || s.P50 > 55 {
+		t.Errorf("p50 = %v, want ~50", s.P50)
+	}
+	if s.P95 < 90 || s.P95 > 100 {
+		t.Errorf("p95 = %v, want ~95", s.P95)
+	}
+	if s.P99 < 95 || s.P99 > 100 {
+		t.Errorf("p99 = %v, want ~99", s.P99)
+	}
+}
+
+func TestHistogramWindowBounded(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", nil)
+	// Old samples fall out of the quantile window, lifetime count remains.
+	for i := 0; i < histogramWindow; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < histogramWindow; i++ {
+		h.Observe(1)
+	}
+	s := h.Snapshot()
+	if s.Count != 2*histogramWindow {
+		t.Errorf("count = %d, want %d", s.Count, 2*histogramWindow)
+	}
+	if s.P99 != 1 {
+		t.Errorf("p99 = %v, want 1 (old window evicted)", s.P99)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("app_things_total", "things seen", nil).Add(7)
+	r.Gauge("app_level", "", Labels{"zone": "a"}).Set(2.5)
+	r.Histogram("app_wait_seconds", "wait time", nil).Observe(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP app_things_total things seen",
+		"# TYPE app_things_total counter",
+		"app_things_total 7",
+		`app_level{zone="a"} 2.5`,
+		"# TYPE app_wait_seconds summary",
+		`app_wait_seconds{quantile="0.5"} 0.25`,
+		"app_wait_seconds_sum 0.25",
+		"app_wait_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_total", "", nil).Add(3)
+	r.Histogram("j_seconds", "", nil).Observe(1)
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]struct {
+		Type      string             `json:"type"`
+		Value     *float64           `json:"value"`
+		Histogram *HistogramSnapshot `json:"histogram"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &out); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if m := out["j_total"]; m.Type != "counter" || m.Value == nil || *m.Value != 3 {
+		t.Errorf("j_total = %+v", m)
+	}
+	if m := out["j_seconds"]; m.Type != "summary" || m.Histogram == nil || m.Histogram.Count != 1 {
+		t.Errorf("j_seconds = %+v", m)
+	}
+}
+
+func TestDefaultRegistryPreSeeded(t *testing.T) {
+	var b strings.Builder
+	if err := Default().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// One representative per instrumented subsystem: all must be present
+	// even before any traffic has flowed.
+	for _, name := range []string{
+		MQueuePostTotal, MPoolPutTotal, MStreamProcessedTotal,
+		MLinkBandwidthBps, MEventsDeliveredTotal, MSessionsTotal,
+	} {
+		if !strings.Contains(out, name) {
+			t.Errorf("default registry missing catalog metric %s", name)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("cc_total", "", nil).Inc()
+				r.Gauge("cg", "", nil).Add(1)
+				r.Histogram("ch_seconds", "", nil).Observe(float64(j))
+			}
+		}()
+	}
+	// Readers race the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 100; j++ {
+			var b strings.Builder
+			_ = r.WritePrometheus(&b)
+			_ = r.WriteJSON(&b)
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("cc_total", "", nil).Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge("cg", "", nil).Value(); got != 8000 {
+		t.Errorf("gauge = %v, want 8000", got)
+	}
+	if got := r.Histogram("ch_seconds", "", nil).Snapshot().Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

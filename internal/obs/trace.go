@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the MIME extension field carrying the per-hop trace chain,
+// the observability sibling of Content-Peers (§6.5): where the peer chain
+// records *which* reverse streamlets to apply, the trace chain records
+// *what each hop cost*. The streamlet runtime wrapper — the coordination
+// plane, never Processor code — appends one hop per processMsg execution.
+const TraceHeader = "X-Mobigate-Trace"
+
+// Hop is one trace-record entry: what one streamlet did to a message.
+type Hop struct {
+	// Streamlet is the instance id that processed the message.
+	Streamlet string `json:"streamlet"`
+	// QueueWait is how long the message sat in the input channel queue
+	// before being fetched.
+	QueueWait time.Duration `json:"queueWaitNs"`
+	// Process is the processMsg execution time.
+	Process time.Duration `json:"processNs"`
+	// BytesIn and BytesOut are the body sizes entering and leaving the hop
+	// (summed over emissions); their ratio is the per-hop data reduction.
+	BytesIn  int `json:"bytesIn"`
+	BytesOut int `json:"bytesOut"`
+}
+
+// hopSep separates hops in the encoded chain; fieldSep separates fields
+// within a hop. Both are header-safe and cannot occur in MCL instance ids.
+const (
+	hopSep   = ","
+	fieldSep = "~"
+)
+
+// FormatHop encodes one hop as
+// streamlet~queueWaitNs~processNs~bytesIn~bytesOut.
+func FormatHop(h Hop) string {
+	var b strings.Builder
+	b.Grow(len(h.Streamlet) + 24)
+	b.WriteString(h.Streamlet)
+	for _, v := range [4]int64{int64(h.QueueWait), int64(h.Process), int64(h.BytesIn), int64(h.BytesOut)} {
+		b.WriteString(fieldSep)
+		b.WriteString(strconv.FormatInt(v, 10))
+	}
+	return b.String()
+}
+
+// AppendHop appends a hop to an encoded chain ("" starts a new chain).
+func AppendHop(chain string, h Hop) string {
+	if chain == "" {
+		return FormatHop(h)
+	}
+	return chain + hopSep + FormatHop(h)
+}
+
+// ParseHops decodes a chain; malformed entries are skipped.
+func ParseHops(chain string) []Hop {
+	if chain == "" {
+		return nil
+	}
+	parts := strings.Split(chain, hopSep)
+	out := make([]Hop, 0, len(parts))
+	for _, p := range parts {
+		fields := strings.Split(p, fieldSep)
+		if len(fields) != 5 {
+			continue
+		}
+		var vals [4]int64
+		ok := true
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[i] = v
+		}
+		if !ok {
+			continue
+		}
+		out = append(out, Hop{
+			Streamlet: fields[0],
+			QueueWait: time.Duration(vals[0]),
+			Process:   time.Duration(vals[1]),
+			BytesIn:   int(vals[2]),
+			BytesOut:  int(vals[3]),
+		})
+	}
+	return out
+}
+
+// TraceRecord is the stored trace of one message within a session.
+type TraceRecord struct {
+	MsgID string `json:"msgId"`
+	Hops  []Hop  `json:"hops"`
+}
+
+// sessionTraces holds the bounded per-session message ring.
+type sessionTraces struct {
+	chains map[string]string // msgID -> encoded chain (latest)
+	order  []string          // msgID insertion order; stale ids skipped
+}
+
+// TraceStore retains the most recent trace chains, bounded per session and
+// in session count (oldest sessions evicted first). Records are keyed by
+// message id, so later hops of the same message replace earlier partial
+// chains and each stored record is that message's longest observed chain.
+type TraceStore struct {
+	mu          sync.Mutex
+	maxSessions int
+	maxPerSess  int
+	sessions    map[string]*sessionTraces
+	order       []string // session insertion order
+}
+
+// NewTraceStore creates a store bounded to maxSessions sessions of
+// maxPerSession messages each.
+func NewTraceStore(maxSessions, maxPerSession int) *TraceStore {
+	if maxSessions <= 0 {
+		maxSessions = 1
+	}
+	if maxPerSession <= 0 {
+		maxPerSession = 1
+	}
+	return &TraceStore{
+		maxSessions: maxSessions,
+		maxPerSess:  maxPerSession,
+		sessions:    make(map[string]*sessionTraces),
+	}
+}
+
+var defaultTraces = NewTraceStore(128, 1024)
+
+// Traces returns the shared gateway-wide trace store the streamlet runtime
+// records into and the /trace exposition endpoint reads from.
+func Traces() *TraceStore { return defaultTraces }
+
+var tracingDisabled atomic.Bool
+
+// TracingEnabled reports whether per-message tracing is on (the default).
+func TracingEnabled() bool { return !tracingDisabled.Load() }
+
+// SetTracingEnabled toggles per-message tracing; benchmarks measuring raw
+// streamlet overhead may turn it off to exclude the trace-append cost.
+func SetTracingEnabled(on bool) { tracingDisabled.Store(!on) }
+
+// Record stores (or replaces) the trace chain for one message of a session.
+// Empty session ids are ignored: untagged messages have no owner to file
+// the trace under.
+func (ts *TraceStore) Record(session, msgID, chain string) {
+	if session == "" || msgID == "" {
+		return
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st, ok := ts.sessions[session]
+	if !ok {
+		if len(ts.order) >= ts.maxSessions {
+			oldest := ts.order[0]
+			ts.order = ts.order[1:]
+			delete(ts.sessions, oldest)
+		}
+		st = &sessionTraces{chains: make(map[string]string)}
+		ts.sessions[session] = st
+		ts.order = append(ts.order, session)
+	}
+	if _, exists := st.chains[msgID]; !exists {
+		st.order = append(st.order, msgID)
+		for len(st.chains) >= ts.maxPerSess {
+			oldest := st.order[0]
+			st.order = st.order[1:]
+			delete(st.chains, oldest)
+		}
+	}
+	st.chains[msgID] = chain
+}
+
+// Forget drops the record for one message (used when a transformation
+// changed the message identity mid-chain, so the stale partial chain does
+// not double-count in aggregations).
+func (ts *TraceStore) Forget(session, msgID string) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if st, ok := ts.sessions[session]; ok {
+		delete(st.chains, msgID)
+	}
+}
+
+// Sessions lists the sessions with retained traces, sorted.
+func (ts *TraceStore) Sessions() []string {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	out := make([]string, 0, len(ts.order))
+	for _, s := range ts.order {
+		if _, ok := ts.sessions[s]; ok {
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Session returns the retained trace records of one session in message
+// insertion order (nil when the session is unknown).
+func (ts *TraceStore) Session(session string) []TraceRecord {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	st, ok := ts.sessions[session]
+	if !ok {
+		return nil
+	}
+	out := make([]TraceRecord, 0, len(st.chains))
+	for _, id := range st.order {
+		chain, ok := st.chains[id]
+		if !ok {
+			continue // evicted or forgotten
+		}
+		out = append(out, TraceRecord{MsgID: id, Hops: ParseHops(chain)})
+	}
+	return out
+}

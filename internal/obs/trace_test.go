@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHopRoundTrip(t *testing.T) {
+	hops := []Hop{
+		{Streamlet: "sw", QueueWait: 150 * time.Microsecond, Process: 2 * time.Millisecond, BytesIn: 1024, BytesOut: 512},
+		{Streamlet: "mg", QueueWait: time.Nanosecond, BytesIn: 512, BytesOut: 512},
+		{Streamlet: "cm", Process: 7 * time.Second, BytesIn: 512},
+	}
+	var chain string
+	for _, h := range hops {
+		chain = AppendHop(chain, h)
+	}
+	got := ParseHops(chain)
+	if !reflect.DeepEqual(got, hops) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, hops)
+	}
+}
+
+func TestParseHopsSkipsMalformed(t *testing.T) {
+	chain := AppendHop("", Hop{Streamlet: "a", BytesIn: 1})
+	chain += hopSep + "garbage" + hopSep + "b~1~2~x~4"
+	chain = AppendHop(chain, Hop{Streamlet: "c", BytesOut: 2})
+	got := ParseHops(chain)
+	if len(got) != 2 || got[0].Streamlet != "a" || got[1].Streamlet != "c" {
+		t.Errorf("parse = %+v, want the two well-formed hops", got)
+	}
+	if ParseHops("") != nil {
+		t.Error("empty chain should parse to nil")
+	}
+}
+
+func TestTraceStoreRecordAndReplace(t *testing.T) {
+	ts := NewTraceStore(4, 4)
+	ts.Record("s1", "m1", "a~1~2~3~4")
+	ts.Record("s1", "m2", "a~1~2~3~4")
+	// A longer chain for the same message replaces the partial one.
+	ts.Record("s1", "m1", "a~1~2~3~4,b~5~6~7~8")
+	recs := ts.Session("s1")
+	if len(recs) != 2 {
+		t.Fatalf("records = %d, want 2", len(recs))
+	}
+	if recs[0].MsgID != "m1" || len(recs[0].Hops) != 2 {
+		t.Errorf("m1 = %+v, want the replaced 2-hop chain first", recs[0])
+	}
+	// Untagged messages are not filed.
+	ts.Record("", "m9", "x~0~0~0~0")
+	ts.Record("s2", "", "x~0~0~0~0")
+	if ts.Session("s2") != nil {
+		t.Error("record with empty msgID created a session")
+	}
+}
+
+func TestTraceStoreForget(t *testing.T) {
+	ts := NewTraceStore(4, 4)
+	ts.Record("s1", "m1", "a~1~2~3~4")
+	ts.Record("s1", "m2", "b~1~2~3~4")
+	ts.Forget("s1", "m1")
+	recs := ts.Session("s1")
+	if len(recs) != 1 || recs[0].MsgID != "m2" {
+		t.Errorf("after Forget: %+v, want only m2", recs)
+	}
+	ts.Forget("s1", "unknown") // no-op
+	ts.Forget("nosuch", "m1")  // no-op
+}
+
+func TestTraceStoreEviction(t *testing.T) {
+	ts := NewTraceStore(2, 2)
+	for i := 0; i < 3; i++ {
+		ts.Record(fmt.Sprintf("s%d", i), "m", "a~0~0~0~0")
+	}
+	if got := ts.Sessions(); !reflect.DeepEqual(got, []string{"s1", "s2"}) {
+		t.Errorf("sessions = %v, want oldest (s0) evicted", got)
+	}
+	for i := 0; i < 3; i++ {
+		ts.Record("s2", fmt.Sprintf("m%d", i), "a~0~0~0~0")
+	}
+	recs := ts.Session("s2")
+	if len(recs) != 2 || recs[0].MsgID != "m1" || recs[1].MsgID != "m2" {
+		t.Errorf("per-session ring = %+v, want the two newest messages", recs)
+	}
+}
+
+func TestTracingToggle(t *testing.T) {
+	if !TracingEnabled() {
+		t.Fatal("tracing should default to enabled")
+	}
+	SetTracingEnabled(false)
+	if TracingEnabled() {
+		t.Error("tracing still enabled after disable")
+	}
+	SetTracingEnabled(true)
+	if !TracingEnabled() {
+		t.Error("tracing not restored")
+	}
+}
+
+func TestTraceStoreConcurrent(t *testing.T) {
+	ts := NewTraceStore(8, 64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess := fmt.Sprintf("s%d", i%4)
+			for j := 0; j < 200; j++ {
+				ts.Record(sess, fmt.Sprintf("m%d", j%32), "a~1~2~3~4")
+				if j%10 == 0 {
+					ts.Forget(sess, "m0")
+				}
+				_ = ts.Session(sess)
+				_ = ts.Sessions()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

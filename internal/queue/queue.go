@@ -19,6 +19,19 @@ import (
 	"time"
 
 	"mobigate/internal/mcl"
+	"mobigate/internal/obs"
+)
+
+// Gateway-wide queue metrics (aggregated across queues to bound series
+// cardinality; per-queue occupancy remains available via Stats/Len).
+var (
+	mPostTotal   = obs.DefaultCounter(obs.MQueuePostTotal)
+	mFetchTotal  = obs.DefaultCounter(obs.MQueueFetchTotal)
+	mDropTotal   = obs.DefaultCounter(obs.MQueueDropTotal)
+	mPostWait    = obs.DefaultHistogram(obs.MQueuePostWaitSeconds, nil)
+	mFetchWait   = obs.DefaultHistogram(obs.MQueueFetchWaitSeconds, nil)
+	mQueuedMsgs  = obs.DefaultGauge(obs.MQueueQueuedMessages)
+	mQueuedBytes = obs.DefaultGauge(obs.MQueueQueuedBytes)
 )
 
 // Errors returned by queue operations.
@@ -42,6 +55,11 @@ const DefaultDropTimeout = 50 * time.Millisecond
 type Item struct {
 	MsgID string
 	Size  int // body size in bytes, counted against the buffer capacity
+	// Wait is how long the item sat in the queue; set when it is fetched.
+	// The coordination plane copies it into the message's trace record.
+	Wait time.Duration
+
+	enqueued time.Time
 }
 
 // Options configure a queue beyond its MCL channel declaration.
@@ -120,6 +138,19 @@ func (q *Queue) Category() mcl.ChannelCategory { return q.opts.Category }
 // drops the message, returning ErrDropped. stop aborts the wait early
 // (reconfiguration uses this to unblock suspended producers).
 func (q *Queue) Post(msgID string, size int, stop <-chan struct{}) error {
+	start := time.Now()
+	err := q.post(msgID, size, stop)
+	mPostWait.Observe(time.Since(start).Seconds())
+	switch err {
+	case nil:
+		mPostTotal.Inc()
+	case ErrDropped:
+		mDropTotal.Inc()
+	}
+	return err
+}
+
+func (q *Queue) post(msgID string, size int, stop <-chan struct{}) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
@@ -159,11 +190,19 @@ func (q *Queue) Post(msgID string, size int, stop <-chan struct{}) error {
 		}
 	}
 
-	q.items = append(q.items, Item{MsgID: msgID, Size: size})
-	q.queuedSize += size
-	q.posted++
+	q.appendLocked(msgID, size)
 	q.cond.Broadcast()
 	return nil
+}
+
+// appendLocked enqueues one item and maintains the occupancy accounting
+// (per-queue counters plus the gateway-wide occupancy gauges).
+func (q *Queue) appendLocked(msgID string, size int) {
+	q.items = append(q.items, Item{MsgID: msgID, Size: size, enqueued: time.Now()})
+	q.queuedSize += size
+	q.posted++
+	mQueuedMsgs.Add(1)
+	mQueuedBytes.Add(float64(size))
 }
 
 // postSyncLocked admits a value only when it can be delivered immediately:
@@ -178,9 +217,7 @@ func (q *Queue) postSyncLocked(msgID string, size int, stop <-chan struct{}) err
 			return ErrCanceled
 		}
 	}
-	q.items = append(q.items, Item{MsgID: msgID, Size: size})
-	q.queuedSize += size
-	q.posted++
+	q.appendLocked(msgID, size)
 	q.cond.Broadcast()
 	// Wait until the rendezvous completes.
 	for len(q.items) > 0 && !q.closed {
@@ -197,6 +234,15 @@ func (q *Queue) postSyncLocked(msgID string, size int, stop <-chan struct{}) err
 // Fetch removes and returns the oldest message reference, blocking until
 // one is available, the queue closes (ok=false), or stop fires (ok=false).
 func (q *Queue) Fetch(stop <-chan struct{}) (Item, bool) {
+	start := time.Now()
+	it, ok := q.fetch(stop)
+	if ok {
+		mFetchWait.Observe(time.Since(start).Seconds())
+	}
+	return it, ok
+}
+
+func (q *Queue) fetch(stop <-chan struct{}) (Item, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	// A canceled fetch must not consume an item even when one is already
@@ -236,6 +282,10 @@ func (q *Queue) takeLocked() Item {
 	q.items = q.items[1:]
 	q.queuedSize -= it.Size
 	q.fetched++
+	it.Wait = time.Since(it.enqueued)
+	mFetchTotal.Inc()
+	mQueuedMsgs.Add(-1)
+	mQueuedBytes.Add(float64(-it.Size))
 	q.cond.Broadcast()
 	return it
 }

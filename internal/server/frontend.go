@@ -42,6 +42,11 @@ type Frontend struct {
 	wg     sync.WaitGroup
 	connID atomic.Uint64
 	closed atomic.Bool
+
+	// metricsLn is the observability endpoint's listener (nil unless
+	// ServeMetrics was called); Close shuts it down with the front-end.
+	metricsMu sync.Mutex
+	metricsLn net.Listener
 }
 
 // NewFrontend wraps a server with a TCP front-end.
@@ -148,6 +153,9 @@ func (f *Frontend) handleConn(conn net.Conn) error {
 		return err
 	}
 	defer func() { _ = f.srv.Undeploy(alias) }()
+	mSessionsTotal.Inc()
+	mSessionsActive.Add(1)
+	defer mSessionsActive.Add(-1)
 
 	inlet, err := st.OpenInlet(entry, 0)
 	if err != nil {
@@ -218,12 +226,20 @@ func (f *Frontend) handleConn(conn net.Conn) error {
 	return bw.Flush()
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Close stops accepting and waits for in-flight connections. The metrics
+// endpoint, when serving, is shut down as well.
 func (f *Frontend) Close() error {
 	f.closed.Store(true)
 	var err error
 	if f.ln != nil {
 		err = f.ln.Close()
+	}
+	f.metricsMu.Lock()
+	mln := f.metricsLn
+	f.metricsLn = nil
+	f.metricsMu.Unlock()
+	if mln != nil {
+		_ = mln.Close()
 	}
 	f.wg.Wait()
 	return err
@@ -248,6 +264,9 @@ func (f *Frontend) ServeRequest(name string, src <-chan *mime.Message, w io.Writ
 		return err
 	}
 	defer func() { _ = f.srv.Undeploy(alias) }()
+	mSessionsTotal.Inc()
+	mSessionsActive.Add(1)
+	defer mSessionsActive.Add(-1)
 
 	inlet, err := st.OpenInlet(entry, 0)
 	if err != nil {

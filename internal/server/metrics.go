@@ -1,0 +1,88 @@
+package server
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+
+	"mobigate/internal/obs"
+)
+
+// NewMetricsHandler builds the gateway's observability endpoint:
+//
+//	GET /metrics          Prometheus text exposition (format 0.0.4)
+//	GET /metrics.json     the same registry as a JSON document
+//	GET /trace            JSON list of sessions with recorded traces
+//	GET /trace/<session>  JSON per-hop trace records for one session
+//	GET /streams          JSON stats snapshots of the deployed streams
+//
+// The handler reads the process-wide obs registry and trace store; srv
+// supplies the per-stream snapshots (srv may be nil, which disables
+// /streams).
+func NewMetricsHandler(srv *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		obs.Default().WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		obs.Default().WriteJSON(w)
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"sessions": obs.Traces().Sessions()})
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		session := strings.TrimPrefix(r.URL.Path, "/trace/")
+		if session == "" {
+			writeJSON(w, map[string]any{"sessions": obs.Traces().Sessions()})
+			return
+		}
+		recs := obs.Traces().Session(session)
+		if recs == nil {
+			http.Error(w, "no trace records for session "+session, http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{"session": session, "messages": recs})
+	})
+	if srv != nil {
+		mux.HandleFunc("/streams", func(w http.ResponseWriter, r *http.Request) {
+			out := map[string]any{}
+			for _, alias := range srv.Deployed() {
+				if st := srv.Stream(alias); st != nil {
+					out[alias] = st.StatsSnapshot()
+				}
+			}
+			writeJSON(w, out)
+		})
+	}
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ServeMetrics starts the observability endpoint on addr (":0" picks a free
+// port) and returns the bound address. The endpoint runs until the
+// front-end is closed.
+func (f *Frontend) ServeMetrics(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	f.metricsMu.Lock()
+	f.metricsLn = ln
+	f.metricsMu.Unlock()
+	srv := &http.Server{Handler: NewMetricsHandler(f.srv)}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		_ = srv.Serve(ln) // returns when the listener closes
+	}()
+	return ln.Addr(), nil
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/netem"
+	"mobigate/internal/obs"
+	"mobigate/internal/services"
+	"mobigate/internal/streamlet"
+)
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	dir := streamlet.NewDirectory()
+	services.RegisterAll(dir)
+	srv := New(Options{Directory: dir})
+	defer srv.Close()
+	if err := srv.LoadScript(webScript); err != nil {
+		t.Fatal(err)
+	}
+	fe := NewFrontend(srv, nil)
+	maddr, err := fe.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	base := "http://" + maddr.String()
+
+	// Touch a link so the netem gauges reflect a configuration.
+	link := netem.MustNew(netem.Config{BandwidthBps: 123_000})
+	link.Close()
+
+	// Run one in-process session to generate traffic.
+	src := make(chan *mime.Message, 4)
+	for i := 0; i < 4; i++ {
+		src <- mime.NewMessage(services.TypePlainText, services.GenText(512, int64(i)))
+	}
+	close(src)
+	var sink bytes.Buffer
+	if err := fe.ServeRequest("webflow", src, &sink); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := httpGet(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	// Every instrumented subsystem must be present in one exposition:
+	// queues, pool, streams, link, events, sessions.
+	for _, name := range []string{
+		obs.MQueuePostTotal, obs.MQueueFetchTotal,
+		obs.MPoolPutTotal,
+		obs.MStreamProcessedTotal, obs.MStreamletProcessSeconds,
+		obs.MLinkBandwidthBps,
+		obs.MEventsDeliveredTotal,
+		obs.MSessionsTotal, obs.MStreamsDeployedTotal,
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if !strings.Contains(body, obs.MLinkBandwidthBps+" 123000") {
+		t.Errorf("/metrics bandwidth gauge not set:\n%s", grepLines(body, obs.MLinkBandwidthBps))
+	}
+
+	code, body = httpGet(t, base+"/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics.json = %d", code)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v", err)
+	}
+	if _, ok := parsed[obs.MQueuePostTotal]; !ok {
+		t.Errorf("/metrics.json missing %s", obs.MQueuePostTotal)
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	dir := streamlet.NewDirectory()
+	services.RegisterAll(dir)
+	srv := New(Options{Directory: dir})
+	defer srv.Close()
+	if err := srv.LoadScript(webScript); err != nil {
+		t.Fatal(err)
+	}
+	fe := NewFrontend(srv, nil)
+	maddr, err := fe.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fe.Close()
+	base := "http://" + maddr.String()
+
+	src := make(chan *mime.Message, 2)
+	src <- mime.NewMessage(services.TypePlainText, services.GenText(256, 1))
+	close(src)
+	var sink bytes.Buffer
+	if err := fe.ServeRequest("webflow", src, &sink); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body := httpGet(t, base+"/trace")
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace = %d", code)
+	}
+	var listing struct {
+		Sessions []string `json:"sessions"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Sessions) == 0 {
+		t.Fatal("/trace lists no sessions after a session ran")
+	}
+
+	// Find a session that belongs to this test's run (webflow prefix).
+	var session string
+	for _, s := range listing.Sessions {
+		if strings.Contains(s, "webflow") {
+			session = s
+		}
+	}
+	if session == "" {
+		t.Fatalf("no webflow session in %v", listing.Sessions)
+	}
+	code, body = httpGet(t, base+"/trace/"+session)
+	if code != http.StatusOK {
+		t.Fatalf("GET /trace/%s = %d", session, code)
+	}
+	var rec struct {
+		Session  string            `json:"session"`
+		Messages []obs.TraceRecord `json:"messages"`
+	}
+	if err := json.Unmarshal([]byte(body), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Messages) == 0 || len(rec.Messages[0].Hops) == 0 {
+		t.Fatalf("trace for %s has no hop records: %s", session, body)
+	}
+
+	code, _ = httpGet(t, base+"/trace/no-such-session")
+	if code != http.StatusNotFound {
+		t.Errorf("GET /trace/no-such-session = %d, want 404", code)
+	}
+
+	code, body = httpGet(t, base+"/streams")
+	if code != http.StatusOK {
+		t.Fatalf("GET /streams = %d", code)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(body), "{") {
+		t.Errorf("/streams not a JSON object: %s", body)
+	}
+}
+
+func grepLines(s, substr string) string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.Contains(l, substr) {
+			out = append(out, l)
+		}
+	}
+	return fmt.Sprint(out)
+}

@@ -13,9 +13,18 @@ import (
 	"mobigate/internal/event"
 	"mobigate/internal/mcl"
 	"mobigate/internal/msgpool"
+	"mobigate/internal/obs"
 	"mobigate/internal/semantics"
 	"mobigate/internal/stream"
 	"mobigate/internal/streamlet"
+)
+
+// Gateway lifecycle metrics (aggregated across servers).
+var (
+	mStreamsDeployed = obs.DefaultCounter(obs.MStreamsDeployedTotal)
+	mStreamsActive   = obs.DefaultGauge(obs.MStreamsActive)
+	mSessionsTotal   = obs.DefaultCounter(obs.MSessionsTotal)
+	mSessionsActive  = obs.DefaultGauge(obs.MSessionsActive)
 )
 
 // Options configure a Server.
@@ -209,6 +218,8 @@ func (s *Server) deploy(name, alias string) (*stream.Stream, error) {
 	}
 	s.streams[alias] = st
 	s.mu.Unlock()
+	mStreamsDeployed.Inc()
+	mStreamsActive.Add(1)
 
 	st.Start()
 	return st, nil
@@ -244,6 +255,7 @@ func (s *Server) Undeploy(alias string) error {
 	if !ok {
 		return fmt.Errorf("server: stream %q not deployed", alias)
 	}
+	mStreamsActive.Add(-1)
 	for _, cat := range allCategories(s.events.Catalog(), st) {
 		s.events.Unsubscribe(cat, st)
 	}
@@ -283,6 +295,7 @@ func (s *Server) Close() {
 	}
 	s.streams = make(map[string]*stream.Stream)
 	s.mu.Unlock()
+	mStreamsActive.Add(-float64(len(streams)))
 	for _, st := range streams {
 		st.End()
 	}

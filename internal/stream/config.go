@@ -93,9 +93,8 @@ func (st *Stream) RunWhen(eventID string) error {
 		timing.Activate += t.Activate
 	}
 	st.mu.Lock()
-	st.lastTiming = timing
+	st.recordReconfigLocked(timing)
 	st.mu.Unlock()
-	st.reconfigs.Add(1)
 	st.verifyAfterReconfig()
 	return nil
 }

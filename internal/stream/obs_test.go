@@ -1,0 +1,158 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate/internal/obs"
+)
+
+// TestTraceChainThroughPipeline verifies the coordination plane appends one
+// trace hop per streamlet and files the chain in the shared trace store,
+// without any cooperation from the Processor implementations (taggers know
+// nothing about tracing).
+func TestTraceChainThroughPipeline(t *testing.T) {
+	st, in, out := buildLine(t)
+	if err := in.Send(textMsg("traced")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The delivered message carries the chain of fully completed hops.
+	hops := obs.ParseHops(got.Header(obs.TraceHeader))
+	if len(hops) != 2 || hops[0].Streamlet != "a" || hops[1].Streamlet != "b" {
+		t.Fatalf("wire trace hops = %+v, want [a b]", hops)
+	}
+	for i, h := range hops {
+		if h.BytesIn <= 0 || h.BytesOut <= 0 {
+			t.Errorf("hop %d has no byte accounting: %+v", i, h)
+		}
+		if h.QueueWait <= 0 {
+			t.Errorf("hop %d has no queue wait: %+v", i, h)
+		}
+	}
+
+	// The store has the same chain under the stream's session.
+	recs := obs.Traces().Session(st.SessionID())
+	found := false
+	for _, r := range recs {
+		if r.MsgID == got.ID {
+			found = true
+			if len(r.Hops) != 2 {
+				t.Errorf("stored hops = %+v, want 2", r.Hops)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no stored trace for message %s in session %s", got.ID, st.SessionID())
+	}
+}
+
+// TestTracingDisabledAddsNoHeader checks the toggle removes the trace cost
+// path entirely.
+func TestTracingDisabledAddsNoHeader(t *testing.T) {
+	obs.SetTracingEnabled(false)
+	defer obs.SetTracingEnabled(true)
+	_, in, out := buildLine(t)
+	if err := in.Send(textMsg("dark")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := got.Header(obs.TraceHeader); h != "" {
+		t.Errorf("trace header present with tracing disabled: %q", h)
+	}
+}
+
+// TestStatsSnapshotRacesTraffic hammers a running stream with concurrent
+// traffic, snapshot reads, registry expositions and a mid-flight
+// reconfiguration; run under -race this is the observability plane's
+// thread-safety proof.
+func TestStatsSnapshotRacesTraffic(t *testing.T) {
+	st, in, out := buildLine(t)
+
+	const msgs = 200
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < msgs; i++ {
+			if err := in.Send(textMsg(fmt.Sprintf("m%d", i))); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Drain deliveries so the pipeline keeps moving.
+	received := make(chan int, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		n := 0
+		for n < msgs {
+			if _, err := out.Receive(5 * time.Second); err != nil {
+				break
+			}
+			n++
+		}
+		received <- n
+	}()
+
+	// Concurrent snapshot + exposition readers.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := st.StatsSnapshot()
+				_ = snap.String()
+				var b discardWriter
+				_ = obs.Default().WritePrometheus(&b)
+				_ = obs.Traces().Session(st.SessionID())
+			}
+		}()
+	}
+
+	// Mid-flight reconfiguration while traffic and readers are running.
+	if _, err := st.AddStreamlet("c", nil, forward); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Insert("a", "b", "c", "pi", "po"); err != nil {
+		t.Fatal(err)
+	}
+
+	n := <-received
+	close(stop)
+	wg.Wait()
+	if n != msgs {
+		t.Fatalf("received %d/%d messages", n, msgs)
+	}
+
+	snap := st.StatsSnapshot()
+	if snap.Reconfigurations != 1 {
+		t.Errorf("reconfigurations = %d, want 1", snap.Reconfigurations)
+	}
+	for _, inst := range snap.Instances {
+		if inst.ID == "a" && inst.Latency.Count == 0 {
+			t.Error("instance a has no latency samples in the snapshot")
+		}
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }

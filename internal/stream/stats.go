@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"mobigate/internal/obs"
 )
 
 // InstanceStats is the runtime state of one composition member.
@@ -25,6 +27,12 @@ type InstanceStats struct {
 	TypeErrors uint64
 	// QueuedIn sums messages waiting on the instance's input queues.
 	QueuedIn int
+	// Latency is the instance's process-latency distribution in seconds,
+	// read from the shared metrics registry (the snapshot is re-expressed
+	// on top of the observability plane rather than keeping private
+	// timers). The series aggregates across sessions reusing the same
+	// instance id.
+	Latency obs.HistogramSnapshot
 }
 
 // ConnStats is one routing-table row with its channel occupancy.
@@ -77,6 +85,7 @@ func (st *Stream) StatsSnapshot() Stats {
 		case nativeNode:
 			is.State = nn.s.State().String()
 			is.TypeErrors = nn.s.TypeErrors()
+			is.Latency = nn.s.ProcessLatency()
 		case compositeNode:
 			is.Composite = true
 			is.State = "composite"
@@ -111,8 +120,12 @@ func (s Stats) String() string {
 		if def == "" {
 			def = "-"
 		}
-		fmt.Fprintf(&b, "  %-12s %-16s %-9s processed=%-6d dropped=%-3d typeErrs=%-3d queuedIn=%d\n",
+		fmt.Fprintf(&b, "  %-12s %-16s %-9s processed=%-6d dropped=%-3d typeErrs=%-3d queuedIn=%d",
 			i.ID, "("+def+")", i.State, i.Processed, i.Dropped, i.TypeErrors, i.QueuedIn)
+		if i.Latency.Count > 0 {
+			fmt.Fprintf(&b, " p95=%v", time.Duration(i.Latency.P95*float64(time.Second)).Round(time.Microsecond))
+		}
+		b.WriteByte('\n')
 	}
 	for _, c := range s.Connections {
 		fmt.Fprintf(&b, "  %s -> %s via %s: queued=%d posted=%d fetched=%d dropped=%d\n",

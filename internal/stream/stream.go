@@ -17,10 +17,14 @@ import (
 	"mobigate/internal/mcl"
 	"mobigate/internal/mime"
 	"mobigate/internal/msgpool"
+	"mobigate/internal/obs"
 	"mobigate/internal/queue"
 	"mobigate/internal/semantics"
 	"mobigate/internal/streamlet"
 )
+
+// mReconfigSeconds observes every reconfiguration's Equation 7-1 total.
+var mReconfigSeconds = obs.DefaultHistogram(obs.MStreamReconfigSeconds, nil)
 
 // node is a composition member: a native streamlet or a nested composite
 // stream reused as a streamlet (§4.4.2).
@@ -569,8 +573,7 @@ func (st *Stream) Insert(pInst, cInst, newInst, newInPort, newOutPort string) er
 	np.activate() // step 6
 	timing.Activate = time.Since(t2)
 
-	st.lastTiming = timing
-	st.reconfigs.Add(1)
+	st.recordReconfigLocked(timing)
 	return nil
 }
 
@@ -677,9 +680,16 @@ func (st *Stream) Remove(t string, drainTimeout time.Duration) error {
 		producer.activate()
 	}
 	timing.Activate = time.Since(t2)
-	st.lastTiming = timing
-	st.reconfigs.Add(1)
+	st.recordReconfigLocked(timing)
 	return nil
+}
+
+// recordReconfigLocked finalizes one reconfiguration's accounting (timing
+// snapshot, lifetime count, registry histogram); the caller holds st.mu.
+func (st *Stream) recordReconfigLocked(t ReconfigTiming) {
+	st.lastTiming = t
+	st.reconfigs.Add(1)
+	mReconfigSeconds.Observe(t.Total().Seconds())
 }
 
 // waitUntil polls cond until it holds or the deadline passes.
@@ -775,8 +785,7 @@ func (st *Stream) Replace(old, alt string) error {
 		p.activate()
 	}
 	timing.Activate = time.Since(t2)
-	st.lastTiming = timing
-	st.reconfigs.Add(1)
+	st.recordReconfigLocked(timing)
 	return nil
 }
 

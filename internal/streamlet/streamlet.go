@@ -11,11 +11,21 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mobigate/internal/mcl"
 	"mobigate/internal/mime"
 	"mobigate/internal/msgpool"
+	"mobigate/internal/obs"
 	"mobigate/internal/queue"
+)
+
+// Gateway-wide streamlet metrics; per-instance process latency is a
+// labeled histogram created per instance id in New.
+var (
+	mProcessedTotal  = obs.DefaultCounter(obs.MStreamProcessedTotal)
+	mDroppedTotal    = obs.DefaultCounter(obs.MStreamDroppedTotal)
+	mTypeErrorsTotal = obs.DefaultCounter(obs.MStreamTypeErrorsTotal)
 )
 
 // Input is one message arriving on a named input port.
@@ -147,6 +157,11 @@ type Streamlet struct {
 	inflight  atomic.Int64
 	processed atomic.Uint64
 	dropped   atomic.Uint64
+
+	// procHist is the per-instance process-latency histogram, shared with
+	// every instance of the same id (per-session deployments reuse MCL
+	// instance variable names, so the series aggregates across sessions).
+	procHist *obs.Histogram
 }
 
 type workItem struct {
@@ -154,6 +169,9 @@ type workItem struct {
 	msgID string
 	// src is the queue the item came from; acked when handling completes.
 	src *queue.Queue
+	// wait is how long the message sat in src before the pump fetched it;
+	// it becomes the queue-wait field of the message's trace hop.
+	wait time.Duration
 }
 
 // New creates a streamlet instance. id is the instance variable name from
@@ -162,15 +180,16 @@ type workItem struct {
 // message pool.
 func New(id string, decl *mcl.StreamletDecl, proc Processor, pool *msgpool.Pool) *Streamlet {
 	s := &Streamlet{
-		id:    id,
-		decl:  decl,
-		proc:  proc,
-		pool:  pool,
-		ins:   make(map[string]*queue.Queue),
-		outs:  make(map[string]*queue.Queue),
-		pumps: make(map[string]chan struct{}),
-		work:  make(chan workItem),
-		done:  make(chan struct{}),
+		id:       id,
+		decl:     decl,
+		proc:     proc,
+		pool:     pool,
+		ins:      make(map[string]*queue.Queue),
+		outs:     make(map[string]*queue.Queue),
+		pumps:    make(map[string]chan struct{}),
+		work:     make(chan workItem),
+		done:     make(chan struct{}),
+		procHist: obs.DefaultHistogram(obs.MStreamletProcessSeconds, obs.Labels{"streamlet": id}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -194,6 +213,10 @@ func (s *Streamlet) State() State {
 
 // Processed returns the number of messages processed.
 func (s *Streamlet) Processed() uint64 { return s.processed.Load() }
+
+// ProcessLatency returns the instance's process-latency distribution (the
+// Figure 7-2 per-streamlet cost), drawn from the shared metrics registry.
+func (s *Streamlet) ProcessLatency() obs.HistogramSnapshot { return s.procHist.Snapshot() }
 
 // EnableTypeCheck turns on runtime message/port type matching against the
 // given registry (nil selects the default registry). Messages that fail
@@ -357,7 +380,7 @@ func (s *Streamlet) startPumpLocked(port string, q *queue.Queue) {
 				return
 			}
 			s.inflight.Add(1)
-			item := workItem{port: port, msgID: it.MsgID, src: q}
+			item := workItem{port: port, msgID: it.MsgID, src: q, wait: it.Wait}
 			select {
 			case s.work <- item:
 			case <-stop:
@@ -497,17 +520,37 @@ func (s *Streamlet) handle(it workItem) {
 	}
 	if err := s.checkInputType(it.port, msg); err != nil {
 		s.typeErrs.Add(1)
+		mTypeErrorsTotal.Inc()
 		s.fail(err)
 		s.pool.Remove(it.msgID)
 		return
 	}
+	tracing := obs.TracingEnabled()
+	var inChain, session string
+	var bytesIn int
+	if tracing {
+		// Read everything the trace needs before Process runs: a terminal
+		// sink may hand the message to another goroutine, after which it
+		// must not be touched.
+		inChain = msg.Header(obs.TraceHeader)
+		session = msg.Session()
+		bytesIn = msg.Len()
+	}
+	procStart := time.Now()
 	emissions, err := s.proc.Process(Input{Port: it.port, Msg: msg})
+	procDur := time.Since(procStart)
+	s.procHist.Observe(procDur.Seconds())
 	if err != nil {
 		s.fail(fmt.Errorf("streamlet %s: process: %w", s.id, err))
 		s.pool.Remove(it.msgID)
 		return
 	}
 	s.processed.Add(1)
+	mProcessedTotal.Inc()
+
+	if tracing {
+		s.trace(it, session, emissions, inChain, bytesIn, procDur)
+	}
 
 	peerID := ""
 	if p, ok := s.proc.(Peered); ok {
@@ -537,6 +580,58 @@ func (s *Streamlet) handle(it workItem) {
 	}
 }
 
+// trace appends this hop to the message's trace chain and files the chain
+// in the shared trace store under the message's session. This is purely
+// coordination-plane bookkeeping: Processor code never sees or maintains
+// trace state, mirroring how the runtime (not the service entity) manages
+// the Content-Peers chain.
+func (s *Streamlet) trace(it workItem, session string, emissions []Emission, inChain string, bytesIn int, procDur time.Duration) {
+	bytesOut := 0
+	for _, em := range emissions {
+		if em.Msg != nil {
+			bytesOut += em.Msg.Len()
+		}
+	}
+	chain := obs.AppendHop(inChain, obs.Hop{
+		Streamlet: s.id,
+		QueueWait: it.wait,
+		Process:   procDur,
+		BytesIn:   bytesIn,
+		BytesOut:  bytesOut,
+	})
+	store := obs.Traces()
+	emitted := false
+	keptInput := false
+	for _, em := range emissions {
+		if em.Msg == nil {
+			continue
+		}
+		// The chain travels with the message, next to Content-Peers; a
+		// processor that minted a fresh message inherits the input's chain.
+		em.Msg.SetHeader(obs.TraceHeader, chain)
+		if sess := em.Msg.Session(); session == "" {
+			session = sess
+		}
+		store.Record(session, em.Msg.ID, chain)
+		emitted = true
+		if em.Msg.ID == it.msgID {
+			keptInput = true
+		}
+	}
+	switch {
+	case !emitted:
+		// Terminal hop (a sink such as the communicator): the message may
+		// already have escaped to another goroutine inside Process (e.g.
+		// pushed onto a link), so it must not be mutated here — only the
+		// store carries the complete record, final hop included.
+		store.Record(session, it.msgID, chain)
+	case !keptInput:
+		// The transformation changed the message identity; drop the stale
+		// partial chain so per-hop aggregations do not double-count.
+		store.Forget(session, it.msgID)
+	}
+}
+
 // emit forwards one emission; it reports whether the pool handed a deep
 // copy downstream (by-value mode), in which case the original's pool entry
 // is superseded.
@@ -561,6 +656,7 @@ func (s *Streamlet) emit(em Emission, peerID string) (copied bool) {
 	}
 	if err := q.Post(fid, em.Msg.Len(), s.done); err != nil {
 		s.dropped.Add(1)
+		mDroppedTotal.Inc()
 		s.pool.Remove(fid)
 		if err != queue.ErrDropped {
 			s.fail(fmt.Errorf("streamlet %s: post to %s: %w", s.id, q.Name(), err))
