@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt check examples experiments clean
+.PHONY: all build test race bench bench-baseline bench-compare bench-smoke vet fmt check examples experiments clean
 
 all: build test
 
@@ -16,11 +16,29 @@ test: vet
 race:
 	$(GO) test -race ./...
 
-# Full pre-merge gate: build, vet, tests, and the race detector.
-check: build test race
+# Full pre-merge gate: build, vet, tests, the race detector, and a quick
+# hot-path benchmark smoke (catches gross regressions without a full run).
+check: build test race bench-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The gated coordination-plane benchmarks: forward-path queue cost, Figure
+# 7-2 streamlet overhead, and both Figure 7-3 buffer-management modes.
+GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass'
+BENCH_FILE  = BENCH_PR2.json
+
+# Record the committed baseline the regression gate compares against.
+bench-baseline:
+	$(GO) test -run '^$$' -bench $(GATED_BENCH) -benchmem . | $(GO) run ./cmd/benchdiff -save $(BENCH_FILE)
+
+# Re-run the gated benchmarks and fail on ns/op regressions (or fresh
+# allocations on benchmarks the baseline records as allocation-free).
+bench-compare:
+	$(GO) test -run '^$$' -bench $(GATED_BENCH) -benchmem . | $(GO) run ./cmd/benchdiff -baseline $(BENCH_FILE)
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench QueuePostFetch -benchtime 100x -benchmem .
 
 vet:
 	$(GO) vet ./...

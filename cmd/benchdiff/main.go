@@ -1,0 +1,170 @@
+// Command benchdiff turns `go test -bench` output into a committed JSON
+// baseline and gates later runs against it. It exists so the coordination
+// plane's performance claims (EXPERIMENTS.md, PR-level acceptance criteria)
+// are checked by tooling rather than eyeballed:
+//
+//	go test -run '^$' -bench Queue -benchmem . | benchdiff -save BENCH.json
+//	go test -run '^$' -bench Queue -benchmem . | benchdiff -baseline BENCH.json
+//
+// Compare mode exits non-zero when any benchmark present in both runs got
+// slower (ns/op) by more than -threshold (default 25%), or started
+// allocating where the baseline recorded zero allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the serialized form: benchmark name → unit → value.
+type Baseline struct {
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+// parseBench reads `go test -bench` output and collects every metric pair
+// (value unit) per benchmark. The trailing -<GOMAXPROCS> suffix is stripped
+// so baselines transfer across machines with different core counts.
+func parseBench(r io.Reader) (*Baseline, error) {
+	b := &Baseline{Benchmarks: map[string]map[string]float64{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the human-readable output visible
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		metrics := map[string]float64{}
+		// fields[1] is the iteration count; the rest are value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			metrics[fields[i+1]] = v
+		}
+		if len(metrics) > 0 {
+			b.Benchmarks[name] = metrics
+		}
+	}
+	return b, sc.Err()
+}
+
+func load(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+func save(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compare prints a per-benchmark delta table and returns the names that
+// regressed: ns/op beyond the threshold, or fresh allocations where the
+// baseline was allocation-free.
+func compare(base, cur *Baseline, threshold float64) []string {
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var regressed []string
+	fmt.Printf("\n%-72s %14s %14s %8s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		b, c := base.Benchmarks[name], cur.Benchmarks[name]
+		bns, bok := b["ns/op"]
+		cns, cok := c["ns/op"]
+		if !bok || !cok || bns == 0 {
+			continue
+		}
+		delta := (cns - bns) / bns
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressed = append(regressed, name)
+		}
+		fmt.Printf("%-72s %14.1f %14.1f %+7.1f%%%s\n", name, bns, cns, delta*100, mark)
+		if ba, ok := b["allocs/op"]; ok && ba == 0 {
+			if ca := c["allocs/op"]; ca > 0 {
+				fmt.Printf("%-72s was allocation-free, now %.0f allocs/op  REGRESSION\n", name, ca)
+				regressed = append(regressed, name)
+			}
+		}
+	}
+	return regressed
+}
+
+func main() {
+	savePath := flag.String("save", "", "write parsed results to this JSON file")
+	basePath := flag.String("baseline", "", "compare parsed results against this JSON baseline")
+	threshold := flag.Float64("threshold", 0.25, "allowed ns/op growth before a benchmark counts as regressed")
+	flag.Parse()
+
+	if (*savePath == "") == (*basePath == "") {
+		fmt.Fprintln(os.Stderr, "benchdiff: exactly one of -save or -baseline is required")
+		os.Exit(2)
+	}
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	if *savePath != "" {
+		if err := save(*savePath, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nbenchdiff: saved %d benchmarks to %s\n", len(cur.Benchmarks), *savePath)
+		return
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	regressed := compare(base, cur, *threshold)
+	if len(regressed) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d benchmark(s) regressed beyond %.0f%%: %s\n",
+			len(regressed), *threshold*100, strings.Join(regressed, ", "))
+		os.Exit(1)
+	}
+	fmt.Printf("\nbenchdiff: no regressions beyond %.0f%% across %d shared benchmarks\n",
+		*threshold*100, len(cur.Benchmarks))
+}

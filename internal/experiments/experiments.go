@@ -16,6 +16,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"sort"
 	"time"
 
 	"mobigate/internal/mcl"
@@ -89,19 +91,26 @@ func Fig72(counts []int, msgSize, msgs int) ([]Fig72Row, error) {
 }
 
 // measureLatency sends msgs messages one at a time (latency, not pipelined
-// throughput — matching the §7.2 methodology) and returns the mean.
+// throughput — matching the §7.2 methodology) and returns the median
+// per-message delay. The median, not the mean, is reported because a single
+// scheduler preemption or GC pause inside one round trip would otherwise
+// dominate a small sample.
 func measureLatency(in *stream.Inlet, out *stream.Outlet, msgSize, msgs int) (time.Duration, error) {
-	// One warm-up message primes pools and scheduler.
-	if err := roundTrip(in, out, msgSize, 0); err != nil {
-		return 0, err
-	}
-	start := time.Now()
-	for i := 0; i < msgs; i++ {
-		if err := roundTrip(in, out, msgSize, int64(i+1)); err != nil {
+	// Warm-up messages prime pools, buffer recycling, and the scheduler.
+	for i := 0; i < 2; i++ {
+		if err := roundTrip(in, out, msgSize, 0); err != nil {
 			return 0, err
 		}
 	}
-	return time.Since(start) / time.Duration(msgs), nil
+	samples := make([]time.Duration, msgs)
+	for i := 0; i < msgs; i++ {
+		start := time.Now()
+		if err := roundTrip(in, out, msgSize, int64(i+1)); err != nil {
+			return 0, err
+		}
+		samples[i] = time.Since(start)
+	}
+	return median(samples), nil
 }
 
 func roundTrip(in *stream.Inlet, out *stream.Outlet, msgSize int, seed int64) error {
@@ -122,30 +131,68 @@ type Fig73Row struct {
 
 // Fig73 compares the two buffer-management schemes (§7.3): messages of each
 // size traverse a chain of `redirectors` streamlets under pass-by-reference
-// and pass-by-value pools.
+// and pass-by-value pools. Both chains are built up front and the round
+// trips interleaved (ref, value, ref, value, …) so neither mode is measured
+// against a colder process than the other — measuring the modes back to
+// back systematically favors whichever runs second once the copy cost is
+// within the run-to-run warm-up drift.
 func Fig73(sizes []int, redirectors, msgs int) ([]Fig73Row, error) {
 	rows := make([]Fig73Row, 0, len(sizes))
 	for _, size := range sizes {
-		row := Fig73Row{MessageBytes: size}
-		for _, mode := range []msgpool.Mode{msgpool.ByReference, msgpool.ByValue} {
-			st, in, out, err := buildRedirectorChain(redirectors, mode)
-			if err != nil {
-				return nil, err
+		stRef, inRef, outRef, err := buildRedirectorChain(redirectors, msgpool.ByReference)
+		if err != nil {
+			return nil, err
+		}
+		stVal, inVal, outVal, err := buildRedirectorChain(redirectors, msgpool.ByValue)
+		if err != nil {
+			stRef.End()
+			return nil, err
+		}
+		refSamples := make([]time.Duration, 0, msgs)
+		valSamples := make([]time.Duration, 0, msgs)
+		for i := 0; i < 2; i++ { // warm both chains
+			if err == nil {
+				err = roundTrip(inRef, outRef, size, 0)
 			}
-			perMsg, err := measureLatency(in, out, size, msgs)
-			st.End()
-			if err != nil {
-				return nil, err
-			}
-			if mode == msgpool.ByReference {
-				row.ByReference = perMsg
-			} else {
-				row.ByValue = perMsg
+			if err == nil {
+				err = roundTrip(inVal, outVal, size, 0)
 			}
 		}
-		rows = append(rows, row)
+		for i := 0; err == nil && i < msgs; i++ {
+			// Collect before each timed trip: the by-value chain leaves far
+			// more garbage per trip than the by-reference one, and without
+			// this the concurrent collector pays that debt inside the next
+			// (by-reference) window, inverting the comparison.
+			runtime.GC()
+			start := time.Now()
+			if err = roundTrip(inRef, outRef, size, int64(i+1)); err != nil {
+				break
+			}
+			refSamples = append(refSamples, time.Since(start))
+			runtime.GC()
+			start = time.Now()
+			if err = roundTrip(inVal, outVal, size, int64(i+1)); err != nil {
+				break
+			}
+			valSamples = append(valSamples, time.Since(start))
+		}
+		stRef.End()
+		stVal.End()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig73Row{
+			MessageBytes: size,
+			ByReference:  median(refSamples),
+			ByValue:      median(valSamples),
+		})
 	}
 	return rows, nil
+}
+
+func median(samples []time.Duration) time.Duration {
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	return samples[len(samples)/2]
 }
 
 // Fig76Row is one point of Figure 7-6.

@@ -32,7 +32,10 @@ func TestFig72ShapeLinear(t *testing.T) {
 }
 
 func TestFig73ByReferenceWins(t *testing.T) {
-	rows, err := Fig73([]int{10 * 1024, 400 * 1024}, 10, 8)
+	// 40 samples per mode: the median latency discriminates the per-hop copy
+	// cost from scheduler jitter now that the coordination plane itself is
+	// cheap; 8 samples was enough only when queue overhead dwarfed both.
+	rows, err := Fig73([]int{10 * 1024, 400 * 1024}, 10, 40)
 	if err != nil {
 		t.Fatal(err)
 	}

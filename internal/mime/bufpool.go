@@ -1,0 +1,50 @@
+package mime
+
+import "sync"
+
+// Body-buffer recycling for the hot copy paths: the pass-by-value pool mode
+// clones every message on every hop (§6.7 / Figure 7-3) and the wire codec
+// materializes a body per decoded message (§3.4.1). Both draw their buffers
+// from a shared sync.Pool here instead of hammering the garbage collector
+// with short-lived multi-hundred-KB slices.
+//
+// Ownership invariant (documented in docs/ARCHITECTURE.md): a pooled body
+// belongs to exactly one Message at a time, and only the party that proves
+// the message dead — no processor, queue, pool entry, or application can
+// still reach it — may call Recycle. In practice that is the coordination
+// plane: the streamlet runtime recycles a by-value original once its deep
+// copy has been forwarded, and the message pool recycles clones it discards
+// before they ever escape. Messages delivered to applications are never
+// recycled.
+
+// minPooledBody is the smallest body worth recycling; tiny bodies cost the
+// allocator less than the pool round trip.
+const minPooledBody = 1 << 10
+
+var bodyPool sync.Pool // of *[]byte
+
+// getBodyBuf returns a length-n byte slice, reusing a pooled buffer when
+// one with sufficient capacity is available.
+func getBodyBuf(n int) []byte {
+	if n >= minPooledBody {
+		if p, _ := bodyPool.Get().(*[]byte); p != nil && cap(*p) >= n {
+			return (*p)[:n]
+		}
+		// A too-small pooled buffer is dropped to the GC rather than put
+		// back, so the pool converges on the working set's buffer size.
+	}
+	return make([]byte, n)
+}
+
+// Recycle hands the message's body back to the buffer pool when the body
+// was pool-allocated (Clone, ReadMessage) and detaches it either way. Only
+// the owner that proved the message dead may call this; after Recycle the
+// message must not be read or written again.
+func (m *Message) Recycle() {
+	if m.pooledBody && cap(m.body) >= minPooledBody {
+		b := m.body[:0]
+		bodyPool.Put(&b)
+	}
+	m.body = nil
+	m.pooledBody = false
+}

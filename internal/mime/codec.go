@@ -2,10 +2,12 @@ package mime
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Wire format: RFC-822-style header block terminated by an empty line, then
@@ -16,29 +18,45 @@ import (
 
 const maxHeaderBytes = 64 << 10
 
-// WriteTo serializes the message to w. It returns the number of bytes
-// written.
-func (m *Message) WriteTo(w io.Writer) (int64, error) {
-	var b strings.Builder
+// appendHeaders appends the canonical wire header block — every declared
+// header, then Message-Id and Content-Length re-emitted canonically, then
+// the terminating blank line — to buf.
+func (m *Message) appendHeaders(buf []byte) []byte {
 	for _, k := range m.keys {
 		if k == HeaderContentLength || k == HeaderMessageID {
 			continue // re-emitted canonically below
 		}
-		b.WriteString(k)
-		b.WriteString(": ")
-		b.WriteString(m.fields[k])
-		b.WriteString("\r\n")
+		buf = append(buf, k...)
+		buf = append(buf, ": "...)
+		buf = append(buf, m.fields[k]...)
+		buf = append(buf, "\r\n"...)
 	}
-	b.WriteString(HeaderMessageID)
-	b.WriteString(": ")
-	b.WriteString(m.ID)
-	b.WriteString("\r\n")
-	b.WriteString(HeaderContentLength)
-	b.WriteString(": ")
-	b.WriteString(strconv.Itoa(len(m.body)))
-	b.WriteString("\r\n\r\n")
+	buf = append(buf, HeaderMessageID...)
+	buf = append(buf, ": "...)
+	buf = append(buf, m.ID...)
+	buf = append(buf, "\r\n"...)
+	buf = append(buf, HeaderContentLength...)
+	buf = append(buf, ": "...)
+	buf = strconv.AppendInt(buf, int64(len(m.body)), 10)
+	buf = append(buf, "\r\n\r\n"...)
+	return buf
+}
 
-	n1, err := io.WriteString(w, b.String())
+// headerBufPool recycles WriteTo's header scratch buffers so serializing to
+// a stream costs no header-block allocation.
+var headerBufPool sync.Pool // of *[]byte
+
+// WriteTo serializes the message to w. It returns the number of bytes
+// written. The header block goes out in a single Write.
+func (m *Message) WriteTo(w io.Writer) (int64, error) {
+	bp, _ := headerBufPool.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	hdr := m.appendHeaders((*bp)[:0])
+	n1, err := w.Write(hdr)
+	*bp = hdr[:0]
+	headerBufPool.Put(bp)
 	if err != nil {
 		return int64(n1), err
 	}
@@ -48,12 +66,9 @@ func (m *Message) WriteTo(w io.Writer) (int64, error) {
 
 // Encode serializes the message to a byte slice.
 func (m *Message) Encode() []byte {
-	var sb strings.Builder
-	sb.Grow(len(m.body) + 256)
-	if _, err := m.WriteTo(&sb); err != nil {
-		panic(err) // strings.Builder never errors
-	}
-	return []byte(sb.String())
+	buf := make([]byte, 0, len(m.body)+256)
+	buf = m.appendHeaders(buf)
+	return append(buf, m.body...)
 }
 
 // ReadMessage parses one wire-format message from r. It returns io.EOF when
@@ -98,22 +113,39 @@ func ReadMessage(r *bufio.Reader) (*Message, error) {
 	}
 	m.ID = m.Header(HeaderMessageID)
 	if m.ID == "" {
-		m.ID = fmt.Sprintf("msg-%d", msgCounter.Add(1))
+		m.ID = NewID()
 	}
 	m.DelHeader(HeaderContentLength)
 	m.DelHeader(HeaderMessageID)
 
-	m.body = make([]byte, n)
+	// The body is drawn from the shared buffer pool; the coordination plane
+	// may Recycle it once the message is provably dead (see bufpool.go).
+	m.body = getBodyBuf(int(n))
+	m.pooledBody = true
 	if _, err := io.ReadFull(r, m.body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
+		m.Recycle()
 		return nil, err
 	}
 	return m, nil
 }
 
+// readerPool recycles the codec's buffered readers: Decode sits on the
+// per-hop path of header-parsing streamlets (the §7.2 redirector probe), and
+// a fresh bufio.Reader costs a 4 KB buffer allocation per message.
+var readerPool sync.Pool // of *bufio.Reader
+
 // Decode parses a message from a byte slice.
 func Decode(data []byte) (*Message, error) {
-	return ReadMessage(bufio.NewReader(strings.NewReader(string(data))))
+	br, _ := readerPool.Get().(*bufio.Reader)
+	if br == nil {
+		br = bufio.NewReader(nil)
+	}
+	br.Reset(bytes.NewReader(data))
+	m, err := ReadMessage(br)
+	br.Reset(nil) // drop the reference to data before pooling
+	readerPool.Put(br)
+	return m, err
 }

@@ -31,15 +31,34 @@ type Message struct {
 	keys   []string          // canonical header keys, insertion order
 	fields map[string]string // canonical key -> value
 	body   []byte
+	// pooledBody marks a body drawn from the shared buffer pool (Clone,
+	// ReadMessage); only such bodies may be recycled. See Recycle.
+	pooledBody bool
 }
 
 var msgCounter atomic.Uint64
+
+// NewID mints a fresh fixed-width message identifier: "msg-" followed by 16
+// hex digits, 20 bytes total. The fixed width keeps identifier generation
+// cheap (no fmt machinery) and gives the message pool a uniform key to
+// hash-shard on.
+func NewID() string {
+	const hexdigits = "0123456789abcdef"
+	var b [20]byte
+	copy(b[:], "msg-")
+	n := msgCounter.Add(1)
+	for i := len(b) - 1; i >= 4; i-- {
+		b[i] = hexdigits[n&0xf]
+		n >>= 4
+	}
+	return string(b[:])
+}
 
 // NewMessage creates a message of the given media type with a fresh unique
 // ID. The body slice is retained, not copied.
 func NewMessage(t MediaType, body []byte) *Message {
 	m := &Message{
-		ID:     fmt.Sprintf("msg-%d", msgCounter.Add(1)),
+		ID:     NewID(),
 		fields: make(map[string]string, 4),
 	}
 	m.SetHeader(HeaderContentType, t.String())
@@ -48,8 +67,23 @@ func NewMessage(t MediaType, body []byte) *Message {
 }
 
 // CanonicalHeaderKey normalizes a header name the way net/textproto does:
-// the first letter and letters following hyphens are upper-cased.
+// the first letter and letters following hyphens are upper-cased. Keys that
+// are already canonical — the overwhelmingly common case, since the gateway
+// parses headers it emitted itself — are returned unchanged without
+// allocating.
 func CanonicalHeaderKey(k string) string {
+	upper := true
+	for i := 0; i < len(k); i++ {
+		c := k[i]
+		if (upper && 'a' <= c && c <= 'z') || (!upper && 'A' <= c && c <= 'Z') {
+			return canonicalizeKey(k)
+		}
+		upper = c == '-'
+	}
+	return k
+}
+
+func canonicalizeKey(k string) string {
 	b := []byte(k)
 	upper := true
 	for i, c := range b {
@@ -105,8 +139,13 @@ func (m *Message) Headers() []string {
 // Body returns the message body without copying.
 func (m *Message) Body() []byte { return m.body }
 
-// SetBody replaces the body (retaining the slice).
-func (m *Message) SetBody(b []byte) { m.body = b }
+// SetBody replaces the body (retaining the slice). The previous body is
+// not recycled (the caller may still alias it), and the new body is
+// caller-owned, so it is never eligible for recycling.
+func (m *Message) SetBody(b []byte) {
+	m.body = b
+	m.pooledBody = false
+}
 
 // Len returns the body length in bytes.
 func (m *Message) Len() int { return len(m.body) }
@@ -171,13 +210,16 @@ func (m *Message) Peers() []string {
 }
 
 // Clone deep-copies the message, including the body. Used by the
-// pass-by-value pool mode and by streamlets that must not alias input.
+// pass-by-value pool mode and by streamlets that must not alias input. The
+// body copy is drawn from the shared buffer pool; when the clone's owner
+// proves it dead it may hand the buffer back via Recycle.
 func (m *Message) Clone() *Message {
 	c := &Message{
-		ID:     fmt.Sprintf("msg-%d", msgCounter.Add(1)),
-		keys:   make([]string, len(m.keys)),
-		fields: make(map[string]string, len(m.fields)),
-		body:   make([]byte, len(m.body)),
+		ID:         NewID(),
+		keys:       make([]string, len(m.keys)),
+		fields:     make(map[string]string, len(m.fields)),
+		body:       getBodyBuf(len(m.body)),
+		pooledBody: true,
 	}
 	copy(c.keys, m.keys)
 	for k, v := range m.fields {

@@ -76,11 +76,17 @@ func registerCatalog(r *Registry) {
 	} {
 		r.Counter(c.name, c.help, nil)
 	}
+	// Hot-path occupancy counts are integer gauges (single atomic add per
+	// update); the remaining gauges carry float values and stay Gauge.
 	for _, g := range []struct{ name, help string }{
 		{MQueueQueuedMessages, "Messages currently queued across all channels."},
 		{MQueueQueuedBytes, "Bytes currently queued across all channels (the paragraph 4.2.2 buffer occupancy)."},
 		{MPoolMessages, "Messages currently held by the central pool."},
 		{MPoolBytes, "Body bytes currently held by the central pool."},
+	} {
+		r.IntGauge(g.name, g.help, nil)
+	}
+	for _, g := range []struct{ name, help string }{
 		{MLinkBandwidthBps, "Configured bandwidth of the most recently adjusted link (bits/s)."},
 		{MLinkLossRate, "Configured loss rate of the most recently adjusted link."},
 		{MStreamsActive, "Stream instances currently deployed."},
@@ -89,8 +95,8 @@ func registerCatalog(r *Registry) {
 		r.Gauge(g.name, g.help, nil)
 	}
 	for _, h := range []struct{ name, help string }{
-		{MQueuePostWaitSeconds, "Time producers spent in Post, including full-queue waits."},
-		{MQueueFetchWaitSeconds, "Time consumers blocked in Fetch (includes idle waiting for traffic)."},
+		{MQueuePostWaitSeconds, "Time producers spent in Post, including full-queue waits (sampled: 1 in 64 operations)."},
+		{MQueueFetchWaitSeconds, "Time consumers blocked in Fetch, including idle waiting for traffic (sampled: 1 in 64 operations)."},
 		{MStreamletProcessSeconds, "Per-streamlet processMsg latency (Figure 7-2 quantity), labeled by streamlet id."},
 		{MStreamReconfigSeconds, "Reconfiguration duration (Equation 7-1 total)."},
 		{MLinkTransferSeconds, "Modelled per-message link transfer time (Equation 7-2 transfer term)."},

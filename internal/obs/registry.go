@@ -65,6 +65,21 @@ func (g *Gauge) Add(delta float64) {
 // Value returns the current gauge value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// IntGauge is an integer-valued gauge updated with a single atomic add.
+// Occupancy counts maintained on every queue/pool operation use it instead
+// of Gauge: the float Gauge's CAS loop is measurably slower on the hot path
+// than one LOCK XADD, and those quantities are integers anyway.
+type IntGauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *IntGauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *IntGauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *IntGauge) Value() int64 { return g.v.Load() }
+
 // histogramWindow bounds the per-histogram sample memory: quantiles are
 // computed over a sliding window of the most recent observations.
 const histogramWindow = 2048
@@ -254,6 +269,13 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	return r.metric(name, help, gaugeKind, labels, func() any { return &Gauge{} }).(*Gauge)
 }
 
+// IntGauge returns the integer gauge series for name+labels. A metric name
+// is either a Gauge or an IntGauge for its whole lifetime; both expose as
+// the Prometheus gauge type.
+func (r *Registry) IntGauge(name, help string, labels Labels) *IntGauge {
+	return r.metric(name, help, gaugeKind, labels, func() any { return &IntGauge{} }).(*IntGauge)
+}
+
 // Histogram returns the histogram series for name+labels.
 func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
 	return r.metric(name, help, histogramKind, labels, func() any { return &Histogram{} }).(*Histogram)
@@ -265,6 +287,10 @@ func DefaultCounter(name string) *Counter { return std.Counter(name, "", nil) }
 
 // DefaultGauge returns an unlabeled gauge from the default registry.
 func DefaultGauge(name string) *Gauge { return std.Gauge(name, "", nil) }
+
+// DefaultIntGauge returns an unlabeled integer gauge from the default
+// registry.
+func DefaultIntGauge(name string) *IntGauge { return std.IntGauge(name, "", nil) }
 
 // DefaultHistogram returns a histogram from the default registry; labels
 // may be nil for the unlabeled series.
@@ -320,6 +346,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				_, err = fmt.Fprintf(w, "%s %d\n", seriesName(f.name, lk), v.Value())
 			case *Gauge:
 				_, err = fmt.Fprintf(w, "%s %g\n", seriesName(f.name, lk), v.Value())
+			case *IntGauge:
+				_, err = fmt.Fprintf(w, "%s %d\n", seriesName(f.name, lk), v.Value())
 			case *Histogram:
 				s := v.Snapshot()
 				for _, qv := range []struct {
@@ -371,6 +399,9 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				jm.Value = &fv
 			case *Gauge:
 				fv := v.Value()
+				jm.Value = &fv
+			case *IntGauge:
+				fv := float64(v.Value())
 				jm.Value = &fv
 			case *Histogram:
 				s := v.Snapshot()

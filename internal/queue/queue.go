@@ -10,12 +10,20 @@
 // synchronous queues are zero-length rendezvous buffers that accept a value
 // only if it can be delivered immediately. The five channel categories
 // (S, BB, BK, KB, KK) govern what happens to pending units on disconnect.
+//
+// The implementation is built for the steady-state forward path: items live
+// in a ring buffer (no head retention, no per-item allocation once the ring
+// has grown to the working size), blocking waits select directly on the
+// caller's stop channel (no bridge goroutine per wait), timed waits draw
+// timers from a shared pool, and wait-time histograms are sampled so an
+// uncontended Post/Fetch pays no clock read and no histogram lock.
 package queue
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mobigate/internal/mcl"
@@ -30,9 +38,15 @@ var (
 	mDropTotal   = obs.DefaultCounter(obs.MQueueDropTotal)
 	mPostWait    = obs.DefaultHistogram(obs.MQueuePostWaitSeconds, nil)
 	mFetchWait   = obs.DefaultHistogram(obs.MQueueFetchWaitSeconds, nil)
-	mQueuedMsgs  = obs.DefaultGauge(obs.MQueueQueuedMessages)
-	mQueuedBytes = obs.DefaultGauge(obs.MQueueQueuedBytes)
+	mQueuedMsgs  = obs.DefaultIntGauge(obs.MQueueQueuedMessages)
+	mQueuedBytes = obs.DefaultIntGauge(obs.MQueueQueuedBytes)
 )
+
+// obsSampleShift controls wait-histogram sampling: 1 in 2^obsSampleShift
+// Post/Fetch operations measures its wall-clock wait and records it. The
+// quantile window stays representative while the other operations skip both
+// time.Now calls and the histogram lock.
+const obsSampleShift = 6
 
 // Errors returned by queue operations.
 var (
@@ -57,10 +71,20 @@ type Item struct {
 	Size  int // body size in bytes, counted against the buffer capacity
 	// Wait is how long the item sat in the queue; set when it is fetched.
 	// The coordination plane copies it into the message's trace record.
+	// Only measured while tracing is enabled (it feeds the trace hop).
 	Wait time.Duration
 
-	enqueued time.Time
+	// enqueuedNs is monotonic nanoseconds since monoBase (0 = not stamped).
+	// A raw monotonic offset instead of a time.Time halves the clock cost:
+	// reading the wall clock as well would buy nothing for a duration.
+	enqueuedNs int64
 }
+
+// monoBase anchors the queue's monotonic timestamps; time.Since against a
+// monotonic base compiles down to one nanotime read.
+var monoBase = time.Now()
+
+func monoNow() int64 { return int64(time.Since(monoBase)) }
 
 // Options configure a queue beyond its MCL channel declaration.
 type Options struct {
@@ -81,11 +105,23 @@ type Queue struct {
 	name string
 	opts Options
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
 
-	items      []Item
+	// ring is a circular buffer: items occupy ring[head], ring[head+1], …
+	// (mod len(ring)), count of them. Fetched slots are zeroed so the ring
+	// never retains message-ID strings, and the backing array is reused
+	// forever — steady-state Post/Fetch allocates nothing.
+	ring       []Item
+	head       int
+	count      int
 	queuedSize int
+
+	// sig is the broadcast channel: waiters select on the current sig (plus
+	// their stop channel and timer); a state change closes it and installs a
+	// fresh one — but only when waiters exist, so an uncontended operation
+	// never allocates a channel.
+	sig     chan struct{}
+	waiters int
 
 	// Producer/consumer counts (the pCount/cCount of Figure 6-3).
 	pCount int
@@ -99,7 +135,12 @@ type Queue struct {
 	dropped uint64
 	posted  uint64
 	fetched uint64
-	acked   uint64
+
+	// acked is outside the mutex: Ack is on the consumer's per-message hot
+	// path and touches no other queue state.
+	acked atomic.Uint64
+
+	obsTick atomic.Uint64 // wait-histogram sampling counter
 }
 
 // New creates a queue named name (the channel instance variable).
@@ -110,9 +151,7 @@ func New(name string, opts Options) *Queue {
 	if opts.DropTimeout == 0 {
 		opts.DropTimeout = DefaultDropTimeout
 	}
-	q := &Queue{name: name, opts: opts}
-	q.cond = sync.NewCond(&q.mu)
-	return q
+	return &Queue{name: name, opts: opts, sig: make(chan struct{})}
 }
 
 // FromDecl creates a queue from an MCL channel declaration.
@@ -133,14 +172,78 @@ func (q *Queue) Mode() mcl.ChannelMode { return q.opts.Mode }
 // Category returns the queue's disconnect category.
 func (q *Queue) Category() mcl.ChannelCategory { return q.opts.Category }
 
+// sampleObs reports whether this operation should measure its wait.
+func (q *Queue) sampleObs() bool {
+	return q.obsTick.Add(1)&(1<<obsSampleShift-1) == 0
+}
+
+// timerPool recycles timers across timed waits (the drop grace period and
+// FetchTimeout) so a timed wait costs no timer allocation.
+var timerPool sync.Pool
+
+func acquireTimer(d time.Duration) *time.Timer {
+	if t, _ := timerPool.Get().(*time.Timer); t != nil {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func releaseTimer(t *time.Timer) {
+	if !t.Stop() {
+		// Already fired; drain a pending tick so a pooled Reset cannot
+		// deliver a stale expiry.
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
+
+// broadcastLocked wakes every current waiter by closing the generation
+// channel. No-op (and no allocation) when nobody waits.
+func (q *Queue) broadcastLocked() {
+	if q.waiters > 0 {
+		close(q.sig)
+		q.sig = make(chan struct{})
+	}
+}
+
+// waitLocked blocks until the queue is signaled, the caller's stop channel
+// fires, or the timer channel fires (nil channels never fire). The lock is
+// released while blocked and reacquired before returning. Callers loop and
+// re-check their predicate: a signal wake may be spurious for them.
+func (q *Queue) waitLocked(stop <-chan struct{}, timeout <-chan time.Time) (stopFired, timedOut bool) {
+	q.waiters++
+	sig := q.sig
+	q.mu.Unlock()
+	select {
+	case <-sig:
+	case <-stop:
+		stopFired = true
+	case <-timeout:
+		timedOut = true
+	}
+	q.mu.Lock()
+	q.waiters--
+	return stopFired, timedOut
+}
+
 // Post inserts a message reference, implementing postMessage of Figure 6-9:
 // if the queue is full the producer waits up to the drop timeout and then
 // drops the message, returning ErrDropped. stop aborts the wait early
 // (reconfiguration uses this to unblock suspended producers).
 func (q *Queue) Post(msgID string, size int, stop <-chan struct{}) error {
-	start := time.Now()
+	var start time.Time
+	sampled := q.sampleObs()
+	if sampled {
+		start = time.Now()
+	}
 	err := q.post(msgID, size, stop)
-	mPostWait.Observe(time.Since(start).Seconds())
+	if sampled {
+		mPostWait.Observe(time.Since(start).Seconds())
+	}
 	switch err {
 	case nil:
 		mPostTotal.Inc()
@@ -161,19 +264,21 @@ func (q *Queue) post(msgID string, size int, stop <-chan struct{}) error {
 		return q.postSyncLocked(msgID, size, stop)
 	}
 
-	if q.queuedSize+size > q.opts.CapacityBytes && len(q.items) > 0 {
-		// Full: wait T, then drop (Figure 6-9). The timed wait is realized
-		// by a timer goroutine broadcasting on the condition variable.
+	if q.queuedSize+size > q.opts.CapacityBytes && q.count > 0 {
+		// Full: wait T, then drop (Figure 6-9). One pooled timer covers the
+		// whole grace period across spurious wakeups.
 		if q.opts.DropTimeout >= 0 {
-			deadline := time.Now().Add(q.opts.DropTimeout)
-			for q.queuedSize+size > q.opts.CapacityBytes && len(q.items) > 0 && !q.closed {
-				if !q.waitUntilLocked(deadline, stop) {
+			timer := acquireTimer(q.opts.DropTimeout)
+			for q.queuedSize+size > q.opts.CapacityBytes && q.count > 0 && !q.closed {
+				stopFired, timedOut := q.waitLocked(stop, timer.C)
+				if stopFired || timedOut {
 					break
 				}
 			}
+			releaseTimer(timer)
 		} else {
-			for q.queuedSize+size > q.opts.CapacityBytes && len(q.items) > 0 && !q.closed {
-				if !q.waitLocked(stop) {
+			for q.queuedSize+size > q.opts.CapacityBytes && q.count > 0 && !q.closed {
+				if stopFired, _ := q.waitLocked(stop, nil); stopFired {
 					return ErrCanceled
 				}
 			}
@@ -184,48 +289,74 @@ func (q *Queue) post(msgID string, size int, stop <-chan struct{}) error {
 		if stopped(stop) {
 			return ErrCanceled
 		}
-		if q.queuedSize+size > q.opts.CapacityBytes && len(q.items) > 0 {
+		if q.queuedSize+size > q.opts.CapacityBytes && q.count > 0 {
 			q.dropped++
 			return ErrDropped
 		}
 	}
 
 	q.appendLocked(msgID, size)
-	q.cond.Broadcast()
+	q.broadcastLocked()
 	return nil
 }
 
 // appendLocked enqueues one item and maintains the occupancy accounting
 // (per-queue counters plus the gateway-wide occupancy gauges).
 func (q *Queue) appendLocked(msgID string, size int) {
-	q.items = append(q.items, Item{MsgID: msgID, Size: size, enqueued: time.Now()})
+	if q.count == len(q.ring) {
+		q.growLocked()
+	}
+	i := q.head + q.count
+	if i >= len(q.ring) {
+		i -= len(q.ring)
+	}
+	q.ring[i] = Item{MsgID: msgID, Size: size}
+	if obs.TracingEnabled() {
+		// The enqueue timestamp feeds the trace hop's queue-wait term; with
+		// tracing off nothing reads it, so skip the clock read.
+		q.ring[i].enqueuedNs = monoNow()
+	}
+	q.count++
 	q.queuedSize += size
 	q.posted++
 	mQueuedMsgs.Add(1)
-	mQueuedBytes.Add(float64(size))
+	mQueuedBytes.Add(int64(size))
+}
+
+// growLocked doubles the ring, unrolling it into FIFO order.
+func (q *Queue) growLocked() {
+	n := len(q.ring) * 2
+	if n == 0 {
+		n = 16
+	}
+	ring := make([]Item, n)
+	k := copy(ring, q.ring[q.head:])
+	copy(ring[k:], q.ring[:q.head])
+	q.ring = ring
+	q.head = 0
 }
 
 // postSyncLocked admits a value only when it can be delivered immediately:
 // it waits for a blocked consumer, hands the item over, and returns once
 // the consumer has taken it.
 func (q *Queue) postSyncLocked(msgID string, size int, stop <-chan struct{}) error {
-	for q.waitingConsumers == 0 || len(q.items) > 0 {
+	for q.waitingConsumers == 0 || q.count > 0 {
 		if q.closed {
 			return ErrClosed
 		}
-		if !q.waitLocked(stop) {
+		if stopFired, _ := q.waitLocked(stop, nil); stopFired {
 			return ErrCanceled
 		}
 	}
 	q.appendLocked(msgID, size)
-	q.cond.Broadcast()
+	q.broadcastLocked()
 	// Wait until the rendezvous completes.
-	for len(q.items) > 0 && !q.closed {
-		if !q.waitLocked(stop) {
+	for q.count > 0 && !q.closed {
+		if stopFired, _ := q.waitLocked(stop, nil); stopFired {
 			return ErrCanceled
 		}
 	}
-	if q.closed && len(q.items) > 0 {
+	if q.closed && q.count > 0 {
 		return ErrClosed
 	}
 	return nil
@@ -234,15 +365,30 @@ func (q *Queue) postSyncLocked(msgID string, size int, stop <-chan struct{}) err
 // Fetch removes and returns the oldest message reference, blocking until
 // one is available, the queue closes (ok=false), or stop fires (ok=false).
 func (q *Queue) Fetch(stop <-chan struct{}) (Item, bool) {
-	start := time.Now()
-	it, ok := q.fetch(stop)
-	if ok {
+	var start time.Time
+	sampled := q.sampleObs()
+	if sampled {
+		start = time.Now()
+	}
+	it, ok := q.fetch(stop, nil)
+	if ok && sampled {
 		mFetchWait.Observe(time.Since(start).Seconds())
 	}
 	return it, ok
 }
 
-func (q *Queue) fetch(stop <-chan struct{}) (Item, bool) {
+// FetchTimeout is Fetch with a deadline instead of a stop channel: it waits
+// up to d for an item, ok=false on timeout or close. The wait reuses a
+// pooled timer, so a timed receive costs no goroutine and no channel
+// allocation (Outlet.Receive is built on this).
+func (q *Queue) FetchTimeout(d time.Duration) (Item, bool) {
+	timer := acquireTimer(d)
+	it, ok := q.fetch(nil, timer.C)
+	releaseTimer(timer)
+	return it, ok
+}
+
+func (q *Queue) fetch(stop <-chan struct{}, timeout <-chan time.Time) (Item, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	// A canceled fetch must not consume an item even when one is already
@@ -251,15 +397,18 @@ func (q *Queue) fetch(stop <-chan struct{}) (Item, bool) {
 	if stopped(stop) {
 		return Item{}, false
 	}
-	for len(q.items) == 0 {
+	for q.count == 0 {
 		if q.closed {
 			return Item{}, false
 		}
 		q.waitingConsumers++
-		q.cond.Broadcast() // wake sync producers waiting for a consumer
-		ok := q.waitLocked(stop)
+		q.broadcastLocked() // wake sync producers waiting for a consumer
+		stopFired, timedOut := q.waitLocked(stop, timeout)
 		q.waitingConsumers--
-		if !ok {
+		// Re-check the stop channel even on a signal wake: when both race,
+		// cancellation wins and the item is left for the replacement
+		// consumer (see the entry check above).
+		if stopFired || timedOut || stopped(stop) {
 			return Item{}, false
 		}
 	}
@@ -271,81 +420,34 @@ func (q *Queue) fetch(stop <-chan struct{}) (Item, bool) {
 func (q *Queue) TryFetch() (Item, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if len(q.items) == 0 {
+	if q.count == 0 {
 		return Item{}, false
 	}
 	return q.takeLocked(), true
 }
 
 func (q *Queue) takeLocked() Item {
-	it := q.items[0]
-	q.items = q.items[1:]
+	it := q.ring[q.head]
+	q.ring[q.head] = Item{} // release the msgID string
+	q.head++
+	if q.head == len(q.ring) {
+		q.head = 0
+	}
+	q.count--
 	q.queuedSize -= it.Size
 	q.fetched++
-	it.Wait = time.Since(it.enqueued)
+	if it.enqueuedNs != 0 {
+		it.Wait = time.Duration(monoNow() - it.enqueuedNs)
+	}
 	mFetchTotal.Inc()
-	mQueuedMsgs.Add(-1)
-	mQueuedBytes.Add(float64(-it.Size))
-	q.cond.Broadcast()
+	if !q.closed {
+		// Residual items were already removed from the gateway-wide gauges
+		// when the queue closed; draining them must not subtract twice.
+		mQueuedMsgs.Add(-1)
+		mQueuedBytes.Add(-int64(it.Size))
+	}
+	q.broadcastLocked()
 	return it
-}
-
-// waitLocked waits on the condition variable, returning false if stop fired.
-// The stop channel is bridged to the condition variable by a helper
-// goroutine armed once per call.
-func (q *Queue) waitLocked(stop <-chan struct{}) bool {
-	if stop == nil {
-		q.cond.Wait()
-		return true
-	}
-	if stopped(stop) {
-		return false
-	}
-	done := make(chan struct{})
-	go func() {
-		select {
-		case <-stop:
-			q.mu.Lock()
-			q.cond.Broadcast()
-			q.mu.Unlock()
-		case <-done:
-		}
-	}()
-	q.cond.Wait()
-	close(done)
-	return !stopped(stop)
-}
-
-// waitUntilLocked waits until the deadline (false) or a broadcast (true).
-func (q *Queue) waitUntilLocked(deadline time.Time, stop <-chan struct{}) bool {
-	remaining := time.Until(deadline)
-	if remaining <= 0 {
-		return false
-	}
-	timer := time.AfterFunc(remaining, func() {
-		q.mu.Lock()
-		q.cond.Broadcast()
-		q.mu.Unlock()
-	})
-	defer timer.Stop()
-	if stop != nil {
-		done := make(chan struct{})
-		defer close(done)
-		go func() {
-			select {
-			case <-stop:
-				q.mu.Lock()
-				q.cond.Broadcast()
-				q.mu.Unlock()
-			case <-done:
-			}
-		}()
-	}
-	q.cond.Wait()
-	if stopped(stop) {
-		return false
-	}
-	return time.Now().Before(deadline)
 }
 
 func stopped(stop <-chan struct{}) bool {
@@ -364,7 +466,7 @@ func stopped(stop <-chan struct{}) bool {
 func (q *Queue) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.count
 }
 
 // QueuedBytes returns the byte total of queued messages.
@@ -384,25 +486,25 @@ func (q *Queue) Empty() bool { return q.Len() == 0 }
 // queue nor a consumer's accounting, which the Figure 6-8 termination
 // check depends on.
 func (q *Queue) Ack() {
-	q.mu.Lock()
-	q.acked++
-	q.mu.Unlock()
+	q.acked.Add(1)
 }
 
 // Outstanding returns posted − acked: messages enqueued but not yet fully
 // handled (still queued, in a consumer handoff, or being processed).
 func (q *Queue) Outstanding() int64 {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	return int64(q.posted) - int64(q.acked)
+	posted := q.posted
+	q.mu.Unlock()
+	return int64(posted) - int64(q.acked.Load())
 }
 
 // InFlight returns fetched − acked: messages taken out of the queue whose
 // handling has not completed.
 func (q *Queue) InFlight() int64 {
 	q.mu.Lock()
-	defer q.mu.Unlock()
-	return int64(q.fetched) - int64(q.acked)
+	fetched := q.fetched
+	q.mu.Unlock()
+	return int64(fetched) - int64(q.acked.Load())
 }
 
 // Stats returns lifetime posted/fetched/dropped counters.
@@ -442,10 +544,20 @@ func (q *Queue) Counts() (producers, consumers int) {
 
 // Close marks the queue closed and wakes all waiters. Pending items remain
 // fetchable via TryFetch.
+//
+// Close also reconciles the gateway-wide occupancy gauges: residual items
+// stop counting as queued the moment the queue closes, whether they are
+// later drained via TryFetch (takeLocked skips the gauges on a closed
+// queue) or abandoned with the queue. Without this, session churn leaks the
+// residue into mobigate_queue_queued_{messages,bytes} forever.
 func (q *Queue) Close() {
 	q.mu.Lock()
-	q.closed = true
-	q.cond.Broadcast()
+	if !q.closed {
+		q.closed = true
+		mQueuedMsgs.Add(-int64(q.count))
+		mQueuedBytes.Add(-int64(q.queuedSize))
+		q.broadcastLocked()
+	}
 	q.mu.Unlock()
 }
 
@@ -484,9 +596,9 @@ func (q *Queue) Detach(side DetachSide) (detachOther bool, err error) {
 	case mcl.CatKK:
 		return false, fmt.Errorf("%w: %s end of KK channel %s", ErrDetachRefused, side, q.name)
 	case mcl.CatS:
-		if len(q.items) > 0 {
+		if q.count > 0 {
 			return false, fmt.Errorf("queue %s: S channel has %d pending units; drain before disconnecting",
-				q.name, len(q.items))
+				q.name, q.count)
 		}
 		return false, nil
 	case mcl.CatBB:

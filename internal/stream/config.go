@@ -311,12 +311,10 @@ func (st *Stream) OpenOutlet(ref mcl.PortRef) (*Outlet, error) {
 }
 
 // Receive waits up to timeout for the next message; the message is removed
-// from the pool (final delivery).
+// from the pool (final delivery). The timed wait runs on the queue's pooled
+// timer — no goroutine, stop channel, or timer allocation per receive.
 func (o *Outlet) Receive(timeout time.Duration) (*mime.Message, error) {
-	stop := make(chan struct{})
-	timer := time.AfterFunc(timeout, func() { close(stop) })
-	defer timer.Stop()
-	it, ok := o.q.Fetch(stop)
+	it, ok := o.q.FetchTimeout(timeout)
 	if !ok {
 		return nil, fmt.Errorf("stream %s: receive on %s timed out after %v", o.st.name, o.ref, timeout)
 	}

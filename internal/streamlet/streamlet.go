@@ -162,7 +162,18 @@ type Streamlet struct {
 	// every instance of the same id (per-session deployments reuse MCL
 	// instance variable names, so the series aggregates across sessions).
 	procHist *obs.Histogram
+	// procTick drives sampled latency observation: the first samples after
+	// start are always recorded (so low-traffic instances still report),
+	// then 1 in procSampleInterval. With tracing off this also elides the
+	// two time.Now calls around Process.
+	procTick atomic.Uint64
 }
+
+// Process-latency sampling parameters (see procTick).
+const (
+	procSampleWarmup   = 16
+	procSampleInterval = 16
+)
 
 type workItem struct {
 	port  string
@@ -536,10 +547,22 @@ func (s *Streamlet) handle(it workItem) {
 		session = msg.Session()
 		bytesIn = msg.Len()
 	}
-	procStart := time.Now()
+	// The trace hop needs the exact per-message duration; the histogram is
+	// content with a sample. Without either consumer, skip the clock reads.
+	tick := s.procTick.Add(1)
+	sampleHist := tick <= procSampleWarmup || tick%procSampleInterval == 0
+	var procStart time.Time
+	if tracing || sampleHist {
+		procStart = time.Now()
+	}
 	emissions, err := s.proc.Process(Input{Port: it.port, Msg: msg})
-	procDur := time.Since(procStart)
-	s.procHist.Observe(procDur.Seconds())
+	var procDur time.Duration
+	if tracing || sampleHist {
+		procDur = time.Since(procStart)
+	}
+	if sampleHist {
+		s.procHist.Observe(procDur.Seconds())
+	}
 	if err != nil {
 		s.fail(fmt.Errorf("streamlet %s: process: %w", s.id, err))
 		s.pool.Remove(it.msgID)
@@ -571,12 +594,19 @@ func (s *Streamlet) handle(it workItem) {
 		}
 	}
 	if !kept {
+		// Terminal hop: the message may have escaped to another goroutine
+		// inside Process (a sink pushing onto a link), so only the pool
+		// entry is dropped — the body is never recycled here.
 		s.pool.Remove(it.msgID)
 	}
 	// A by-value pool forwards deep copies; the originals' pool entries are
-	// superseded once the copies are on the wire.
+	// superseded once the copies are on the wire. A superseded original is
+	// dead — its deep copy travels onward and processors must not retain
+	// input bodies past Process — so its pooled body is recycled.
 	for id := range superseded {
-		s.pool.Remove(id)
+		if m := s.pool.Take(id); m != nil {
+			m.Recycle()
+		}
 	}
 }
 
@@ -657,7 +687,14 @@ func (s *Streamlet) emit(em Emission, peerID string) (copied bool) {
 	if err := q.Post(fid, em.Msg.Len(), s.done); err != nil {
 		s.dropped.Add(1)
 		mDroppedTotal.Inc()
-		s.pool.Remove(fid)
+		if fid != em.Msg.ID {
+			// The dropped deep copy never left the pool; reclaim its body.
+			if c := s.pool.Take(fid); c != nil {
+				c.Recycle()
+			}
+		} else {
+			s.pool.Remove(fid)
+		}
 		if err != queue.ErrDropped {
 			s.fail(fmt.Errorf("streamlet %s: post to %s: %w", s.id, q.Name(), err))
 		}
