@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare bench-smoke vet fmt check examples experiments clean
+.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke vet fmt check examples experiments clean
 
 all: build test
 
@@ -16,9 +16,10 @@ test: vet
 race:
 	$(GO) test -race ./...
 
-# Full pre-merge gate: build, vet, tests, the race detector, and a quick
-# hot-path benchmark smoke (catches gross regressions without a full run).
-check: build test race bench-smoke
+# Full pre-merge gate: build, vet, tests, the race detector, a quick
+# hot-path benchmark smoke (catches gross regressions without a full run),
+# and the fault-injection survival scenario.
+check: build test race bench-smoke fault-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -39,6 +40,11 @@ bench-compare:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench QueuePostFetch -benchtime 100x -benchmem .
+
+# Fault-injection survival: a live session must absorb injected panics, a
+# stall, and a link blackout with zero message loss (exits nonzero if not).
+fault-smoke:
+	$(GO) run ./cmd/mobibench -exp faults
 
 vet:
 	$(GO) vet ./...

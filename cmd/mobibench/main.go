@@ -7,6 +7,7 @@
 //	mobibench -exp eq7.1    # reconfiguration time decomposition
 //	mobibench -exp fig7.7   # end-to-end throughput sweep
 //	mobibench -exp hops     # per-hop time composition (§7.3 breakdown)
+//	mobibench -exp faults   # fault-injection survival (supervision subsystem)
 //	mobibench -exp all      # everything
 //
 // Shapes, not absolute numbers, are the comparison target: the 2004 Java
@@ -25,7 +26,7 @@ import (
 )
 
 var (
-	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, all")
+	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, faults, all")
 	messages  = flag.Int("messages", 60, "messages per fig7.7 point")
 	samples   = flag.Int("samples", 50, "messages per latency sample (fig7.2/7.3)")
 	loss      = flag.Float64("loss", 0, "link loss rate for fig7.7 (0..1)")
@@ -47,6 +48,8 @@ func main() {
 		runFig77()
 	case "hops":
 		runHops()
+	case "faults":
+		runFaults()
 	case "all":
 		runFig72()
 		runFig73()
@@ -54,6 +57,7 @@ func main() {
 		runEq71()
 		runFig77()
 		runHops()
+		runFaults()
 	default:
 		fmt.Fprintf(os.Stderr, "mobibench: unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -153,6 +157,17 @@ func runFig77() {
 			r.WithoutBps/1000, r.WithBps/1000, r.WithCalibratedBps/1000,
 			r.ReductionRatio, tc)
 	}
+	fmt.Println()
+}
+
+func runFaults() {
+	fmt.Println("=== Fault-injection survival: panics, a stall, and a blackout ===")
+	r, err := experiments.Faults(experiments.DefaultFaultsConfig())
+	if err != nil {
+		fmt.Print(r)
+		log.Fatal(err)
+	}
+	fmt.Print(r)
 	fmt.Println()
 }
 

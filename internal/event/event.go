@@ -27,6 +27,12 @@ const (
 	HardwareVariation
 	// SoftwareVariation events report client software changes.
 	SoftwareVariation
+	// ExecutionFault events report faults on the execution plane — a
+	// streamlet panicking, erroring, or stalling past its processing
+	// deadline. They close the self-healing loop: the supervisor raises
+	// them, and stream applications react with the same Figure 7-4
+	// reconfiguration protocol bandwidth changes use.
+	ExecutionFault
 	// CategoryCount is the number of built-in categories.
 	CategoryCount
 )
@@ -36,6 +42,7 @@ var categoryNames = [...]string{
 	NetworkVariation:  "Network Variation",
 	HardwareVariation: "Hardware Variation",
 	SoftwareVariation: "Software Variation",
+	ExecutionFault:    "Execution Fault",
 }
 
 func (c Category) String() string {
@@ -57,6 +64,8 @@ const (
 	HIGH_LATENCY   = "HIGH_LATENCY"
 	HIGH_LOSS      = "HIGH_LOSS"
 	HANDOFF        = "HANDOFF"
+	LINK_BLACKOUT  = "LINK_BLACKOUT"
+	LINK_RESTORED  = "LINK_RESTORED"
 	// Hardware variations.
 	LOW_ENERGY   = "LOW_ENERGY"
 	LOW_GRAYS    = "LOW_GRAYS"
@@ -65,6 +74,11 @@ const (
 	// Software variations.
 	FORMAT_UNSUPPORTED = "FORMAT_UNSUPPORTED"
 	CODEC_MISSING      = "CODEC_MISSING"
+	// Execution faults (raised by the streamlet supervisor).
+	STREAMLET_PANIC  = "STREAMLET_PANIC"
+	STREAMLET_ERROR  = "STREAMLET_ERROR"
+	STREAMLET_STALL  = "STREAMLET_STALL"
+	STREAMLET_HEALED = "STREAMLET_HEALED"
 )
 
 // ContextEvent is the MobiGATE event object of Figure 6-5.
@@ -100,9 +114,12 @@ func NewCatalog() *Catalog {
 		PAUSE: SystemCommand, RESUME: SystemCommand, END: SystemCommand,
 		LOW_BANDWIDTH: NetworkVariation, HIGH_BANDWIDTH: NetworkVariation,
 		HIGH_LATENCY: NetworkVariation, HIGH_LOSS: NetworkVariation, HANDOFF: NetworkVariation,
+		LINK_BLACKOUT: NetworkVariation, LINK_RESTORED: NetworkVariation,
 		LOW_ENERGY: HardwareVariation, LOW_GRAYS: HardwareVariation,
 		SMALL_SCREEN: HardwareVariation, LOW_MEMORY: HardwareVariation,
 		FORMAT_UNSUPPORTED: SoftwareVariation, CODEC_MISSING: SoftwareVariation,
+		STREAMLET_PANIC: ExecutionFault, STREAMLET_ERROR: ExecutionFault,
+		STREAMLET_STALL: ExecutionFault, STREAMLET_HEALED: ExecutionFault,
 	} {
 		c.events[id] = cat
 	}

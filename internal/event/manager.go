@@ -2,6 +2,7 @@ package event
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"mobigate/internal/obs"
 )
@@ -11,6 +12,7 @@ var (
 	mRaised    = obs.DefaultCounter(obs.MEventsRaisedTotal)
 	mDelivered = obs.DefaultCounter(obs.MEventsDeliveredTotal)
 	mFiltered  = obs.DefaultCounter(obs.MEventsFilteredTotal)
+	mDropped   = obs.DefaultCounter(obs.MEventsDroppedTotal)
 )
 
 // Subscriber receives multicast events. Stream applications implement this
@@ -37,6 +39,16 @@ type Manager struct {
 	done     chan struct{}
 	wg       sync.WaitGroup
 
+	// postMu orders Post against Close: Close flips closed under the write
+	// lock, so any Post that saw closed==false finishes its (non-blocking)
+	// send before close(done). The dispatcher's drain loop therefore sees
+	// every event that was counted as raised — an event can never win the
+	// send after the drain's final pass and vanish undelivered.
+	postMu sync.RWMutex
+	closed bool
+
+	raised    atomic.Uint64
+	dropped   atomic.Uint64
 	delivered uint64
 	filtered  uint64
 }
@@ -112,13 +124,27 @@ func (m *Manager) Multicast(evt ContextEvent) {
 }
 
 // Post queues an event for asynchronous multicast from the manager's
-// dispatch goroutine. It never blocks the caller; events posted after
-// Close are discarded.
-func (m *Manager) Post(evt ContextEvent) {
+// dispatch goroutine. It never blocks the caller: when the dispatch buffer
+// is full the event is dropped and counted in mobigate_events_dropped_total
+// (context events are advisory triggers, not data — a flooded manager sheds
+// load instead of stalling the coordination plane). Events posted after
+// Close are discarded. The return value reports whether the event was
+// accepted for dispatch.
+func (m *Manager) Post(evt ContextEvent) bool {
+	m.postMu.RLock()
+	defer m.postMu.RUnlock()
+	if m.closed {
+		return false
+	}
 	select {
-	case <-m.done:
 	case m.dispatch <- evt:
+		m.raised.Add(1)
 		mRaised.Inc()
+		return true
+	default:
+		m.dropped.Add(1)
+		mDropped.Inc()
+		return false
 	}
 }
 
@@ -139,13 +165,24 @@ func (m *Manager) Stats() (delivered, filtered uint64) {
 	return m.delivered, m.filtered
 }
 
-// Close stops the dispatcher after draining queued events.
+// PostStats returns how many events this manager accepted for dispatch and
+// how many it shed on a full dispatch buffer.
+func (m *Manager) PostStats() (raised, dropped uint64) {
+	return m.raised.Load(), m.dropped.Load()
+}
+
+// Close stops the dispatcher after draining queued events. Every event that
+// Post accepted before Close is delivered: closed is flipped under the
+// write lock, so no Post can slip an event into the buffer after the drain
+// loop's final pass.
 func (m *Manager) Close() {
-	select {
-	case <-m.done:
+	m.postMu.Lock()
+	if m.closed {
+		m.postMu.Unlock()
 		return
-	default:
 	}
+	m.closed = true
+	m.postMu.Unlock()
 	close(m.done)
 	m.wg.Wait()
 }

@@ -1,0 +1,111 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+type countSub struct {
+	name string
+	n    atomic.Uint64
+}
+
+func (c *countSub) SubscriberName() string { return c.name }
+func (c *countSub) OnEvent(ContextEvent)   { c.n.Add(1) }
+
+// blockingSub parks inside OnEvent until released, wedging the dispatcher
+// so the dispatch buffer fills up.
+type blockingSub struct {
+	name    string
+	release chan struct{}
+	n       atomic.Uint64
+}
+
+func (b *blockingSub) SubscriberName() string { return b.name }
+func (b *blockingSub) OnEvent(ContextEvent) {
+	<-b.release
+	b.n.Add(1)
+}
+
+// TestPostNeverBlocksWhenFull: with the dispatcher wedged by a blocking
+// subscriber, Post must shed excess events (returning false and counting
+// them) instead of blocking the monitor thread that raises them.
+func TestPostNeverBlocksWhenFull(t *testing.T) {
+	m := NewManager(nil)
+	sub := &blockingSub{name: "slow", release: make(chan struct{})}
+	m.Subscribe(NetworkVariation, sub)
+
+	evt := ContextEvent{EventID: LOW_BANDWIDTH, Category: NetworkVariation}
+	const posts = 400 // well past the 256-slot dispatch buffer
+
+	start := time.Now()
+	accepted, rejected := 0, 0
+	for i := 0; i < posts; i++ {
+		if m.Post(evt) {
+			accepted++
+		} else {
+			rejected++
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("posting took %v: Post blocked on a full buffer", elapsed)
+	}
+	if rejected == 0 {
+		t.Fatal("no event was shed despite a wedged dispatcher")
+	}
+	raised, dropped := m.PostStats()
+	if raised != uint64(accepted) || dropped != uint64(rejected) {
+		t.Errorf("PostStats = (%d, %d), want (%d, %d)", raised, dropped, accepted, rejected)
+	}
+
+	// Unblock: every accepted event must still be delivered.
+	close(sub.release)
+	m.Close()
+	if got := sub.n.Load(); got != uint64(accepted) {
+		t.Errorf("delivered %d events, accepted %d", got, accepted)
+	}
+}
+
+// TestClosePostRace: concurrent Post and Close must neither panic nor lose
+// an accepted event — everything Post returned true for is delivered before
+// Close returns.
+func TestClosePostRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		m := NewManager(nil)
+		sub := &countSub{name: "counter"}
+		m.Subscribe(NetworkVariation, sub)
+		evt := ContextEvent{EventID: HANDOFF, Category: NetworkVariation}
+
+		var accepted atomic.Uint64
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if m.Post(evt) {
+						accepted.Add(1)
+					}
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		m.Close()
+		close(stop)
+		wg.Wait()
+
+		// Posts that won the race were all delivered; the rest returned
+		// false and are not counted anywhere as deliveries.
+		if got := sub.n.Load(); got != accepted.Load() {
+			t.Fatalf("round %d: delivered %d, accepted %d", round, got, accepted.Load())
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mobigate/internal/event"
+	"mobigate/internal/fault"
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/netem"
+	"mobigate/internal/obs"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+	"mobigate/internal/streamlet"
+)
+
+// FaultsConfig parameterizes the fault-injection survival run: a live
+// session (head → flaky → communicator → emulated link) that takes
+// processor panics, one stall, and one link blackout while the supervision
+// subsystem keeps every message flowing.
+type FaultsConfig struct {
+	// Messages is the workload size.
+	Messages int
+	// PanicAt lists injector call indexes that panic.
+	PanicAt []uint64
+	// StallAt is the injector call index that stalls; StallFor is how long
+	// the stall sleeps (it must exceed ProcessTimeout to be detected).
+	StallAt  uint64
+	StallFor time.Duration
+	// ProcessTimeout is the supervised per-message deadline.
+	ProcessTimeout time.Duration
+	// BlackoutAfter is how many deliveries to wait before taking the link
+	// down for BlackoutFor.
+	BlackoutAfter int
+	BlackoutFor   time.Duration
+	// BandwidthBps configures the emulated link.
+	BandwidthBps int64
+	Seed         int64
+}
+
+// DefaultFaultsConfig injects three panics, one stall, and one 50ms
+// blackout into a 120-message session.
+func DefaultFaultsConfig() FaultsConfig {
+	return FaultsConfig{
+		Messages:       120,
+		PanicAt:        []uint64{5, 12, 19},
+		StallAt:        30,
+		StallFor:       60 * time.Millisecond,
+		ProcessTimeout: 15 * time.Millisecond,
+		BlackoutAfter:  60,
+		BlackoutFor:    50 * time.Millisecond,
+		BandwidthBps:   2_000_000,
+		Seed:           2004,
+	}
+}
+
+// FaultsResult reports what was injected, what the supervisor recovered,
+// and whether the session conserved its messages.
+type FaultsResult struct {
+	SessionID       string
+	Sent, Delivered int
+	// Lost is Sent - Delivered (must be zero: every fault here is
+	// recoverable by retry, and the blackout only parks traffic).
+	Lost int
+	// Duplicates counts messages delivered more than once.
+	Duplicates int
+
+	// Injected faults, from the injector's own accounting.
+	InjPanics, InjStalls uint64
+	// Recovered faults, from the streamlet supervisor.
+	Recovered streamlet.FaultStats
+	// Events is the count of each ExecutionFault / link event delivered
+	// through the event manager.
+	Events map[string]int
+	// BlackoutDown is how long the link reported being down.
+	BlackoutDown time.Duration
+}
+
+// eventCollector counts deliveries per event id; its name matches the
+// stream so source-directed fault events reach it.
+type eventCollector struct {
+	name   string
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (c *eventCollector) SubscriberName() string { return c.name }
+
+func (c *eventCollector) OnEvent(evt event.ContextEvent) {
+	c.mu.Lock()
+	c.counts[evt.EventID]++
+	c.mu.Unlock()
+}
+
+// Faults runs the fault-injection survival scenario: the supervised
+// pipeline absorbs panics and a stall via the retry policy (transient
+// faults injected by call index run clean on re-execution), and the
+// blackout exercises the link's store-and-forward blocking. The run fails
+// if any message is lost or duplicated, or if fewer faults fired than
+// configured — an injector that never fires proves nothing.
+func Faults(cfg FaultsConfig) (FaultsResult, error) {
+	out := FaultsResult{Events: make(map[string]int)}
+
+	link := netem.MustNew(netem.Config{BandwidthBps: cfg.BandwidthBps, Delay: 100 * time.Microsecond})
+	defer link.Close()
+
+	mgr := event.NewManager(nil)
+	netem.WatchOutages(link, mgr, "faults")
+
+	st := stream.New("faults", nil, nil)
+	defer st.End()
+	st.SetEventSink(mgr)
+	collector := &eventCollector{name: st.Name(), counts: out.Events}
+	mgr.Subscribe(event.ExecutionFault, collector)
+	mgr.Subscribe(event.NetworkVariation, collector)
+
+	forward := streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+		return []streamlet.Emission{{Msg: in.Msg}}, nil
+	})
+	inj := fault.NewInjector(cfg.Seed,
+		fault.Spec{Kind: fault.KindPanic, At: cfg.PanicAt},
+		fault.Spec{Kind: fault.KindStall, At: []uint64{cfg.StallAt}, Stall: cfg.StallFor},
+	)
+	comm := &services.Communicator{SinkTo: link}
+
+	if _, err := st.AddStreamlet("head", nil, forward); err != nil {
+		return out, err
+	}
+	if _, err := st.AddStreamlet("flaky", nil, inj.Wrap(forward)); err != nil {
+		return out, err
+	}
+	if _, err := st.AddStreamlet("comm", nil, comm); err != nil {
+		return out, err
+	}
+	if err := st.Connect(pr("head", "po"), pr("flaky", "pi"), nil); err != nil {
+		return out, err
+	}
+	if err := st.Connect(pr("flaky", "po"), pr("comm", "pi"), nil); err != nil {
+		return out, err
+	}
+	if err := st.Supervise("flaky", stream.SupervisionConfig{
+		Supervision: streamlet.Supervision{
+			Policy:         streamlet.PolicyRetry,
+			ProcessTimeout: cfg.ProcessTimeout,
+		},
+	}); err != nil {
+		return out, err
+	}
+	inlet, err := st.OpenInlet(pr("head", "pi"), 1<<24)
+	if err != nil {
+		return out, err
+	}
+	st.Start()
+	out.SessionID = st.SessionID()
+
+	// Sender: unique bodies so conservation is checked per message.
+	go func() {
+		for i := 0; i < cfg.Messages; i++ {
+			m := mime.NewMessage(services.TypePlainText, []byte(fmt.Sprintf("m-%04d", i)))
+			if inlet.Send(m) != nil {
+				return
+			}
+		}
+	}()
+	out.Sent = cfg.Messages
+
+	// Receiver: drain the link, injecting the blackout mid-run. During the
+	// blackout senders park inside the link, so delivery resumes afterwards
+	// with nothing lost.
+	seen := make(map[string]int, cfg.Messages)
+	blackedOut := false
+	for received := 0; received < cfg.Messages; received++ {
+		if !blackedOut && received >= cfg.BlackoutAfter {
+			blackedOut = true
+			t0 := time.Now()
+			fault.Blackout(link, cfg.BlackoutFor)
+			out.BlackoutDown = time.Since(t0)
+		}
+		d, err := link.Receive(10 * time.Second)
+		if err != nil {
+			out.Delivered = received
+			out.Lost = out.Sent - received
+			return out, fmt.Errorf("after %d deliveries: %w", received, err)
+		}
+		seen[string(d.Msg.Body())]++
+	}
+	out.Delivered = len(seen)
+	for _, n := range seen {
+		if n > 1 {
+			out.Duplicates += n - 1
+		}
+	}
+	out.Lost = out.Sent - out.Delivered
+
+	out.InjPanics, _, out.InjStalls = inj.Injected()
+	out.Recovered = st.Streamlet("flaky").Faults()
+
+	// Close flushes the asynchronous dispatcher, so every raised event has
+	// been counted when it returns.
+	mgr.Close()
+
+	if out.Lost != 0 || out.Duplicates != 0 {
+		return out, fmt.Errorf("conservation violated: %d lost, %d duplicated", out.Lost, out.Duplicates)
+	}
+	if want := uint64(len(cfg.PanicAt)); out.Recovered.Panics < want {
+		return out, fmt.Errorf("recovered %d panics, want >= %d", out.Recovered.Panics, want)
+	}
+	if out.Recovered.Stalls < 1 {
+		return out, fmt.Errorf("recovered %d stalls, want >= 1", out.Recovered.Stalls)
+	}
+	if out.Events[event.LINK_BLACKOUT] < 1 || out.Events[event.LINK_RESTORED] < 1 {
+		return out, fmt.Errorf("blackout events not observed: %v", out.Events)
+	}
+	if out.Events[event.STREAMLET_PANIC] < len(cfg.PanicAt) || out.Events[event.STREAMLET_STALL] < 1 {
+		return out, fmt.Errorf("fault events not observed: %v", out.Events)
+	}
+	return out, nil
+}
+
+// pr builds a port reference.
+func pr(inst, port string) mcl.PortRef { return mcl.PortRef{Inst: inst, Port: port} }
+
+// String renders the survival report.
+func (r FaultsResult) String() string {
+	s := fmt.Sprintf("fault-injection survival, session %s\n", r.SessionID)
+	s += fmt.Sprintf("  messages: sent=%d delivered=%d lost=%d duplicated=%d\n",
+		r.Sent, r.Delivered, r.Lost, r.Duplicates)
+	s += fmt.Sprintf("  injected: panics=%d stalls=%d blackout=%v\n",
+		r.InjPanics, r.InjStalls, r.BlackoutDown.Round(time.Millisecond))
+	s += fmt.Sprintf("  recovered: panics=%d stalls=%d retries=%d dropped=%d bypassed=%d\n",
+		r.Recovered.Panics, r.Recovered.Stalls, r.Recovered.Retries,
+		r.Recovered.Dropped, r.Recovered.Bypassed)
+	s += "  events:"
+	for _, id := range []string{event.STREAMLET_PANIC, event.STREAMLET_STALL, event.STREAMLET_ERROR,
+		event.LINK_BLACKOUT, event.LINK_RESTORED} {
+		if n := r.Events[id]; n > 0 {
+			s += fmt.Sprintf(" %s=%d", id, n)
+		}
+	}
+	s += "\n"
+	return s
+}
+
+// metricValue reads a counter from the default registry (helper for tests
+// asserting /metrics visibility of fault counters).
+func metricValue(name string) uint64 { return obs.DefaultCounter(name).Value() }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"mobigate/internal/obs"
+)
+
+// TestFaultsSurvival runs a compact fault-injection scenario end to end:
+// the supervised pipeline must conserve every message through panics, a
+// stall, and a blackout, and the fault counters must be visible on the
+// default metrics registry (what /metrics serves).
+func TestFaultsSurvival(t *testing.T) {
+	injBefore := metricValue(obs.MFaultInjectedTotal)
+	panicsBefore := metricValue(obs.MFaultPanicsTotal)
+	retriesBefore := metricValue(obs.MFaultRetriesTotal)
+
+	cfg := FaultsConfig{
+		Messages:       40,
+		PanicAt:        []uint64{3, 9},
+		StallAt:        14,
+		StallFor:       40 * time.Millisecond,
+		ProcessTimeout: 10 * time.Millisecond,
+		BlackoutAfter:  20,
+		BlackoutFor:    20 * time.Millisecond,
+		BandwidthBps:   4_000_000,
+		Seed:           7,
+	}
+	res, err := Faults(cfg)
+	if err != nil {
+		t.Fatalf("faults scenario failed: %v\n%s", err, res)
+	}
+	if res.Lost != 0 || res.Duplicates != 0 {
+		t.Fatalf("conservation: %d lost, %d duplicated", res.Lost, res.Duplicates)
+	}
+	if res.InjPanics != 2 || res.InjStalls != 1 {
+		t.Errorf("injected (panics, stalls) = (%d, %d), want (2, 1)", res.InjPanics, res.InjStalls)
+	}
+	if res.BlackoutDown < cfg.BlackoutFor {
+		t.Errorf("blackout lasted %v, want >= %v", res.BlackoutDown, cfg.BlackoutFor)
+	}
+
+	// The run must leave its footprint on the shared registry: injections,
+	// recovered panics, and retries all advanced.
+	if got := metricValue(obs.MFaultInjectedTotal); got < injBefore+3 {
+		t.Errorf("%s advanced by %d, want >= 3", obs.MFaultInjectedTotal, got-injBefore)
+	}
+	if got := metricValue(obs.MFaultPanicsTotal); got < panicsBefore+2 {
+		t.Errorf("%s advanced by %d, want >= 2", obs.MFaultPanicsTotal, got-panicsBefore)
+	}
+	if got := metricValue(obs.MFaultRetriesTotal); got == retriesBefore {
+		t.Errorf("%s did not advance", obs.MFaultRetriesTotal)
+	}
+}

@@ -1,0 +1,187 @@
+// Package fault provides deterministic, seedable fault injectors for
+// exercising the gateway's supervision subsystem: processor panics, errors
+// and stalls wrapped around any streamlet Processor, plus link blackouts on
+// emulated netem links. Injection points are chosen by call index (exactly
+// reproducible), by period, or by seeded probability — never by wall clock
+// — so a failing run replays identically. The injectors only *create*
+// faults; containment and recovery live in internal/streamlet
+// (supervisor.go) and internal/stream (supervise.go).
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobigate/internal/netem"
+	"mobigate/internal/obs"
+	"mobigate/internal/streamlet"
+)
+
+// mInjected counts every fault the injectors fire, of any kind.
+var mInjected = obs.DefaultCounter(obs.MFaultInjectedTotal)
+
+// Kind is the category of injected processor fault.
+type Kind int
+
+const (
+	// KindPanic makes Process panic.
+	KindPanic Kind = iota
+	// KindError makes Process return an error.
+	KindError
+	// KindStall makes Process sleep past its deadline before continuing.
+	KindStall
+
+	kindCount
+)
+
+var kindNames = [...]string{"panic", "error", "stall"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ErrInjected is the default error returned by KindError injections.
+var ErrInjected = errors.New("fault: injected processor error")
+
+// defaultStall is how long a KindStall injection sleeps when Spec.Stall is
+// zero.
+const defaultStall = 100 * time.Millisecond
+
+// Spec describes one fault pattern. The three triggers compose (any match
+// fires); leave a trigger zero to disable it.
+type Spec struct {
+	// Kind selects what happens at an injection point.
+	Kind Kind
+	// At lists 1-based Process-call indexes to inject at. Call indexes
+	// advance on retries too, so a supervisor retry of an At-injected call
+	// runs clean — the deterministic "transient fault" shape.
+	At []uint64
+	// Every injects at every Nth call (0 disables).
+	Every uint64
+	// Rate injects with this probability per call, driven by the
+	// injector's Seed (0 disables).
+	Rate float64
+	// Err is returned by KindError injections (default ErrInjected).
+	Err error
+	// Stall is how long KindStall sleeps (default 100ms).
+	Stall time.Duration
+}
+
+func (s *Spec) hits(call uint64, rng *rand.Rand) bool {
+	for _, at := range s.At {
+		if call == at {
+			return true
+		}
+	}
+	if s.Every > 0 && call%s.Every == 0 {
+		return true
+	}
+	return s.Rate > 0 && rng.Float64() < s.Rate
+}
+
+// Injector decides, per Process call, whether to inject a fault. One
+// injector carries one call counter; wrap one processor per injector to
+// keep call indexes meaningful.
+type Injector struct {
+	mu    sync.Mutex
+	specs []Spec
+	rng   *rand.Rand
+
+	calls  atomic.Uint64
+	counts [kindCount]atomic.Uint64
+}
+
+// NewInjector creates an injector firing the given specs, with seeded
+// randomness for Rate triggers.
+func NewInjector(seed int64, specs ...Spec) *Injector {
+	return &Injector{specs: specs, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Calls returns how many Process calls the injector has observed.
+func (i *Injector) Calls() uint64 { return i.calls.Load() }
+
+// Injected returns how many faults of each kind have fired.
+func (i *Injector) Injected() (panics, errs, stalls uint64) {
+	return i.counts[KindPanic].Load(), i.counts[KindError].Load(), i.counts[KindStall].Load()
+}
+
+// Total returns the total number of injected faults.
+func (i *Injector) Total() uint64 {
+	var t uint64
+	for k := range i.counts {
+		t += i.counts[k].Load()
+	}
+	return t
+}
+
+// Wrap returns a processor that delegates to p, injecting this injector's
+// faults. The wrapper exposes only the Process method; auxiliary interfaces
+// of p (Configurable, Peered) are intentionally hidden — injection sits
+// between the runtime and the processor exactly like a misbehaving
+// implementation would.
+func (i *Injector) Wrap(p streamlet.Processor) streamlet.Processor {
+	return &wrapped{inj: i, p: p}
+}
+
+type wrapped struct {
+	inj *Injector
+	p   streamlet.Processor
+}
+
+func (w *wrapped) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	call := w.inj.calls.Add(1)
+	w.inj.mu.Lock()
+	fire := -1
+	for idx := range w.inj.specs {
+		if w.inj.specs[idx].hits(call, w.inj.rng) {
+			fire = idx
+			break
+		}
+	}
+	var spec Spec
+	if fire >= 0 {
+		spec = w.inj.specs[fire]
+	}
+	w.inj.mu.Unlock()
+
+	if fire >= 0 {
+		w.inj.counts[spec.Kind].Add(1)
+		mInjected.Inc()
+		switch spec.Kind {
+		case KindPanic:
+			panic(fmt.Sprintf("fault: injected panic at call %d", call))
+		case KindError:
+			if spec.Err != nil {
+				return nil, spec.Err
+			}
+			return nil, ErrInjected
+		case KindStall:
+			d := spec.Stall
+			if d <= 0 {
+				d = defaultStall
+			}
+			// Sleep, then process normally: if the supervisor's deadline is
+			// shorter, it has already abandoned this execution and the
+			// result is discarded by the executor.
+			time.Sleep(d)
+		}
+	}
+	return w.p.Process(in)
+}
+
+// Blackout takes the link down for the given duration, then restores it,
+// blocking until restoration. Sends issued during the window park inside
+// the link (and back up into the stream's queues) rather than being lost.
+func Blackout(l *netem.Link, d time.Duration) {
+	mInjected.Inc()
+	l.SetDown(true)
+	time.Sleep(d)
+	l.SetDown(false)
+}

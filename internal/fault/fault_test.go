@@ -1,0 +1,133 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mobigate/internal/streamlet"
+)
+
+// forward is a passthrough processor for wrapping.
+var forward = streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+})
+
+// drive runs n Process calls through the wrapped processor, swallowing
+// injected panics like a supervisor would, and returns the outcome trace:
+// 'p' panic, 'e' error, 'ok' success.
+func drive(t *testing.T, p streamlet.Processor, n int) []string {
+	t.Helper()
+	trace := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out := func() (outcome string) {
+			defer func() {
+				if recover() != nil {
+					outcome = "p"
+				}
+			}()
+			if _, err := p.Process(streamlet.Input{}); err != nil {
+				return "e"
+			}
+			return "ok"
+		}()
+		trace = append(trace, out)
+	}
+	return trace
+}
+
+// TestAtTrigger: call-index injection fires at exactly the listed 1-based
+// calls and nowhere else.
+func TestAtTrigger(t *testing.T) {
+	inj := NewInjector(1, Spec{Kind: KindPanic, At: []uint64{2, 5}})
+	trace := drive(t, inj.Wrap(forward), 6)
+	want := []string{"ok", "p", "ok", "ok", "p", "ok"}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+	if inj.Calls() != 6 {
+		t.Errorf("Calls() = %d, want 6", inj.Calls())
+	}
+	panics, errs, stalls := inj.Injected()
+	if panics != 2 || errs != 0 || stalls != 0 {
+		t.Errorf("Injected() = (%d, %d, %d), want (2, 0, 0)", panics, errs, stalls)
+	}
+	if inj.Total() != 2 {
+		t.Errorf("Total() = %d, want 2", inj.Total())
+	}
+}
+
+// TestEveryTrigger: periodic injection fires on every Nth call.
+func TestEveryTrigger(t *testing.T) {
+	custom := errors.New("custom fault")
+	inj := NewInjector(1, Spec{Kind: KindError, Every: 3, Err: custom})
+	p := inj.Wrap(forward)
+	for call := 1; call <= 9; call++ {
+		_, err := p.Process(streamlet.Input{})
+		if call%3 == 0 {
+			if !errors.Is(err, custom) {
+				t.Errorf("call %d: err = %v, want the custom error", call, err)
+			}
+		} else if err != nil {
+			t.Errorf("call %d: unexpected error %v", call, err)
+		}
+	}
+	if _, errs, _ := inj.Injected(); errs != 3 {
+		t.Errorf("injected errors = %d, want 3", errs)
+	}
+}
+
+// TestErrInjectedDefault: KindError without Spec.Err returns ErrInjected.
+func TestErrInjectedDefault(t *testing.T) {
+	inj := NewInjector(1, Spec{Kind: KindError, At: []uint64{1}})
+	if _, err := inj.Wrap(forward).Process(streamlet.Input{}); !errors.Is(err, ErrInjected) {
+		t.Errorf("err = %v, want ErrInjected", err)
+	}
+}
+
+// TestRateDeterminism: two injectors with the same seed and specs inject at
+// identical call indexes; a different seed (very likely) diverges.
+func TestRateDeterminism(t *testing.T) {
+	run := func(seed int64) []string {
+		inj := NewInjector(seed, Spec{Kind: KindError, Rate: 0.3})
+		return drive(t, inj.Wrap(forward), 200)
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d: %q vs %q", i+1, a[i], b[i])
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 produced identical 200-call traces")
+	}
+}
+
+// TestStallInjection: KindStall delays the call past the configured stall
+// but still processes the message (the supervisor's deadline, not the
+// injector, decides whether the result is used).
+func TestStallInjection(t *testing.T) {
+	const stall = 20 * time.Millisecond
+	inj := NewInjector(1, Spec{Kind: KindStall, At: []uint64{1}, Stall: stall})
+	p := inj.Wrap(forward)
+	start := time.Now()
+	if _, err := p.Process(streamlet.Input{}); err != nil {
+		t.Fatalf("stalled call failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Errorf("stalled call returned after %v, want >= %v", elapsed, stall)
+	}
+	if _, _, stalls := inj.Injected(); stalls != 1 {
+		t.Errorf("injected stalls = %d, want 1", stalls)
+	}
+}

@@ -101,6 +101,14 @@ type Link struct {
 	msgsSent  int64
 	bwChanges []func(old, new int64)
 	closed    bool
+
+	// Blackout state (§2.2.1 disconnection handling): while down, Send
+	// blocks until the link is restored or closed. upSig is a generation
+	// channel: created when the link goes down, closed when it comes back
+	// up, releasing every blocked sender at once.
+	down         bool
+	upSig        chan struct{}
+	stateChanges []func(down bool)
 }
 
 // ErrLinkClosed is returned by Send after Close.
@@ -167,6 +175,47 @@ func (l *Link) OnBandwidthChange(f func(old, new int64)) {
 	l.bwChanges = append(l.bwChanges, f)
 }
 
+// SetDown takes the link down (a blackout: tunnel, elevator, coverage
+// hole) or restores it. While down, Send blocks — in both modes — until
+// the link is restored or closed, modelling the store-and-forward
+// behaviour the gateway relies on across disconnections. Observers
+// registered with OnStateChange are notified of every transition.
+func (l *Link) SetDown(down bool) {
+	l.mu.Lock()
+	if l.closed || l.down == down {
+		l.mu.Unlock()
+		return
+	}
+	l.down = down
+	if down {
+		l.upSig = make(chan struct{})
+	} else {
+		close(l.upSig)
+		l.upSig = nil
+	}
+	observers := make([]func(down bool), len(l.stateChanges))
+	copy(observers, l.stateChanges)
+	l.mu.Unlock()
+	for _, f := range observers {
+		f(down)
+	}
+}
+
+// Down reports whether the link is currently in a blackout.
+func (l *Link) Down() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.down
+}
+
+// OnStateChange registers an observer called after every SetDown
+// transition.
+func (l *Link) OnStateChange(f func(down bool)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.stateChanges = append(l.stateChanges, f)
+}
+
 // WireBytes returns the modelled on-the-wire size of a message.
 func WireBytes(m *mime.Message) int64 {
 	return int64(m.Len() + headerOverheadBytes)
@@ -195,9 +244,25 @@ func (l *Link) transferTimeLocked(wire int64) time.Duration {
 // sleeps for the transfer time.
 func (l *Link) Send(m *mime.Message) error {
 	l.mu.Lock()
-	if l.closed {
+	for {
+		if l.closed {
+			l.mu.Unlock()
+			return ErrLinkClosed
+		}
+		if !l.down {
+			break
+		}
+		// Blackout: park until restored or closed. The blocked sender backs
+		// pressure up into the stream's queues, which buffer the traffic —
+		// no message is lost across the outage.
+		sig := l.upSig
 		l.mu.Unlock()
-		return ErrLinkClosed
+		select {
+		case <-sig:
+		case <-l.done:
+			return ErrLinkClosed
+		}
+		l.mu.Lock()
 	}
 	wire := WireBytes(m)
 	cost := l.transferTimeLocked(wire)

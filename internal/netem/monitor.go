@@ -54,3 +54,19 @@ func (m *BandwidthMonitor) Below() bool {
 	defer m.mu.Unlock()
 	return m.below
 }
+
+// WatchOutages raises LINK_BLACKOUT / LINK_RESTORED context events on every
+// SetDown transition of the link — the disconnection notifications of
+// §2.2.1, delivered through the same event loop as bandwidth variations so
+// streams can subscribe and reconfigure (buffer more, switch codecs) while
+// the link is dark.
+func WatchOutages(l *Link, mgr *event.Manager, source string) {
+	l.OnStateChange(func(down bool) {
+		id := event.LINK_RESTORED
+		if down {
+			id = event.LINK_BLACKOUT
+		}
+		// Raise never fails for catalog events.
+		_ = mgr.Raise(id, source)
+	})
+}

@@ -31,6 +31,20 @@ const (
 	MStreamDroppedTotal      = "mobigate_stream_dropped_total"
 	MStreamTypeErrorsTotal   = "mobigate_stream_type_errors_total"
 	MStreamReconfigSeconds   = "mobigate_stream_reconfig_seconds"
+	// Reconfigurations aborted because a drain deadline passed with
+	// messages still in flight (§6.6 message-loss avoidance refused to
+	// detach and strand them).
+	MStreamDrainTimeoutsTotal = "mobigate_stream_reconfig_drain_timeouts_total"
+
+	// Execution-plane fault supervision (panic containment, processing
+	// deadlines, per-streamlet recovery policies) and fault injection.
+	MFaultInjectedTotal  = "mobigate_fault_injected_total"
+	MFaultPanicsTotal    = "mobigate_fault_panics_recovered_total"
+	MFaultStallsTotal    = "mobigate_fault_stalls_total"
+	MFaultRetriesTotal   = "mobigate_fault_retries_total"
+	MFaultDroppedTotal   = "mobigate_fault_dropped_total"
+	MFaultBypassedTotal  = "mobigate_fault_bypassed_total"
+	MFaultHealsTotal     = "mobigate_fault_heals_total"
 
 	// Emulated wireless link (§7.1 testbed; Equation 7-2 transfer term).
 	MLinkBandwidthBps    = "mobigate_link_bandwidth_bps"
@@ -43,6 +57,7 @@ const (
 	MEventsRaisedTotal    = "mobigate_events_raised_total"
 	MEventsDeliveredTotal = "mobigate_events_delivered_total"
 	MEventsFilteredTotal  = "mobigate_events_filtered_total"
+	MEventsDroppedTotal   = "mobigate_events_dropped_total"
 
 	// Gateway server and front-end sessions (§3.3 Coordination Manager).
 	MStreamsDeployedTotal = "mobigate_streams_deployed_total"
@@ -64,13 +79,22 @@ func registerCatalog(r *Registry) {
 		{MPoolMissTotal, "Pool lookups for unknown message identifiers."},
 		{MPoolCopyTotal, "Deep copies made by the pass-by-value pool mode (Figure 7-3 baseline)."},
 		{MStreamProcessedTotal, "processMsg executions across all streamlets."},
-		{MStreamDroppedTotal, "Emissions lost to full output queues (wait-then-drop, paragraph 6.7)."},
+		{MStreamDroppedTotal, "Messages lost to full output queues (wait-then-drop, paragraph 6.7) or dropped by fault supervision."},
 		{MStreamTypeErrorsTotal, "Messages dropped by the paragraph 4.1 runtime port-type check."},
+		{MStreamDrainTimeoutsTotal, "Reconfigurations aborted because draining did not finish before the deadline (paragraph 6.6)."},
+		{MFaultInjectedTotal, "Faults injected by the internal/fault injectors (panics, errors, stalls)."},
+		{MFaultPanicsTotal, "Processor panics recovered by the streamlet supervisor."},
+		{MFaultStallsTotal, "Processor executions abandoned after exceeding the per-message deadline."},
+		{MFaultRetriesTotal, "Processor re-executions performed by the retry policy."},
+		{MFaultDroppedTotal, "Messages dropped by fault policy after recovery was exhausted."},
+		{MFaultBypassedTotal, "Messages forwarded unprocessed by the bypass fault policy."},
+		{MFaultHealsTotal, "Self-healing reconfigurations (replace/remove) completed after faults."},
 		{MLinkMessagesTotal, "Messages transmitted over emulated links."},
 		{MLinkWireBytesTotal, "Wire bytes (body plus framing overhead) transmitted over emulated links."},
 		{MEventsRaisedTotal, "Context events posted to the event manager."},
 		{MEventsDeliveredTotal, "Event deliveries to subscribed streams."},
 		{MEventsFilteredTotal, "Source-directed events withheld from non-matching subscribers."},
+		{MEventsDroppedTotal, "Context events shed because the dispatch buffer was full (Post never blocks)."},
 		{MStreamsDeployedTotal, "Stream instances deployed since startup."},
 		{MSessionsTotal, "Front-end client sessions accepted since startup."},
 	} {

@@ -210,17 +210,20 @@ func (q *Queue) broadcastLocked() {
 	}
 }
 
-// waitLocked blocks until the queue is signaled, the caller's stop channel
-// fires, or the timer channel fires (nil channels never fire). The lock is
-// released while blocked and reacquired before returning. Callers loop and
-// re-check their predicate: a signal wake may be spurious for them.
-func (q *Queue) waitLocked(stop <-chan struct{}, timeout <-chan time.Time) (stopFired, timedOut bool) {
+// waitLocked blocks until the queue is signaled, the caller's stop or gate
+// channel fires, or the timer channel fires (nil channels never fire). The
+// lock is released while blocked and reacquired before returning. Callers
+// loop and re-check their predicate: a signal wake may be spurious for
+// them.
+func (q *Queue) waitLocked(stop, gate <-chan struct{}, timeout <-chan time.Time) (stopFired, timedOut bool) {
 	q.waiters++
 	sig := q.sig
 	q.mu.Unlock()
 	select {
 	case <-sig:
 	case <-stop:
+		stopFired = true
+	case <-gate:
 		stopFired = true
 	case <-timeout:
 		timedOut = true
@@ -270,7 +273,7 @@ func (q *Queue) post(msgID string, size int, stop <-chan struct{}) error {
 		if q.opts.DropTimeout >= 0 {
 			timer := acquireTimer(q.opts.DropTimeout)
 			for q.queuedSize+size > q.opts.CapacityBytes && q.count > 0 && !q.closed {
-				stopFired, timedOut := q.waitLocked(stop, timer.C)
+				stopFired, timedOut := q.waitLocked(stop, nil, timer.C)
 				if stopFired || timedOut {
 					break
 				}
@@ -278,7 +281,7 @@ func (q *Queue) post(msgID string, size int, stop <-chan struct{}) error {
 			releaseTimer(timer)
 		} else {
 			for q.queuedSize+size > q.opts.CapacityBytes && q.count > 0 && !q.closed {
-				if stopFired, _ := q.waitLocked(stop, nil); stopFired {
+				if stopFired, _ := q.waitLocked(stop, nil, nil); stopFired {
 					return ErrCanceled
 				}
 			}
@@ -344,7 +347,7 @@ func (q *Queue) postSyncLocked(msgID string, size int, stop <-chan struct{}) err
 		if q.closed {
 			return ErrClosed
 		}
-		if stopFired, _ := q.waitLocked(stop, nil); stopFired {
+		if stopFired, _ := q.waitLocked(stop, nil, nil); stopFired {
 			return ErrCanceled
 		}
 	}
@@ -352,7 +355,7 @@ func (q *Queue) postSyncLocked(msgID string, size int, stop <-chan struct{}) err
 	q.broadcastLocked()
 	// Wait until the rendezvous completes.
 	for q.count > 0 && !q.closed {
-		if stopFired, _ := q.waitLocked(stop, nil); stopFired {
+		if stopFired, _ := q.waitLocked(stop, nil, nil); stopFired {
 			return ErrCanceled
 		}
 	}
@@ -370,11 +373,23 @@ func (q *Queue) Fetch(stop <-chan struct{}) (Item, bool) {
 	if sampled {
 		start = time.Now()
 	}
-	it, ok := q.fetch(stop, nil)
+	it, ok := q.fetch(stop, nil, nil)
 	if ok && sampled {
 		mFetchWait.Observe(time.Since(start).Seconds())
 	}
 	return it, ok
+}
+
+// FetchGated is Fetch with a second abort channel, the gate. A consumer
+// that can be suspended mid-wait (a paused streamlet's pump) passes its
+// pause gate here: when the gate fires the fetch is retracted without
+// consuming an item — even one that raced in — so a suspended consumer
+// stops pulling work and its upstream queue depth becomes observable to a
+// reconfiguration drain. ok=false means stop fired, the gate fired, or the
+// queue closed empty; callers tell the cases apart by inspecting their own
+// channels.
+func (q *Queue) FetchGated(stop, gate <-chan struct{}) (Item, bool) {
+	return q.fetch(stop, gate, nil)
 }
 
 // FetchTimeout is Fetch with a deadline instead of a stop channel: it waits
@@ -383,18 +398,19 @@ func (q *Queue) Fetch(stop <-chan struct{}) (Item, bool) {
 // allocation (Outlet.Receive is built on this).
 func (q *Queue) FetchTimeout(d time.Duration) (Item, bool) {
 	timer := acquireTimer(d)
-	it, ok := q.fetch(nil, timer.C)
+	it, ok := q.fetch(nil, nil, timer.C)
 	releaseTimer(timer)
 	return it, ok
 }
 
-func (q *Queue) fetch(stop <-chan struct{}, timeout <-chan time.Time) (Item, bool) {
+func (q *Queue) fetch(stop, gate <-chan struct{}, timeout <-chan time.Time) (Item, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	// A canceled fetch must not consume an item even when one is already
-	// available: a consumer detached before its fetch loop was scheduled
-	// would otherwise steal messages destined for its replacement.
-	if stopped(stop) {
+	// available: a consumer detached (or suspended, via the gate) before its
+	// fetch loop was scheduled would otherwise steal messages destined for
+	// its replacement.
+	if stopped(stop) || stopped(gate) {
 		return Item{}, false
 	}
 	for q.count == 0 {
@@ -403,12 +419,12 @@ func (q *Queue) fetch(stop <-chan struct{}, timeout <-chan time.Time) (Item, boo
 		}
 		q.waitingConsumers++
 		q.broadcastLocked() // wake sync producers waiting for a consumer
-		stopFired, timedOut := q.waitLocked(stop, timeout)
+		stopFired, timedOut := q.waitLocked(stop, gate, timeout)
 		q.waitingConsumers--
-		// Re-check the stop channel even on a signal wake: when both race,
+		// Re-check the abort channels even on a signal wake: when both race,
 		// cancellation wins and the item is left for the replacement
 		// consumer (see the entry check above).
-		if stopFired || timedOut || stopped(stop) {
+		if stopFired || timedOut || stopped(stop) || stopped(gate) {
 			return Item{}, false
 		}
 	}

@@ -187,6 +187,10 @@ func (s *Server) deploy(name, alias string) (*stream.Stream, error) {
 		return nil, err
 	}
 	st.ErrorHandler = s.opts.ErrorHandler
+	// Fault supervision raises ExecutionFault context events through the
+	// gateway's event loop, where when-blocks (and monitoring clients) can
+	// react to them like any other context variation.
+	st.SetEventSink(s.events)
 
 	// Subscribe the stream to the categories of the events it reacts to,
 	// so the Coordination Manager's event filtering (§3.3.1) never wakes a

@@ -8,6 +8,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,17 @@ import (
 
 // mReconfigSeconds observes every reconfiguration's Equation 7-1 total.
 var mReconfigSeconds = obs.DefaultHistogram(obs.MStreamReconfigSeconds, nil)
+
+// mDrainTimeouts counts reconfigurations aborted because draining did not
+// finish before the deadline (§6.6: better to abort than to strand queued
+// messages by detaching anyway).
+var mDrainTimeouts = obs.DefaultCounter(obs.MStreamDrainTimeoutsTotal)
+
+// ErrDrainTimeout reports that a reconfiguration's drain deadline passed
+// with messages still queued or in flight. The reconfiguration was aborted
+// and the suspended producer reactivated; no message was stranded. Callers
+// retry with a longer deadline or escalate.
+var ErrDrainTimeout = errors.New("stream: drain deadline exceeded, reconfiguration aborted")
 
 // node is a composition member: a native streamlet or a nested composite
 // stream reused as a streamlet (§4.4.2).
@@ -185,6 +197,14 @@ type Stream struct {
 	// verifyRules, when set, re-runs the semantic analyses after every
 	// event-driven reconfiguration (§8.2.2 runtime assertions).
 	verifyRules *semantics.Rules
+
+	// Fault supervision state (supervise.go): the sink ExecutionFault
+	// events are posted to, per-instance terminal-fault counts, instances
+	// with a heal in flight, and the spare-id sequence.
+	events      *event.Manager
+	faultCounts map[string]int
+	healing     map[string]bool
+	spareSeq    int
 
 	lastTiming ReconfigTiming
 	reconfigs  atomic.Uint64
@@ -515,8 +535,48 @@ func (st *Stream) DetachOutRef(ref mcl.PortRef) {
 // been added (AddStreamlet / NewStreamlet) and its ports named.
 func (st *Stream) Insert(pInst, cInst, newInst, newInPort, newOutPort string) error {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 
+	found := false
+	for i := range st.conns {
+		if st.conns[i].from.Inst == pInst && st.conns[i].to.Inst == cInst {
+			found = true
+			break
+		}
+	}
+	if !found {
+		st.mu.Unlock()
+		return fmt.Errorf("stream %s: no connection between %s and %s", st.name, pInst, cInst)
+	}
+	np, err := st.node(pInst)
+	if err != nil {
+		st.mu.Unlock()
+		return err
+	}
+	nn, err := st.node(newInst)
+	if err != nil {
+		st.mu.Unlock()
+		return err
+	}
+
+	var timing ReconfigTiming
+	t0 := time.Now()
+	np.pause() // step 2: suspend the producer
+	timing.Suspend = time.Since(t0)
+	st.mu.Unlock()
+
+	// Message-loss avoidance (§6.6): the suspended producer must finish its
+	// in-flight messages before its output port is detached — an emission
+	// into the unbound port during the rebind window would be lost.
+	if !waitUntil(time.Now().Add(drainWait), np.quiesced) {
+		np.activate()
+		mDrainTimeouts.Inc()
+		return fmt.Errorf("stream %s: insert %s: %w (after %v)", st.name, newInst, ErrDrainTimeout, drainWait)
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	// Re-resolve the connection: the routing table may have shifted while
+	// the lock was released for the drain.
 	var conn *liveConn
 	for i := range st.conns {
 		if st.conns[i].from.Inst == pInst && st.conns[i].to.Inst == cInst {
@@ -525,21 +585,9 @@ func (st *Stream) Insert(pInst, cInst, newInst, newInPort, newOutPort string) er
 		}
 	}
 	if conn == nil {
-		return fmt.Errorf("stream %s: no connection between %s and %s", st.name, pInst, cInst)
+		np.activate()
+		return fmt.Errorf("stream %s: connection between %s and %s vanished during drain", st.name, pInst, cInst)
 	}
-	np, err := st.node(pInst)
-	if err != nil {
-		return err
-	}
-	nn, err := st.node(newInst)
-	if err != nil {
-		return err
-	}
-
-	var timing ReconfigTiming
-	t0 := time.Now()
-	np.pause() // step 2: suspend the producer
-	timing.Suspend = time.Since(t0)
 
 	t1 := time.Now()
 	m := conn.q
@@ -631,14 +679,22 @@ func (st *Stream) Remove(t string, drainTimeout time.Duration) error {
 
 	// Message-loss avoidance (§6.6): let the suspended producer finish its
 	// in-flight message, wait for t to drain, then wait for t's consumer to
-	// empty the downstream channel before it is re-attached upstream.
+	// empty the downstream channel before it is re-attached upstream. If any
+	// wait times out, the reconfiguration is aborted — detaching anyway would
+	// strand the undrained messages, exactly the silent loss the protocol
+	// exists to prevent.
 	deadline := time.Now().Add(drainTimeout)
-	if producer != nil {
-		waitUntil(deadline, producer.quiesced)
+	drained := producer == nil || waitUntil(deadline, producer.quiesced)
+	drained = drained && waitUntil(deadline, nt.canTerminate)
+	if drained && hasOut {
+		drained = waitUntil(deadline, outConn.q.Empty)
 	}
-	waitUntil(deadline, nt.canTerminate)
-	if hasOut {
-		waitUntil(deadline, outConn.q.Empty)
+	if !drained {
+		if producer != nil {
+			producer.activate()
+		}
+		mDrainTimeouts.Inc()
+		return fmt.Errorf("stream %s: remove %s: %w (after %v)", st.name, t, ErrDrainTimeout, drainTimeout)
 	}
 
 	st.mu.Lock()
@@ -692,11 +748,16 @@ func (st *Stream) recordReconfigLocked(t ReconfigTiming) {
 	mReconfigSeconds.Observe(t.Total().Seconds())
 }
 
-// waitUntil polls cond until it holds or the deadline passes.
-func waitUntil(deadline time.Time, cond func() bool) {
-	for !cond() && time.Now().Before(deadline) {
+// waitUntil polls cond until it holds or the deadline passes, reporting
+// whether cond held.
+func waitUntil(deadline time.Time, cond func() bool) bool {
+	for !cond() {
+		if !time.Now().Before(deadline) {
+			return false
+		}
 		time.Sleep(200 * time.Microsecond)
 	}
+	return true
 }
 
 // retargetConnLocked updates the routing-table row (from → oldTo) to point

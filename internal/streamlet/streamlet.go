@@ -145,10 +145,29 @@ type Streamlet struct {
 	ins   map[string]*queue.Queue
 	outs  map[string]*queue.Queue
 	pumps map[string]chan struct{} // per-input stop channels
+	// fetchGate is the pause generation signal: open while active, closed
+	// by Pause, replaced by Activate. Pumps arm their blocking fetch with
+	// it so a pause retracts in-progress fetches instead of letting them
+	// pull messages a reconfiguration drain expects to stay queued.
+	fetchGate chan struct{}
 
 	work chan workItem // unbuffered handoff from pumps to the worker
 	done chan struct{}
 	wg   sync.WaitGroup
+
+	// sup is the installed fault supervision (nil selects the default:
+	// panic containment only). Swapped atomically so Supervise/OnFault are
+	// safe against a running worker.
+	sup atomic.Pointer[supervision]
+	// exec is the deadline executor goroutine; owned exclusively by the
+	// worker (created lazily, abandoned on stall, closed at worker exit).
+	exec *procExec
+
+	faultPanics   atomic.Uint64
+	faultStalls   atomic.Uint64
+	faultRetries  atomic.Uint64
+	faultDropped  atomic.Uint64
+	faultBypassed atomic.Uint64
 
 	processing atomic.Bool
 	// inflight counts messages fetched from an input queue but not yet
@@ -191,16 +210,17 @@ type workItem struct {
 // message pool.
 func New(id string, decl *mcl.StreamletDecl, proc Processor, pool *msgpool.Pool) *Streamlet {
 	s := &Streamlet{
-		id:       id,
-		decl:     decl,
-		proc:     proc,
-		pool:     pool,
-		ins:      make(map[string]*queue.Queue),
-		outs:     make(map[string]*queue.Queue),
-		pumps:    make(map[string]chan struct{}),
-		work:     make(chan workItem),
-		done:     make(chan struct{}),
-		procHist: obs.DefaultHistogram(obs.MStreamletProcessSeconds, obs.Labels{"streamlet": id}),
+		id:        id,
+		decl:      decl,
+		proc:      proc,
+		pool:      pool,
+		ins:       make(map[string]*queue.Queue),
+		outs:      make(map[string]*queue.Queue),
+		pumps:     make(map[string]chan struct{}),
+		work:      make(chan workItem),
+		done:      make(chan struct{}),
+		fetchGate: make(chan struct{}),
+		procHist:  obs.DefaultHistogram(obs.MStreamletProcessSeconds, obs.Labels{"streamlet": id}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -306,6 +326,9 @@ func (s *Streamlet) detachInLocked(port string) {
 	if stop, ok := s.pumps[port]; ok {
 		close(stop)
 		delete(s.pumps, port)
+		// A pump parked in fetchableGate (paused) only re-checks its stop
+		// channel on a cond wake.
+		s.cond.Broadcast()
 	}
 	if q, ok := s.ins[port]; ok {
 		q.DecConsumer()
@@ -386,9 +409,19 @@ func (s *Streamlet) startPumpLocked(port string, q *queue.Queue) {
 	go func() {
 		defer s.wg.Done()
 		for {
-			it, ok := q.Fetch(stop)
-			if !ok {
+			// Drain-then-park: a paused streamlet stops pulling new input.
+			// Whatever was already fetched drains through the worker; the
+			// rest stays observable in the queues for quiesce checks.
+			gate, live := s.fetchableGate(stop)
+			if !live {
 				return
+			}
+			it, ok := q.FetchGated(stop, gate)
+			if !ok {
+				if stopped(stop) || q.Closed() {
+					return
+				}
+				continue // the pause gate fired: park until reactivated
 			}
 			s.inflight.Add(1)
 			item := workItem{port: port, msgID: it.MsgID, src: q, wait: it.Wait}
@@ -415,13 +448,16 @@ func (s *Streamlet) startPumpLocked(port string, q *queue.Queue) {
 	}()
 }
 
-// Pause suspends processing (the pause lifecycle method). Messages keep
-// accumulating on input queues.
+// Pause suspends input intake (the pause lifecycle method). Closing the
+// fetch gate retracts every pump's blocking fetch, so new messages keep
+// accumulating on the input queues; messages already fetched still drain
+// through the worker, which is what lets a paused streamlet quiesce.
 func (s *Streamlet) Pause() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.state == StateActive {
 		s.state = StatePaused
+		close(s.fetchGate)
 		s.cond.Broadcast()
 	}
 }
@@ -432,7 +468,35 @@ func (s *Streamlet) Activate() {
 	defer s.mu.Unlock()
 	if s.state == StatePaused {
 		s.state = StateActive
+		s.fetchGate = make(chan struct{})
 		s.cond.Broadcast()
+	}
+}
+
+// fetchableGate parks the calling pump while the streamlet is paused and
+// returns the gate channel to arm the next fetch with. live=false means
+// the pump should exit (its stop fired or the streamlet ended).
+func (s *Streamlet) fetchableGate(stop <-chan struct{}) (gate <-chan struct{}, live bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.state == StatePaused {
+		if stopped(stop) {
+			return nil, false
+		}
+		s.cond.Wait()
+	}
+	if stopped(stop) || s.state != StateActive {
+		return nil, false
+	}
+	return s.fetchGate, true
+}
+
+func stopped(stop <-chan struct{}) bool {
+	select {
+	case <-stop:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -493,12 +557,23 @@ func (s *Streamlet) End() {
 // worker is the processMsg loop.
 func (s *Streamlet) worker() {
 	defer s.wg.Done()
+	defer func() {
+		// Release the deadline executor; an in-flight (stalled) call
+		// finishes on its own, discards its result, and exits.
+		if s.exec != nil {
+			close(s.exec.in)
+			s.exec = nil
+		}
+	}()
 	for {
 		select {
 		case <-s.done:
 			return
 		case it := <-s.work:
-			if !s.waitActive() {
+			// Paused streamlets still drain items already fetched — the
+			// pause gate guarantees no new ones arrive — so reconfiguration
+			// drains terminate. Only termination abandons work.
+			if s.State() == StateEnded {
 				s.inflight.Add(-1)
 				it.src.Ack() // abandoned on shutdown
 				return
@@ -508,16 +583,6 @@ func (s *Streamlet) worker() {
 			it.src.Ack()
 		}
 	}
-}
-
-// waitActive blocks while paused; false when ended.
-func (s *Streamlet) waitActive() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for s.state == StatePaused {
-		s.cond.Wait()
-	}
-	return s.state == StateActive
 }
 
 func (s *Streamlet) handle(it workItem) {
@@ -555,7 +620,7 @@ func (s *Streamlet) handle(it workItem) {
 	if tracing || sampleHist {
 		procStart = time.Now()
 	}
-	emissions, err := s.proc.Process(Input{Port: it.port, Msg: msg})
+	res := s.supervised(Input{Port: it.port, Msg: msg})
 	var procDur time.Duration
 	if tracing || sampleHist {
 		procDur = time.Since(procStart)
@@ -563,20 +628,33 @@ func (s *Streamlet) handle(it workItem) {
 	if sampleHist {
 		s.procHist.Observe(procDur.Seconds())
 	}
-	if err != nil {
-		s.fail(fmt.Errorf("streamlet %s: process: %w", s.id, err))
+	if res.aborted {
+		// The streamlet ended mid-call: the message is abandoned exactly as
+		// End documents; its pool entry stays for stream-level cleanup.
+		return
+	}
+	if res.err != nil {
+		// Fault accounting (dropped counts, fault counters, OnFault) already
+		// happened inside the supervisor; here the error surfaces and the
+		// pool entry is released.
+		s.fail(fmt.Errorf("streamlet %s: process: %w", s.id, res.err))
 		s.pool.Remove(it.msgID)
 		return
 	}
-	s.processed.Add(1)
-	mProcessedTotal.Inc()
+	emissions := res.emissions
+	if !res.bypassed {
+		s.processed.Add(1)
+		mProcessedTotal.Inc()
+	}
 
 	if tracing {
 		s.trace(it, session, emissions, inChain, bytesIn, procDur)
 	}
 
 	peerID := ""
-	if p, ok := s.proc.(Peered); ok {
+	// A bypassed message was not transformed, so the peer chain must not
+	// promise a reversal at the client.
+	if p, ok := s.proc.(Peered); ok && !res.bypassed {
 		peerID = p.PeerID()
 	}
 

@@ -1,0 +1,240 @@
+package streamlet
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// panicEvery returns a processor that panics on calls where shouldPanic
+// reports true and forwards otherwise.
+func panicOn(shouldPanic func(call uint64) bool) Processor {
+	var calls atomic.Uint64
+	return ProcessorFunc(func(in Input) ([]Emission, error) {
+		if shouldPanic(calls.Add(1)) {
+			panic("boom")
+		}
+		return []Emission{{Msg: in.Msg}}, nil
+	})
+}
+
+// TestPanicContainedWithoutSupervision: a panicking Processor on a plain,
+// unsupervised streamlet must never unwind the worker — the message is
+// dropped and accounted, the error reaches the handler, and the next
+// message processes normally.
+func TestPanicContainedWithoutSupervision(t *testing.T) {
+	proc := panicOn(func(call uint64) bool { return call == 1 })
+	pool, s, in, out := newRig(proc)
+
+	var mu sync.Mutex
+	var errs []error
+	s.ErrorHandler = func(err error) { mu.Lock(); errs = append(errs, err); mu.Unlock() }
+	s.Start()
+	defer s.End()
+
+	post(t, pool, in, textMsg("victim"))
+	post(t, pool, in, textMsg("survivor"))
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if string(got.Body()) != "survivor" {
+		t.Errorf("delivered %q, want the post-panic message", got.Body())
+	}
+	if s.Dropped() != 1 {
+		t.Errorf("Dropped() = %d, want 1", s.Dropped())
+	}
+	if f := s.Faults(); f.Panics != 1 || f.Dropped != 1 {
+		t.Errorf("Faults() = %+v, want 1 panic, 1 dropped", f)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 1 || !errors.Is(errs[0], ErrProcessorPanic) {
+		t.Errorf("errors = %v, want one ErrProcessorPanic", errs)
+	}
+	if len(errs) == 1 && !strings.Contains(errs[0].Error(), "boom") {
+		t.Errorf("panic value missing from error: %v", errs[0])
+	}
+}
+
+// TestRetryPolicyRecovers: transient faults (two panics, then success) are
+// retried and the message comes through; a recovered FaultRecord is
+// reported.
+func TestRetryPolicyRecovers(t *testing.T) {
+	proc := panicOn(func(call uint64) bool { return call <= 2 })
+	pool, s, in, out := newRig(proc)
+	s.Supervise(Supervision{Policy: PolicyRetry, MaxRetries: 3, RetryBackoff: 100 * time.Microsecond})
+
+	var mu sync.Mutex
+	var recs []FaultRecord
+	s.OnFault(func(r FaultRecord) { mu.Lock(); recs = append(recs, r); mu.Unlock() })
+	s.Start()
+	defer s.End()
+
+	post(t, pool, in, textMsg("persistent"))
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if string(got.Body()) != "persistent" {
+		t.Errorf("delivered %q", got.Body())
+	}
+	if f := s.Faults(); f.Panics != 2 || f.Retries != 2 || f.Dropped != 0 {
+		t.Errorf("Faults() = %+v, want 2 panics, 2 retries, 0 dropped", f)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(recs) != 1 || !recs[0].Recovered || recs[0].Attempts != 3 {
+		t.Errorf("records = %+v, want one recovered record with 3 attempts", recs)
+	}
+}
+
+// TestRetryPolicyExhaustedDrops: a persistent fault exhausts the retries
+// and the message is dropped with a terminal record.
+func TestRetryPolicyExhaustedDrops(t *testing.T) {
+	proc := panicOn(func(uint64) bool { return true })
+	pool, s, in, out := newRig(proc)
+	s.ErrorHandler = func(error) {}
+	s.Supervise(Supervision{Policy: PolicyRetry, MaxRetries: 2, RetryBackoff: 100 * time.Microsecond})
+
+	var rec atomic.Pointer[FaultRecord]
+	s.OnFault(func(r FaultRecord) {
+		if !r.Recovered {
+			rec.Store(&r)
+		}
+	})
+	s.Start()
+	defer s.End()
+
+	post(t, pool, in, textMsg("doomed"))
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Dropped() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1", s.Dropped())
+	}
+	r := rec.Load()
+	if r == nil || r.Attempts != 3 || r.Kind != FaultPanic {
+		t.Errorf("terminal record = %+v, want 3 attempts of kind panic", r)
+	}
+	if it, ok := out.TryFetch(); ok {
+		t.Errorf("unexpected emission %s after exhausted retries", it.MsgID)
+	}
+}
+
+// TestDropPolicy: errors under PolicyDrop drop the message immediately and
+// keep the pipeline flowing.
+func TestDropPolicy(t *testing.T) {
+	bad := errors.New("bad message")
+	var calls atomic.Uint64
+	proc := ProcessorFunc(func(in Input) ([]Emission, error) {
+		if calls.Add(1) == 1 {
+			return nil, bad
+		}
+		return []Emission{{Msg: in.Msg}}, nil
+	})
+	pool, s, in, out := newRig(proc)
+	var handled atomic.Uint64
+	s.ErrorHandler = func(error) { handled.Add(1) }
+	s.Supervise(Supervision{Policy: PolicyDrop})
+	s.Start()
+	defer s.End()
+
+	post(t, pool, in, textMsg("bad"))
+	post(t, pool, in, textMsg("good"))
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if string(got.Body()) != "good" {
+		t.Errorf("delivered %q", got.Body())
+	}
+	if f := s.Faults(); f.Dropped != 1 {
+		t.Errorf("Faults() = %+v, want 1 dropped", f)
+	}
+	if handled.Load() == 0 {
+		t.Error("ErrorHandler not invoked for the dropped message")
+	}
+}
+
+// TestBypassPolicy: a faulting processor under PolicyBypass forwards the
+// message unprocessed instead of dropping it.
+func TestBypassPolicy(t *testing.T) {
+	proc := ProcessorFunc(func(in Input) ([]Emission, error) {
+		return nil, errors.New("cannot transform")
+	})
+	pool, s, in, out := newRig(proc)
+	s.ErrorHandler = func(error) {}
+	s.Supervise(Supervision{Policy: PolicyBypass})
+	s.Start()
+	defer s.End()
+
+	post(t, pool, in, textMsg("payload"))
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if string(got.Body()) != "payload" {
+		t.Errorf("bypassed body = %q, want original", got.Body())
+	}
+	if f := s.Faults(); f.Bypassed != 1 || f.Dropped != 0 {
+		t.Errorf("Faults() = %+v, want 1 bypassed, 0 dropped", f)
+	}
+	// Bypassed messages are not counted as processed: nothing ran.
+	if s.Processed() != 0 {
+		t.Errorf("Processed() = %d, want 0", s.Processed())
+	}
+}
+
+// TestStallDeadline: a Process call that sleeps past ProcessTimeout is
+// abandoned, the fault is recorded, and — critically — the abandoned
+// executor goroutine exits once the stalled call returns.
+func TestStallDeadline(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Uint64
+	proc := ProcessorFunc(func(in Input) ([]Emission, error) {
+		if calls.Add(1) == 1 {
+			<-release
+		}
+		return []Emission{{Msg: in.Msg}}, nil
+	})
+	pool, s, in, out := newRig(proc)
+	s.ErrorHandler = func(error) {}
+	s.Supervise(Supervision{Policy: PolicyDrop, ProcessTimeout: 5 * time.Millisecond})
+	s.Start()
+	defer s.End()
+
+	before := runtime.NumGoroutine()
+	post(t, pool, in, textMsg("stuck"))
+	post(t, pool, in, textMsg("after"))
+	got := fetchMsg(t, pool, out, 2*time.Second)
+	if string(got.Body()) != "after" {
+		t.Errorf("delivered %q, want the post-stall message", got.Body())
+	}
+	if f := s.Faults(); f.Stalls != 1 || f.Dropped != 1 {
+		t.Errorf("Faults() = %+v, want 1 stall, 1 dropped", f)
+	}
+
+	// Release the stalled call; its abandoned executor must drain and exit.
+	close(release)
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+1 {
+		t.Errorf("goroutines = %d, want <= %d (abandoned executor leaked)", n, before+1)
+	}
+}
+
+// TestSuperviseSwapKeepsHook: installing a policy after OnFault (or vice
+// versa) preserves the other half.
+func TestSuperviseSwapKeepsHook(t *testing.T) {
+	_, s, _, _ := newRig(passthrough)
+	var fired atomic.Uint64
+	s.OnFault(func(FaultRecord) { fired.Add(1) })
+	s.Supervise(Supervision{Policy: PolicyDrop})
+	sv := s.sup.Load()
+	if sv.onFault == nil {
+		t.Fatal("Supervise dropped the OnFault hook")
+	}
+	if sv.cfg.Policy != PolicyDrop {
+		t.Fatalf("policy = %v", sv.cfg.Policy)
+	}
+	s.OnFault(func(FaultRecord) { fired.Add(1) })
+	if sv = s.sup.Load(); sv.cfg.Policy != PolicyDrop {
+		t.Fatal("OnFault dropped the Supervise config")
+	}
+}
