@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke vet fmt check examples experiments clean
+.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke vet fmt check examples experiments clean
 
 all: build test
 
@@ -18,15 +18,16 @@ race:
 
 # Full pre-merge gate: build, vet, tests, the race detector, a quick
 # hot-path benchmark smoke (catches gross regressions without a full run),
-# and the fault-injection survival scenario.
-check: build test race bench-smoke fault-smoke
+# the fault-injection survival scenario, and the end-to-end span smoke.
+check: build test race bench-smoke fault-smoke obs-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # The gated coordination-plane benchmarks: forward-path queue cost, Figure
-# 7-2 streamlet overhead, and both Figure 7-3 buffer-management modes.
-GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass'
+# 7-2 streamlet overhead, both Figure 7-3 buffer-management modes, and the
+# span-tracing overhead pair (off = production hot path, on = diagnosis).
+GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass|SpanOverhead'
 BENCH_FILE  = BENCH_PR2.json
 
 # Record the committed baseline the regression gate compares against.
@@ -45,6 +46,14 @@ bench-smoke:
 # stall, and a link blackout with zero message loss (exits nonzero if not).
 fault-smoke:
 	$(GO) run ./cmd/mobibench -exp faults
+
+# End-to-end observability smoke: run the hops breakdown with span tracing
+# on and require at least one message's reconstructed trace tree to cover
+# the server chain, the link transfer, and a client peer streamlet, with
+# per-hop durations summing to the measured response time (±5%), plus a
+# non-empty flight-recorder journal (exits nonzero if not).
+obs-smoke:
+	$(GO) run ./cmd/mobibench -exp hops -spans
 
 vet:
 	$(GO) vet ./...

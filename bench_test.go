@@ -18,6 +18,7 @@ import (
 	"mobigate/internal/mcl"
 	"mobigate/internal/mime"
 	"mobigate/internal/msgpool"
+	"mobigate/internal/obs"
 	"mobigate/internal/queue"
 	"mobigate/internal/server"
 	"mobigate/internal/services"
@@ -337,6 +338,25 @@ func BenchmarkMIMEWireCodec(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkSpanOverhead measures what end-to-end span tracing costs on the
+// Figure 7-2 chain (10 redirectors, 10 KB messages): the off case is the
+// production hot path (header parse short-circuits on the enabled flag),
+// the on case pays the full per-hop span recording.
+func BenchmarkSpanOverhead(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "spans=off"
+		if on {
+			name = "spans=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			was := obs.SpansEnabled()
+			obs.SetSpansEnabled(on)
+			defer obs.SetSpansEnabled(was)
+			chainBench(b, 10, 10*1024, msgpool.ByReference)
 		})
 	}
 }

@@ -8,7 +8,11 @@
 //	mobibench -exp fig7.7   # end-to-end throughput sweep
 //	mobibench -exp hops     # per-hop time composition (§7.3 breakdown)
 //	mobibench -exp faults   # fault-injection survival (supervision subsystem)
+//	mobibench -exp spans    # end-to-end span trees across the link
 //	mobibench -exp all      # everything
+//
+// -spans additionally runs the span-trace experiment after the hops
+// breakdown and asserts the reconstructed trees (the make obs-smoke gate).
 //
 // Shapes, not absolute numbers, are the comparison target: the 2004 Java
 // testbed measured ~12 ms per streamlet; this runtime measures microseconds
@@ -20,13 +24,15 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"mobigate/internal/experiments"
 )
 
 var (
-	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, faults, all")
+	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, faults, spans, all")
+	spans     = flag.Bool("spans", false, "enable span tracing: run the end-to-end trace-tree experiment after hops and assert the reconstruction")
 	messages  = flag.Int("messages", 60, "messages per fig7.7 point")
 	samples   = flag.Int("samples", 50, "messages per latency sample (fig7.2/7.3)")
 	loss      = flag.Float64("loss", 0, "link loss rate for fig7.7 (0..1)")
@@ -48,8 +54,13 @@ func main() {
 		runFig77()
 	case "hops":
 		runHops()
+		if *spans {
+			runSpans()
+		}
 	case "faults":
 		runFaults()
+	case "spans":
+		runSpans()
 	case "all":
 		runFig72()
 		runFig73()
@@ -58,6 +69,9 @@ func main() {
 		runFig77()
 		runHops()
 		runFaults()
+		if *spans {
+			runSpans()
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "mobibench: unknown experiment %q\n", *exp)
 		flag.Usage()
@@ -183,4 +197,35 @@ func runHops() {
 	}
 	fmt.Print(b)
 	fmt.Println()
+}
+
+// runSpans runs the end-to-end span-trace experiment and asserts the
+// reconstruction: at least one message must yield a single connected tree
+// that covers the server chain, the link transfer, and a client peer
+// streamlet, with the span union within 5% of the measured response time,
+// and the flight recorder must have journaled the run. make obs-smoke
+// relies on the non-zero exit when any of these fail.
+func runSpans() {
+	fmt.Println("=== End-to-end span traces: server chain, link, client peers ===")
+	res, err := experiments.TraceTree(experiments.DefaultTraceTreeConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res)
+	fmt.Println()
+
+	complete := 0
+	for _, m := range res.Messages {
+		if m.Connected && m.ClientSpans > 0 && strings.Contains(m.Tree, "link:") && m.Covered(0.05) {
+			complete++
+		}
+	}
+	if complete == 0 {
+		log.Fatal("span smoke: no message produced a connected tree covering " +
+			"server chain, link, and client peer with the union within 5% of wall time")
+	}
+	if res.FlightEvents == 0 {
+		log.Fatal("span smoke: flight recorder journaled no events")
+	}
+	fmt.Printf("span smoke: %d/%d messages fully reconstructed end to end\n\n", complete, len(res.Messages))
 }

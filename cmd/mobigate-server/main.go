@@ -24,6 +24,7 @@ import (
 
 	"mobigate"
 	"mobigate/internal/mime"
+	"mobigate/internal/obs"
 	"mobigate/internal/services"
 )
 
@@ -35,6 +36,8 @@ var (
 	seed        = flag.Int64("seed", 2004, "workload seed")
 	strict      = flag.Bool("strict", false, "reject deployment on any semantic violation")
 	metricsAddr = flag.String("metrics", ":7701", "observability HTTP address (/metrics, /trace); empty disables")
+	debug       = flag.Bool("debug", false, "mount the debug surface (/debug/flight, /debug/pprof) on the metrics address")
+	spans       = flag.Bool("spans", false, "enable end-to-end span tracing (deep diagnosis; adds per-message overhead)")
 )
 
 func main() {
@@ -42,6 +45,9 @@ func main() {
 	if *scriptPath == "" {
 		flag.Usage()
 		os.Exit(1)
+	}
+	if *spans {
+		obs.SetSpansEnabled(true)
 	}
 	src, err := os.ReadFile(*scriptPath)
 	if err != nil {
@@ -84,11 +90,18 @@ func main() {
 	defer fe.Close()
 	log.Printf("listening on %s; sessions serve %d origin messages each", addr, *messages)
 	if *metricsAddr != "" {
-		maddr, err := fe.ServeMetrics(*metricsAddr)
+		serve := fe.ServeMetrics
+		if *debug {
+			serve = fe.ServeMetricsDebug
+		}
+		maddr, err := serve(*metricsAddr)
 		if err != nil {
 			log.Fatalf("mobigate-server: metrics endpoint: %v", err)
 		}
-		log.Printf("observability on http://%s/metrics (also /metrics.json, /trace, /streams)", maddr)
+		log.Printf("observability on http://%s/metrics (also /metrics.json, /trace, /streams, /slo)", maddr)
+		if *debug {
+			log.Printf("debug surface on http://%s/debug/flight and /debug/pprof", maddr)
+		}
 	}
 	log.Printf("type an event name (e.g. LOW_BANDWIDTH) + enter to raise it; ctrl-D to quit")
 

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"mobigate/internal/mime"
+	"mobigate/internal/obs"
 	"mobigate/internal/streamlet"
 )
 
@@ -42,6 +43,11 @@ type Options struct {
 	// the X-Seq stamp the front-end adds lets the client re-sequence them.
 	// Messages without a sequence stamp are delivered immediately.
 	Ordered bool
+	// Spans, when set, records one peer span per reversal into this
+	// collector — the client's own clock domain. The application drains it
+	// (Drain + EncodeSpanBatch) to ship span batches back to the gateway
+	// over the control channel. nil disables client-side span recording.
+	Spans *obs.SpanCollector
 }
 
 // Client is a MobiGATE client.
@@ -128,8 +134,20 @@ func (c *Client) Stats() (processed, failed uint64) {
 
 // Process reverse-processes one message synchronously: the Content-Peers
 // chain is popped LIFO and each named peer streamlet applied in turn
-// (§6.5). The returned message is the application-ready result.
+// (§6.5). The returned message is the application-ready result. With a
+// span collector configured, each reversal is recorded as a peer span
+// chained under the span context the message arrived with (the link span,
+// after the gateway side re-parented it).
 func (c *Client) Process(m *mime.Message) (*mime.Message, error) {
+	col := c.opts.Spans
+	var sctx obs.SpanContext
+	if col != nil {
+		sctx = obs.ParseSpanContext(m.Header(mime.HeaderSpanContext))
+		if !sctx.Valid() {
+			col = nil
+		}
+	}
+	parent := sctx.ParentID
 	cur := m
 	for {
 		peerID, ok := cur.PopPeer()
@@ -140,6 +158,10 @@ func (c *Client) Process(m *mime.Message) (*mime.Message, error) {
 		if err != nil {
 			c.failed.Add(1)
 			return nil, fmt.Errorf("client: message %s: %w", m.ID, err)
+		}
+		var start int64
+		if col != nil {
+			start = col.Now()
 		}
 		emissions, err := proc.Process(streamlet.Input{Port: "pi", Msg: cur})
 		pool.Put(proc)
@@ -152,6 +174,15 @@ func (c *Client) Process(m *mime.Message) (*mime.Message, error) {
 			return nil, fmt.Errorf("client: peer %s emitted %d messages, want 1", peerID, len(emissions))
 		}
 		cur = emissions[0].Msg
+		if col != nil {
+			id := col.NextID()
+			col.Record(obs.Span{
+				TraceID: sctx.TraceID, SpanID: id, ParentID: parent,
+				Kind: obs.SpanPeer, Name: peerID,
+				StartNs: start, DurNs: col.Now() - start, Bytes: cur.Len(),
+			})
+			parent = id
+		}
 	}
 	c.processed.Add(1)
 	return cur, nil

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"mobigate/internal/mime"
+	"mobigate/internal/obs"
 	"mobigate/internal/services"
 	"mobigate/internal/streamlet"
 )
@@ -32,6 +33,57 @@ func TestProcessNoPeersPassthrough(t *testing.T) {
 	processed, failed := c.Stats()
 	if processed != 1 || failed != 0 {
 		t.Errorf("stats = %d, %d", processed, failed)
+	}
+}
+
+func TestProcessRecordsPeerSpans(t *testing.T) {
+	original := services.GenText(4096, 3)
+	m := mime.NewMessage(services.TypePlainText, append([]byte(nil), original...))
+	comp := &services.Compressor{}
+	ems, err := comp.Process(streamlet.Input{Msg: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := ems[0].Msg
+	wire.PushPeer(services.CompressorPeerID)
+	// The arriving context's parent is the gateway-side link span.
+	sctx := obs.SpanContext{TraceID: 77, ParentID: 42, StartNs: 1}
+	wire.SetHeader(mime.HeaderSpanContext, obs.EncodeSpanContext(sctx))
+
+	col := obs.NewSpanCollector(16, obs.MonoNow, obs.SiteClient)
+	c := New(Options{Peers: peerDir(), Spans: col}, nil)
+	if _, err := c.Process(wire); err != nil {
+		t.Fatal(err)
+	}
+	spans := col.Trace(sctx.TraceID)
+	if len(spans) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.Kind != obs.SpanPeer || sp.Name != services.CompressorPeerID ||
+		sp.ParentID != 42 || sp.Site != obs.SiteClient || sp.SpanID <= 1<<32 {
+		t.Errorf("peer span = %+v", sp)
+	}
+}
+
+func TestProcessNoSpansWithoutContext(t *testing.T) {
+	original := services.GenText(2048, 5)
+	m := mime.NewMessage(services.TypePlainText, append([]byte(nil), original...))
+	comp := &services.Compressor{}
+	ems, err := comp.Process(streamlet.Input{Msg: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := ems[0].Msg
+	wire.PushPeer(services.CompressorPeerID) // no span header
+
+	col := obs.NewSpanCollector(16, obs.MonoNow, obs.SiteClient)
+	c := New(Options{Peers: peerDir(), Spans: col}, nil)
+	if _, err := c.Process(wire); err != nil {
+		t.Fatal(err)
+	}
+	if batch := col.Drain(); len(batch) != 0 {
+		t.Errorf("recorded %d spans for an unstamped message", len(batch))
 	}
 }
 

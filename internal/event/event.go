@@ -79,6 +79,11 @@ const (
 	STREAMLET_ERROR  = "STREAMLET_ERROR"
 	STREAMLET_STALL  = "STREAMLET_STALL"
 	STREAMLET_HEALED = "STREAMLET_HEALED"
+	// SLO_VIOLATION is raised by the latency-budget tracker when a stream's
+	// end-to-end latency first exceeds its configured budget (edge-triggered;
+	// see internal/obs/slo.go). Filed under ExecutionFault: it signals the
+	// execution plane is degraded, even though no streamlet crashed.
+	SLO_VIOLATION = "SLO_VIOLATION"
 )
 
 // ContextEvent is the MobiGATE event object of Figure 6-5.
@@ -120,6 +125,7 @@ func NewCatalog() *Catalog {
 		FORMAT_UNSUPPORTED: SoftwareVariation, CODEC_MISSING: SoftwareVariation,
 		STREAMLET_PANIC: ExecutionFault, STREAMLET_ERROR: ExecutionFault,
 		STREAMLET_STALL: ExecutionFault, STREAMLET_HEALED: ExecutionFault,
+		SLO_VIOLATION: ExecutionFault,
 	} {
 		c.events[id] = cat
 	}

@@ -140,6 +140,7 @@ func (m *Manager) Post(evt ContextEvent) bool {
 	case m.dispatch <- evt:
 		m.raised.Add(1)
 		mRaised.Inc()
+		obs.FlightRecord(obs.FlightEvent, evt.EventID, evt.Source, 0)
 		return true
 	default:
 		m.dropped.Add(1)

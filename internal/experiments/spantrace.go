@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mobigate/internal/client"
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/netem"
+	"mobigate/internal/obs"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+	"mobigate/internal/streamlet"
+)
+
+// TraceTreeConfig parameterizes the end-to-end span-trace run: the webaccel
+// chain over a real-time link with span tracing on, each message followed
+// from Inlet.Send through the server streamlets, the wireless transfer and
+// the client peer reversals, and its span tree reconstructed on the server.
+type TraceTreeConfig struct {
+	BandwidthBps int64
+	Delay        time.Duration
+	Messages     int
+	ImageRatio   float64
+	Seed         int64
+	// ClockSkew offsets the emulated client device's monotonic clock, so
+	// the run exercises the alignment handshake rather than relying on the
+	// in-process clocks agreeing by construction.
+	ClockSkew time.Duration
+	// Budget, when positive, configures the stream's end-to-end latency
+	// budget in the SLO tracker; terminal hops feed it and the /slo
+	// snapshot appears in the result.
+	Budget time.Duration
+}
+
+// DefaultTraceTreeConfig runs a handful of messages over a fast real-time
+// link (so the wall clock, not the emulation, dominates nothing) with a
+// deliberately skewed client clock.
+func DefaultTraceTreeConfig() TraceTreeConfig {
+	return TraceTreeConfig{
+		BandwidthBps: 4_000_000,
+		Delay:        500 * time.Microsecond,
+		Messages:     6,
+		ImageRatio:   0.5,
+		Seed:         2004,
+		ClockSkew:    -3 * time.Second,
+		Budget:       0,
+	}
+}
+
+// TraceTreeMsg is the reconstructed end-to-end record of one message.
+type TraceTreeMsg struct {
+	TraceID uint64
+	// WallNs is the independently measured response time: Inlet.Send call
+	// to client reverse-processing complete, on the server clock.
+	WallNs int64
+	// UnionNs is the total time covered by the union of the trace's span
+	// intervals — the per-hop durations with overlaps counted once.
+	UnionNs int64
+	// Spans is how many spans the trace retained.
+	Spans int
+	// Connected reports whether the spans form one fully-connected tree.
+	Connected bool
+	// ClientSpans counts the spans recorded on the client site.
+	ClientSpans int
+	// Tree is the rendered tree (FormatSpanTree).
+	Tree string
+}
+
+// Covered reports whether the span union accounts for the measured wall
+// time within the given fraction (0.05 = ±5%).
+func (m TraceTreeMsg) Covered(frac float64) bool {
+	if m.WallNs <= 0 {
+		return false
+	}
+	diff := m.WallNs - m.UnionNs
+	if diff < 0 {
+		diff = -diff
+	}
+	return float64(diff) <= frac*float64(m.WallNs)
+}
+
+// TraceTreeResult is the outcome of one TraceTree run.
+type TraceTreeResult struct {
+	SessionID string
+	Messages  []TraceTreeMsg
+	// ClockOffsetNs is the measured client→server clock offset from the
+	// alignment handshake (≈ -ClockSkew).
+	ClockOffsetNs int64
+	// BatchSpans is how many client spans were shipped back and merged.
+	BatchSpans int
+	// FlightEvents is the flight-recorder journal length at the end of the
+	// run (Snapshot total, pre-truncation).
+	FlightEvents int
+	// SLO is the chain's budget snapshot (zero value when no budget set).
+	SLO obs.SLOSnapshot
+}
+
+// TraceTree runs the end-to-end span-tracing demonstration: span tracing is
+// enabled, the webaccel stream (compressor branch engaged, so text messages
+// carry a client peer) sends each workload message over a real-time link, a
+// thin client with its own skewed clock reverse-processes it, the client's
+// span batch ships back over the control channel, and the server merges it
+// and reconstructs one tree per message.
+func TraceTree(cfg TraceTreeConfig) (TraceTreeResult, error) {
+	var out TraceTreeResult
+	if cfg.Messages <= 0 {
+		cfg.Messages = DefaultTraceTreeConfig().Messages
+	}
+
+	wasOn := obs.SpansEnabled()
+	obs.SetSpansEnabled(true)
+	defer obs.SetSpansEnabled(wasOn)
+
+	link := netem.MustNew(netem.Config{
+		BandwidthBps: cfg.BandwidthBps,
+		Delay:        cfg.Delay,
+		Mode:         netem.RealTime,
+	})
+	defer link.Close()
+	comm := &services.Communicator{SinkTo: link}
+	dir := streamlet.NewDirectory()
+	services.RegisterAll(dir)
+	dir.Register("net/communicator", func() streamlet.Processor { return comm })
+
+	compiled, err := mcl.Compile(WebAccelScript, nil)
+	if err != nil {
+		return out, err
+	}
+	st, err := stream.FromConfig(compiled, "webaccel", nil, dir)
+	if err != nil {
+		return out, err
+	}
+	defer st.End()
+	inlet, err := st.OpenInlet(mcl.PortRef{Inst: "sw", Port: "pi"}, 1<<24)
+	if err != nil {
+		return out, err
+	}
+	st.Start()
+	out.SessionID = st.SessionID()
+	if cfg.Budget > 0 {
+		st.SetLatencyBudget(cfg.Budget)
+	}
+	// Engage the compressor branch so text messages push a peer the client
+	// must reverse — the tree then spans both sides of the link.
+	st.OnEvent(event.ContextEvent{EventID: event.LOW_BANDWIDTH, Category: event.NetworkVariation})
+
+	// The thin client runs in its own clock domain; the skew is deliberate
+	// so only the alignment handshake can make the merged stamps coherent.
+	skew := int64(cfg.ClockSkew)
+	clientClock := func() int64 { return obs.MonoNow() + skew }
+	clientCol := obs.NewSpanCollector(0, clientClock, obs.SiteClient)
+	peers := streamlet.NewDirectory()
+	services.RegisterClientPeers(peers)
+	cl := client.New(client.Options{Peers: peers, Spans: clientCol}, nil)
+
+	// One message at a time: the wall measurement brackets the full
+	// traversal, send to client-done, with nothing else in flight.
+	traceIDs := make([]uint64, 0, cfg.Messages)
+	walls := make([]int64, 0, cfg.Messages)
+	for _, m := range services.MixedWorkload(cfg.Messages, cfg.ImageRatio, cfg.Seed) {
+		wall0 := obs.MonoNow()
+		if err := inlet.Send(m); err != nil {
+			return out, err
+		}
+		d, err := link.Receive(10 * time.Second)
+		if err != nil {
+			return out, err
+		}
+		sctx := obs.ParseSpanContext(d.Msg.Header(mime.HeaderSpanContext))
+		if _, err := cl.Process(d.Msg); err != nil {
+			return out, err
+		}
+		walls = append(walls, obs.MonoNow()-wall0)
+		traceIDs = append(traceIDs, sctx.TraceID)
+	}
+
+	// Clock-alignment handshake, then the client's span batch ships back
+	// over the control channel (the wire codec round-trip stands in for it)
+	// and merges into the server collector rebased onto the server clock.
+	out.ClockOffsetNs = obs.AlignClocks(obs.MonoNow, clientClock)
+	batch := obs.DecodeSpanBatch(obs.EncodeSpanBatch(clientCol.Drain()))
+	out.BatchSpans = len(batch)
+	obs.Spans().MergeBatch(batch, out.ClockOffsetNs)
+
+	for i, tid := range traceIDs {
+		spans := obs.Spans().Trace(tid)
+		clientSpans := 0
+		for _, sp := range spans {
+			if sp.Site == obs.SiteClient {
+				clientSpans++
+			}
+		}
+		out.Messages = append(out.Messages, TraceTreeMsg{
+			TraceID:     tid,
+			WallNs:      walls[i],
+			UnionNs:     obs.SpanUnionNs(spans),
+			Spans:       len(spans),
+			Connected:   obs.SpanTreeConnected(spans),
+			ClientSpans: clientSpans,
+			Tree:        obs.FormatSpanTree(obs.BuildSpanTree(spans)),
+		})
+	}
+	out.FlightEvents = obs.Flight().Snapshot(0).Total
+	if cfg.Budget > 0 {
+		if s, ok := obs.SLO().Snapshot(out.SessionID); ok {
+			out.SLO = s
+		}
+	}
+	return out, nil
+}
+
+// String renders the result: one tree per message with the wall/union
+// comparison, then the run-level merge and flight summary.
+func (r TraceTreeResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "end-to-end span traces, session %s (%d messages; client clock offset %v)\n",
+		r.SessionID, len(r.Messages), time.Duration(r.ClockOffsetNs).Round(time.Microsecond))
+	for i, m := range r.Messages {
+		fmt.Fprintf(&b, "message %d: trace %x, %d spans (%d client), connected=%v, wall=%v union=%v\n",
+			i, m.TraceID, m.Spans, m.ClientSpans, m.Connected,
+			time.Duration(m.WallNs).Round(time.Microsecond),
+			time.Duration(m.UnionNs).Round(time.Microsecond))
+		for _, line := range strings.Split(strings.TrimRight(m.Tree, "\n"), "\n") {
+			b.WriteString("  ")
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	fmt.Fprintf(&b, "client batch: %d spans merged; flight journal: %d events\n", r.BatchSpans, r.FlightEvents)
+	if r.SLO.BudgetNs > 0 {
+		fmt.Fprintf(&b, "slo: budget=%v count=%d p50=%v p95=%v p99=%v violations=%d\n",
+			time.Duration(r.SLO.BudgetNs), r.SLO.Count,
+			time.Duration(r.SLO.P50Ns).Round(time.Microsecond),
+			time.Duration(r.SLO.P95Ns).Round(time.Microsecond),
+			time.Duration(r.SLO.P99Ns).Round(time.Microsecond),
+			r.SLO.Violations)
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceTreeReconstruction is the in-repo form of the obs-smoke gate:
+// every trace must be a single connected tree whose span union matches the
+// measured wall time within 5%, at least one message must cover server
+// chain, link transfer and a client peer streamlet, the skewed client clock
+// must align, and the flight recorder must have journaled the run.
+func TestTraceTreeReconstruction(t *testing.T) {
+	cfg := DefaultTraceTreeConfig()
+	cfg.Budget = 2 * time.Millisecond // exercise the SLO path too
+	res, err := TraceTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Messages) != cfg.Messages {
+		t.Fatalf("reconstructed %d messages, want %d", len(res.Messages), cfg.Messages)
+	}
+
+	complete := 0
+	for i, m := range res.Messages {
+		if m.TraceID == 0 {
+			t.Errorf("message %d: no trace ID on the delivered message", i)
+		}
+		if !m.Connected {
+			t.Errorf("message %d: span tree not connected:\n%s", i, m.Tree)
+		}
+		if !m.Covered(0.05) {
+			t.Errorf("message %d: union %v vs wall %v outside 5%%",
+				i, time.Duration(m.UnionNs), time.Duration(m.WallNs))
+		}
+		if !strings.Contains(m.Tree, "link:") {
+			t.Errorf("message %d: tree has no link span:\n%s", i, m.Tree)
+		}
+		if m.ClientSpans > 0 {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Error("no message's tree reached a client peer streamlet")
+	}
+	if res.BatchSpans == 0 {
+		t.Error("client shipped no span batch")
+	}
+	// The handshake must cancel the configured skew (client runs 3s behind,
+	// so the offset is ≈ +3s; allow generous scheduling slop).
+	wantOffset := -int64(cfg.ClockSkew)
+	if diff := res.ClockOffsetNs - wantOffset; diff < -int64(50*time.Millisecond) || diff > int64(50*time.Millisecond) {
+		t.Errorf("clock offset %v does not cancel skew %v", time.Duration(res.ClockOffsetNs), cfg.ClockSkew)
+	}
+	if res.FlightEvents == 0 {
+		t.Error("flight recorder journaled nothing")
+	}
+	if res.SLO.BudgetNs != int64(cfg.Budget) || res.SLO.Count == 0 {
+		t.Errorf("SLO snapshot = %+v, want tracked chain with samples", res.SLO)
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"sync"
 	"time"
 
+	"mobigate/internal/obs"
+
 	"mobigate/internal/event"
 	"mobigate/internal/mime"
 	"mobigate/internal/netem"
@@ -173,6 +175,8 @@ func (m *Manager) Handoff(n Notification) (*netem.Link, error) {
 	m.current = next
 	m.network = n.NetworkID
 	m.handoffs++
+	obs.FlightRecord(obs.FlightHandoff, n.NetworkID,
+		fmt.Sprintf("replayed %d", m.replayed), n.BandwidthBps)
 
 	// Context events: the handoff itself, then bandwidth re-evaluation.
 	if m.events != nil {

@@ -18,6 +18,12 @@ const (
 	HeaderContentSession = "Content-Session"
 	HeaderContentPeers   = "Content-Peers"
 	HeaderMessageID      = "Message-Id"
+	// HeaderSpanContext carries the end-to-end span trace context
+	// (traceID~parentSpanID~rootStartNs) a message propagates from the
+	// gateway inlet across the wireless link to the client peer streamlets.
+	// The codec lives in internal/obs (EncodeSpanContext/ParseSpanContext);
+	// the header name is defined here with the other wire-format fields.
+	HeaderSpanContext = "X-Mobigate-Span"
 )
 
 // Message is a MIME-formatted message flowing through MobiGATE. Headers are

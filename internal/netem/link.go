@@ -101,6 +101,10 @@ type Link struct {
 	msgsSent  int64
 	bwChanges []func(old, new int64)
 	closed    bool
+	// step counts bandwidth-schedule steps: it starts at 0 and advances on
+	// every SetBandwidth, so flight-recorder entries for link events can
+	// name which step of an experiment's bandwidth schedule was active.
+	step int64
 
 	// Blackout state (§2.2.1 disconnection handling): while down, Send
 	// blocks until the link is restored or closed. upSig is a generation
@@ -158,14 +162,26 @@ func (l *Link) SetBandwidth(bps int64) error {
 	l.mu.Lock()
 	old := l.cfg.BandwidthBps
 	l.cfg.BandwidthBps = bps
+	l.step++
+	step := l.step
 	mLinkBandwidth.Set(float64(bps))
 	observers := make([]func(old, new int64), len(l.bwChanges))
 	copy(observers, l.bwChanges)
 	l.mu.Unlock()
+	obs.FlightRecord(obs.FlightBandwidth, "link",
+		fmt.Sprintf("step %d: %d -> %d bps", step, old, bps), bps)
 	for _, f := range observers {
 		f(old, bps)
 	}
 	return nil
+}
+
+// ScheduleStep returns the active bandwidth-schedule step: 0 until the
+// first SetBandwidth, then the count of bandwidth changes applied so far.
+func (l *Link) ScheduleStep() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.step
 }
 
 // OnBandwidthChange registers an observer called after every SetBandwidth.
@@ -193,9 +209,15 @@ func (l *Link) SetDown(down bool) {
 		close(l.upSig)
 		l.upSig = nil
 	}
+	step, bw := l.step, l.cfg.BandwidthBps
 	observers := make([]func(down bool), len(l.stateChanges))
 	copy(observers, l.stateChanges)
 	l.mu.Unlock()
+	code := obs.FlightRestored
+	if down {
+		code = obs.FlightBlackout
+	}
+	obs.FlightRecord(code, "link", fmt.Sprintf("step %d", step), bw)
 	for _, f := range observers {
 		f(down)
 	}
@@ -239,10 +261,39 @@ func (l *Link) transferTimeLocked(wire int64) time.Duration {
 	return tx + 2*l.cfg.Delay
 }
 
+// recordLinkSpan journals the wireless-transfer span of a traced message
+// and re-parents the message's span context under it, so the client peer
+// streamlets hang their spans off the link hop. Called before the delivery
+// lands in the out channel — the channel send is the happens-before edge
+// that makes the header rewrite safe.
+func (l *Link) recordLinkSpan(m *mime.Message, sctx obs.SpanContext, startNs, durNs int64) {
+	if !sctx.Valid() {
+		return
+	}
+	col := obs.Spans()
+	id := col.NextID()
+	col.Record(obs.Span{
+		TraceID: sctx.TraceID, SpanID: id, ParentID: sctx.ParentID,
+		Kind: obs.SpanLink, Site: col.Site(), Name: "link",
+		StartNs: startNs, DurNs: durNs, Bytes: m.Len(),
+	})
+	m.SetHeader(mime.HeaderSpanContext, obs.EncodeSpanContext(obs.SpanContext{
+		TraceID: sctx.TraceID, ParentID: id, StartNs: sctx.StartNs,
+	}))
+}
+
 // Send transmits a message across the link. In virtual mode the link clock
 // advances and the call returns immediately; in real-time mode the call
 // sleeps for the transfer time.
 func (l *Link) Send(m *mime.Message) error {
+	var sctx obs.SpanContext
+	var sendStart int64
+	if obs.SpansEnabled() {
+		sctx = obs.ParseSpanContext(m.Header(mime.HeaderSpanContext))
+		if sctx.Valid() {
+			sendStart = obs.MonoNow()
+		}
+	}
 	l.mu.Lock()
 	for {
 		if l.closed {
@@ -276,6 +327,8 @@ func (l *Link) Send(m *mime.Message) error {
 		l.clock += cost
 		arrival := l.clock
 		l.mu.Unlock()
+		// Virtual mode never sleeps, so the span carries the modelled cost.
+		l.recordLinkSpan(m, sctx, sendStart, int64(cost))
 		select {
 		case l.out <- Delivery{Msg: m, Arrival: arrival}:
 			return nil
@@ -290,6 +343,9 @@ func (l *Link) Send(m *mime.Message) error {
 	case <-l.done:
 		return ErrLinkClosed
 	}
+	// Real-time mode paces with the wall clock; the span carries the actual
+	// elapsed time, blackout park included.
+	l.recordLinkSpan(m, sctx, sendStart, obs.MonoNow()-sendStart)
 	select {
 	case l.out <- Delivery{Msg: m, Arrival: time.Since(l.started)}:
 		return nil

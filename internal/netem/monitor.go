@@ -1,9 +1,11 @@
 package netem
 
 import (
+	"fmt"
 	"sync"
 
 	"mobigate/internal/event"
+	"mobigate/internal/obs"
 )
 
 // BandwidthMonitor watches a link and raises LOW_BANDWIDTH / HIGH_BANDWIDTH
@@ -25,12 +27,12 @@ type BandwidthMonitor struct {
 // threshold raises LOW_BANDWIDTH right away.
 func WatchBandwidth(l *Link, mgr *event.Manager, thresholdBps int64, source string) *BandwidthMonitor {
 	m := &BandwidthMonitor{threshold: thresholdBps, mgr: mgr, source: source}
-	m.evaluate(l.Bandwidth())
-	l.OnBandwidthChange(func(_, newBps int64) { m.evaluate(newBps) })
+	m.evaluate(l.Bandwidth(), l.ScheduleStep())
+	l.OnBandwidthChange(func(_, newBps int64) { m.evaluate(newBps, l.ScheduleStep()) })
 	return m
 }
 
-func (m *BandwidthMonitor) evaluate(bps int64) {
+func (m *BandwidthMonitor) evaluate(bps, step int64) {
 	m.mu.Lock()
 	wasBelow := m.below
 	m.below = bps < m.threshold
@@ -44,6 +46,10 @@ func (m *BandwidthMonitor) evaluate(bps int64) {
 	if isBelow {
 		id = event.LOW_BANDWIDTH
 	}
+	// The crossing's flight entry names the active schedule step, so link
+	// entries in a dump are self-describing without the experiment's config.
+	obs.FlightRecord(obs.FlightBandwidth, "bandwidth-monitor",
+		fmt.Sprintf("%s step %d", id, step), bps)
 	// Raise never fails for catalog events.
 	_ = m.mgr.Raise(id, m.source)
 }

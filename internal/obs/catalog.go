@@ -38,13 +38,13 @@ const (
 
 	// Execution-plane fault supervision (panic containment, processing
 	// deadlines, per-streamlet recovery policies) and fault injection.
-	MFaultInjectedTotal  = "mobigate_fault_injected_total"
-	MFaultPanicsTotal    = "mobigate_fault_panics_recovered_total"
-	MFaultStallsTotal    = "mobigate_fault_stalls_total"
-	MFaultRetriesTotal   = "mobigate_fault_retries_total"
-	MFaultDroppedTotal   = "mobigate_fault_dropped_total"
-	MFaultBypassedTotal  = "mobigate_fault_bypassed_total"
-	MFaultHealsTotal     = "mobigate_fault_heals_total"
+	MFaultInjectedTotal = "mobigate_fault_injected_total"
+	MFaultPanicsTotal   = "mobigate_fault_panics_recovered_total"
+	MFaultStallsTotal   = "mobigate_fault_stalls_total"
+	MFaultRetriesTotal  = "mobigate_fault_retries_total"
+	MFaultDroppedTotal  = "mobigate_fault_dropped_total"
+	MFaultBypassedTotal = "mobigate_fault_bypassed_total"
+	MFaultHealsTotal    = "mobigate_fault_heals_total"
 
 	// Emulated wireless link (§7.1 testbed; Equation 7-2 transfer term).
 	MLinkBandwidthBps    = "mobigate_link_bandwidth_bps"
@@ -64,6 +64,16 @@ const (
 	MStreamsActive        = "mobigate_streams_active"
 	MSessionsTotal        = "mobigate_sessions_total"
 	MSessionsActive       = "mobigate_sessions_active"
+
+	// End-to-end span tracing (span.go), the flight recorder (flight.go),
+	// the trace store, and latency-budget tracking (slo.go).
+	MSpanRecordedTotal  = "mobigate_span_recorded_total"
+	MSpanEvictedTotal   = "mobigate_span_evicted_total"
+	MSpanBatchesTotal   = "mobigate_span_batches_total"
+	MFlightEventsTotal  = "mobigate_flight_events_total"
+	MFlightDumpsTotal   = "mobigate_flight_dumps_total"
+	MTraceEvictedTotal  = "mobigate_trace_evicted_total"
+	MSLOViolationsTotal = "mobigate_slo_violations_total"
 )
 
 // registerCatalog pre-seeds a registry with every catalog metric and its
@@ -97,6 +107,13 @@ func registerCatalog(r *Registry) {
 		{MEventsDroppedTotal, "Context events shed because the dispatch buffer was full (Post never blocks)."},
 		{MStreamsDeployedTotal, "Stream instances deployed since startup."},
 		{MSessionsTotal, "Front-end client sessions accepted since startup."},
+		{MSpanRecordedTotal, "Spans recorded into the span collector."},
+		{MSpanEvictedTotal, "Spans overwritten in the collector ring before being read."},
+		{MSpanBatchesTotal, "Client span batches merged back into the server collector."},
+		{MFlightEventsTotal, "Plane events journaled by the flight recorder."},
+		{MFlightDumpsTotal, "Flight-recorder auto-dumps captured on ExecutionFault."},
+		{MTraceEvictedTotal, "Trace records evicted from the bounded trace store."},
+		{MSLOViolationsTotal, "Latency-budget violations raised by the SLO tracker."},
 	} {
 		r.Counter(c.name, c.help, nil)
 	}

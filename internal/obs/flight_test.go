@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecordAndSnapshotOrder(t *testing.T) {
+	f := NewFlightRecorder(16)
+	f.Record(FlightSuspend, "s1", "", 0)
+	f.Record(FlightActivate, "s1", "", 0)
+	f.Record(FlightBandwidth, "link", "step 1: 0 -> 9600 bps", 9600)
+	d := f.Snapshot(0)
+	if d.Total != 3 || len(d.Events) != 3 || d.Truncated {
+		t.Fatalf("snapshot = total %d, %d events, truncated %v", d.Total, len(d.Events), d.Truncated)
+	}
+	for i := 1; i < len(d.Events); i++ {
+		if d.Events[i].Seq <= d.Events[i-1].Seq {
+			t.Fatalf("events out of sequence order: %v", d.Events)
+		}
+	}
+	if d.Events[2].Code != FlightBandwidth || d.Events[2].Value != 9600 {
+		t.Errorf("last event = %+v", d.Events[2])
+	}
+}
+
+func TestFlightSnapshotTruncatesOldest(t *testing.T) {
+	f := NewFlightRecorder(32)
+	for i := 0; i < 100; i++ {
+		f.Record(FlightEvent, "e", "", int64(i))
+	}
+	d := f.Snapshot(10)
+	if !d.Truncated || len(d.Events) != 10 {
+		t.Fatalf("truncated=%v events=%d, want true/10", d.Truncated, len(d.Events))
+	}
+	if d.Total != 100 {
+		t.Errorf("Total = %d, want 100 (pre-truncation)", d.Total)
+	}
+	// The newest entries survive truncation.
+	if got := d.Events[len(d.Events)-1].Value; got != 99 {
+		t.Errorf("newest surviving value = %d, want 99", got)
+	}
+}
+
+func TestFlightRingOverwrite(t *testing.T) {
+	f := NewFlightRecorder(4) // 8 shards × 4 = retains the newest 32
+	for i := 0; i < 200; i++ {
+		f.Record(FlightEvent, "e", "", int64(i))
+	}
+	d := f.Snapshot(0)
+	if d.Total != 32 {
+		t.Fatalf("retained %d entries, want 32", d.Total)
+	}
+	for _, e := range d.Events {
+		if e.Value < 200-32 {
+			t.Errorf("stale entry %d survived ring overwrite", e.Value)
+		}
+	}
+}
+
+func TestFlightAutoDumpAndLastDump(t *testing.T) {
+	f := NewFlightRecorder(16)
+	if _, ok := f.LastDump(); ok {
+		t.Fatal("LastDump reported a dump before any was captured")
+	}
+	f.Record(FlightFault, "tc#1", "panic m-7", 0)
+	d := f.AutoDump("ExecutionFault:STREAMLET_PANIC stream=web")
+	if d.Reason == "" || len(d.Events) != 1 {
+		t.Fatalf("auto dump = %+v", d)
+	}
+	got, ok := f.LastDump()
+	if !ok || !strings.Contains(got.Reason, "STREAMLET_PANIC") {
+		t.Fatalf("LastDump = %+v, %v", got, ok)
+	}
+	if f.Dumps() != 1 {
+		t.Errorf("Dumps = %d, want 1", f.Dumps())
+	}
+}
+
+func TestFlightCodeNames(t *testing.T) {
+	if FlightSLO.String() != "slo" || FlightEnqueue.String() != "enqueue" {
+		t.Errorf("code names wrong: %s %s", FlightSLO, FlightEnqueue)
+	}
+	if got := FlightCode(200).String(); got != "code-200" {
+		t.Errorf("out-of-range code = %q", got)
+	}
+}
+
+func TestFlightEntryJSONRoundTrip(t *testing.T) {
+	in := FlightEntry{Seq: 7, TsNs: 123, Code: FlightBlackout, Subject: "link", Detail: "step 2", Value: 9600}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"blackout"`) {
+		t.Errorf("code not marshalled by name: %s", data)
+	}
+	var out FlightEntry
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip %+v -> %+v", in, out)
+	}
+}
+
+func TestFlightConcurrent(t *testing.T) {
+	f := NewFlightRecorder(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				f.Record(FlightEvent, "e", "", 0)
+				_ = f.Snapshot(16)
+			}
+		}()
+	}
+	wg.Wait()
+	if f.Events() != 1600 {
+		t.Errorf("Events = %d, want 1600", f.Events())
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+// Per-stream latency-budget (SLO) tracking. A chain — keyed by the stream
+// session id — gets a configured end-to-end budget; the coordination plane
+// observes each message's inlet-to-terminal-hop latency (computed from the
+// span context's root start stamp, so observation costs one subtraction)
+// and the tracker maintains windowed p50/p95/p99 against the budget.
+// Violations are edge-triggered: the first over-budget observation after a
+// compliant one fires the chain's callback, which the stream layer wires to
+// an SLO_VIOLATION context event the adaptation plane can react to — obs
+// sits below the event package, so the dependency points upward via the
+// callback, never downward.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLOViolation describes one budget violation.
+type SLOViolation struct {
+	// Chain is the tracked chain (stream session id).
+	Chain string
+	// LatencyNs is the observation that crossed the budget.
+	LatencyNs int64
+	// BudgetNs is the configured budget.
+	BudgetNs int64
+}
+
+// SLOSnapshot is a point-in-time view of one tracked chain.
+type SLOSnapshot struct {
+	Chain       string `json:"chain"`
+	BudgetNs    int64  `json:"budgetNs"`
+	Count       uint64 `json:"count"`
+	P50Ns       int64  `json:"p50Ns"`
+	P95Ns       int64  `json:"p95Ns"`
+	P99Ns       int64  `json:"p99Ns"`
+	Violations  uint64 `json:"violations"`
+	InViolation bool   `json:"inViolation"`
+}
+
+// sloWindow bounds the per-chain quantile window (matches the registry
+// histogram window).
+const sloWindow = 1024
+
+type sloChain struct {
+	mu          sync.Mutex
+	budgetNs    int64
+	onViolation func(SLOViolation)
+	ring        [sloWindow]int64
+	n           int
+	next        int
+	count       uint64
+	violations  uint64
+	inViolation bool
+}
+
+// SLOTracker tracks latency budgets per chain. Only chains with a
+// configured budget are tracked — Observe on an unknown chain is one read
+// lock and a map miss — so cardinality is bounded by explicit
+// configuration, never by traffic.
+type SLOTracker struct {
+	mu     sync.RWMutex
+	chains map[string]*sloChain
+
+	violationsTotal *Counter // nil-safe; default tracker wires the catalog
+}
+
+// NewSLOTracker creates an empty tracker.
+func NewSLOTracker() *SLOTracker {
+	return &SLOTracker{chains: make(map[string]*sloChain)}
+}
+
+var defaultSLO = func() *SLOTracker {
+	t := NewSLOTracker()
+	t.violationsTotal = DefaultCounter(MSLOViolationsTotal)
+	return t
+}()
+
+// SLO returns the shared gateway-wide tracker.
+func SLO() *SLOTracker { return defaultSLO }
+
+// SetBudget configures (or reconfigures) a chain's latency budget and its
+// violation callback (nil for none). A non-positive budget removes the
+// chain.
+func (t *SLOTracker) SetBudget(chain string, budget time.Duration, onViolation func(SLOViolation)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if budget <= 0 {
+		delete(t.chains, chain)
+		return
+	}
+	c := t.chains[chain]
+	if c == nil {
+		c = &sloChain{}
+		t.chains[chain] = c
+	}
+	c.mu.Lock()
+	c.budgetNs = int64(budget)
+	c.onViolation = onViolation
+	c.mu.Unlock()
+}
+
+// Remove stops tracking a chain.
+func (t *SLOTracker) Remove(chain string) {
+	t.mu.Lock()
+	delete(t.chains, chain)
+	t.mu.Unlock()
+}
+
+// Observe records one end-to-end latency for a chain. Untracked chains
+// cost a read-locked map miss. Violations are edge-triggered (see package
+// comment); the callback runs on the observing goroutine, so it must not
+// block.
+func (t *SLOTracker) Observe(chain string, latencyNs int64) {
+	t.mu.RLock()
+	c := t.chains[chain]
+	t.mu.RUnlock()
+	if c == nil {
+		return
+	}
+	var fire func(SLOViolation)
+	var v SLOViolation
+	c.mu.Lock()
+	c.ring[c.next] = latencyNs
+	c.next = (c.next + 1) % sloWindow
+	if c.n < sloWindow {
+		c.n++
+	}
+	c.count++
+	over := latencyNs > c.budgetNs
+	if over && !c.inViolation {
+		c.violations++
+		fire = c.onViolation
+		v = SLOViolation{Chain: chain, LatencyNs: latencyNs, BudgetNs: c.budgetNs}
+	}
+	c.inViolation = over
+	c.mu.Unlock()
+	if fire != nil {
+		if t.violationsTotal != nil {
+			t.violationsTotal.Inc()
+		}
+		FlightRecord(FlightSLO, chain, "over budget", latencyNs)
+		fire(v)
+	}
+}
+
+// Snapshot returns the state of one chain (ok=false when untracked).
+func (t *SLOTracker) Snapshot(chain string) (SLOSnapshot, bool) {
+	t.mu.RLock()
+	c := t.chains[chain]
+	t.mu.RUnlock()
+	if c == nil {
+		return SLOSnapshot{}, false
+	}
+	return c.snapshot(chain), true
+}
+
+// Chains returns a snapshot of every tracked chain, sorted by chain id.
+func (t *SLOTracker) Chains() []SLOSnapshot {
+	t.mu.RLock()
+	names := make([]string, 0, len(t.chains))
+	for n := range t.chains {
+		names = append(names, n)
+	}
+	t.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]SLOSnapshot, 0, len(names))
+	for _, n := range names {
+		if s, ok := t.Snapshot(n); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (c *sloChain) snapshot(chain string) SLOSnapshot {
+	c.mu.Lock()
+	s := SLOSnapshot{
+		Chain:       chain,
+		BudgetNs:    c.budgetNs,
+		Count:       c.count,
+		Violations:  c.violations,
+		InViolation: c.inViolation,
+	}
+	samples := make([]int64, c.n)
+	copy(samples, c.ring[:c.n])
+	c.mu.Unlock()
+	if len(samples) == 0 {
+		return s
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	q := func(p float64) int64 { return samples[int(p*float64(len(samples)-1))] }
+	s.P50Ns, s.P95Ns, s.P99Ns = q(0.50), q(0.95), q(0.99)
+	return s
+}

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSLOUntrackedChainIgnored(t *testing.T) {
+	tr := NewSLOTracker()
+	tr.Observe("nobody", 1e9)
+	if _, ok := tr.Snapshot("nobody"); ok {
+		t.Fatal("unconfigured chain grew a snapshot")
+	}
+	if got := tr.Chains(); len(got) != 0 {
+		t.Fatalf("Chains = %v, want empty", got)
+	}
+}
+
+func TestSLOQuantilesAndBudget(t *testing.T) {
+	tr := NewSLOTracker()
+	tr.SetBudget("web", 10*time.Millisecond, nil)
+	for i := 1; i <= 100; i++ {
+		tr.Observe("web", int64(i)*int64(time.Millisecond)/10) // 0.1ms … 10ms
+	}
+	s, ok := tr.Snapshot("web")
+	if !ok {
+		t.Fatal("no snapshot for configured chain")
+	}
+	if s.BudgetNs != int64(10*time.Millisecond) || s.Count != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.P50Ns <= 0 || s.P95Ns < s.P50Ns || s.P99Ns < s.P95Ns {
+		t.Errorf("quantiles not monotone: p50=%d p95=%d p99=%d", s.P50Ns, s.P95Ns, s.P99Ns)
+	}
+	if s.Violations != 0 {
+		t.Errorf("violations = %d for all-compliant samples", s.Violations)
+	}
+}
+
+func TestSLOViolationEdgeTriggered(t *testing.T) {
+	tr := NewSLOTracker()
+	var fired []SLOViolation
+	tr.SetBudget("web", time.Millisecond, func(v SLOViolation) { fired = append(fired, v) })
+	over := int64(2 * time.Millisecond)
+	under := int64(time.Millisecond / 2)
+
+	tr.Observe("web", over)  // compliant → over: fires
+	tr.Observe("web", over)  // still over: no new edge
+	tr.Observe("web", under) // recovers
+	tr.Observe("web", over)  // second edge: fires again
+
+	if len(fired) != 2 {
+		t.Fatalf("callback fired %d times, want 2 (edge-triggered)", len(fired))
+	}
+	if fired[0].Chain != "web" || fired[0].LatencyNs != over || fired[0].BudgetNs != int64(time.Millisecond) {
+		t.Errorf("violation payload = %+v", fired[0])
+	}
+	s, _ := tr.Snapshot("web")
+	if s.Violations != 2 {
+		t.Errorf("snapshot violations = %d, want 2", s.Violations)
+	}
+}
+
+func TestSLORemove(t *testing.T) {
+	tr := NewSLOTracker()
+	tr.SetBudget("web", time.Millisecond, nil)
+	tr.Observe("web", 1)
+	tr.Remove("web")
+	if _, ok := tr.Snapshot("web"); ok {
+		t.Fatal("removed chain still tracked")
+	}
+	tr.Observe("web", 1) // must not resurrect or panic
+	if got := tr.Chains(); len(got) != 0 {
+		t.Fatalf("Chains = %v after removal", got)
+	}
+}
+
+func TestSLOWindowBounded(t *testing.T) {
+	tr := NewSLOTracker()
+	tr.SetBudget("web", time.Hour, nil)
+	for i := 0; i < 5000; i++ {
+		tr.Observe("web", int64(i))
+	}
+	s, _ := tr.Snapshot("web")
+	if s.Count != 5000 {
+		t.Errorf("Count = %d, want lifetime 5000", s.Count)
+	}
+	// The window keeps only the newest samples, so the median reflects the
+	// tail of the sequence, not the start.
+	if s.P50Ns < 3000 {
+		t.Errorf("p50 = %d, want from the most recent window", s.P50Ns)
+	}
+}

@@ -1,0 +1,550 @@
+package obs
+
+// End-to-end span tracing across planes and the wireless link. Where the
+// hop chain (trace.go) records *what each server-side hop cost* as flat
+// per-message rows, spans record the same traversal as one causal tree:
+// every queue wait, Process execution, msgpool forward, netem link transfer
+// and client peer streamlet becomes a timed node parented on the node that
+// caused it. The coordination plane — never Processor code — allocates
+// span IDs, records spans into a lock-sharded fixed ring, and rewrites the
+// compact span-context header each message carries so the next hop knows
+// its parent.
+//
+// Spans are a deep-diagnosis mode and default OFF: with spans disabled the
+// hot path pays exactly one atomic load per check (SpansEnabled), and with
+// spans enabled a record is one shard lock plus a struct store — the ring
+// is preallocated, so steady-state recording allocates nothing.
+//
+// The client half of a chain runs on a different "device" with its own
+// monotonic clock. AlignClocks implements the handshake that measures the
+// offset between the two clocks (netem is in-process, so the exchange is a
+// pair of function calls bracketing the remote read), and MergeBatch files
+// the client's shipped spans into the server collector with their start
+// stamps rebased onto the server clock, completing the single end-to-end
+// tree per message.
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// monoBase anchors the observability plane's monotonic timestamps; every
+// recorder (queues, streamlets, links, the flight recorder) stamps with
+// MonoNow so durations across packages subtract cleanly.
+var monoBase = time.Now()
+
+// MonoNow returns monotonic nanoseconds since process start (one nanotime
+// read; no wall-clock component).
+func MonoNow() int64 { return int64(time.Since(monoBase)) }
+
+var spansOn atomic.Bool
+
+// SpansEnabled reports whether span tracing is on (default off: spans are
+// the deep-diagnosis mode; the hop chain stays on independently).
+func SpansEnabled() bool { return spansOn.Load() }
+
+// SetSpansEnabled toggles span tracing.
+func SetSpansEnabled(on bool) { spansOn.Store(on) }
+
+// SpanKind classifies what interval of a message's life a span covers.
+type SpanKind uint8
+
+const (
+	// SpanInlet is the root: the application handing the message to
+	// Inlet.Send (pool put + first post).
+	SpanInlet SpanKind = iota
+	// SpanQueue is a stay in a channel queue, from enqueue until the
+	// consuming worker begins handling (pump handoff included).
+	SpanQueue
+	// SpanProcess is one Processor execution.
+	SpanProcess
+	// SpanForward is the msgpool forward of one emission (pool put +
+	// Forward + post to the output queue).
+	SpanForward
+	// SpanLink is the modelled wireless transfer of the netem link.
+	SpanLink
+	// SpanPeer is one client-side peer-streamlet reversal (§6.5).
+	SpanPeer
+)
+
+var spanKindNames = [...]string{"inlet", "queue", "process", "forward", "link", "peer"}
+
+func (k SpanKind) String() string {
+	if int(k) < len(spanKindNames) {
+		return spanKindNames[k]
+	}
+	return "kind-" + strconv.Itoa(int(k))
+}
+
+// Span sites: which side of the wireless link recorded the span.
+const (
+	SiteServer uint8 = iota
+	SiteClient
+)
+
+// Span is one timed node of a message's end-to-end tree. StartNs is on the
+// recording collector's monotonic clock; MergeBatch rebases client spans
+// onto the server clock.
+type Span struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64 // 0 = root
+	Kind     SpanKind
+	Site     uint8
+	Name     string // streamlet/queue/link/peer identifier
+	StartNs  int64
+	DurNs    int64
+	Bytes    int // body bytes at this hop (0 when not meaningful)
+}
+
+// SpanContext is the per-message trace context carried in the span header:
+// the trace identity, the span the next hop should parent on, and the
+// root's start stamp (server clock) so terminal hops can compute the
+// end-to-end latency without parsing anything else.
+type SpanContext struct {
+	TraceID  uint64
+	ParentID uint64
+	StartNs  int64
+}
+
+// Valid reports whether the context carries a live trace.
+func (c SpanContext) Valid() bool { return c.TraceID != 0 }
+
+// spanCtxSep separates the three span-context fields. The header value is
+// traceID~parentID~rootStartNs with the IDs in hex.
+const spanCtxSep = '~'
+
+// EncodeSpanContext renders a span context as a header value.
+func EncodeSpanContext(c SpanContext) string {
+	var b [48]byte
+	out := strconv.AppendUint(b[:0], c.TraceID, 16)
+	out = append(out, spanCtxSep)
+	out = strconv.AppendUint(out, c.ParentID, 16)
+	out = append(out, spanCtxSep)
+	out = strconv.AppendInt(out, c.StartNs, 10)
+	return string(out)
+}
+
+// ParseSpanContext decodes a header value; malformed or empty input yields
+// the zero (invalid) context.
+func ParseSpanContext(s string) SpanContext {
+	var c SpanContext
+	i := strings.IndexByte(s, spanCtxSep)
+	if i < 0 {
+		return SpanContext{}
+	}
+	j := strings.IndexByte(s[i+1:], spanCtxSep)
+	if j < 0 {
+		return SpanContext{}
+	}
+	j += i + 1
+	var err error
+	if c.TraceID, err = strconv.ParseUint(s[:i], 16, 64); err != nil {
+		return SpanContext{}
+	}
+	if c.ParentID, err = strconv.ParseUint(s[i+1:j], 16, 64); err != nil {
+		return SpanContext{}
+	}
+	if c.StartNs, err = strconv.ParseInt(s[j+1:], 10, 64); err != nil {
+		return SpanContext{}
+	}
+	return c
+}
+
+// spanShards is the lock-sharding fan-out. Spans shard by trace ID, so one
+// trace's spans live in one shard and Trace scans a single ring.
+const spanShards = 8
+
+// defaultSpansPerShard bounds each ring; the collector retains the most
+// recent spanShards*defaultSpansPerShard spans and overwrites the oldest.
+const defaultSpansPerShard = 2048
+
+type spanShard struct {
+	mu   sync.Mutex
+	ring []Span
+	n    uint64 // total spans written; ring index = n % len
+}
+
+// SpanCollector records spans into fixed lock-sharded rings. One collector
+// per clock domain: the server uses the shared default (Spans()), the thin
+// client creates its own with its device clock.
+type SpanCollector struct {
+	clock func() int64
+	site  uint8
+	ids   atomic.Uint64
+
+	// recorded/evicted/batches are nil-safe metric hooks; the default
+	// collector wires them to the registry catalog.
+	recorded *Counter
+	evicted  *Counter
+	batches  *Counter
+
+	shards [spanShards]spanShard
+}
+
+// NewSpanCollector creates a collector with perShard ring capacity
+// (<=0 selects the default) stamping with the given clock (nil selects
+// MonoNow) and site.
+func NewSpanCollector(perShard int, clock func() int64, site uint8) *SpanCollector {
+	if perShard <= 0 {
+		perShard = defaultSpansPerShard
+	}
+	if clock == nil {
+		clock = MonoNow
+	}
+	c := &SpanCollector{clock: clock, site: site}
+	// Each site mints IDs from a disjoint space (server from 1, client from
+	// 2^32+1), so client-recorded span IDs can never collide with server IDs
+	// inside one merged trace tree.
+	c.ids.Store(uint64(site) << 32)
+	for i := range c.shards {
+		c.shards[i].ring = make([]Span, perShard)
+	}
+	return c
+}
+
+var defaultSpans = func() *SpanCollector {
+	c := NewSpanCollector(defaultSpansPerShard, MonoNow, SiteServer)
+	c.recorded = DefaultCounter(MSpanRecordedTotal)
+	c.evicted = DefaultCounter(MSpanEvictedTotal)
+	c.batches = DefaultCounter(MSpanBatchesTotal)
+	return c
+}()
+
+// Spans returns the shared server-side span collector.
+func Spans() *SpanCollector { return defaultSpans }
+
+// Now reads the collector's clock.
+func (c *SpanCollector) Now() int64 { return c.clock() }
+
+// Site returns the site stamped onto recorded spans.
+func (c *SpanCollector) Site() uint8 { return c.site }
+
+// NextID mints a fresh span identifier (also used for trace IDs: both only
+// need process-wide uniqueness). IDs start at 1; 0 means "none".
+func (c *SpanCollector) NextID() uint64 { return c.ids.Add(1) }
+
+// Record files one span. The span's Site is overwritten with the
+// collector's; the ring overwrite of the oldest span counts as an eviction.
+func (c *SpanCollector) Record(sp Span) {
+	if sp.TraceID == 0 {
+		return
+	}
+	sp.Site = c.site
+	sh := &c.shards[sp.TraceID%spanShards]
+	sh.mu.Lock()
+	idx := sh.n % uint64(len(sh.ring))
+	evict := sh.n >= uint64(len(sh.ring))
+	sh.ring[idx] = sp
+	sh.n++
+	sh.mu.Unlock()
+	if c.recorded != nil {
+		c.recorded.Inc()
+	}
+	if evict && c.evicted != nil {
+		c.evicted.Inc()
+	}
+}
+
+// Trace returns every retained span of one trace, in recording order.
+func (c *SpanCollector) Trace(traceID uint64) []Span {
+	if traceID == 0 {
+		return nil
+	}
+	sh := &c.shards[traceID%spanShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	filled := sh.n
+	if filled > uint64(len(sh.ring)) {
+		filled = uint64(len(sh.ring))
+	}
+	var out []Span
+	start := sh.n - filled
+	for i := uint64(0); i < filled; i++ {
+		sp := sh.ring[(start+i)%uint64(len(sh.ring))]
+		if sp.TraceID == traceID {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Drain removes and returns every retained span — the client side uses it
+// to assemble the batch it ships back to the gateway.
+func (c *SpanCollector) Drain() []Span {
+	var out []Span
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		filled := sh.n
+		if filled > uint64(len(sh.ring)) {
+			filled = uint64(len(sh.ring))
+		}
+		start := sh.n - filled
+		for j := uint64(0); j < filled; j++ {
+			out = append(out, sh.ring[(start+j)%uint64(len(sh.ring))])
+		}
+		sh.n = 0
+		for j := range sh.ring {
+			sh.ring[j] = Span{}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// AlignClocks measures the offset that maps the remote clock onto the
+// local one: remote + offset = local. The local clock is read before and
+// after the remote read and the midpoint taken, cancelling the (in-process,
+// near-zero) exchange latency — the "simple handshake" the cross-link
+// merge needs.
+func AlignClocks(local, remote func() int64) int64 {
+	t0 := local()
+	r := remote()
+	t1 := local()
+	return t0 + (t1-t0)/2 - r
+}
+
+// MergeBatch files a batch of spans recorded on another clock domain into
+// this collector, rebasing each start stamp by offsetNs (from AlignClocks)
+// onto this collector's clock. The spans keep their recorded Site.
+func (c *SpanCollector) MergeBatch(batch []Span, offsetNs int64) {
+	for _, sp := range batch {
+		if sp.TraceID == 0 {
+			continue
+		}
+		sp.StartNs += offsetNs
+		sh := &c.shards[sp.TraceID%spanShards]
+		sh.mu.Lock()
+		idx := sh.n % uint64(len(sh.ring))
+		evict := sh.n >= uint64(len(sh.ring))
+		sh.ring[idx] = sp
+		sh.n++
+		sh.mu.Unlock()
+		if c.recorded != nil {
+			c.recorded.Inc()
+		}
+		if evict && c.evicted != nil {
+			c.evicted.Inc()
+		}
+	}
+	if c.batches != nil {
+		c.batches.Inc()
+	}
+}
+
+// SpanBatch wire codec: spans cross the control channel as one string,
+// entries separated by ';', fields by '~' (both header-safe). The format
+// mirrors the hop chain's field encoding.
+
+// EncodeSpanBatch renders spans for the control channel.
+func EncodeSpanBatch(spans []Span) string {
+	var b strings.Builder
+	b.Grow(len(spans) * 48)
+	for i, sp := range spans {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(strconv.FormatUint(sp.TraceID, 16))
+		b.WriteByte('~')
+		b.WriteString(strconv.FormatUint(sp.SpanID, 16))
+		b.WriteByte('~')
+		b.WriteString(strconv.FormatUint(sp.ParentID, 16))
+		b.WriteByte('~')
+		b.WriteString(strconv.Itoa(int(sp.Kind)))
+		b.WriteByte('~')
+		b.WriteString(strconv.Itoa(int(sp.Site)))
+		b.WriteByte('~')
+		b.WriteString(sp.Name)
+		b.WriteByte('~')
+		b.WriteString(strconv.FormatInt(sp.StartNs, 10))
+		b.WriteByte('~')
+		b.WriteString(strconv.FormatInt(sp.DurNs, 10))
+		b.WriteByte('~')
+		b.WriteString(strconv.Itoa(sp.Bytes))
+	}
+	return b.String()
+}
+
+// DecodeSpanBatch parses an encoded batch; malformed entries are skipped.
+func DecodeSpanBatch(s string) []Span {
+	if s == "" {
+		return nil
+	}
+	entries := strings.Split(s, ";")
+	out := make([]Span, 0, len(entries))
+	for _, e := range entries {
+		f := strings.Split(e, "~")
+		if len(f) != 9 {
+			continue
+		}
+		var sp Span
+		var err error
+		if sp.TraceID, err = strconv.ParseUint(f[0], 16, 64); err != nil {
+			continue
+		}
+		if sp.SpanID, err = strconv.ParseUint(f[1], 16, 64); err != nil {
+			continue
+		}
+		if sp.ParentID, err = strconv.ParseUint(f[2], 16, 64); err != nil {
+			continue
+		}
+		kind, err := strconv.Atoi(f[3])
+		if err != nil {
+			continue
+		}
+		sp.Kind = SpanKind(kind)
+		site, err := strconv.Atoi(f[4])
+		if err != nil {
+			continue
+		}
+		sp.Site = uint8(site)
+		sp.Name = f[5]
+		if sp.StartNs, err = strconv.ParseInt(f[6], 10, 64); err != nil {
+			continue
+		}
+		if sp.DurNs, err = strconv.ParseInt(f[7], 10, 64); err != nil {
+			continue
+		}
+		if sp.Bytes, err = strconv.Atoi(f[8]); err != nil {
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// SpanNode is one node of a reconstructed trace tree.
+type SpanNode struct {
+	Span     Span
+	Children []*SpanNode
+}
+
+// BuildSpanTree reconstructs the causal tree of one trace's spans. Roots
+// are spans whose parent is 0 or not among the given spans; children are
+// ordered by start stamp. The input order is irrelevant.
+func BuildSpanTree(spans []Span) []*SpanNode {
+	nodes := make(map[uint64]*SpanNode, len(spans))
+	for _, sp := range spans {
+		nodes[sp.SpanID] = &SpanNode{Span: sp}
+	}
+	var roots []*SpanNode
+	for _, sp := range spans {
+		n := nodes[sp.SpanID]
+		if p, ok := nodes[sp.ParentID]; ok && sp.ParentID != sp.SpanID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var sortChildren func(n *SpanNode)
+	sortChildren = func(n *SpanNode) {
+		sort.Slice(n.Children, func(i, j int) bool {
+			return n.Children[i].Span.StartNs < n.Children[j].Span.StartNs
+		})
+		for _, c := range n.Children {
+			sortChildren(c)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Span.StartNs < roots[j].Span.StartNs })
+	for _, r := range roots {
+		sortChildren(r)
+	}
+	return roots
+}
+
+// SpanTreeConnected reports whether the spans form one fully-connected
+// tree: exactly one root, every other span reachable from it.
+func SpanTreeConnected(spans []Span) bool {
+	if len(spans) == 0 {
+		return false
+	}
+	roots := BuildSpanTree(spans)
+	if len(roots) != 1 {
+		return false
+	}
+	count := 0
+	var walk func(n *SpanNode)
+	walk = func(n *SpanNode) {
+		count++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(roots[0])
+	return count == len(spans)
+}
+
+// SpanUnionNs returns the total time covered by the union of the spans'
+// intervals — overlapping spans (a process span enclosing the link send it
+// performs, say) count once, so the union compares directly against an
+// independently measured end-to-end response time.
+func SpanUnionNs(spans []Span) int64 {
+	if len(spans) == 0 {
+		return 0
+	}
+	type iv struct{ s, e int64 }
+	ivs := make([]iv, 0, len(spans))
+	for _, sp := range spans {
+		ivs = append(ivs, iv{sp.StartNs, sp.StartNs + sp.DurNs})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+	var total int64
+	cur := ivs[0]
+	for _, v := range ivs[1:] {
+		if v.s <= cur.e {
+			if v.e > cur.e {
+				cur.e = v.e
+			}
+			continue
+		}
+		total += cur.e - cur.s
+		cur = v
+	}
+	total += cur.e - cur.s
+	return total
+}
+
+// FormatSpanTree renders a trace tree as an indented text table: one line
+// per span with kind, site, name, start offset from the root, and duration.
+func FormatSpanTree(roots []*SpanNode) string {
+	var b strings.Builder
+	var base int64
+	if len(roots) > 0 {
+		base = roots[0].Span.StartNs
+	}
+	var walk func(n *SpanNode, depth int)
+	walk = func(n *SpanNode, depth int) {
+		sp := n.Span
+		site := "gw"
+		if sp.Site == SiteClient {
+			site = "cl"
+		}
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(sp.Kind.String())
+		b.WriteByte(':')
+		b.WriteString(sp.Name)
+		b.WriteString(" [")
+		b.WriteString(site)
+		b.WriteString("] +")
+		b.WriteString(time.Duration(sp.StartNs - base).Round(time.Microsecond).String())
+		b.WriteString(" dur=")
+		b.WriteString(time.Duration(sp.DurNs).Round(time.Microsecond).String())
+		if sp.Bytes > 0 {
+			b.WriteString(" bytes=")
+			b.WriteString(strconv.Itoa(sp.Bytes))
+		}
+		b.WriteByte('\n')
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanContextCodecRoundTrip(t *testing.T) {
+	cases := []SpanContext{
+		{TraceID: 1, ParentID: 2, StartNs: 3},
+		{TraceID: 0xdeadbeef, ParentID: 1<<32 + 7, StartNs: -42},
+		{TraceID: ^uint64(0), ParentID: 0, StartNs: 1<<62 + 1},
+	}
+	for _, c := range cases {
+		got := ParseSpanContext(EncodeSpanContext(c))
+		if got != c {
+			t.Errorf("round trip %+v -> %+v", c, got)
+		}
+	}
+}
+
+func TestParseSpanContextMalformed(t *testing.T) {
+	for _, s := range []string{
+		"", "abc", "1~2", "~~", "zz~1~2", "1~zz~2", "1~2~zz", "1~2~", "0~0~0",
+	} {
+		if c := ParseSpanContext(s); c.Valid() {
+			t.Errorf("ParseSpanContext(%q) = %+v, want invalid", s, c)
+		}
+	}
+}
+
+func TestSpanCollectorSiteIDSpaces(t *testing.T) {
+	srv := NewSpanCollector(16, MonoNow, SiteServer)
+	cl := NewSpanCollector(16, MonoNow, SiteClient)
+	if id := srv.NextID(); id != 1 {
+		t.Errorf("server first ID = %d, want 1", id)
+	}
+	if id := cl.NextID(); id != 1<<32+1 {
+		t.Errorf("client first ID = %d, want 2^32+1", id)
+	}
+}
+
+func TestSpanCollectorTraceShardingAndOverwrite(t *testing.T) {
+	c := NewSpanCollector(4, MonoNow, SiteServer)
+	// One trace lives in one shard; 6 spans into a 4-slot ring keeps the
+	// newest 4 and counts the 2 evictions.
+	for i := 1; i <= 6; i++ {
+		c.Record(Span{TraceID: 9, SpanID: uint64(i), Kind: SpanProcess})
+	}
+	got := c.Trace(9)
+	if len(got) != 4 {
+		t.Fatalf("Trace retained %d spans, want 4", len(got))
+	}
+	for _, sp := range got {
+		if sp.SpanID <= 2 {
+			t.Errorf("oldest span %d survived overwrite", sp.SpanID)
+		}
+	}
+}
+
+func TestSpanCollectorDrainEmptiesRings(t *testing.T) {
+	c := NewSpanCollector(8, MonoNow, SiteClient)
+	for i := 0; i < 5; i++ {
+		c.Record(Span{TraceID: uint64(i + 1), SpanID: c.NextID()})
+	}
+	batch := c.Drain()
+	if len(batch) != 5 {
+		t.Fatalf("Drain returned %d spans, want 5", len(batch))
+	}
+	if rest := c.Drain(); len(rest) != 0 {
+		t.Errorf("second Drain returned %d spans, want 0", len(rest))
+	}
+}
+
+func TestSpanBatchCodecRoundTrip(t *testing.T) {
+	in := []Span{
+		{TraceID: 7, SpanID: 1<<32 + 1, ParentID: 3, Kind: SpanPeer,
+			Site: SiteClient, Name: "text/decompress", StartNs: 123, DurNs: 456, Bytes: 789},
+		{TraceID: 7, SpanID: 1<<32 + 2, ParentID: 1<<32 + 1, Kind: SpanPeer,
+			Site: SiteClient, Name: "crypt/decrypt", StartNs: -5, DurNs: 0, Bytes: 0},
+	}
+	out := DecodeSpanBatch(EncodeSpanBatch(in))
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("span %d: %+v != %+v", i, out[i], in[i])
+		}
+	}
+	if got := DecodeSpanBatch(""); len(got) != 0 {
+		t.Errorf("empty batch decoded to %d spans", len(got))
+	}
+}
+
+func TestAlignClocks(t *testing.T) {
+	var local int64 = 1000
+	localClock := func() int64 { local += 10; return local }
+	skew := int64(-3_000_000)
+	remoteClock := func() int64 { return local + skew }
+	off := AlignClocks(localClock, remoteClock)
+	// remote + offset ≈ local, so offset ≈ -skew (within the handshake RTT).
+	if diff := off + skew; diff < -100 || diff > 100 {
+		t.Errorf("offset %d does not cancel skew %d", off, skew)
+	}
+}
+
+func TestMergeBatchRebasesClientSpans(t *testing.T) {
+	c := NewSpanCollector(16, MonoNow, SiteServer)
+	c.MergeBatch([]Span{{TraceID: 5, SpanID: 1 << 32, StartNs: 100, DurNs: 7}}, 900)
+	got := c.Trace(5)
+	if len(got) != 1 {
+		t.Fatalf("merged trace has %d spans, want 1", len(got))
+	}
+	if got[0].StartNs != 1000 {
+		t.Errorf("merged StartNs = %d, want 1000", got[0].StartNs)
+	}
+}
+
+// treeFixture is a connected three-span tree with a client leaf.
+func treeFixture() []Span {
+	return []Span{
+		{TraceID: 1, SpanID: 1, Kind: SpanInlet, Name: "in", StartNs: 0, DurNs: 100},
+		{TraceID: 1, SpanID: 2, ParentID: 1, Kind: SpanLink, Name: "link", StartNs: 50, DurNs: 200},
+		{TraceID: 1, SpanID: 3, ParentID: 2, Kind: SpanPeer, Site: SiteClient,
+			Name: "peer", StartNs: 260, DurNs: 40},
+	}
+}
+
+func TestSpanTreeConnected(t *testing.T) {
+	if !SpanTreeConnected(treeFixture()) {
+		t.Error("fixture tree reported disconnected")
+	}
+	// Orphaned parent: span 3 points at a missing span.
+	broken := treeFixture()
+	broken[2].ParentID = 99
+	if SpanTreeConnected(broken) {
+		t.Error("orphaned span reported connected")
+	}
+	// Two roots.
+	twoRoots := append(treeFixture(), Span{TraceID: 1, SpanID: 4, Kind: SpanInlet})
+	if SpanTreeConnected(twoRoots) {
+		t.Error("two-root forest reported connected")
+	}
+	if SpanTreeConnected(nil) {
+		t.Error("empty span set reported connected")
+	}
+}
+
+func TestSpanUnionNs(t *testing.T) {
+	// [0,100] ∪ [50,250] ∪ [260,300] = 250 + 40: overlap counted once, the
+	// 10ns gap excluded.
+	if got := SpanUnionNs(treeFixture()); got != 290 {
+		t.Errorf("SpanUnionNs = %d, want 290", got)
+	}
+	if got := SpanUnionNs(nil); got != 0 {
+		t.Errorf("SpanUnionNs(nil) = %d, want 0", got)
+	}
+}
+
+func TestFormatSpanTree(t *testing.T) {
+	out := FormatSpanTree(BuildSpanTree(treeFixture()))
+	for _, want := range []string{"inlet:in [gw]", "link:link [gw]", "peer:peer [cl]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+	// Child depth: the peer leaf sits two indents under the root.
+	if !strings.Contains(out, "    peer:peer") {
+		t.Errorf("peer span not indented as a grandchild:\n%s", out)
+	}
+}
+
+func TestSpanCollectorConcurrent(t *testing.T) {
+	c := NewSpanCollector(64, MonoNow, SiteServer)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Record(Span{TraceID: uint64(g + 1), SpanID: c.NextID()})
+				_ = c.Trace(uint64(g + 1))
+			}
+		}(g)
+	}
+	wg.Wait()
+}

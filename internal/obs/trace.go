@@ -117,6 +117,10 @@ type TraceStore struct {
 	maxPerSess  int
 	sessions    map[string]*sessionTraces
 	order       []string // session insertion order
+	// evicted counts trace records displaced by the bounds, so silent
+	// eviction is visible (nil-safe; the default store wires the catalog
+	// counter). One increment per displaced message record.
+	evicted *Counter
 }
 
 // NewTraceStore creates a store bounded to maxSessions sessions of
@@ -135,7 +139,11 @@ func NewTraceStore(maxSessions, maxPerSession int) *TraceStore {
 	}
 }
 
-var defaultTraces = NewTraceStore(128, 1024)
+var defaultTraces = func() *TraceStore {
+	ts := NewTraceStore(128, 1024)
+	ts.evicted = DefaultCounter(MTraceEvictedTotal)
+	return ts
+}()
 
 // Traces returns the shared gateway-wide trace store the streamlet runtime
 // records into and the /trace exposition endpoint reads from.
@@ -164,6 +172,10 @@ func (ts *TraceStore) Record(session, msgID, chain string) {
 		if len(ts.order) >= ts.maxSessions {
 			oldest := ts.order[0]
 			ts.order = ts.order[1:]
+			if old, ok := ts.sessions[oldest]; ok && ts.evicted != nil {
+				// Every record of the displaced session is lost.
+				ts.evicted.Add(uint64(len(old.chains)))
+			}
 			delete(ts.sessions, oldest)
 		}
 		st = &sessionTraces{chains: make(map[string]string)}
@@ -175,6 +187,9 @@ func (ts *TraceStore) Record(session, msgID, chain string) {
 		for len(st.chains) >= ts.maxPerSess {
 			oldest := st.order[0]
 			st.order = st.order[1:]
+			if _, live := st.chains[oldest]; live && ts.evicted != nil {
+				ts.evicted.Inc()
+			}
 			delete(st.chains, oldest)
 		}
 	}

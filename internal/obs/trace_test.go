@@ -88,6 +88,26 @@ func TestTraceStoreEviction(t *testing.T) {
 	}
 }
 
+func TestTraceStoreEvictionCounter(t *testing.T) {
+	ts := NewTraceStore(2, 2)
+	ts.evicted = &Counter{}
+	// Session eviction: s0's single record displaced when s2 arrives.
+	for i := 0; i < 3; i++ {
+		ts.Record(fmt.Sprintf("s%d", i), "m", "a~0~0~0~0")
+	}
+	if got := ts.evicted.Value(); got != 1 {
+		t.Errorf("evicted after session displacement = %d, want 1", got)
+	}
+	// Per-session ring eviction: s2 already holds one record, so three more
+	// messages displace two through the 2-slot ring.
+	for i := 0; i < 3; i++ {
+		ts.Record("s2", fmt.Sprintf("m%d", i), "a~0~0~0~0")
+	}
+	if got := ts.evicted.Value(); got != 3 {
+		t.Errorf("evicted after ring displacement = %d, want 3", got)
+	}
+}
+
 func TestTracingToggle(t *testing.T) {
 	if !TracingEnabled() {
 		t.Fatal("tracing should default to enabled")

@@ -74,17 +74,21 @@ type Item struct {
 	// Only measured while tracing is enabled (it feeds the trace hop).
 	Wait time.Duration
 
-	// enqueuedNs is monotonic nanoseconds since monoBase (0 = not stamped).
-	// A raw monotonic offset instead of a time.Time halves the clock cost:
-	// reading the wall clock as well would buy nothing for a duration.
+	// enqueuedNs is monotonic nanoseconds on the obs clock (0 = not
+	// stamped). A raw monotonic offset instead of a time.Time halves the
+	// clock cost: reading the wall clock as well would buy nothing for a
+	// duration.
 	enqueuedNs int64
 }
 
-// monoBase anchors the queue's monotonic timestamps; time.Since against a
-// monotonic base compiles down to one nanotime read.
-var monoBase = time.Now()
+// EnqueuedNs returns the item's enqueue stamp on the obs monotonic clock
+// (0 when tracing and spans were both off at enqueue time). Span recording
+// uses it as the queue-wait span's start.
+func (it Item) EnqueuedNs() int64 { return it.enqueuedNs }
 
-func monoNow() int64 { return int64(time.Since(monoBase)) }
+// monoNow stamps on the shared obs monotonic clock so queue stamps subtract
+// cleanly against span and flight-recorder stamps from other packages.
+func monoNow() int64 { return obs.MonoNow() }
 
 // Options configure a queue beyond its MCL channel declaration.
 type Options struct {
@@ -314,10 +318,18 @@ func (q *Queue) appendLocked(msgID string, size int) {
 		i -= len(q.ring)
 	}
 	q.ring[i] = Item{MsgID: msgID, Size: size}
-	if obs.TracingEnabled() {
-		// The enqueue timestamp feeds the trace hop's queue-wait term; with
-		// tracing off nothing reads it, so skip the clock read.
+	spans := obs.SpansEnabled()
+	if spans || obs.TracingEnabled() {
+		// The enqueue timestamp feeds the trace hop's queue-wait term and
+		// the queue span's start; with both consumers off nothing reads it,
+		// so skip the clock read.
 		q.ring[i].enqueuedNs = monoNow()
+	}
+	if spans {
+		// Data-plane flight events ride the spans toggle: at full message
+		// rate they would churn the ring past the control-plane record, and
+		// the spans-off hot path stays free of the journaling cost.
+		obs.FlightRecord(obs.FlightEnqueue, q.name, msgID, int64(size))
 	}
 	q.count++
 	q.queuedSize += size
@@ -454,6 +466,9 @@ func (q *Queue) takeLocked() Item {
 	q.fetched++
 	if it.enqueuedNs != 0 {
 		it.Wait = time.Duration(monoNow() - it.enqueuedNs)
+	}
+	if obs.SpansEnabled() {
+		obs.FlightRecord(obs.FlightDequeue, q.name, it.MsgID, int64(it.Wait))
 	}
 	mFetchTotal.Inc()
 	if !q.closed {

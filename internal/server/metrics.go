@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"strings"
 
 	"mobigate/internal/obs"
@@ -16,11 +18,30 @@ import (
 //	GET /trace            JSON list of sessions with recorded traces
 //	GET /trace/<session>  JSON per-hop trace records for one session
 //	GET /streams          JSON stats snapshots of the deployed streams
+//	GET /slo              JSON latency-budget snapshots per tracked chain
 //
 // The handler reads the process-wide obs registry and trace store; srv
 // supplies the per-stream snapshots (srv may be nil, which disables
 // /streams).
 func NewMetricsHandler(srv *Server) http.Handler {
+	return newMetricsMux(srv, false)
+}
+
+// NewDebugHandler is NewMetricsHandler plus the debug surface:
+//
+//	GET /debug/flight           JSON flight-recorder dump (?limit=N bounds
+//	                            it; the default keeps the newest 4096 and
+//	                            marks the dump truncated; ?last=1 returns
+//	                            the last automatic ExecutionFault dump)
+//	GET /debug/pprof/...        the standard runtime profiles
+//
+// The debug surface exposes process internals, so servers gate it behind
+// an explicit flag (mobigate-server -debug).
+func NewDebugHandler(srv *Server) http.Handler {
+	return newMetricsMux(srv, true)
+}
+
+func newMetricsMux(srv *Server, debug bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -46,6 +67,9 @@ func NewMetricsHandler(srv *Server) http.Handler {
 		}
 		writeJSON(w, map[string]any{"session": session, "messages": recs})
 	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"chains": obs.SLO().Chains()})
+	})
 	if srv != nil {
 		mux.HandleFunc("/streams", func(w http.ResponseWriter, r *http.Request) {
 			out := map[string]any{}
@@ -56,6 +80,34 @@ func NewMetricsHandler(srv *Server) http.Handler {
 			}
 			writeJSON(w, out)
 		})
+	}
+	if debug {
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Query().Get("last") != "" {
+				dump, ok := obs.Flight().LastDump()
+				if !ok {
+					http.Error(w, "no automatic flight dump captured", http.StatusNotFound)
+					return
+				}
+				writeJSON(w, dump)
+				return
+			}
+			limit := 0 // 0 selects DefaultFlightDumpLimit
+			if s := r.URL.Query().Get("limit"); s != "" {
+				n, err := strconv.Atoi(s)
+				if err != nil || n <= 0 {
+					http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+					return
+				}
+				limit = n
+			}
+			writeJSON(w, obs.Flight().Snapshot(limit))
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }
@@ -71,6 +123,16 @@ func writeJSON(w http.ResponseWriter, v any) {
 // port) and returns the bound address. The endpoint runs until the
 // front-end is closed.
 func (f *Frontend) ServeMetrics(addr string) (net.Addr, error) {
+	return f.serveMetrics(addr, false)
+}
+
+// ServeMetricsDebug is ServeMetrics with the debug surface (/debug/flight,
+// /debug/pprof) mounted; servers expose it only behind an explicit flag.
+func (f *Frontend) ServeMetricsDebug(addr string) (net.Addr, error) {
+	return f.serveMetrics(addr, true)
+}
+
+func (f *Frontend) serveMetrics(addr string, debug bool) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -78,7 +140,7 @@ func (f *Frontend) ServeMetrics(addr string) (net.Addr, error) {
 	f.metricsMu.Lock()
 	f.metricsLn = ln
 	f.metricsMu.Unlock()
-	srv := &http.Server{Handler: NewMetricsHandler(f.srv)}
+	srv := &http.Server{Handler: newMetricsMux(f.srv, debug)}
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()

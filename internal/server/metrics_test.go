@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 
 	"mobigate/internal/mime"
@@ -171,6 +172,150 @@ func TestTraceEndpoint(t *testing.T) {
 	if !strings.HasPrefix(strings.TrimSpace(body), "{") {
 		t.Errorf("/streams not a JSON object: %s", body)
 	}
+}
+
+// httpGetFull also returns the Content-Type header.
+func httpGetFull(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestMetricsContentTypes(t *testing.T) {
+	fe := NewFrontend(New(Options{}), nil)
+	defer fe.Close()
+	maddr, err := fe.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + maddr.String()
+
+	code, _, ct := httpGetFull(t, base+"/metrics")
+	if code != http.StatusOK || !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics = %d %q, want 200 Prometheus text 0.0.4", code, ct)
+	}
+	for _, path := range []string{"/metrics.json", "/trace", "/slo", "/streams"} {
+		code, body, ct := httpGetFull(t, base+path)
+		if code != http.StatusOK || ct != "application/json" {
+			t.Errorf("%s = %d %q, want 200 application/json", path, code, ct)
+		}
+		var v any
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Errorf("%s not valid JSON: %v", path, err)
+		}
+	}
+}
+
+func TestDebugSurfaceGated(t *testing.T) {
+	fe := NewFrontend(New(Options{}), nil)
+	defer fe.Close()
+	maddr, err := fe.ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + maddr.String()
+	for _, path := range []string{"/debug/flight", "/debug/pprof/"} {
+		if code, _ := httpGet(t, base+path); code != http.StatusNotFound {
+			t.Errorf("GET %s on plain metrics handler = %d, want 404", path, code)
+		}
+	}
+}
+
+func TestDebugFlightEndpoint(t *testing.T) {
+	fe := NewFrontend(New(Options{}), nil)
+	defer fe.Close()
+	maddr, err := fe.ServeMetricsDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + maddr.String()
+
+	// The shared journal always has control-plane traffic by this point in
+	// the test binary, but record explicitly so the test stands alone.
+	for i := 0; i < 8; i++ {
+		obs.FlightRecord(obs.FlightEvent, "metrics-test", "", int64(i))
+	}
+
+	code, body, ct := httpGetFull(t, base+"/debug/flight")
+	if code != http.StatusOK || ct != "application/json" {
+		t.Fatalf("/debug/flight = %d %q", code, ct)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) == 0 {
+		t.Fatal("/debug/flight returned an empty journal")
+	}
+
+	// ?limit truncates an oversized dump, keeping the newest entries.
+	code, body = httpGet(t, base+"/debug/flight?limit=3")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight?limit=3 = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Events) != 3 || !dump.Truncated || dump.Total <= 3 {
+		t.Errorf("limit=3 dump: %d events, truncated=%v, total=%d", len(dump.Events), dump.Truncated, dump.Total)
+	}
+
+	for _, bad := range []string{"0", "-5", "abc"} {
+		if code, _ := httpGet(t, base+"/debug/flight?limit="+bad); code != http.StatusBadRequest {
+			t.Errorf("limit=%s = %d, want 400", bad, code)
+		}
+	}
+
+	// ?last returns the most recent auto-dump once one exists. (The shared
+	// recorder may already hold one from earlier tests, so assert on the
+	// reason of a fresh dump rather than on 404-before.)
+	obs.FlightAutoDump("metrics-test-dump")
+	code, body = httpGet(t, base+"/debug/flight?last=1")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/flight?last=1 = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.Reason != "metrics-test-dump" {
+		t.Errorf("last dump reason = %q", dump.Reason)
+	}
+}
+
+func TestMetricsConcurrentScrape(t *testing.T) {
+	fe := NewFrontend(New(Options{}), nil)
+	defer fe.Close()
+	maddr, err := fe.ServeMetricsDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + maddr.String()
+	paths := []string{"/metrics", "/metrics.json", "/trace", "/slo", "/debug/flight"}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				// Writers churn the stores the scrapes read.
+				obs.FlightRecord(obs.FlightEvent, "scrape-test", "", int64(i))
+				obs.DefaultCounter("scrape_test_total").Inc()
+				code, _ := httpGet(t, base+paths[(g+i)%len(paths)])
+				if code != http.StatusOK {
+					t.Errorf("concurrent GET %s = %d", paths[(g+i)%len(paths)], code)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func grepLines(s, substr string) string {

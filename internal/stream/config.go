@@ -7,6 +7,7 @@ import (
 	"mobigate/internal/mcl"
 	"mobigate/internal/mime"
 	"mobigate/internal/msgpool"
+	"mobigate/internal/obs"
 	"mobigate/internal/queue"
 	"mobigate/internal/streamlet"
 )
@@ -277,12 +278,36 @@ func (st *Stream) OpenInlet(ref mcl.PortRef, capacityBytes int) (*Inlet, error) 
 }
 
 // Send tags the message with the stream session, pools it, and posts it.
+// With span tracing enabled it also opens the trace: the message gets a
+// fresh trace id and a root inlet span, and every downstream hop parents
+// its spans under it via the X-Mobigate-Span header.
 func (in *Inlet) Send(m *mime.Message) error {
 	m.SetSession(in.st.sessionID)
+	var col *obs.SpanCollector
+	var traceID, rootID uint64
+	var start int64
+	if obs.SpansEnabled() {
+		col = obs.Spans()
+		traceID, rootID = col.NextID(), col.NextID()
+		start = col.Now()
+		// The header must be set before the message becomes visible to the
+		// consumer side (pool.Put / Post publish it to other goroutines).
+		m.SetHeader(mime.HeaderSpanContext, obs.EncodeSpanContext(obs.SpanContext{
+			TraceID: traceID, ParentID: rootID, StartNs: start,
+		}))
+	}
+	size := m.Len()
 	in.st.pool.Put(m)
-	if err := in.q.Post(m.ID, m.Len(), nil); err != nil {
+	if err := in.q.Post(m.ID, size, nil); err != nil {
 		in.st.pool.Remove(m.ID)
 		return err
+	}
+	if col != nil {
+		col.Record(obs.Span{
+			TraceID: traceID, SpanID: rootID,
+			Kind: obs.SpanInlet, Site: col.Site(), Name: in.q.Name(),
+			StartNs: start, DurNs: col.Now() - start, Bytes: size,
+		})
 	}
 	return nil
 }

@@ -2,11 +2,17 @@ package stream
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"mobigate/internal/event"
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
 	"mobigate/internal/obs"
+	"mobigate/internal/streamlet"
 )
 
 // TestTraceChainThroughPipeline verifies the coordination plane appends one
@@ -156,3 +162,171 @@ func TestStatsSnapshotRacesTraffic(t *testing.T) {
 type discardWriter struct{}
 
 func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestSpanChainThroughPipeline: with span tracing on, one message through
+// the a→b line grows a connected span tree — inlet root, then a queue,
+// process and forward span per streamlet — and the delivered message's
+// header carries the live context.
+func TestSpanChainThroughPipeline(t *testing.T) {
+	obs.SetSpansEnabled(true)
+	defer obs.SetSpansEnabled(false)
+	_, in, out := buildLine(t)
+	if err := in.Send(textMsg("spanned")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx := obs.ParseSpanContext(got.Header(mime.HeaderSpanContext))
+	if !sctx.Valid() {
+		t.Fatalf("delivered message carries no span context: %q", got.Header(mime.HeaderSpanContext))
+	}
+
+	// The spans land asynchronously with delivery (the forward span is
+	// recorded after the post); poll briefly for the full chain.
+	deadline := time.Now().Add(2 * time.Second)
+	var spans []obs.Span
+	for {
+		spans = obs.Spans().Trace(sctx.TraceID)
+		// inlet + 2 × (queue, process, forward)
+		if len(spans) >= 7 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if len(spans) != 7 {
+		t.Fatalf("trace has %d spans, want 7: %+v", len(spans), spans)
+	}
+	if !obs.SpanTreeConnected(spans) {
+		t.Fatalf("span tree not connected:\n%s", obs.FormatSpanTree(obs.BuildSpanTree(spans)))
+	}
+	kinds := map[obs.SpanKind]int{}
+	for _, sp := range spans {
+		kinds[sp.Kind]++
+	}
+	if kinds[obs.SpanInlet] != 1 || kinds[obs.SpanQueue] != 2 || kinds[obs.SpanProcess] != 2 || kinds[obs.SpanForward] != 2 {
+		t.Errorf("span kinds = %v", kinds)
+	}
+}
+
+// TestSpansDisabledNoHeader: the default (spans off) leaves messages
+// unstamped, so the whole span path short-circuits.
+func TestSpansDisabledNoHeader(t *testing.T) {
+	_, in, out := buildLine(t)
+	if err := in.Send(textMsg("unspanned")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Receive(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := got.Header(mime.HeaderSpanContext); h != "" {
+		t.Errorf("span header present with spans disabled: %q", h)
+	}
+}
+
+// TestFlightAutoDumpOnPanic: a streamlet panic must leave an automatic
+// flight dump behind (LastDump), whether or not an event manager is
+// attached — the journal around the incident is the debugging record.
+func TestFlightAutoDumpOnPanic(t *testing.T) {
+	before := obs.Flight().Dumps()
+
+	var calls atomic.Uint64
+	flaky := streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+		if calls.Add(1) == 1 {
+			panic("injected")
+		}
+		return []streamlet.Emission{{Msg: in.Msg}}, nil
+	})
+	pool := msgpool.New(msgpool.ByReference)
+	st := New("flight-dump", pool, nil)
+	if _, err := st.AddStreamlet("flaky", nil, flaky); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Supervise("flaky", SupervisionConfig{
+		Supervision: streamlet.Supervision{
+			Policy:       streamlet.PolicyRetry,
+			RetryBackoff: 100 * time.Microsecond,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	in, err := st.OpenInlet(ref("flaky", "pi"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(ref("flaky", "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	defer st.End()
+
+	if err := in.Send(textMsg("boom")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := out.Receive(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for obs.Flight().Dumps() == before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if obs.Flight().Dumps() == before {
+		t.Fatal("no automatic flight dump after an injected panic")
+	}
+	dump, ok := obs.Flight().LastDump()
+	if !ok || !strings.Contains(dump.Reason, event.STREAMLET_PANIC) {
+		t.Fatalf("LastDump = %+v (ok=%v), want reason naming %s", dump.Reason, ok, event.STREAMLET_PANIC)
+	}
+	if len(dump.Events) == 0 {
+		t.Error("automatic dump journaled no events")
+	}
+}
+
+// TestLatencyBudgetViolationEvent: a configured latency budget turns an
+// over-budget end-to-end latency into an SLO_VIOLATION context event on the
+// stream's event sink.
+func TestLatencyBudgetViolationEvent(t *testing.T) {
+	obs.SetSpansEnabled(true)
+	defer obs.SetSpansEnabled(false)
+
+	sink := streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+		return nil, nil // terminal: consumes the message
+	})
+	pool := msgpool.New(msgpool.ByReference)
+	st := New("slo-stream", pool, nil)
+	mgr := event.NewManager(nil)
+	defer mgr.Close()
+	st.SetEventSink(mgr)
+	sub := &countingSub{name: "slo-stream", counts: make(map[string]int)}
+	mgr.Subscribe(event.ExecutionFault, sub)
+
+	if _, err := st.AddStreamlet("sink", nil, sink); err != nil {
+		t.Fatal(err)
+	}
+	in, err := st.OpenInlet(ref("sink", "pi"), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	defer st.End()
+	st.SetLatencyBudget(time.Nanosecond) // everything violates
+
+	if err := in.Send(textMsg("slow")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for sub.count(event.SLO_VIOLATION) == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := sub.count(event.SLO_VIOLATION); got == 0 {
+		t.Fatal("no SLO_VIOLATION event after an over-budget message")
+	}
+	snap, ok := obs.SLO().Snapshot(st.SessionID())
+	if !ok || snap.Violations == 0 {
+		t.Errorf("SLO snapshot = %+v (ok=%v), want a recorded violation", snap, ok)
+	}
+}

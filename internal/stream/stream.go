@@ -257,6 +257,27 @@ func (st *Stream) LastReconfigTiming() ReconfigTiming {
 // Reconfigurations returns how many reconfiguration actions have run.
 func (st *Stream) Reconfigurations() uint64 { return st.reconfigs.Load() }
 
+// SetLatencyBudget configures (or, with budget <= 0, removes) the
+// end-to-end latency budget for this stream's session in the gateway SLO
+// tracker. Terminal span hops feed the tracker; when the observed latency
+// first exceeds the budget an SLO_VIOLATION context event is raised through
+// the stream's event sink (edge-triggered — one event per excursion, not
+// per message). Spans must be enabled for observations to flow.
+func (st *Stream) SetLatencyBudget(budget time.Duration) {
+	if budget <= 0 {
+		obs.SLO().Remove(st.sessionID)
+		return
+	}
+	obs.SLO().SetBudget(st.sessionID, budget, func(v obs.SLOViolation) {
+		st.mu.Lock()
+		mgr := st.events
+		st.mu.Unlock()
+		if mgr != nil {
+			mgr.Post(event.ContextEvent{EventID: event.SLO_VIOLATION, Category: event.ExecutionFault, Source: st.name})
+		}
+	})
+}
+
 // AddStreamlet adds a native streamlet instance with an explicit processor.
 func (st *Stream) AddStreamlet(id string, decl *mcl.StreamletDecl, proc streamlet.Processor) (*streamlet.Streamlet, error) {
 	st.mu.Lock()
@@ -570,6 +591,7 @@ func (st *Stream) Insert(pInst, cInst, newInst, newInPort, newOutPort string) er
 	if !waitUntil(time.Now().Add(drainWait), np.quiesced) {
 		np.activate()
 		mDrainTimeouts.Inc()
+		obs.FlightRecord(obs.FlightDrain, st.name, "insert "+newInst+" timeout", int64(drainWait))
 		return fmt.Errorf("stream %s: insert %s: %w (after %v)", st.name, newInst, ErrDrainTimeout, drainWait)
 	}
 
@@ -694,6 +716,7 @@ func (st *Stream) Remove(t string, drainTimeout time.Duration) error {
 			producer.activate()
 		}
 		mDrainTimeouts.Inc()
+		obs.FlightRecord(obs.FlightDrain, st.name, "remove "+t+" timeout", int64(drainTimeout))
 		return fmt.Errorf("stream %s: remove %s: %w (after %v)", st.name, t, ErrDrainTimeout, drainTimeout)
 	}
 
@@ -746,6 +769,7 @@ func (st *Stream) recordReconfigLocked(t ReconfigTiming) {
 	st.lastTiming = t
 	st.reconfigs.Add(1)
 	mReconfigSeconds.Observe(t.Total().Seconds())
+	obs.FlightRecord(obs.FlightReconfig, st.name, "", int64(t.Total()))
 }
 
 // waitUntil polls cond until it holds or the deadline passes, reporting
@@ -991,6 +1015,8 @@ func (st *Stream) End() {
 	for _, q := range queues {
 		q.Close()
 	}
+	// The session will observe no further latencies; drop its SLO chain.
+	obs.SLO().Remove(st.sessionID)
 }
 
 // OnEvent implements event.Subscriber: system commands map to lifecycle

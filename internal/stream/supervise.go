@@ -88,8 +88,14 @@ func (st *Stream) SetEventSink(mgr *event.Manager) {
 }
 
 // postFault raises one ExecutionFault context event (non-blocking; the
-// event manager sheds on overload).
+// event manager sheds on overload). Every genuine fault also freezes the
+// flight recorder into an auto-dump before anything reacts, so the journal
+// around the fault survives even if recovery churns the rings afterwards —
+// and even when no event manager is attached.
 func (st *Stream) postFault(id string) {
+	if id != event.STREAMLET_HEALED {
+		obs.FlightAutoDump("ExecutionFault:" + id + " stream=" + st.name)
+	}
 	st.mu.Lock()
 	mgr := st.events
 	st.mu.Unlock()
@@ -130,6 +136,7 @@ func (st *Stream) Supervise(inst string, cfg SupervisionConfig) error {
 // and, at the threshold, spawns the heal (never synchronously — the worker
 // must keep draining so the heal's own quiesce wait can succeed).
 func (st *Stream) handleFault(inst string, cfg SupervisionConfig, rec streamlet.FaultRecord) {
+	obs.FlightRecord(obs.FlightFault, inst, rec.Kind.String()+" "+rec.MsgID, 0)
 	st.postFault(faultEventID(rec.Kind))
 	if cfg.Heal == HealNone || rec.Recovered {
 		// Recovered records surface as events but do not escalate: the
@@ -177,6 +184,7 @@ func (st *Stream) heal(inst string, cfg SupervisionConfig) {
 		return
 	}
 	mFaultHeals.Inc()
+	obs.FlightRecord(obs.FlightHeal, inst, cfg.Heal.String(), 0)
 	st.postFault(event.STREAMLET_HEALED)
 }
 
@@ -220,6 +228,7 @@ func (st *Stream) healReplace(inst string, cfg SupervisionConfig) error {
 			p.activate()
 		}
 		mDrainTimeouts.Inc()
+		obs.FlightRecord(obs.FlightDrain, st.name, "heal-replace "+inst+" timeout", int64(cfg.HealDrainTimeout))
 		return fmt.Errorf("drain %s: %w", inst, ErrDrainTimeout)
 	}
 

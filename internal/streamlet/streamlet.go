@@ -202,6 +202,17 @@ type workItem struct {
 	// wait is how long the message sat in src before the pump fetched it;
 	// it becomes the queue-wait field of the message's trace hop.
 	wait time.Duration
+	// enqueuedNs is the item's enqueue stamp on the obs clock (0 when
+	// unstamped); it anchors the queue-wait span, which then also covers
+	// the pump→worker handoff.
+	enqueuedNs int64
+}
+
+// spanEmit carries the span identity emit needs to parent forward spans
+// (nil when spans are off or the message is outside a trace).
+type spanEmit struct {
+	traceID    uint64
+	procSpanID uint64
 }
 
 // New creates a streamlet instance. id is the instance variable name from
@@ -424,7 +435,7 @@ func (s *Streamlet) startPumpLocked(port string, q *queue.Queue) {
 				continue // the pause gate fired: park until reactivated
 			}
 			s.inflight.Add(1)
-			item := workItem{port: port, msgID: it.MsgID, src: q, wait: it.Wait}
+			item := workItem{port: port, msgID: it.MsgID, src: q, wait: it.Wait, enqueuedNs: it.EnqueuedNs()}
 			select {
 			case s.work <- item:
 			case <-stop:
@@ -459,6 +470,7 @@ func (s *Streamlet) Pause() {
 		s.state = StatePaused
 		close(s.fetchGate)
 		s.cond.Broadcast()
+		obs.FlightRecord(obs.FlightSuspend, s.id, "", 0)
 	}
 }
 
@@ -470,6 +482,7 @@ func (s *Streamlet) Activate() {
 		s.state = StateActive
 		s.fetchGate = make(chan struct{})
 		s.cond.Broadcast()
+		obs.FlightRecord(obs.FlightActivate, s.id, "", 0)
 	}
 }
 
@@ -602,9 +615,16 @@ func (s *Streamlet) handle(it workItem) {
 		return
 	}
 	tracing := obs.TracingEnabled()
+	var sctx obs.SpanContext
+	if obs.SpansEnabled() {
+		// Only messages already inside a trace (stamped at the inlet) grow
+		// spans; everything else pays a single header lookup.
+		sctx = obs.ParseSpanContext(msg.Header(mime.HeaderSpanContext))
+	}
+	spans := sctx.Valid()
 	var inChain, session string
 	var bytesIn int
-	if tracing {
+	if tracing || spans {
 		// Read everything the trace needs before Process runs: a terminal
 		// sink may hand the message to another goroutine, after which it
 		// must not be touched.
@@ -617,12 +637,16 @@ func (s *Streamlet) handle(it workItem) {
 	tick := s.procTick.Add(1)
 	sampleHist := tick <= procSampleWarmup || tick%procSampleInterval == 0
 	var procStart time.Time
-	if tracing || sampleHist {
+	var procStartNs int64
+	if tracing || sampleHist || spans {
 		procStart = time.Now()
+		if spans {
+			procStartNs = obs.MonoNow()
+		}
 	}
 	res := s.supervised(Input{Port: it.port, Msg: msg})
 	var procDur time.Duration
-	if tracing || sampleHist {
+	if tracing || sampleHist || spans {
 		procDur = time.Since(procStart)
 	}
 	if sampleHist {
@@ -650,6 +674,10 @@ func (s *Streamlet) handle(it workItem) {
 	if tracing {
 		s.trace(it, session, emissions, inChain, bytesIn, procDur)
 	}
+	var sp *spanEmit
+	if spans {
+		sp = s.span(it, sctx, session, emissions, bytesIn, procStartNs, procDur)
+	}
 
 	peerID := ""
 	// A bypassed message was not transformed, so the peer chain must not
@@ -667,7 +695,7 @@ func (s *Streamlet) handle(it workItem) {
 		if em.Msg.ID == it.msgID {
 			kept = true
 		}
-		if s.emit(em, peerID) {
+		if s.emit(em, peerID, sp) {
 			superseded[em.Msg.ID] = true
 		}
 	}
@@ -740,10 +768,58 @@ func (s *Streamlet) trace(it workItem, session string, emissions []Emission, inC
 	}
 }
 
+// span records this hop's queue-wait and process spans and stamps every
+// emission with the downstream span context (parent = this hop's process
+// span). At a terminal hop — no emissions, the message left the gateway or
+// died here — it instead closes the end-to-end latency against the
+// session's configured budget. Like trace, this is coordination-plane
+// bookkeeping only; Processor code never sees span state.
+func (s *Streamlet) span(it workItem, sctx obs.SpanContext, session string, emissions []Emission, bytesIn int, procStartNs int64, procDur time.Duration) *spanEmit {
+	col := obs.Spans()
+	// The queue span runs from the enqueue stamp to the start of Process,
+	// so it also covers the pump→worker handoff, not just the ring wait.
+	qStart := it.enqueuedNs
+	if qStart == 0 {
+		qStart = procStartNs - int64(it.wait)
+	}
+	qid := col.NextID()
+	col.Record(obs.Span{
+		TraceID: sctx.TraceID, SpanID: qid, ParentID: sctx.ParentID,
+		Kind: obs.SpanQueue, Site: col.Site(), Name: it.src.Name(),
+		StartNs: qStart, DurNs: procStartNs - qStart, Bytes: bytesIn,
+	})
+	pid := col.NextID()
+	col.Record(obs.Span{
+		TraceID: sctx.TraceID, SpanID: pid, ParentID: qid,
+		Kind: obs.SpanProcess, Site: col.Site(), Name: s.id,
+		StartNs: procStartNs, DurNs: int64(procDur), Bytes: bytesIn,
+	})
+	next := ""
+	for _, em := range emissions {
+		if em.Msg == nil {
+			continue
+		}
+		if next == "" {
+			next = obs.EncodeSpanContext(obs.SpanContext{TraceID: sctx.TraceID, ParentID: pid, StartNs: sctx.StartNs})
+		}
+		em.Msg.SetHeader(mime.HeaderSpanContext, next)
+	}
+	if next == "" {
+		// Terminal hop: the whole server chain is behind this message, so
+		// its end-to-end latency is known — feed the SLO tracker (a no-op
+		// unless a budget is configured for the session). The message itself
+		// may already have escaped inside Process and is not touched.
+		obs.SLO().Observe(session, col.Now()-sctx.StartNs)
+		return nil
+	}
+	return &spanEmit{traceID: sctx.TraceID, procSpanID: pid}
+}
+
 // emit forwards one emission; it reports whether the pool handed a deep
 // copy downstream (by-value mode), in which case the original's pool entry
-// is superseded.
-func (s *Streamlet) emit(em Emission, peerID string) (copied bool) {
+// is superseded. A non-nil sp wraps the pool forward and queue post in a
+// forward span parented under this hop's process span.
+func (s *Streamlet) emit(em Emission, peerID string, sp *spanEmit) (copied bool) {
 	q := s.resolveOut(em.Port)
 	if q == nil {
 		// Open circuit at runtime: the §5.2.2 condition the semantic model
@@ -753,16 +829,23 @@ func (s *Streamlet) emit(em Emission, peerID string) (copied bool) {
 		s.pool.Remove(em.Msg.ID)
 		return false
 	}
+	var fwdStart int64
+	if sp != nil {
+		fwdStart = obs.MonoNow()
+	}
 	if peerID != "" {
 		em.Msg.PushPeer(peerID)
 	}
+	// Body length is read before Post: once the post lands, the message is
+	// owned downstream and must not be touched.
+	size := em.Msg.Len()
 	s.pool.Put(em.Msg)
 	fid, err := s.pool.Forward(em.Msg.ID)
 	if err != nil {
 		s.fail(err)
 		return false
 	}
-	if err := q.Post(fid, em.Msg.Len(), s.done); err != nil {
+	if err := q.Post(fid, size, s.done); err != nil {
 		s.dropped.Add(1)
 		mDroppedTotal.Inc()
 		if fid != em.Msg.ID {
@@ -778,6 +861,13 @@ func (s *Streamlet) emit(em Emission, peerID string) (copied bool) {
 		}
 		// The post failed; treat the original as superseded anyway when a
 		// copy was attempted, so by-value pools do not accumulate.
+	} else if sp != nil {
+		col := obs.Spans()
+		col.Record(obs.Span{
+			TraceID: sp.traceID, SpanID: col.NextID(), ParentID: sp.procSpanID,
+			Kind: obs.SpanForward, Site: col.Site(), Name: q.Name(),
+			StartNs: fwdStart, DurNs: obs.MonoNow() - fwdStart, Bytes: size,
+		})
 	}
 	return fid != em.Msg.ID
 }
