@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke vet fmt check examples experiments clean
+.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke parallel-smoke vet fmt check examples experiments clean
 
 all: build test
 
@@ -18,16 +18,18 @@ race:
 
 # Full pre-merge gate: build, vet, tests, the race detector, a quick
 # hot-path benchmark smoke (catches gross regressions without a full run),
-# the fault-injection survival scenario, and the end-to-end span smoke.
-check: build test race bench-smoke fault-smoke obs-smoke
+# the fault-injection survival scenario, the end-to-end span smoke, and the
+# parallel-execution smoke.
+check: build test race bench-smoke fault-smoke obs-smoke parallel-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# The gated coordination-plane benchmarks: forward-path queue cost, Figure
-# 7-2 streamlet overhead, both Figure 7-3 buffer-management modes, and the
-# span-tracing overhead pair (off = production hot path, on = diagnosis).
-GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass|SpanOverhead'
+# The gated benchmarks: forward-path queue cost, Figure 7-2 streamlet
+# overhead, both Figure 7-3 buffer-management modes, the span-tracing
+# overhead pair (off = production hot path, on = diagnosis), the per-service
+# transform costs, the parallel fan-out chain, and the transcode cache.
+GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass|SpanOverhead|ServiceStreamlets|ParallelChain|TranscodeCache'
 BENCH_FILE  = BENCH_PR2.json
 
 # Record the committed baseline the regression gate compares against.
@@ -46,6 +48,14 @@ bench-smoke:
 # stall, and a link blackout with zero message loss (exits nonzero if not).
 fault-smoke:
 	$(GO) run ./cmd/mobibench -exp faults
+
+# Parallel-execution smoke: workers fan-out must deliver every message in
+# FIFO order at every width, keep the resequencer's parked depth within its
+# workers-1 bound, speed up >= 2x at 4 workers when >= 4 cores are
+# available, and the transcode cache's warm pass must run zero transforms
+# (exits nonzero if not).
+parallel-smoke:
+	$(GO) run ./cmd/mobibench -exp parallel
 
 # End-to-end observability smoke: run the hops breakdown with span tracing
 # on and require at least one message's reconstructed trace tree to cover

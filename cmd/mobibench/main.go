@@ -9,6 +9,7 @@
 //	mobibench -exp hops     # per-hop time composition (§7.3 breakdown)
 //	mobibench -exp faults   # fault-injection survival (supervision subsystem)
 //	mobibench -exp spans    # end-to-end span trees across the link
+//	mobibench -exp parallel # workers fan-out scaling + transcode cache sweep
 //	mobibench -exp all      # everything
 //
 // -spans additionally runs the span-trace experiment after the hops
@@ -31,7 +32,7 @@ import (
 )
 
 var (
-	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, faults, spans, all")
+	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, faults, spans, parallel, all")
 	spans     = flag.Bool("spans", false, "enable span tracing: run the end-to-end trace-tree experiment after hops and assert the reconstruction")
 	messages  = flag.Int("messages", 60, "messages per fig7.7 point")
 	samples   = flag.Int("samples", 50, "messages per latency sample (fig7.2/7.3)")
@@ -61,6 +62,8 @@ func main() {
 		runFaults()
 	case "spans":
 		runSpans()
+	case "parallel":
+		runParallel()
 	case "all":
 		runFig72()
 		runFig73()
@@ -69,6 +72,7 @@ func main() {
 		runFig77()
 		runHops()
 		runFaults()
+		runParallel()
 		if *spans {
 			runSpans()
 		}
@@ -196,6 +200,23 @@ func runHops() {
 		log.Fatal(err)
 	}
 	fmt.Print(b)
+	fmt.Println()
+}
+
+// runParallel runs the order-preserving parallel-execution experiment:
+// workers-scaling curves for the CPU-bound transcoders with exact-delivery
+// and FIFO assertions, and the content-addressed transcode-cache sweep
+// whose warm pass must execute zero transforms. make parallel-smoke relies
+// on the non-zero exit when any invariant breaks.
+func runParallel() {
+	fmt.Println("=== Parallel execution plane: workers fan-out + transcode cache ===")
+	res, err := experiments.Parallel(experiments.DefaultParallelConfig())
+	if res != nil {
+		fmt.Print(res)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println()
 }
 

@@ -1,0 +1,211 @@
+// Package cache implements the content-addressed transcode cache: results
+// of deterministic, stateless transforms (gray16, downsample, compress,
+// gif2jpeg) keyed by the SHA-256 of streamlet configuration + input body.
+// Web workloads repeat objects constantly — every client of a popular page
+// pulls the same images — so a proxy that has transcoded a body once can
+// serve every later request with a copy instead of re-running the
+// transform. The cache is exogenous, like everything else on the
+// coordination plane: service code never sees it; the stream runtime wraps
+// eligible processors in a Memo decorator (see memo.go).
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"mobigate/internal/obs"
+)
+
+var (
+	mHits      = obs.DefaultCounter(obs.MCacheHitsTotal)
+	mMisses    = obs.DefaultCounter(obs.MCacheMissesTotal)
+	mEvictions = obs.DefaultCounter(obs.MCacheEvictionsTotal)
+	mEntries   = obs.DefaultIntGauge(obs.MCacheEntries)
+	mBytes     = obs.DefaultIntGauge(obs.MCacheBytes)
+)
+
+// Key addresses one transform result: the SHA-256 of the transform's
+// configuration string and the input body. Content addressing means two
+// sessions requesting the same object through identically-configured
+// streamlets share one entry, with no coordination.
+type Key [sha256.Size]byte
+
+// KeyOf derives the cache key for one (configuration, body) pair. The
+// configuration string must capture every parameter the transform's output
+// depends on (e.g. "image/gif2jpeg?quality=4"); a parameter change
+// therefore changes the key, which is the entire invalidation story —
+// stale entries are never served, they just age out of the LRU.
+func KeyOf(config string, body []byte) Key {
+	h := sha256.New()
+	h.Write([]byte(config))
+	h.Write([]byte{0})
+	h.Write(body)
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Result is one cached transform outcome: the output body plus the header
+// fields the transform set (Content-Type changes, peer bookkeeping inputs
+// like X-Original-Length). Replaying body + headers onto a fresh input
+// message reproduces the transform's effect exactly, because eligible
+// transforms are single-emission, in-place, and deterministic.
+type Result struct {
+	// Port is the emission port the transform used ("" = sole output).
+	Port string
+	// Body is the transformed body. Immutable once stored; Memo copies it
+	// out on every hit so downstream recycling never corrupts the cache.
+	Body []byte
+	// Headers are the header fields the transform set or changed, in
+	// application order.
+	Headers [][2]string
+}
+
+func (r Result) size() int64 {
+	n := int64(len(r.Body))
+	for _, h := range r.Headers {
+		n += int64(len(h[0]) + len(h[1]))
+	}
+	return n
+}
+
+// Stats is a point-in-time cache accounting snapshot.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+	Bytes     int64
+}
+
+const shardCount = 16
+
+// Cache is a sharded, byte-bounded, LRU-evicting content-addressed store.
+// All methods are safe for concurrent use — parallel workers of several
+// streamlets hit the same cache.
+type Cache struct {
+	maxBytes int64
+	shards   [shardCount]shard
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recent
+	bytes   int64
+}
+
+type entry struct {
+	key Key
+	res Result
+}
+
+// DefaultMaxBytes bounds a cache created with New(0): 64 MiB of cached
+// bodies, a deliberate fraction of the message pool's working set.
+const DefaultMaxBytes = 64 << 20
+
+// New creates a cache bounded to maxBytes of stored results (0 selects
+// DefaultMaxBytes). The bound is split evenly across the shards.
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c := &Cache{maxBytes: maxBytes}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].lru = list.New()
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard {
+	// The key is a SHA-256: any byte is uniformly distributed.
+	return &c.shards[k[0]&(shardCount-1)]
+}
+
+// Get returns the cached result for k. The returned Result aliases the
+// stored body — callers must copy before mutating (Memo does).
+func (c *Cache) Get(k Key) (Result, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	el, ok := s.entries[k]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		mMisses.Inc()
+		return Result{}, false
+	}
+	s.lru.MoveToFront(el)
+	res := el.Value.(*entry).res
+	s.mu.Unlock()
+	c.hits.Add(1)
+	mHits.Inc()
+	return res, true
+}
+
+// Put stores a result under k, evicting least-recently-used entries from
+// the shard until the byte bound holds. Results larger than a shard's
+// entire budget are not stored. Storing an existing key replaces it.
+func (c *Cache) Put(k Key, r Result) {
+	sz := r.size()
+	budget := c.maxBytes / shardCount
+	if sz > budget {
+		return
+	}
+	s := c.shard(k)
+	s.mu.Lock()
+	if el, ok := s.entries[k]; ok {
+		old := el.Value.(*entry)
+		s.bytes -= old.res.size()
+		mBytes.Add(old.res.size() * -1)
+		old.res = r
+		s.lru.MoveToFront(el)
+	} else {
+		s.entries[k] = s.lru.PushFront(&entry{key: k, res: r})
+		mEntries.Add(1)
+	}
+	s.bytes += sz
+	mBytes.Add(sz)
+	var evicted int
+	for s.bytes > budget {
+		back := s.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*entry)
+		s.lru.Remove(back)
+		delete(s.entries, victim.key)
+		s.bytes -= victim.res.size()
+		mBytes.Add(victim.res.size() * -1)
+		mEntries.Add(-1)
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(uint64(evicted))
+		mEvictions.Add(uint64(evicted))
+	}
+}
+
+// Stats returns the cache's cumulative and current accounting.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}

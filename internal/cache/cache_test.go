@@ -1,0 +1,242 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mobigate/internal/mime"
+	"mobigate/internal/services"
+	"mobigate/internal/streamlet"
+)
+
+func TestKeyOfDistinguishesConfigAndBody(t *testing.T) {
+	body := []byte("the quick brown fox")
+	base := KeyOf("image/gif2jpeg?quality=4", body)
+	if KeyOf("image/gif2jpeg?quality=4", body) != base {
+		t.Error("same (config, body) produced different keys")
+	}
+	if KeyOf("image/gif2jpeg?quality=5", body) == base {
+		t.Error("different config produced the same key")
+	}
+	if KeyOf("image/gif2jpeg?quality=4", []byte("other body")) == base {
+		t.Error("different body produced the same key")
+	}
+	// The separator byte keeps (config, body) unambiguous: moving a byte
+	// across the boundary must change the key.
+	if KeyOf("ab", []byte("cd")) == KeyOf("abc", []byte("d")) {
+		t.Error("config/body boundary is ambiguous")
+	}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(0)
+	k := KeyOf("cfg", []byte("body"))
+	if _, hit := c.Get(k); hit {
+		t.Fatal("hit on empty cache")
+	}
+	want := Result{Port: "po", Body: []byte("out"), Headers: [][2]string{{"Content-Type", "image/jpeg"}}}
+	c.Put(k, want)
+	got, hit := c.Get(k)
+	if !hit {
+		t.Fatal("miss after Put")
+	}
+	if got.Port != want.Port || !bytes.Equal(got.Body, want.Body) || len(got.Headers) != 1 {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheReplaceExisting(t *testing.T) {
+	c := New(0)
+	k := KeyOf("cfg", []byte("body"))
+	c.Put(k, Result{Body: []byte("first-version")})
+	c.Put(k, Result{Body: []byte("second")})
+	got, hit := c.Get(k)
+	if !hit || string(got.Body) != "second" {
+		t.Fatalf("got %q, hit=%v", got.Body, hit)
+	}
+	st := c.Stats()
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	if st.Bytes != int64(len("second")) {
+		t.Errorf("bytes = %d, want %d", st.Bytes, len("second"))
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	// Bound small enough that a few entries overflow one shard's budget.
+	const max = shardCount * 64
+	c := New(max)
+	body := make([]byte, 48)
+	// Keys land on random shards; push enough entries that some shard must
+	// evict (budget 64 bytes, entries 48 bytes → second entry on any shard
+	// evicts the first).
+	var keys []Key
+	for i := 0; i < 64; i++ {
+		k := KeyOf(fmt.Sprintf("cfg-%d", i), body)
+		c.Put(k, Result{Body: append([]byte(nil), body...)})
+		keys = append(keys, k)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions with 64 entries over a 16x64-byte bound")
+	}
+	if st.Bytes > max {
+		t.Errorf("bytes = %d exceeds bound %d", st.Bytes, max)
+	}
+	// The most recently inserted key on its shard must still be present.
+	if _, hit := c.Get(keys[len(keys)-1]); !hit {
+		t.Error("most recent entry was evicted")
+	}
+}
+
+func TestCacheRejectsOversizedResult(t *testing.T) {
+	c := New(shardCount * 16)
+	k := KeyOf("cfg", []byte("b"))
+	c.Put(k, Result{Body: make([]byte, 64)}) // > per-shard budget of 16
+	if _, hit := c.Get(k); hit {
+		t.Error("oversized result was stored")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("entries = %d, want 0", st.Entries)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := New(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := KeyOf(fmt.Sprintf("cfg-%d", i%17), []byte("body"))
+				if i%3 == 0 {
+					c.Put(k, Result{Body: []byte("result")})
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Entries > 17 {
+		t.Errorf("entries = %d, want <= 17", st.Entries)
+	}
+}
+
+func TestWrapOnlyDecoratesKeyers(t *testing.T) {
+	c := New(0)
+	plain := streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+		return []streamlet.Emission{{Msg: in.Msg}}, nil
+	})
+	if _, wrapped := Wrap(plain, c).(*Memo); wrapped {
+		t.Error("non-Keyer processor was wrapped")
+	}
+	tr := &services.Transcoder{}
+	if got := Wrap(tr, nil); got != streamlet.Processor(tr) {
+		t.Error("nil cache wrapped the processor")
+	}
+	memo, ok := Wrap(tr, c).(*Memo)
+	if !ok {
+		t.Fatal("Keyer processor was not wrapped")
+	}
+	if streamlet.Base(memo) != streamlet.Processor(tr) {
+		t.Error("Base does not unwrap the memo to the transcoder")
+	}
+}
+
+// TestMemoHitSkipsTransform is the acceptance property: a warm hit replays
+// the result with zero transform executions, and the replayed message is
+// byte- and header-identical to a fresh transform of the same input.
+func TestMemoHitSkipsTransform(t *testing.T) {
+	c := New(0)
+	memo := Wrap(&services.Transcoder{}, c).(*Memo)
+	input := func() *mime.Message { return services.GenImageMessage(32, 32, 3) }
+
+	// Reference: what the raw transform produces.
+	ref := input()
+	if _, err := (&services.Transcoder{}).Process(streamlet.Input{Port: "pi", Msg: ref}); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := input()
+	if _, err := memo.Process(streamlet.Input{Port: "pi", Msg: cold}); err != nil {
+		t.Fatal(err)
+	}
+	if memo.InnerCalls() != 1 {
+		t.Fatalf("inner calls after cold pass = %d, want 1", memo.InnerCalls())
+	}
+
+	warm := input()
+	ems, err := memo.Process(streamlet.Input{Port: "pi", Msg: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if memo.InnerCalls() != 1 {
+		t.Fatalf("inner calls after warm pass = %d, want 1 (hit ran the transform)", memo.InnerCalls())
+	}
+	if len(ems) != 1 || ems[0].Msg != warm {
+		t.Fatalf("hit emission = %+v, want the input message", ems)
+	}
+	if !bytes.Equal(warm.Body(), ref.Body()) {
+		t.Error("replayed body differs from a fresh transform")
+	}
+	if warm.ContentType().String() != ref.ContentType().String() {
+		t.Errorf("replayed content type %s, want %s", warm.ContentType(), ref.ContentType())
+	}
+	for _, h := range ref.Headers() {
+		if warm.Header(h) != ref.Header(h) {
+			t.Errorf("header %s = %q, want %q", h, warm.Header(h), ref.Header(h))
+		}
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+// TestMemoConfigChangeMisses checks invalidation-by-key: changing a
+// transform parameter must miss and re-run the transform.
+func TestMemoConfigChangeMisses(t *testing.T) {
+	c := New(0)
+	tr := &services.Compressor{}
+	memo := Wrap(tr, c).(*Memo)
+	input := func() *mime.Message { return services.GenTextMessage(4<<10, 9) }
+
+	if _, err := memo.Process(streamlet.Input{Port: "pi", Msg: input()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SetParam("level", "9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := memo.Process(streamlet.Input{Port: "pi", Msg: input()}); err != nil {
+		t.Fatal(err)
+	}
+	if memo.InnerCalls() != 2 {
+		t.Fatalf("inner calls = %d, want 2 (config change must miss)", memo.InnerCalls())
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %+v, want 0 hits / 2 misses", st)
+	}
+}
+
+// TestMemoErrorNotCached checks that faulted transforms stay uncached.
+func TestMemoErrorNotCached(t *testing.T) {
+	c := New(0)
+	// A transcoder fed text errors; the error must pass through and leave
+	// the cache empty so a later fixed input is not poisoned.
+	memo := Wrap(&services.Transcoder{}, c).(*Memo)
+	bad := services.GenTextMessage(128, 1)
+	if _, err := memo.Process(streamlet.Input{Port: "pi", Msg: bad}); err == nil {
+		t.Fatal("transcoding text succeeded, want error")
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Errorf("entries = %d after error, want 0", st.Entries)
+	}
+}

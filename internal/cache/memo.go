@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"sync/atomic"
+
+	"mobigate/internal/obs"
+	"mobigate/internal/streamlet"
+)
+
+// Keyer is implemented by processors whose Process is a pure function of
+// the input body and their configuration — deterministic, stateless,
+// single-emission, in-place. CacheKey returns the configuration string
+// that, together with the body, addresses the result (it must change
+// whenever a parameter that affects the output changes). ok=false opts out
+// of caching for the current configuration.
+type Keyer interface {
+	CacheKey() (config string, ok bool)
+}
+
+// Memo decorates a Keyer processor with the content-addressed cache: a hit
+// replays the stored body and headers onto the input message without
+// calling the transform; a miss runs the transform and, when the outcome
+// has the cacheable shape (one emission, same message, no error), stores
+// it. The decorator is transparent to the runtime — streamlet.Base unwraps
+// it for capability interfaces (Peered, Configurable) — and safe for
+// concurrent Process calls when the inner processor is (parallel workers
+// share one Memo).
+type Memo struct {
+	inner streamlet.Processor
+	keyer Keyer
+	cache *Cache
+
+	calls atomic.Uint64
+}
+
+// Wrap decorates p with c when p advertises cacheability (implements
+// Keyer); any other processor — and any processor when c is nil — is
+// returned unchanged.
+func Wrap(p streamlet.Processor, c *Cache) streamlet.Processor {
+	if c == nil {
+		return p
+	}
+	k, ok := p.(Keyer)
+	if !ok {
+		return p
+	}
+	return &Memo{inner: p, keyer: k, cache: c}
+}
+
+// Unwrap implements streamlet.Unwrapper.
+func (m *Memo) Unwrap() streamlet.Processor { return m.inner }
+
+// InnerCalls returns how many times the decorated transform actually ran —
+// the counter the cache-hit acceptance test asserts stays flat while hits
+// are served.
+func (m *Memo) InnerCalls() uint64 { return m.calls.Load() }
+
+// Process implements streamlet.Processor.
+func (m *Memo) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	cfg, ok := m.keyer.CacheKey()
+	if !ok || in.Msg == nil {
+		return m.call(in)
+	}
+	key := KeyOf(cfg, in.Msg.Body())
+	if res, hit := m.cache.Get(key); hit {
+		for _, h := range res.Headers {
+			in.Msg.SetHeader(h[0], h[1])
+		}
+		// The cached body is immutable and shared; the message gets its own
+		// copy (SetBody marks it caller-owned, so downstream recycling never
+		// touches it).
+		in.Msg.SetBody(append([]byte(nil), res.Body...))
+		if obs.SpansEnabled() {
+			obs.FlightRecord(obs.FlightCacheHit, cfg, "", int64(len(res.Body)))
+		}
+		return []streamlet.Emission{{Port: res.Port, Msg: in.Msg}}, nil
+	}
+	if obs.SpansEnabled() {
+		obs.FlightRecord(obs.FlightCacheMiss, cfg, "", int64(in.Msg.Len()))
+	}
+	// Miss: snapshot the headers so the transform's effect can be diffed
+	// out afterwards. Eligible transforms only set/overwrite headers; one
+	// that deleted a header would replay incorrectly and must not be a
+	// Keyer.
+	before := make(map[string]string, 8)
+	for _, k := range in.Msg.Headers() {
+		before[k] = in.Msg.Header(k)
+	}
+	ems, err := m.call(in)
+	if err != nil || len(ems) != 1 || ems[0].Msg != in.Msg {
+		// Not the cacheable shape (error, fan-out, or a fresh message whose
+		// pool identity we must not capture); pass through uncached.
+		return ems, err
+	}
+	var changed [][2]string
+	for _, k := range in.Msg.Headers() {
+		if v := in.Msg.Header(k); before[k] != v {
+			changed = append(changed, [2]string{k, v})
+		}
+	}
+	m.cache.Put(key, Result{
+		Port:    ems[0].Port,
+		Body:    append([]byte(nil), in.Msg.Body()...),
+		Headers: changed,
+	})
+	return ems, err
+}
+
+func (m *Memo) call(in streamlet.Input) ([]streamlet.Emission, error) {
+	m.calls.Add(1)
+	return m.inner.Process(in)
+}
+
+// compile-time interface checks
+var (
+	_ streamlet.Processor = (*Memo)(nil)
+	_ streamlet.Unwrapper = (*Memo)(nil)
+)

@@ -64,6 +64,13 @@ type StreamletDecl struct {
 	Kind        StreamletKind
 	Library     string // code-level component, e.g. "general/switch"
 	Description string
+	// Workers is the declared execution-plane fan-out width (the `workers`
+	// attribute): how many worker goroutines may run Process concurrently
+	// for an instance of this streamlet. Zero or one means the default
+	// serial worker. Only STATELESS, order-insensitive streamlets may
+	// declare workers > 1; the parser and the semantic model reject the
+	// rest (see internal/semantics).
+	Workers int
 	// Params are control-interface parameters, keyed without the "param-"
 	// prefix; values keep their source spelling.
 	Params map[string]string

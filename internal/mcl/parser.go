@@ -241,6 +241,11 @@ func (p *Parser) parseStreamletDecl() (*StreamletDecl, error) {
 					d.Library = a.text
 				case "description":
 					d.Description = a.text
+				case "workers":
+					if a.kind != TokNumber || a.num < 1 {
+						return nil, errf(a.pos, "streamlet workers must be a number >= 1")
+					}
+					d.Workers = a.num
 				default:
 					if name, ok := strings.CutPrefix(a.key, "param-"); ok && name != "" {
 						if d.Params == nil {
@@ -596,6 +601,13 @@ func validateFile(f *File) error {
 		}
 		if err := validatePorts(d.Name, d.Ports); err != nil {
 			return err
+		}
+		// Parallel fan-out is only sound for pure per-message transforms:
+		// a STATEFUL streamlet carries cross-message state, so concurrent
+		// Process calls would race on it no matter how the runtime
+		// resequences the outputs.
+		if d.Workers > 1 && d.Kind == Stateful {
+			return errf(d.Pos, "streamlet %s: workers = %d requires type = STATELESS (stateful streamlets cannot run in parallel)", d.Name, d.Workers)
 		}
 	}
 	for _, d := range f.Channels {

@@ -75,6 +75,9 @@ func (p printer) streamlet(d *StreamletDecl) {
 	if d.Description != "" {
 		p.linef(2, "description = %s;", quote(d.Description))
 	}
+	if d.Workers > 1 {
+		p.linef(2, "workers = %d;", d.Workers)
+	}
 	keys := make([]string, 0, len(d.Params))
 	for k := range d.Params {
 		keys = append(keys, k)

@@ -1,0 +1,107 @@
+package mcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseWorkersAttribute(t *testing.T) {
+	src := `
+streamlet comp {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; workers = 4; }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := f.Streamlet("comp")
+	if !ok {
+		t.Fatal("streamlet missing")
+	}
+	if d.Workers != 4 {
+		t.Errorf("workers = %d, want 4", d.Workers)
+	}
+	if d.Kind != Stateless {
+		t.Errorf("kind = %v", d.Kind)
+	}
+}
+
+func TestParseWorkersDefaultsToZero(t *testing.T) {
+	f, err := Parse(`streamlet a { attribute { type = STATELESS; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f.Streamlet("a")
+	if d.Workers != 0 {
+		t.Errorf("workers = %d, want 0 (serial)", d.Workers)
+	}
+}
+
+func TestParseWorkersErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{
+			"non-numeric",
+			`streamlet a { attribute { workers = lots; } }`,
+			"workers must be a number",
+		},
+		{
+			"zero",
+			`streamlet a { attribute { workers = 0; } }`,
+			"workers must be a number >= 1",
+		},
+		{
+			"stateful",
+			`streamlet a { attribute { type = STATEFUL; workers = 2; } }`,
+			"requires type = STATELESS",
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestPrintWorkersRoundTrip(t *testing.T) {
+	src := `
+streamlet comp {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; workers = 3; }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	if !strings.Contains(out, "workers = 3;") {
+		t.Fatalf("formatted output lacks workers attribute:\n%s", out)
+	}
+	f2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	d, _ := f2.Streamlet("comp")
+	if d.Workers != 3 {
+		t.Errorf("round-tripped workers = %d, want 3", d.Workers)
+	}
+}
+
+func TestPrintOmitsSerialWorkers(t *testing.T) {
+	f, err := Parse(`streamlet a { attribute { type = STATELESS; workers = 1; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Format(f); strings.Contains(out, "workers") {
+		t.Errorf("workers = 1 should print nothing:\n%s", out)
+	}
+}

@@ -36,6 +36,17 @@ const (
 	// detach and strand them).
 	MStreamDrainTimeoutsTotal = "mobigate_stream_reconfig_drain_timeouts_total"
 
+	// Parallel execution mode (per-streamlet worker fan-out behind a
+	// sequence-numbered resequencer) and the content-addressed transcode
+	// cache (internal/cache).
+	MStreamletWorkersBusy = "mobigate_streamlet_workers_busy"
+	MStreamletReseqDepth  = "mobigate_streamlet_resequencer_depth"
+	MCacheHitsTotal       = "mobigate_cache_hits_total"
+	MCacheMissesTotal     = "mobigate_cache_misses_total"
+	MCacheEvictionsTotal  = "mobigate_cache_evictions_total"
+	MCacheEntries         = "mobigate_cache_entries"
+	MCacheBytes           = "mobigate_cache_bytes"
+
 	// Execution-plane fault supervision (panic containment, processing
 	// deadlines, per-streamlet recovery policies) and fault injection.
 	MFaultInjectedTotal = "mobigate_fault_injected_total"
@@ -92,6 +103,9 @@ func registerCatalog(r *Registry) {
 		{MStreamDroppedTotal, "Messages lost to full output queues (wait-then-drop, paragraph 6.7) or dropped by fault supervision."},
 		{MStreamTypeErrorsTotal, "Messages dropped by the paragraph 4.1 runtime port-type check."},
 		{MStreamDrainTimeoutsTotal, "Reconfigurations aborted because draining did not finish before the deadline (paragraph 6.6)."},
+		{MCacheHitsTotal, "Transcode-cache lookups that skipped the transform entirely."},
+		{MCacheMissesTotal, "Transcode-cache lookups that fell through to the transform."},
+		{MCacheEvictionsTotal, "Transcode-cache entries evicted to stay under the byte bound."},
 		{MFaultInjectedTotal, "Faults injected by the internal/fault injectors (panics, errors, stalls)."},
 		{MFaultPanicsTotal, "Processor panics recovered by the streamlet supervisor."},
 		{MFaultStallsTotal, "Processor executions abandoned after exceeding the per-message deadline."},
@@ -124,6 +138,10 @@ func registerCatalog(r *Registry) {
 		{MQueueQueuedBytes, "Bytes currently queued across all channels (the paragraph 4.2.2 buffer occupancy)."},
 		{MPoolMessages, "Messages currently held by the central pool."},
 		{MPoolBytes, "Body bytes currently held by the central pool."},
+		{MStreamletWorkersBusy, "Parallel streamlet workers currently executing Process."},
+		{MStreamletReseqDepth, "Completions parked in resequencers waiting for an earlier sequence number."},
+		{MCacheEntries, "Entries currently held by transcode caches."},
+		{MCacheBytes, "Body bytes currently held by transcode caches."},
 	} {
 		r.IntGauge(g.name, g.help, nil)
 	}

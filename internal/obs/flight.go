@@ -57,11 +57,16 @@ const (
 	FlightEvent
 	// FlightSLO is a latency-budget violation raised by the SLO tracker.
 	FlightSLO
+	// FlightCacheHit / FlightCacheMiss are transcode-cache data-plane
+	// events (journaled only while spans are enabled, like enqueue).
+	FlightCacheHit
+	FlightCacheMiss
 )
 
 var flightCodeNames = [...]string{
 	"enqueue", "dequeue", "suspend", "activate", "drain", "heal", "fault",
 	"blackout", "restored", "reconfig", "handoff", "bandwidth", "event", "slo",
+	"cache-hit", "cache-miss",
 }
 
 func (c FlightCode) String() string {

@@ -39,7 +39,7 @@ type Preorder struct {
 // Violation is one finding of the analyzer.
 type Violation struct {
 	// Kind is one of "feedback-loop", "open-circuit", "mutual-exclusion",
-	// "dependency", "preorder".
+	// "dependency", "preorder", "parallelism".
 	Kind string
 	// Scenario is "initial" or "when(EVENT)" — the configuration state the
 	// violation occurs in.
@@ -76,6 +76,7 @@ func Analyze(sc *mcl.StreamConfig, rules Rules) *Report {
 	r := &Report{Stream: sc.Name}
 	g := BuildGraph(sc)
 
+	analyzeParallelism(r, sc)
 	analyzeScenario(r, "initial", g, sc, rules, false)
 	for _, w := range sc.Whens {
 		wg := ApplyWhen(g, w.Actions)
@@ -85,6 +86,39 @@ func Analyze(sc *mcl.StreamConfig, rules Rules) *Report {
 		analyzeScenario(r, "when("+w.Event+")", wg, sc, rules, true)
 	}
 	return r
+}
+
+// analyzeParallelism statically rejects `workers > 1` on streamlets whose
+// semantics cannot tolerate concurrent Process calls: STATEFUL streamlets
+// (cross-message state races) and multi-input streamlets (their output
+// depends on the arrival interleaving across ports, which fan-out would
+// perturb even under per-port resequencing). This is a configuration-level
+// property, independent of the routing scenario.
+func analyzeParallelism(r *Report, sc *mcl.StreamConfig) {
+	for _, v := range sc.Order {
+		inst := sc.Instances[v]
+		if inst == nil || inst.Decl == nil || inst.Decl.Workers <= 1 {
+			continue
+		}
+		d := inst.Decl
+		if d.Kind == mcl.Stateful {
+			r.add("parallelism", "initial",
+				"instance %s: streamlet %s declares workers = %d but is STATEFUL; concurrent Process calls would race on its state",
+				v, d.Name, d.Workers)
+			continue
+		}
+		ins := 0
+		for _, p := range d.Ports {
+			if p.Dir == mcl.PortIn {
+				ins++
+			}
+		}
+		if ins > 1 {
+			r.add("parallelism", "initial",
+				"instance %s: streamlet %s declares workers = %d but has %d input ports; multi-input streamlets are order-sensitive across ports and must stay serial",
+				v, d.Name, d.Workers, ins)
+		}
+	}
 }
 
 func analyzeScenario(r *Report, scenario string, g *Graph, sc *mcl.StreamConfig, rules Rules, skipOpen bool) {

@@ -3,6 +3,8 @@ package semantics
 import (
 	"strings"
 	"testing"
+
+	"mobigate/internal/mcl"
 )
 
 const feedbackSrc = `
@@ -245,5 +247,69 @@ func TestViolationString(t *testing.T) {
 	s := v.String()
 	if !strings.Contains(s, "feedback-loop") || !strings.Contains(s, "initial") {
 		t.Errorf("String = %q", s)
+	}
+}
+
+func TestAnalyzeParallelismMultiInput(t *testing.T) {
+	src := `
+streamlet join {
+	port { in pa : text; in pb : text; out po : text; }
+	attribute { type = STATELESS; library = "x"; workers = 4; }
+}
+stream s {
+	streamlet j = new-streamlet (join);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"j.pa", "j.pb", "j.po"}})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "parallelism" && strings.Contains(v.Detail, "input ports") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("multi-input workers > 1 not reported: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeParallelismStateful(t *testing.T) {
+	// The parser already rejects `type = STATEFUL; workers = 2`, so reach the
+	// analyzer's independent check by flipping the kind after compilation —
+	// the situation a programmatic configuration could construct.
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x"; workers = 2; } }
+stream s {
+	streamlet s1 = new-streamlet (f);
+}
+`
+	cfg := mustCompile(t, src)
+	sc := cfg.Stream("s")
+	sc.Instances["s1"].Decl.Kind = mcl.Stateful
+	rep := Analyze(sc, Rules{AllowedOpenPorts: []string{"s1.pi", "s1.po"}})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "parallelism" && strings.Contains(v.Detail, "STATEFUL") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stateful workers > 1 not reported: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeParallelismSerialOK(t *testing.T) {
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x"; workers = 4; } }
+stream s {
+	streamlet s1 = new-streamlet (f);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"s1.pi", "s1.po"}})
+	for _, v := range rep.Violations {
+		if v.Kind == "parallelism" {
+			t.Errorf("single-input stateless workers = 4 flagged: %v", v)
+		}
 	}
 }

@@ -10,15 +10,22 @@ import (
 
 // StreamletManager is the execution-plane manager of §3.3.3: it locates
 // streamlet classes in the directory, allocates processor instances, and —
-// for Stateless streamlets — recycles instances through per-library pools
-// (§3.3.4's streamlet pooling) instead of creating and destroying one per
-// request.
+// for Stateless streamlets whose library advertises PoolPreferred —
+// recycles instances through per-library pools (§3.3.4's streamlet
+// pooling) instead of creating and destroying one per request. Pooling is
+// opt-in per library since the AblationStreamletPooling measurement: for
+// trivially-constructed processors the pool's bookkeeping costs more than
+// the constructor, so only the expensive transcoders advertise the trait.
 type StreamletManager struct {
 	dir *streamlet.Directory
 	// PoolSize bounds each per-library pool (default 8).
 	PoolSize int
-	// DisablePooling turns pooling off (the ablation baseline).
+	// DisablePooling turns pooling off entirely (the ablation baseline).
 	DisablePooling bool
+	// PoolAll restores the historical pool-every-stateless-library
+	// behaviour, ignoring the PoolPreferred trait (the ablation's pooled
+	// arm for libraries that opted out).
+	PoolAll bool
 
 	mu    sync.Mutex
 	pools map[string]*streamlet.ProcessorPool
@@ -33,8 +40,8 @@ func NewStreamletManager(dir *streamlet.Directory) *StreamletManager {
 }
 
 // Acquire returns a processor for the declaration: pooled when the
-// declaration is Stateless and pooling is enabled, freshly constructed
-// otherwise.
+// declaration is Stateless and its library is pooled (PoolPreferred trait,
+// or PoolAll), freshly constructed otherwise.
 func (m *StreamletManager) Acquire(decl *mcl.StreamletDecl) (streamlet.Processor, error) {
 	if decl == nil {
 		return nil, fmt.Errorf("server: nil streamlet declaration")
@@ -46,10 +53,18 @@ func (m *StreamletManager) Acquire(decl *mcl.StreamletDecl) (streamlet.Processor
 	m.mu.Lock()
 	m.acquired++
 	m.mu.Unlock()
-	if decl.Kind != mcl.Stateless || m.DisablePooling {
+	if !m.pooled(decl) {
 		return factory(), nil
 	}
 	return m.pool(decl.Library, factory).Get(), nil
+}
+
+// pooled reports whether instances of the declaration go through a pool.
+func (m *StreamletManager) pooled(decl *mcl.StreamletDecl) bool {
+	if decl.Kind != mcl.Stateless || m.DisablePooling {
+		return false
+	}
+	return m.PoolAll || m.dir.Traits(decl.Library).PoolPreferred
 }
 
 // Release returns a processor to its library pool; non-stateless or
@@ -62,7 +77,7 @@ func (m *StreamletManager) Release(decl *mcl.StreamletDecl, proc streamlet.Proce
 	m.released++
 	pool := m.pools[decl.Library]
 	m.mu.Unlock()
-	if decl.Kind == mcl.Stateless && !m.DisablePooling && pool != nil {
+	if m.pooled(decl) && pool != nil {
 		pool.Put(proc)
 	}
 }

@@ -1,0 +1,48 @@
+package services
+
+// Purity annotations: the deterministic, stateless, single-emission
+// transforms advertise a content-address configuration string through
+// cache.Keyer, so the stream runtime may memoize their results (see
+// internal/cache). The string must cover every parameter the output
+// depends on — including the documented default a zero field resolves to —
+// so a runtime SetParam changes the key instead of serving stale results.
+//
+// Deliberately NOT cacheable: Switch (multi-output routing on header
+// state), Merge (cross-message state), Cache (already a cache),
+// Encryptor/Signer (keyed per session), PowerSaving (drops messages),
+// Redirector (pass-through: the copy would cost more than the transform).
+
+import "fmt"
+
+// CacheKey implements cache.Keyer.
+func (d *DownSampler) CacheKey() (string, bool) {
+	passes := d.Passes
+	if passes <= 0 {
+		passes = 1
+	}
+	return fmt.Sprintf("%s?passes=%d", LibDownSample, passes), true
+}
+
+// CacheKey implements cache.Keyer.
+func (Gray16Mapper) CacheKey() (string, bool) { return LibGray16, true }
+
+// CacheKey implements cache.Keyer.
+func (t *Transcoder) CacheKey() (string, bool) {
+	q := t.Quality
+	if q <= 0 || q > 8 {
+		q = 4
+	}
+	return fmt.Sprintf("%s?quality=%d", LibGif2Jpeg, q), true
+}
+
+// CacheKey implements cache.Keyer.
+func (c *Compressor) CacheKey() (string, bool) {
+	level := c.Level
+	if level == 0 {
+		level = 1 // flate.BestSpeed, the Process default
+	}
+	return fmt.Sprintf("%s?level=%d", LibTextCompress, level), true
+}
+
+// CacheKey implements cache.Keyer.
+func (PS2Text) CacheKey() (string, bool) { return LibPS2Text, true }

@@ -42,6 +42,29 @@ func RegisterAll(dir *streamlet.Directory) {
 	dir.Register(LibRedirector, func() streamlet.Processor { return Redirector{} })
 	dir.Register(LibSign, func() streamlet.Processor { return &Signer{} })
 	dir.Register(LibVerify, func() streamlet.Processor { return &Verifier{} })
+
+	// Capability traits (execution-plane contracts the coordination plane
+	// enforces): Parallelizable marks pure per-message transforms legal for
+	// `workers > 1` fan-out; Deterministic marks the content-addressable
+	// ones the transcode cache may memoize (they also implement
+	// cache.Keyer); PoolPreferred marks the expensive transcoders whose
+	// instance pooling (§3.3.4) pays for its overhead — everything else is
+	// constructed fresh per stream since the pooling ablation showed the
+	// pool costs more than a trivial constructor.
+	pure := streamlet.Traits{Parallelizable: true, Deterministic: true, PoolPreferred: true}
+	dir.SetTraits(LibDownSample, pure)
+	dir.SetTraits(LibGray16, pure)
+	dir.SetTraits(LibGif2Jpeg, pure)
+	dir.SetTraits(LibTextCompress, pure)
+	dir.SetTraits(LibPS2Text, streamlet.Traits{Parallelizable: true, Deterministic: true})
+	dir.SetTraits(LibDecompress, streamlet.Traits{Parallelizable: true})
+	dir.SetTraits(LibRedirector, streamlet.Traits{Parallelizable: true})
+	dir.SetTraits(LibEncrypt, streamlet.Traits{Parallelizable: true, PoolPreferred: true})
+	dir.SetTraits(LibDecrypt, streamlet.Traits{Parallelizable: true})
+	dir.SetTraits(LibSign, streamlet.Traits{Parallelizable: true, PoolPreferred: true})
+	dir.SetTraits(LibVerify, streamlet.Traits{Parallelizable: true})
+	// Switch routes on per-message headers but is order-insensitive per
+	// port; Merge and Cache carry cross-message state and stay serial.
 }
 
 // RegisterClientPeers advertises the reverse-processing streamlets a

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mobigate/internal/cache"
 	"mobigate/internal/event"
 	"mobigate/internal/mcl"
 	"mobigate/internal/mime"
@@ -190,6 +191,10 @@ type Stream struct {
 	// runtimeTypeCheck applies the §4.1 runtime check to streamlets added
 	// after EnableRuntimeTypeCheck.
 	runtimeTypeCheck bool
+	// cache, when set (EnableTranscodeCache), wraps every subsequently
+	// added cacheable processor (cache.Keyer) in the content-addressed
+	// memo decorator.
+	cache *cache.Cache
 	started          bool
 	ended            bool
 	implicit         int // counter for implicit channel names
@@ -289,6 +294,11 @@ func (st *Stream) addStreamletLocked(id string, decl *mcl.StreamletDecl, proc st
 	if _, dup := st.nodes[id]; dup {
 		return nil, fmt.Errorf("stream %s: duplicate instance %q", st.name, id)
 	}
+	if st.cache != nil {
+		// Deterministic transforms run behind the content-addressed cache;
+		// non-Keyer processors come back unchanged.
+		proc = cache.Wrap(proc, st.cache)
+	}
 	s := streamlet.New(id, decl, proc, st.pool)
 	s.ErrorHandler = st.fail
 	if st.runtimeTypeCheck {
@@ -326,6 +336,19 @@ func (st *Stream) NewStreamlet(id string, decl *mcl.StreamletDecl) error {
 	factory, err := st.dir.Lookup(decl.Library)
 	if err != nil {
 		return fmt.Errorf("stream %s: instance %s: %w", st.name, id, err)
+	}
+	if decl.Workers > 1 {
+		// The declaration asks for parallel fan-out; the library must have
+		// advertised that its Process tolerates it. The MCL layer already
+		// rejected STATEFUL declarations; this closes the gap for stateless
+		// declarations over libraries that never opted in.
+		if decl.Kind != mcl.Stateless {
+			return fmt.Errorf("stream %s: instance %s: workers = %d requires a STATELESS streamlet", st.name, id, decl.Workers)
+		}
+		if !st.dir.Traits(decl.Library).Parallelizable {
+			return fmt.Errorf("stream %s: instance %s: library %s is not registered as parallelizable; workers = %d refused",
+				st.name, id, decl.Library, decl.Workers)
+		}
 	}
 	proc := factory()
 	if err := streamlet.Configure(proc, decl.Params); err != nil {
@@ -907,6 +930,18 @@ func (st *Stream) ActivateAll() {
 
 // EnableRuntimeTypeCheck turns on the §4.1 runtime message/port type check
 // for every current native streamlet, using the stream's type registry.
+// EnableTranscodeCache routes every subsequently added deterministic
+// transform (a processor implementing cache.Keyer) through the shared
+// content-addressed result cache: repeated bodies skip the transform and
+// replay the stored result. Call before deploying streamlets; instances
+// already added keep running uncached. Passing nil disables wrapping for
+// later additions.
+func (st *Stream) EnableTranscodeCache(c *cache.Cache) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.cache = c
+}
+
 func (st *Stream) EnableRuntimeTypeCheck() {
 	st.mu.Lock()
 	defer st.mu.Unlock()

@@ -18,11 +18,34 @@ type Factory func() Processor
 type Directory struct {
 	mu        sync.RWMutex
 	factories map[string]Factory
+	traits    map[string]Traits
+}
+
+// Traits are per-library execution-plane capability annotations a provider
+// advertises alongside its factory. The coordination plane uses them to
+// decide what it may legally do with instances of the library: fan Process
+// calls out across workers, memoize results, or pool instances.
+type Traits struct {
+	// Parallelizable marks a library whose Process is a pure per-message
+	// function of its input (no cross-message state, no order sensitivity),
+	// so the runtime may run N calls concurrently behind a resequencer.
+	Parallelizable bool
+	// Deterministic marks a library whose output depends only on the input
+	// body and its configured parameters, making results content-addressable
+	// (see internal/cache).
+	Deterministic bool
+	// PoolPreferred marks a library whose instance construction is expensive
+	// enough that §3.3.4 instance pooling pays for its own overhead; the
+	// Streamlet Manager pools only these by default.
+	PoolPreferred bool
 }
 
 // NewDirectory returns an empty directory.
 func NewDirectory() *Directory {
-	return &Directory{factories: make(map[string]Factory)}
+	return &Directory{
+		factories: make(map[string]Factory),
+		traits:    make(map[string]Traits),
+	}
 }
 
 // Register advertises a library implementation. Re-registering a library
@@ -31,6 +54,23 @@ func (d *Directory) Register(library string, f Factory) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.factories[library] = f
+}
+
+// SetTraits records a library's capability annotations. Traits for an
+// unregistered library are kept (registration order is not significant).
+func (d *Directory) SetTraits(library string, t Traits) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.traits[library] = t
+}
+
+// Traits returns a library's capability annotations (the zero value when
+// none were advertised — the conservative default: serial, impure,
+// unpooled).
+func (d *Directory) Traits(library string) Traits {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.traits[library]
 }
 
 // Lookup returns the factory for a library.

@@ -1,0 +1,342 @@
+package streamlet
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobigate/internal/msgpool"
+	"mobigate/internal/queue"
+)
+
+// newParRig is newRig with a fan-out width.
+func newParRig(t *testing.T, proc Processor, workers int) (*msgpool.Pool, *Streamlet, *queue.Queue, *queue.Queue) {
+	t.Helper()
+	pool := msgpool.New(msgpool.ByReference)
+	s := New("par", nil, proc, pool)
+	if err := s.SetWorkers(workers); err != nil {
+		t.Fatal(err)
+	}
+	in := queue.New("in", queue.Options{})
+	out := queue.New("out", queue.Options{})
+	s.SetIn("pi", in)
+	s.SetOut("po", out)
+	return pool, s, in, out
+}
+
+// TestParallelKeepsFIFO is the core ordering property: four workers with
+// per-message jitter must still deliver in exact send order.
+func TestParallelKeepsFIFO(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	jitters := make([]time.Duration, 200)
+	for i := range jitters {
+		jitters[i] = time.Duration(rng.Intn(300)) * time.Microsecond
+	}
+	var idx atomic.Int64
+	jittered := ProcessorFunc(func(in Input) ([]Emission, error) {
+		time.Sleep(jitters[idx.Add(1)%int64(len(jitters))])
+		return []Emission{{Msg: in.Msg}}, nil
+	})
+	pool, s, in, out := newParRig(t, jittered, 4)
+	s.Start()
+	defer s.End()
+
+	const n = 200
+	go func() {
+		for i := 0; i < n; i++ {
+			m := textMsg(fmt.Sprintf("m-%04d", i))
+			pool.Put(m)
+			if err := in.Post(m.ID, m.Len(), nil); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got := fetchMsg(t, pool, out, 5*time.Second)
+		if want := fmt.Sprintf("m-%04d", i); string(got.Body()) != want {
+			t.Fatalf("message %d = %q, want %q (reordered)", i, got.Body(), want)
+		}
+	}
+	if s.Processed() != n {
+		t.Errorf("processed = %d, want %d", s.Processed(), n)
+	}
+}
+
+// TestParallelTransformInPlace checks that a mutating processor composes
+// with fan-out: bodies are transformed and order holds.
+func TestParallelTransformInPlace(t *testing.T) {
+	pool, s, in, out := newParRig(t, upper, 3)
+	s.Start()
+	defer s.End()
+	const n = 50
+	for i := 0; i < n; i++ {
+		post(t, pool, in, textMsg(fmt.Sprintf("msg-%02d", i)))
+	}
+	for i := 0; i < n; i++ {
+		got := fetchMsg(t, pool, out, 5*time.Second)
+		if want := fmt.Sprintf("MSG-%02d", i); string(got.Body()) != want {
+			t.Fatalf("message %d = %q, want %q", i, got.Body(), want)
+		}
+	}
+}
+
+// TestParallelResequencerBounded stalls the head message and checks that
+// the admission gate keeps the parked-completion high-water mark within
+// workers-1 instead of letting the other workers run away.
+func TestParallelResequencerBounded(t *testing.T) {
+	const workers = 4
+	release := make(chan struct{})
+	var first atomic.Bool
+	headStall := ProcessorFunc(func(in Input) ([]Emission, error) {
+		if first.CompareAndSwap(false, true) {
+			<-release
+		}
+		return []Emission{{Msg: in.Msg}}, nil
+	})
+	pool, s, in, out := newParRig(t, headStall, workers)
+	s.Start()
+	defer s.End()
+
+	const n = 64
+	go func() {
+		for i := 0; i < n; i++ {
+			m := textMsg(fmt.Sprintf("m-%02d", i))
+			pool.Put(m)
+			if err := in.Post(m.ID, m.Len(), nil); err != nil {
+				return
+			}
+		}
+	}()
+	// Give the free workers time to chew as far ahead as the gate allows.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	for i := 0; i < n; i++ {
+		got := fetchMsg(t, pool, out, 5*time.Second)
+		if want := fmt.Sprintf("m-%02d", i); string(got.Body()) != want {
+			t.Fatalf("message %d = %q, want %q", i, got.Body(), want)
+		}
+	}
+	if peak := s.ResequencerPeak(); peak > workers-1 {
+		t.Errorf("resequencer peak = %d, want <= %d", peak, workers-1)
+	}
+}
+
+// TestParallelPauseDrainsInFlight mirrors the Figure 7-4 suspend protocol
+// over a parallel streamlet: after Pause, everything already fetched (up to
+// `workers` items thanks to the admission gate) drains to the output and
+// the streamlet quiesces; the rest stays parked on the input queue.
+func TestParallelPauseDrainsInFlight(t *testing.T) {
+	pool, s, in, out := newParRig(t, passthrough, 4)
+	s.Start()
+	defer s.End()
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		post(t, pool, in, textMsg(fmt.Sprintf("m-%02d", i)))
+	}
+	s.Pause()
+	deadline := time.Now().Add(5 * time.Second)
+	for !s.Quiesced() {
+		if time.Now().After(deadline) {
+			t.Fatal("streamlet did not quiesce after Pause")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	posted, _, _ := out.Stats()
+	drained := int(posted)
+	if queued := in.Len(); queued+drained != n {
+		t.Fatalf("queued %d + drained %d != %d posted", queued, drained, n)
+	}
+	s.Activate()
+	for i := 0; i < n; i++ {
+		got := fetchMsg(t, pool, out, 5*time.Second)
+		if want := fmt.Sprintf("m-%02d", i); string(got.Body()) != want {
+			t.Fatalf("message %d = %q, want %q (reordered across pause)", i, got.Body(), want)
+		}
+	}
+	if !s.CanTerminate() {
+		t.Error("CanTerminate = false after full drain")
+	}
+}
+
+// TestParallelPanicContainment seeds a deterministic panic into a stream of
+// messages processed by 4 workers and checks, per supervision policy, that
+// the victim's disposition is honored while every other message arrives
+// intact and in order — a panicking worker must never reorder or lose its
+// neighbors. Run under -race this also exercises the produce/finish split.
+func TestParallelPanicContainment(t *testing.T) {
+	const n = 60
+	const victim = "m-29"
+	cases := []struct {
+		name      string
+		policy    Policy
+		delivered int  // messages expected at the outlet
+		bypassed  bool // victim arrives unprocessed
+	}{
+		{"drop", PolicyDrop, n - 1, false},
+		{"retry-exhausted", PolicyRetry, n - 1, false},
+		{"bypass", PolicyBypass, n, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			boom := ProcessorFunc(func(in Input) ([]Emission, error) {
+				if string(in.Msg.Body()) == victim {
+					panic("seeded fault")
+				}
+				in.Msg.SetBody([]byte(strings.ToUpper(string(in.Msg.Body()))))
+				return []Emission{{Msg: in.Msg}}, nil
+			})
+			pool, s, in, out := newParRig(t, boom, 4)
+			s.Supervise(Supervision{Policy: c.policy, MaxRetries: 2, RetryBackoff: time.Microsecond})
+			var recs []FaultRecord
+			var mu sync.Mutex
+			s.OnFault(func(r FaultRecord) { mu.Lock(); recs = append(recs, r); mu.Unlock() })
+			s.Start()
+			defer s.End()
+
+			go func() {
+				for i := 0; i < n; i++ {
+					m := textMsg(fmt.Sprintf("m-%02d", i))
+					pool.Put(m)
+					if err := in.Post(m.ID, m.Len(), nil); err != nil {
+						return
+					}
+				}
+			}()
+			last := -1
+			for i := 0; i < c.delivered; i++ {
+				got := fetchMsg(t, pool, out, 5*time.Second)
+				body := string(got.Body())
+				var seq int
+				if body == victim {
+					if !c.bypassed {
+						t.Fatalf("victim %q delivered under policy %s", victim, c.policy)
+					}
+					fmt.Sscanf(body, "m-%d", &seq)
+				} else {
+					if _, err := fmt.Sscanf(body, "M-%d", &seq); err != nil {
+						t.Fatalf("message %d body %q: neither processed nor bypassed victim", i, body)
+					}
+				}
+				if seq <= last {
+					t.Fatalf("message %d: seq %d after %d (reordered)", i, seq, last)
+				}
+				last = seq
+			}
+			if _, ok := out.TryFetch(); ok {
+				t.Fatal("unexpected extra message at outlet")
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(recs) != 1 {
+				t.Fatalf("fault records = %d, want 1", len(recs))
+			}
+			if recs[0].Kind != FaultPanic || recs[0].Bypassed != c.bypassed {
+				t.Errorf("record = %+v", recs[0])
+			}
+			st := s.Faults()
+			if st.Panics == 0 {
+				t.Error("panic counter = 0")
+			}
+			if c.bypassed && st.Bypassed != 1 {
+				t.Errorf("bypassed = %d, want 1", st.Bypassed)
+			}
+			if !c.bypassed && st.Dropped != 1 {
+				t.Errorf("dropped = %d, want 1", st.Dropped)
+			}
+		})
+	}
+}
+
+// TestParallelRetryRecovers checks a transient panic healed by retry under
+// fan-out: the victim is delivered processed, in order, with a Recovered
+// fault record.
+func TestParallelRetryRecovers(t *testing.T) {
+	const n = 40
+	const victim = "m-13"
+	var failures atomic.Int64
+	flaky := ProcessorFunc(func(in Input) ([]Emission, error) {
+		if string(in.Msg.Body()) == victim && failures.Add(1) <= 2 {
+			panic("transient")
+		}
+		return []Emission{{Msg: in.Msg}}, nil
+	})
+	pool, s, in, out := newParRig(t, flaky, 4)
+	s.Supervise(Supervision{Policy: PolicyRetry, MaxRetries: 3, RetryBackoff: time.Microsecond})
+	var recovered atomic.Int64
+	s.OnFault(func(r FaultRecord) {
+		if r.Recovered {
+			recovered.Add(1)
+		}
+	})
+	s.Start()
+	defer s.End()
+
+	go func() {
+		for i := 0; i < n; i++ {
+			m := textMsg(fmt.Sprintf("m-%02d", i))
+			pool.Put(m)
+			if err := in.Post(m.ID, m.Len(), nil); err != nil {
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got := fetchMsg(t, pool, out, 5*time.Second)
+		if want := fmt.Sprintf("m-%02d", i); string(got.Body()) != want {
+			t.Fatalf("message %d = %q, want %q", i, got.Body(), want)
+		}
+	}
+	if recovered.Load() != 1 {
+		t.Errorf("recovered records = %d, want 1", recovered.Load())
+	}
+}
+
+// TestSetWorkersRules pins the configuration contract.
+func TestSetWorkersRules(t *testing.T) {
+	pool := msgpool.New(msgpool.ByReference)
+	s := New("w", nil, passthrough, pool)
+	if err := s.SetWorkers(0); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 1 {
+		t.Errorf("workers after SetWorkers(0) = %d, want 1", s.Workers())
+	}
+	if err := s.SetWorkers(8); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers() != 8 {
+		t.Errorf("workers = %d, want 8", s.Workers())
+	}
+	s.Start()
+	defer s.End()
+	if err := s.SetWorkers(2); err == nil {
+		t.Error("SetWorkers after Start succeeded, want error")
+	}
+}
+
+// TestParallelEndAbandons checks that End with parallel work in flight
+// terminates promptly (the documented abandonment semantics) and leaves no
+// goroutines blocked — the deferred wg.Wait inside End is the assertion.
+func TestParallelEndAbandons(t *testing.T) {
+	slow := ProcessorFunc(func(in Input) ([]Emission, error) {
+		time.Sleep(2 * time.Millisecond)
+		return []Emission{{Msg: in.Msg}}, nil
+	})
+	pool, s, in, _ := newParRig(t, slow, 4)
+	s.Start()
+	for i := 0; i < 32; i++ {
+		post(t, pool, in, textMsg(fmt.Sprintf("m-%02d", i)))
+	}
+	done := make(chan struct{})
+	go func() { s.End(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("End did not return with parallel work in flight")
+	}
+}

@@ -65,6 +65,29 @@ type Configurable interface {
 	SetParam(name, value string) error
 }
 
+// Unwrapper is implemented by processor decorators (such as the transcode
+// cache's memo wrapper); Unwrap returns the decorated processor.
+type Unwrapper interface {
+	Unwrap() Processor
+}
+
+// Base returns the innermost processor behind any decorator chain. The
+// runtime consults Base for capability interfaces tied to the computation
+// itself (Peered, Configurable), so decorators stay transparent.
+func Base(p Processor) Processor {
+	for {
+		u, ok := p.(Unwrapper)
+		if !ok {
+			return p
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return p
+		}
+		p = inner
+	}
+}
+
 // Configure applies a parameter map to a processor through its control
 // interface. A non-nil params map on a non-Configurable processor is an
 // error (the declaration promises tunability the implementation lacks).
@@ -73,6 +96,9 @@ func Configure(proc Processor, params map[string]string) error {
 		return nil
 	}
 	c, ok := proc.(Configurable)
+	if !ok {
+		c, ok = Base(proc).(Configurable)
+	}
 	if !ok {
 		return fmt.Errorf("streamlet: processor %T has no control interface for params %v", proc, params)
 	}
@@ -159,9 +185,28 @@ type Streamlet struct {
 	// panic containment only). Swapped atomically so Supervise/OnFault are
 	// safe against a running worker.
 	sup atomic.Pointer[supervision]
-	// exec is the deadline executor goroutine; owned exclusively by the
-	// worker (created lazily, abandoned on stall, closed at worker exit).
-	exec *procExec
+
+	// workers is the execution-plane fan-out width, fixed before Start
+	// (from the declaration's workers attribute or SetWorkers). 1 selects
+	// the classic serial worker; N > 1 runs N workers feeding the
+	// resequencer, which restores fetch order before anything is emitted
+	// downstream (see parallel.go).
+	workers int
+	// seq stamps fetch order onto work items in parallel mode; the
+	// resequencer releases completions in seq order.
+	seq atomic.Uint64
+	// comps carries finished parallel executions to the resequencer
+	// (nil in serial mode).
+	comps chan *completion
+	// tokens is the parallel-mode admission gate: pumps acquire one per
+	// fetched item, the resequencer releases it after the item is fully
+	// handled. Capacity workers, so at most workers items are in flight and
+	// the resequencer parks at most workers-1 completions even when the
+	// head message stalls.
+	tokens chan struct{}
+	// reseqPeak is the high-water mark of completions parked in the
+	// resequencer waiting for an earlier sequence number.
+	reseqPeak atomic.Int64
 
 	faultPanics   atomic.Uint64
 	faultStalls   atomic.Uint64
@@ -206,6 +251,8 @@ type workItem struct {
 	// unstamped); it anchors the queue-wait span, which then also covers
 	// the pump→worker handoff.
 	enqueuedNs int64
+	// seq is the fetch-order stamp in parallel mode (unused when serial).
+	seq uint64
 }
 
 // spanEmit carries the span identity emit needs to parent forward spans
@@ -225,6 +272,7 @@ func New(id string, decl *mcl.StreamletDecl, proc Processor, pool *msgpool.Pool)
 		decl:      decl,
 		proc:      proc,
 		pool:      pool,
+		workers:   1,
 		ins:       make(map[string]*queue.Queue),
 		outs:      make(map[string]*queue.Queue),
 		pumps:     make(map[string]chan struct{}),
@@ -232,6 +280,9 @@ func New(id string, decl *mcl.StreamletDecl, proc Processor, pool *msgpool.Pool)
 		done:      make(chan struct{}),
 		fetchGate: make(chan struct{}),
 		procHist:  obs.DefaultHistogram(obs.MStreamletProcessSeconds, obs.Labels{"streamlet": id}),
+	}
+	if decl != nil && decl.Workers > 1 {
+		s.workers = decl.Workers
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -402,8 +453,20 @@ func (s *Streamlet) Start() {
 		return
 	}
 	s.state = StateActive
-	s.wg.Add(1)
-	go s.worker()
+	if s.workers > 1 {
+		// Parallel mode: N workers race on the handoff channel; the
+		// resequencer restores fetch order before emissions leave.
+		s.comps = make(chan *completion, s.workers*2)
+		s.tokens = make(chan struct{}, s.workers)
+		s.wg.Add(s.workers + 1)
+		for i := 0; i < s.workers; i++ {
+			go s.parallelWorker()
+		}
+		go s.resequencer()
+	} else {
+		s.wg.Add(1)
+		go s.worker()
+	}
 	for port, q := range s.ins {
 		s.startPumpLocked(port, q)
 	}
@@ -416,6 +479,7 @@ func (s *Streamlet) startPumpLocked(port string, q *queue.Queue) {
 	}
 	stop := make(chan struct{})
 	s.pumps[port] = stop
+	par := s.workers > 1 // immutable once started
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -436,6 +500,22 @@ func (s *Streamlet) startPumpLocked(port string, q *queue.Queue) {
 			}
 			s.inflight.Add(1)
 			item := workItem{port: port, msgID: it.MsgID, src: q, wait: it.Wait, enqueuedNs: it.EnqueuedNs()}
+			if par {
+				// Fetch order is the order the resequencer must restore.
+				// Assigned here (one pump per port fetches serially) so
+				// per-port FIFO survives the racy handoff to N workers.
+				item.seq = s.seq.Add(1) - 1
+				// Admission gate: without it a stalled head message would
+				// let the other workers run arbitrarily far ahead and the
+				// resequencer's parked set would grow without bound.
+				select {
+				case s.tokens <- struct{}{}:
+				case <-s.done:
+					s.inflight.Add(-1)
+					q.Ack()
+					return
+				}
+			}
 			select {
 			case s.work <- item:
 			case <-stop:
@@ -567,17 +647,13 @@ func (s *Streamlet) End() {
 	}
 }
 
-// worker is the processMsg loop.
+// worker is the serial processMsg loop (workers == 1).
 func (s *Streamlet) worker() {
 	defer s.wg.Done()
-	defer func() {
-		// Release the deadline executor; an in-flight (stalled) call
-		// finishes on its own, discards its result, and exits.
-		if s.exec != nil {
-			close(s.exec.in)
-			s.exec = nil
-		}
-	}()
+	// The worker owns its deadline-executor slot; an in-flight (stalled)
+	// call finishes on its own, discards its result, and exits.
+	slot := &execSlot{}
+	defer slot.close()
 	for {
 		select {
 		case <-s.done:
@@ -591,67 +667,98 @@ func (s *Streamlet) worker() {
 				it.src.Ack() // abandoned on shutdown
 				return
 			}
-			s.handle(it)
+			c := s.produce(it, slot)
+			s.finish(&c)
 			s.inflight.Add(-1)
 			it.src.Ack()
 		}
 	}
 }
 
-func (s *Streamlet) handle(it workItem) {
+// completion is the outcome of the parallel-safe stage of one work item
+// (produce): pool fetch, type check, and the supervised Process call. The
+// serial stage (finish) — counters, trace/span bookkeeping, and downstream
+// emission — runs strictly in fetch order: inline on the serial worker, or
+// on the resequencer in parallel mode.
+type completion struct {
+	it   workItem
+	res  procRes
+	skip bool // pool fetch or type check failed; nothing left to do
+
+	tracing     bool
+	sctx        obs.SpanContext
+	inChain     string
+	session     string
+	bytesIn     int
+	procStartNs int64
+	procDur     time.Duration
+}
+
+// produce runs everything that is safe to run concurrently for one work
+// item, through the supervised Process call, and captures what finish needs.
+func (s *Streamlet) produce(it workItem, slot *execSlot) completion {
 	s.processing.Store(true)
 	defer s.processing.Store(false)
-
+	c := completion{it: it}
 	msg, err := s.pool.Get(it.msgID)
 	if err != nil {
 		s.fail(fmt.Errorf("streamlet %s: %w", s.id, err))
-		return
+		c.skip = true
+		return c
 	}
 	if err := s.checkInputType(it.port, msg); err != nil {
 		s.typeErrs.Add(1)
 		mTypeErrorsTotal.Inc()
 		s.fail(err)
 		s.pool.Remove(it.msgID)
-		return
+		c.skip = true
+		return c
 	}
-	tracing := obs.TracingEnabled()
-	var sctx obs.SpanContext
+	c.tracing = obs.TracingEnabled()
 	if obs.SpansEnabled() {
 		// Only messages already inside a trace (stamped at the inlet) grow
 		// spans; everything else pays a single header lookup.
-		sctx = obs.ParseSpanContext(msg.Header(mime.HeaderSpanContext))
+		c.sctx = obs.ParseSpanContext(msg.Header(mime.HeaderSpanContext))
 	}
-	spans := sctx.Valid()
-	var inChain, session string
-	var bytesIn int
-	if tracing || spans {
+	spans := c.sctx.Valid()
+	if c.tracing || spans {
 		// Read everything the trace needs before Process runs: a terminal
 		// sink may hand the message to another goroutine, after which it
 		// must not be touched.
-		inChain = msg.Header(obs.TraceHeader)
-		session = msg.Session()
-		bytesIn = msg.Len()
+		c.inChain = msg.Header(obs.TraceHeader)
+		c.session = msg.Session()
+		c.bytesIn = msg.Len()
 	}
 	// The trace hop needs the exact per-message duration; the histogram is
 	// content with a sample. Without either consumer, skip the clock reads.
 	tick := s.procTick.Add(1)
 	sampleHist := tick <= procSampleWarmup || tick%procSampleInterval == 0
 	var procStart time.Time
-	var procStartNs int64
-	if tracing || sampleHist || spans {
+	if c.tracing || sampleHist || spans {
 		procStart = time.Now()
 		if spans {
-			procStartNs = obs.MonoNow()
+			c.procStartNs = obs.MonoNow()
 		}
 	}
-	res := s.supervised(Input{Port: it.port, Msg: msg})
-	var procDur time.Duration
-	if tracing || sampleHist || spans {
-		procDur = time.Since(procStart)
+	c.res = s.supervised(Input{Port: it.port, Msg: msg}, slot)
+	if c.tracing || sampleHist || spans {
+		c.procDur = time.Since(procStart)
 	}
 	if sampleHist {
-		s.procHist.Observe(procDur.Seconds())
+		s.procHist.Observe(c.procDur.Seconds())
 	}
+	return c
+}
+
+// finish is the serial stage: fault disposition, counters, trace/span
+// bookkeeping, and downstream emission. Callers guarantee finish runs in
+// fetch order (that is the resequencer's whole job).
+func (s *Streamlet) finish(c *completion) {
+	if c.skip {
+		return
+	}
+	it := c.it
+	res := c.res
 	if res.aborted {
 		// The streamlet ended mid-call: the message is abandoned exactly as
 		// End documents; its pool entry stays for stream-level cleanup.
@@ -671,18 +778,18 @@ func (s *Streamlet) handle(it workItem) {
 		mProcessedTotal.Inc()
 	}
 
-	if tracing {
-		s.trace(it, session, emissions, inChain, bytesIn, procDur)
+	if c.tracing {
+		s.trace(it, c.session, emissions, c.inChain, c.bytesIn, c.procDur)
 	}
 	var sp *spanEmit
-	if spans {
-		sp = s.span(it, sctx, session, emissions, bytesIn, procStartNs, procDur)
+	if c.sctx.Valid() {
+		sp = s.span(it, c.sctx, c.session, emissions, c.bytesIn, c.procStartNs, c.procDur)
 	}
 
 	peerID := ""
 	// A bypassed message was not transformed, so the peer chain must not
 	// promise a reversal at the client.
-	if p, ok := s.proc.(Peered); ok && !res.bypassed {
+	if p, ok := Base(s.proc).(Peered); ok && !res.bypassed {
 		peerID = p.PeerID()
 	}
 

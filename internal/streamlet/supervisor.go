@@ -227,13 +227,29 @@ func runProtected(p Processor, in Input) (res procRes) {
 }
 
 // procExec is a reusable executor goroutine that runs Process calls on
-// behalf of the worker when a deadline is configured. The worker owns it
-// exclusively: it is created lazily, abandoned (channel closed) when a call
-// stalls, and closed when the worker exits. An abandoned executor finishes
-// its in-flight call — however long that takes — discards the result, and
-// exits; a permanently hung Processor costs one goroutine, not the gateway.
+// behalf of a worker when a deadline is configured. Each worker owns one
+// exclusively through its execSlot: it is created lazily, abandoned
+// (channel closed) when a call stalls, and closed when the worker exits. An
+// abandoned executor finishes its in-flight call — however long that takes
+// — discards the result, and exits; a permanently hung Processor costs one
+// goroutine, not the gateway.
 type procExec struct {
 	in chan procReq
+}
+
+// execSlot is one worker goroutine's private executor handle. Parallel
+// workers each carry their own slot, so a stalled Process call occupies
+// only the worker that issued it; the other N-1 keep executing.
+type execSlot struct {
+	exec *procExec
+}
+
+// close abandons the slot's executor, if one exists.
+func (sl *execSlot) close() {
+	if sl.exec != nil {
+		close(sl.exec.in)
+		sl.exec = nil
+	}
 }
 
 type procReq struct {
@@ -247,15 +263,15 @@ func (e *procExec) loop(p Processor) {
 	}
 }
 
-// invokeTimed runs one Process call with a deadline on the executor.
-func (s *Streamlet) invokeTimed(in Input, d time.Duration) procRes {
-	if s.exec == nil {
-		s.exec = &procExec{in: make(chan procReq)}
-		go s.exec.loop(s.proc)
+// invokeTimed runs one Process call with a deadline on the slot's executor.
+func (s *Streamlet) invokeTimed(in Input, d time.Duration, sl *execSlot) procRes {
+	if sl.exec == nil {
+		sl.exec = &procExec{in: make(chan procReq)}
+		go sl.exec.loop(s.proc)
 	}
 	req := procReq{input: in, res: make(chan procRes, 1)}
 	select {
-	case s.exec.in <- req:
+	case sl.exec.in <- req:
 	case <-s.done:
 		return procRes{aborted: true}
 	}
@@ -266,9 +282,8 @@ func (s *Streamlet) invokeTimed(in Input, d time.Duration) procRes {
 		return r
 	case <-timer.C:
 		// Stalled: abandon this executor (it drains its in-flight call and
-		// exits); the next message gets a fresh one.
-		close(s.exec.in)
-		s.exec = nil
+		// exits); the worker's next message gets a fresh one.
+		sl.close()
 		return procRes{
 			err:  fmt.Errorf("%w: %v elapsed", ErrProcessStall, d),
 			kind: FaultStall,
@@ -276,16 +291,15 @@ func (s *Streamlet) invokeTimed(in Input, d time.Duration) procRes {
 	case <-s.done:
 		// Shutdown while a call is in flight: abandon the executor and the
 		// message (End's documented abandonment semantics).
-		close(s.exec.in)
-		s.exec = nil
+		sl.close()
 		return procRes{aborted: true}
 	}
 }
 
 // attempt runs one protected Process execution, with or without a deadline.
-func (s *Streamlet) attempt(in Input, sv Supervision) procRes {
+func (s *Streamlet) attempt(in Input, sv Supervision, sl *execSlot) procRes {
 	if sv.ProcessTimeout > 0 {
-		return s.invokeTimed(in, sv.ProcessTimeout)
+		return s.invokeTimed(in, sv.ProcessTimeout, sl)
 	}
 	return runProtected(s.proc, in)
 }
@@ -306,8 +320,10 @@ func (s *Streamlet) countFault(kind FaultKind) {
 // supervised runs the policy loop for one message: attempts (with backoff
 // between retries), fault accounting, and the terminal outcome. A returned
 // error means the message must be dropped by the caller; bypassed outcomes
-// come back as a pass-through emission with err == nil.
-func (s *Streamlet) supervised(in Input) procRes {
+// come back as a pass-through emission with err == nil. sl is the calling
+// worker's private executor slot; retries and backoff occupy only that
+// worker.
+func (s *Streamlet) supervised(in Input, sl *execSlot) procRes {
 	sv := s.sup.Load()
 	if sv == nil {
 		// Unsupervised fast path: panic containment only (a Processor
@@ -340,7 +356,7 @@ func (s *Streamlet) supervised(in Input) procRes {
 				return procRes{aborted: true}
 			}
 		}
-		res = s.attempt(in, cfg)
+		res = s.attempt(in, cfg, sl)
 		if res.aborted {
 			return res
 		}
