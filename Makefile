@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke parallel-smoke vet fmt check examples experiments clean
+.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke docs-check vet fmt check examples experiments clean
 
 all: build test
 
@@ -18,9 +18,10 @@ race:
 
 # Full pre-merge gate: build, vet, tests, the race detector, a quick
 # hot-path benchmark smoke (catches gross regressions without a full run),
-# the fault-injection survival scenario, the end-to-end span smoke, and the
-# parallel-execution smoke.
-check: build test race bench-smoke fault-smoke obs-smoke parallel-smoke
+# the fault-injection survival scenario, the end-to-end span smoke, the
+# parallel-execution smoke, the adaptation-autopilot smoke, and the
+# documentation linter.
+check: build test race bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke docs-check
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -56,6 +57,21 @@ fault-smoke:
 # (exits nonzero if not).
 parallel-smoke:
 	$(GO) run ./cmd/mobibench -exp parallel
+
+# Adaptation-autopilot smoke: the when-policy engine must strictly beat
+# both static compositions on goodput with zero message loss, fire exactly
+# once per bandwidth-threshold crossing, and emit an ADAPTATION event, an
+# adapt_actions_total increment, and a flight-recorder entry per firing
+# (exits nonzero if not).
+adapt-smoke:
+	$(GO) run ./cmd/mobibench -exp adapt
+
+# Documentation linter: every docs/*.md page must be linked from README.md,
+# every relative markdown link must resolve, and fenced MCL / CLI examples
+# must reference real grammar keywords, policy signals, and command flags
+# (exits nonzero if not).
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 # End-to-end observability smoke: run the hops breakdown with span tracing
 # on and require at least one message's reconstructed trace tree to cover

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/semantics"
+)
+
+var docFenceRe = regexp.MustCompile("(?ms)^```mcl\n(.*?)^```")
+
+// TestDocsExamplesCompile holds the language reference to the compiler:
+// every fenced mcl block in docs/MCL.md must at least parse, and complete
+// scripts (those declaring a stream) must compile. Blocks opening with a
+// "// fragment" comment are exempt — they illustrate grammar productions
+// that cannot stand alone.
+func TestDocsExamplesCompile(t *testing.T) {
+	data, err := os.ReadFile("../../docs/MCL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := docFenceRe.FindAllStringSubmatch(string(data), -1)
+	if len(blocks) == 0 {
+		t.Fatal("docs/MCL.md has no fenced mcl blocks")
+	}
+	complete := 0
+	for i, m := range blocks {
+		body := m[1]
+		first := strings.TrimSpace(strings.SplitN(body, "\n", 2)[0])
+		if strings.HasPrefix(first, "//") && strings.Contains(first, "fragment") {
+			continue
+		}
+		f, err := mcl.Parse(body)
+		if err != nil {
+			t.Errorf("docs/MCL.md block %d does not parse: %v\n%s", i+1, err, body)
+			continue
+		}
+		if len(f.Streams) == 0 {
+			continue // definition-only illustration
+		}
+		cfg, err := mcl.Compile(body, nil)
+		if err != nil {
+			t.Errorf("docs/MCL.md block %d does not compile: %v\n%s", i+1, err, body)
+			continue
+		}
+		complete++
+		for name := range cfg.Streams {
+			rep := semantics.Analyze(cfg.Stream(name), semantics.Rules{})
+			for _, v := range rep.Violations {
+				// Doc examples legitimately end in an open outlet; every
+				// other analysis must hold.
+				if v.Kind == "open-circuit" {
+					continue
+				}
+				t.Errorf("docs/MCL.md block %d stream %s: %v", i+1, name, v)
+			}
+		}
+	}
+	if complete == 0 {
+		t.Error("docs/MCL.md has no complete (compiling) example script")
+	}
+}

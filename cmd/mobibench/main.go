@@ -10,6 +10,7 @@
 //	mobibench -exp faults   # fault-injection survival (supervision subsystem)
 //	mobibench -exp spans    # end-to-end span trees across the link
 //	mobibench -exp parallel # workers fan-out scaling + transcode cache sweep
+//	mobibench -exp adapt    # autopilot when-policies vs static compositions
 //	mobibench -exp all      # everything
 //
 // -spans additionally runs the span-trace experiment after the hops
@@ -32,7 +33,7 @@ import (
 )
 
 var (
-	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, faults, spans, parallel, all")
+	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, faults, spans, parallel, adapt, all")
 	spans     = flag.Bool("spans", false, "enable span tracing: run the end-to-end trace-tree experiment after hops and assert the reconstruction")
 	messages  = flag.Int("messages", 60, "messages per fig7.7 point")
 	samples   = flag.Int("samples", 50, "messages per latency sample (fig7.2/7.3)")
@@ -64,6 +65,8 @@ func main() {
 		runSpans()
 	case "parallel":
 		runParallel()
+	case "adapt":
+		runAdapt()
 	case "all":
 		runFig72()
 		runFig73()
@@ -73,6 +76,7 @@ func main() {
 		runHops()
 		runFaults()
 		runParallel()
+		runAdapt()
 		if *spans {
 			runSpans()
 		}
@@ -226,6 +230,25 @@ func runParallel() {
 // streamlet, with the span union within 5% of the measured response time,
 // and the flight recorder must have journaled the run. make obs-smoke
 // relies on the non-zero exit when any of these fail.
+// runAdapt runs the adaptation-autopilot comparison: the same workload over
+// a high → low → high bandwidth schedule through never-compress,
+// always-compress, and the policy-driven autopilot. The experiment asserts
+// that the autopilot strictly beats both statics on goodput with zero
+// message loss, fires exactly once per threshold crossing, and emits the
+// full observability triple per firing. make adapt-smoke relies on the
+// non-zero exit when any of these fail.
+func runAdapt() {
+	fmt.Println("=== Adaptation autopilot: when-policies vs static compositions ===")
+	res, err := experiments.Adapt(experiments.DefaultAdaptConfig())
+	if res != nil {
+		fmt.Print(res)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
 func runSpans() {
 	fmt.Println("=== End-to-end span traces: server chain, link, client peers ===")
 	res, err := experiments.TraceTree(experiments.DefaultTraceTreeConfig())

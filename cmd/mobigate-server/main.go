@@ -11,7 +11,10 @@
 //
 // Clients connect, send a request message whose X-Request-Stream header
 // names the stream to deploy, and receive the adapted flow in MIME wire
-// format. Typing an event name (e.g. LOW_BANDWIDTH) on stdin raises it.
+// format. Typing an event name (e.g. LOW_BANDWIDTH) on stdin raises it;
+// typing RELOAD (or sending SIGHUP) recompiles the script file and
+// hot-swaps every deployed stream's when-blocks and when-policies without
+// interrupting sessions.
 package main
 
 import (
@@ -20,7 +23,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"mobigate"
 	"mobigate/internal/mime"
@@ -38,7 +44,24 @@ var (
 	metricsAddr = flag.String("metrics", ":7701", "observability HTTP address (/metrics, /trace); empty disables")
 	debug       = flag.Bool("debug", false, "mount the debug surface (/debug/flight, /debug/pprof) on the metrics address")
 	spans       = flag.Bool("spans", false, "enable end-to-end span tracing (deep diagnosis; adds per-message overhead)")
+	adaptEvery  = flag.Duration("adapt-interval", time.Second, "when-policy autopilot evaluation interval; 0 disables the autopilot")
 )
+
+// reloadScript recompiles the script file and hot-swaps the gateway's
+// when-blocks and when-policies (topology of deployed streams is kept).
+func reloadScript(gw *mobigate.Gateway) {
+	src, err := os.ReadFile(*scriptPath)
+	if err != nil {
+		log.Printf("reload: %v", err)
+		return
+	}
+	if err := gw.ReloadScript(string(src)); err != nil {
+		log.Printf("reload: %v", err)
+		return
+	}
+	log.Printf("reloaded %s: when-blocks and policies swapped on %d deployed streams",
+		*scriptPath, len(gw.Deployed()))
+}
 
 func main() {
 	flag.Parse()
@@ -61,6 +84,20 @@ func main() {
 	defer gw.Close()
 	if err := gw.LoadScript(string(src)); err != nil {
 		log.Fatalf("mobigate-server: %v", err)
+	}
+	if *adaptEvery > 0 {
+		// The autopilot evaluates when-policies against the metric-backed
+		// signals (SLO violations, faults, worker and queue gauges); streams
+		// attach as they deploy. Over the TCP frontend there is no emulated
+		// link, so the bandwidth signal reads zero.
+		eng := mobigate.NewAdaptEngine(mobigate.AdaptConfig{
+			Events:   gw.Events(),
+			Interval: *adaptEvery,
+			OnError:  func(err error) { log.Printf("autopilot: %v", err) },
+		})
+		gw.SetAutopilot(eng)
+		eng.Start()
+		defer eng.Close()
 	}
 	cfg := gw.Config()
 	log.Printf("loaded %s: %d streams (main %q)", *scriptPath, len(cfg.Streams), cfg.Main)
@@ -103,13 +140,24 @@ func main() {
 			log.Printf("debug surface on http://%s/debug/flight and /debug/pprof", maddr)
 		}
 	}
-	log.Printf("type an event name (e.g. LOW_BANDWIDTH) + enter to raise it; ctrl-D to quit")
+	log.Printf("type an event name (e.g. LOW_BANDWIDTH) + enter to raise it, RELOAD to re-read the script; ctrl-D to quit")
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			reloadScript(gw)
+		}
+	}()
 
 	sc := bufio.NewScanner(os.Stdin)
 	for sc.Scan() {
 		ev := strings.ToUpper(strings.TrimSpace(sc.Text()))
 		switch ev {
 		case "":
+			continue
+		case "RELOAD":
+			reloadScript(gw)
 			continue
 		case "STATS":
 			for _, alias := range gw.Deployed() {

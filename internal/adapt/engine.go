@@ -1,0 +1,428 @@
+// Package adapt is the adaptation autopilot: the policy brain that closes
+// MobiGATE's active-deployment loop. The thesis adapts streams by hand-
+// written event reactions (when (LOW_BANDWIDTH) { ... }); this package adds
+// the condition-triggered half recommended by §8.2.1 — declarative MCL
+// rules such as
+//
+//	when (bandwidth < 64000) sustain 2 -> insert tc between hd and cm;
+//
+// evaluated against sampled context readings (link bandwidth, SLO
+// violations, fault counters, worker/queue gauges) and executed through the
+// same drain-safe reconfiguration primitives event blocks use: Insert,
+// Remove, live worker retuning, and control-interface parameters. Per-rule
+// hysteresis (sustain), refractory cooldowns and edge-triggered re-arming
+// keep the composition from oscillating when a reading hovers around a
+// threshold.
+//
+// Every firing is observable three ways: an ADAPTATION context event
+// (source-directed at the adapted stream), the adapt_* metric counters, and
+// a flight-recorder "adapt" entry carrying the rule id, the trigger reading
+// and the action taken.
+package adapt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/netem"
+	"mobigate/internal/obs"
+	"mobigate/internal/stream"
+)
+
+var (
+	mEvaluations = obs.DefaultCounter(obs.MAdaptEvaluationsTotal)
+	mActions     = obs.DefaultCounter(obs.MAdaptActionsTotal)
+	mSuppressed  = obs.DefaultCounter(obs.MAdaptSuppressedTotal)
+	mFailures    = obs.DefaultCounter(obs.MAdaptFailuresTotal)
+)
+
+// Reading is one sampled snapshot of the signals policy conditions test.
+// Counter-style fields (SLOViolations, Faults) are cumulative; the engine
+// turns them into per-tick deltas before comparing.
+type Reading struct {
+	// Bandwidth is the link bandwidth in bits/second.
+	Bandwidth int64
+	// SLOViolations is the cumulative latency-budget violation count.
+	SLOViolations uint64
+	// Faults is the cumulative streamlet fault count (panics, stalls,
+	// retries, drops).
+	Faults uint64
+	// WorkersBusy is the busy parallel-worker gauge.
+	WorkersBusy int64
+	// ResequencerDepth is the parked out-of-order emission gauge.
+	ResequencerDepth int64
+	// QueueDepth is the queued-message gauge.
+	QueueDepth int64
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Link, when set, supplies the bandwidth signal.
+	Link *netem.Link
+	// Events, when set, receives an ADAPTATION context event per firing.
+	Events *event.Manager
+	// Sampler overrides the default metric-backed sampler (tests and
+	// embedders with their own signal sources).
+	Sampler func() Reading
+	// Interval is the background evaluation period; zero means no
+	// background ticker — the embedder drives Tick explicitly.
+	Interval time.Duration
+	// Sustain is the default hysteresis width in consecutive true readings
+	// for rules that do not declare their own (default 1).
+	Sustain int
+	// Cooldown is the default refractory period in ticks after a firing
+	// for rules that do not declare their own (default 2).
+	Cooldown int
+	// DrainTimeout bounds each action's reconfiguration drains (default 1s).
+	DrainTimeout time.Duration
+	// OnError receives action failures (nil: failures only surface as
+	// metrics and flight entries).
+	OnError func(error)
+}
+
+// Engine evaluates when-policy rules against sampled readings and rewrites
+// the streams bound to it. One engine serves a whole gateway: streams
+// attach with their compiled policies and detach on undeploy.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	bindings map[string]*binding
+	prev     Reading
+	havePrev bool
+	ticker   *time.Ticker
+	stop     chan struct{}
+	done     chan struct{}
+	actions  uint64
+}
+
+type binding struct {
+	st    *stream.Stream
+	rules []*ruleState
+}
+
+// ruleState is the per-rule hysteresis ledger.
+type ruleState struct {
+	pc *mcl.PolicyConfig
+	// holds counts consecutive ticks the condition has been true.
+	holds int
+	// cooldown is the remaining refractory ticks after a firing.
+	cooldown int
+	// armed is the edge trigger: a fired rule re-arms only after its
+	// condition reads false once, so a persistently-true condition cannot
+	// refire every cooldown expiry.
+	armed bool
+}
+
+// New creates an engine. Call Start for background evaluation, or drive
+// Tick directly for deterministic stepping.
+func New(cfg Config) *Engine {
+	if cfg.Sustain < 1 {
+		cfg.Sustain = 1
+	}
+	if cfg.Cooldown < 1 {
+		cfg.Cooldown = 2
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = time.Second
+	}
+	return &Engine{cfg: cfg, bindings: make(map[string]*binding)}
+}
+
+// Attach binds a stream and its compiled policies to the engine under id
+// (the deployment alias — stream names may repeat across aliased deploys).
+// Re-attaching an id replaces its policies, preserving hysteresis state for
+// rules whose text is unchanged.
+func (e *Engine) Attach(id string, st *stream.Stream, policies []*mcl.PolicyConfig) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	old := e.bindings[id]
+	b := &binding{st: st}
+	for _, pc := range policies {
+		rs := &ruleState{pc: pc, armed: true}
+		if old != nil {
+			for _, prev := range old.rules {
+				if prev.pc.Rule.String() == pc.Rule.String() {
+					rs.holds, rs.cooldown, rs.armed = prev.holds, prev.cooldown, prev.armed
+					break
+				}
+			}
+		}
+		b.rules = append(b.rules, rs)
+	}
+	e.bindings[id] = b
+}
+
+// Detach unbinds a stream.
+func (e *Engine) Detach(id string) {
+	e.mu.Lock()
+	delete(e.bindings, id)
+	e.mu.Unlock()
+}
+
+// SetPolicies replaces the policies of an attached stream (the hot-reload
+// path). Returns false when id is not attached.
+func (e *Engine) SetPolicies(id string, policies []*mcl.PolicyConfig) bool {
+	e.mu.Lock()
+	b, ok := e.bindings[id]
+	e.mu.Unlock()
+	if !ok {
+		return false
+	}
+	e.Attach(id, b.st, policies)
+	return true
+}
+
+// Attached reports whether id is bound to the engine.
+func (e *Engine) Attached(id string) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.bindings[id] != nil
+}
+
+// Actions returns the number of adaptations this engine has applied.
+func (e *Engine) Actions() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.actions
+}
+
+// Start launches the background evaluation ticker (no-op when Interval is
+// zero or the engine is already running).
+func (e *Engine) Start() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cfg.Interval <= 0 || e.stop != nil {
+		return
+	}
+	e.ticker = time.NewTicker(e.cfg.Interval)
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	go func(tick <-chan time.Time, stop chan struct{}, done chan struct{}) {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick:
+				e.Tick()
+			}
+		}
+	}(e.ticker.C, e.stop, e.done)
+}
+
+// Close stops the background ticker, if any.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	ticker, stop, done := e.ticker, e.stop, e.done
+	e.ticker, e.stop, e.done = nil, nil, nil
+	e.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	ticker.Stop()
+	close(stop)
+	<-done
+}
+
+// sample produces the current reading from the configured sampler, or from
+// the default metric catalog plus the attached link.
+func (e *Engine) sample() Reading {
+	if e.cfg.Sampler != nil {
+		return e.cfg.Sampler()
+	}
+	r := Reading{
+		SLOViolations: obs.DefaultCounter(obs.MSLOViolationsTotal).Value(),
+		Faults: obs.DefaultCounter(obs.MFaultPanicsTotal).Value() +
+			obs.DefaultCounter(obs.MFaultStallsTotal).Value() +
+			obs.DefaultCounter(obs.MFaultRetriesTotal).Value() +
+			obs.DefaultCounter(obs.MFaultDroppedTotal).Value(),
+		WorkersBusy:      obs.DefaultIntGauge(obs.MStreamletWorkersBusy).Value(),
+		ResequencerDepth: obs.DefaultIntGauge(obs.MStreamletReseqDepth).Value(),
+		QueueDepth:       obs.DefaultIntGauge(obs.MQueueQueuedMessages).Value(),
+	}
+	if e.cfg.Link != nil {
+		r.Bandwidth = e.cfg.Link.Bandwidth()
+	}
+	return r
+}
+
+// signalValue extracts one signal from the reading pair: gauges read the
+// current sample, counters read the delta since the previous tick.
+func signalValue(sig string, cur, prev Reading) int64 {
+	switch sig {
+	case mcl.SignalBandwidth:
+		return cur.Bandwidth
+	case mcl.SignalSLOViolations:
+		return int64(cur.SLOViolations - prev.SLOViolations)
+	case mcl.SignalFaults:
+		return int64(cur.Faults - prev.Faults)
+	case mcl.SignalWorkersBusy:
+		return cur.WorkersBusy
+	case mcl.SignalResequencerDepth:
+		return cur.ResequencerDepth
+	default: // mcl.SignalQueueDepth; the parser admits no other signal
+		return cur.QueueDepth
+	}
+}
+
+func (e *Engine) sustainFor(r *mcl.PolicyRule) int {
+	if r.Sustain > 0 {
+		return r.Sustain
+	}
+	return e.cfg.Sustain
+}
+
+func (e *Engine) cooldownFor(r *mcl.PolicyRule) int {
+	if r.Cooldown > 0 {
+		return r.Cooldown
+	}
+	return e.cfg.Cooldown
+}
+
+// firing is one rule selected by a tick for execution.
+type firing struct {
+	id    string
+	b     *binding
+	rs    *ruleState
+	value int64
+}
+
+// Tick samples the signals and evaluates every attached rule once. Actions
+// run synchronously on the caller's goroutine (outside the engine lock, so
+// an action's drain cannot stall other engine operations); the background
+// ticker simply calls Tick.
+func (e *Engine) Tick() {
+	cur := e.sample()
+	e.mu.Lock()
+	prev := e.prev
+	if !e.havePrev {
+		prev = cur
+	}
+	e.prev, e.havePrev = cur, true
+	mEvaluations.Inc()
+	var firings []firing
+	for id, b := range e.bindings {
+		for _, rs := range b.rules {
+			rule := rs.pc.Rule
+			v := signalValue(rule.Cond.Signal, cur, prev)
+			if rs.cooldown > 0 {
+				rs.cooldown--
+			}
+			if !rule.Cond.Op.Holds(v, rule.Cond.Value) {
+				rs.holds = 0
+				rs.armed = true
+				continue
+			}
+			rs.holds++
+			if !rs.armed || rs.holds < e.sustainFor(rule) {
+				continue
+			}
+			if rs.cooldown > 0 {
+				mSuppressed.Inc()
+				continue
+			}
+			firings = append(firings, firing{id: id, b: b, rs: rs, value: v})
+		}
+	}
+	e.mu.Unlock()
+	for _, f := range firings {
+		e.fire(f)
+	}
+}
+
+// fire executes one selected rule: applicability check, the action itself,
+// then the observability triple (flight entry, counters, ADAPTATION event).
+func (e *Engine) fire(f firing) {
+	rule := f.rs.pc.Rule
+	subject := f.id + "/" + f.rs.pc.ID
+	detail := fmt.Sprintf("%s [%s=%d] -> %s", rule.Cond, rule.Cond.Signal, f.value, rule.Action)
+	applied, err := e.apply(f.b.st, f.rs.pc)
+
+	e.mu.Lock()
+	f.rs.cooldown = e.cooldownFor(rule)
+	if err == nil && applied {
+		// Edge trigger: stay quiet until the condition goes false again.
+		f.rs.armed = false
+		e.actions++
+	}
+	e.mu.Unlock()
+
+	switch {
+	case err != nil:
+		mFailures.Inc()
+		obs.FlightRecord(obs.FlightAdapt, subject, "FAILED "+detail+": "+err.Error(), f.value)
+		if e.cfg.OnError != nil {
+			e.cfg.OnError(fmt.Errorf("adapt: %s: %s: %w", subject, rule.Action, err))
+		}
+	case !applied:
+		// Already in effect (insert with the instance present, remove with
+		// it absent, workers already at N): count the suppression, skip the
+		// event — nothing changed.
+		mSuppressed.Inc()
+	default:
+		mActions.Inc()
+		obs.FlightRecord(obs.FlightAdapt, subject, detail, f.value)
+		if e.cfg.Events != nil {
+			e.cfg.Events.Post(event.ContextEvent{
+				EventID:  event.ADAPTATION,
+				Category: event.Adaptation,
+				Source:   f.b.st.Name(),
+			})
+		}
+	}
+}
+
+// apply executes a rule's action against the stream. The boolean reports
+// whether the topology actually changed; false with a nil error means the
+// action was already in effect.
+func (e *Engine) apply(st *stream.Stream, pc *mcl.PolicyConfig) (bool, error) {
+	switch a := pc.Rule.Action.(type) {
+	case *mcl.InsertAction:
+		if st.Streamlet(a.Def) != nil {
+			return false, nil
+		}
+		if err := st.NewStreamlet(a.Def, pc.InsertDecl); err != nil {
+			return false, err
+		}
+		if err := st.Insert(a.Producer, a.Consumer, a.Def, pc.InsertIn, pc.InsertOut); err != nil {
+			// Unwind the unbound instance so a later firing can retry.
+			_ = st.Remove(a.Def, e.cfg.DrainTimeout)
+			return false, err
+		}
+		return true, nil
+	case *mcl.RemoveAction:
+		if st.Streamlet(a.Inst) == nil {
+			return false, nil
+		}
+		if err := st.Remove(a.Inst, e.cfg.DrainTimeout); err != nil {
+			return false, err
+		}
+		return true, nil
+	case *mcl.WorkersAction:
+		sl := st.Streamlet(a.Inst)
+		if sl == nil {
+			return false, nil
+		}
+		if sl.Workers() == a.N {
+			return false, nil
+		}
+		if err := st.SetWorkersLive(a.Inst, a.N, e.cfg.DrainTimeout); err != nil {
+			return false, err
+		}
+		return true, nil
+	case *mcl.ParamAction:
+		if st.Streamlet(a.Inst) == nil {
+			return false, nil
+		}
+		if err := st.SetParam(a.Inst, a.Name, a.Value); err != nil {
+			return false, err
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("unknown policy action %T", pc.Rule.Action)
+	}
+}

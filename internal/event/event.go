@@ -33,6 +33,12 @@ const (
 	// them, and stream applications react with the same Figure 7-4
 	// reconfiguration protocol bandwidth changes use.
 	ExecutionFault
+	// Adaptation events report coordination-plane policy decisions: the
+	// autopilot (internal/adapt) rewired a stream through a when-policy
+	// rule. They let monitoring clients and sibling streams observe
+	// self-adaptation without polling metrics, and give MCL event blocks a
+	// hook to compose with policy rules.
+	Adaptation
 	// CategoryCount is the number of built-in categories.
 	CategoryCount
 )
@@ -43,6 +49,7 @@ var categoryNames = [...]string{
 	HardwareVariation: "Hardware Variation",
 	SoftwareVariation: "Software Variation",
 	ExecutionFault:    "Execution Fault",
+	Adaptation:        "Adaptation",
 }
 
 func (c Category) String() string {
@@ -84,6 +91,9 @@ const (
 	// see internal/obs/slo.go). Filed under ExecutionFault: it signals the
 	// execution plane is degraded, even though no streamlet crashed.
 	SLO_VIOLATION = "SLO_VIOLATION"
+	// ADAPTATION is raised by the autopilot (internal/adapt) after every
+	// when-policy firing, source-directed at the adapted stream.
+	ADAPTATION = "ADAPTATION"
 )
 
 // ContextEvent is the MobiGATE event object of Figure 6-5.
@@ -125,7 +135,7 @@ func NewCatalog() *Catalog {
 		FORMAT_UNSUPPORTED: SoftwareVariation, CODEC_MISSING: SoftwareVariation,
 		STREAMLET_PANIC: ExecutionFault, STREAMLET_ERROR: ExecutionFault,
 		STREAMLET_STALL: ExecutionFault, STREAMLET_HEALED: ExecutionFault,
-		SLO_VIOLATION: ExecutionFault,
+		SLO_VIOLATION: ExecutionFault, ADAPTATION: Adaptation,
 	} {
 		c.events[id] = cat
 	}

@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mobigate/internal/adapt"
+	"mobigate/internal/client"
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/netem"
+	"mobigate/internal/obs"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+	"mobigate/internal/streamlet"
+)
+
+// AdaptScript is the autopilot demonstration application: a relay feeding
+// the communicator, with two when-policies that bracket the §7.5 compressor
+// threshold. Below it the Text Compressor is spliced in; at or above it the
+// compressor is removed — the same LOW_BANDWIDTH/HIGH_BANDWIDTH adaptation
+// as WebAccelScript, but decided by the policy engine from sampled link
+// bandwidth instead of hand-raised events.
+const AdaptScript = `
+streamlet relay {
+	port { in pi : text/*; out po : text/*; }
+	attribute { type = STATELESS; library = "bench/redirector"; }
+}
+streamlet text_compress {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+streamlet communicator {
+	port { in pi : */*; }
+	attribute { type = STATEFUL; library = "net/communicator"; }
+}
+main stream adaptive {
+	streamlet hd = new-streamlet (relay);
+	streamlet cm = new-streamlet (communicator);
+	connect (hd.po, cm.pi);
+
+	when (bandwidth < 100000) -> insert text_compress between hd and cm;
+	when (bandwidth >= 100000) -> remove text_compress;
+}
+`
+
+// adaptStaticCompressScript is the always-compress static composition: the
+// same pipeline with the compressor permanently in the path and no
+// policies.
+const adaptStaticCompressScript = `
+streamlet relay {
+	port { in pi : text/*; out po : text/*; }
+	attribute { type = STATELESS; library = "bench/redirector"; }
+}
+streamlet text_compress {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+streamlet communicator {
+	port { in pi : */*; }
+	attribute { type = STATEFUL; library = "net/communicator"; }
+}
+main stream adaptive {
+	streamlet hd = new-streamlet (relay);
+	streamlet tc = new-streamlet (text_compress);
+	streamlet cm = new-streamlet (communicator);
+	connect (hd.po, tc.pi);
+	connect (tc.po, cm.pi);
+}
+`
+
+// AdaptPhase is one bandwidth regime of the experiment's schedule.
+type AdaptPhase struct {
+	BandwidthBps int64
+	Messages     int
+}
+
+// AdaptConfig parameterizes the autopilot-vs-statics comparison.
+type AdaptConfig struct {
+	// Phases is the bandwidth schedule; each phase carries Messages
+	// messages at BandwidthBps.
+	Phases []AdaptPhase
+	// MessageBytes is the text payload size per message.
+	MessageBytes int
+	Seed         int64
+}
+
+// DefaultAdaptConfig is a high → low → high schedule around the 100 Kb/s
+// compressor threshold. The high phases sit well above the break-even
+// bandwidth where the compressor's 12 ms hop overhead exceeds its transfer
+// saving, so always-compress loses there; the 32 Kb/s phase is where
+// never-compress loses ~1.5 s per message.
+func DefaultAdaptConfig() AdaptConfig {
+	return AdaptConfig{
+		Phases: []AdaptPhase{
+			{BandwidthBps: 12_000_000, Messages: 20},
+			{BandwidthBps: 32_000, Messages: 20},
+			{BandwidthBps: 12_000_000, Messages: 20},
+		},
+		MessageBytes: 8 << 10,
+		Seed:         2004,
+	}
+}
+
+// AdaptRow is one composition's end-to-end outcome.
+type AdaptRow struct {
+	Name string
+	// Delivered counts messages that fully crossed the link and were
+	// reverse-processed by the client.
+	Delivered int
+	Dropped   uint64
+	// SentBytes is the wire volume after adaptation.
+	SentBytes int64
+	// Invocations counts streamlet executions on the gateway (each costs
+	// PaperOverheadPerStreamlet in the calibrated total).
+	Invocations uint64
+	// TransferTime is the virtual link occupancy.
+	TransferTime time.Duration
+	// TotalTime = TransferTime + Invocations × PaperOverheadPerStreamlet:
+	// the delivered-bytes-over-latency denominator.
+	TotalTime time.Duration
+	// GoodputBps is original information bits over TotalTime.
+	GoodputBps float64
+	// Adaptations / AdaptEvents / FlightEntries / Suppressed are the
+	// autopilot's observability quadruple (zero for static rows).
+	Adaptations   uint64
+	AdaptEvents   uint64
+	FlightEntries int
+	Suppressed    uint64
+}
+
+// AdaptResult is the full comparison.
+type AdaptResult struct {
+	OrigBytes int64
+	Messages  int
+	Rows      []AdaptRow
+}
+
+// String renders the comparison table.
+func (r *AdaptResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %9s %8s %12s %12s %12s %7s %6s\n",
+		"composition", "delivered", "dropped", "wire-bytes", "total-time", "goodput", "adapts", "suppr")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %9d %8d %12d %12v %9.1f kb/s %7d %6d\n",
+			row.Name, row.Delivered, row.Dropped, row.SentBytes,
+			row.TotalTime.Round(time.Millisecond), row.GoodputBps/1e3,
+			row.Adaptations, row.Suppressed)
+	}
+	return b.String()
+}
+
+// Row returns a named row (nil when absent).
+func (r *AdaptResult) Row(name string) *AdaptRow {
+	for i := range r.Rows {
+		if r.Rows[i].Name == name {
+			return &r.Rows[i]
+		}
+	}
+	return nil
+}
+
+// adaptProbe counts ADAPTATION context events delivered by the event
+// manager. ADAPTATION events are source-directed at the adapted stream, so
+// the probe subscribes under the stream's name to receive them.
+type adaptProbe struct {
+	name string
+	n    atomic.Uint64
+}
+
+func (p *adaptProbe) SubscriberName() string { return p.name }
+func (p *adaptProbe) OnEvent(ev event.ContextEvent) {
+	if ev.EventID == event.ADAPTATION {
+		p.n.Add(1)
+	}
+}
+
+// expectedAdaptations walks the schedule and counts threshold crossings:
+// the composition starts uncompressed, so each phase whose side of the
+// threshold differs from the previous state is one firing.
+func expectedAdaptations(cfg AdaptConfig) uint64 {
+	var n uint64
+	low := false // initial composition has no compressor
+	for _, ph := range cfg.Phases {
+		phaseLow := ph.BandwidthBps < CompressorThresholdBps
+		if phaseLow != low {
+			n++
+			low = phaseLow
+		}
+	}
+	return n
+}
+
+// Adapt runs the autopilot comparison: the same workload over the same
+// bandwidth schedule through three compositions — never-compress,
+// always-compress, and the policy-driven autopilot — and verifies that the
+// autopilot strictly beats both statics on goodput with zero message loss,
+// that it fired exactly once per threshold crossing (hysteresis: no
+// oscillation), and that every firing is observable as an ADAPTATION
+// event, an adapt_actions_total increment and a flight-recorder entry.
+func Adapt(cfg AdaptConfig) (*AdaptResult, error) {
+	if len(cfg.Phases) == 0 {
+		cfg = DefaultAdaptConfig()
+	}
+	total := 0
+	for _, ph := range cfg.Phases {
+		if ph.BandwidthBps <= 0 || ph.Messages <= 0 {
+			return nil, fmt.Errorf("adapt: bad phase %+v", ph)
+		}
+		total += ph.Messages
+	}
+
+	res := &AdaptResult{Messages: total}
+	runs := []struct {
+		name     string
+		script   string
+		adaptive bool
+	}{
+		{"static-plain", AdaptScript, false},
+		{"static-compress", adaptStaticCompressScript, false},
+		{"autopilot", AdaptScript, true},
+	}
+	for _, run := range runs {
+		row, orig, err := adaptRun(cfg, run.name, run.script, run.adaptive)
+		if err != nil {
+			return nil, fmt.Errorf("adapt: %s: %w", run.name, err)
+		}
+		res.OrigBytes = orig
+		res.Rows = append(res.Rows, row)
+	}
+
+	// Zero loss everywhere: every composition must deliver the full
+	// workload bit-for-bit (the client reverse-processing inside adaptRun
+	// already verified payload integrity).
+	for _, row := range res.Rows {
+		if row.Delivered != total || row.Dropped != 0 {
+			return res, fmt.Errorf("adapt: %s lost messages: delivered %d/%d, dropped %d",
+				row.Name, row.Delivered, total, row.Dropped)
+		}
+	}
+
+	auto := res.Row("autopilot")
+	want := expectedAdaptations(cfg)
+	if auto.Adaptations != want {
+		return res, fmt.Errorf("adapt: autopilot fired %d times, want exactly %d (one per threshold crossing — oscillation or a missed transition)",
+			auto.Adaptations, want)
+	}
+	if auto.AdaptEvents != want {
+		return res, fmt.Errorf("adapt: %d ADAPTATION events for %d adaptations", auto.AdaptEvents, want)
+	}
+	if auto.FlightEntries != int(want) {
+		return res, fmt.Errorf("adapt: %d flight-recorder adapt entries for %d adaptations", auto.FlightEntries, want)
+	}
+	if auto.Suppressed == 0 {
+		return res, fmt.Errorf("adapt: expected suppressed firings (the remove rule is inapplicable during the initial high phase)")
+	}
+	for _, row := range res.Rows {
+		if row.Name != "autopilot" && auto.GoodputBps <= row.GoodputBps {
+			return res, fmt.Errorf("adapt: autopilot goodput %.0f b/s does not beat %s %.0f b/s",
+				auto.GoodputBps, row.Name, row.GoodputBps)
+		}
+	}
+	return res, nil
+}
+
+// adaptRun pushes the workload through one composition over the bandwidth
+// schedule and measures its goodput. When adaptive is set, a policy engine
+// is attached to the stream and ticked once per message, sampling the link
+// like the production background ticker would.
+func adaptRun(cfg AdaptConfig, name, script string, adaptive bool) (AdaptRow, int64, error) {
+	row := AdaptRow{Name: name}
+
+	link := netem.MustNew(netem.Config{BandwidthBps: cfg.Phases[0].BandwidthBps, Seed: cfg.Seed})
+	defer link.Close()
+	comm := &services.Communicator{SinkTo: link}
+	dir := streamlet.NewDirectory()
+	services.RegisterAll(dir)
+	dir.Register("net/communicator", func() streamlet.Processor { return comm })
+
+	compiled, err := mcl.Compile(script, nil)
+	if err != nil {
+		return row, 0, err
+	}
+	st, err := stream.FromConfig(compiled, "adaptive", nil, dir)
+	if err != nil {
+		return row, 0, err
+	}
+	defer st.End()
+	inlet, err := st.OpenInlet(mcl.PortRef{Inst: "hd", Port: "pi"}, 1<<24)
+	if err != nil {
+		return row, 0, err
+	}
+	st.Start()
+
+	suppressedBefore := obs.DefaultCounter(obs.MAdaptSuppressedTotal).Value()
+	flightSeqBefore := obs.Flight().Events()
+	var eng *adapt.Engine
+	var probe *adaptProbe
+	if adaptive {
+		em := event.NewManager(nil)
+		defer em.Close()
+		probe = &adaptProbe{name: st.Name()}
+		em.Subscribe(event.Adaptation, probe)
+		eng = adapt.New(adapt.Config{Link: link, Events: em})
+		eng.Attach("adaptive", st, compiled.Stream("adaptive").Policies)
+	}
+
+	var origBytes int64
+	curBw := cfg.Phases[0].BandwidthBps
+	sentSoFar := 0
+	for _, ph := range cfg.Phases {
+		if ph.BandwidthBps != curBw {
+			if err := link.SetBandwidth(ph.BandwidthBps); err != nil {
+				return row, 0, err
+			}
+			curBw = ph.BandwidthBps
+		}
+		for i := 0; i < ph.Messages; i++ {
+			m := services.GenTextMessage(cfg.MessageBytes, cfg.Seed+int64(sentSoFar))
+			origBytes += netem.WireBytes(m)
+			if eng != nil {
+				eng.Tick()
+			}
+			if err := inlet.Send(m); err != nil {
+				return row, 0, err
+			}
+			sentSoFar++
+			// Serialize: the next message (and the next engine tick) waits
+			// until this one is on the link, so a firing policy's drain sees
+			// a quiesced pipeline and the reading that fired it is the one
+			// the message experienced.
+			deadline := time.Now().Add(30 * time.Second)
+			for {
+				sent, errs := comm.Stats()
+				if sent+errs+st.Dropped() >= uint64(sentSoFar) {
+					break
+				}
+				if time.Now().After(deadline) {
+					return row, 0, fmt.Errorf("pipeline stalled at message %d", sentSoFar)
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+
+	sent, errs := comm.Stats()
+	if errs > 0 {
+		return row, 0, fmt.Errorf("%d communicator send errors", errs)
+	}
+	row.Dropped = st.Dropped()
+
+	// Client-side reverse processing proves bit-exact delivery: every
+	// message that crossed the link decompresses (when compressed) back to
+	// its original payload size.
+	peers := streamlet.NewDirectory()
+	services.RegisterClientPeers(peers)
+	mc := client.New(client.Options{Peers: peers}, nil)
+	var payloadBytes int
+	for i := 0; i < int(sent); i++ {
+		d, err := link.Receive(time.Second)
+		if err != nil {
+			return row, 0, fmt.Errorf("after %d deliveries: %w", row.Delivered, err)
+		}
+		out, err := mc.Process(d.Msg)
+		if err != nil {
+			return row, 0, err
+		}
+		payloadBytes += len(out.Body())
+		row.Delivered++
+	}
+	if want := row.Delivered * cfg.MessageBytes; payloadBytes != want {
+		return row, 0, fmt.Errorf("payload integrity: %d bytes after client processing, want %d", payloadBytes, want)
+	}
+
+	row.SentBytes, _ = link.Stats()
+	row.Invocations = st.Processed()
+	row.TransferTime = link.Elapsed()
+	row.TotalTime = row.TransferTime + time.Duration(row.Invocations)*PaperOverheadPerStreamlet
+	row.GoodputBps = float64(origBytes*8) / row.TotalTime.Seconds()
+
+	if eng != nil {
+		row.Adaptations = eng.Actions()
+		row.Suppressed = obs.DefaultCounter(obs.MAdaptSuppressedTotal).Value() - suppressedBefore
+		// Event dispatch is asynchronous; give the manager a moment.
+		deadline := time.Now().Add(2 * time.Second)
+		for probe.n.Load() < row.Adaptations && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		row.AdaptEvents = probe.n.Load()
+		for _, e := range obs.Flight().Snapshot(0).Events {
+			if e.Code == obs.FlightAdapt && e.Seq > flightSeqBefore &&
+				strings.HasPrefix(e.Subject, "adaptive/") {
+				row.FlightEntries++
+			}
+		}
+	}
+	return row, origBytes, nil
+}

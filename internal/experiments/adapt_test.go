@@ -1,0 +1,45 @@
+package experiments
+
+import "testing"
+
+// TestAdapt runs a reduced schedule end to end: the function itself
+// asserts the autopilot's win, the exact adaptation count, the
+// observability triple and zero loss — a returned error is the failure.
+func TestAdapt(t *testing.T) {
+	cfg := DefaultAdaptConfig()
+	for i := range cfg.Phases {
+		cfg.Phases[i].Messages = 8
+	}
+	res, err := Adapt(cfg)
+	if err != nil {
+		t.Fatalf("Adapt: %v\n%s", err, res)
+	}
+	if got := len(res.Rows); got != 3 {
+		t.Fatalf("rows = %d, want 3", got)
+	}
+	auto := res.Row("autopilot")
+	if auto == nil || auto.Adaptations != 2 {
+		t.Fatalf("autopilot row missing or wrong adaptation count: %+v", auto)
+	}
+}
+
+func TestExpectedAdaptations(t *testing.T) {
+	cases := []struct {
+		bws  []int64
+		want uint64
+	}{
+		{[]int64{12_000_000, 32_000, 12_000_000}, 2},
+		{[]int64{32_000, 12_000_000}, 2},
+		{[]int64{12_000_000, 12_000_000}, 0},
+		{[]int64{32_000, 48_000, 12_000_000}, 2},
+	}
+	for _, c := range cases {
+		cfg := AdaptConfig{}
+		for _, bw := range c.bws {
+			cfg.Phases = append(cfg.Phases, AdaptPhase{BandwidthBps: bw, Messages: 1})
+		}
+		if got := expectedAdaptations(cfg); got != c.want {
+			t.Errorf("expectedAdaptations(%v) = %d, want %d", c.bws, got, c.want)
+		}
+	}
+}

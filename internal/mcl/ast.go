@@ -167,13 +167,15 @@ func (d *ChannelDecl) Out() PortDecl {
 }
 
 // StreamDecl is a stream (coordination script) per Figure 4-5. Body holds
-// the initial-configuration statements; Whens the event reactions.
+// the initial-configuration statements; Whens the event reactions; Policies
+// the condition-triggered autopilot rules (policy.go).
 type StreamDecl struct {
-	Name  string
-	Main  bool
-	Body  []Stmt
-	Whens []*WhenBlock
-	Pos   Pos
+	Name     string
+	Main     bool
+	Body     []Stmt
+	Whens    []*WhenBlock
+	Policies []*PolicyRule
+	Pos      Pos
 }
 
 // WhenBlock is `when (EVENT) { ...actions... }`.

@@ -74,6 +74,20 @@ type WhenConfig struct {
 	Actions []Stmt
 }
 
+// PolicyConfig is a compiled when-policy rule: the parsed rule plus the
+// resolved pieces its action needs at runtime. The autopilot
+// (internal/adapt) consumes these.
+type PolicyConfig struct {
+	// ID is the rule id within its stream ("rule-1", ...).
+	ID   string
+	Rule *PolicyRule
+	// InsertDecl/InsertIn/InsertOut are resolved for insert actions: the
+	// streamlet declaration to instantiate and its single in/out port names.
+	InsertDecl *StreamletDecl
+	InsertIn   string
+	InsertOut  string
+}
+
 // ExternalPort is an inner port left unsatisfied by the stream's initial
 // connections and therefore exported on the composite interface (§5.1.4).
 type ExternalPort struct {
@@ -95,6 +109,8 @@ type StreamConfig struct {
 	// Connections in declaration order (the routing table).
 	Connections []*Connection
 	Whens       []*WhenConfig
+	// Policies are the compiled autopilot rules, in declaration order.
+	Policies []*PolicyConfig
 	// ExternalPorts is the derived interface when this stream is reused as
 	// a composite streamlet: inner ports unsatisfied by inner connections.
 	ExternalPorts []ExternalPort
@@ -206,6 +222,13 @@ func (c *compiler) compileStream(name string) (*StreamConfig, error) {
 			wc.Actions = append(wc.Actions, st)
 		}
 		sc.Whens = append(sc.Whens, wc)
+	}
+	for _, r := range decl.Policies {
+		pc, err := c.compilePolicy(sc, r)
+		if err != nil {
+			return nil, err
+		}
+		sc.Policies = append(sc.Policies, pc)
 	}
 
 	sc.ExternalPorts = deriveExternalPorts(sc)
@@ -444,6 +467,117 @@ func checkPortFree(sc *StreamConfig, s *ConnectStmt) error {
 		}
 		if conn.To.Inst == s.To.Inst && conn.To.Port == s.To.Port {
 			return errf(s.Pos, "sink port %s already connected (at %s)", s.To, conn.Pos)
+		}
+	}
+	return nil
+}
+
+// compilePolicy validates one when-policy rule against the stream's
+// compiled topology and resolves what its action needs at runtime. Action
+// targets may be initial instances or instances another rule's insert
+// action creates (those are instantiated under their definition name).
+func (c *compiler) compilePolicy(sc *StreamConfig, r *PolicyRule) (*PolicyConfig, error) {
+	pc := &PolicyConfig{ID: r.ID, Rule: r}
+	decl, _ := c.file.Stream(sc.Name)
+	knownInst := func(inst string) bool {
+		if sc.Instances[inst] != nil {
+			return true
+		}
+		if decl != nil {
+			for _, other := range decl.Policies {
+				if ia, ok := other.Action.(*InsertAction); ok && ia.Def == inst {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	switch a := r.Action.(type) {
+	case *InsertAction:
+		d, ok := c.file.Streamlet(a.Def)
+		if !ok {
+			return nil, errf(a.Pos, "policy %s: unknown streamlet definition %q", r.ID, a.Def)
+		}
+		if strings.HasPrefix(d.Library, CompositeLibraryPrefix) {
+			return nil, errf(a.Pos, "policy %s: insert requires a native streamlet, %q is a composite", r.ID, a.Def)
+		}
+		if _, isStream := c.file.Stream(d.Name); isStream {
+			return nil, errf(a.Pos, "policy %s: insert requires a native streamlet, %q is a composite", r.ID, a.Def)
+		}
+		var in, out []PortDecl
+		for _, p := range d.Ports {
+			if p.Dir == PortIn {
+				in = append(in, p)
+			} else {
+				out = append(out, p)
+			}
+		}
+		if len(in) != 1 || len(out) != 1 {
+			return nil, errf(a.Pos, "policy %s: insert target %q must have exactly one in and one out port", r.ID, a.Def)
+		}
+		if sc.Instances[a.Def] != nil {
+			return nil, errf(a.Pos, "policy %s: insert would instantiate %q, which is already an instance name", r.ID, a.Def)
+		}
+		if sc.Instances[a.Producer] == nil {
+			return nil, errf(a.Pos, "policy %s: unknown streamlet instance %q", r.ID, a.Producer)
+		}
+		if sc.Instances[a.Consumer] == nil {
+			return nil, errf(a.Pos, "policy %s: unknown streamlet instance %q", r.ID, a.Consumer)
+		}
+		// When the initial topology already carries the producer→consumer
+		// connection the insert will splice, thread the §4.4.1 subtype
+		// check through the inserted streamlet's ports.
+		for _, conn := range sc.Connections {
+			if conn.From.Inst != a.Producer || conn.To.Inst != a.Consumer {
+				continue
+			}
+			from, err := c.resolvePort(sc, conn.From, PortOut)
+			if err != nil {
+				return nil, err
+			}
+			to, err := c.resolvePort(sc, conn.To, PortIn)
+			if err != nil {
+				return nil, err
+			}
+			if !c.reg.SubtypeOf(from.Type, in[0].Type) {
+				return nil, errf(a.Pos, "policy %s: type mismatch: source %s type %s is not a subtype of %s input type %s",
+					r.ID, conn.From, from.Type, a.Def, in[0].Type)
+			}
+			if !c.reg.SubtypeOf(out[0].Type, to.Type) {
+				return nil, errf(a.Pos, "policy %s: type mismatch: %s output type %s is not a subtype of sink %s type %s",
+					r.ID, a.Def, out[0].Type, conn.To, to.Type)
+			}
+		}
+		pc.InsertDecl = d
+		pc.InsertIn = in[0].Name
+		pc.InsertOut = out[0].Name
+	case *RemoveAction:
+		if !knownInst(a.Inst) {
+			return nil, errf(a.Pos, "policy %s: unknown streamlet instance %q", r.ID, a.Inst)
+		}
+	case *WorkersAction:
+		if !knownInst(a.Inst) {
+			return nil, errf(a.Pos, "policy %s: unknown streamlet instance %q", r.ID, a.Inst)
+		}
+	case *ParamAction:
+		if !knownInst(a.Inst) {
+			return nil, errf(a.Pos, "policy %s: unknown streamlet instance %q", r.ID, a.Inst)
+		}
+	}
+	return pc, nil
+}
+
+// PolicyTargetDecl resolves the streamlet declaration a policy action's
+// instance target refers to: an initial instance's declaration, or, for
+// instances created by an insert action, the inserted definition. Nil when
+// unresolved (e.g. composite instances).
+func (sc *StreamConfig) PolicyTargetDecl(inst string) *StreamletDecl {
+	if i := sc.Instances[inst]; i != nil {
+		return i.Decl
+	}
+	for _, pc := range sc.Policies {
+		if ia, ok := pc.Rule.Action.(*InsertAction); ok && ia.Def == inst {
+			return pc.InsertDecl
 		}
 	}
 	return nil

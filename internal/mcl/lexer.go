@@ -120,6 +120,24 @@ func (lx *Lexer) Next() (Token, error) {
 		kind = TokSlash
 	case '*':
 		kind = TokStar
+	case '<':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokLe, Text: "<=", Pos: start}, nil
+		}
+		kind = TokLt
+	case '>':
+		if lx.peek() == '=' {
+			lx.advance()
+			return Token{Kind: TokGe, Text: ">=", Pos: start}, nil
+		}
+		kind = TokGt
+	case '-':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: TokArrow, Text: "->", Pos: start}, nil
+		}
+		return Token{}, errf(start, "unexpected character %q", string(c))
 	default:
 		return Token{}, errf(start, "unexpected character %q", string(c))
 	}

@@ -357,11 +357,16 @@ func (p *Parser) parseStreamDecl() (*StreamDecl, error) {
 			p.next()
 			return d, nil
 		case TokWhen:
-			w, err := p.parseWhenBlock()
+			w, r, err := p.parseWhen()
 			if err != nil {
 				return nil, err
 			}
-			d.Whens = append(d.Whens, w)
+			if w != nil {
+				d.Whens = append(d.Whens, w)
+			} else {
+				r.ID = "rule-" + strconv.Itoa(len(d.Policies)+1)
+				d.Policies = append(d.Policies, r)
+			}
 		default:
 			s, err := p.parseStmt()
 			if err != nil {
@@ -372,15 +377,11 @@ func (p *Parser) parseStreamDecl() (*StreamDecl, error) {
 	}
 }
 
-func (p *Parser) parseWhenBlock() (*WhenBlock, error) {
-	kw, _ := p.expect(TokWhen)
-	if _, err := p.expect(TokLParen); err != nil {
-		return nil, err
-	}
-	ev, err := p.expect(TokIdent)
-	if err != nil {
-		return nil, err
-	}
+// parseWhenBlockBody parses the remainder of an event block after
+// `when ( EVENT`, with the closing paren as the current token. The `when`
+// keyword and event tokens arrive from parseWhen, which has already
+// disambiguated event blocks from policy rules (policy.go).
+func (p *Parser) parseWhenBlockBody(kw, ev Token) (*WhenBlock, error) {
 	if _, err := p.expect(TokRParen); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,410 @@
+package mcl
+
+// When-policies: the declarative half of the adaptation autopilot
+// (internal/adapt). Alongside the event-triggered `when (EVENT) { ... }`
+// blocks of Figure 4-5, a stream may declare condition-triggered rules
+//
+//	when (bandwidth < 64000) sustain 2 cooldown 4 -> insert tc between hd and cm;
+//
+// which the autopilot evaluates against sampled context readings and turns
+// into the same drain-safe reconfiguration primitives the event blocks use.
+// The condition operand is one of a fixed signal vocabulary (KnownPolicySignal);
+// `sustain` is the hysteresis width in consecutive true readings and
+// `cooldown` the refractory period in evaluation ticks after a firing, both
+// optional. This realizes the §8.2.1 recommendation that adaptation policy
+// stay in the coordination language, separate from streamlet computation.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Policy condition signals. Each names one reading the autopilot samples
+// from the observability and network-emulation surfaces.
+const (
+	// SignalBandwidth is the emulated link bandwidth in bits/second.
+	SignalBandwidth = "bandwidth"
+	// SignalSLOViolations is the number of latency-budget violations since
+	// the previous evaluation tick.
+	SignalSLOViolations = "slo_violations"
+	// SignalFaults is the number of streamlet faults (panics, stalls,
+	// retries, drops) since the previous evaluation tick.
+	SignalFaults = "faults"
+	// SignalWorkersBusy is the gauge of busy parallel workers.
+	SignalWorkersBusy = "workers_busy"
+	// SignalResequencerDepth is the gauge of out-of-order emissions parked
+	// in resequencers.
+	SignalResequencerDepth = "resequencer_depth"
+	// SignalQueueDepth is the gauge of messages queued in channels.
+	SignalQueueDepth = "queue_depth"
+)
+
+// policySignals maps each condition signal to a short description (used in
+// error messages and the docs linter).
+var policySignals = map[string]string{
+	SignalBandwidth:        "link bandwidth in bits/second",
+	SignalSLOViolations:    "latency-budget violations per tick",
+	SignalFaults:           "streamlet faults per tick",
+	SignalWorkersBusy:      "busy parallel workers (gauge)",
+	SignalResequencerDepth: "parked out-of-order emissions (gauge)",
+	SignalQueueDepth:       "messages queued in channels (gauge)",
+}
+
+// KnownPolicySignal reports whether name is a valid when-policy condition
+// operand.
+func KnownPolicySignal(name string) bool {
+	_, ok := policySignals[name]
+	return ok
+}
+
+// PolicySignals returns the condition-signal vocabulary, sorted.
+func PolicySignals() []string {
+	out := make([]string, 0, len(policySignals))
+	for s := range policySignals {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CmpOp is a policy-condition comparison operator.
+type CmpOp int
+
+const (
+	CmpLt CmpOp = iota // <
+	CmpLe              // <=
+	CmpGt              // >
+	CmpGe              // >=
+)
+
+var cmpNames = [...]string{"<", "<=", ">", ">="}
+
+func (o CmpOp) String() string {
+	if int(o) < len(cmpNames) {
+		return cmpNames[o]
+	}
+	return fmt.Sprintf("CmpOp(%d)", int(o))
+}
+
+// Holds reports whether `value OP threshold` is true.
+func (o CmpOp) Holds(value, threshold int64) bool {
+	switch o {
+	case CmpLt:
+		return value < threshold
+	case CmpLe:
+		return value <= threshold
+	case CmpGt:
+		return value > threshold
+	default:
+		return value >= threshold
+	}
+}
+
+// PolicyCond is `signal OP number`.
+type PolicyCond struct {
+	Signal string
+	Op     CmpOp
+	Value  int64
+	Pos    Pos
+}
+
+func (c PolicyCond) String() string {
+	return fmt.Sprintf("%s %s %d", c.Signal, c.Op, c.Value)
+}
+
+// PolicyAction is the right-hand side of a when-policy rule.
+type PolicyAction interface {
+	policyAction()
+	Position() Pos
+	String() string
+}
+
+// InsertAction is `insert DEF between PRODUCER and CONSUMER`: splice a new
+// instance of streamlet definition DEF (instantiated under the definition's
+// name) into the existing producer→consumer connection via the drain-safe
+// Insert protocol.
+type InsertAction struct {
+	Def      string
+	Producer string
+	Consumer string
+	Pos      Pos
+}
+
+// RemoveAction is `remove INST`: take the instance out of its linear
+// position, bridging its upstream channel to its consumer.
+type RemoveAction struct {
+	Inst string
+	Pos  Pos
+}
+
+// WorkersAction is `workers INST = N`: retune the instance's parallel
+// fan-out width on the live stream.
+type WorkersAction struct {
+	Inst string
+	N    int
+	Pos  Pos
+}
+
+// ParamAction is `param INST NAME = VALUE`: push a control-interface
+// parameter (§8.2.1) to the running instance, e.g. a transcoder fidelity.
+type ParamAction struct {
+	Inst  string
+	Name  string
+	Value string
+	Pos   Pos
+}
+
+func (*InsertAction) policyAction()  {}
+func (*RemoveAction) policyAction()  {}
+func (*WorkersAction) policyAction() {}
+func (*ParamAction) policyAction()   {}
+
+func (a *InsertAction) Position() Pos  { return a.Pos }
+func (a *RemoveAction) Position() Pos  { return a.Pos }
+func (a *WorkersAction) Position() Pos { return a.Pos }
+func (a *ParamAction) Position() Pos   { return a.Pos }
+
+func (a *InsertAction) String() string {
+	return fmt.Sprintf("insert %s between %s and %s", a.Def, a.Producer, a.Consumer)
+}
+func (a *RemoveAction) String() string { return "remove " + a.Inst }
+func (a *WorkersAction) String() string {
+	return fmt.Sprintf("workers %s = %d", a.Inst, a.N)
+}
+func (a *ParamAction) String() string {
+	return fmt.Sprintf("param %s %s = %s", a.Inst, a.Name, formatParamValue(a.Value))
+}
+
+func formatParamValue(v string) string {
+	if v == "" {
+		return `""`
+	}
+	if _, err := strconv.ParseInt(v, 10, 64); err == nil {
+		return v
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if !(isIdentCont(c) || (c == '-' && i > 0 && i+1 < len(v))) {
+			return strconv.Quote(v)
+		}
+	}
+	if !isIdentStart(v[0]) {
+		return strconv.Quote(v)
+	}
+	return v
+}
+
+// PolicyRule is one `when (cond) [sustain N] [cooldown N] -> action;` rule.
+// ID is assigned by the parser ("rule-1", "rule-2", ... in declaration
+// order within the stream); Sustain and Cooldown are zero when the script
+// leaves them to the engine defaults.
+type PolicyRule struct {
+	ID       string
+	Cond     PolicyCond
+	Sustain  int
+	Cooldown int
+	Action   PolicyAction
+	Pos      Pos
+}
+
+// String renders the rule in source form (without the trailing semicolon);
+// Format-stability and duplicate detection both rely on it.
+func (r *PolicyRule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "when (%s)", r.Cond)
+	if r.Sustain > 0 {
+		fmt.Fprintf(&b, " sustain %d", r.Sustain)
+	}
+	if r.Cooldown > 0 {
+		fmt.Fprintf(&b, " cooldown %d", r.Cooldown)
+	}
+	b.WriteString(" -> ")
+	b.WriteString(r.Action.String())
+	return b.String()
+}
+
+// parseWhen disambiguates the two `when` forms after `when ( IDENT`: a
+// closing paren means the Figure 4-5 event block, a comparison operator
+// means a policy rule. Exactly one of the results is non-nil.
+func (p *Parser) parseWhen() (*WhenBlock, *PolicyRule, error) {
+	kw, _ := p.expect(TokWhen)
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, nil, err
+	}
+	id, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch p.cur().Kind {
+	case TokRParen:
+		w, err := p.parseWhenBlockBody(kw, id)
+		return w, nil, err
+	case TokLt, TokLe, TokGt, TokGe:
+		r, err := p.parsePolicyRule(kw, id)
+		return nil, r, err
+	default:
+		return nil, nil, errf(p.cur().Pos,
+			"expected ')' (event block) or a comparison operator (policy rule) after when (%s, found %s",
+			id.Text, p.cur())
+	}
+}
+
+// parsePolicyRule parses the remainder of a policy rule after
+// `when ( SIGNAL`, with the comparison operator as the current token.
+func (p *Parser) parsePolicyRule(kw, sig Token) (*PolicyRule, error) {
+	if !KnownPolicySignal(sig.Text) {
+		return nil, errf(sig.Pos, "unknown policy signal %q (known: %s)",
+			sig.Text, strings.Join(PolicySignals(), ", "))
+	}
+	var op CmpOp
+	switch p.next().Kind {
+	case TokLt:
+		op = CmpLt
+	case TokLe:
+		op = CmpLe
+	case TokGt:
+		op = CmpGt
+	case TokGe:
+		op = CmpGe
+	}
+	num, err := p.expect(TokNumber)
+	if err != nil {
+		return nil, err
+	}
+	threshold, err := strconv.ParseInt(num.Text, 10, 64)
+	if err != nil {
+		return nil, errf(num.Pos, "invalid number %q", num.Text)
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	r := &PolicyRule{
+		Cond: PolicyCond{Signal: sig.Text, Op: op, Value: threshold, Pos: sig.Pos},
+		Pos:  kw.Pos,
+	}
+	// Optional hysteresis clauses, in fixed order: sustain before cooldown.
+	if p.acceptWord("sustain") {
+		if r.Sustain, err = p.parsePositiveCount("sustain"); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptWord("cooldown") {
+		if r.Cooldown, err = p.parsePositiveCount("cooldown"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokArrow); err != nil {
+		return nil, err
+	}
+	if r.Action, err = p.parsePolicyAction(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSemicolon); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// acceptWord consumes the current token when it is the given contextual
+// identifier. Action and clause words (sustain, cooldown, insert, between,
+// and, remove, workers, param) are deliberately not keywords, so scripts
+// may keep using them as ordinary names.
+func (p *Parser) acceptWord(word string) bool {
+	if t := p.cur(); t.Kind == TokIdent && strings.ToLower(t.Text) == word {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectWord(word string) (Token, error) {
+	if t := p.cur(); t.Kind == TokIdent && strings.ToLower(t.Text) == word {
+		return p.next(), nil
+	}
+	return Token{}, errf(p.cur().Pos, "expected '%s', found %s", word, p.cur())
+}
+
+func (p *Parser) parsePositiveCount(clause string) (int, error) {
+	num, err := p.expect(TokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(num.Text)
+	if err != nil || n < 1 {
+		return 0, errf(num.Pos, "%s must be a number >= 1", clause)
+	}
+	return n, nil
+}
+
+func (p *Parser) parsePolicyAction() (PolicyAction, error) {
+	verb, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, errf(p.cur().Pos, "expected policy action (insert, remove, workers, param), found %s", p.cur())
+	}
+	switch strings.ToLower(verb.Text) {
+	case "insert":
+		def, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectWord("between"); err != nil {
+			return nil, err
+		}
+		prod, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expectWord("and"); err != nil {
+			return nil, err
+		}
+		cons, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &InsertAction{Def: def.Text, Producer: prod.Text, Consumer: cons.Text, Pos: verb.Pos}, nil
+	case "remove":
+		inst, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		return &RemoveAction{Inst: inst.Text, Pos: verb.Pos}, nil
+	case "workers":
+		inst, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokEquals); err != nil {
+			return nil, err
+		}
+		n, err := p.parsePositiveCount("workers")
+		if err != nil {
+			return nil, err
+		}
+		return &WorkersAction{Inst: inst.Text, N: n, Pos: verb.Pos}, nil
+	case "param":
+		inst, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokEquals); err != nil {
+			return nil, err
+		}
+		var value string
+		switch t := p.cur(); t.Kind {
+		case TokIdent, TokString, TokNumber:
+			value = t.Text
+			p.next()
+		default:
+			return nil, errf(t.Pos, "expected parameter value, found %s", t)
+		}
+		return &ParamAction{Inst: inst.Text, Name: name.Text, Value: value, Pos: verb.Pos}, nil
+	default:
+		return nil, errf(verb.Pos, "unknown policy action %q (known: insert, remove, workers, param)", verb.Text)
+	}
+}

@@ -1,0 +1,248 @@
+package mcl
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// policyScript embeds rule text into a minimal two-instance stream with a
+// compressor definition available for insert actions.
+func policyScript(rules string) string {
+	return fmt.Sprintf(`
+streamlet relay {
+	port { in pi : text/*; out po : text/*; }
+	attribute { type = STATELESS; library = "bench/redirector"; }
+}
+streamlet tc_def {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+main stream s {
+	streamlet hd = new-streamlet (relay);
+	streamlet cm = new-streamlet (relay);
+	connect (hd.po, cm.pi);
+	%s
+}
+`, rules)
+}
+
+func parsePolicies(t *testing.T, rules string) []*PolicyRule {
+	t.Helper()
+	f, err := Parse(policyScript(rules))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	d, ok := f.Stream("s")
+	if !ok {
+		t.Fatal("stream s missing")
+	}
+	return d.Policies
+}
+
+func TestPolicyParseAccept(t *testing.T) {
+	t.Run("insert", func(t *testing.T) {
+		rules := parsePolicies(t, `when (bandwidth < 100000) -> insert tc_def between hd and cm;`)
+		if len(rules) != 1 {
+			t.Fatalf("got %d rules", len(rules))
+		}
+		r := rules[0]
+		if r.ID != "rule-1" {
+			t.Errorf("ID = %q, want rule-1", r.ID)
+		}
+		if r.Cond.Signal != SignalBandwidth || r.Cond.Op != CmpLt || r.Cond.Value != 100000 {
+			t.Errorf("cond = %+v", r.Cond)
+		}
+		if r.Sustain != 0 || r.Cooldown != 0 {
+			t.Errorf("hysteresis defaults not zero: %+v", r)
+		}
+		a, ok := r.Action.(*InsertAction)
+		if !ok || a.Def != "tc_def" || a.Producer != "hd" || a.Consumer != "cm" {
+			t.Errorf("action = %#v", r.Action)
+		}
+	})
+
+	t.Run("remove with hysteresis", func(t *testing.T) {
+		rules := parsePolicies(t, `when (bandwidth >= 100000) sustain 3 cooldown 5 -> remove hd;`)
+		r := rules[0]
+		if r.Cond.Op != CmpGe || r.Sustain != 3 || r.Cooldown != 5 {
+			t.Errorf("rule = %+v", r)
+		}
+		if a, ok := r.Action.(*RemoveAction); !ok || a.Inst != "hd" {
+			t.Errorf("action = %#v", r.Action)
+		}
+	})
+
+	t.Run("workers", func(t *testing.T) {
+		rules := parsePolicies(t, `when (workers_busy > 4) -> workers hd = 8;`)
+		if a, ok := rules[0].Action.(*WorkersAction); !ok || a.Inst != "hd" || a.N != 8 {
+			t.Errorf("action = %#v", rules[0].Action)
+		}
+	})
+
+	t.Run("param", func(t *testing.T) {
+		rules := parsePolicies(t,
+			`when (queue_depth <= 2) -> param hd level = 9;
+			 when (faults > 0) -> param hd mode = "fail safe";`)
+		if len(rules) != 2 {
+			t.Fatalf("got %d rules", len(rules))
+		}
+		if a := rules[0].Action.(*ParamAction); a.Name != "level" || a.Value != "9" {
+			t.Errorf("action = %#v", a)
+		}
+		if a := rules[1].Action.(*ParamAction); a.Value != "fail safe" {
+			t.Errorf("action = %#v", a)
+		}
+		if rules[1].ID != "rule-2" {
+			t.Errorf("ID = %q, want rule-2", rules[1].ID)
+		}
+	})
+
+	t.Run("policies beside event blocks", func(t *testing.T) {
+		f, err := Parse(policyScript(`
+	when (LOW_BANDWIDTH) {
+		disconnect (hd.po, cm.pi);
+	}
+	when (slo_violations > 0) -> remove hd;`))
+		if err != nil {
+			t.Fatalf("Parse: %v", err)
+		}
+		d, _ := f.Stream("s")
+		if len(d.Whens) != 1 || len(d.Policies) != 1 {
+			t.Fatalf("whens=%d policies=%d, want 1 and 1", len(d.Whens), len(d.Policies))
+		}
+	})
+}
+
+func TestPolicyParseReject(t *testing.T) {
+	cases := []struct {
+		name, rule, wantErr string
+	}{
+		{"unknown signal", `when (latency < 5) -> remove hd;`, "unknown policy signal"},
+		{"no comparison", `when (bandwidth = 5) -> remove hd;`, "comparison operator"},
+		{"non-numeric threshold", `when (bandwidth < five) -> remove hd;`, "expected number"},
+		{"sustain zero", `when (bandwidth < 5) sustain 0 -> remove hd;`, "sustain must be a number >= 1"},
+		{"cooldown zero", `when (bandwidth < 5) cooldown 0 -> remove hd;`, "cooldown must be a number >= 1"},
+		{"missing arrow", `when (bandwidth < 5) remove hd;`, "'->'"},
+		{"unknown action", `when (bandwidth < 5) -> explode hd;`, "unknown policy action"},
+		{"insert missing between", `when (bandwidth < 5) -> insert tc_def hd and cm;`, "expected 'between'"},
+		{"workers zero", `when (bandwidth < 5) -> workers hd = 0;`, "workers must be a number >= 1"},
+		{"missing semicolon", `when (bandwidth < 5) -> remove hd`, "';'"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(policyScript(c.rule))
+			if err == nil {
+				t.Fatalf("Parse accepted %q", c.rule)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestPolicyCompile(t *testing.T) {
+	rejects := []struct {
+		name, rule, wantErr string
+	}{
+		{"insert unknown def", `when (bandwidth < 5) -> insert nosuch between hd and cm;`,
+			"unknown streamlet definition"},
+		{"insert unknown producer", `when (bandwidth < 5) -> insert tc_def between xx and cm;`,
+			"unknown streamlet instance"},
+		{"remove unknown instance", `when (bandwidth < 5) -> remove nosuch;`,
+			"unknown streamlet instance"},
+		{"workers unknown instance", `when (bandwidth < 5) -> workers nosuch = 2;`,
+			"unknown streamlet instance"},
+	}
+	for _, c := range rejects {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Compile(policyScript(c.rule), nil)
+			if err == nil {
+				t.Fatalf("Compile accepted %q", c.rule)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+
+	t.Run("instance name collision", func(t *testing.T) {
+		// The insert def shares its name with a live instance: the splice
+		// would instantiate tc_def under an id that is already taken.
+		src := policyScript(`
+	streamlet tc_def = new-streamlet (tc_def);
+	when (bandwidth < 5) -> insert tc_def between hd and cm;`)
+		if _, err := Compile(src, nil); err == nil || !strings.Contains(err.Error(), "already an instance") {
+			t.Fatalf("Compile err = %v, want instance-name collision", err)
+		}
+	})
+
+	t.Run("insert type check", func(t *testing.T) {
+		src := `
+streamlet relay {
+	port { in pi : text/*; out po : text/*; }
+	attribute { type = STATELESS; library = "bench/redirector"; }
+}
+streamlet img {
+	port { in pi : image/*; out po : image/*; }
+	attribute { type = STATELESS; library = "image/downsample"; }
+}
+main stream s {
+	streamlet hd = new-streamlet (relay);
+	streamlet cm = new-streamlet (relay);
+	connect (hd.po, cm.pi);
+	when (bandwidth < 5) -> insert img between hd and cm;
+}
+`
+		if _, err := Compile(src, nil); err == nil || !strings.Contains(err.Error(), "type mismatch") {
+			t.Fatalf("Compile err = %v, want type mismatch", err)
+		}
+	})
+
+	t.Run("remove may reference a later insert's instance", func(t *testing.T) {
+		src := policyScript(`
+	when (bandwidth >= 100000) -> remove tc_def;
+	when (bandwidth < 100000) -> insert tc_def between hd and cm;`)
+		cfg, err := Compile(src, nil)
+		if err != nil {
+			t.Fatalf("Compile: %v", err)
+		}
+		sc := cfg.Stream("s")
+		if len(sc.Policies) != 2 {
+			t.Fatalf("policies = %d", len(sc.Policies))
+		}
+		if sc.Policies[1].InsertDecl == nil || sc.Policies[1].InsertIn != "pi" || sc.Policies[1].InsertOut != "po" {
+			t.Errorf("insert config = %+v", sc.Policies[1])
+		}
+		if got := sc.PolicyTargetDecl("tc_def"); got == nil || got.Name != "tc_def" {
+			t.Errorf("PolicyTargetDecl(tc_def) = %v", got)
+		}
+	})
+}
+
+// TestPolicyFormatIdempotent checks Format∘Parse is a fixed point for
+// scripts carrying every policy form.
+func TestPolicyFormatIdempotent(t *testing.T) {
+	src := policyScript(`
+	when (bandwidth < 100000) sustain 2 cooldown 4 -> insert tc_def between hd and cm;
+	when (bandwidth >= 100000) -> remove tc_def;
+	when (workers_busy > 3) -> workers hd = 4;
+	when (slo_violations > 0) cooldown 8 -> param hd mode = "fail safe";`)
+	f1, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	once := Format(f1)
+	f2, err := Parse(once)
+	if err != nil {
+		t.Fatalf("Parse(Format): %v\n%s", err, once)
+	}
+	twice := Format(f2)
+	if once != twice {
+		t.Fatalf("Format not idempotent:\n--- once ---\n%s\n--- twice ---\n%s", once, twice)
+	}
+	if _, err := Compile(once, nil); err != nil {
+		t.Fatalf("Compile(Format): %v", err)
+	}
+}

@@ -117,6 +117,9 @@ func (p printer) stream(d *StreamDecl) {
 		}
 		p.linef(1, "}")
 	}
+	for _, r := range d.Policies {
+		p.linef(1, "%s;", r)
+	}
 	p.linef(0, "}")
 }
 

@@ -28,6 +28,11 @@ const (
 	TokEquals    // =
 	TokSlash     // /
 	TokStar      // *
+	TokArrow     // ->
+	TokLt        // <
+	TokGt        // >
+	TokLe        // <=
+	TokGe        // >=
 
 	// Keywords.
 	TokStreamlet
@@ -83,6 +88,11 @@ var kindNames = map[TokenKind]string{
 	TokEquals:          "'='",
 	TokSlash:           "'/'",
 	TokStar:            "'*'",
+	TokArrow:           "'->'",
+	TokLt:              "'<'",
+	TokGt:              "'>'",
+	TokLe:              "'<='",
+	TokGe:              "'>='",
 	TokStreamlet:       "'streamlet'",
 	TokChannel:         "'channel'",
 	TokStream:          "'stream'",

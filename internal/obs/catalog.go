@@ -85,6 +85,16 @@ const (
 	MFlightDumpsTotal   = "mobigate_flight_dumps_total"
 	MTraceEvictedTotal  = "mobigate_trace_evicted_total"
 	MSLOViolationsTotal = "mobigate_slo_violations_total"
+
+	// Adaptive reconfiguration autopilot (internal/adapt): when-policy
+	// evaluation ticks, the drain-safe rewrites rules triggered, firings
+	// suppressed by cooldown or inapplicability, failed actions, and
+	// policy hot-reloads applied by the server.
+	MAdaptEvaluationsTotal = "mobigate_adapt_evaluations_total"
+	MAdaptActionsTotal     = "mobigate_adapt_actions_total"
+	MAdaptSuppressedTotal  = "mobigate_adapt_suppressed_total"
+	MAdaptFailuresTotal    = "mobigate_adapt_failures_total"
+	MAdaptReloadsTotal     = "mobigate_adapt_reloads_total"
 )
 
 // registerCatalog pre-seeds a registry with every catalog metric and its
@@ -128,6 +138,11 @@ func registerCatalog(r *Registry) {
 		{MFlightDumpsTotal, "Flight-recorder auto-dumps captured on ExecutionFault."},
 		{MTraceEvictedTotal, "Trace records evicted from the bounded trace store."},
 		{MSLOViolationsTotal, "Latency-budget violations raised by the SLO tracker."},
+		{MAdaptEvaluationsTotal, "Autopilot evaluation ticks across all policy engines."},
+		{MAdaptActionsTotal, "Adaptations applied by when-policy rules (insert/remove/workers/param)."},
+		{MAdaptSuppressedTotal, "Policy firings suppressed by cooldown or because the action was already in effect."},
+		{MAdaptFailuresTotal, "Policy actions that failed to apply (e.g. drain timeout)."},
+		{MAdaptReloadsTotal, "MCL hot-reloads applied to running servers."},
 	} {
 		r.Counter(c.name, c.help, nil)
 	}

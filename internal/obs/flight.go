@@ -61,12 +61,16 @@ const (
 	// events (journaled only while spans are enabled, like enqueue).
 	FlightCacheHit
 	FlightCacheMiss
+	// FlightAdapt is a when-policy firing by the adaptation autopilot
+	// (Subject: "stream/rule-id"; Detail: condition, trigger reading, and
+	// action; Value: the reading that fired the rule).
+	FlightAdapt
 )
 
 var flightCodeNames = [...]string{
 	"enqueue", "dequeue", "suspend", "activate", "drain", "heal", "fault",
 	"blackout", "restored", "reconfig", "handoff", "bandwidth", "event", "slo",
-	"cache-hit", "cache-miss",
+	"cache-hit", "cache-miss", "adapt",
 }
 
 func (c FlightCode) String() string {

@@ -39,7 +39,7 @@ type Preorder struct {
 // Violation is one finding of the analyzer.
 type Violation struct {
 	// Kind is one of "feedback-loop", "open-circuit", "mutual-exclusion",
-	// "dependency", "preorder", "parallelism".
+	// "dependency", "preorder", "parallelism", "policy".
 	Kind string
 	// Scenario is "initial" or "when(EVENT)" — the configuration state the
 	// violation occurs in.
@@ -77,6 +77,7 @@ func Analyze(sc *mcl.StreamConfig, rules Rules) *Report {
 	g := BuildGraph(sc)
 
 	analyzeParallelism(r, sc)
+	analyzePolicies(r, sc)
 	analyzeScenario(r, "initial", g, sc, rules, false)
 	for _, w := range sc.Whens {
 		wg := ApplyWhen(g, w.Actions)
@@ -117,6 +118,50 @@ func analyzeParallelism(r *Report, sc *mcl.StreamConfig) {
 			r.add("parallelism", "initial",
 				"instance %s: streamlet %s declares workers = %d but has %d input ports; multi-input streamlets are order-sensitive across ports and must stay serial",
 				v, d.Name, d.Workers, ins)
+		}
+	}
+}
+
+// analyzePolicies vets the autopilot's when-policy rules: the same workers
+// gating analyzeParallelism applies to the declared topology must hold for
+// the topology a `workers` action would create, and two rules with the same
+// condition and action are almost certainly a script error (one of them can
+// never add anything, but both cost an evaluation every tick).
+func analyzePolicies(r *Report, sc *mcl.StreamConfig) {
+	seen := map[string]string{}
+	for _, pc := range sc.Policies {
+		rule := pc.Rule
+		key := rule.Cond.String() + " -> " + rule.Action.String()
+		if prev, dup := seen[key]; dup {
+			r.add("policy", "initial",
+				"rules %s and %s are duplicates: both declare `%s`", prev, pc.ID, key)
+		} else {
+			seen[key] = pc.ID
+		}
+		wa, ok := rule.Action.(*mcl.WorkersAction)
+		if !ok || wa.N <= 1 {
+			continue
+		}
+		d := sc.PolicyTargetDecl(wa.Inst)
+		if d == nil {
+			continue
+		}
+		if d.Kind == mcl.Stateful {
+			r.add("parallelism", "policy("+pc.ID+")",
+				"rule %s raises workers on %s (streamlet %s), which is STATEFUL; concurrent Process calls would race on its state",
+				pc.ID, wa.Inst, d.Name)
+			continue
+		}
+		ins := 0
+		for _, p := range d.Ports {
+			if p.Dir == mcl.PortIn {
+				ins++
+			}
+		}
+		if ins > 1 {
+			r.add("parallelism", "policy("+pc.ID+")",
+				"rule %s raises workers on %s (streamlet %s), which has %d input ports; multi-input streamlets are order-sensitive across ports and must stay serial",
+				pc.ID, wa.Inst, d.Name, ins)
 		}
 	}
 }

@@ -1,0 +1,131 @@
+package semantics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAnalyzePolicyDuplicates checks that two rules declaring the same
+// condition and action are flagged: the second firing could only fight the
+// first, so the duplication is a script bug.
+func TestAnalyzePolicyDuplicates(t *testing.T) {
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet s1 = new-streamlet (f);
+	streamlet s2 = new-streamlet (f);
+	connect (s1.po, s2.pi);
+	when (bandwidth < 64000) -> remove s1;
+	when (bandwidth < 64000) sustain 3 -> remove s1;
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"s1.pi", "s2.po"}})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "policy" && strings.Contains(v.Detail, "duplicates") &&
+			strings.Contains(v.Detail, "rule-1") && strings.Contains(v.Detail, "rule-2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("duplicate policy not reported; violations = %v", rep.Violations)
+	}
+}
+
+// TestAnalyzePolicyDistinctHysteresisNotDuplicate: same condition with a
+// different action is legitimate (e.g. escalating responses).
+func TestAnalyzePolicyDistinctActions(t *testing.T) {
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet s1 = new-streamlet (f);
+	streamlet s2 = new-streamlet (f);
+	connect (s1.po, s2.pi);
+	when (faults > 0) -> param s1 mode = safe;
+	when (faults > 2) -> remove s1;
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"s1.pi", "s2.po"}})
+	for _, v := range rep.Violations {
+		if v.Kind == "policy" {
+			t.Errorf("unexpected policy violation: %v", v)
+		}
+	}
+}
+
+// TestAnalyzePolicyWorkersStateful checks the STATEFUL gate: a policy that
+// would raise a stateful streamlet's fan-out is rejected for the same
+// reason the static `workers` attribute is.
+func TestAnalyzePolicyWorkersStateful(t *testing.T) {
+	src := `
+streamlet keeper { port { in pi : text; out po : text; } attribute { type = STATEFUL; library = "x"; } }
+stream s {
+	streamlet s1 = new-streamlet (keeper);
+	streamlet s2 = new-streamlet (keeper);
+	connect (s1.po, s2.pi);
+	when (workers_busy > 2) -> workers s1 = 4;
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"s1.pi", "s2.po"}})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "parallelism" && v.Scenario == "policy(rule-1)" &&
+			strings.Contains(v.Detail, "STATEFUL") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stateful workers policy not reported; violations = %v", rep.Violations)
+	}
+}
+
+// TestAnalyzePolicyWorkersMultiInput: multi-input streamlets are
+// order-sensitive across ports and must stay serial even under a policy.
+func TestAnalyzePolicyWorkersMultiInput(t *testing.T) {
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { library = "x"; } }
+streamlet join { port { in pi1 : text; in pi2 : text; out po : text; } attribute { library = "x"; } }
+stream s {
+	streamlet s1 = new-streamlet (f);
+	streamlet j = new-streamlet (join);
+	connect (s1.po, j.pi1);
+	when (queue_depth > 100) -> workers j = 4;
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"s1.pi", "j.pi2", "j.po"}})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "parallelism" && v.Scenario == "policy(rule-1)" &&
+			strings.Contains(v.Detail, "input ports") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("multi-input workers policy not reported; violations = %v", rep.Violations)
+	}
+}
+
+// TestAnalyzePolicyWorkersStatelessOK: raising fan-out on a stateless
+// single-input streamlet is fine.
+func TestAnalyzePolicyWorkersStatelessOK(t *testing.T) {
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x"; } }
+stream s {
+	streamlet s1 = new-streamlet (f);
+	streamlet s2 = new-streamlet (f);
+	connect (s1.po, s2.pi);
+	when (workers_busy > 2) -> workers s1 = 4;
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"s1.pi", "s2.po"}})
+	for _, v := range rep.Violations {
+		if v.Scenario == "policy(rule-1)" {
+			t.Errorf("unexpected violation: %v", v)
+		}
+	}
+}

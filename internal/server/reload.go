@@ -1,0 +1,178 @@
+package server
+
+// MCL hot-reload: swap a running gateway's coordination state — event
+// reactions and autopilot policies — for a recompiled script without
+// restarting any stream. This is the missing half of the §8.2.1 dynamic-
+// inclusion recommendation: the thesis lets scripts register new events at
+// runtime; reload lets operators change what the events *do* (and what the
+// autopilot watches) while sessions keep flowing. Topology statements in
+// the new script do not retrofit onto live streams: a deployed stream keeps
+// its current composition and picks up only the new when-blocks and
+// policies; newly-declared streams become deployable immediately.
+
+import (
+	"fmt"
+
+	"mobigate/internal/adapt"
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/obs"
+	"mobigate/internal/semantics"
+	"mobigate/internal/stream"
+)
+
+var mAdaptReloads = obs.DefaultCounter(obs.MAdaptReloadsTotal)
+
+// SetAutopilot attaches an adaptation engine: every deployed stream with
+// compiled when-policies is bound to it, as is every future deploy. Pass
+// nil to detach (already-attached streams are unbound).
+func (s *Server) SetAutopilot(e *adapt.Engine) {
+	s.mu.Lock()
+	prev := s.autopilot
+	s.autopilot = e
+	cfg := s.cfg
+	type bound struct {
+		alias string
+		st    *stream.Stream
+		sc    *mcl.StreamConfig
+	}
+	var attach []bound
+	var aliases []string
+	for alias, st := range s.streams {
+		aliases = append(aliases, alias)
+		if cfg == nil {
+			continue
+		}
+		if sc := cfg.Stream(s.names[alias]); sc != nil && len(sc.Policies) > 0 {
+			attach = append(attach, bound{alias: alias, st: st, sc: sc})
+		}
+	}
+	s.mu.Unlock()
+	if prev != nil && prev != e {
+		for _, a := range aliases {
+			prev.Detach(a)
+		}
+	}
+	if e == nil {
+		return
+	}
+	for _, b := range attach {
+		e.Attach(b.alias, b.st, b.sc.Policies)
+	}
+}
+
+// Autopilot returns the attached adaptation engine (nil when none).
+func (s *Server) Autopilot() *adapt.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.autopilot
+}
+
+// ReloadScript recompiles src and hot-swaps the coordination state.
+func (s *Server) ReloadScript(src string) error {
+	cfg, err := mcl.Compile(src, nil)
+	if err != nil {
+		return err
+	}
+	return s.reload(cfg)
+}
+
+// ReloadScripts is ReloadScript over several named sources compiled as one
+// unit.
+func (s *Server) ReloadScripts(sources map[string]string) error {
+	cfg, err := mcl.CompileSources(sources, nil)
+	if err != nil {
+		return err
+	}
+	return s.reload(cfg)
+}
+
+// reload validates the new configuration against the deployed streams, then
+// applies it: the stored config and analysis reports are replaced, each
+// live stream's when-blocks are swapped in place, event subscriptions are
+// re-derived, and the autopilot's policies are updated. All-or-nothing: any
+// validation failure leaves the server on the old configuration.
+func (s *Server) reload(cfg *mcl.Config) error {
+	reports := make(map[string]*semantics.Report, len(cfg.Streams))
+	for name, sc := range cfg.Streams {
+		rules := s.opts.Rules
+		rules.AllowedOpenPorts = append(append([]string(nil), rules.AllowedOpenPorts...),
+			semantics.OpenPorts(sc)...)
+		reports[name] = semantics.Analyze(sc, rules)
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server: closed")
+	}
+	type live struct {
+		alias string
+		st    *stream.Stream
+		sc    *mcl.StreamConfig
+	}
+	lives := make([]live, 0, len(s.streams))
+	for alias, st := range s.streams {
+		name := s.names[alias]
+		sc := cfg.Stream(name)
+		if sc == nil {
+			s.mu.Unlock()
+			return fmt.Errorf("server: reload rejected: deployed stream %q (alias %q) is missing from the new script", name, alias)
+		}
+		rep := reports[name]
+		if rep != nil && !rep.OK() {
+			fatal := s.opts.Strict
+			for _, v := range rep.Violations {
+				if v.Kind == "feedback-loop" {
+					fatal = true
+				}
+			}
+			if fatal {
+				s.mu.Unlock()
+				return fmt.Errorf("server: reload rejected: stream %q fails semantic analysis: %v", name, rep.Violations)
+			}
+		}
+		lives = append(lives, live{alias: alias, st: st, sc: sc})
+	}
+	s.cfg = cfg
+	s.reports = reports
+	autopilot := s.autopilot
+	s.mu.Unlock()
+
+	catalog := s.events.Catalog()
+	for _, l := range lives {
+		// Old subscriptions are derived from the stream's current whens, so
+		// compute them before the swap; SystemCommand always stays.
+		oldCats := allCategories(catalog, l.st)
+		l.st.ReplaceWhens(l.sc.Whens)
+		newSeen := map[event.Category]bool{event.SystemCommand: true}
+		for _, ev := range l.st.Whens() {
+			cat, ok := catalog.CategoryOf(ev)
+			if !ok {
+				cat = event.SoftwareVariation
+				if err := catalog.Register(ev, cat); err != nil {
+					return err
+				}
+			}
+			if !newSeen[cat] {
+				newSeen[cat] = true
+				s.events.Subscribe(cat, l.st)
+			}
+		}
+		for _, cat := range oldCats {
+			if !newSeen[cat] {
+				s.events.Unsubscribe(cat, l.st)
+			}
+		}
+		if autopilot != nil {
+			switch {
+			case len(l.sc.Policies) == 0:
+				autopilot.Detach(l.alias)
+			case !autopilot.SetPolicies(l.alias, l.sc.Policies):
+				autopilot.Attach(l.alias, l.st, l.sc.Policies)
+			}
+		}
+	}
+	mAdaptReloads.Inc()
+	return nil
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mobigate/internal/adapt"
+)
+
+const reloadScriptV1 = `
+streamlet relay {
+	port { in pi : text/*; out po : text/*; }
+	attribute { type = STATELESS; library = "bench/redirector"; }
+}
+streamlet tc_def {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+main stream flow {
+	streamlet hd = new-streamlet (relay);
+	streamlet cm = new-streamlet (relay);
+	connect (hd.po, cm.pi);
+
+	when (LOW_BANDWIDTH) {
+		disconnect (hd.po, cm.pi);
+	}
+	when (queue_depth > 100) -> insert tc_def between hd and cm;
+}
+`
+
+const reloadScriptV2 = `
+streamlet relay {
+	port { in pi : text/*; out po : text/*; }
+	attribute { type = STATELESS; library = "bench/redirector"; }
+}
+streamlet tc_def {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+main stream flow {
+	streamlet hd = new-streamlet (relay);
+	streamlet cm = new-streamlet (relay);
+	connect (hd.po, cm.pi);
+
+	when (LOW_ENERGY) {
+		disconnect (hd.po, cm.pi);
+	}
+	when (queue_depth > 5) sustain 2 -> insert tc_def between hd and cm;
+	when (queue_depth <= 5) -> remove tc_def;
+}
+`
+
+// TestReloadSwapsWhensAndPolicies: a hot reload must swap the deployed
+// stream's event reactions and the autopilot's rule set without
+// redeploying.
+func TestReloadSwapsWhensAndPolicies(t *testing.T) {
+	s := newTestServer(t)
+	eng := adapt.New(adapt.Config{Sampler: func() adapt.Reading { return adapt.Reading{} }})
+	s.SetAutopilot(eng)
+	if s.Autopilot() != eng {
+		t.Fatal("autopilot not recorded")
+	}
+	if err := s.LoadScript(reloadScriptV1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Deploy("flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Attached("flow") {
+		t.Fatal("deployed stream with policies not attached to autopilot")
+	}
+	if got := st.Whens(); len(got) != 1 || got[0] != "LOW_BANDWIDTH" {
+		t.Fatalf("whens = %v", got)
+	}
+
+	if err := s.ReloadScript(reloadScriptV2); err != nil {
+		t.Fatalf("ReloadScript: %v", err)
+	}
+	if got := st.Whens(); len(got) != 1 || got[0] != "LOW_ENERGY" {
+		t.Fatalf("whens after reload = %v", got)
+	}
+	if !eng.Attached("flow") {
+		t.Fatal("stream detached by reload")
+	}
+	sc := s.Config().Stream("flow")
+	if len(sc.Policies) != 2 {
+		t.Fatalf("policies after reload = %d, want 2", len(sc.Policies))
+	}
+}
+
+// TestReloadRejectsMissingStream: a new script that no longer declares a
+// deployed stream must be rejected wholesale, leaving the old
+// configuration live.
+func TestReloadRejectsMissingStream(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.LoadScript(reloadScriptV1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deploy("flow"); err != nil {
+		t.Fatal(err)
+	}
+	other := strings.ReplaceAll(reloadScriptV1, "stream flow", "stream renamed")
+	err := s.ReloadScript(other)
+	if err == nil || !strings.Contains(err.Error(), "missing from the new script") {
+		t.Fatalf("reload err = %v, want missing-stream rejection", err)
+	}
+	// Old configuration stays live.
+	if s.Config().Stream("flow") == nil {
+		t.Fatal("old configuration discarded on rejected reload")
+	}
+}
+
+// TestReloadRemovingPoliciesDetaches: a reload whose script drops every
+// policy must unbind the stream from the autopilot.
+func TestReloadRemovingPoliciesDetaches(t *testing.T) {
+	s := newTestServer(t)
+	eng := adapt.New(adapt.Config{Sampler: func() adapt.Reading { return adapt.Reading{} }})
+	s.SetAutopilot(eng)
+	if err := s.LoadScript(reloadScriptV1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deploy("flow"); err != nil {
+		t.Fatal(err)
+	}
+	noPolicies := strings.ReplaceAll(reloadScriptV1,
+		"	when (queue_depth > 100) -> insert tc_def between hd and cm;\n", "")
+	if err := s.ReloadScript(noPolicies); err != nil {
+		t.Fatalf("ReloadScript: %v", err)
+	}
+	if eng.Attached("flow") {
+		t.Fatal("stream still attached after its policies were removed")
+	}
+}
+
+// TestSetAutopilotAttachesDeployed: installing an engine after deploy must
+// bind the already-running streams; installing nil must unbind them.
+func TestSetAutopilotAttachesDeployed(t *testing.T) {
+	s := newTestServer(t)
+	if err := s.LoadScript(reloadScriptV1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Deploy("flow"); err != nil {
+		t.Fatal(err)
+	}
+	eng := adapt.New(adapt.Config{Sampler: func() adapt.Reading { return adapt.Reading{} }})
+	s.SetAutopilot(eng)
+	if !eng.Attached("flow") {
+		t.Fatal("already-deployed stream not attached")
+	}
+	s.SetAutopilot(nil)
+	if eng.Attached("flow") {
+		t.Fatal("stream not detached when autopilot removed")
+	}
+	if err := s.Undeploy("flow"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReloadedPoliciesDrive: after a reload the autopilot must execute the
+// new rules against the live stream.
+func TestReloadedPoliciesDrive(t *testing.T) {
+	s := newTestServer(t)
+	var qd atomic.Int64
+	eng := adapt.New(adapt.Config{
+		Sampler: func() adapt.Reading { return adapt.Reading{QueueDepth: qd.Load()} },
+	})
+	s.SetAutopilot(eng)
+	if err := s.LoadScript(reloadScriptV1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Deploy("flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReloadScript(reloadScriptV2); err != nil {
+		t.Fatal(err)
+	}
+	// V2's insert threshold is 5 with sustain 2; V1's was 100.
+	qd.Store(10)
+	eng.Tick()
+	eng.Tick()
+	if st.Streamlet("tc_def") == nil {
+		t.Fatal("reloaded insert policy did not fire")
+	}
+	qd.Store(0)
+	eng.Tick()
+	if st.Streamlet("tc_def") != nil {
+		t.Fatal("reloaded remove policy did not fire")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 
+	"mobigate/internal/adapt"
 	"mobigate/internal/event"
 	"mobigate/internal/mcl"
 	"mobigate/internal/msgpool"
@@ -57,8 +58,14 @@ type Server struct {
 	mu      sync.Mutex
 	cfg     *mcl.Config
 	streams map[string]*stream.Stream
+	// names maps deployment alias → stream name (aliased deploys share a
+	// stream declaration); reload and the autopilot need the reverse step.
+	names   map[string]string
 	reports map[string]*semantics.Report
-	closed  bool
+	// autopilot, when set (SetAutopilot), receives each deployed stream's
+	// compiled when-policies.
+	autopilot *adapt.Engine
+	closed    bool
 }
 
 // New creates a server.
@@ -77,6 +84,7 @@ func New(opts Options) *Server {
 		events:  ev,
 		pool:    msgpool.New(opts.PoolMode),
 		streams: make(map[string]*stream.Stream),
+		names:   make(map[string]string),
 		reports: make(map[string]*semantics.Report),
 	}
 }
@@ -221,10 +229,15 @@ func (s *Server) deploy(name, alias string) (*stream.Stream, error) {
 		return nil, fmt.Errorf("server: stream %q already deployed", alias)
 	}
 	s.streams[alias] = st
+	s.names[alias] = name
+	autopilot := s.autopilot
 	s.mu.Unlock()
 	mStreamsDeployed.Inc()
 	mStreamsActive.Add(1)
 
+	if sc := cfg.Stream(name); autopilot != nil && sc != nil && len(sc.Policies) > 0 {
+		autopilot.Attach(alias, st, sc.Policies)
+	}
 	st.Start()
 	return st, nil
 }
@@ -254,10 +267,15 @@ func (s *Server) Undeploy(alias string) error {
 	st, ok := s.streams[alias]
 	if ok {
 		delete(s.streams, alias)
+		delete(s.names, alias)
 	}
+	autopilot := s.autopilot
 	s.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("server: stream %q not deployed", alias)
+	}
+	if autopilot != nil {
+		autopilot.Detach(alias)
 	}
 	mStreamsActive.Add(-1)
 	for _, cat := range allCategories(s.events.Catalog(), st) {
@@ -297,8 +315,19 @@ func (s *Server) Close() {
 	for _, st := range s.streams {
 		streams = append(streams, st)
 	}
+	autopilot := s.autopilot
+	aliases := make([]string, 0, len(s.names))
+	for a := range s.names {
+		aliases = append(aliases, a)
+	}
 	s.streams = make(map[string]*stream.Stream)
+	s.names = make(map[string]string)
 	s.mu.Unlock()
+	if autopilot != nil {
+		for _, a := range aliases {
+			autopilot.Detach(a)
+		}
+	}
 	mStreamsActive.Add(-float64(len(streams)))
 	for _, st := range streams {
 		st.End()

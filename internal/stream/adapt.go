@@ -1,0 +1,136 @@
+package stream
+
+// Stream-side primitives for the adaptation autopilot (internal/adapt) and
+// the server's MCL hot-reload path: retuning a running streamlet's parallel
+// fan-out width, and swapping a stream's event reactions in place. Both
+// leave the data plane undisturbed — retuning goes through the Figure 7-4
+// drain protocol, and when-swaps only affect the next event delivery.
+
+import (
+	"fmt"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/obs"
+)
+
+// SetWorkersLive retunes a running native streamlet's parallel fan-out
+// width. Streamlet.SetWorkers only applies before Start, so the retune
+// replaces the instance with an identically-bound clone declared with
+// workers = n, under the same suspend → drain → rewire → reactivate
+// protocol self-healing uses: producers pause, in-flight messages finish,
+// the clone takes over the queues, and the instance keeps its id. Returns
+// ErrDrainTimeout (wrapped) without touching the topology when the drain
+// deadline passes.
+func (st *Stream) SetWorkersLive(inst string, n int, drainTimeout time.Duration) error {
+	if n < 1 {
+		return fmt.Errorf("stream %s: workers %s = %d: workers must be >= 1", st.name, inst, n)
+	}
+	if drainTimeout <= 0 {
+		drainTimeout = drainWait
+	}
+	st.mu.Lock()
+	nt, err := st.node(inst)
+	if err != nil {
+		st.mu.Unlock()
+		return err
+	}
+	decl := st.decls[inst]
+	if decl == nil {
+		st.mu.Unlock()
+		return fmt.Errorf("stream %s: %s is not a native streamlet; cannot retune workers", st.name, inst)
+	}
+	var producers []node
+	for _, c := range st.conns {
+		if c.to.Inst == inst {
+			if p, err := st.node(c.from.Inst); err == nil {
+				producers = append(producers, p)
+			}
+		}
+	}
+	st.spareSeq++
+	tmpID := fmt.Sprintf("%s~w%d", inst, st.spareSeq)
+	st.mu.Unlock()
+
+	if sl := st.Streamlet(inst); sl != nil && sl.Workers() == n {
+		return nil
+	}
+	clone := *decl
+	clone.Workers = n
+	if err := st.NewStreamlet(tmpID, &clone); err != nil {
+		return err
+	}
+
+	for _, p := range producers {
+		p.pause()
+	}
+	if !waitUntil(time.Now().Add(drainTimeout), nt.quiesced) {
+		for _, p := range producers {
+			p.activate()
+		}
+		st.dropInstance(tmpID)
+		mDrainTimeouts.Inc()
+		obs.FlightRecord(obs.FlightDrain, st.name, "workers "+inst+" timeout", int64(drainTimeout))
+		return fmt.Errorf("stream %s: workers %s: %w (after %v)", st.name, inst, ErrDrainTimeout, drainTimeout)
+	}
+	if err := st.Replace(inst, tmpID); err != nil {
+		for _, p := range producers {
+			p.activate()
+		}
+		st.dropInstance(tmpID)
+		return err
+	}
+	// Replace reactivated the producers and freed the original id; give it
+	// back to the clone so routing rows, policies and supervision configs
+	// keep naming the same logical instance.
+	st.mu.Lock()
+	st.renameLocked(tmpID, inst)
+	st.mu.Unlock()
+	return nil
+}
+
+// dropInstance removes a never-wired instance added as part of an aborted
+// reconfiguration.
+func (st *Stream) dropInstance(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n, err := st.node(id); err == nil {
+		n.end()
+	}
+	delete(st.nodes, id)
+	delete(st.decls, id)
+}
+
+// renameLocked rekeys an instance and rewrites the routing rows that
+// reference it. Caller holds st.mu.
+func (st *Stream) renameLocked(old, new string) {
+	if n, ok := st.nodes[old]; ok {
+		st.nodes[new] = n
+		delete(st.nodes, old)
+	}
+	if d, ok := st.decls[old]; ok {
+		st.decls[new] = d
+		delete(st.decls, old)
+	}
+	for i := range st.conns {
+		if st.conns[i].from.Inst == old {
+			st.conns[i].from.Inst = new
+		}
+		if st.conns[i].to.Inst == old {
+			st.conns[i].to.Inst = new
+		}
+	}
+}
+
+// ReplaceWhens swaps the stream's event reactions wholesale — the MCL
+// hot-reload path. Messages in flight are unaffected; the next delivered
+// event runs the new actions. Mirrors FromConfig: later blocks for the
+// same event win.
+func (st *Stream) ReplaceWhens(whens []*mcl.WhenConfig) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.whens = make(map[string][]mcl.Stmt, len(whens))
+	for _, w := range whens {
+		st.whens[w.Event] = w.Actions
+	}
+}

@@ -194,10 +194,10 @@ type Stream struct {
 	// cache, when set (EnableTranscodeCache), wraps every subsequently
 	// added cacheable processor (cache.Keyer) in the content-addressed
 	// memo decorator.
-	cache *cache.Cache
-	started          bool
-	ended            bool
-	implicit         int // counter for implicit channel names
+	cache    *cache.Cache
+	started  bool
+	ended    bool
+	implicit int // counter for implicit channel names
 
 	// verifyRules, when set, re-runs the semantic analyses after every
 	// event-driven reconfiguration (§8.2.2 runtime assertions).

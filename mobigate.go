@@ -28,6 +28,7 @@
 package mobigate
 
 import (
+	"mobigate/internal/adapt"
 	"mobigate/internal/client"
 	"mobigate/internal/event"
 	"mobigate/internal/mcl"
@@ -84,6 +85,14 @@ type (
 	// AnalysisRules carries repel/depend/preorder relations to verify.
 	AnalysisRules = semantics.Rules
 
+	// AdaptEngine is the adaptation autopilot evaluating MCL when-policies
+	// against sampled context readings.
+	AdaptEngine = adapt.Engine
+	// AdaptConfig parameterizes an AdaptEngine.
+	AdaptConfig = adapt.Config
+	// AdaptReading is one sampled signal snapshot for the autopilot.
+	AdaptReading = adapt.Reading
+
 	// Gateway is the MobiGATE server.
 	Gateway = server.Server
 	// GatewayFrontend is the TCP face of a gateway.
@@ -124,6 +133,11 @@ func NewGateway(opts GatewayOptions) *Gateway {
 		ErrorHandler: opts.ErrorHandler,
 	})
 }
+
+// NewAdaptEngine creates an adaptation autopilot. Attach it to a gateway
+// with Gateway.SetAutopilot so deployed streams' when-policies are
+// evaluated; call Start for background evaluation at cfg.Interval.
+func NewAdaptEngine(cfg AdaptConfig) *AdaptEngine { return adapt.New(cfg) }
 
 // NewClient creates a MobiGATE client with the standard peer streamlets
 // (decompressor, decryptor) pre-registered; handler receives every
