@@ -9,6 +9,7 @@
 package mobigate
 
 import (
+	"io"
 	"fmt"
 	"testing"
 	"time"
@@ -569,6 +570,125 @@ func BenchmarkAblationDropPolicy(b *testing.B) {
 			q.Close()
 			<-done
 			b.ReportMetric(float64(dropped)/float64(b.N)*100, "%dropped")
+		})
+	}
+}
+
+// --- Batched data plane -----------------------------------------------------
+
+// BenchmarkQueuePostFetchBatch measures the batched queue operations at
+// several batch widths. The loop advances b.N by the batch size, so ns/op
+// is per *message* — directly comparable to BenchmarkQueuePostFetch, whose
+// lock acquisition and broadcast the batch amortizes. The PR2 acceptance
+// gate requires >= 2x at batch 32.
+func BenchmarkQueuePostFetchBatch(b *testing.B) {
+	for _, n := range []int{8, 32, 64} {
+		b.Run(fmt.Sprintf("batch=%d", n), func(b *testing.B) {
+			q := queue.New("bench", queue.Options{CapacityBytes: 1 << 24})
+			entries := make([]queue.Entry, n)
+			for i := range entries {
+				entries[i] = queue.Entry{MsgID: "m", Size: 64}
+			}
+			dst := make([]queue.Item, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i += n {
+				if _, _, err := q.PostN(entries, nil); err != nil {
+					b.Fatal(err)
+				}
+				if got := q.TryFetchN(dst); got != n {
+					b.Fatalf("TryFetchN = %d, want %d", got, n)
+				}
+				q.AckN(n)
+			}
+		})
+	}
+}
+
+// BenchmarkMIMEWriteToV compares serializing a contiguous body through
+// WriteTo against a three-segment chained body through the vectored
+// WriteToV (64 KB payload either way). The chained row must stay in the
+// same cost class — the chain's point is avoiding the transform-side copy,
+// not adding encode-side cost — and must stay allocation-free (gated by
+// benchdiff -zeroalloc).
+func BenchmarkMIMEWriteToV(b *testing.B) {
+	const size = 64 << 10
+	b.Run("contiguous", func(b *testing.B) {
+		m := NewMessage(services.TypePlainText, services.GenText(size, 1))
+		b.SetBytes(size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.WriteTo(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("chained", func(b *testing.B) {
+		m := NewMessage(services.TypePlainText, services.GenText(size-2048, 1))
+		m.AppendBody(services.GenText(1024, 2))
+		m.AppendBody(services.GenText(1024, 3))
+		b.SetBytes(size)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.WriteToV(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkBatchChain measures end-to-end throughput of a five-redirector
+// chain at increasing handoff batch sizes. The inlet is fed from a
+// goroutine so queues actually accumulate — a send-one-wait-one loop would
+// never give the batched pump more than one item to drain.
+func BenchmarkBatchChain(b *testing.B) {
+	const k = 5
+	obs.SetTracingEnabled(false)
+	defer obs.SetTracingEnabled(true)
+	body := services.GenText(10*1024, 1)
+	for _, n := range []int{1, 8, 32, 64} {
+		b.Run(fmt.Sprintf("batch=%d", n), func(b *testing.B) {
+			pool := msgpool.New(msgpool.ByReference)
+			st := stream.New("bchain", pool, nil)
+			prev := ""
+			for i := 0; i < k; i++ {
+				id := fmt.Sprintf("r%d", i)
+				if _, err := st.AddStreamlet(id, nil, services.Redirector{}); err != nil {
+					b.Fatal(err)
+				}
+				if err := st.Streamlet(id).SetBatch(n); err != nil {
+					b.Fatal(err)
+				}
+				if prev != "" {
+					if err := st.Connect(Port(prev, "po"), Port(id, "pi"), nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+				prev = id
+			}
+			in, err := st.OpenInlet(Port("r0", "pi"), 1<<24)
+			if err != nil {
+				b.Fatal(err)
+			}
+			out, err := st.OpenOutlet(Port(prev, "po"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			st.Start()
+			defer st.End()
+			b.SetBytes(10 * 1024)
+			b.ResetTimer()
+			go func() {
+				for i := 0; i < b.N; i++ {
+					if err := in.Send(NewMessage(services.TypePlainText, body)); err != nil {
+						return
+					}
+				}
+			}()
+			for i := 0; i < b.N; i++ {
+				if _, err := out.Receive(30 * time.Second); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -10,7 +10,9 @@
 //     vocabulary);
 //   - every -flag mentioned on a “sh“/“console“ command line for one
 //     of the cmd/* tools must exist in that tool's flag set, read from its
-//     source.
+//     source;
+//   - mobibench's experimentsTable and its package comment's `-exp` list
+//     must enumerate exactly the same modes (plus the implicit `all`).
 //
 // Run from the repository root (make docs-check does). Exits nonzero on
 // any finding.
@@ -56,6 +58,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "docscheck:", err)
 		os.Exit(1)
 	}
+
+	checkMobibenchModes(report)
 
 	files := append([]string{"README.md", "EXPERIMENTS.md", "ROADMAP.md"}, pages...)
 	for _, path := range files {
@@ -146,9 +150,10 @@ func checkFile(path, data string, flags map[string]map[string]bool, report func(
 // against: a word used in `name = value` or `when (name ...)` position must
 // be one of these or a known policy signal.
 var mclAttrWords = map[string]bool{
-	"type": true, "library": true, "workers": true, "cacheable": true,
-	"pooling": true, "param": true, "sustain": true, "cooldown": true,
-	"insert": true, "remove": true, "between": true, "and": true,
+	"type": true, "library": true, "workers": true, "batch": true,
+	"cacheable": true, "pooling": true, "param": true, "sustain": true,
+	"cooldown": true, "insert": true, "remove": true, "between": true,
+	"and": true,
 }
 
 func checkMCLBlock(path, body string, report func(string, ...any)) {
@@ -172,6 +177,46 @@ func checkMCLBlock(path, body string, report func(string, ...any)) {
 	}
 	if _, err := mcl.Parse(body); err != nil {
 		report("%s: mcl block does not parse: %v", path, err)
+	}
+}
+
+var (
+	expTableRe = regexp.MustCompile(`(?m)^\s*\{"([a-z0-9.]+)",\s*"`)
+	expDocRe   = regexp.MustCompile(`(?m)^//\s+mobibench -exp ([a-z0-9.]+)`)
+)
+
+// checkMobibenchModes keeps mobibench's -exp surface honest: the
+// experimentsTable (which drives dispatch and the usage text) and the
+// package comment's mode list must enumerate the same set, so a new
+// experiment cannot land without showing up in the tool's own help.
+func checkMobibenchModes(report func(string, ...any)) {
+	const mainGo = "cmd/mobibench/main.go"
+	src, err := os.ReadFile(mainGo)
+	if err != nil {
+		report("%s: %v", mainGo, err)
+		return
+	}
+	table := map[string]bool{"all": true} // `all` is implicit in the table
+	for _, m := range expTableRe.FindAllStringSubmatch(string(src), -1) {
+		table[m[1]] = true
+	}
+	if len(table) < 2 {
+		report("%s: experimentsTable not found (docscheck expects it)", mainGo)
+		return
+	}
+	doc := map[string]bool{}
+	for _, m := range expDocRe.FindAllStringSubmatch(string(src), -1) {
+		doc[m[1]] = true
+	}
+	for mode := range table {
+		if !doc[mode] {
+			report("%s: experimentsTable mode %q missing from the package comment's -exp list", mainGo, mode)
+		}
+	}
+	for mode := range doc {
+		if !table[mode] {
+			report("%s: package comment lists -exp %q, which is not in experimentsTable", mainGo, mode)
+		}
 	}
 }
 

@@ -11,7 +11,12 @@
 //	mobibench -exp spans    # end-to-end span trees across the link
 //	mobibench -exp parallel # workers fan-out scaling + transcode cache sweep
 //	mobibench -exp adapt    # autopilot when-policies vs static compositions
+//	mobibench -exp batch    # batched-handoff sweep (delivery + FIFO asserted)
 //	mobibench -exp all      # everything
+//
+// The list above, the -exp dispatch, and the usage text all come from the
+// experimentsTable in this file; docscheck verifies this comment and the
+// table agree.
 //
 // -spans additionally runs the span-trace experiment after the hops
 // breakdown and asserts the reconstructed trees (the make obs-smoke gate).
@@ -32,8 +37,42 @@ import (
 	"mobigate/internal/experiments"
 )
 
+// experimentsTable is the single source of truth for -exp modes: the
+// dispatch, the usage text, and the package comment's list are all derived
+// from or checked against it (the last by docscheck). `all` is implicit
+// and runs every row except spans, which stays opt-in via -spans because
+// it flips the global span toggle.
+var experimentsTable = []struct {
+	name string
+	desc string
+	run  func()
+}{
+	{"fig7.2", "streamlet overhead vs chain length", runFig72},
+	{"fig7.3", "passing by reference vs by value", runFig73},
+	{"fig7.6", "reconfiguration time vs insertions", runFig76},
+	{"eq7.1", "reconfiguration time decomposition", runEq71},
+	{"fig7.7", "end-to-end throughput sweep", runFig77},
+	{"hops", "per-hop time composition (§7.3 breakdown)", runHops},
+	{"faults", "fault-injection survival (supervision subsystem)", runFaults},
+	{"spans", "end-to-end span trees across the link", runSpans},
+	{"parallel", "workers fan-out scaling + transcode cache sweep", runParallel},
+	{"adapt", "autopilot when-policies vs static compositions", runAdapt},
+	{"batch", "batched-handoff sweep (delivery + FIFO asserted)", runBatch},
+}
+
+// experimentList renders the table for the usage text and the unknown-mode
+// error.
+func experimentList() string {
+	var b strings.Builder
+	for _, e := range experimentsTable {
+		fmt.Fprintf(&b, "  %-9s %s\n", e.name, e.desc)
+	}
+	b.WriteString("  all       everything above except spans (add -spans to include it)\n")
+	return b.String()
+}
+
 var (
-	exp       = flag.String("exp", "all", "experiment: fig7.2, fig7.3, fig7.6, eq7.1, fig7.7, hops, faults, spans, parallel, adapt, all")
+	exp       = flag.String("exp", "all", "experiment to run (or \"all\"); run with -exp help for the list")
 	spans     = flag.Bool("spans", false, "enable span tracing: run the end-to-end trace-tree experiment after hops and assert the reconstruction")
 	messages  = flag.Int("messages", 60, "messages per fig7.7 point")
 	samples   = flag.Int("samples", 50, "messages per latency sample (fig7.2/7.3)")
@@ -44,47 +83,33 @@ var (
 func main() {
 	flag.Parse()
 	switch *exp {
-	case "fig7.2":
-		runFig72()
-	case "fig7.3":
-		runFig73()
-	case "fig7.6":
-		runFig76()
-	case "eq7.1":
-		runEq71()
-	case "fig7.7":
-		runFig77()
-	case "hops":
-		runHops()
-		if *spans {
-			runSpans()
-		}
-	case "faults":
-		runFaults()
-	case "spans":
-		runSpans()
-	case "parallel":
-		runParallel()
-	case "adapt":
-		runAdapt()
 	case "all":
-		runFig72()
-		runFig73()
-		runFig76()
-		runEq71()
-		runFig77()
-		runHops()
-		runFaults()
-		runParallel()
-		runAdapt()
+		for _, e := range experimentsTable {
+			if e.name == "spans" {
+				continue // opt-in via -spans below
+			}
+			e.run()
+		}
 		if *spans {
 			runSpans()
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "mobibench: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(1)
+		return
+	case "help", "list":
+		fmt.Print("experiments:\n" + experimentList())
+		return
 	}
+	for _, e := range experimentsTable {
+		if e.name != *exp {
+			continue
+		}
+		e.run()
+		if e.name == "hops" && *spans {
+			runSpans()
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mobibench: unknown experiment %q; available:\n%s", *exp, experimentList())
+	os.Exit(1)
 }
 
 func runFig72() {
@@ -240,6 +265,22 @@ func runParallel() {
 func runAdapt() {
 	fmt.Println("=== Adaptation autopilot: when-policies vs static compositions ===")
 	res, err := experiments.Adapt(experiments.DefaultAdaptConfig())
+	if res != nil {
+		fmt.Print(res)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+// runBatch runs the batched-handoff sweep: the same redirector chain at
+// batch = 1, 8, 32, 64 with exact-delivery and zero-reorder assertions at
+// every point. make batch-smoke relies on the non-zero exit when either
+// invariant breaks; throughput is reported, not gated.
+func runBatch() {
+	fmt.Println("=== Batched handoff: []*Message pumps across batch sizes ===")
+	res, err := experiments.Batch(experiments.DefaultBatchConfig())
 	if res != nil {
 		fmt.Print(res)
 	}

@@ -41,7 +41,7 @@ func main() {
 
 	req := mobigate.NewMessage(mustType("*/*"), nil)
 	req.SetHeader(server.HeaderRequestStream, *streamName)
-	if _, err := req.WriteTo(conn); err != nil {
+	if _, err := req.WriteToV(conn); err != nil {
 		log.Fatalf("mobigate-client: sending request: %v", err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {

@@ -1,0 +1,204 @@
+package experiments
+
+// The batched-handoff experiment behind `mobibench -exp batch` and
+// `make batch-smoke`: the same redirector chain swept across handoff batch
+// sizes, with exact-delivery and zero-reorder assertions at every point.
+// The sweep is the end-to-end proof that `batch = N` is purely a
+// performance knob — batching amortizes the per-handoff lock, broadcast,
+// and clock costs but must never lose, duplicate, or reorder a message.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/obs"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+)
+
+// batchSeqHeader carries the send-order stamp the receiver checks FIFO with.
+const batchSeqHeader = "X-Batch-Seq"
+
+// BatchConfig parameterizes the experiment.
+type BatchConfig struct {
+	// Batches are the handoff batch sizes of the sweep.
+	Batches []int
+	// Streamlets is the redirector-chain depth.
+	Streamlets int
+	// Messages is how many messages each point pushes through the chain.
+	Messages int
+	// TextBytes is the payload size per message.
+	TextBytes int
+	// Seed makes the generated payload reproducible.
+	Seed int64
+	// ReceiveTimeout bounds each outlet receive.
+	ReceiveTimeout time.Duration
+}
+
+// DefaultBatchConfig returns the configuration the smoke gate runs.
+func DefaultBatchConfig() BatchConfig {
+	return BatchConfig{
+		Batches:        []int{1, 8, 32, 64},
+		Streamlets:     4,
+		Messages:       400,
+		TextBytes:      4 << 10,
+		Seed:           11,
+		ReceiveTimeout: 10 * time.Second,
+	}
+}
+
+// BatchRow is one point of the batch sweep.
+type BatchRow struct {
+	Batch      int
+	Elapsed    time.Duration
+	MsgsPerSec float64
+	Sent       int
+	Delivered  int
+	Reorders   int
+	// Flushes is how many batched PostN flushes the point performed
+	// (gateway-wide delta; 0 at batch = 1, which uses the classic
+	// per-message Post).
+	Flushes uint64
+	// MeanDrain is the mean FetchN drain size during the point — the
+	// amortization actually achieved, as opposed to the configured ceiling.
+	MeanDrain float64
+	// Speedup is MsgsPerSec relative to the batch = 1 row.
+	Speedup float64
+}
+
+// BatchResult is everything the experiment measured.
+type BatchResult struct {
+	Streamlets int
+	Rows       []BatchRow
+}
+
+// String renders the result table.
+func (r *BatchResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "redirector chain, %d streamlets\n", r.Streamlets)
+	b.WriteString("\n batch   msgs/s   speedup   sent  delivered  reorders  flushes  mean-drain\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%6d  %7.0f  %7.2fx  %5d  %9d  %8d  %7d  %10.1f\n",
+			row.Batch, row.MsgsPerSec, row.Speedup,
+			row.Sent, row.Delivered, row.Reorders, row.Flushes, row.MeanDrain)
+	}
+	return b.String()
+}
+
+// runBatchChain pushes cfg.Messages through a redirector chain whose every
+// streamlet drains and emits in batches of n, and checks conservation and
+// FIFO at the outlet.
+func runBatchChain(n int, cfg BatchConfig) (BatchRow, error) {
+	row := BatchRow{Batch: n}
+	pool := msgpool.New(msgpool.ByReference)
+	st := stream.New(fmt.Sprintf("batch-%d", n), pool, nil)
+	prev := ""
+	for i := 0; i < cfg.Streamlets; i++ {
+		id := fmt.Sprintf("r%d", i)
+		if _, err := st.AddStreamlet(id, nil, services.Redirector{}); err != nil {
+			return row, err
+		}
+		if err := st.Streamlet(id).SetBatch(n); err != nil {
+			return row, err
+		}
+		if prev != "" {
+			if err := st.Connect(mcl.PortRef{Inst: prev, Port: "po"}, mcl.PortRef{Inst: id, Port: "pi"}, nil); err != nil {
+				return row, err
+			}
+		}
+		prev = id
+	}
+	in, err := st.OpenInlet(mcl.PortRef{Inst: "r0", Port: "pi"}, 1<<24)
+	if err != nil {
+		return row, err
+	}
+	out, err := st.OpenOutlet(mcl.PortRef{Inst: prev, Port: "po"})
+	if err != nil {
+		return row, err
+	}
+	st.Start()
+	defer st.End()
+
+	flushes := obs.DefaultCounter(obs.MBatchFlushesTotal)
+	drains := obs.DefaultHistogram(obs.MBatchFetchSize, nil)
+	flushes0 := flushes.Value()
+	drains0 := drains.Snapshot()
+
+	body := services.GenText(cfg.TextBytes, cfg.Seed)
+	sendErr := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		for i := 0; i < cfg.Messages; i++ {
+			m := mime.NewMessage(services.TypePlainText, body)
+			m.SetHeader(batchSeqHeader, strconv.Itoa(i))
+			if err := in.Send(m); err != nil {
+				sendErr <- fmt.Errorf("send %d: %w", i, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	last := -1
+	for i := 0; i < cfg.Messages; i++ {
+		m, err := out.Receive(cfg.ReceiveTimeout)
+		if err != nil {
+			return row, fmt.Errorf("batch=%d: delivered %d of %d: %w",
+				n, row.Delivered, cfg.Messages, err)
+		}
+		row.Delivered++
+		seq, err := strconv.Atoi(m.Header(batchSeqHeader))
+		if err != nil {
+			return row, fmt.Errorf("batch=%d: message without %s stamp", n, batchSeqHeader)
+		}
+		if seq <= last {
+			row.Reorders++
+		}
+		last = seq
+	}
+	row.Elapsed = time.Since(start)
+	if err := <-sendErr; err != nil {
+		return row, err
+	}
+	row.Sent = cfg.Messages
+	row.MsgsPerSec = float64(row.Delivered) / row.Elapsed.Seconds()
+	row.Flushes = flushes.Value() - flushes0
+	if d := drains.Snapshot(); d.Count > drains0.Count {
+		row.MeanDrain = (d.Sum - drains0.Sum) / float64(d.Count-drains0.Count)
+	}
+	return row, nil
+}
+
+// Batch runs the sweep and returns an error when any invariant the smoke
+// gate relies on is broken: lost or duplicated messages, or any reorder.
+// Throughput is reported but not gated — the win depends on load and
+// hardware; delivery and order must not.
+func Batch(cfg BatchConfig) (*BatchResult, error) {
+	res := &BatchResult{Streamlets: cfg.Streamlets}
+	var base float64
+	for _, n := range cfg.Batches {
+		row, err := runBatchChain(n, cfg)
+		if err != nil {
+			return res, err
+		}
+		if row.Sent != row.Delivered {
+			return res, fmt.Errorf("batch=%d: sent %d != delivered %d", n, row.Sent, row.Delivered)
+		}
+		if row.Reorders != 0 {
+			return res, fmt.Errorf("batch=%d: %d reorders (FIFO violated)", n, row.Reorders)
+		}
+		if base == 0 {
+			base = row.MsgsPerSec
+		}
+		if base > 0 {
+			row.Speedup = row.MsgsPerSec / base
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

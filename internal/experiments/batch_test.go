@@ -1,0 +1,33 @@
+package experiments
+
+import "testing"
+
+// TestBatchSweep runs a scaled-down sweep and checks the smoke gate's
+// invariants plus the amortization evidence the table reports.
+func TestBatchSweep(t *testing.T) {
+	cfg := DefaultBatchConfig()
+	cfg.Messages = 120
+	cfg.Batches = []int{1, 8, 32}
+	res, err := Batch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(cfg.Batches) {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), len(cfg.Batches))
+	}
+	for _, row := range res.Rows {
+		if row.Sent != cfg.Messages || row.Delivered != cfg.Messages {
+			t.Errorf("batch=%d: sent %d delivered %d, want %d each",
+				row.Batch, row.Sent, row.Delivered, cfg.Messages)
+		}
+		if row.Reorders != 0 {
+			t.Errorf("batch=%d: %d reorders", row.Batch, row.Reorders)
+		}
+	}
+	if res.Rows[0].Flushes != 0 {
+		t.Errorf("batch=1 recorded %d PostN flushes, want 0 (classic Post path)", res.Rows[0].Flushes)
+	}
+	if res.Rows[1].Flushes == 0 {
+		t.Error("batch=8 recorded no PostN flushes; the batched pump is not engaged")
+	}
+}

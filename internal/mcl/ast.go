@@ -71,6 +71,14 @@ type StreamletDecl struct {
 	// declare workers > 1; the parser and the semantic model reject the
 	// rest (see internal/semantics).
 	Workers int
+	// Batch is the declared handoff batch size (the `batch` attribute): how
+	// many messages the instance's pump may drain from an input queue in
+	// one batched fetch, and how many emissions it may flush downstream in
+	// one batched post. Zero or one means today's one-message-per-handoff
+	// behavior. Batching never reorders (the drain and flush both preserve
+	// FIFO), so unlike `workers` it is open to STATEFUL streamlets too; the
+	// parser only bounds the value (see MaxBatch).
+	Batch int
 	// Params are control-interface parameters, keyed without the "param-"
 	// prefix; values keep their source spelling.
 	Params map[string]string

@@ -1,0 +1,104 @@
+package mcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBatchAttribute(t *testing.T) {
+	src := `
+streamlet comp {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; batch = 32; }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := f.Streamlet("comp")
+	if !ok {
+		t.Fatal("streamlet missing")
+	}
+	if d.Batch != 32 {
+		t.Errorf("batch = %d, want 32", d.Batch)
+	}
+}
+
+func TestParseBatchStatefulAllowed(t *testing.T) {
+	// Unlike workers, batching never reorders, so STATEFUL may batch.
+	f, err := Parse(`streamlet a { attribute { type = STATEFUL; batch = 8; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, _ := f.Streamlet("a"); d.Batch != 8 {
+		t.Errorf("batch = %d, want 8", d.Batch)
+	}
+}
+
+func TestParseBatchErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{
+			"non-numeric",
+			`streamlet a { attribute { batch = lots; } }`,
+			"batch must be a number",
+		},
+		{
+			"zero",
+			`streamlet a { attribute { batch = 0; } }`,
+			"batch must be a number >= 1",
+		},
+		{
+			"over-max",
+			`streamlet a { attribute { batch = 5000; } }`,
+			"exceeds the maximum",
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestPrintBatchRoundTrip(t *testing.T) {
+	src := `
+streamlet comp {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; workers = 2; batch = 16; }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	if !strings.Contains(out, "batch = 16;") {
+		t.Fatalf("formatted output lacks batch attribute:\n%s", out)
+	}
+	f2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	d, _ := f2.Streamlet("comp")
+	if d.Batch != 16 || d.Workers != 2 {
+		t.Errorf("round-tripped batch = %d workers = %d, want 16/2", d.Batch, d.Workers)
+	}
+}
+
+func TestPrintOmitsBatchOne(t *testing.T) {
+	f, err := Parse(`streamlet a { attribute { type = STATELESS; batch = 1; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Format(f); strings.Contains(out, "batch") {
+		t.Errorf("batch = 1 should print nothing:\n%s", out)
+	}
+}

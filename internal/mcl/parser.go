@@ -246,6 +246,14 @@ func (p *Parser) parseStreamletDecl() (*StreamletDecl, error) {
 						return nil, errf(a.pos, "streamlet workers must be a number >= 1")
 					}
 					d.Workers = a.num
+				case "batch":
+					if a.kind != TokNumber || a.num < 1 {
+						return nil, errf(a.pos, "streamlet batch must be a number >= 1")
+					}
+					if a.num > MaxBatch {
+						return nil, errf(a.pos, "streamlet batch = %d exceeds the maximum %d", a.num, MaxBatch)
+					}
+					d.Batch = a.num
 				default:
 					if name, ok := strings.CutPrefix(a.key, "param-"); ok && name != "" {
 						if d.Params == nil {
@@ -587,6 +595,11 @@ func (p *Parser) parseDisconnect() (Stmt, error) {
 // one sanctioned exception that a streamlet declaration may share the name
 // of a stream, which is how Figure 4-9 maps a stream to a composite
 // streamlet) and channel port shape (exactly one in, one out, §5.1.2).
+// MaxBatch bounds the `batch` streamlet attribute: a pump's drain buffer
+// and a worker's flush buffer are both sized by it, so an unbounded value
+// would let one declaration pin arbitrary memory.
+const MaxBatch = 1024
+
 func validateFile(f *File) error {
 	seen := map[string]Pos{}
 	check := func(name string, pos Pos) error {

@@ -78,6 +78,9 @@ func (p printer) streamlet(d *StreamletDecl) {
 	if d.Workers > 1 {
 		p.linef(2, "workers = %d;", d.Workers)
 	}
+	if d.Batch > 1 {
+		p.linef(2, "batch = %d;", d.Batch)
+	}
 	keys := make([]string, 0, len(d.Params))
 	for k := range d.Params {
 		keys = append(keys, k)

@@ -36,14 +36,33 @@ func getBodyBuf(n int) []byte {
 	return make([]byte, n)
 }
 
+// putBodyBuf hands a pool-owned buffer back when it is big enough to be
+// worth recycling; undersized ones go to the GC.
+func putBodyBuf(b []byte) {
+	if cap(b) >= minPooledBody {
+		b = b[:0]
+		bodyPool.Put(&b)
+	}
+}
+
 // Recycle hands the message's body back to the buffer pool when the body
-// was pool-allocated (Clone, ReadMessage) and detaches it either way. Only
+// was pool-allocated (Clone, ReadMessage) and detaches it either way; for a
+// chained body (chain.go) every message-owned segment is recycled. Only
 // the owner that proved the message dead may call this; after Recycle the
 // message must not be read or written again.
 func (m *Message) Recycle() {
-	if m.pooledBody && cap(m.body) >= minPooledBody {
-		b := m.body[:0]
-		bodyPool.Put(&b)
+	if m.chain != nil {
+		for i, s := range m.chain.segs {
+			if m.chain.pooled[i] {
+				putBodyBuf(s)
+			}
+			m.chain.segs[i] = nil
+		}
+		releaseChain(m.chain)
+		m.chain = nil
+	}
+	if m.pooledBody {
+		putBodyBuf(m.body)
 	}
 	m.body = nil
 	m.pooledBody = false

@@ -1,0 +1,135 @@
+package mime
+
+import "sync"
+
+// Buffer-chain bodies: the zero-copy half of the batched data plane. A
+// transform that only adds to a message — an annotation footer, a framing
+// trailer, a signature block — should not pay a copy of the (potentially
+// multi-hundred-KB) body it leaves untouched. AppendBody/AppendBodyBuf
+// convert the message to a chain of segments in place: the original body
+// becomes segment 0 (no copy), each appended piece becomes a further
+// segment, and the vectored encoder (WriteToV in codec.go) puts the chain
+// on the wire without ever materializing it contiguously.
+//
+// The contiguous path stays primary: Body() flattens a chained message into
+// one pooled buffer on first use and caches it, so stateful services (and
+// any reader that wants plain []byte) are oblivious to chaining — they just
+// pay the copy the moment they actually need contiguity. Len, Clone, Encode,
+// WriteTo, and Recycle are all chain-aware, so a chained message is
+// indistinguishable from a contiguous one everywhere except cost.
+//
+// Ownership: segments appended with AppendBody remain caller-owned (like
+// SetBody's slice) and are never recycled. Segments minted by AppendBodyBuf
+// and a promoted pool-owned body are message-owned and return to the shared
+// body pool when the chain is flattened or the message recycled.
+
+// BodyChain holds a message body as an ordered list of segments. It is
+// created implicitly by Message.AppendBody/AppendBodyBuf; callers only ever
+// see it through Message.Segments.
+type BodyChain struct {
+	segs   [][]byte
+	pooled []bool // per-segment: owned by the body pool (see bufpool.go)
+	n      int    // total bytes across segs
+}
+
+// Len returns the total body length across all segments.
+func (c *BodyChain) Len() int { return c.n }
+
+func (c *BodyChain) append(seg []byte, pooled bool) {
+	c.segs = append(c.segs, seg)
+	c.pooled = append(c.pooled, pooled)
+	c.n += len(seg)
+}
+
+// chainPool recycles the chain structs (and their segs/pooled slice
+// capacity) so chained hops allocate nothing in steady state.
+var chainPool sync.Pool // of *BodyChain
+
+func acquireChain() *BodyChain {
+	if c, _ := chainPool.Get().(*BodyChain); c != nil {
+		return c
+	}
+	return &BodyChain{}
+}
+
+// releaseChain returns the struct to the pool. Segment references must
+// already be cleared or transferred by the caller.
+func releaseChain(c *BodyChain) {
+	for i := range c.segs {
+		c.segs[i] = nil
+	}
+	c.segs = c.segs[:0]
+	c.pooled = c.pooled[:0]
+	c.n = 0
+	chainPool.Put(c)
+}
+
+// AppendBody appends seg to the message body without copying: the slice is
+// retained as a new chain segment (converting the message to chain form on
+// first use). Like SetBody's slice, the segment stays caller-owned and is
+// never recycled. Empty segments are ignored.
+func (m *Message) AppendBody(seg []byte) {
+	if len(seg) == 0 {
+		return
+	}
+	m.ensureChain().append(seg, false)
+}
+
+// AppendBodyBuf appends a fresh message-owned segment of length n, drawn
+// from the shared body pool, and returns it for the caller to fill. This is
+// the zero-copy emission path for transforms that generate content: write
+// the new bytes straight into the chain instead of rebuilding the body.
+func (m *Message) AppendBodyBuf(n int) []byte {
+	seg := getBodyBuf(n)
+	m.ensureChain().append(seg, true)
+	return seg
+}
+
+// Chained reports whether the body is currently in chain form. Reading
+// Body() flattens and clears it.
+func (m *Message) Chained() bool { return m.chain != nil }
+
+// Segments returns the body's segments without copying or flattening (nil
+// when the body is contiguous — use Body then). The returned slices are
+// views into the live message; they must not be retained or mutated.
+func (m *Message) Segments() [][]byte {
+	if m.chain == nil {
+		return nil
+	}
+	return m.chain.segs
+}
+
+// ensureChain converts the message to chain form, promoting any existing
+// contiguous body to segment 0 (ownership flag carried over, no copy).
+func (m *Message) ensureChain() *BodyChain {
+	if m.chain == nil {
+		c := acquireChain()
+		if len(m.body) > 0 {
+			c.append(m.body, m.pooledBody)
+		}
+		m.body = nil
+		m.pooledBody = false
+		m.chain = c
+	}
+	return m.chain
+}
+
+// flattenChain materializes a chained body into one pooled contiguous
+// buffer and caches it as the plain body, recycling message-owned segments.
+// Called by Body(); after it the message is an ordinary contiguous message.
+func (m *Message) flattenChain() {
+	c := m.chain
+	buf := getBodyBuf(c.n)
+	off := 0
+	for i, s := range c.segs {
+		off += copy(buf[off:], s)
+		if c.pooled[i] {
+			putBodyBuf(s)
+		}
+		c.segs[i] = nil
+	}
+	m.chain = nil
+	releaseChain(c)
+	m.body = buf
+	m.pooledBody = true
+}

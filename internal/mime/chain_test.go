@@ -1,0 +1,158 @@
+package mime
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestAppendBodyZeroCopy(t *testing.T) {
+	base := []byte("hello, ")
+	m := NewMessage(MustParse("text/plain"), base)
+	m.AppendBody([]byte("chained "))
+	m.AppendBody([]byte("world"))
+
+	if !m.Chained() {
+		t.Fatal("message not chained after AppendBody")
+	}
+	if m.Len() != len("hello, chained world") {
+		t.Errorf("Len = %d", m.Len())
+	}
+	segs := m.Segments()
+	if len(segs) != 3 {
+		t.Fatalf("segments = %d, want 3", len(segs))
+	}
+	// Zero-copy proof: segment 0 is the original slice, not a copy.
+	if &segs[0][0] != &base[0] {
+		t.Error("promoted body segment was copied")
+	}
+
+	// Body() flattens, caches, and leaves an ordinary contiguous message.
+	if got := string(m.Body()); got != "hello, chained world" {
+		t.Errorf("Body = %q", got)
+	}
+	if m.Chained() {
+		t.Error("still chained after Body()")
+	}
+	if got := string(m.Body()); got != "hello, chained world" {
+		t.Errorf("second Body = %q", got)
+	}
+}
+
+func TestAppendBodyBufPooledSegment(t *testing.T) {
+	m := NewMessage(MustParse("text/plain"), []byte("payload"))
+	seg := m.AppendBodyBuf(4)
+	copy(seg, "tail")
+	if got := string(m.Body()); got != "payloadtail" {
+		t.Errorf("Body = %q", got)
+	}
+	m.Recycle()
+
+	// Recycling a still-chained message must not panic and must drop all
+	// segments.
+	m2 := NewMessage(MustParse("text/plain"), []byte("abc"))
+	copy(m2.AppendBodyBuf(3), "def")
+	m2.Recycle()
+	if m2.Len() != 0 {
+		t.Errorf("recycled Len = %d", m2.Len())
+	}
+}
+
+func TestSetBodyDropsChain(t *testing.T) {
+	m := NewMessage(MustParse("text/plain"), []byte("old"))
+	m.AppendBody([]byte("chain"))
+	m.SetBody([]byte("new"))
+	if m.Chained() || string(m.Body()) != "new" {
+		t.Errorf("SetBody left chained=%v body=%q", m.Chained(), m.Body())
+	}
+}
+
+func TestCloneOfChained(t *testing.T) {
+	m := NewMessage(MustParse("text/plain"), []byte("left-"))
+	m.AppendBody([]byte("right"))
+	c := m.Clone()
+	if c.Chained() {
+		t.Error("clone is chained; clones must be contiguous")
+	}
+	if got := string(c.Body()); got != "left-right" {
+		t.Errorf("clone body = %q", got)
+	}
+	if !m.Chained() {
+		t.Error("cloning flattened the source")
+	}
+}
+
+// TestWriteToVWireEquivalence pins the wire format: a chained message must
+// serialize byte-for-byte like the equivalent contiguous message, through
+// WriteToV, the chain-aware WriteTo, and Encode, and must round-trip
+// through ReadMessage with the correct Content-Length.
+func TestWriteToVWireEquivalence(t *testing.T) {
+	build := func() *Message {
+		m := &Message{ID: "msg-0000000000000001", fields: map[string]string{}}
+		m.SetContentType(MustParse("text/plain"))
+		m.SetBody([]byte("alpha-"))
+		m.AppendBody([]byte("beta-"))
+		copy(m.AppendBodyBuf(5), "gamma")
+		return m
+	}
+	flat := &Message{ID: "msg-0000000000000001", fields: map[string]string{}}
+	flat.SetContentType(MustParse("text/plain"))
+	flat.SetBody([]byte("alpha-beta-gamma"))
+
+	var want bytes.Buffer
+	if _, err := flat.WriteTo(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	var viaV, viaWT bytes.Buffer
+	if _, err := build().WriteToV(&viaV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := build().WriteTo(&viaWT); err != nil {
+		t.Fatal(err)
+	}
+	if viaV.String() != want.String() {
+		t.Errorf("WriteToV:\n%q\nwant:\n%q", viaV.String(), want.String())
+	}
+	if viaWT.String() != want.String() {
+		t.Errorf("chained WriteTo:\n%q\nwant:\n%q", viaWT.String(), want.String())
+	}
+	if enc := build().Encode(); string(enc) != want.String() {
+		t.Errorf("Encode:\n%q\nwant:\n%q", enc, want.String())
+	}
+
+	back, err := ReadMessage(bufio.NewReader(strings.NewReader(viaV.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back.Body()) != "alpha-beta-gamma" {
+		t.Errorf("round-trip body = %q", back.Body())
+	}
+}
+
+// TestWriteToVAllocFree is the vectored-encode zero-alloc gate: once the
+// header and gather-list scratch pools are warm, serializing a chained
+// message allocates nothing.
+func TestWriteToVAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector sync.Pool instrumentation allocates")
+	}
+	m := NewMessage(MustParse("text/plain"), bytes.Repeat([]byte("x"), 2048))
+	m.AppendBody(bytes.Repeat([]byte("y"), 2048))
+	m.AppendBody([]byte("tail"))
+	for i := 0; i < 8; i++ { // warm the pools
+		if _, err := m.WriteToV(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := m.WriteToV(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("WriteToV allocates %.1f objects per message, want 0", allocs)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"net"
 	"strconv"
 	"strings"
 	"sync"
@@ -37,7 +38,7 @@ func (m *Message) appendHeaders(buf []byte) []byte {
 	buf = append(buf, "\r\n"...)
 	buf = append(buf, HeaderContentLength...)
 	buf = append(buf, ": "...)
-	buf = strconv.AppendInt(buf, int64(len(m.body)), 10)
+	buf = strconv.AppendInt(buf, int64(m.Len()), 10)
 	buf = append(buf, "\r\n\r\n"...)
 	return buf
 }
@@ -47,8 +48,12 @@ func (m *Message) appendHeaders(buf []byte) []byte {
 var headerBufPool sync.Pool // of *[]byte
 
 // WriteTo serializes the message to w. It returns the number of bytes
-// written. The header block goes out in a single Write.
+// written. The header block goes out in a single Write. Chained bodies
+// (chain.go) take the vectored path so the chain is never flattened.
 func (m *Message) WriteTo(w io.Writer) (int64, error) {
+	if m.chain != nil {
+		return m.WriteToV(w)
+	}
 	bp, _ := headerBufPool.Get().(*[]byte)
 	if bp == nil {
 		bp = new([]byte)
@@ -64,10 +69,63 @@ func (m *Message) WriteTo(w io.Writer) (int64, error) {
 	return int64(n1 + n2), err
 }
 
-// Encode serializes the message to a byte slice.
+// vecPool recycles WriteToV's gather lists so vectored serialization costs
+// no per-message allocation.
+var vecPool sync.Pool // of *[][]byte
+
+// WriteToV serializes the message to w with a vectored (writev-style)
+// gather list: one entry for the header block and one per body segment,
+// handed to net.Buffers so a *net.TCPConn (or any buffersWriter) receives
+// the whole message in a single writev and other writers get one Write per
+// segment. Neither a chained nor a contiguous body is ever copied.
+func (m *Message) WriteToV(w io.Writer) (int64, error) {
+	bp, _ := headerBufPool.Get().(*[]byte)
+	if bp == nil {
+		bp = new([]byte)
+	}
+	hdr := m.appendHeaders((*bp)[:0])
+	vp, _ := vecPool.Get().(*[][]byte)
+	if vp == nil {
+		vp = new([][]byte)
+	}
+	vec := append((*vp)[:0], hdr)
+	if m.chain != nil {
+		for _, s := range m.chain.segs {
+			if len(s) > 0 {
+				vec = append(vec, s)
+			}
+		}
+	} else if len(m.body) > 0 {
+		vec = append(vec, m.body)
+	}
+	// vp is pooled, so aiming net.Buffers' pointer receiver at it (legal:
+	// identical underlying types) keeps the call heap-allocation-free.
+	*vp = vec
+	n, err := (*net.Buffers)(vp).WriteTo(w)
+	// net.Buffers consumed entries in place through vec's backing array;
+	// clear any survivors (error paths) before pooling so no body memory is
+	// pinned by the scratch.
+	for i := range vec {
+		vec[i] = nil
+	}
+	*vp = vec[:0]
+	vecPool.Put(vp)
+	*bp = hdr[:0]
+	headerBufPool.Put(bp)
+	return n, err
+}
+
+// Encode serializes the message to a byte slice (chain-aware, without
+// flattening the source).
 func (m *Message) Encode() []byte {
-	buf := make([]byte, 0, len(m.body)+256)
+	buf := make([]byte, 0, m.Len()+256)
 	buf = m.appendHeaders(buf)
+	if m.chain != nil {
+		for _, s := range m.chain.segs {
+			buf = append(buf, s...)
+		}
+		return buf
+	}
 	return append(buf, m.body...)
 }
 

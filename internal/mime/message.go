@@ -40,6 +40,10 @@ type Message struct {
 	// pooledBody marks a body drawn from the shared buffer pool (Clone,
 	// ReadMessage); only such bodies may be recycled. See Recycle.
 	pooledBody bool
+	// chain, when non-nil, holds the body as appended segments instead of
+	// the contiguous body slice (which is then empty). See chain.go; Body()
+	// flattens back to contiguous form on demand.
+	chain *BodyChain
 }
 
 var msgCounter atomic.Uint64
@@ -142,19 +146,36 @@ func (m *Message) Headers() []string {
 	return out
 }
 
-// Body returns the message body without copying.
-func (m *Message) Body() []byte { return m.body }
+// Body returns the message body without copying. A chained body (see
+// chain.go) is flattened into one contiguous pooled buffer first — the lazy
+// copy that keeps stateful consumers oblivious to chaining.
+func (m *Message) Body() []byte {
+	if m.chain != nil {
+		m.flattenChain()
+	}
+	return m.body
+}
 
-// SetBody replaces the body (retaining the slice). The previous body is
-// not recycled (the caller may still alias it), and the new body is
-// caller-owned, so it is never eligible for recycling.
+// SetBody replaces the body (retaining the slice). The previous body —
+// including any chain segments — is not recycled (the caller may still
+// alias it), and the new body is caller-owned, so it is never eligible for
+// recycling.
 func (m *Message) SetBody(b []byte) {
+	if m.chain != nil {
+		releaseChain(m.chain) // drop segment refs; callers may alias them
+		m.chain = nil
+	}
 	m.body = b
 	m.pooledBody = false
 }
 
-// Len returns the body length in bytes.
-func (m *Message) Len() int { return len(m.body) }
+// Len returns the body length in bytes (chain-aware, without flattening).
+func (m *Message) Len() int {
+	if m.chain != nil {
+		return m.chain.n
+	}
+	return len(m.body)
+}
 
 // ContentType parses the Content-Type field; it returns "*/*" when the
 // field is absent or malformed, matching the permissive behaviour the
@@ -224,20 +245,28 @@ func (m *Message) Clone() *Message {
 		ID:         NewID(),
 		keys:       make([]string, len(m.keys)),
 		fields:     make(map[string]string, len(m.fields)),
-		body:       getBodyBuf(len(m.body)),
+		body:       getBodyBuf(m.Len()),
 		pooledBody: true,
 	}
 	copy(c.keys, m.keys)
 	for k, v := range m.fields {
 		c.fields[k] = v
 	}
-	copy(c.body, m.body)
+	if m.chain != nil {
+		// The clone is always contiguous; the source stays chained.
+		off := 0
+		for _, s := range m.chain.segs {
+			off += copy(c.body[off:], s)
+		}
+	} else {
+		copy(c.body, m.body)
+	}
 	return c
 }
 
 // String summarizes the message for logs.
 func (m *Message) String() string {
-	return fmt.Sprintf("Message(%s %s %dB)", m.ID, m.Header(HeaderContentType), len(m.body))
+	return fmt.Sprintf("Message(%s %s %dB)", m.ID, m.Header(HeaderContentType), m.Len())
 }
 
 // parseContentLength reads a Content-Length value; -1 when absent/invalid.

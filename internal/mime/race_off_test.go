@@ -1,0 +1,5 @@
+//go:build !race
+
+package mime
+
+const raceEnabled = false

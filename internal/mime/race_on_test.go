@@ -1,0 +1,8 @@
+//go:build race
+
+package mime
+
+// raceEnabled gates allocation-count assertions: the race detector's
+// sync.Pool instrumentation allocates, so zero-alloc gates only hold in
+// uninstrumented builds.
+const raceEnabled = true

@@ -16,6 +16,13 @@ const (
 	MQueueQueuedMessages   = "mobigate_queue_queued_messages"
 	MQueueQueuedBytes      = "mobigate_queue_queued_bytes"
 
+	// Batched data plane (PostN/FetchN and the batch pumps): items moved
+	// per batched operation (the size histograms record counts, not
+	// seconds) and batched post flushes.
+	MBatchPostSize     = "mobigate_batch_post_size"
+	MBatchFetchSize    = "mobigate_batch_fetch_size"
+	MBatchFlushesTotal = "mobigate_batch_flushes_total"
+
 	// Central message pool (§6.7 pass-by-reference buffer management).
 	MPoolPutTotal  = "mobigate_pool_put_total"
 	MPoolHitTotal  = "mobigate_pool_hit_total"
@@ -143,6 +150,7 @@ func registerCatalog(r *Registry) {
 		{MAdaptSuppressedTotal, "Policy firings suppressed by cooldown or because the action was already in effect."},
 		{MAdaptFailuresTotal, "Policy actions that failed to apply (e.g. drain timeout)."},
 		{MAdaptReloadsTotal, "MCL hot-reloads applied to running servers."},
+		{MBatchFlushesTotal, "Batched post flushes (PostN calls) across all channel queues."},
 	} {
 		r.Counter(c.name, c.help, nil)
 	}
@@ -174,6 +182,8 @@ func registerCatalog(r *Registry) {
 		{MStreamletProcessSeconds, "Per-streamlet processMsg latency (Figure 7-2 quantity), labeled by streamlet id."},
 		{MStreamReconfigSeconds, "Reconfiguration duration (Equation 7-1 total)."},
 		{MLinkTransferSeconds, "Modelled per-message link transfer time (Equation 7-2 transfer term)."},
+		{MBatchPostSize, "Items posted per batched PostN flush (count per operation, not seconds)."},
+		{MBatchFetchSize, "Items drained per batched FetchN operation (count per operation, not seconds)."},
 	} {
 		r.Histogram(h.name, h.help, nil)
 	}

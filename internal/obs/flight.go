@@ -65,12 +65,16 @@ const (
 	// (Subject: "stream/rule-id"; Detail: condition, trigger reading, and
 	// action; Value: the reading that fired the rule).
 	FlightAdapt
+	// FlightBatchFlush is a batched post flush on a queue (Value: items
+	// moved). Data-plane: journaled only while spans are enabled, like
+	// enqueue/dequeue.
+	FlightBatchFlush
 )
 
 var flightCodeNames = [...]string{
 	"enqueue", "dequeue", "suspend", "activate", "drain", "heal", "fault",
 	"blackout", "restored", "reconfig", "handoff", "bandwidth", "event", "slo",
-	"cache-hit", "cache-miss", "adapt",
+	"cache-hit", "cache-miss", "adapt", "batch-flush",
 }
 
 func (c FlightCode) String() string {

@@ -40,6 +40,13 @@ var (
 	mFetchWait   = obs.DefaultHistogram(obs.MQueueFetchWaitSeconds, nil)
 	mQueuedMsgs  = obs.DefaultIntGauge(obs.MQueueQueuedMessages)
 	mQueuedBytes = obs.DefaultIntGauge(obs.MQueueQueuedBytes)
+
+	// Batch data-plane metrics: the size histograms record how many items
+	// each PostN/FetchN moved per lock acquisition (values are counts, not
+	// seconds), and the flush counter tallies batched post flushes.
+	mBatchPostSize  = obs.DefaultHistogram(obs.MBatchPostSize, nil)
+	mBatchFetchSize = obs.DefaultHistogram(obs.MBatchFetchSize, nil)
+	mBatchFlushes   = obs.DefaultCounter(obs.MBatchFlushesTotal)
 )
 
 // obsSampleShift controls wait-histogram sampling: 1 in 2^obsSampleShift
@@ -193,15 +200,26 @@ func acquireTimer(d time.Duration) *time.Timer {
 	return time.NewTimer(d)
 }
 
+// releaseTimer parks a timer for reuse.
+//
+// Audit note (Stop-vs-drain race): the classic pattern
+//
+//	if !t.Stop() { select { case <-t.C: default: } }
+//
+// is racy under the pre-1.23 timer runtime — when the timer fires
+// concurrently with release, Stop returns false while the tick's send is
+// still in flight, the non-blocking drain finds the channel momentarily
+// empty, and the stale tick lands *after* the timer is pooled. The next
+// borrower's Reset then delivers an instant spurious expiry (a premature
+// Post drop or Fetch timeout). A blocking drain is not a fix either: it
+// deadlocks under the 1.23+ semantics, where an unreceived tick is
+// discarded rather than buffered. The module therefore requires go >= 1.23
+// (see go.mod), under which Stop and Reset guarantee that no stale tick is
+// ever delivered, and release needs nothing beyond Stop.
+// TestTimerPoolNoStaleExpiry hammers the fire-vs-release window under
+// -race as the regression gate.
 func releaseTimer(t *time.Timer) {
-	if !t.Stop() {
-		// Already fired; drain a pending tick so a pooled Reset cannot
-		// deliver a stale expiry.
-		select {
-		case <-t.C:
-		default:
-		}
-	}
+	t.Stop()
 	timerPool.Put(t)
 }
 
@@ -310,6 +328,32 @@ func (q *Queue) post(msgID string, size int, stop <-chan struct{}) error {
 // appendLocked enqueues one item and maintains the occupancy accounting
 // (per-queue counters plus the gateway-wide occupancy gauges).
 func (q *Queue) appendLocked(msgID string, size int) {
+	q.enqueueLocked(msgID, size)
+	mQueuedMsgs.Add(1)
+	mQueuedBytes.Add(int64(size))
+}
+
+// enqueueLocked is the gauge-free enqueue core: ring insert, stamps, and
+// per-queue counters. PostN batches the gateway-wide gauge updates around
+// it so a whole batch costs two gauge atomics instead of 2·n.
+func (q *Queue) enqueueLocked(msgID string, size int) {
+	spans := obs.SpansEnabled()
+	var nowNs int64
+	if spans || obs.TracingEnabled() {
+		// The enqueue timestamp feeds the trace hop's queue-wait term and
+		// the queue span's start; with both consumers off nothing reads it,
+		// so skip the clock read.
+		nowNs = monoNow()
+	}
+	q.enqueueFlagsLocked(msgID, size, spans, nowNs)
+}
+
+// enqueueFlagsLocked is enqueueLocked with the observability toggles and the
+// clock read hoisted to the caller: a batch loop loads the toggles and reads
+// the clock once per batch instead of per message (the whole batch arrives
+// at one instant, so one timestamp is the honest one). nowNs == 0 means
+// tracing and spans are both off and no stamp is wanted.
+func (q *Queue) enqueueFlagsLocked(msgID string, size int, spans bool, nowNs int64) {
 	if q.count == len(q.ring) {
 		q.growLocked()
 	}
@@ -318,12 +362,8 @@ func (q *Queue) appendLocked(msgID string, size int) {
 		i -= len(q.ring)
 	}
 	q.ring[i] = Item{MsgID: msgID, Size: size}
-	spans := obs.SpansEnabled()
-	if spans || obs.TracingEnabled() {
-		// The enqueue timestamp feeds the trace hop's queue-wait term and
-		// the queue span's start; with both consumers off nothing reads it,
-		// so skip the clock read.
-		q.ring[i].enqueuedNs = monoNow()
+	if nowNs != 0 {
+		q.ring[i].enqueuedNs = nowNs
 	}
 	if spans {
 		// Data-plane flight events ride the spans toggle: at full message
@@ -334,8 +374,6 @@ func (q *Queue) appendLocked(msgID string, size int) {
 	q.count++
 	q.queuedSize += size
 	q.posted++
-	mQueuedMsgs.Add(1)
-	mQueuedBytes.Add(int64(size))
 }
 
 // growLocked doubles the ring, unrolling it into FIFO order.
@@ -455,6 +493,31 @@ func (q *Queue) TryFetch() (Item, bool) {
 }
 
 func (q *Queue) takeLocked() Item {
+	it := q.dequeueLocked()
+	mFetchTotal.Inc()
+	if !q.closed {
+		// Residual items were already removed from the gateway-wide gauges
+		// when the queue closed; draining them must not subtract twice.
+		mQueuedMsgs.Add(-1)
+		mQueuedBytes.Add(-int64(it.Size))
+	}
+	q.broadcastLocked()
+	return it
+}
+
+// dequeueLocked is the gauge- and broadcast-free dequeue core. FetchN runs
+// it per item and settles the counters, gauges, and producer wakeup once
+// per batch.
+func (q *Queue) dequeueLocked() Item {
+	var now int64
+	return q.dequeueFlagsLocked(obs.SpansEnabled(), &now)
+}
+
+// dequeueFlagsLocked is dequeueLocked with the spans toggle read by the
+// caller and the clock read cached across a batch drain: *nowNs is filled
+// on the first stamped item and reused for the rest, since the whole batch
+// leaves the queue at one instant.
+func (q *Queue) dequeueFlagsLocked(spans bool, nowNs *int64) Item {
 	it := q.ring[q.head]
 	q.ring[q.head] = Item{} // release the msgID string
 	q.head++
@@ -465,19 +528,14 @@ func (q *Queue) takeLocked() Item {
 	q.queuedSize -= it.Size
 	q.fetched++
 	if it.enqueuedNs != 0 {
-		it.Wait = time.Duration(monoNow() - it.enqueuedNs)
+		if *nowNs == 0 {
+			*nowNs = monoNow()
+		}
+		it.Wait = time.Duration(*nowNs - it.enqueuedNs)
 	}
-	if obs.SpansEnabled() {
+	if spans {
 		obs.FlightRecord(obs.FlightDequeue, q.name, it.MsgID, int64(it.Wait))
 	}
-	mFetchTotal.Inc()
-	if !q.closed {
-		// Residual items were already removed from the gateway-wide gauges
-		// when the queue closed; draining them must not subtract twice.
-		mQueuedMsgs.Add(-1)
-		mQueuedBytes.Add(-int64(it.Size))
-	}
-	q.broadcastLocked()
 	return it
 }
 

@@ -39,7 +39,7 @@ type Preorder struct {
 // Violation is one finding of the analyzer.
 type Violation struct {
 	// Kind is one of "feedback-loop", "open-circuit", "mutual-exclusion",
-	// "dependency", "preorder", "parallelism", "policy".
+	// "dependency", "preorder", "parallelism", "batching", "policy".
 	Kind string
 	// Scenario is "initial" or "when(EVENT)" — the configuration state the
 	// violation occurs in.
@@ -77,6 +77,7 @@ func Analyze(sc *mcl.StreamConfig, rules Rules) *Report {
 	g := BuildGraph(sc)
 
 	analyzeParallelism(r, sc)
+	analyzeBatching(r, sc)
 	analyzePolicies(r, sc)
 	analyzeScenario(r, "initial", g, sc, rules, false)
 	for _, w := range sc.Whens {
@@ -118,6 +119,38 @@ func analyzeParallelism(r *Report, sc *mcl.StreamConfig) {
 			r.add("parallelism", "initial",
 				"instance %s: streamlet %s declares workers = %d but has %d input ports; multi-input streamlets are order-sensitive across ports and must stay serial",
 				v, d.Name, d.Workers, ins)
+		}
+	}
+}
+
+// analyzeBatching statically rejects `batch > 1` on instances fed only by
+// SYNCHRONOUS channels: a rendezvous channel holds at most one unit by
+// construction, so a batched drain can never see more than one message and
+// the declaration signals a misunderstanding of the topology. Batching is
+// otherwise unrestricted — both drain and flush preserve FIFO order, so
+// STATEFUL streamlets may batch (unlike `workers`). Configuration-level,
+// independent of the routing scenario, mirroring analyzeParallelism.
+func analyzeBatching(r *Report, sc *mcl.StreamConfig) {
+	for _, v := range sc.Order {
+		inst := sc.Instances[v]
+		if inst == nil || inst.Decl == nil || inst.Decl.Batch <= 1 {
+			continue
+		}
+		feeds, allSync := 0, true
+		for _, c := range sc.Connections {
+			if c.To.Inst != v {
+				continue
+			}
+			feeds++
+			ch := sc.Channels[c.Channel]
+			if ch == nil || ch.Decl == nil || ch.Decl.Mode != mcl.Sync {
+				allSync = false
+			}
+		}
+		if feeds > 0 && allSync {
+			r.add("batching", "initial",
+				"instance %s: streamlet %s declares batch = %d but every input channel is SYNCHRONOUS; a rendezvous holds at most one unit, so batching cannot apply",
+				v, inst.Decl.Name, inst.Decl.Batch)
 		}
 	}
 }

@@ -313,3 +313,48 @@ stream s {
 		}
 	}
 }
+
+func TestAnalyzeBatchingAllSyncInputs(t *testing.T) {
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x"; batch = 8; } }
+channel rdv { port { in cin : text; out cout : text; } attribute { type = SYNC; } }
+stream s {
+	streamlet a = new-streamlet (f);
+	streamlet b = new-streamlet (f);
+	channel c1 = new-channel (rdv);
+	connect (a.po, b.pi, c1);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"a.pi", "b.po"}})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "batching" && strings.Contains(v.Detail, "SYNCHRONOUS") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("batch over all-sync inputs not reported: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeBatchingAsyncInputOK(t *testing.T) {
+	// An implicit connect creates an ASYNC channel, so batching applies and
+	// no violation is raised; STATEFUL batching is likewise legal (the
+	// batched pump preserves FIFO, unlike worker fan-out).
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { type = STATEFUL; library = "x"; batch = 8; } }
+stream s {
+	streamlet a = new-streamlet (f);
+	streamlet b = new-streamlet (f);
+	connect (a.po, b.pi);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"a.pi", "b.po"}})
+	for _, v := range rep.Violations {
+		if v.Kind == "batching" {
+			t.Errorf("spurious batching violation: %v", v)
+		}
+	}
+}

@@ -203,7 +203,7 @@ func (f *Frontend) handleConn(conn net.Conn) error {
 					if m == nil {
 						break
 					}
-					if _, err := m.WriteTo(bw); err != nil {
+					if _, err := m.WriteToV(bw); err != nil {
 						return err
 					}
 					sent++
@@ -218,7 +218,7 @@ func (f *Frontend) handleConn(conn net.Conn) error {
 			continue
 		}
 		m.SetHeader(HeaderSeq, strconv.FormatInt(sent, 10))
-		if _, err := m.WriteTo(bw); err != nil {
+		if _, err := m.WriteToV(bw); err != nil {
 			return err
 		}
 		sent++
@@ -305,7 +305,7 @@ func (f *Frontend) ServeRequest(name string, src <-chan *mime.Message, w io.Writ
 						return nil
 					}
 					m.SetHeader(HeaderSeq, strconv.FormatInt(sent, 10))
-					if _, err := m.WriteTo(w); err != nil {
+					if _, err := m.WriteToV(w); err != nil {
 						return err
 					}
 					sent++
@@ -319,7 +319,7 @@ func (f *Frontend) ServeRequest(name string, src <-chan *mime.Message, w io.Writ
 			continue
 		}
 		m.SetHeader(HeaderSeq, strconv.FormatInt(sent, 10))
-		if _, err := m.WriteTo(w); err != nil {
+		if _, err := m.WriteToV(w); err != nil {
 			return err
 		}
 		sent++

@@ -16,6 +16,7 @@ const (
 	LibGif2Jpeg     = "image/gif2jpeg"
 	LibPS2Text      = "text/ps2text"
 	LibTextCompress = "text/compress"
+	LibFooter       = "text/footer"
 	LibDecompress   = "text/decompress"
 	LibEncrypt      = "crypto/encrypt"
 	LibDecrypt      = "crypto/decrypt"
@@ -35,6 +36,7 @@ func RegisterAll(dir *streamlet.Directory) {
 	dir.Register(LibGif2Jpeg, func() streamlet.Processor { return &Transcoder{} })
 	dir.Register(LibPS2Text, func() streamlet.Processor { return PS2Text{} })
 	dir.Register(LibTextCompress, func() streamlet.Processor { return &Compressor{} })
+	dir.Register(LibFooter, func() streamlet.Processor { return &Footer{} })
 	dir.Register(LibDecompress, func() streamlet.Processor { return Decompressor{} })
 	dir.Register(LibEncrypt, func() streamlet.Processor { return &Encryptor{} })
 	dir.Register(LibDecrypt, func() streamlet.Processor { return &Decryptor{} })
@@ -57,6 +59,7 @@ func RegisterAll(dir *streamlet.Directory) {
 	dir.SetTraits(LibGif2Jpeg, pure)
 	dir.SetTraits(LibTextCompress, pure)
 	dir.SetTraits(LibPS2Text, streamlet.Traits{Parallelizable: true, Deterministic: true})
+	dir.SetTraits(LibFooter, streamlet.Traits{Parallelizable: true})
 	dir.SetTraits(LibDecompress, streamlet.Traits{Parallelizable: true})
 	dir.SetTraits(LibRedirector, streamlet.Traits{Parallelizable: true})
 	dir.SetTraits(LibEncrypt, streamlet.Traits{Parallelizable: true, PoolPreferred: true})

@@ -16,6 +16,7 @@ var (
 	TypePostScript = mime.MustParse("application/postscript")
 	TypeRichText   = mime.MustParse("text/richtext")
 	TypePlainText  = mime.MustParse("text/plain")
+	TypeAnyText    = mime.MustParse("text/*")
 )
 
 // PS2Text is the PostScript-to-Text streamlet (§4.3): it discards format
@@ -123,9 +124,45 @@ func (Decompressor) Process(in streamlet.Input) ([]streamlet.Emission, error) {
 	return []streamlet.Emission{{Msg: in.Msg}}, nil
 }
 
+// Footer is the content-enrichment streamlet of the §4.3 family (the
+// classic active-proxy example is advertisement or notice insertion): it
+// appends an annotation to every text body. It is the data plane's
+// zero-copy appender: the original body is retained untouched as a chain
+// segment and only the footer bytes are written, into a pooled segment —
+// no copy of the (arbitrarily large) payload. Non-text messages pass
+// through unmodified.
+type Footer struct {
+	// Text is the annotation to append (default "\n-- via MobiGATE --\n").
+	Text string
+}
+
+// Process implements streamlet.Processor.
+func (f *Footer) Process(in streamlet.Input) ([]streamlet.Emission, error) {
+	if !in.Msg.ContentType().SubtypeOf(TypeAnyText) {
+		return []streamlet.Emission{{Msg: in.Msg}}, nil
+	}
+	txt := f.Text
+	if txt == "" {
+		txt = "\n-- via MobiGATE --\n"
+	}
+	copy(in.Msg.AppendBodyBuf(len(txt)), txt)
+	return []streamlet.Emission{{Msg: in.Msg}}, nil
+}
+
+// SetParam implements streamlet.Configurable: "text" sets the annotation.
+func (f *Footer) SetParam(name, value string) error {
+	if name != "text" {
+		return fmt.Errorf("footer: unknown parameter %q", name)
+	}
+	f.Text = value
+	return nil
+}
+
 var (
-	_ streamlet.Processor = (*Compressor)(nil)
-	_ streamlet.Peered    = (*Compressor)(nil)
-	_ streamlet.Processor = Decompressor{}
-	_ streamlet.Processor = PS2Text{}
+	_ streamlet.Processor    = (*Compressor)(nil)
+	_ streamlet.Peered       = (*Compressor)(nil)
+	_ streamlet.Processor    = Decompressor{}
+	_ streamlet.Processor    = PS2Text{}
+	_ streamlet.Processor    = (*Footer)(nil)
+	_ streamlet.Configurable = (*Footer)(nil)
 )

@@ -126,7 +126,7 @@ func (s *Streamlet) resequencer() {
 				delete(pending, next)
 				mReseqDepth.Add(-1)
 				next++
-				s.finish(nc)
+				s.finish(nc, nil)
 				s.inflight.Add(-1)
 				nc.it.src.Ack()
 				<-s.tokens // readmit one fetch

@@ -178,8 +178,12 @@ type Streamlet struct {
 	fetchGate chan struct{}
 
 	work chan workItem // unbuffered handoff from pumps to the worker
-	done chan struct{}
-	wg   sync.WaitGroup
+	// workB is the batched handoff (nil unless batch > 1 with the serial
+	// worker): pumps drain up to batch items in one FetchN and hand the
+	// whole slice over in one channel operation (see batch.go).
+	workB chan *workBatch
+	done  chan struct{}
+	wg    sync.WaitGroup
 
 	// sup is the installed fault supervision (nil selects the default:
 	// panic containment only). Swapped atomically so Supervise/OnFault are
@@ -192,6 +196,13 @@ type Streamlet struct {
 	// resequencer, which restores fetch order before anything is emitted
 	// downstream (see parallel.go).
 	workers int
+	// batch is the handoff batch size, fixed before Start (from the
+	// declaration's batch attribute or SetBatch). 1 selects today's
+	// one-message-per-handoff pump; N > 1 drains up to N items per queue
+	// lock and — in serial mode — flushes the batch's emissions downstream
+	// in one batched post (see batch.go). FIFO order is preserved in both
+	// directions, so unlike workers this composes with STATEFUL streamlets.
+	batch int
 	// seq stamps fetch order onto work items in parallel mode; the
 	// resequencer releases completions in seq order.
 	seq atomic.Uint64
@@ -273,6 +284,7 @@ func New(id string, decl *mcl.StreamletDecl, proc Processor, pool *msgpool.Pool)
 		proc:      proc,
 		pool:      pool,
 		workers:   1,
+		batch:     1,
 		ins:       make(map[string]*queue.Queue),
 		outs:      make(map[string]*queue.Queue),
 		pumps:     make(map[string]chan struct{}),
@@ -283,6 +295,9 @@ func New(id string, decl *mcl.StreamletDecl, proc Processor, pool *msgpool.Pool)
 	}
 	if decl != nil && decl.Workers > 1 {
 		s.workers = decl.Workers
+	}
+	if decl != nil && decl.Batch > 1 {
+		s.batch = decl.Batch
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -453,6 +468,12 @@ func (s *Streamlet) Start() {
 		return
 	}
 	s.state = StateActive
+	if s.batch > 1 && s.workers == 1 {
+		// Serial batch mode: pumps hand whole []workItem slices to the
+		// worker through workB. (Parallel mode batches only the queue drain;
+		// items still fan out one at a time through work — see batch.go.)
+		s.workB = make(chan *workBatch)
+	}
 	if s.workers > 1 {
 		// Parallel mode: N workers race on the handoff channel; the
 		// resequencer restores fetch order before emissions leave.
@@ -480,6 +501,14 @@ func (s *Streamlet) startPumpLocked(port string, q *queue.Queue) {
 	stop := make(chan struct{})
 	s.pumps[port] = stop
 	par := s.workers > 1 // immutable once started
+	if s.batch > 1 {
+		// Batched drain: one FetchN per queue lock instead of one Fetch per
+		// message (batch.go). The single-item pump below stays byte-for-byte
+		// the batch = 1 path.
+		s.wg.Add(1)
+		go s.batchPump(port, q, stop, par)
+		return
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -654,6 +683,10 @@ func (s *Streamlet) worker() {
 	// call finishes on its own, discards its result, and exits.
 	slot := &execSlot{}
 	defer slot.close()
+	// Batch-mode emission buffering, owned by this goroutine and reused
+	// across batches (allocation-free steady state). Nil sink on the
+	// single-item path keeps emissions posting immediately, as today.
+	var sink emitSink
 	for {
 		select {
 		case <-s.done:
@@ -668,9 +701,13 @@ func (s *Streamlet) worker() {
 				return
 			}
 			c := s.produce(it, slot)
-			s.finish(&c)
+			s.finish(&c, nil)
 			s.inflight.Add(-1)
 			it.src.Ack()
+		case wb := <-s.workB: // nil channel unless serial batch mode
+			if !s.runBatch(wb, slot, &sink) {
+				return
+			}
 		}
 	}
 }
@@ -752,8 +789,11 @@ func (s *Streamlet) produce(it workItem, slot *execSlot) completion {
 
 // finish is the serial stage: fault disposition, counters, trace/span
 // bookkeeping, and downstream emission. Callers guarantee finish runs in
-// fetch order (that is the resequencer's whole job).
-func (s *Streamlet) finish(c *completion) {
+// fetch order (that is the resequencer's whole job). A nil sink posts each
+// emission immediately (the classic path); a non-nil sink defers the posts
+// into the batch's flush (see batch.go), leaving every other side effect —
+// pool forward, peer chain, supersede accounting — exactly in place.
+func (s *Streamlet) finish(c *completion, sink *emitSink) {
 	if c.skip {
 		return
 	}
@@ -802,7 +842,7 @@ func (s *Streamlet) finish(c *completion) {
 		if em.Msg.ID == it.msgID {
 			kept = true
 		}
-		if s.emit(em, peerID, sp) {
+		if s.emitTo(em, peerID, sp, sink) {
 			superseded[em.Msg.ID] = true
 		}
 	}
@@ -922,11 +962,14 @@ func (s *Streamlet) span(it workItem, sctx obs.SpanContext, session string, emis
 	return &spanEmit{traceID: sctx.TraceID, procSpanID: pid}
 }
 
-// emit forwards one emission; it reports whether the pool handed a deep
+// emitTo forwards one emission; it reports whether the pool handed a deep
 // copy downstream (by-value mode), in which case the original's pool entry
 // is superseded. A non-nil sp wraps the pool forward and queue post in a
-// forward span parented under this hop's process span.
-func (s *Streamlet) emit(em Emission, peerID string, sp *spanEmit) (copied bool) {
+// forward span parented under this hop's process span. A non-nil sink
+// defers the queue post (only the post — the pool forward and peer chain
+// happen here either way) into the batch flush; the supersede verdict is
+// known at Forward time, so it is identical on both paths.
+func (s *Streamlet) emitTo(em Emission, peerID string, sp *spanEmit, sink *emitSink) (copied bool) {
 	q := s.resolveOut(em.Port)
 	if q == nil {
 		// Open circuit at runtime: the §5.2.2 condition the semantic model
@@ -951,6 +994,10 @@ func (s *Streamlet) emit(em Emission, peerID string, sp *spanEmit) (copied bool)
 	if err != nil {
 		s.fail(err)
 		return false
+	}
+	if sink != nil {
+		sink.add(sinkEntry{q: q, fid: fid, origID: em.Msg.ID, size: size, sp: sp})
+		return fid != em.Msg.ID
 	}
 	if err := q.Post(fid, size, s.done); err != nil {
 		s.dropped.Add(1)
