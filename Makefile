@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke docs-check vet fmt check examples experiments clean
+.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke docs-check vet fmt check examples experiments clean
 
 all: build test
 
@@ -20,8 +20,9 @@ race:
 # hot-path benchmark smoke (catches gross regressions without a full run),
 # the fault-injection survival scenario, the end-to-end span smoke, the
 # parallel-execution smoke, the adaptation-autopilot smoke, the
-# batched-handoff smoke, and the documentation linter.
-check: build test race bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke docs-check
+# batched-handoff smoke, the multi-session scale smoke, and the
+# documentation linter.
+check: build test race bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke docs-check
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -30,13 +31,14 @@ bench:
 # Figure 7-2 streamlet overhead, both Figure 7-3 buffer-management modes,
 # the span-tracing overhead pair (off = production hot path, on =
 # diagnosis), the per-service transform costs, the parallel fan-out chain,
-# the transcode cache, the batched chain sweep, and the vectored encode.
-GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass|SpanOverhead|ServiceStreamlets|ParallelChain|TranscodeCache|BatchChain|MIMEWriteToV'
+# the transcode cache, the batched chain sweep, the vectored encode, and
+# the session layer (connect/disconnect churn + post/release hot path).
+GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass|SpanOverhead|ServiceStreamlets|ParallelChain|TranscodeCache|BatchChain|MIMEWriteToV|SessionChurn'
 BENCH_FILE  = BENCH_PR2.json
 # Hot paths that must stay allocation-free even on their first benchmarked
-# run (no baseline entry needed): the batched queue ops and both encode
-# paths.
-ZEROALLOC_BENCH = 'QueuePostFetchBatch|MIMEWriteToV'
+# run (no baseline entry needed): the batched queue ops, both encode
+# paths, and the session admit/post/release hot path.
+ZEROALLOC_BENCH = 'QueuePostFetchBatch|MIMEWriteToV|SessionChurn/post-release'
 
 # Record the committed baseline the regression gate compares against.
 # -count=5 gives benchdiff repeated runs: -save keeps the median (typical
@@ -80,6 +82,14 @@ adapt-smoke:
 # order, at every point (exits nonzero if not).
 batch-smoke:
 	$(GO) run ./cmd/mobibench -exp batch
+
+# Multi-session scale smoke: a 10k-session shared-plane table must survive
+# traffic, churn/handoff rounds, and an admission overload with exact
+# message conservation, bounded per-session heap growth, and every
+# past-capacity connect shed and counted (exits nonzero if not). The full
+# 100k-session run is `mobibench -exp sessions` with the default -sessions.
+sessions-smoke:
+	$(GO) run ./cmd/mobibench -exp sessions -sessions 10000
 
 # Documentation linter: every docs/*.md page must be linked from README.md,
 # every relative markdown link must resolve, and fenced MCL / CLI examples

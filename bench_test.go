@@ -9,8 +9,8 @@
 package mobigate
 
 import (
-	"io"
 	"fmt"
+	"io"
 	"testing"
 	"time"
 
@@ -24,6 +24,7 @@ import (
 	"mobigate/internal/queue"
 	"mobigate/internal/server"
 	"mobigate/internal/services"
+	"mobigate/internal/session"
 	"mobigate/internal/stream"
 	"mobigate/internal/streamlet"
 )
@@ -691,4 +692,62 @@ func BenchmarkBatchChain(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSessionChurn measures the session layer's two costs: the
+// control-plane churn (connect + disconnect of a fresh session against a
+// populated sharded table) and the steady-state data hot path (quota
+// admit, shared-plane post, fetch, release). The hot path must stay
+// allocation-free — session accounting is atomics only, so multiplexing
+// thousands of sessions onto one plane adds no per-message allocation —
+// and is gated by benchdiff -zeroalloc.
+func BenchmarkSessionChurn(b *testing.B) {
+	newSessionPlane := func(b *testing.B) (*session.Table, *queue.Queue) {
+		b.Helper()
+		q := queue.New("bench-sess", queue.Options{CapacityBytes: 1 << 24})
+		tbl, err := session.NewTable(session.Config{}, session.NewPlane("bench-sess", q))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(tbl.Close)
+		return tbl, q
+	}
+	b.Run("connect-disconnect", func(b *testing.B) {
+		tbl, _ := newSessionPlane(b)
+		// A resident population so connect hashes into non-empty shards.
+		for i := 0; i < 1024; i++ {
+			if _, err := tbl.Connect(fmt.Sprintf("resident-%d", i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		ids := make([]string, b.N)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("churn-%d", i)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tbl.Connect(ids[i]); err != nil {
+				b.Fatal(err)
+			}
+			tbl.Disconnect(ids[i])
+		}
+	})
+	b.Run("post-release", func(b *testing.B) {
+		tbl, q := newSessionPlane(b)
+		s, err := tbl.Connect("hot")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.Post("m", 64, nil); err != nil {
+				b.Fatal(err)
+			}
+			if _, ok := q.TryFetch(); !ok {
+				b.Fatal("fetch failed")
+			}
+			q.Ack()
+			s.Release(64, 0)
+		}
+	})
 }

@@ -12,6 +12,7 @@
 //	mobibench -exp parallel # workers fan-out scaling + transcode cache sweep
 //	mobibench -exp adapt    # autopilot when-policies vs static compositions
 //	mobibench -exp batch    # batched-handoff sweep (delivery + FIFO asserted)
+//	mobibench -exp sessions # multi-session shared-plane scale (conservation + admission)
 //	mobibench -exp all      # everything
 //
 // The list above, the -exp dispatch, and the usage text all come from the
@@ -58,6 +59,7 @@ var experimentsTable = []struct {
 	{"parallel", "workers fan-out scaling + transcode cache sweep", runParallel},
 	{"adapt", "autopilot when-policies vs static compositions", runAdapt},
 	{"batch", "batched-handoff sweep (delivery + FIFO asserted)", runBatch},
+	{"sessions", "multi-session shared-plane scale (conservation + admission)", runSessions},
 }
 
 // experimentList renders the table for the usage text and the unknown-mode
@@ -78,6 +80,7 @@ var (
 	samples   = flag.Int("samples", 50, "messages per latency sample (fig7.2/7.3)")
 	loss      = flag.Float64("loss", 0, "link loss rate for fig7.7 (0..1)")
 	bandwidth = flag.Int64("bandwidth", 100_000, "link bandwidth for the hops breakdown (bits/s)")
+	sessions  = flag.Int("sessions", 100_000, "concurrent session population for -exp sessions")
 )
 
 func main() {
@@ -284,6 +287,24 @@ func runBatch() {
 	if res != nil {
 		fmt.Print(res)
 	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+// runSessions runs the multi-session scale experiment: a shared-plane
+// session table carrying -sessions concurrent logical sessions through
+// traffic, churn/handoff rounds, and a deliberate admission overload. The
+// experiment asserts end-to-end message conservation, bounded per-session
+// heap growth, and non-zero admission shedding; make sessions-smoke relies
+// on the non-zero exit when any of these fail.
+func runSessions() {
+	fmt.Printf("=== Multi-session gateway: %d sessions over shared planes ===\n", *sessions)
+	cfg := experiments.DefaultSessionsConfig()
+	cfg.Sessions = *sessions
+	res, err := experiments.Sessions(cfg)
+	fmt.Print(res)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -31,6 +31,7 @@ import (
 	"mobigate"
 	"mobigate/internal/mime"
 	"mobigate/internal/obs"
+	"mobigate/internal/server"
 	"mobigate/internal/services"
 )
 
@@ -45,6 +46,7 @@ var (
 	debug       = flag.Bool("debug", false, "mount the debug surface (/debug/flight, /debug/pprof) on the metrics address")
 	spans       = flag.Bool("spans", false, "enable end-to-end span tracing (deep diagnosis; adds per-message overhead)")
 	adaptEvery  = flag.Duration("adapt-interval", time.Second, "when-policy autopilot evaluation interval; 0 disables the autopilot")
+	sharedSess  = flag.Int("shared-sessions", 0, "shared-plane session mode: multiplex client connections onto a pool of N instances per stream instead of deploying one chain per connection; 0 keeps the per-connection model")
 )
 
 // reloadScript recompiles the script file and hot-swaps the gateway's
@@ -120,6 +122,10 @@ func main() {
 		return ch
 	}
 	fe := mobigate.NewFrontend(gw, source)
+	if *sharedSess > 0 {
+		fe.EnableSharedSessions(server.SessionGatewayConfig{Instances: *sharedSess})
+		log.Printf("shared-plane session mode: %d instances per stream", *sharedSess)
+	}
 	addr, err := fe.Listen(*listenAddr)
 	if err != nil {
 		log.Fatalf("mobigate-server: %v", err)

@@ -164,6 +164,32 @@ func (c *Catalog) RegisterCategory() Category {
 	return cat
 }
 
+// ResolveAll returns the categories of ids in order, registering any
+// identifier the catalog does not know under fallback — lookup and §8.2.1
+// dynamic registration happen in one atomic step. The two-call sequence
+// (CategoryOf, then Register on a miss) has a TOCTOU window: a concurrent
+// Register under a different category lands between the calls and the
+// second call fails, which is fatal for callers that must not fail
+// mid-apply (a hot reload that has already committed). Under one write
+// lock there is no window: a concurrent registration is ordered wholly
+// before (its category is returned) or wholly after (it gets the
+// already-registered error) this resolution, so ResolveAll itself cannot
+// fail.
+func (c *Catalog) ResolveAll(ids []string, fallback Category) []Category {
+	out := make([]Category, len(ids))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, id := range ids {
+		cat, ok := c.events[id]
+		if !ok {
+			cat = fallback
+			c.events[id] = cat
+		}
+		out[i] = cat
+	}
+	return out
+}
+
 // CategoryOf returns the category of an event identifier.
 func (c *Catalog) CategoryOf(id string) (Category, bool) {
 	c.mu.RLock()

@@ -1,0 +1,306 @@
+package experiments
+
+// The multi-session scale experiment behind `mobibench -exp sessions` and
+// `make sessions-smoke`: it stands up a shared-plane session table, connects
+// a large population of logical sessions (100k at full scale), runs traffic
+// rounds interleaved with disconnect/reconnect churn and cross-plane
+// handoffs, then deliberately overloads the admission controller. The
+// asserts are the session layer's whole contract at once:
+//
+//   - conservation: every post attempt ends as exactly one delivery or one
+//     counted shed, table-wide, at quiescence;
+//   - bounded memory: live-heap growth stays under a per-session budget
+//     (sessions are accounting, not buffers);
+//   - admission: connects past MaxSessions are refused and counted, never
+//     silently absorbed.
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mobigate/internal/queue"
+	"mobigate/internal/session"
+)
+
+// SessionsConfig parameterizes the experiment.
+type SessionsConfig struct {
+	// Sessions is the concurrent session population (the scale target).
+	Sessions int
+	// Planes is the shared-plane pool size the population is spread over.
+	Planes int
+	// Rounds is how many traffic+churn rounds to run.
+	Rounds int
+	// ChurnFraction is the share of sessions disconnected and reconnected
+	// (under a new incarnation id, usually landing on a different plane —
+	// the handoff) each round.
+	ChurnFraction float64
+	// Senders is the posting-goroutine count per round.
+	Senders int
+	// MessagesPerSender is how many messages each sender posts per round.
+	MessagesPerSender int
+	// MessageBytes is the accounted size per message.
+	MessageBytes int
+	// OverloadConnects is how many connects past MaxSessions the overload
+	// phase attempts; all must be shed by admission.
+	OverloadConnects int
+	// HeapBytesPerSession is the live-heap growth budget per session.
+	HeapBytesPerSession float64
+	// Timeout bounds every drain wait.
+	Timeout time.Duration
+}
+
+// DefaultSessionsConfig returns the full-scale (100k-session) run.
+func DefaultSessionsConfig() SessionsConfig {
+	return SessionsConfig{
+		Sessions:            100_000,
+		Planes:              4,
+		Rounds:              3,
+		ChurnFraction:       0.10,
+		Senders:             4,
+		MessagesPerSender:   2_000,
+		MessageBytes:        512,
+		OverloadConnects:    64,
+		HeapBytesPerSession: 2048,
+		Timeout:             60 * time.Second,
+	}
+}
+
+// SessionsResult is everything the experiment measured and asserted.
+type SessionsResult struct {
+	Sessions       int
+	Planes         int
+	PeakLive       int
+	HeapPerSession float64
+	Handoffs       int
+	Attempts       uint64
+	Stats          session.Stats
+	Elapsed        time.Duration
+}
+
+// String renders the result.
+func (r SessionsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sessions: %d concurrent over %d shared planes (%v)\n",
+		r.Sessions, r.Planes, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  peak live          %d\n", r.PeakLive)
+	fmt.Fprintf(&b, "  heap/session       %.0f B (budget %s)\n", r.HeapPerSession, "bounded")
+	fmt.Fprintf(&b, "  handoffs           %d (churned across planes)\n", r.Handoffs)
+	fmt.Fprintf(&b, "  post attempts      %d\n", r.Attempts)
+	fmt.Fprintf(&b, "  posted/delivered   %d/%d\n", r.Stats.Posted, r.Stats.Delivered)
+	fmt.Fprintf(&b, "  shed load/quota    %d/%d\n", r.Stats.LoadShed, r.Stats.QuotaShed)
+	fmt.Fprintf(&b, "  shed admission     %d (overload phase)\n", r.Stats.AdmissionShed)
+	fmt.Fprintf(&b, "  connects/disc.     %d/%d\n", r.Stats.Connects, r.Stats.Disconnects)
+	return b.String()
+}
+
+// liveHeap forces a quiescent heap measurement.
+func liveHeap() uint64 {
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// Sessions runs the experiment and returns an error on any violated assert.
+func Sessions(cfg SessionsConfig) (SessionsResult, error) {
+	start := time.Now()
+	var res SessionsResult
+	res.Sessions = cfg.Sessions
+	res.Planes = cfg.Planes
+
+	heap0 := liveHeap()
+
+	planes := make([]*session.Plane, cfg.Planes)
+	for i := range planes {
+		planes[i] = session.NewPlane(fmt.Sprintf("sessions-plane-%d", i),
+			queue.New(fmt.Sprintf("sessions-q-%d", i), queue.Options{CapacityBytes: 1 << 24}))
+	}
+	tbl, err := session.NewTable(session.Config{
+		MaxSessions: int64(cfg.Sessions),
+		Shards:      1024,
+	}, planes...)
+	if err != nil {
+		return res, err
+	}
+	defer tbl.Close()
+
+	// The route slice plays the gateway's role: it maps a message's session
+	// index back to the session that admitted it, surviving churn because
+	// each round swaps the pointer only after the old incarnation drained.
+	routes := make([]*session.Session, cfg.Sessions)
+	var routeMu sync.RWMutex
+
+	// Ramp: connect the whole population.
+	for i := range routes {
+		s, err := tbl.Connect("sess-" + strconv.Itoa(i))
+		if err != nil {
+			return res, fmt.Errorf("sessions: ramp connect %d: %w", i, err)
+		}
+		routes[i] = s
+	}
+	res.PeakLive = tbl.Len()
+	if res.PeakLive != cfg.Sessions {
+		return res, fmt.Errorf("sessions: peak live %d, want %d", res.PeakLive, cfg.Sessions)
+	}
+
+	// Steady-state memory: the whole population is connected and quiet.
+	res.HeapPerSession = float64(liveHeap()-heap0) / float64(cfg.Sessions)
+	if res.HeapPerSession > cfg.HeapBytesPerSession {
+		return res, fmt.Errorf("sessions: %.0f heap bytes/session exceeds the %.0f budget",
+			res.HeapPerSession, cfg.HeapBytesPerSession)
+	}
+
+	// Pumps: one consumer per plane releasing reservations as the shared
+	// chains would, routing by the session index encoded in the message id.
+	stop := make(chan struct{})
+	var pumps sync.WaitGroup
+	for _, p := range planes {
+		pumps.Add(1)
+		go func(q *queue.Queue) {
+			defer pumps.Done()
+			buf := make([]queue.Item, 256)
+			for {
+				n := q.FetchN(buf, stop)
+				if n == 0 {
+					select {
+					case <-stop:
+						return
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				for _, it := range buf[:n] {
+					idx, _ := strconv.Atoi(it.MsgID[:strings.IndexByte(it.MsgID, '/')])
+					routeMu.RLock()
+					routes[idx].Release(it.Size, 0)
+					routeMu.RUnlock()
+				}
+			}
+		}(p.Queue())
+	}
+	defer func() { close(stop); pumps.Wait() }()
+
+	// drained waits until every post attempt has been accounted end to end.
+	drained := func(attempts uint64) error {
+		deadline := time.Now().Add(cfg.Timeout)
+		for {
+			st := tbl.Stats()
+			if st.Delivered+st.LoadShed+st.QuotaShed == attempts && st.Posted == st.Delivered {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("sessions: drain stalled: attempts=%d %+v", attempts, st)
+			}
+			runtime.Gosched()
+		}
+	}
+
+	// accounted counts only attempts that ended in a posted message or a
+	// counted shed, so an unexpected post error (which is itself a test
+	// failure) cannot wedge the drain wait.
+	var accounted atomic.Uint64
+	for round := 0; round < cfg.Rounds; round++ {
+		// Traffic burst: senders spray the population round-robin.
+		var senders sync.WaitGroup
+		sendErr := make(chan error, cfg.Senders)
+		for k := 0; k < cfg.Senders; k++ {
+			senders.Add(1)
+			go func(k, round int) {
+				defer senders.Done()
+				for m := 0; m < cfg.MessagesPerSender; m++ {
+					idx := (k + m*cfg.Senders) % cfg.Sessions
+					routeMu.RLock()
+					s := routes[idx]
+					routeMu.RUnlock()
+					id := strconv.Itoa(idx) + "/" + strconv.Itoa(round) + "-" + strconv.Itoa(m)
+					err := s.Post(id, cfg.MessageBytes, stop)
+					if err != nil && err != session.ErrQuota && err != session.ErrShed {
+						sendErr <- fmt.Errorf("sessions: round %d post %s: %w", round, id, err)
+						return
+					}
+					accounted.Add(1)
+				}
+			}(k, round)
+		}
+		senders.Wait()
+		select {
+		case err := <-sendErr:
+			return res, err
+		default:
+		}
+		if err := drained(accounted.Load()); err != nil {
+			return res, err
+		}
+
+		// Churn + handoff: a slice of the population disconnects and
+		// reconnects under a new incarnation id, which re-hashes it — most
+		// land on a different plane, which is the handoff.
+		churn := int(float64(cfg.Sessions) * cfg.ChurnFraction)
+		for c := 0; c < churn; c++ {
+			idx := (round*churn + c) % cfg.Sessions
+			routeMu.RLock()
+			old := routes[idx]
+			routeMu.RUnlock()
+			tbl.Disconnect(old.ID())
+			s, err := tbl.Connect(old.ID() + "#" + strconv.Itoa(round))
+			if err != nil {
+				return res, fmt.Errorf("sessions: churn reconnect %d: %w", idx, err)
+			}
+			if s.Plane() != old.Plane() {
+				res.Handoffs++
+			}
+			routeMu.Lock()
+			routes[idx] = s
+			routeMu.Unlock()
+		}
+		if tbl.Len() != cfg.Sessions {
+			return res, fmt.Errorf("sessions: round %d live %d, want %d", round, tbl.Len(), cfg.Sessions)
+		}
+	}
+	res.Attempts = accounted.Load()
+	if cfg.Rounds > 0 && cfg.ChurnFraction > 0 && res.Handoffs == 0 {
+		return res, fmt.Errorf("sessions: churn never crossed planes")
+	}
+
+	// Overload: the table is at MaxSessions, so every extra connect must be
+	// refused by the admission controller — and counted.
+	for c := 0; c < cfg.OverloadConnects; c++ {
+		if _, err := tbl.Connect("overload-" + strconv.Itoa(c)); err != session.ErrAdmission {
+			return res, fmt.Errorf("sessions: overload connect %d: got %v, want ErrAdmission", c, err)
+		}
+	}
+
+	// Teardown: the whole population disconnects; nothing is in flight, so
+	// the table must empty without any draining stragglers.
+	routeMu.RLock()
+	for _, s := range routes {
+		tbl.Disconnect(s.ID())
+	}
+	routeMu.RUnlock()
+	res.Stats = tbl.Stats()
+	res.Elapsed = time.Since(start)
+
+	if res.Stats.Live != 0 || res.Stats.Draining != 0 {
+		return res, fmt.Errorf("sessions: teardown left live=%d draining=%d",
+			res.Stats.Live, res.Stats.Draining)
+	}
+	if res.Stats.Posted != res.Stats.Delivered {
+		return res, fmt.Errorf("sessions: conservation: posted %d != delivered %d",
+			res.Stats.Posted, res.Stats.Delivered)
+	}
+	if got := res.Stats.Delivered + res.Stats.LoadShed + res.Stats.QuotaShed; got != res.Attempts {
+		return res, fmt.Errorf("sessions: conservation: delivered+shed %d != attempts %d", got, res.Attempts)
+	}
+	if int(res.Stats.AdmissionShed) < cfg.OverloadConnects {
+		return res, fmt.Errorf("sessions: admission shed %d < overload %d",
+			res.Stats.AdmissionShed, cfg.OverloadConnects)
+	}
+	return res, nil
+}

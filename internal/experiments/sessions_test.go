@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+// TestSessionsExperiment runs a scaled-down population with every phase
+// (ramp, traffic, churn/handoff, overload, teardown) and relies on the
+// experiment's internal asserts: conservation, bounded heap, admission.
+func TestSessionsExperiment(t *testing.T) {
+	cfg := DefaultSessionsConfig()
+	cfg.Sessions = 2_000
+	cfg.Rounds = 2
+	cfg.Senders = 4
+	cfg.MessagesPerSender = 500
+	cfg.OverloadConnects = 8
+	res, err := Sessions(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakLive != cfg.Sessions {
+		t.Fatalf("peak live %d, want %d", res.PeakLive, cfg.Sessions)
+	}
+	if res.Handoffs == 0 {
+		t.Fatal("no cross-plane handoffs despite churn")
+	}
+	if res.Stats.AdmissionShed == 0 {
+		t.Fatal("overload phase shed nothing")
+	}
+	t.Logf("\n%s", res)
+}

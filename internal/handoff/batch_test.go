@@ -1,0 +1,171 @@
+package handoff
+
+// Handoff under batched pumps. The data plane's `batch = N` mode drains and
+// emits messages in batches, so at any instant up to N messages per
+// streamlet sit in a half-flushed batch rather than on the link. A handoff
+// that fires in that state must still satisfy the §8.2.1 state-sync
+// contract: every message sent before, during, or after the switch arrives
+// exactly once and in order. The pre-existing handoff tests only drove the
+// Manager directly (effectively batch = 1); these push a batched chain
+// through it.
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/netem"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+)
+
+const hoSeqHeader = "X-Handoff-Seq"
+
+// batchedSession builds a redirector chain (every streamlet in batch = n
+// mode) that terminates in a Communicator sinking onto the Manager's
+// current link, and returns the inlet plus the communicator for progress
+// polling.
+func batchedSession(t *testing.T, n int, m *Manager) (*stream.Stream, *stream.Inlet, *services.Communicator) {
+	t.Helper()
+	pool := msgpool.New(msgpool.ByReference)
+	st := stream.New(fmt.Sprintf("ho-batch-%d", n), pool, nil)
+	comm := &services.Communicator{SinkTo: m}
+	prev := ""
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("r%d", i)
+		if _, err := st.AddStreamlet(id, nil, services.Redirector{}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Streamlet(id).SetBatch(n); err != nil {
+			t.Fatal(err)
+		}
+		if prev != "" {
+			if err := st.Connect(mcl.PortRef{Inst: prev, Port: "po"}, mcl.PortRef{Inst: id, Port: "pi"}, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	if _, err := st.AddStreamlet("cm", nil, comm); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Streamlet("cm").SetBatch(n); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Connect(mcl.PortRef{Inst: prev, Port: "po"}, mcl.PortRef{Inst: "cm", Port: "pi"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	in, err := st.OpenInlet(mcl.PortRef{Inst: "r0", Port: "pi"}, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, in, comm
+}
+
+// TestHandoffMidBatchZeroLossZeroReorder migrates the session while the
+// batched chain is mid-flight — once with the link backlog entirely
+// unconsumed (forcing a replay of whole batches) and once in the middle of
+// the client's drain — and requires exact, ordered delivery.
+func TestHandoffMidBatchZeroLossZeroReorder(t *testing.T) {
+	for _, n := range []int{8, 32} {
+		t.Run(fmt.Sprintf("batch=%d", n), func(t *testing.T) {
+			const total = 400
+			em := event.NewManager(nil)
+			defer em.Close()
+			link := netem.MustNew(netem.Config{BandwidthBps: 1 << 30})
+			m := NewManager(link, "wavelan", netem.Virtual, em, 100_000, "")
+
+			st, in, comm := batchedSession(t, n, m)
+			st.Start()
+			defer st.End()
+
+			var wg sync.WaitGroup
+			sendErr := make(chan error, 1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < total; i++ {
+					msg := mime.NewMessage(services.TypePlainText, []byte("payload"))
+					msg.SetHeader(hoSeqHeader, strconv.Itoa(i))
+					if err := in.Send(msg); err != nil {
+						sendErr <- fmt.Errorf("send %d: %w", i, err)
+						return
+					}
+				}
+				sendErr <- nil
+			}()
+
+			// First migration: let at least a quarter of the flow cross the
+			// old link before any client-side consumption, so the handoff
+			// must replay sent-but-unconsumed batches onto the new link.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				sent, errs := comm.Stats()
+				if errs != 0 {
+					t.Fatalf("communicator reported %d send errors", errs)
+				}
+				if sent >= total/4 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("chain stalled before first handoff: %d sent", sent)
+				}
+				runtime.Gosched()
+			}
+			if _, err := m.Handoff(Notification{NetworkID: "gprs", BandwidthBps: 1 << 30}); err != nil {
+				t.Fatalf("mid-batch handoff: %v", err)
+			}
+
+			last := -1
+			reorders := 0
+			for i := 0; i < total; i++ {
+				// Second migration: mid-drain, while the remaining messages
+				// are split between half-flushed batches and the live link.
+				if i == total/2 {
+					if _, err := m.Handoff(Notification{NetworkID: "wavelan2", BandwidthBps: 1 << 30}); err != nil {
+						t.Fatalf("mid-drain handoff: %v", err)
+					}
+				}
+				d, err := m.Receive(10 * time.Second)
+				if err != nil {
+					t.Fatalf("delivery %d of %d: %v", i, total, err)
+				}
+				seq, err := strconv.Atoi(d.Msg.Header(hoSeqHeader))
+				if err != nil {
+					t.Fatalf("delivery %d carries no %s stamp", i, hoSeqHeader)
+				}
+				if seq <= last {
+					reorders++
+				}
+				last = seq
+			}
+			if reorders != 0 {
+				t.Fatalf("%d reorders across handoffs (FIFO violated)", reorders)
+			}
+			if last != total-1 {
+				t.Fatalf("final sequence %d, want %d", last, total-1)
+			}
+
+			wg.Wait()
+			if err := <-sendErr; err != nil {
+				t.Fatal(err)
+			}
+			handoffs, replayed := m.Stats()
+			if handoffs != 2 {
+				t.Fatalf("handoffs = %d, want 2", handoffs)
+			}
+			// The first migration fired with ≥ total/4 messages sent and none
+			// consumed, so whole batches must have been replayed.
+			if replayed < total/4 {
+				t.Fatalf("replayed = %d, want at least %d (backlog lost?)", replayed, total/4)
+			}
+		})
+	}
+}

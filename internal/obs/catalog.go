@@ -83,6 +83,20 @@ const (
 	MSessionsTotal        = "mobigate_sessions_total"
 	MSessionsActive       = "mobigate_sessions_active"
 
+	// Session layer (internal/session): logical client sessions multiplexed
+	// onto shared streamlet instance pools, with per-session quotas, an
+	// admission controller, and a load-shedder. Distinct from the front-end
+	// TCP session metrics above: one TCP connection (or none — sessions can
+	// be driven in-process) carries one logical session.
+	MSessionConnectsTotal    = "mobigate_session_connects_total"
+	MSessionDisconnectsTotal = "mobigate_session_disconnects_total"
+	MSessionAdmitShedTotal   = "mobigate_session_admission_shed_total"
+	MSessionLoadShedTotal    = "mobigate_session_load_shed_total"
+	MSessionQuotaShedTotal   = "mobigate_session_quota_shed_total"
+	MSessionLive             = "mobigate_session_live"
+	MSessionDraining         = "mobigate_session_draining"
+	MSessionQueuedBytes      = "mobigate_session_queued_bytes"
+
 	// End-to-end span tracing (span.go), the flight recorder (flight.go),
 	// the trace store, and latency-budget tracking (slo.go).
 	MSpanRecordedTotal  = "mobigate_span_recorded_total"
@@ -138,6 +152,11 @@ func registerCatalog(r *Registry) {
 		{MEventsDroppedTotal, "Context events shed because the dispatch buffer was full (Post never blocks)."},
 		{MStreamsDeployedTotal, "Stream instances deployed since startup."},
 		{MSessionsTotal, "Front-end client sessions accepted since startup."},
+		{MSessionConnectsTotal, "Logical sessions admitted by the session layer."},
+		{MSessionDisconnectsTotal, "Logical sessions fully closed (drained and removed)."},
+		{MSessionAdmitShedTotal, "Session connect attempts refused by the admission controller."},
+		{MSessionLoadShedTotal, "Messages shed from admitted sessions while the shared plane was saturated."},
+		{MSessionQuotaShedTotal, "Messages shed because the session's byte or message quota was exhausted."},
 		{MSpanRecordedTotal, "Spans recorded into the span collector."},
 		{MSpanEvictedTotal, "Spans overwritten in the collector ring before being read."},
 		{MSpanBatchesTotal, "Client span batches merged back into the server collector."},
@@ -165,6 +184,9 @@ func registerCatalog(r *Registry) {
 		{MStreamletReseqDepth, "Completions parked in resequencers waiting for an earlier sequence number."},
 		{MCacheEntries, "Entries currently held by transcode caches."},
 		{MCacheBytes, "Body bytes currently held by transcode caches."},
+		{MSessionLive, "Logical sessions currently admitted (active or idle)."},
+		{MSessionDraining, "Logical sessions disconnected but still draining in-flight messages."},
+		{MSessionQueuedBytes, "Bytes admitted against session quotas and not yet released by delivery."},
 	} {
 		r.IntGauge(g.name, g.help, nil)
 	}

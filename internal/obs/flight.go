@@ -69,12 +69,24 @@ const (
 	// moved). Data-plane: journaled only while spans are enabled, like
 	// enqueue/dequeue.
 	FlightBatchFlush
+	// FlightSessionConnect / FlightSessionDisconnect are logical-session
+	// lifecycle transitions in the session layer (Subject: session id;
+	// Detail on disconnect: "drained" or "forced"; Value on disconnect:
+	// messages delivered).
+	FlightSessionConnect
+	FlightSessionDisconnect
+	// FlightSessionShed is an admission-controller refusal (Subject: the
+	// refused session id; Detail: "table-full" or "plane-saturated").
+	// Per-message load and quota sheds are counted, not journaled — at full
+	// rate they would churn the ring.
+	FlightSessionShed
 )
 
 var flightCodeNames = [...]string{
 	"enqueue", "dequeue", "suspend", "activate", "drain", "heal", "fault",
 	"blackout", "restored", "reconfig", "handoff", "bandwidth", "event", "slo",
 	"cache-hit", "cache-miss", "adapt", "batch-flush",
+	"session-connect", "session-disconnect", "session-shed",
 }
 
 func (c FlightCode) String() string {

@@ -197,14 +197,32 @@ func NewSpanCollector(perShard int, clock func() int64, site uint8) *SpanCollect
 		clock = MonoNow
 	}
 	c := &SpanCollector{clock: clock, site: site}
-	// Each site mints IDs from a disjoint space (server from 1, client from
-	// 2^32+1), so client-recorded span IDs can never collide with server IDs
-	// inside one merged trace tree.
-	c.ids.Store(uint64(site) << 32)
+	// Every collector mints IDs from its own disjoint 2^32 namespace: the
+	// site in the top byte and a process-global collector sequence in bits
+	// 32..55. Site-only namespacing (server from 1, client from 2^32+1) is
+	// not enough at gateway scale — each client session creates its own
+	// collector, so two sessions (or one session across a reconnect) would
+	// mint identical IDs, and merging their batches into the server
+	// collector cross-wires parent links in BuildSpanTree, which keys nodes
+	// by SpanID. The shared server collector is the first one created (it
+	// initializes with the package), so it keeps minting from 1.
+	c.ids.Store(spanIDBase(site, collectorSeq.Add(1)-1))
 	for i := range c.shards {
 		c.shards[i].ring = make([]Span, perShard)
 	}
 	return c
+}
+
+// collectorSeq hands each collector the namespace part of its span-ID
+// base. 24 bits of sequence leave 2^32 IDs per collector before one
+// namespace would bleed into the next — both far beyond any ring's
+// lifetime — and the sequence wraps into reuse only after 16M collectors.
+var collectorSeq atomic.Uint64
+
+// spanIDBase composes a collector's ID base: site tag in the top byte,
+// collector sequence in bits 32..55, per-span counter in the low 32 bits.
+func spanIDBase(site uint8, seq uint64) uint64 {
+	return uint64(site)<<56 | (seq&0xffffff)<<32
 }
 
 var defaultSpans = func() *SpanCollector {

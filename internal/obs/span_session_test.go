@@ -1,0 +1,97 @@
+package obs
+
+// Regression tests for per-collector span-ID namespacing. The bug these
+// lock in: collectors seeded their ID counter at site<<32, so every client
+// session's collector minted the same sequence (2^32+1, 2^32+2, …). At
+// high session counts — or across one session's reconnect — merged batches
+// carried duplicate SpanIDs, and BuildSpanTree (nodes keyed by SpanID)
+// cross-wired parent links between unrelated sessions' spans.
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSpanIDNoCollisionAcrossSessions mints IDs from many concurrently
+// created client-session collectors and requires global uniqueness. Run
+// with -race. Fails on the pre-fix code at the second collector.
+func TestSpanIDNoCollisionAcrossSessions(t *testing.T) {
+	const (
+		sessions   = 512
+		perSession = 64
+	)
+	var wg sync.WaitGroup
+	ids := make([][]uint64, sessions)
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			col := NewSpanCollector(4, MonoNow, SiteClient)
+			out := make([]uint64, perSession)
+			for i := range out {
+				out[i] = col.NextID()
+			}
+			ids[s] = out
+		}(s)
+	}
+	wg.Wait()
+	seen := make(map[uint64]int, sessions*perSession)
+	for s, out := range ids {
+		for _, id := range out {
+			if prev, dup := seen[id]; dup {
+				t.Fatalf("span ID %#x minted by both session %d and session %d", id, prev, s)
+			}
+			seen[id] = s
+		}
+	}
+}
+
+// TestSpanTreeSurvivesSessionMerge reconstructs one trace whose client
+// spans come from two different session collectors. Pre-fix both sessions
+// minted the same SpanID, so the merged tree lost one peer span and
+// re-parented its child under the other session's span.
+func TestSpanTreeSurvivesSessionMerge(t *testing.T) {
+	srv := NewSpanCollector(16, MonoNow, SiteServer)
+	trace := srv.NextID()
+	rootID := srv.NextID()
+	srv.Record(Span{TraceID: trace, SpanID: rootID, Kind: SpanProcess, Name: "root", StartNs: 1, DurNs: 10})
+
+	// Two client sessions each contribute a peer span under the root, plus
+	// a grandchild under their own peer span.
+	var batch []Span
+	for s := 0; s < 2; s++ {
+		cl := NewSpanCollector(16, MonoNow, SiteClient)
+		peer := cl.NextID()
+		child := cl.NextID()
+		batch = append(batch,
+			Span{TraceID: trace, SpanID: peer, ParentID: rootID, Kind: SpanPeer, Name: "peer", StartNs: 2, DurNs: 4},
+			Span{TraceID: trace, SpanID: child, ParentID: peer, Kind: SpanPeer, Name: "leaf", StartNs: 3, DurNs: 1},
+		)
+	}
+	srv.MergeBatch(batch, 0)
+
+	var spans []Span
+	for _, sp := range srv.Drain() {
+		if sp.TraceID == trace {
+			spans = append(spans, sp)
+		}
+	}
+	if len(spans) != 5 {
+		t.Fatalf("drained %d spans, want 5", len(spans))
+	}
+	roots := BuildSpanTree(spans)
+	if len(roots) != 1 {
+		t.Fatalf("tree has %d roots, want 1", len(roots))
+	}
+	if got := len(roots[0].Children); got != 2 {
+		t.Fatalf("root has %d peer children, want 2 (one per session)", got)
+	}
+	for _, peer := range roots[0].Children {
+		if len(peer.Children) != 1 {
+			t.Fatalf("peer span has %d children, want its own leaf", len(peer.Children))
+		}
+	}
+	if !SpanTreeConnected(spans) {
+		t.Fatal("merged multi-session trace is not a single connected tree")
+	}
+}

@@ -33,11 +33,23 @@ func TestParseSpanContextMalformed(t *testing.T) {
 func TestSpanCollectorSiteIDSpaces(t *testing.T) {
 	srv := NewSpanCollector(16, MonoNow, SiteServer)
 	cl := NewSpanCollector(16, MonoNow, SiteClient)
-	if id := srv.NextID(); id != 1 {
-		t.Errorf("server first ID = %d, want 1", id)
+	if id := srv.NextID(); id>>56 != uint64(SiteServer) {
+		t.Errorf("server ID %#x not tagged with the server site", id)
 	}
-	if id := cl.NextID(); id != 1<<32+1 {
-		t.Errorf("client first ID = %d, want 2^32+1", id)
+	if id := cl.NextID(); id>>56 != uint64(SiteClient) {
+		t.Errorf("client ID %#x not tagged with the client site", id)
+	}
+	// Every collector — not just every site — mints from its own namespace:
+	// two client sessions' collectors must never produce the same ID.
+	cl2 := NewSpanCollector(16, MonoNow, SiteClient)
+	a, b := cl.NextID(), cl2.NextID()
+	if a>>32 == b>>32 {
+		t.Errorf("two client collectors share an ID namespace: %#x vs %#x", a, b)
+	}
+	// The shared default collector is the process's first, so it keeps the
+	// low ID range the codec and tests have always seen.
+	if id := Spans().NextID(); id>>32 != 0 {
+		t.Errorf("default collector ID %#x outside the base namespace", id)
 	}
 }
 

@@ -1,0 +1,239 @@
+package queue
+
+// Regression tests for the Close-concurrency conservation audit: closing a
+// queue while gated fetches are being retracted must never strand entries
+// or break the posted/fetched/gauge accounting.
+//
+// The bug these lock in: a sync rendezvous post waited on q.count alone, so
+// when the gated consumer it was handing off to got retracted (cancellation
+// wins) and Close or stop then aborted the wait, the producer reported
+// ErrClosed/ErrCanceled — the caller reclaims the message — while the entry
+// stayed in the ring, counted as posted and fetchable by a later drain.
+// TestSyncPostRetractsOnAbort fails on the pre-fix code in roughly half its
+// rounds.
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/obs"
+)
+
+func waitingConsumersOf(q *Queue) int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.waitingConsumers
+}
+
+// TestSyncPostRetractsOnAbort drives the rendezvous handoff against a gated
+// consumer whose gate fires mid-handoff, then aborts the producer with
+// Close. Every round asserts the conservation invariant: exactly one of
+// {delivered, failed} per message, and a failed post leaves nothing behind
+// (no fetchable residue, Outstanding == 0).
+func TestSyncPostRetractsOnAbort(t *testing.T) {
+	const rounds = 1500
+	strands := 0
+	for round := 0; round < rounds; round++ {
+		q := New("sync-retract", Options{Mode: mcl.Sync})
+		gate := make(chan struct{})
+		fetchDone := make(chan bool, 1)
+		go func() {
+			_, ok := q.FetchGated(nil, gate)
+			fetchDone <- ok
+		}()
+		for i := 0; waitingConsumersOf(q) == 0; i++ {
+			if i > 1_000_000 {
+				t.Fatal("consumer never parked")
+			}
+			runtime.Gosched()
+		}
+		postDone := make(chan error, 1)
+		if round%2 == 0 {
+			// Ordering A: the gate fires first, racing the producer's
+			// admission against the consumer's retraction.
+			close(gate)
+			go func() { postDone <- q.post("m1", 10, nil) }()
+		} else {
+			// Ordering B: the producer appends, then the gate races the
+			// consumer's wake — the retracted consumer must not count as
+			// the rendezvous completing.
+			go func() { postDone <- q.post("m1", 10, nil) }()
+			for q.Len() == 0 && waitingConsumersOf(q) > 0 {
+				runtime.Gosched()
+			}
+			close(gate)
+		}
+		ok := <-fetchDone
+		var err error
+		if ok {
+			err = <-postDone // delivered: the post must return promptly
+		} else {
+			// Retracted: the producer may be parked in the rendezvous wait;
+			// Close must release it.
+			select {
+			case err = <-postDone:
+			case <-time.After(2 * time.Millisecond):
+				q.Close()
+				err = <-postDone
+			}
+		}
+		q.Close()
+		if ok == (err != nil) {
+			t.Fatalf("round %d: delivered=%v err=%v — want exactly one of {delivered, failed}", round, ok, err)
+		}
+		if err != nil {
+			strands++
+			if it, tok := q.TryFetch(); tok {
+				t.Fatalf("round %d: stranded item fetchable after failed post: %+v", round, it)
+			}
+			if o := q.Outstanding(); o != 0 {
+				t.Fatalf("round %d: Outstanding = %d after failed post, want 0", round, o)
+			}
+		}
+	}
+	if strands == 0 {
+		t.Log("warning: the retraction window was never hit this run")
+	}
+}
+
+// TestSyncPostStopRetracts covers the ErrCanceled abort on an OPEN queue:
+// the producer's stop fires mid-rendezvous after the gated consumer was
+// retracted. Pre-fix the entry stayed enqueued (Len == 1) and leaked into
+// the occupancy gauges until some later Close.
+func TestSyncPostStopRetracts(t *testing.T) {
+	msgs := obs.DefaultIntGauge(obs.MQueueQueuedMessages)
+	bytes := obs.DefaultIntGauge(obs.MQueueQueuedBytes)
+	for round := 0; round < 400; round++ {
+		m0, b0 := msgs.Value(), bytes.Value()
+		q := New("sync-stop", Options{Mode: mcl.Sync})
+		gate := make(chan struct{})
+		stop := make(chan struct{})
+		fetchDone := make(chan bool, 1)
+		go func() {
+			_, ok := q.FetchGated(nil, gate)
+			fetchDone <- ok
+		}()
+		for i := 0; waitingConsumersOf(q) == 0; i++ {
+			if i > 1_000_000 {
+				t.Fatal("consumer never parked")
+			}
+			runtime.Gosched()
+		}
+		postDone := make(chan error, 1)
+		go func() { postDone <- q.post("m1", 10, stop) }()
+		for q.Len() == 0 && waitingConsumersOf(q) > 0 {
+			runtime.Gosched()
+		}
+		close(gate)
+		ok := <-fetchDone
+		var err error
+		if ok {
+			err = <-postDone
+		} else {
+			select {
+			case err = <-postDone:
+			case <-time.After(2 * time.Millisecond):
+				close(stop)
+				err = <-postDone
+			}
+		}
+		if ok == (err != nil) {
+			t.Fatalf("round %d: delivered=%v err=%v", round, ok, err)
+		}
+		if err != nil {
+			if n := q.Len(); n != 0 {
+				t.Fatalf("round %d: %d item(s) stranded in open queue after canceled post", round, n)
+			}
+			if m1, b1 := msgs.Value(), bytes.Value(); m1 != m0 || b1 != b0 {
+				t.Fatalf("round %d: gauge leak on open queue: msgs %d->%d bytes %d->%d", round, m0, m1, b0, b1)
+			}
+		}
+		q.Close()
+	}
+}
+
+// TestCloseFetchNGatedConservation is the async side of the audit: Close
+// racing concurrent gated batch fetches (with gates firing mid-fetch, the
+// retraction path) and batched producers must conserve every message —
+// posted == fetched after the residue drains — and reconcile the
+// gateway-wide occupancy gauges to exactly their starting values.
+func TestCloseFetchNGatedConservation(t *testing.T) {
+	msgs := obs.DefaultIntGauge(obs.MQueueQueuedMessages)
+	bytes := obs.DefaultIntGauge(obs.MQueueQueuedBytes)
+	for round := 0; round < 200; round++ {
+		m0, b0 := msgs.Value(), bytes.Value()
+		q := New("close-race", Options{CapacityBytes: 1 << 14})
+		var wg sync.WaitGroup
+		var consumed atomic.Int64
+		stopProd := make(chan struct{})
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				ents := make([]Entry, 8)
+				for {
+					select {
+					case <-stopProd:
+						return
+					default:
+					}
+					n := 1 + r.Intn(8)
+					for i := 0; i < n; i++ {
+						ents[i] = Entry{MsgID: "m", Size: 1 + r.Intn(64)}
+					}
+					q.PostN(ents[:n], stopProd)
+					if q.Closed() {
+						return
+					}
+				}
+			}(int64(round*17 + p))
+		}
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				dst := make([]Item, 8)
+				for {
+					gate := make(chan struct{})
+					if r.Intn(2) == 0 {
+						go close(gate)
+					} else {
+						close(gate)
+					}
+					n := q.FetchNGated(dst, nil, gate)
+					consumed.Add(int64(n))
+					if n == 0 && q.Closed() {
+						return
+					}
+				}
+			}(int64(round*31 + c))
+		}
+		q.Close()
+		close(stopProd)
+		wg.Wait()
+		dst := make([]Item, 16)
+		for {
+			n := q.TryFetchN(dst)
+			if n == 0 {
+				break
+			}
+			consumed.Add(int64(n))
+		}
+		posted, fetched, dropped := q.Stats()
+		if posted != fetched {
+			t.Fatalf("round %d: posted %d != fetched %d (dropped %d, consumer-seen %d)",
+				round, posted, fetched, dropped, consumed.Load())
+		}
+		if m1, b1 := msgs.Value(), bytes.Value(); m1 != m0 || b1 != b0 {
+			t.Fatalf("round %d: gauge leak: msgs %d->%d bytes %d->%d (posted %d fetched %d)",
+				round, m0, m1, b0, b1, posted, fetched)
+		}
+	}
+}

@@ -403,16 +403,60 @@ func (q *Queue) postSyncLocked(msgID string, size int, stop <-chan struct{}) err
 	}
 	q.appendLocked(msgID, size)
 	q.broadcastLocked()
-	// Wait until the rendezvous completes.
-	for q.count > 0 && !q.closed {
+	// Wait until the rendezvous completes — that is, until THIS producer's
+	// item leaves the ring. Checking q.count alone is wrong twice over: the
+	// consumer counted by waitingConsumers may be a gated fetch that gets
+	// retracted (cancellation wins) before taking the item, and when Close
+	// or stop then aborts the wait, the producer reports failure — so the
+	// caller reclaims the message — while the entry stays in the ring,
+	// counted as posted and fetchable by a later drain. The abort paths must
+	// retract the in-hand entry; and conversely a completed handoff must
+	// report success even when another producer's item has since been
+	// admitted or the queue has closed.
+	for q.syncPendingLocked(msgID) {
+		if q.closed {
+			q.retractHeadLocked()
+			return ErrClosed
+		}
 		if stopFired, _ := q.waitLocked(stop, nil, nil); stopFired {
+			if q.syncPendingLocked(msgID) {
+				q.retractHeadLocked()
+			}
 			return ErrCanceled
 		}
 	}
-	if q.closed && q.count > 0 {
-		return ErrClosed
-	}
 	return nil
+}
+
+// syncPendingLocked reports whether this producer's rendezvous item is still
+// in the ring. A sync queue admits one item at a time (the admission loop
+// requires count == 0), so the head item is the only candidate; message IDs
+// are pool-minted and unique among concurrent posts.
+func (q *Queue) syncPendingLocked(msgID string) bool {
+	return q.count > 0 && q.ring[q.head].MsgID == msgID
+}
+
+// retractHeadLocked takes back the head item without counting it as
+// fetched: the producer is withdrawing an entry whose handoff never
+// completed, so it must vanish from the posted accounting too (the caller
+// is about to report the post as failed). Gauge handling mirrors
+// takeLocked's closed-queue rule — Close already removed residual items
+// from the gateway-wide gauges.
+func (q *Queue) retractHeadLocked() {
+	it := q.ring[q.head]
+	q.ring[q.head] = Item{} // release the msgID string
+	q.head++
+	if q.head == len(q.ring) {
+		q.head = 0
+	}
+	q.count--
+	q.queuedSize -= it.Size
+	q.posted--
+	if !q.closed {
+		mQueuedMsgs.Add(-1)
+		mQueuedBytes.Add(-int64(it.Size))
+	}
+	q.broadcastLocked()
 }
 
 // Fetch removes and returns the oldest message reference, blocking until

@@ -14,6 +14,7 @@ import (
 	"mobigate/internal/mcl"
 	"mobigate/internal/mime"
 	"mobigate/internal/semantics"
+	"mobigate/internal/session"
 )
 
 // Source produces the origin data flow for one client session (the fixed
@@ -47,6 +48,13 @@ type Frontend struct {
 	// ServeMetrics was called); Close shuts it down with the front-end.
 	metricsMu sync.Mutex
 	metricsLn net.Listener
+
+	// Shared-plane mode (EnableSharedSessions): connections become logical
+	// sessions multiplexed onto per-stream gateway instance pools instead
+	// of deploying one chain each.
+	gwMu   sync.Mutex
+	gwCfg  *SessionGatewayConfig
+	gwPool map[string]*SessionGateway
 }
 
 // NewFrontend wraps a server with a TCP front-end.
@@ -127,6 +135,48 @@ func splitRef(s string) mcl.PortRef {
 	return mcl.PortRef{Inst: s[:i], Port: s[i+1:]}
 }
 
+// EnableSharedSessions switches the front-end to shared-plane mode: the
+// first connection requesting a stream opens a SessionGateway for it (a
+// fixed instance pool), and every connection becomes a logical session on
+// the pool, subject to the table's quotas and admission control. Call
+// before Listen.
+func (f *Frontend) EnableSharedSessions(cfg SessionGatewayConfig) {
+	f.gwMu.Lock()
+	f.gwCfg = &cfg
+	f.gwPool = make(map[string]*SessionGateway)
+	f.gwMu.Unlock()
+}
+
+// gateway lazily opens (or returns) the shared gateway for a stream; nil
+// when shared-plane mode is off — or when the stream is not SessionSafe
+// (a STATEFUL streamlet would correlate messages across sessions on a
+// shared plane), in which case the connection falls back to the classic
+// per-connection deployment. The fallback is cached as a nil entry and
+// reported once through the server's error handler.
+func (f *Frontend) gateway(name string) (*SessionGateway, error) {
+	f.gwMu.Lock()
+	defer f.gwMu.Unlock()
+	if f.gwCfg == nil {
+		return nil, nil
+	}
+	if g, ok := f.gwPool[name]; ok {
+		return g, nil
+	}
+	if !SessionSafe(f.srv.Config(), name) {
+		f.gwPool[name] = nil
+		if h := f.srv.opts.ErrorHandler; h != nil {
+			h(fmt.Errorf("shared sessions: stream %q has a STATEFUL streamlet and is not session-safe; falling back to per-connection deployment", name))
+		}
+		return nil, nil
+	}
+	g, err := f.srv.OpenSessionGateway(name, *f.gwCfg)
+	if err != nil {
+		return nil, err
+	}
+	f.gwPool[name] = g
+	return g, nil
+}
+
 func (f *Frontend) handleConn(conn net.Conn) error {
 	defer conn.Close()
 	br := bufio.NewReader(conn)
@@ -141,6 +191,11 @@ func (f *Frontend) handleConn(conn net.Conn) error {
 	cfg := f.srv.Config()
 	if cfg == nil || cfg.Stream(name) == nil {
 		return fmt.Errorf("unknown stream %q", name)
+	}
+	if gw, err := f.gateway(name); err != nil {
+		return err
+	} else if gw != nil {
+		return f.handleSharedConn(conn, req, gw, name)
 	}
 	entry, exit, err := EntryExit(cfg.Stream(name))
 	if err != nil {
@@ -226,6 +281,100 @@ func (f *Frontend) handleConn(conn net.Conn) error {
 	return bw.Flush()
 }
 
+// handleSharedConn serves one connection as a logical session on the
+// stream's shared gateway. The feeder posts through SendWait, so the
+// session's own quota acts as backpressure (the feed stalls until earlier
+// deliveries release their reservations) rather than loss; plane-wide
+// load sheds and oversized messages drop the message but keep the session
+// alive. The connection ends when the feed completes and every admitted
+// message was delivered — or, when the chain consumed some (drops,
+// merges), after a short drain grace, with the session's remaining
+// reservations reconciled by Abort.
+func (f *Frontend) handleSharedConn(conn net.Conn, req *mime.Message, gw *SessionGateway, name string) error {
+	sessID := fmt.Sprintf("%s#%d", name, f.connID.Add(1))
+	sess, deliveries, err := gw.Connect(sessID)
+	if err != nil {
+		return fmt.Errorf("session %s: %w", sessID, err)
+	}
+	mSessionsTotal.Inc()
+	mSessionsActive.Add(1)
+	defer mSessionsActive.Add(-1)
+
+	feedDone := make(chan struct{})
+	go func() {
+		defer close(feedDone)
+		for m := range f.source(req) {
+			if err := gw.SendWait(sess, m); err != nil &&
+				err != session.ErrQuota && err != session.ErrShed {
+				return
+			}
+		}
+	}()
+
+	bw := bufio.NewWriter(conn)
+	var sent int64
+	write := func(m *mime.Message) error {
+		m.SetHeader(HeaderSeq, strconv.FormatInt(sent, 10))
+		if _, err := m.WriteToV(bw); err != nil {
+			return err
+		}
+		sent++
+		return nil
+	}
+	var werr error
+	feedClosed := false
+	var quiet time.Time
+relay:
+	for {
+		select {
+		case m := <-deliveries:
+			if werr = write(m); werr != nil {
+				break relay
+			}
+			quiet = time.Time{}
+		case <-feedDone:
+			feedClosed = true
+			feedDone = nil // receive once; the timeout arm drives the exit
+		case <-time.After(200 * time.Microsecond):
+			if !feedClosed {
+				continue
+			}
+			if sess.Outstanding() == 0 && len(deliveries) == 0 {
+				break relay
+			}
+			// The chain may have consumed admitted messages (drops,
+			// merges): give the drain a grace window, then reconcile.
+			if quiet.IsZero() {
+				quiet = time.Now()
+			} else if time.Since(quiet) > 2*time.Second {
+				break relay
+			}
+		}
+	}
+	// Disconnect barriers the relay's in-flight handoff (its write lock
+	// waits out the read-locked Release+send), so one final sweep of the
+	// buffered channel observes everything that was ever routed.
+	gw.Disconnect(sessID)
+	for {
+		select {
+		case m := <-deliveries:
+			if werr == nil {
+				werr = write(m)
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if sess.State() == session.StateDraining {
+		sess.Abort()
+	}
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
 // Close stops accepting and waits for in-flight connections. The metrics
 // endpoint, when serving, is shut down as well.
 func (f *Frontend) Close() error {
@@ -242,6 +391,15 @@ func (f *Frontend) Close() error {
 		_ = mln.Close()
 	}
 	f.wg.Wait()
+	f.gwMu.Lock()
+	pool := f.gwPool
+	f.gwPool = nil
+	f.gwMu.Unlock()
+	for _, g := range pool {
+		if g != nil {
+			g.Close()
+		}
+	}
 	return err
 }
 

@@ -91,7 +91,22 @@ func (s *Server) ReloadScripts(sources map[string]string) error {
 // applies it: the stored config and analysis reports are replaced, each
 // live stream's when-blocks are swapped in place, event subscriptions are
 // re-derived, and the autopilot's policies are updated. All-or-nothing: any
-// validation failure leaves the server on the old configuration.
+// failure happens before the swap commits and leaves the server on the old
+// configuration, with every stream still attached to the autopilot.
+//
+// The phases are strictly ordered: everything that can reject — the live-
+// stream check, semantic analysis, and §8.2.1 dynamic event registration
+// (done atomically via Catalog.ResolveAll, so a concurrent registration
+// under a conflicting category can no longer fail the reload mid-apply) —
+// runs before s.cfg is replaced, and the apply phase below is infallible.
+// The previous shape registered events inside the apply loop and returned
+// the error: a reload "rejected" there had already committed the new
+// config, swapped some streams' whens but not others', and detached
+// earlier streams from the autopilot — the engine stopped adapting a
+// stream that was still live on its old policies. The whole function also
+// holds s.mu across the apply, so a concurrent Undeploy cannot interleave
+// with the re-attach loop and resurrect an engine binding for a stream
+// that was just torn down.
 func (s *Server) reload(cfg *mcl.Config) error {
 	reports := make(map[string]*semantics.Report, len(cfg.Streams))
 	for name, sc := range cfg.Streams {
@@ -102,21 +117,21 @@ func (s *Server) reload(cfg *mcl.Config) error {
 	}
 
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
 		return fmt.Errorf("server: closed")
 	}
 	type live struct {
 		alias string
 		st    *stream.Stream
 		sc    *mcl.StreamConfig
+		cats  []event.Category // categories of sc.Whens, resolved pre-commit
 	}
 	lives := make([]live, 0, len(s.streams))
 	for alias, st := range s.streams {
 		name := s.names[alias]
 		sc := cfg.Stream(name)
 		if sc == nil {
-			s.mu.Unlock()
 			return fmt.Errorf("server: reload rejected: deployed stream %q (alias %q) is missing from the new script", name, alias)
 		}
 		rep := reports[name]
@@ -128,32 +143,36 @@ func (s *Server) reload(cfg *mcl.Config) error {
 				}
 			}
 			if fatal {
-				s.mu.Unlock()
 				return fmt.Errorf("server: reload rejected: stream %q fails semantic analysis: %v", name, rep.Violations)
 			}
 		}
 		lives = append(lives, live{alias: alias, st: st, sc: sc})
 	}
+
+	// Resolve (and register) every live stream's new when-events while the
+	// old configuration is still authoritative. After this loop nothing in
+	// the apply phase can fail.
+	catalog := s.events.Catalog()
+	for i := range lives {
+		ids := make([]string, len(lives[i].sc.Whens))
+		for j, w := range lives[i].sc.Whens {
+			ids[j] = w.Event
+		}
+		lives[i].cats = catalog.ResolveAll(ids, event.SoftwareVariation)
+	}
+
+	// Commit. From here on the swap must complete for every live stream.
 	s.cfg = cfg
 	s.reports = reports
 	autopilot := s.autopilot
-	s.mu.Unlock()
 
-	catalog := s.events.Catalog()
 	for _, l := range lives {
 		// Old subscriptions are derived from the stream's current whens, so
 		// compute them before the swap; SystemCommand always stays.
 		oldCats := allCategories(catalog, l.st)
 		l.st.ReplaceWhens(l.sc.Whens)
 		newSeen := map[event.Category]bool{event.SystemCommand: true}
-		for _, ev := range l.st.Whens() {
-			cat, ok := catalog.CategoryOf(ev)
-			if !ok {
-				cat = event.SoftwareVariation
-				if err := catalog.Register(ev, cat); err != nil {
-					return err
-				}
-			}
+		for _, cat := range l.cats {
 			if !newSeen[cat] {
 				newSeen[cat] = true
 				s.events.Subscribe(cat, l.st)

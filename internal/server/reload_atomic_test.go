@@ -1,0 +1,144 @@
+package server
+
+// Regression tests for reload atomicity: a rejected reload must leave the
+// server fully on the old configuration — old whens, old policies, and the
+// autopilot still attached and adapting — and the apply phase must be
+// infallible so no reject path can exist after the swap commits.
+//
+// The bug these lock in: reload registered unknown when-events inside the
+// apply loop and returned the Register error, so a reload "rejected" by a
+// concurrent §8.2.1 registration under a conflicting category had already
+// committed the new config, swapped some streams' whens, and detached
+// earlier streams from the autopilot — the engine stopped adapting a
+// stream that was still live. The fix resolves categories atomically
+// (Catalog.ResolveAll) before the commit point.
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"mobigate/internal/adapt"
+	"mobigate/internal/mcl"
+)
+
+// TestReloadRejectThenTickStillAdapts: after any rejected reload the engine
+// must still be attached with the OLD policies and a tick must still drive
+// them against the live stream.
+func TestReloadRejectThenTickStillAdapts(t *testing.T) {
+	s := newTestServer(t)
+	var qd atomic.Int64
+	eng := adapt.New(adapt.Config{
+		Sampler: func() adapt.Reading { return adapt.Reading{QueueDepth: qd.Load()} },
+	})
+	s.SetAutopilot(eng)
+	if err := s.LoadScript(reloadScriptV1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Deploy("flow")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reject path 1: the new script no longer declares the deployed stream.
+	missing := strings.ReplaceAll(reloadScriptV2, "stream flow", "stream renamed")
+	if err := s.ReloadScript(missing); err == nil {
+		t.Fatal("reload of a script missing the deployed stream must be rejected")
+	}
+
+	// Reject path 2: feedback-loop violations are always fatal. The script
+	// keeps stream flow but wires its chain into a cycle.
+	cyclic := strings.ReplaceAll(reloadScriptV2,
+		"connect (hd.po, cm.pi);", "connect (hd.po, cm.pi);\n\tconnect (cm.po, hd.pi);")
+	if err := s.ReloadScript(cyclic); err == nil {
+		t.Fatal("reload introducing a feedback loop must be rejected")
+	}
+
+	// All-or-nothing: old config, old whens, still attached.
+	if sc := s.Config().Stream("flow"); sc == nil || len(sc.Policies) != 1 || sc.Policies[0].Rule.Cond.Value != 100 {
+		t.Fatalf("rejected reload disturbed the stored config: %+v", s.Config().Stream("flow"))
+	}
+	if got := st.Whens(); len(got) != 1 || got[0] != "LOW_BANDWIDTH" {
+		t.Fatalf("rejected reload disturbed the live whens: %v", got)
+	}
+	if !eng.Attached("flow") {
+		t.Fatal("rejected reload detached the stream from the autopilot")
+	}
+
+	// The old insert policy (threshold 100) must still fire on a tick.
+	qd.Store(200)
+	eng.Tick()
+	if st.Streamlet("tc_def") == nil {
+		t.Fatal("autopilot no longer adapts after a rejected reload")
+	}
+}
+
+// TestReloadConcurrentDynamicRegistration races reloads whose scripts carry
+// catalog-unknown when-events against a client performing §8.2.1 dynamic
+// registration of the same identifiers under a custom category. The apply
+// phase is infallible post-fix, so the reload must NEVER fail, and every
+// round must end fully swapped: new config stored, new whens live, engine
+// attached and driving the new policies. Run with -race.
+func TestReloadConcurrentDynamicRegistration(t *testing.T) {
+	const events = 64
+	var whens strings.Builder
+	for i := 0; i < events; i++ {
+		fmt.Fprintf(&whens, "\twhen (CUSTOM_EV_%d) { disconnect (hd.po, cm.pi); }\n", i)
+	}
+	v3 := strings.ReplaceAll(reloadScriptV1, "when (queue_depth > 100)", "when (queue_depth > 5)")
+	v3 = strings.ReplaceAll(v3,
+		"\twhen (LOW_BANDWIDTH) {\n\t\tdisconnect (hd.po, cm.pi);\n\t}\n", whens.String())
+	cfgV3, err := mcl.Compile(v3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 50; round++ {
+		s := newTestServer(t)
+		var qd atomic.Int64
+		eng := adapt.New(adapt.Config{
+			Sampler: func() adapt.Reading { return adapt.Reading{QueueDepth: qd.Load()} },
+		})
+		s.SetAutopilot(eng)
+		if err := s.LoadScript(reloadScriptV1); err != nil {
+			t.Fatal(err)
+		}
+		st, err := s.Deploy("flow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cat := s.Events().Catalog()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			c := cat.RegisterCategory()
+			for i := events - 1; i >= 0; i-- {
+				// Half of these land before the reload resolves the id (the
+				// reload subscribes under the custom category), half after
+				// (this Register gets the already-registered error). Neither
+				// may fail the reload.
+				cat.Register(fmt.Sprintf("CUSTOM_EV_%d", i), c)
+			}
+		}()
+		rerr := s.reload(cfgV3)
+		<-done
+		if rerr != nil {
+			t.Fatalf("round %d: reload failed mid-apply: %v", round, rerr)
+		}
+		if sc := s.Config().Stream("flow"); sc.Policies[0].Rule.Cond.Value != 5 {
+			t.Fatalf("round %d: new config not committed", round)
+		}
+		if got := st.Whens(); len(got) != events {
+			t.Fatalf("round %d: whens = %d, want %d", round, len(got), events)
+		}
+		if !eng.Attached("flow") {
+			t.Fatalf("round %d: stream detached after successful reload", round)
+		}
+		qd.Store(10)
+		eng.Tick()
+		if st.Streamlet("tc_def") == nil {
+			t.Fatalf("round %d: reloaded policy did not drive after concurrent registration", round)
+		}
+		s.Close()
+	}
+}

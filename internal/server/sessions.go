@@ -1,0 +1,334 @@
+package server
+
+// Shared-plane session multiplexing: instead of deploying one streamlet
+// chain per client connection (handleConn's historical model — simple, but
+// N clients cost N chains), a SessionGateway deploys a small fixed pool of
+// shared instances of the requested stream and maps every client onto the
+// pool through internal/session. A connection becomes a logical session:
+// its messages are stamped with a session id, posted into its plane's
+// shared inlet under the session's quota, processed by the shared chain,
+// and demultiplexed back to the owning connection by the gateway's relay.
+// Admission control and load shedding come with the session table: connect
+// storms are refused at accept time, and a saturated plane sheds per-
+// message instead of stalling every client behind the §6.2 grace wait.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/obs"
+	"mobigate/internal/session"
+	"mobigate/internal/stream"
+)
+
+// Session-demux headers stamped by the gateway.
+const (
+	// HeaderSessionID names the logical session a message belongs to; the
+	// relay routes deliveries by it.
+	HeaderSessionID = "X-Session-Id"
+	// HeaderSessionSize carries the size charged against the session quota
+	// at admit time, so the release returns exactly what was reserved even
+	// when the chain transforms the body.
+	HeaderSessionSize = "X-Session-Admitted"
+	// HeaderSessionT0 carries the admit-time monotonic stamp feeding the
+	// plane's SLO chain (set only when a budget is configured).
+	HeaderSessionT0 = "X-Session-T0"
+)
+
+// SessionGatewayConfig parameterizes a shared-plane gateway.
+type SessionGatewayConfig struct {
+	// Instances is the shared instance-pool size (default 2).
+	Instances int
+	// Session configures the table: quotas, admission, shedding, SLO.
+	Session session.Config
+	// DeliveryBuffer is the per-session delivery channel depth (default
+	// 256). A session whose client stops reading sheds its deliveries once
+	// the buffer fills, instead of stalling the relay for every session on
+	// the same instance.
+	DeliveryBuffer int
+}
+
+type gwInstance struct {
+	alias string
+	st    *stream.Stream
+	in    *stream.Inlet
+	out   *stream.Outlet
+}
+
+type gwRoute struct {
+	sess *session.Session
+	ch   chan *mime.Message
+}
+
+// SessionGateway multiplexes logical sessions onto a pool of shared
+// deployed instances of one stream.
+type SessionGateway struct {
+	srv   *Server
+	name  string
+	cfg   SessionGatewayConfig
+	tbl   *session.Table
+	insts map[*session.Plane]*gwInstance
+
+	// routes is written by Connect/Disconnect and read (under RLock, held
+	// across the Release) by the relays; Disconnect's write lock therefore
+	// barriers any in-flight release before the caller may Abort.
+	routeMu sync.RWMutex
+	routes  map[string]*gwRoute
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	closing sync.Once
+}
+
+// SessionSafe reports whether the named stream may run in shared-plane
+// session mode. A shared chain interleaves many sessions' messages, so
+// every streamlet must be session-transparent — STATELESS, processing each
+// message independently. A STATEFUL streamlet correlates messages across
+// its inputs (a two-input merge pairs an image with a caption; a cache
+// keys on prior traffic), and on a shared plane it would correlate
+// messages belonging to *different* sessions. Composite instances are
+// judged by their backing stream, not their synthesized declaration
+// (which is always marked stateful for per-stream state).
+func SessionSafe(c *mcl.Config, name string) bool {
+	return sessionSafe(c, name, make(map[string]bool))
+}
+
+func sessionSafe(c *mcl.Config, name string, seen map[string]bool) bool {
+	if c == nil || seen[name] {
+		return false
+	}
+	seen[name] = true
+	sc := c.Stream(name)
+	if sc == nil {
+		return false
+	}
+	for _, inst := range sc.Instances {
+		if inst.Kind == mcl.KindComposite {
+			if !sessionSafe(c, inst.Stream, seen) {
+				return false
+			}
+			continue
+		}
+		if inst.Decl == nil || inst.Decl.Kind == mcl.Stateful {
+			return false
+		}
+	}
+	return true
+}
+
+// OpenSessionGateway deploys the shared instance pool for the named stream
+// and returns the gateway that multiplexes sessions onto it. Streams that
+// are not SessionSafe are refused: sharing their chain would mix sessions.
+func (s *Server) OpenSessionGateway(name string, cfg SessionGatewayConfig) (*SessionGateway, error) {
+	if cfg.Instances <= 0 {
+		cfg.Instances = 2
+	}
+	if cfg.DeliveryBuffer <= 0 {
+		cfg.DeliveryBuffer = 256
+	}
+	c := s.Config()
+	if c == nil || c.Stream(name) == nil {
+		return nil, fmt.Errorf("server: unknown stream %q", name)
+	}
+	if !SessionSafe(c, name) {
+		return nil, fmt.Errorf("server: stream %q is not session-safe: a STATEFUL streamlet correlates messages across sessions on a shared plane; deploy per-connection instead", name)
+	}
+	entry, exit, err := EntryExit(c.Stream(name))
+	if err != nil {
+		return nil, err
+	}
+	g := &SessionGateway{
+		srv:    s,
+		name:   name,
+		cfg:    cfg,
+		insts:  make(map[*session.Plane]*gwInstance, cfg.Instances),
+		routes: make(map[string]*gwRoute),
+		stop:   make(chan struct{}),
+	}
+	sessCfg := cfg.Session.Defaults()
+	planes := make([]*session.Plane, 0, cfg.Instances)
+	for i := 0; i < cfg.Instances; i++ {
+		alias := fmt.Sprintf("%s~shared%d", name, i)
+		st, err := s.DeployInstance(name, alias)
+		if err != nil {
+			g.teardownInstances()
+			return nil, err
+		}
+		// The shared inlet gets headroom past the shed threshold so the
+		// load-shedder, not the queue's blocking grace, is what saturation
+		// hits first.
+		in, err := st.OpenInlet(entry, 2*sessCfg.ShedBytes)
+		if err != nil {
+			g.teardownInstances()
+			_ = s.Undeploy(alias)
+			return nil, err
+		}
+		out, err := st.OpenOutlet(exit)
+		if err != nil {
+			g.teardownInstances()
+			_ = s.Undeploy(alias)
+			return nil, err
+		}
+		p := session.NewPlane(alias, in.Queue())
+		planes = append(planes, p)
+		g.insts[p] = &gwInstance{alias: alias, st: st, in: in, out: out}
+	}
+	tbl, err := session.NewTable(sessCfg, planes...)
+	if err != nil {
+		g.teardownInstances()
+		return nil, err
+	}
+	g.tbl = tbl
+	for _, inst := range g.insts {
+		g.wg.Add(1)
+		go g.relay(inst)
+	}
+	return g, nil
+}
+
+func (g *SessionGateway) teardownInstances() {
+	for _, inst := range g.insts {
+		_ = g.srv.Undeploy(inst.alias)
+	}
+}
+
+// Table exposes the session table (stats, sweeps).
+func (g *SessionGateway) Table() *session.Table { return g.tbl }
+
+// Connect admits a session and returns it with its delivery channel.
+func (g *SessionGateway) Connect(id string) (*session.Session, <-chan *mime.Message, error) {
+	sess, err := g.tbl.Connect(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := &gwRoute{sess: sess, ch: make(chan *mime.Message, g.cfg.DeliveryBuffer)}
+	g.routeMu.Lock()
+	g.routes[id] = r
+	g.routeMu.Unlock()
+	return sess, r.ch, nil
+}
+
+// Disconnect unroutes the session and starts its drain. On return no
+// further deliveries or releases can reach it, so a caller finding the
+// session still draining (in-flight messages were transformed away or
+// dropped inside the chain) may reconcile with Abort.
+func (g *SessionGateway) Disconnect(id string) {
+	g.routeMu.Lock()
+	delete(g.routes, id)
+	g.routeMu.Unlock()
+	g.tbl.Disconnect(id)
+}
+
+// Send admits m against the session's quota and posts it into the
+// session's shared plane. Shed messages return ErrQuota/ErrShed from the
+// session layer; the caller decides whether that ends the connection.
+func (g *SessionGateway) Send(sess *session.Session, m *mime.Message) error {
+	m.SetHeader(HeaderSessionID, sess.ID())
+	size := m.Len()
+	m.SetHeader(HeaderSessionSize, strconv.Itoa(size))
+	if g.tbl.Config().SLOBudget > 0 {
+		m.SetHeader(HeaderSessionT0, strconv.FormatInt(obs.MonoNow(), 10))
+	}
+	if err := sess.Admit(size); err != nil {
+		return err
+	}
+	inst := g.insts[sess.Plane()]
+	if err := inst.in.Send(m); err != nil {
+		sess.Unadmit(size)
+		return err
+	}
+	sess.MarkPosted()
+	return nil
+}
+
+// SendWait posts like Send but treats the session's *own* quota as
+// backpressure instead of overload: when the message would not fit the
+// outstanding bound, it waits for earlier deliveries to release their
+// reservations and retries. A session has exactly one feeder, so
+// outstanding only shrinks underneath the wait and the eventual Admit is
+// exact — a cooperative client that reads its deliveries never takes a
+// quota shed. Plane-wide saturation (ErrShed) still fails fast: that
+// pressure comes from other sessions, and it is their deliveries — not
+// this session's — that would have to clear it. Returns ErrClosed when
+// the session drains or closes while waiting, and gives up with ErrQuota
+// if a single message can never fit the quota at all.
+func (g *SessionGateway) SendWait(sess *session.Session, m *mime.Message) error {
+	cfg := g.tbl.Config()
+	size := int64(m.Len())
+	if size > cfg.QuotaBytes {
+		return g.Send(sess, m) // oversized: let Admit count the shed
+	}
+	for {
+		if sess.Outstanding() < cfg.QuotaMessages &&
+			sess.OutstandingBytes()+size <= cfg.QuotaBytes {
+			if err := g.Send(sess, m); err != session.ErrQuota {
+				return err
+			}
+			// Lost an admit race (shed accounting already rolled back);
+			// fall through and wait for headroom again.
+		}
+		if st := sess.State(); st != session.StateActive && st != session.StateIdle {
+			return session.ErrClosed
+		}
+		select {
+		case <-g.stop:
+			return session.ErrClosed
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+// relay drains one shared instance's outlet and routes every delivery to
+// its session's channel, releasing the quota reservation as it goes.
+func (g *SessionGateway) relay(inst *gwInstance) {
+	defer g.wg.Done()
+	for {
+		m, err := inst.out.TryReceive()
+		if err != nil || m == nil {
+			select {
+			case <-g.stop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+			continue
+		}
+		id := m.Header(HeaderSessionID)
+		size, _ := strconv.Atoi(m.Header(HeaderSessionSize))
+		var latency int64
+		if t0 := m.Header(HeaderSessionT0); t0 != "" {
+			if ns, err := strconv.ParseInt(t0, 10, 64); err == nil {
+				latency = obs.MonoNow() - ns
+			}
+		}
+		g.routeMu.RLock()
+		r := g.routes[id]
+		if r != nil {
+			// Release under the read lock: Disconnect's write lock then
+			// guarantees no release is in flight once it returns.
+			r.sess.Release(size, latency)
+			select {
+			case r.ch <- m:
+			default:
+				// Client not draining its channel: shed the delivery
+				// rather than stall every session on this instance.
+			}
+		}
+		g.routeMu.RUnlock()
+		// Unrouted deliveries (session disconnected while in flight) are
+		// dropped; the disconnect path's Abort reconciled their quota.
+	}
+}
+
+// Close stops the relays, closes the table, and undeploys the pool.
+func (g *SessionGateway) Close() {
+	g.closing.Do(func() {
+		close(g.stop)
+		g.wg.Wait()
+		g.tbl.Close()
+		g.teardownInstances()
+	})
+}

@@ -1,0 +1,350 @@
+package session
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate/internal/obs"
+	"mobigate/internal/queue"
+)
+
+func newTable(t *testing.T, cfg Config, planes int) (*Table, []*Plane) {
+	t.Helper()
+	ps := make([]*Plane, planes)
+	for i := range ps {
+		ps[i] = NewPlane(fmt.Sprintf("plane-%d", i), queue.New(fmt.Sprintf("plane-q-%d", i), queue.Options{CapacityBytes: 1 << 24}))
+	}
+	tbl, err := NewTable(cfg, ps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tbl.Close)
+	return tbl, ps
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	tbl, _ := newTable(t, Config{}, 1)
+	s, err := tbl.Connect("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateActive || tbl.Len() != 1 {
+		t.Fatalf("state=%v live=%d after connect", s.State(), tbl.Len())
+	}
+	if _, err := tbl.Connect("alice"); err != ErrDuplicate {
+		t.Fatalf("duplicate connect: %v", err)
+	}
+	if got := tbl.Get("alice"); got != s {
+		t.Fatal("Get did not return the live session")
+	}
+
+	if err := s.Post("m1", 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.Outstanding() != 1 || s.OutstandingBytes() != 100 {
+		t.Fatalf("outstanding = %d msgs / %d bytes", s.Outstanding(), s.OutstandingBytes())
+	}
+
+	// Disconnect with one message in flight: draining, not closed.
+	if !tbl.Disconnect("alice") {
+		t.Fatal("disconnect reported unknown id")
+	}
+	if s.State() != StateDraining || tbl.Draining() != 1 || tbl.Len() != 0 {
+		t.Fatalf("state=%v draining=%d live=%d after disconnect", s.State(), tbl.Draining(), tbl.Len())
+	}
+	if err := s.Post("m2", 1, nil); err != ErrClosed {
+		t.Fatalf("post on draining session: %v", err)
+	}
+	if tbl.Get("alice") != nil {
+		t.Fatal("draining session still resolvable")
+	}
+
+	// The final release completes the close.
+	s.Release(100, 0)
+	if s.State() != StateClosed || tbl.Draining() != 0 {
+		t.Fatalf("state=%v draining=%d after final release", s.State(), tbl.Draining())
+	}
+	st := tbl.Stats()
+	if st.Posted != 1 || st.Delivered != 1 || st.Connects != 1 || st.Disconnects != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDisconnectWithoutTrafficClosesImmediately(t *testing.T) {
+	tbl, _ := newTable(t, Config{}, 1)
+	s, err := tbl.Connect("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.Disconnect("bob")
+	if s.State() != StateClosed || tbl.Draining() != 0 {
+		t.Fatalf("state=%v draining=%d", s.State(), tbl.Draining())
+	}
+}
+
+func TestQuotaShedding(t *testing.T) {
+	tbl, ps := newTable(t, Config{QuotaBytes: 1000, QuotaMessages: 3}, 1)
+	s, err := tbl.Connect("carol")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Byte quota: the fourth hundred-byte post fits the message quota but
+	// an 800-byte one blows the byte quota.
+	for i := 0; i < 2; i++ {
+		if err := s.Post(fmt.Sprintf("m%d", i), 100, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Post("big", 801, nil); err != ErrQuota {
+		t.Fatalf("byte-quota post: %v", err)
+	}
+	if err := s.Post("m3", 100, nil); err != nil {
+		t.Fatalf("post within quota after shed: %v", err)
+	}
+	// Message quota: a fourth outstanding message is refused regardless of
+	// size.
+	if err := s.Post("m4", 1, nil); err != ErrQuota {
+		t.Fatalf("message-quota post: %v", err)
+	}
+	if st := tbl.Stats(); st.QuotaShed != 2 || st.Posted != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Releasing restores headroom.
+	s.Release(100, 0)
+	if err := s.Post("m5", 100, nil); err != nil {
+		t.Fatalf("post after release: %v", err)
+	}
+	// Drain everything so Close has nothing to force.
+	for i := 0; i < 3; i++ {
+		s.Release(100, 0)
+	}
+	if s.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d after drain", s.Outstanding())
+	}
+	_ = ps
+}
+
+func TestPostNQuotaPrefix(t *testing.T) {
+	tbl, ps := newTable(t, Config{QuotaBytes: 1 << 20, QuotaMessages: 4}, 1)
+	s, err := tbl.Connect("dave")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := make([]queue.Entry, 8)
+	for i := range entries {
+		entries[i] = queue.Entry{MsgID: fmt.Sprintf("b%d", i), Size: 10}
+	}
+	posted, shed, err := s.PostN(entries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if posted != 4 || shed != 4 {
+		t.Fatalf("posted=%d shed=%d, want 4/4", posted, shed)
+	}
+	if got := ps[0].Queue().Len(); got != 4 {
+		t.Fatalf("plane holds %d messages, want 4", got)
+	}
+	if st := tbl.Stats(); st.QuotaShed != 4 || st.Posted != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLoadShedAndAdmission(t *testing.T) {
+	// Tiny thresholds: 100 bytes of plane occupancy sheds posts, 50 bytes
+	// refuses new sessions.
+	tbl, ps := newTable(t, Config{ShedBytes: 100, AdmitBytes: 50}, 1)
+	s, err := tbl.Connect("erin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Post("fill", 120, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The plane now holds 120 queued bytes: above both waters.
+	if err := s.Post("shed-me", 10, nil); err != ErrShed {
+		t.Fatalf("post above high water: %v", err)
+	}
+	if _, err := tbl.Connect("frank"); err != ErrAdmission {
+		t.Fatalf("connect above admit water: %v", err)
+	}
+	st := tbl.Stats()
+	if st.LoadShed != 1 || st.AdmissionShed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Draining the plane reopens both gates.
+	if n := ps[0].Queue().TryFetchN(make([]queue.Item, 4)); n != 1 {
+		t.Fatalf("drained %d items", n)
+	}
+	s.Release(120, 0)
+	if err := s.Post("ok", 10, nil); err != nil {
+		t.Fatalf("post after drain: %v", err)
+	}
+	if _, err := tbl.Connect("frank"); err != nil {
+		t.Fatalf("connect after drain: %v", err)
+	}
+}
+
+func TestMaxSessionsAdmission(t *testing.T) {
+	tbl, _ := newTable(t, Config{MaxSessions: 2}, 1)
+	for i := 0; i < 2; i++ {
+		if _, err := tbl.Connect(fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.Connect("overflow"); err != ErrAdmission {
+		t.Fatalf("connect over cap: %v", err)
+	}
+	// Disconnecting frees a slot.
+	tbl.Disconnect("s0")
+	if _, err := tbl.Connect("overflow"); err != nil {
+		t.Fatalf("connect after free: %v", err)
+	}
+}
+
+func TestSweepIdlePromoteOnPost(t *testing.T) {
+	tbl, _ := newTable(t, Config{}, 1)
+	s, err := tbl.Connect("grace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := tbl.Sweep(0); n != 1 {
+		t.Fatalf("sweep demoted %d sessions, want 1", n)
+	}
+	if s.State() != StateIdle {
+		t.Fatalf("state = %v after sweep", s.State())
+	}
+	if err := s.Post("wake", 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if s.State() != StateActive {
+		t.Fatalf("state = %v after post", s.State())
+	}
+	// A long threshold demotes nothing.
+	if n := tbl.Sweep(time.Hour); n != 0 {
+		t.Fatalf("hour sweep demoted %d sessions", n)
+	}
+}
+
+// TestSessionConservationRace pushes many sessions' traffic through one
+// shared plane from concurrent producers while a consumer pump drains and
+// releases; every counter must conserve. Run with -race.
+func TestSessionConservationRace(t *testing.T) {
+	tbl, ps := newTable(t, Config{QuotaBytes: 1 << 20, QuotaMessages: 1 << 20}, 2)
+	const (
+		producers = 4
+		sessions  = 32
+		perProd   = 500
+	)
+	queued0 := obs.Default().IntGauge(obs.MSessionQueuedBytes, "", nil).Value()
+
+	sess := make([]*Session, sessions)
+	for i := range sess {
+		s, err := tbl.Connect(fmt.Sprintf("sess-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess[i] = s
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				s := sess[(p*perProd+i)%sessions]
+				// MsgID carries the session id so the pump can route the
+				// release.
+				_ = s.Post(fmt.Sprintf("%s/m%d-%d", s.ID(), p, i), 10, nil)
+			}
+		}(p)
+	}
+
+	// One pump per plane: fetch, resolve the session from the id, release.
+	stopPump := make(chan struct{})
+	for _, p := range ps {
+		go func(p *Plane) {
+			buf := make([]queue.Item, 64)
+			for {
+				n := p.Queue().FetchN(buf, stopPump)
+				if n == 0 {
+					select {
+					case <-stopPump:
+						return
+					default:
+						runtime.Gosched()
+						continue
+					}
+				}
+				for _, it := range buf[:n] {
+					id := it.MsgID[:strings.IndexByte(it.MsgID, '/')]
+					tbl.Get(id).Release(it.Size, 1)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	// Wait for the pumps to drain everything that was admitted.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := tbl.Stats()
+		if st.Delivered == st.Posted {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pump stalled: %+v", st)
+		}
+		runtime.Gosched()
+	}
+	close(stopPump)
+
+	st := tbl.Stats()
+	if st.Posted+st.LoadShed+st.QuotaShed != producers*perProd {
+		t.Fatalf("message conservation broken: %+v (want posted+shed = %d)", st, producers*perProd)
+	}
+	var outstanding int64
+	for _, s := range sess {
+		p, d, sh := s.Stats()
+		if p != d {
+			t.Fatalf("session %s: posted %d != delivered %d (shed %d)", s.ID(), p, d, sh)
+		}
+		outstanding += s.Outstanding()
+	}
+	if outstanding != 0 {
+		t.Fatalf("outstanding = %d after drain", outstanding)
+	}
+	if got := obs.Default().IntGauge(obs.MSessionQueuedBytes, "", nil).Value(); got != queued0 {
+		t.Fatalf("queued-bytes gauge leaked: %d != baseline %d", got, queued0)
+	}
+}
+
+// TestAbortReconcilesGauges force-closes a draining session and requires
+// the queued-bytes gauge to return to baseline.
+func TestAbortReconcilesGauges(t *testing.T) {
+	queued0 := obs.Default().IntGauge(obs.MSessionQueuedBytes, "", nil).Value()
+	tbl, _ := newTable(t, Config{}, 1)
+	s, err := tbl.Connect("henry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Post(fmt.Sprintf("m%d", i), 100, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl.Disconnect("henry")
+	if s.State() != StateDraining {
+		t.Fatalf("state = %v", s.State())
+	}
+	s.Abort()
+	if s.State() != StateClosed {
+		t.Fatalf("state = %v after abort", s.State())
+	}
+	if got := obs.Default().IntGauge(obs.MSessionQueuedBytes, "", nil).Value(); got != queued0 {
+		t.Fatalf("queued-bytes gauge = %d, want baseline %d", got, queued0)
+	}
+}
