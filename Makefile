@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke docs-check vet fmt check examples experiments clean
+.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke health-smoke docs-check vet fmt check examples experiments clean
 
 all: build test
 
@@ -20,9 +20,9 @@ race:
 # hot-path benchmark smoke (catches gross regressions without a full run),
 # the fault-injection survival scenario, the end-to-end span smoke, the
 # parallel-execution smoke, the adaptation-autopilot smoke, the
-# batched-handoff smoke, the multi-session scale smoke, and the
-# documentation linter.
-check: build test race bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke docs-check
+# batched-handoff smoke, the multi-session scale smoke, the health-model
+# smoke, and the documentation linter.
+check: build test race bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke health-smoke docs-check
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -31,14 +31,16 @@ bench:
 # Figure 7-2 streamlet overhead, both Figure 7-3 buffer-management modes,
 # the span-tracing overhead pair (off = production hot path, on =
 # diagnosis), the per-service transform costs, the parallel fan-out chain,
-# the transcode cache, the batched chain sweep, the vectored encode, and
-# the session layer (connect/disconnect churn + post/release hot path).
-GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass|SpanOverhead|ServiceStreamlets|ParallelChain|TranscodeCache|BatchChain|MIMEWriteToV|SessionChurn'
+# the transcode cache, the batched chain sweep, the vectored encode, the
+# session layer (connect/disconnect churn + post/release hot path), and the
+# sampled-session SLO observation path.
+GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass|SpanOverhead|ServiceStreamlets|ParallelChain|TranscodeCache|BatchChain|MIMEWriteToV|SessionChurn|SessionSLOSample'
 BENCH_FILE  = BENCH_PR2.json
 # Hot paths that must stay allocation-free even on their first benchmarked
 # run (no baseline entry needed): the batched queue ops, both encode
-# paths, and the session admit/post/release hot path.
-ZEROALLOC_BENCH = 'QueuePostFetchBatch|MIMEWriteToV|SessionChurn/post-release'
+# paths, the session admit/post/release hot path, and the same path on a
+# sampled session feeding per-session SLO quantiles.
+ZEROALLOC_BENCH = 'QueuePostFetchBatch|MIMEWriteToV|SessionChurn/post-release|SessionSLOSample'
 
 # Record the committed baseline the regression gate compares against.
 # -count=5 gives benchdiff repeated runs: -save keeps the median (typical
@@ -90,6 +92,13 @@ batch-smoke:
 # 100k-session run is `mobibench -exp sessions` with the default -sessions.
 sessions-smoke:
 	$(GO) run ./cmd/mobibench -exp sessions -sessions 10000
+
+# Health-model smoke: overload a tiny shared plane until load shedding
+# degrades /healthz to 503, require the MCL when-policy on health_degraded
+# to fire, then drain and require recovery to 200 with both edges in the
+# flight recorder and on the event plane (exits nonzero if not).
+health-smoke:
+	$(GO) run ./cmd/mobibench -exp health
 
 # Documentation linter: every docs/*.md page must be linked from README.md,
 # every relative markdown link must resolve, and fenced MCL / CLI examples

@@ -751,3 +751,44 @@ func BenchmarkSessionChurn(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkSessionSLOSample is the observability hot-path gate: the
+// post → fetch → release cycle of a *sampled* session — the one that also
+// feeds its latency into the per-session quantile ring and checks the SLO
+// budget — must stay as allocation-free as the unsampled path. Gated by
+// benchdiff -zeroalloc.
+func BenchmarkSessionSLOSample(b *testing.B) {
+	q := queue.New("bench-slo", queue.Options{CapacityBytes: 1 << 24})
+	tbl, err := session.NewTable(
+		session.Config{SLOBudget: time.Millisecond},
+		session.NewPlane("bench-slo", q))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(tbl.Close)
+	// The sampler picks ~1/64 ids deterministically; walk candidates until
+	// one is selected.
+	var s *session.Session
+	for i := 0; s == nil; i++ {
+		c, err := tbl.Connect(fmt.Sprintf("slo-%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if c.Sampled() {
+			s = c
+		} else {
+			tbl.Disconnect(c.ID())
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Post("m", 64, nil); err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := q.TryFetch(); !ok {
+			b.Fatal("fetch failed")
+		}
+		q.Ack()
+		s.Release(64, 50_000) // 50µs: inside the budget, still observed
+	}
+}

@@ -12,7 +12,10 @@
 //     of the cmd/* tools must exist in that tool's flag set, read from its
 //     source;
 //   - mobibench's experimentsTable and its package comment's `-exp` list
-//     must enumerate exactly the same modes (plus the implicit `all`).
+//     must enumerate exactly the same modes (plus the implicit `all`);
+//   - the metric catalog (internal/obs/catalog.go) and the metric tables
+//     in docs/OBSERVABILITY.md must list exactly the same series names,
+//     in both directions.
 //
 // Run from the repository root (make docs-check does). Exits nonzero on
 // any finding.
@@ -60,6 +63,7 @@ func main() {
 	}
 
 	checkMobibenchModes(report)
+	checkMetricCatalog(report)
 
 	files := append([]string{"README.md", "EXPERIMENTS.md", "ROADMAP.md"}, pages...)
 	for _, path := range files {
@@ -217,6 +221,66 @@ func checkMobibenchModes(report func(string, ...any)) {
 		if !table[mode] {
 			report("%s: package comment lists -exp %q, which is not in experimentsTable", mainGo, mode)
 		}
+	}
+}
+
+var (
+	catalogNameRe = regexp.MustCompile(`= "((?:mobigate|go)_[a-z0-9_]+)"`)
+	docMetricRe   = regexp.MustCompile("(?m)^\\| `((?:mobigate|go)_[a-z0-9_]+)` \\| (?:counter|gauge|summary) \\|")
+)
+
+// checkMetricCatalog keeps the observability page's metric tables and the
+// registered catalog in lockstep, both directions: a metric added to
+// internal/obs/catalog.go must gain a table row in docs/OBSERVABILITY.md,
+// and a documented series must still exist in the catalog.
+func checkMetricCatalog(report func(string, ...any)) {
+	const (
+		catalogGo = "internal/obs/catalog.go"
+		docsPage  = "docs/OBSERVABILITY.md"
+	)
+	src, err := os.ReadFile(catalogGo)
+	if err != nil {
+		report("%s: %v", catalogGo, err)
+		return
+	}
+	doc, err := os.ReadFile(docsPage)
+	if err != nil {
+		report("%s: %v", docsPage, err)
+		return
+	}
+	catalog := map[string]bool{}
+	for _, m := range catalogNameRe.FindAllStringSubmatch(string(src), -1) {
+		catalog[m[1]] = true
+	}
+	if len(catalog) == 0 {
+		report("%s: no metric name constants found (docscheck expects them)", catalogGo)
+		return
+	}
+	documented := map[string]bool{}
+	for _, m := range docMetricRe.FindAllStringSubmatch(string(doc), -1) {
+		if documented[m[1]] {
+			report("%s: metric %s documented twice", docsPage, m[1])
+		}
+		documented[m[1]] = true
+	}
+	var missing, orphaned []string
+	for name := range catalog {
+		if !documented[name] {
+			missing = append(missing, name)
+		}
+	}
+	for name := range documented {
+		if !catalog[name] {
+			orphaned = append(orphaned, name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Strings(orphaned)
+	for _, name := range missing {
+		report("%s: catalog metric %s has no table row in %s", catalogGo, name, docsPage)
+	}
+	for _, name := range orphaned {
+		report("%s: documents metric %s, which is not in %s", docsPage, name, catalogGo)
 	}
 }
 

@@ -13,6 +13,7 @@
 //	mobibench -exp adapt    # autopilot when-policies vs static compositions
 //	mobibench -exp batch    # batched-handoff sweep (delivery + FIFO asserted)
 //	mobibench -exp sessions # multi-session shared-plane scale (conservation + admission)
+//	mobibench -exp health   # health model: degrade under overload, policy reacts, recover
 //	mobibench -exp all      # everything
 //
 // The list above, the -exp dispatch, and the usage text all come from the
@@ -60,6 +61,7 @@ var experimentsTable = []struct {
 	{"adapt", "autopilot when-policies vs static compositions", runAdapt},
 	{"batch", "batched-handoff sweep (delivery + FIFO asserted)", runBatch},
 	{"sessions", "multi-session shared-plane scale (conservation + admission)", runSessions},
+	{"health", "health model: degrade under overload, policy reacts, recover", runHealth},
 }
 
 // experimentList renders the table for the usage text and the unknown-mode
@@ -304,6 +306,21 @@ func runSessions() {
 	cfg := experiments.DefaultSessionsConfig()
 	cfg.Sessions = *sessions
 	res, err := experiments.Sessions(cfg)
+	fmt.Print(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+// runHealth runs the component-health experiment: a shared plane driven
+// into load shedding, asserting the health model degrades (503 /healthz,
+// HEALTH_DEGRADED flight entry and context event), a when-policy on the
+// health_degraded signal fires, and the model recovers after the drain;
+// make health-smoke relies on the non-zero exit when any assert fails.
+func runHealth() {
+	fmt.Println("=== Component health: overload -> degrade -> adapt -> recover ===")
+	res, err := experiments.Health(experiments.DefaultHealthConfig())
 	fmt.Print(res)
 	if err != nil {
 		log.Fatal(err)

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mobigate"
+	"mobigate/internal/event"
 	"mobigate/internal/mime"
 	"mobigate/internal/obs"
 	"mobigate/internal/server"
@@ -141,7 +142,33 @@ func main() {
 		if err != nil {
 			log.Fatalf("mobigate-server: metrics endpoint: %v", err)
 		}
-		log.Printf("observability on http://%s/metrics (also /metrics.json, /trace, /streams, /slo)", maddr)
+		// The /watch feed and the health model draw on the go_* runtime
+		// series, so the collector runs whenever the endpoint does.
+		obs.Runtime().Start(5 * time.Second)
+		defer obs.Runtime().Close()
+		// Health transitions fan out as context events, so MCL when-blocks
+		// (on HEALTH_DEGRADED/HEALTH_RECOVERED) react alongside the
+		// health_degraded policy signal.
+		obs.Health().SetOnTransition(func(name string, healthy bool, reason string) {
+			id := event.HEALTH_DEGRADED
+			if healthy {
+				id = event.HEALTH_RECOVERED
+			}
+			gw.Events().Post(event.ContextEvent{EventID: id, Category: event.ExecutionFault})
+		})
+		defer obs.Health().SetOnTransition(nil)
+		// Evaluate the model on a timer too: /healthz and /watch each
+		// evaluate per request, but the health_degraded policy signal and
+		// the transition events must stay live with no scraper attached.
+		healthTick := time.NewTicker(5 * time.Second)
+		defer healthTick.Stop()
+		go func() {
+			for range healthTick.C {
+				obs.Health().Eval()
+			}
+		}()
+		log.Printf("observability on http://%s/metrics (also /metrics.json, /trace, /streams, /slo, /sessions, /healthz, /watch)", maddr)
+		log.Printf("live console: mobigate-top -addr %s", maddr)
 		if *debug {
 			log.Printf("debug surface on http://%s/debug/flight and /debug/pprof", maddr)
 		}

@@ -1,0 +1,256 @@
+// Command mobigate-top is a live terminal console for a running gateway:
+// it subscribes to the front-end's /watch server-sent-events stream and
+// redraws a compact dashboard — health verdict, key gauges, sampled
+// per-session SLOs, and the heavy-hitter top-K — on every frame.
+//
+//	mobigate-top -addr localhost:7701             # follow, 1s frames
+//	mobigate-top -interval 250ms                  # faster refresh
+//	mobigate-top -once                            # one frame, no ANSI
+//	mobigate-top -n 5                             # top-5 heavy hitters
+//
+// The consumer side of the /watch contract: the first event is a "full"
+// frame carrying every registry series; every later "delta" frame carries
+// only the series that changed, so the console merges deltas into its
+// model instead of re-reading the world.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"mobigate/internal/obs"
+)
+
+// frame mirrors the server's /watch event payload.
+type frame struct {
+	TsNs     int64                    `json:"tsNs"`
+	Series   map[string]float64       `json:"series"`
+	Health   obs.HealthSnapshot       `json:"health"`
+	Sessions obs.SessionStatsSnapshot `json:"sessions"`
+}
+
+// model is the merged console state across frames.
+type model struct {
+	series   map[string]float64
+	health   obs.HealthSnapshot
+	sessions obs.SessionStatsSnapshot
+	frames   int
+}
+
+func newModel() *model { return &model{series: make(map[string]float64)} }
+
+// apply merges one frame ("full" replaces the series map, "delta" merges).
+func (m *model) apply(event string, f frame) {
+	if event == "full" {
+		m.series = make(map[string]float64, len(f.Series))
+	}
+	for k, v := range f.Series {
+		m.series[k] = v
+	}
+	m.health = f.Health
+	m.sessions = f.Sessions
+	m.frames++
+}
+
+// readSSE consumes a server-sent-events stream, invoking handle per event
+// with the event name and the concatenated data payload. It returns on
+// stream end or the first handle error.
+func readSSE(r io.Reader, handle func(event, data string) error) error {
+	br := bufio.NewReader(r)
+	event := ""
+	var data strings.Builder
+	for {
+		line, err := br.ReadString('\n')
+		if line != "" {
+			line = strings.TrimRight(line, "\r\n")
+			switch {
+			case line == "":
+				if data.Len() > 0 {
+					if herr := handle(event, data.String()); herr != nil {
+						return herr
+					}
+				}
+				event = ""
+				data.Reset()
+			case strings.HasPrefix(line, "event:"):
+				event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+			case strings.HasPrefix(line, "data:"):
+				data.WriteString(strings.TrimSpace(strings.TrimPrefix(line, "data:")))
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// featuredSeries are the gauges the dashboard always shows, in order.
+var featuredSeries = []struct{ name, label string }{
+	{"mobigate_session_live", "sessions live"},
+	{"mobigate_session_draining", "sessions draining"},
+	{"mobigate_session_queued_bytes", "session queued bytes"},
+	{"mobigate_session_load_shed_total", "load sheds"},
+	{"mobigate_session_quota_shed_total", "quota sheds"},
+	{"mobigate_session_admission_shed_total", "admission sheds"},
+	{"mobigate_session_slo_violations_total", "session SLO violations"},
+	{"mobigate_slo_violations_total", "plane SLO violations"},
+	{"go_heap_bytes", "heap bytes"},
+	{"go_goroutines", "goroutines"},
+	{"go_gc_pause_p99_seconds", "GC pause p99 (s)"},
+	{"mobigate_watch_clients", "watch clients"},
+}
+
+// render draws the dashboard. With ansi, the screen is cleared and the
+// cursor homed first so successive frames redraw in place.
+func render(w io.Writer, m *model, k int, ansi bool) {
+	if ansi {
+		fmt.Fprint(w, "\x1b[2J\x1b[H")
+	}
+	verdict := "HEALTHY"
+	if !m.health.Healthy {
+		verdict = "DEGRADED"
+	}
+	fmt.Fprintf(w, "mobigate-top  frame %d  health: %s  transitions: %d\n\n",
+		m.frames, verdict, m.health.Transitions)
+
+	for _, f := range featuredSeries {
+		if v, ok := m.series[f.name]; ok {
+			fmt.Fprintf(w, "  %-24s %s\n", f.label, formatValue(f.name, v))
+		}
+	}
+
+	fmt.Fprint(w, "\ncomponents:\n")
+	for _, c := range m.health.Components {
+		state := "ok"
+		if !c.Healthy {
+			state = "DEGRADED: " + c.Reason
+		}
+		fmt.Fprintf(w, "  %-12s %s\n", c.Name, state)
+	}
+
+	s := &m.sessions
+	fmt.Fprintf(w, "\nsampled sessions (1/%d, %d of %d slots, overflow %d):\n",
+		s.SampleRate, s.Sampled, s.SlotCap, s.Overflow)
+	samples := append([]obs.SessionSLOSample(nil), s.Samples...)
+	sort.Slice(samples, func(i, j int) bool {
+		if samples[i].P99Ns != samples[j].P99Ns {
+			return samples[i].P99Ns > samples[j].P99Ns
+		}
+		return samples[i].ID < samples[j].ID
+	})
+	if len(samples) > k {
+		samples = samples[:k]
+	}
+	for _, sm := range samples {
+		note := ""
+		if sm.Stale {
+			note = "  (stale)"
+		} else if sm.InViolation {
+			note = "  (over budget)"
+		}
+		fmt.Fprintf(w, "  %-20s n=%-6d p50=%-10s p95=%-10s p99=%-10s viol=%d%s\n",
+			sm.ID, sm.Count, duration(sm.P50Ns), duration(sm.P95Ns), duration(sm.P99Ns),
+			sm.Violations, note)
+	}
+
+	printHH := func(title string, hh []obs.HeavyHitter, val func(obs.HeavyHitter) string) {
+		if len(hh) == 0 {
+			return
+		}
+		if len(hh) > k {
+			hh = hh[:k]
+		}
+		fmt.Fprintf(w, "\ntop by %s:\n", title)
+		for _, h := range hh {
+			fmt.Fprintf(w, "  %-20s %s\n", h.ID, val(h))
+		}
+	}
+	printHH("bytes", s.TopBytes, func(h obs.HeavyHitter) string {
+		return fmt.Sprintf("%s in %d msgs", bytesHuman(h.Bytes), h.Msgs)
+	})
+	printHH("sheds", s.TopSheds, func(h obs.HeavyHitter) string {
+		return fmt.Sprintf("%d sheds", h.Sheds)
+	})
+	printHH("SLO violations", s.TopViolations, func(h obs.HeavyHitter) string {
+		return fmt.Sprintf("%d violations", h.Violations)
+	})
+}
+
+func formatValue(name string, v float64) string {
+	switch {
+	case strings.HasSuffix(name, "_bytes"):
+		return bytesHuman(int64(v))
+	case strings.HasSuffix(name, "_seconds"):
+		return duration(int64(v * 1e9))
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+func duration(ns int64) string {
+	return time.Duration(ns).Truncate(time.Microsecond).String()
+}
+
+func bytesHuman(b int64) string {
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%d B", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f %ciB", float64(b)/float64(div), "KMGTPE"[exp])
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:7701", "gateway metrics address (host:port)")
+	interval := flag.Duration("interval", time.Second, "frame interval requested from /watch")
+	once := flag.Bool("once", false, "print one full frame and exit (no ANSI redraw)")
+	topK := flag.Int("n", 10, "entries per top list")
+	flag.Parse()
+
+	url := fmt.Sprintf("http://%s/watch?interval=%s", *addr, interval.String())
+	resp, err := http.Get(url)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mobigate-top: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "mobigate-top: %s returned %s\n", url, resp.Status)
+		os.Exit(1)
+	}
+
+	m := newModel()
+	err = readSSE(resp.Body, func(event, data string) error {
+		var f frame
+		if jerr := json.Unmarshal([]byte(data), &f); jerr != nil {
+			return fmt.Errorf("bad frame: %w", jerr)
+		}
+		m.apply(event, f)
+		render(os.Stdout, m, *topK, !*once)
+		if *once {
+			return errDone
+		}
+		return nil
+	})
+	if err != nil && err != errDone {
+		fmt.Fprintf(os.Stderr, "mobigate-top: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+var errDone = fmt.Errorf("done")

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mobigate/internal/obs"
+)
+
+// TestReadSSE: frames split on blank lines, data concatenated, EOF clean.
+func TestReadSSE(t *testing.T) {
+	stream := "event: full\ndata: {\"a\":1}\n\n" +
+		": comment-ish noise line\n" +
+		"event: delta\ndata: {\"b\":2}\n\n" +
+		"data: {\"tail\":3}\n" // no trailing blank line: not dispatched
+	var got []string
+	err := readSSE(strings.NewReader(stream), func(event, data string) error {
+		got = append(got, event+"|"+data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`full|{"a":1}`, `delta|{"b":2}`}
+	if len(got) != len(want) {
+		t.Fatalf("events %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("events %v, want %v", got, want)
+		}
+	}
+}
+
+// TestReadSSEHandlerError: a handler error stops the stream and propagates.
+func TestReadSSEHandlerError(t *testing.T) {
+	stream := "event: full\ndata: x\n\nevent: delta\ndata: y\n\n"
+	calls := 0
+	err := readSSE(strings.NewReader(stream), func(event, data string) error {
+		calls++
+		return errDone
+	})
+	if err != errDone || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want errDone after 1 call", err, calls)
+	}
+}
+
+// TestModelApply: full frames replace the series map, deltas merge into it.
+func TestModelApply(t *testing.T) {
+	m := newModel()
+	m.apply("full", frame{Series: map[string]float64{"a": 1, "b": 2}})
+	m.apply("delta", frame{Series: map[string]float64{"b": 5, "c": 3}})
+	if m.series["a"] != 1 || m.series["b"] != 5 || m.series["c"] != 3 {
+		t.Fatalf("after delta merge: %v", m.series)
+	}
+	if m.frames != 2 {
+		t.Fatalf("frames = %d", m.frames)
+	}
+	// A later full frame drops series the server no longer reports.
+	m.apply("full", frame{Series: map[string]float64{"a": 9}})
+	if len(m.series) != 1 || m.series["a"] != 9 {
+		t.Fatalf("full frame did not replace series: %v", m.series)
+	}
+}
+
+// TestRender: the dashboard surfaces health verdict, featured gauges,
+// components, sampled sessions, and heavy hitters from the model.
+func TestRender(t *testing.T) {
+	m := newModel()
+	m.apply("full", frame{
+		Series: map[string]float64{
+			"mobigate_session_live": 42,
+			"go_heap_bytes":         2048,
+		},
+		Health: obs.HealthSnapshot{
+			Healthy: false,
+			Components: []obs.ComponentHealth{
+				{Name: "queues", Healthy: false, Reason: "queue drops"},
+				{Name: "link", Healthy: true},
+			},
+			Transitions: 3,
+		},
+		Sessions: obs.SessionStatsSnapshot{
+			SampleRate: 64,
+			Sampled:    1,
+			SlotCap:    1024,
+			Samples: []obs.SessionSLOSample{
+				{ID: "sess-7", Count: 10, P50Ns: 1_000_000, P95Ns: 2_000_000,
+					P99Ns: 3_000_000, Violations: 2, InViolation: true},
+			},
+			TopBytes: []obs.HeavyHitter{{ID: "sess-9", Bytes: 4096, Msgs: 4}},
+			TopSheds: []obs.HeavyHitter{{ID: "sess-9", Sheds: 6}},
+		},
+	})
+	var sb strings.Builder
+	render(&sb, m, 10, false)
+	out := sb.String()
+	for _, want := range []string{
+		"health: DEGRADED",
+		"transitions: 3",
+		"sessions live", "42",
+		"heap bytes", "2.0 KiB",
+		"queues", "DEGRADED: queue drops",
+		"sampled sessions (1/64, 1 of 1024 slots",
+		"sess-7", "(over budget)",
+		"top by bytes", "4.0 KiB in 4 msgs",
+		"top by sheds", "6 sheds",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Fatal("ansi escapes emitted with ansi=false")
+	}
+}
+
+// TestRenderTopKClamp: -n bounds every list.
+func TestRenderTopKClamp(t *testing.T) {
+	m := newModel()
+	var samples []obs.SessionSLOSample
+	var hh []obs.HeavyHitter
+	for i := 0; i < 5; i++ {
+		samples = append(samples, obs.SessionSLOSample{
+			ID: "s-" + string(rune('a'+i)), Count: 1, P99Ns: int64(i)})
+		hh = append(hh, obs.HeavyHitter{ID: "h-" + string(rune('a'+i)), Bytes: int64(i + 1)})
+	}
+	m.apply("full", frame{Sessions: obs.SessionStatsSnapshot{
+		SampleRate: 64, Samples: samples, TopBytes: hh,
+	}})
+	var sb strings.Builder
+	render(&sb, m, 2, false)
+	out := sb.String()
+	if got := strings.Count(out, "s-"); got != 2 {
+		t.Fatalf("rendered %d samples, want 2:\n%s", got, out)
+	}
+	if got := strings.Count(out, "h-"); got != 2 {
+		t.Fatalf("rendered %d heavy hitters, want 2:\n%s", got, out)
+	}
+}
+
+func TestBytesHuman(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.0 KiB"},
+		{3 << 20, "3.0 MiB"},
+	}
+	for _, c := range cases {
+		if got := bytesHuman(c.in); got != c.want {
+			t.Fatalf("bytesHuman(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -56,6 +56,18 @@ type Reading struct {
 	ResequencerDepth int64
 	// QueueDepth is the queued-message gauge.
 	QueueDepth int64
+	// HeapBytes is the live-heap gauge (go_heap_bytes; fresh only while
+	// the obs runtime collector is running).
+	HeapBytes int64
+	// GCPauseP99Us is the p99 GC pause gauge in microseconds.
+	GCPauseP99Us int64
+	// SessionsActive is the live logical-session gauge.
+	SessionsActive int64
+	// SessionSLOViolations is the cumulative sampled per-session SLO
+	// violation count.
+	SessionSLOViolations uint64
+	// HealthDegraded is the degraded health-component gauge.
+	HealthDegraded int64
 }
 
 // Config parameterizes an Engine.
@@ -243,6 +255,12 @@ func (e *Engine) sample() Reading {
 		WorkersBusy:      obs.DefaultIntGauge(obs.MStreamletWorkersBusy).Value(),
 		ResequencerDepth: obs.DefaultIntGauge(obs.MStreamletReseqDepth).Value(),
 		QueueDepth:       obs.DefaultIntGauge(obs.MQueueQueuedMessages).Value(),
+		HeapBytes:        obs.DefaultIntGauge(obs.MGoHeapBytes).Value(),
+		GCPauseP99Us: int64(
+			obs.DefaultGauge(obs.MGoGCPauseP99Seconds).Value() * 1e6),
+		SessionsActive:       obs.DefaultIntGauge(obs.MSessionLive).Value(),
+		SessionSLOViolations: obs.DefaultCounter(obs.MSessionSLOViolationsTotal).Value(),
+		HealthDegraded:       obs.DefaultIntGauge(obs.MHealthDegraded).Value(),
 	}
 	if e.cfg.Link != nil {
 		r.Bandwidth = e.cfg.Link.Bandwidth()
@@ -264,6 +282,16 @@ func signalValue(sig string, cur, prev Reading) int64 {
 		return cur.WorkersBusy
 	case mcl.SignalResequencerDepth:
 		return cur.ResequencerDepth
+	case mcl.SignalHeapBytes:
+		return cur.HeapBytes
+	case mcl.SignalGCPauseP99:
+		return cur.GCPauseP99Us
+	case mcl.SignalSessionsActive:
+		return cur.SessionsActive
+	case mcl.SignalSessionSLOViolations:
+		return int64(cur.SessionSLOViolations - prev.SessionSLOViolations)
+	case mcl.SignalHealthDegraded:
+		return cur.HealthDegraded
 	default: // mcl.SignalQueueDepth; the parser admits no other signal
 		return cur.QueueDepth
 	}

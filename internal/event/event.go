@@ -94,6 +94,12 @@ const (
 	// ADAPTATION is raised by the autopilot (internal/adapt) after every
 	// when-policy firing, source-directed at the adapted stream.
 	ADAPTATION = "ADAPTATION"
+	// HEALTH_DEGRADED / HEALTH_RECOVERED are raised by the component
+	// health model (internal/obs) on edge transitions of a subsystem's
+	// verdict. Filed under ExecutionFault like SLO_VIOLATION: a degraded
+	// component means the execution plane is shedding or failing work.
+	HEALTH_DEGRADED  = "HEALTH_DEGRADED"
+	HEALTH_RECOVERED = "HEALTH_RECOVERED"
 )
 
 // ContextEvent is the MobiGATE event object of Figure 6-5.
@@ -136,6 +142,7 @@ func NewCatalog() *Catalog {
 		STREAMLET_PANIC: ExecutionFault, STREAMLET_ERROR: ExecutionFault,
 		STREAMLET_STALL: ExecutionFault, STREAMLET_HEALED: ExecutionFault,
 		SLO_VIOLATION: ExecutionFault, ADAPTATION: Adaptation,
+		HEALTH_DEGRADED: ExecutionFault, HEALTH_RECOVERED: ExecutionFault,
 	} {
 		c.events[id] = cat
 	}

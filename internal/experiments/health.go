@@ -1,0 +1,395 @@
+package experiments
+
+// The health-model experiment behind `mobibench -exp health` and
+// `make health-smoke`: it drives a shared-plane session table into
+// overload, then asserts the whole observability loop the health model
+// closes —
+//
+//   - the sheds degrade the "planes" component: /healthz flips to 503 with
+//     the component named, a HEALTH_DEGRADED flight entry and context
+//     event fire (edge-triggered, exactly once per transition);
+//   - the autopilot can act on it: a when-policy over the new
+//     health_degraded signal fires on the next tick;
+//   - after the overload drains, three clean evaluations recover the
+//     component: /healthz returns to 200 and HEALTH_RECOVERED fires;
+//   - the live surfaces work end to end: /watch's first SSE frame carries
+//     the registry (including the runtime collector's go_* series) and
+//     /sessions decodes with the overloaded session in its heavy-hitter
+//     lists.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"mobigate/internal/adapt"
+	"mobigate/internal/event"
+	"mobigate/internal/mcl"
+	"mobigate/internal/obs"
+	"mobigate/internal/queue"
+	"mobigate/internal/server"
+	"mobigate/internal/session"
+	"mobigate/internal/stream"
+	"mobigate/internal/streamlet"
+
+	"mobigate/internal/services"
+)
+
+// healthScript is the adaptation target: the AdaptScript pipeline with one
+// policy over the health_degraded signal instead of bandwidth.
+const healthScript = `
+streamlet relay {
+	port { in pi : text/*; out po : text/*; }
+	attribute { type = STATELESS; library = "bench/redirector"; }
+}
+streamlet text_compress {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; }
+}
+main stream guarded {
+	streamlet hd = new-streamlet (relay);
+	streamlet cm = new-streamlet (relay);
+	connect (hd.po, cm.pi);
+
+	when (health_degraded > 0) -> insert text_compress between hd and cm;
+}
+`
+
+// HealthConfig parameterizes the experiment.
+type HealthConfig struct {
+	// Sessions is the connected population (big enough that the
+	// deterministic 1/64 sampler selects a few).
+	Sessions int
+	// MessageBytes is the accounted size per overload message.
+	MessageBytes int
+	// ShedBytes is the plane saturation bound — kept tiny so overload is
+	// cheap to reach.
+	ShedBytes int
+	// Timeout bounds every wait.
+	Timeout time.Duration
+}
+
+// DefaultHealthConfig returns the smoke-scale run.
+func DefaultHealthConfig() HealthConfig {
+	return HealthConfig{
+		Sessions:     512,
+		MessageBytes: 256,
+		ShedBytes:    4 << 10,
+		Timeout:      30 * time.Second,
+	}
+}
+
+// HealthResult is everything the experiment measured and asserted.
+type HealthResult struct {
+	Sessions        int
+	LoadSheds       uint64
+	DegradedStatus  int // /healthz status while degraded (must be 503)
+	RecoveredStatus int // /healthz status after recovery (must be 200)
+	PolicyActions   uint64
+	HealthEvents    uint64 // HEALTH_* context events delivered
+	FlightDegraded  int
+	FlightRecovered int
+	SampledSessions int
+	HeapBytes       int64 // go_heap_bytes after one runtime collection
+	Elapsed         time.Duration
+}
+
+// String renders the result.
+func (r HealthResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health: %d sessions, %d load sheds (%v)\n",
+		r.Sessions, r.LoadSheds, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  /healthz degraded   %d\n", r.DegradedStatus)
+	fmt.Fprintf(&b, "  /healthz recovered  %d\n", r.RecoveredStatus)
+	fmt.Fprintf(&b, "  policy actions      %d (when health_degraded > 0)\n", r.PolicyActions)
+	fmt.Fprintf(&b, "  health events       %d (context events)\n", r.HealthEvents)
+	fmt.Fprintf(&b, "  flight entries      %d degraded / %d recovered\n", r.FlightDegraded, r.FlightRecovered)
+	fmt.Fprintf(&b, "  sampled sessions    %d (1/%d deterministic)\n", r.SampledSessions, obs.SessionStats().SampleRate())
+	fmt.Fprintf(&b, "  go_heap_bytes       %d\n", r.HeapBytes)
+	return b.String()
+}
+
+// healthEventProbe counts delivered HEALTH_* context events.
+type healthEventProbe struct{ n atomic.Uint64 }
+
+func (p *healthEventProbe) SubscriberName() string { return "health-probe" }
+func (p *healthEventProbe) OnEvent(ev event.ContextEvent) {
+	if ev.EventID == event.HEALTH_DEGRADED || ev.EventID == event.HEALTH_RECOVERED {
+		p.n.Add(1)
+	}
+}
+
+// Health runs the experiment and returns an error on any violated assert.
+func Health(cfg HealthConfig) (HealthResult, error) {
+	start := time.Now()
+	var res HealthResult
+	if cfg.Sessions <= 0 {
+		cfg = DefaultHealthConfig()
+	}
+	res.Sessions = cfg.Sessions
+
+	// Context-event wiring: health transitions become HEALTH_* events, the
+	// same wiring mobigate-server performs at startup.
+	em := event.NewManager(nil)
+	defer em.Close()
+	probe := &healthEventProbe{}
+	em.Subscribe(event.ExecutionFault, probe)
+	obs.Health().SetOnTransition(func(name string, healthy bool, reason string) {
+		id := event.HEALTH_DEGRADED
+		if healthy {
+			id = event.HEALTH_RECOVERED
+		}
+		em.Post(event.ContextEvent{EventID: id, Category: event.ExecutionFault})
+	})
+	defer obs.Health().SetOnTransition(nil)
+
+	// Baseline: the first Eval only primes the counter deltas, so sheds
+	// from earlier work in this process are not charged to the model.
+	obs.Health().Eval()
+	seq0 := obs.Flight().Events()
+
+	// The observability endpoint under test, on an ephemeral port.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	httpSrv := &http.Server{Handler: server.NewMetricsHandler(nil)}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	// The adaptation target: a stream guarded by the health_degraded
+	// policy, ticked manually like the production background ticker.
+	dir := streamlet.NewDirectory()
+	services.RegisterAll(dir)
+	compiled, err := mcl.Compile(healthScript, nil)
+	if err != nil {
+		return res, err
+	}
+	st, err := stream.FromConfig(compiled, "guarded", nil, dir)
+	if err != nil {
+		return res, err
+	}
+	defer st.End()
+	st.Start()
+	eng := adapt.New(adapt.Config{Events: em})
+	eng.Attach("guarded", st, compiled.Stream("guarded").Policies)
+	defer eng.Close()
+
+	// Overload: a session population posting into one tiny shared plane
+	// with no consumer, so the queue saturates and the load-shedder fires.
+	plane := session.NewPlane("health-plane",
+		queue.New("health-q", queue.Options{CapacityBytes: 1 << 20}))
+	tbl, err := session.NewTable(session.Config{
+		ShedBytes: cfg.ShedBytes,
+		Shards:    64,
+	}, plane)
+	if err != nil {
+		return res, err
+	}
+	defer tbl.Close()
+
+	sessions := make([]*session.Session, cfg.Sessions)
+	for i := range sessions {
+		s, err := tbl.Connect("health-" + strconv.Itoa(i))
+		if err != nil {
+			return res, fmt.Errorf("health: connect %d: %w", i, err)
+		}
+		sessions[i] = s
+	}
+
+	posted := 0
+	for i := 0; tbl.Stats().LoadShed == 0; i++ {
+		if i >= cfg.Sessions*64 {
+			return res, fmt.Errorf("health: overload never shed after %d posts", i)
+		}
+		s := sessions[i%cfg.Sessions]
+		id := strconv.Itoa(i%cfg.Sessions) + "/" + strconv.Itoa(i)
+		if err := s.Post(id, cfg.MessageBytes, nil); err == nil {
+			posted++
+		}
+	}
+	res.LoadSheds = tbl.Stats().LoadShed
+
+	// Degrade: the next evaluation must flip the planes component.
+	snap := obs.Health().Eval()
+	if snap.Healthy {
+		return res, fmt.Errorf("health: model still healthy after %d load sheds", res.LoadSheds)
+	}
+	planesDegraded := false
+	for _, c := range snap.Components {
+		if c.Name == "planes" && !c.Healthy {
+			planesDegraded = true
+		}
+	}
+	if !planesDegraded {
+		return res, fmt.Errorf("health: planes component not degraded: %+v", snap.Components)
+	}
+	if obs.DefaultIntGauge(obs.MHealthDegraded).Value() == 0 {
+		return res, fmt.Errorf("health: %s gauge is zero while degraded", obs.MHealthDegraded)
+	}
+	res.DegradedStatus, err = healthzStatus(base, cfg.Timeout)
+	if err != nil {
+		return res, err
+	}
+	if res.DegradedStatus != http.StatusServiceUnavailable {
+		return res, fmt.Errorf("health: /healthz while degraded: %d, want 503", res.DegradedStatus)
+	}
+
+	// The autopilot reacts: one tick of the health_degraded policy.
+	eng.Tick()
+	res.PolicyActions = eng.Actions()
+	if res.PolicyActions < 1 {
+		return res, fmt.Errorf("health: health_degraded policy never fired")
+	}
+
+	// Recover: drain the plane (the releases conserve the accounting),
+	// then three clean evaluations flip the component back. The /healthz
+	// probes below each re-evaluate, so poll until the hysteresis clears.
+	q := plane.Queue()
+	buf := make([]queue.Item, 256)
+	for {
+		n := q.TryFetchN(buf)
+		if n == 0 {
+			break
+		}
+		for _, it := range buf[:n] {
+			idx, _ := strconv.Atoi(it.MsgID[:strings.IndexByte(it.MsgID, '/')])
+			sessions[idx].Release(it.Size, int64(time.Millisecond))
+		}
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+	for {
+		res.RecoveredStatus, err = healthzStatus(base, cfg.Timeout)
+		if err != nil {
+			return res, err
+		}
+		if res.RecoveredStatus == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("health: /healthz stuck at %d after drain", res.RecoveredStatus)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Edge-triggering: exactly the transitions, journaled and posted.
+	for _, e := range obs.Flight().Snapshot(0).Events {
+		if e.Seq <= seq0 {
+			continue
+		}
+		switch e.Code {
+		case obs.FlightHealthDegraded:
+			res.FlightDegraded++
+		case obs.FlightHealthRecovered:
+			res.FlightRecovered++
+		}
+	}
+	if res.FlightDegraded == 0 || res.FlightRecovered == 0 {
+		return res, fmt.Errorf("health: flight journal: %d degraded / %d recovered entries, want both >= 1",
+			res.FlightDegraded, res.FlightRecovered)
+	}
+	evDeadline := time.Now().Add(2 * time.Second)
+	for probe.n.Load() < 2 && time.Now().Before(evDeadline) {
+		time.Sleep(time.Millisecond)
+	}
+	res.HealthEvents = probe.n.Load()
+	if res.HealthEvents < 2 {
+		return res, fmt.Errorf("health: %d HEALTH_* context events, want >= 2 (degraded + recovered)", res.HealthEvents)
+	}
+
+	// Live surfaces: /sessions decodes with the sampler and heavy hitters
+	// populated, /watch's first SSE frame carries the registry.
+	var sessSnap obs.SessionStatsSnapshot
+	if err := getJSON(base+"/sessions", cfg.Timeout, &sessSnap); err != nil {
+		return res, fmt.Errorf("health: /sessions: %w", err)
+	}
+	res.SampledSessions = sessSnap.Sampled
+	if res.SampledSessions == 0 {
+		return res, fmt.Errorf("health: sampler selected 0 of %d sessions", cfg.Sessions)
+	}
+	if len(sessSnap.TopBytes) == 0 {
+		return res, fmt.Errorf("health: /sessions heavy-hitter topBytes empty after %d deliveries", posted)
+	}
+	obs.Runtime().Collect()
+	res.HeapBytes = obs.DefaultIntGauge(obs.MGoHeapBytes).Value()
+	if res.HeapBytes <= 0 {
+		return res, fmt.Errorf("health: runtime collector left %s at %d", obs.MGoHeapBytes, res.HeapBytes)
+	}
+	frame, err := watchFirstFrame(base, cfg.Timeout)
+	if err != nil {
+		return res, fmt.Errorf("health: /watch: %w", err)
+	}
+	for _, want := range []string{obs.MGoHeapBytes, obs.MSessionLive, "\"health\""} {
+		if !strings.Contains(frame, want) {
+			return res, fmt.Errorf("health: /watch first frame missing %q", want)
+		}
+	}
+
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// healthzStatus GETs /healthz and returns the status code.
+func healthzStatus(base string, timeout time.Duration) (int, error) {
+	c := &http.Client{Timeout: timeout}
+	resp, err := c.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var snap obs.HealthSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, fmt.Errorf("/healthz body: %w", err)
+	}
+	return resp.StatusCode, nil
+}
+
+// getJSON GETs a URL and decodes the JSON body.
+func getJSON(url string, timeout time.Duration, v any) error {
+	c := &http.Client{Timeout: timeout}
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// watchFirstFrame subscribes to /watch and returns the first SSE event
+// (header line plus data payload) as text.
+func watchFirstFrame(base string, timeout time.Duration) (string, error) {
+	c := &http.Client{Timeout: timeout}
+	resp, err := c.Get(base + "/watch?interval=100ms")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("/watch: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		return "", fmt.Errorf("/watch content-type %q", ct)
+	}
+	var b strings.Builder
+	br := bufio.NewReader(resp.Body)
+	for {
+		line, err := br.ReadString('\n')
+		b.WriteString(line)
+		if line == "\n" && b.Len() > 1 {
+			return b.String(), nil
+		}
+		if err != nil {
+			return b.String(), err
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHealth runs the health experiment at reduced scale: the function
+// itself asserts the full loop — overload degrades /healthz to 503, the
+// MCL when-policy fires on the health_degraded signal, draining recovers
+// the model, and the flight recorder plus event plane carry both edges.
+func TestHealth(t *testing.T) {
+	cfg := DefaultHealthConfig()
+	cfg.Sessions = 128
+	cfg.Timeout = 20 * time.Second
+	res, err := Health(cfg)
+	if err != nil {
+		t.Fatalf("Health: %v\n%s", err, res)
+	}
+	if res.PolicyActions < 1 {
+		t.Fatalf("policy never fired: %+v", res)
+	}
+	if res.HealthEvents < 2 {
+		t.Fatalf("expected degrade+recover events, got %d", res.HealthEvents)
+	}
+}

@@ -39,6 +39,21 @@ const (
 	SignalResequencerDepth = "resequencer_depth"
 	// SignalQueueDepth is the gauge of messages queued in channels.
 	SignalQueueDepth = "queue_depth"
+	// SignalHeapBytes is the gauge of live heap bytes (go_heap_bytes, fed
+	// by the obs runtime collector).
+	SignalHeapBytes = "heap_bytes"
+	// SignalGCPauseP99 is the p99 GC pause of the last collection
+	// interval, in microseconds (from go_gc_pause_p99_seconds).
+	SignalGCPauseP99 = "gc_pause_p99"
+	// SignalSessionsActive is the gauge of live logical sessions in the
+	// session layer.
+	SignalSessionsActive = "sessions_active"
+	// SignalSessionSLOViolations is the number of per-session sampled SLO
+	// violations since the previous tick.
+	SignalSessionSLOViolations = "session_slo_violations"
+	// SignalHealthDegraded is the gauge of degraded health-model
+	// components.
+	SignalHealthDegraded = "health_degraded"
 )
 
 // policySignals maps each condition signal to a short description (used in
@@ -50,6 +65,12 @@ var policySignals = map[string]string{
 	SignalWorkersBusy:      "busy parallel workers (gauge)",
 	SignalResequencerDepth: "parked out-of-order emissions (gauge)",
 	SignalQueueDepth:       "messages queued in channels (gauge)",
+
+	SignalHeapBytes:            "live heap bytes (gauge)",
+	SignalGCPauseP99:           "p99 GC pause in microseconds (gauge)",
+	SignalSessionsActive:       "live logical sessions (gauge)",
+	SignalSessionSLOViolations: "sampled per-session SLO violations per tick",
+	SignalHealthDegraded:       "degraded health-model components (gauge)",
 }
 
 // KnownPolicySignal reports whether name is a valid when-policy condition

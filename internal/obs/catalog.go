@@ -97,6 +97,31 @@ const (
 	MSessionDraining         = "mobigate_session_draining"
 	MSessionQueuedBytes      = "mobigate_session_queued_bytes"
 
+	// Session-scale observability (sessionstats.go): the deterministic
+	// hash-based SLO sampler and the per-session latency-budget violations
+	// it detects on sampled sessions.
+	MSessionSampled             = "mobigate_session_sampled"
+	MSessionSampleOverflowTotal = "mobigate_session_sample_overflow_total"
+	MSessionSLOViolationsTotal  = "mobigate_session_slo_violations_total"
+
+	// Component health model (health.go) and the /watch live stream.
+	MHealthDegraded         = "mobigate_health_degraded"
+	MHealthTransitionsTotal = "mobigate_health_transitions_total"
+	MWatchClients           = "mobigate_watch_clients"
+	MWatchEventsTotal       = "mobigate_watch_events_total"
+
+	// Runtime self-stats (runtime.go): the Go runtime folded into the
+	// registry as go_* series so operators and the autopilot see GC, heap
+	// and scheduler headroom next to the gateway's own signals.
+	MGoGoroutines         = "go_goroutines"
+	MGoMaxProcs           = "go_gomaxprocs"
+	MGoHeapBytes          = "go_heap_bytes"
+	MGoHeapObjects        = "go_heap_objects"
+	MGoGCCyclesTotal      = "go_gc_cycles_total"
+	MGoGCPauseP50Seconds  = "go_gc_pause_p50_seconds"
+	MGoGCPauseP99Seconds  = "go_gc_pause_p99_seconds"
+	MGoSchedLatP99Seconds = "go_sched_latency_p99_seconds"
+
 	// End-to-end span tracing (span.go), the flight recorder (flight.go),
 	// the trace store, and latency-budget tracking (slo.go).
 	MSpanRecordedTotal  = "mobigate_span_recorded_total"
@@ -170,6 +195,11 @@ func registerCatalog(r *Registry) {
 		{MAdaptFailuresTotal, "Policy actions that failed to apply (e.g. drain timeout)."},
 		{MAdaptReloadsTotal, "MCL hot-reloads applied to running servers."},
 		{MBatchFlushesTotal, "Batched post flushes (PostN calls) across all channel queues."},
+		{MSessionSampleOverflowTotal, "Sessions selected by the SLO sampler but refused because the slot pool was exhausted."},
+		{MSessionSLOViolationsTotal, "Per-session latency-budget violations detected on sampled sessions (edge-triggered per session)."},
+		{MHealthTransitionsTotal, "Component health transitions (degraded or recovered) raised by the health model."},
+		{MWatchEventsTotal, "Frames emitted to /watch subscribers."},
+		{MGoGCCyclesTotal, "Completed Go GC cycles (delta-fed from runtime/metrics)."},
 	} {
 		r.Counter(c.name, c.help, nil)
 	}
@@ -187,6 +217,13 @@ func registerCatalog(r *Registry) {
 		{MSessionLive, "Logical sessions currently admitted (active or idle)."},
 		{MSessionDraining, "Logical sessions disconnected but still draining in-flight messages."},
 		{MSessionQueuedBytes, "Bytes admitted against session quotas and not yet released by delivery."},
+		{MSessionSampled, "Sessions currently holding an SLO sampler slot."},
+		{MHealthDegraded, "Components the health model currently reports degraded."},
+		{MWatchClients, "Live /watch subscribers."},
+		{MGoGoroutines, "Goroutines currently live in the process."},
+		{MGoMaxProcs, "GOMAXPROCS worker-thread limit."},
+		{MGoHeapBytes, "Heap bytes occupied by live and dead objects (runtime/metrics heap objects class)."},
+		{MGoHeapObjects, "Objects currently live on the Go heap."},
 	} {
 		r.IntGauge(g.name, g.help, nil)
 	}
@@ -195,6 +232,9 @@ func registerCatalog(r *Registry) {
 		{MLinkLossRate, "Configured loss rate of the most recently adjusted link."},
 		{MStreamsActive, "Stream instances currently deployed."},
 		{MSessionsActive, "Front-end client sessions currently open."},
+		{MGoGCPauseP50Seconds, "Median GC stop-the-world pause over the last collection interval (0 when no pauses)."},
+		{MGoGCPauseP99Seconds, "p99 GC stop-the-world pause over the last collection interval (0 when no pauses)."},
+		{MGoSchedLatP99Seconds, "p99 goroutine scheduling latency over the last collection interval (0 when idle)."},
 	} {
 		r.Gauge(g.name, g.help, nil)
 	}

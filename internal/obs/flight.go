@@ -80,6 +80,12 @@ const (
 	// Per-message load and quota sheds are counted, not journaled — at full
 	// rate they would churn the ring.
 	FlightSessionShed
+	// FlightHealthDegraded / FlightHealthRecovered are edge-triggered
+	// component-health transitions from the health model (Subject: the
+	// component name; Detail: the degradation reason; Value: the reading
+	// that crossed).
+	FlightHealthDegraded
+	FlightHealthRecovered
 )
 
 var flightCodeNames = [...]string{
@@ -87,6 +93,7 @@ var flightCodeNames = [...]string{
 	"blackout", "restored", "reconfig", "handoff", "bandwidth", "event", "slo",
 	"cache-hit", "cache-miss", "adapt", "batch-flush",
 	"session-connect", "session-disconnect", "session-shed",
+	"health-degraded", "health-recovered",
 }
 
 func (c FlightCode) String() string {

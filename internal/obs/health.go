@@ -1,0 +1,266 @@
+package obs
+
+// Component health model: a small rule engine that folds the gateway's
+// existing failure counters into a per-subsystem healthy/degraded verdict
+// and an overall up/down answer for /healthz. Components degrade
+// immediately when their failure signal moves between evaluations (one
+// shed is one too many — the counters only grow under real pressure) and
+// recover only after recoverTicks consecutive clean evaluations, so a
+// flapping subsystem reads as degraded rather than oscillating. All
+// transitions are edge-triggered: each one lands in the flight recorder
+// (FlightHealthDegraded / FlightHealthRecovered), bumps
+// mobigate_health_transitions_total, and reaches the optional callback the
+// server layer wires to HEALTH_* context events.
+
+import (
+	"sync"
+)
+
+// healthRecoverTicks is how many consecutive clean evaluations a degraded
+// component needs before it reads healthy again.
+const healthRecoverTicks = 3
+
+// HealthComponent is one evaluated subsystem. Check runs on every Eval and
+// reports healthy, plus a reason and the offending reading when degraded.
+// Checks built on cumulative counters keep their own baseline and report
+// per-eval deltas (see counterCheck).
+type HealthComponent struct {
+	Name  string
+	Check func() (healthy bool, reason string, value int64)
+}
+
+// ComponentHealth is one component's state in a /healthz snapshot.
+type ComponentHealth struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	// Reason carries the latest degradation cause ("" while healthy).
+	Reason string `json:"reason,omitempty"`
+	// SinceNs is the MonoNow stamp of the last transition (0 before any).
+	SinceNs int64 `json:"sinceNs,omitempty"`
+}
+
+// HealthSnapshot is the /healthz document.
+type HealthSnapshot struct {
+	// Healthy is the conjunction over components: false degrades the
+	// endpoint to 503.
+	Healthy     bool              `json:"healthy"`
+	Components  []ComponentHealth `json:"components"`
+	Transitions uint64            `json:"transitions"`
+}
+
+type healthState struct {
+	comp        HealthComponent
+	healthy     bool
+	reason      string
+	sinceNs     int64
+	cleanStreak int
+}
+
+// HealthModel evaluates a fixed component set. Eval is cheap (one counter
+// read per component) and is driven by whoever needs a fresh verdict —
+// the /healthz handler evaluates per scrape, experiments evaluate inline.
+type HealthModel struct {
+	mu           sync.Mutex
+	states       []*healthState
+	baselined    bool
+	onTransition func(name string, healthy bool, reason string)
+
+	degraded    *IntGauge // nil-safe; the default model wires the catalog
+	transitions *Counter
+}
+
+// NewHealthModel creates a model over the given components, all initially
+// healthy. The first Eval only baselines delta checks.
+func NewHealthModel(components ...HealthComponent) *HealthModel {
+	m := &HealthModel{}
+	for _, c := range components {
+		m.states = append(m.states, &healthState{comp: c, healthy: true})
+	}
+	return m
+}
+
+// counterCheck adapts a cumulative failure counter into a health check:
+// healthy iff the counter did not move since the previous call. The first
+// call baselines and always reads healthy, so counters accrued before the
+// model existed are not charged against it.
+func counterCheck(reason string, read func() uint64) func() (bool, string, int64) {
+	var prev uint64
+	var primed bool
+	return func() (bool, string, int64) {
+		v := read()
+		d := v - prev
+		prev = v
+		if !primed {
+			primed = true
+			return true, "", 0
+		}
+		if d > 0 {
+			return false, reason, int64(d)
+		}
+		return true, "", 0
+	}
+}
+
+// counterValue reads a registry counter lazily so the model can be built
+// before the catalog (tests) without racing registration.
+func counterValue(name string) func() uint64 {
+	return func() uint64 { return DefaultCounter(name).Value() }
+}
+
+var defaultHealth = func() *HealthModel {
+	m := NewHealthModel(
+		HealthComponent{Name: "queues", Check: counterCheck("queue drops",
+			counterValue(MQueueDropTotal))},
+		HealthComponent{Name: "planes", Check: counterCheck("session load/quota sheds", func() uint64 {
+			return DefaultCounter(MSessionLoadShedTotal).Value() + DefaultCounter(MSessionQuotaShedTotal).Value()
+		})},
+		HealthComponent{Name: "admission", Check: counterCheck("admission sheds",
+			counterValue(MSessionAdmitShedTotal))},
+		HealthComponent{Name: "autopilot", Check: counterCheck("adaptation action failures",
+			counterValue(MAdaptFailuresTotal))},
+		HealthComponent{Name: "link", Check: func() (bool, string, int64) {
+			if p := linkProbe.Load(); p != nil && (*p)() {
+				return false, "link down", 1
+			}
+			return true, "", 0
+		}},
+	)
+	m.degraded = DefaultIntGauge(MHealthDegraded)
+	m.transitions = DefaultCounter(MHealthTransitionsTotal)
+	return m
+}()
+
+// Health returns the shared gateway-wide model.
+func Health() *HealthModel { return defaultHealth }
+
+// linkProbe is the default model's pluggable link-state probe (the server
+// layer wires it to the emulated link's Down()).
+var linkProbe atomicLinkProbe
+
+type atomicLinkProbe struct {
+	mu sync.Mutex
+	f  *func() bool
+}
+
+func (p *atomicLinkProbe) Load() *func() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.f
+}
+
+func (p *atomicLinkProbe) Store(f func() bool) {
+	p.mu.Lock()
+	p.f = &f
+	p.mu.Unlock()
+}
+
+// SetLinkProbe wires the default model's link component to a liveness
+// probe returning true while the link is down (nil detaches it).
+func SetLinkProbe(down func() bool) {
+	if down == nil {
+		linkProbe.mu.Lock()
+		linkProbe.f = nil
+		linkProbe.mu.Unlock()
+		return
+	}
+	linkProbe.Store(down)
+}
+
+// SetOnTransition registers a callback fired on every edge transition
+// (degraded and recovered), on the evaluating goroutine.
+func (m *HealthModel) SetOnTransition(f func(name string, healthy bool, reason string)) {
+	m.mu.Lock()
+	m.onTransition = f
+	m.mu.Unlock()
+}
+
+// Eval runs every component check once and returns the resulting
+// snapshot. The very first Eval baselines counter deltas and cannot
+// degrade anything.
+func (m *HealthModel) Eval() HealthSnapshot {
+	m.mu.Lock()
+	firstEval := !m.baselined
+	m.baselined = true
+	type transition struct {
+		name    string
+		healthy bool
+		reason  string
+		value   int64
+	}
+	var fired []transition
+	degradedCount := 0
+	for _, st := range m.states {
+		healthy, reason, value := st.comp.Check()
+		if firstEval {
+			healthy, reason = true, ""
+		}
+		switch {
+		case !healthy && st.healthy:
+			st.healthy = false
+			st.reason = reason
+			st.sinceNs = MonoNow()
+			st.cleanStreak = 0
+			fired = append(fired, transition{st.comp.Name, false, reason, value})
+		case !healthy:
+			st.reason = reason // refresh the cause while still degraded
+			st.cleanStreak = 0
+		case healthy && !st.healthy:
+			st.cleanStreak++
+			if st.cleanStreak >= healthRecoverTicks {
+				st.healthy = true
+				st.reason = ""
+				st.sinceNs = MonoNow()
+				fired = append(fired, transition{st.comp.Name, true, "", 0})
+			}
+		}
+		if !st.healthy {
+			degradedCount++
+		}
+	}
+	if m.transitions != nil {
+		for range fired {
+			m.transitions.Inc()
+		}
+	}
+	snap := m.snapshotLocked()
+	if m.degraded != nil {
+		m.degraded.Set(int64(degradedCount))
+	}
+	onTransition := m.onTransition
+	m.mu.Unlock()
+
+	for _, t := range fired {
+		code := FlightHealthRecovered
+		if !t.healthy {
+			code = FlightHealthDegraded
+		}
+		FlightRecord(code, t.name, t.reason, t.value)
+		if onTransition != nil {
+			onTransition(t.name, t.healthy, t.reason)
+		}
+	}
+	return snap
+}
+
+// Snapshot returns the current verdict without re-evaluating checks.
+func (m *HealthModel) Snapshot() HealthSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapshotLocked()
+}
+
+func (m *HealthModel) snapshotLocked() HealthSnapshot {
+	snap := HealthSnapshot{Healthy: true}
+	for _, st := range m.states {
+		snap.Components = append(snap.Components, ComponentHealth{
+			Name: st.comp.Name, Healthy: st.healthy, Reason: st.reason, SinceNs: st.sinceNs,
+		})
+		if !st.healthy {
+			snap.Healthy = false
+		}
+	}
+	if m.transitions != nil {
+		snap.Transitions = m.transitions.Value()
+	}
+	return snap
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestHealthModelEdgeTransitions: degrade on a bad delta, hold while
+// flapping, recover after healthRecoverTicks clean evals, with exactly one
+// flight entry and callback per transition.
+func TestHealthModelEdgeTransitions(t *testing.T) {
+	var fails atomic.Uint64
+	m := NewHealthModel(HealthComponent{
+		Name:  "probe",
+		Check: counterCheck("probe failures", func() uint64 { return fails.Load() }),
+	})
+	var transitions []string
+	m.SetOnTransition(func(name string, healthy bool, reason string) {
+		state := "degraded"
+		if healthy {
+			state = "recovered"
+		}
+		transitions = append(transitions, name+":"+state)
+	})
+
+	// First eval baselines; pre-existing counts are not charged.
+	fails.Store(5)
+	if snap := m.Eval(); !snap.Healthy {
+		t.Fatalf("baseline eval degraded: %+v", snap)
+	}
+	if snap := m.Eval(); !snap.Healthy {
+		t.Fatalf("steady counter degraded: %+v", snap)
+	}
+
+	// A moving counter degrades immediately, once.
+	fails.Add(1)
+	snap := m.Eval()
+	if snap.Healthy || snap.Components[0].Reason != "probe failures" {
+		t.Fatalf("did not degrade: %+v", snap)
+	}
+	fails.Add(1)
+	if snap := m.Eval(); snap.Healthy {
+		t.Fatal("recovered while still failing")
+	}
+
+	// Recovery needs healthRecoverTicks consecutive clean evals; a flap
+	// resets the streak.
+	for i := 0; i < healthRecoverTicks-1; i++ {
+		if snap := m.Eval(); snap.Healthy {
+			t.Fatalf("recovered after only %d clean evals", i+1)
+		}
+	}
+	fails.Add(1) // flap: streak resets
+	if snap := m.Eval(); snap.Healthy {
+		t.Fatal("recovered on a flapping component")
+	}
+	for i := 0; i < healthRecoverTicks; i++ {
+		snap = m.Eval()
+	}
+	if !snap.Healthy {
+		t.Fatalf("did not recover after %d clean evals: %+v", healthRecoverTicks, snap)
+	}
+
+	want := []string{"probe:degraded", "probe:recovered"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v (edge-triggered, exactly once each)", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+	if snap.Transitions != 0 {
+		// The unit model has no catalog counter wired; Transitions stays 0.
+		t.Fatalf("unwired model reported %d transitions", snap.Transitions)
+	}
+}
+
+// TestHealthModelSnapshotWithoutEval: Snapshot reports state without
+// running checks.
+func TestHealthModelSnapshotWithoutEval(t *testing.T) {
+	calls := 0
+	m := NewHealthModel(HealthComponent{
+		Name:  "lazy",
+		Check: func() (bool, string, int64) { calls++; return true, "", 0 },
+	})
+	snap := m.Snapshot()
+	if calls != 0 {
+		t.Fatalf("Snapshot ran checks (%d calls)", calls)
+	}
+	if !snap.Healthy || len(snap.Components) != 1 || snap.Components[0].Name != "lazy" {
+		t.Fatalf("bad initial snapshot: %+v", snap)
+	}
+}
+
+// TestDefaultHealthLinkProbe: the pluggable link probe degrades and
+// recovers the default model's link component.
+func TestDefaultHealthLinkProbe(t *testing.T) {
+	var down atomic.Bool
+	SetLinkProbe(func() bool { return down.Load() })
+	defer SetLinkProbe(nil)
+
+	Health().Eval() // baseline (and settle any counter deltas from other tests)
+	down.Store(true)
+	snap := Health().Eval()
+	linkHealthy := true
+	for _, c := range snap.Components {
+		if c.Name == "link" {
+			linkHealthy = c.Healthy
+			if !c.Healthy && c.Reason != "link down" {
+				t.Fatalf("link reason %q", c.Reason)
+			}
+		}
+	}
+	if linkHealthy {
+		t.Fatalf("link probe down but component healthy: %+v", snap)
+	}
+	down.Store(false)
+	for i := 0; i < healthRecoverTicks; i++ {
+		snap = Health().Eval()
+	}
+	for _, c := range snap.Components {
+		if c.Name == "link" && !c.Healthy {
+			t.Fatalf("link did not recover: %+v", c)
+		}
+	}
+}

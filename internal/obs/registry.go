@@ -84,6 +84,13 @@ func (g *IntGauge) Value() int64 { return g.v.Load() }
 // computed over a sliding window of the most recent observations.
 const histogramWindow = 2048
 
+// quantileStaleNs is the idle age-out: once a window has seen no
+// observation for this long, its quantiles no longer describe current
+// traffic — a snapshot reports them as 0 and marks itself stale instead of
+// replaying the last burst's p95/p99 forever. Lifetime count and sum are
+// unaffected, and the next observation revives the window.
+const quantileStaleNs = int64(60_000_000_000) // 60s
+
 // Histogram records observations (in seconds, by convention) and reports
 // count, sum and approximate quantiles over a bounded window of recent
 // samples.
@@ -92,8 +99,9 @@ type Histogram struct {
 	count uint64
 	sum   float64
 	ring  [histogramWindow]float64
-	n     int // filled slots
-	next  int // next write position
+	n     int   // filled slots
+	next  int   // next write position
+	last  int64 // MonoNow stamp of the most recent observation
 }
 
 // Observe records one sample.
@@ -106,29 +114,41 @@ func (h *Histogram) Observe(v float64) {
 	if h.n < histogramWindow {
 		h.n++
 	}
+	h.last = MonoNow()
 	h.mu.Unlock()
 }
 
 // HistogramSnapshot is a point-in-time view of a histogram. Quantiles are
 // computed over the bounded recent-sample window; Count and Sum are
 // lifetime totals. All values are in the observation unit (seconds for all
-// runtime histograms).
+// runtime histograms). Stale marks a window idle past the age-out: its
+// quantiles are reported as the 0 sentinel, not as the last burst's values.
 type HistogramSnapshot struct {
 	Count uint64  `json:"count"`
 	Sum   float64 `json:"sum"`
 	P50   float64 `json:"p50"`
 	P95   float64 `json:"p95"`
 	P99   float64 `json:"p99"`
+	Stale bool    `json:"stale,omitempty"`
 }
 
 // Snapshot captures the histogram's current state.
-func (h *Histogram) Snapshot() HistogramSnapshot {
+func (h *Histogram) Snapshot() HistogramSnapshot { return h.snapshotAt(MonoNow()) }
+
+// snapshotAt computes the snapshot against an explicit clock reading (the
+// age-out regression tests drive it directly).
+func (h *Histogram) snapshotAt(now int64) HistogramSnapshot {
 	h.mu.Lock()
 	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	stale := h.n > 0 && now-h.last > quantileStaleNs
 	samples := make([]float64, h.n)
 	copy(samples, h.ring[:h.n])
 	h.mu.Unlock()
 	if len(samples) == 0 {
+		return s
+	}
+	if stale {
+		s.Stale = true
 		return s
 	}
 	sort.Float64s(samples)
@@ -374,6 +394,45 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// SnapshotValues flattens every series to a name → value map using the
+// Prometheus series identities (histograms expand to their quantile series
+// plus _sum and _count). The /watch streamer diffs consecutive snapshots to
+// emit delta frames.
+func (r *Registry) SnapshotValues() map[string]float64 {
+	out := make(map[string]float64, 128)
+	for _, f := range r.sortedFamilies() {
+		for _, lk := range r.sortedSeries(f) {
+			r.mu.RLock()
+			m := f.series[lk]
+			r.mu.RUnlock()
+			switch v := m.(type) {
+			case *Counter:
+				out[seriesName(f.name, lk)] = float64(v.Value())
+			case *Gauge:
+				out[seriesName(f.name, lk)] = v.Value()
+			case *IntGauge:
+				out[seriesName(f.name, lk)] = float64(v.Value())
+			case *Histogram:
+				s := v.Snapshot()
+				for _, qv := range []struct {
+					q string
+					v float64
+				}{{"0.5", s.P50}, {"0.95", s.P95}, {"0.99", s.P99}} {
+					ql := lk
+					if ql != "" {
+						ql += ","
+					}
+					ql += `quantile="` + qv.q + `"`
+					out[seriesName(f.name, ql)] = qv.v
+				}
+				out[seriesName(f.name+"_sum", lk)] = s.Sum
+				out[seriesName(f.name+"_count", lk)] = float64(s.Count)
+			}
+		}
+	}
+	return out
 }
 
 // jsonMetric is one series in the JSON exposition.

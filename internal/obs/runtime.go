@@ -1,0 +1,222 @@
+package obs
+
+// Runtime self-stats: a collector that folds the Go runtime's own metrics
+// (runtime/metrics) into the registry as go_* series, so one /metrics
+// scrape shows the gateway's application counters and the runtime health
+// they ride on — heap growth, GC pause quantiles, goroutine population,
+// scheduler latency — without a second exporter process.
+//
+// Cumulative runtime series (GC cycles) feed registry counters by delta;
+// distribution series (GC pauses, scheduler latencies) are reduced to
+// point quantiles over the *per-tick* bucket-count deltas, so a quiet
+// interval reports 0 rather than replaying the process-lifetime histogram
+// forever.
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtime/metrics sample names the collector reads.
+const (
+	rmHeapBytes   = "/memory/classes/heap/objects:bytes"
+	rmHeapObjects = "/gc/heap/objects:objects"
+	rmGCCycles    = "/gc/cycles/total:gc-cycles"
+	rmGoroutines  = "/sched/goroutines:goroutines"
+	rmGomaxprocs  = "/sched/gomaxprocs:threads"
+	rmGCPauses    = "/gc/pauses:seconds"
+	rmSchedLat    = "/sched/latencies:seconds"
+)
+
+// RuntimeCollector publishes runtime/metrics readings into a registry.
+// Collect is cheap (one metrics.Read over seven samples) and safe to call
+// from any goroutine; Start runs it on a ticker.
+type RuntimeCollector struct {
+	samples []metrics.Sample
+
+	heapBytes   *IntGauge
+	heapObjects *IntGauge
+	goroutines  *IntGauge
+	gomaxprocs  *IntGauge
+	gcCycles    *Counter
+	gcPauseP50  *Gauge
+	gcPauseP99  *Gauge
+	schedLatP99 *Gauge
+
+	mu           sync.Mutex
+	prevGCCycles uint64
+	prevPauses   []uint64
+	prevSched    []uint64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewRuntimeCollector creates a collector publishing into r (nil selects
+// the default registry, whose go_* series are catalog-registered).
+func NewRuntimeCollector(r *Registry) *RuntimeCollector {
+	if r == nil {
+		r = Default()
+	}
+	c := &RuntimeCollector{
+		samples: []metrics.Sample{
+			{Name: rmHeapBytes}, {Name: rmHeapObjects}, {Name: rmGCCycles},
+			{Name: rmGoroutines}, {Name: rmGomaxprocs}, {Name: rmGCPauses},
+			{Name: rmSchedLat},
+		},
+		heapBytes:   r.IntGauge(MGoHeapBytes, "", nil),
+		heapObjects: r.IntGauge(MGoHeapObjects, "", nil),
+		goroutines:  r.IntGauge(MGoGoroutines, "", nil),
+		gomaxprocs:  r.IntGauge(MGoMaxProcs, "", nil),
+		gcCycles:    r.Counter(MGoGCCyclesTotal, "", nil),
+		gcPauseP50:  r.Gauge(MGoGCPauseP50Seconds, "", nil),
+		gcPauseP99:  r.Gauge(MGoGCPauseP99Seconds, "", nil),
+		schedLatP99: r.Gauge(MGoSchedLatP99Seconds, "", nil),
+	}
+	return c
+}
+
+var defaultRuntime = NewRuntimeCollector(nil)
+
+// Runtime returns the shared collector over the default registry.
+func Runtime() *RuntimeCollector { return defaultRuntime }
+
+// Collect reads the runtime and updates the registry once.
+func (c *RuntimeCollector) Collect() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	metrics.Read(c.samples)
+	for i := range c.samples {
+		s := &c.samples[i]
+		switch s.Name {
+		case rmHeapBytes:
+			c.heapBytes.Set(int64(s.Value.Uint64()))
+		case rmHeapObjects:
+			c.heapObjects.Set(int64(s.Value.Uint64()))
+		case rmGoroutines:
+			c.goroutines.Set(int64(s.Value.Uint64()))
+		case rmGomaxprocs:
+			c.gomaxprocs.Set(int64(s.Value.Uint64()))
+		case rmGCCycles:
+			v := s.Value.Uint64()
+			if v > c.prevGCCycles {
+				c.gcCycles.Add(v - c.prevGCCycles)
+			}
+			c.prevGCCycles = v
+		case rmGCPauses:
+			h := s.Value.Float64Histogram()
+			if h != nil {
+				c.prevPauses = c.publishHistQuantiles(h, c.prevPauses,
+					[]quantileGauge{{0.50, c.gcPauseP50}, {0.99, c.gcPauseP99}})
+			}
+		case rmSchedLat:
+			h := s.Value.Float64Histogram()
+			if h != nil {
+				c.prevSched = c.publishHistQuantiles(h, c.prevSched,
+					[]quantileGauge{{0.99, c.schedLatP99}})
+			}
+		}
+	}
+}
+
+type quantileGauge struct {
+	q float64
+	g *Gauge
+}
+
+// publishHistQuantiles reduces a cumulative Float64Histogram to point
+// quantiles over the counts accrued since the previous call, sets the
+// gauges (0 when the interval saw no samples), and returns the new
+// baseline counts.
+func (c *RuntimeCollector) publishHistQuantiles(h *metrics.Float64Histogram, prev []uint64, out []quantileGauge) []uint64 {
+	cur := make([]uint64, len(h.Counts))
+	copy(cur, h.Counts)
+	delta := make([]uint64, len(cur))
+	total := uint64(0)
+	for i, v := range cur {
+		d := v
+		if i < len(prev) && prev[i] <= v {
+			d = v - prev[i]
+		}
+		delta[i] = d
+		total += d
+	}
+	for _, qg := range out {
+		qg.g.Set(histQuantile(h.Buckets, delta, total, qg.q))
+	}
+	return cur
+}
+
+// histQuantile picks the q-th quantile from bucketed counts, returning the
+// bucket midpoint (clamping the ±Inf edge buckets to their finite bound).
+func histQuantile(buckets []float64, counts []uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	seen := uint64(0)
+	for i, n := range counts {
+		seen += n
+		if seen >= rank {
+			lo, hi := buckets[i], buckets[i+1]
+			switch {
+			case math.IsInf(lo, -1):
+				return hi
+			case math.IsInf(hi, 1):
+				return lo
+			default:
+				return (lo + hi) / 2
+			}
+		}
+	}
+	return 0
+}
+
+// Start collects now and then every interval (<=0 selects 5s) until Close.
+func (c *RuntimeCollector) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	c.mu.Lock()
+	if c.stop != nil {
+		c.mu.Unlock()
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	c.Collect()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.Collect()
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// Close stops the ticker started by Start (idempotent; a never-started
+// collector closes as a no-op).
+func (c *RuntimeCollector) Close() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	c.once.Do(func() { close(stop) })
+	<-done
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestRuntimeCollectorPublishes: one Collect populates the go_* series
+// with sane values.
+func TestRuntimeCollectorPublishes(t *testing.T) {
+	r := NewRegistry()
+	c := NewRuntimeCollector(r)
+	runtime.GC() // guarantee at least one completed GC cycle
+	c.Collect()
+	if v := r.IntGauge(MGoHeapBytes, "", nil).Value(); v <= 0 {
+		t.Fatalf("%s = %d, want > 0", MGoHeapBytes, v)
+	}
+	if v := r.IntGauge(MGoGoroutines, "", nil).Value(); v <= 0 {
+		t.Fatalf("%s = %d, want > 0", MGoGoroutines, v)
+	}
+	if v := r.IntGauge(MGoMaxProcs, "", nil).Value(); v != int64(runtime.GOMAXPROCS(0)) {
+		t.Fatalf("%s = %d, want %d", MGoMaxProcs, v, runtime.GOMAXPROCS(0))
+	}
+	if v := r.Counter(MGoGCCyclesTotal, "", nil).Value(); v == 0 {
+		t.Fatalf("%s = 0 after a forced GC", MGoGCCyclesTotal)
+	}
+}
+
+// TestRuntimeCollectorPauseDeltas: GC-pause quantiles reflect only the
+// interval since the previous Collect — a quiet interval reads 0.
+func TestRuntimeCollectorPauseDeltas(t *testing.T) {
+	r := NewRegistry()
+	c := NewRuntimeCollector(r)
+	runtime.GC()
+	c.Collect()
+	// Collect again immediately: no GC between the two reads, so the
+	// per-interval pause quantile must drop to the 0 sentinel.
+	c.Collect()
+	if v := r.Gauge(MGoGCPauseP99Seconds, "", nil).Value(); v != 0 {
+		t.Fatalf("%s = %g after a quiet interval, want 0", MGoGCPauseP99Seconds, v)
+	}
+	runtime.GC()
+	c.Collect()
+	if v := r.Gauge(MGoGCPauseP99Seconds, "", nil).Value(); v <= 0 {
+		t.Fatalf("%s = %g after a forced GC, want > 0", MGoGCPauseP99Seconds, v)
+	}
+}
+
+// TestHistQuantile pins the bucket-midpoint reduction, including the ±Inf
+// edge buckets.
+func TestHistQuantile(t *testing.T) {
+	buckets := []float64{math.Inf(-1), 1, 2, 4, math.Inf(1)}
+	counts := []uint64{1, 10, 10, 1}
+	total := uint64(22)
+	if got := histQuantile(buckets, counts, total, 0.5); got != 1.5 {
+		t.Fatalf("p50 = %g, want 1.5 (midpoint of [1,2))", got)
+	}
+	if got := histQuantile(buckets, counts, 0, 0.5); got != 0 {
+		t.Fatalf("empty histogram p50 = %g, want 0", got)
+	}
+	// Rank 1 lands in the -Inf edge bucket: clamp to the finite bound.
+	if got := histQuantile(buckets, []uint64{5, 0, 0, 0}, 5, 0.5); got != 1 {
+		t.Fatalf("-Inf bucket quantile = %g, want 1", got)
+	}
+	// The +Inf edge bucket clamps to its lower bound.
+	if got := histQuantile(buckets, []uint64{0, 0, 0, 3}, 3, 0.99); got != 4 {
+		t.Fatalf("+Inf bucket quantile = %g, want 4", got)
+	}
+}
+
+// TestRuntimeCollectorStartClose: the ticker collects and shuts down
+// cleanly (idempotent Close).
+func TestRuntimeCollectorStartClose(t *testing.T) {
+	r := NewRegistry()
+	c := NewRuntimeCollector(r)
+	c.Start(time.Millisecond)
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for r.IntGauge(MGoHeapBytes, "", nil).Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ticker never collected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()
+	c.Close() // idempotent
+}

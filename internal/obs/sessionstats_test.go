@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSessionSamplerDeterministic: selection depends only on the hash, so
+// the same id is selected (or not) across reconnects, and roughly 1/rate
+// of a uniform population is selected.
+func TestSessionSamplerDeterministic(t *testing.T) {
+	c := NewSessionStatsCollector(64, 1024)
+	selected := 0
+	for i := 0; i < 4096; i++ {
+		h := testHash(fmt.Sprintf("sess-%d", i))
+		first := c.AcquireSlot(h, "x") != nil
+		if first {
+			selected++
+		}
+		// Free and re-acquire: the decision must not change.
+		for k := 0; k < 3; k++ {
+			sl := c.AcquireSlot(h, "x")
+			if (sl != nil) != first {
+				t.Fatalf("hash %#x: selection changed across reconnects", h)
+			}
+			c.FreeSlot(sl)
+		}
+	}
+	if selected < 16 || selected > 256 {
+		t.Fatalf("selected %d of 4096 at rate 64, want around 64", selected)
+	}
+}
+
+// testHash is FNV-1a, matching the session table's shard hash.
+func testHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// TestSessionSlotQuantilesAndViolations: the window quantiles order
+// correctly and violations are edge-triggered.
+func TestSessionSlotQuantilesAndViolations(t *testing.T) {
+	c := NewSessionStatsCollector(1, 8) // rate 1: select everything
+	sl := c.AcquireSlot(7, "s1")
+	if sl == nil {
+		t.Fatal("rate-1 sampler skipped a session")
+	}
+	for i := 1; i <= 100; i++ {
+		if sl.Observe(int64(i)*1000, 0) {
+			t.Fatal("violation fired with no budget")
+		}
+	}
+	snap := sl.snapshotAt(MonoNow(), nil)
+	if snap.Count != 100 || snap.P50Ns == 0 || snap.P99Ns < snap.P50Ns || snap.P95Ns > snap.P99Ns {
+		t.Fatalf("bad quantiles: %+v", snap)
+	}
+
+	// Edge-triggered budget: a run of over-budget observations is one
+	// violation; dipping under re-arms it.
+	budget := int64(50)
+	if !sl.Observe(100, budget) {
+		t.Fatal("first over-budget observation did not fire")
+	}
+	if sl.Observe(200, budget) {
+		t.Fatal("second consecutive over-budget observation fired again")
+	}
+	sl.Observe(10, budget) // compliant: re-arm
+	if !sl.Observe(100, budget) {
+		t.Fatal("violation after re-arm did not fire")
+	}
+	if got := sl.violations.Load(); got != 2 {
+		t.Fatalf("violations = %d, want 2", got)
+	}
+}
+
+// TestSessionSlotStale: an idle slot ages out to the 0 sentinel like the
+// registry histograms (the S1 regression, per-session edition).
+func TestSessionSlotStale(t *testing.T) {
+	c := NewSessionStatsCollector(1, 8)
+	sl := c.AcquireSlot(1, "stale")
+	sl.Observe(5000, 0)
+	fresh := sl.snapshotAt(MonoNow(), nil)
+	if fresh.Stale || fresh.P50Ns != 5000 {
+		t.Fatalf("fresh snapshot wrong: %+v", fresh)
+	}
+	old := sl.snapshotAt(MonoNow()+quantileStaleNs+1, nil)
+	if !old.Stale || old.P50Ns != 0 || old.P99Ns != 0 {
+		t.Fatalf("stale snapshot kept quantiles: %+v", old)
+	}
+	if old.Count != 1 {
+		t.Fatalf("stale snapshot lost the count: %+v", old)
+	}
+}
+
+// TestSessionSlotPoolExhaustion: selections past the pool return nil and
+// freeing recycles slots.
+func TestSessionSlotPoolExhaustion(t *testing.T) {
+	c := NewSessionStatsCollector(1, 2)
+	a := c.AcquireSlot(1, "a")
+	b := c.AcquireSlot(2, "b")
+	if a == nil || b == nil {
+		t.Fatal("pool refused under capacity")
+	}
+	if c.AcquireSlot(3, "c") != nil {
+		t.Fatal("pool over capacity")
+	}
+	c.FreeSlot(a)
+	d := c.AcquireSlot(4, "d")
+	if d == nil {
+		t.Fatal("freed slot not recycled")
+	}
+	if d != a {
+		t.Fatal("expected the freed slot back")
+	}
+	if d.writes.Load() != 0 || d.id != "d" {
+		t.Fatalf("recycled slot not reset: writes=%d id=%q", d.writes.Load(), d.id)
+	}
+}
+
+// TestHeavyHitters: the space-saving sketch keeps the heavy sessions under
+// churn far past its capacity, and Snapshot's top lists sort
+// deterministically.
+func TestHeavyHitters(t *testing.T) {
+	c := NewSessionStatsCollector(1, 8)
+	// Two hot sessions among thousands of light one-shot sessions.
+	for i := 0; i < 100; i++ {
+		id := fmt.Sprintf("hot-%d", i%2)
+		c.ObserveRelease(testHash(id), id, 1<<20)
+	}
+	for i := 0; i < 5000; i++ {
+		id := fmt.Sprintf("light-%d", i)
+		c.ObserveRelease(testHash(id), id, 64)
+	}
+	c.ObserveShed(testHash("shedder"), "shedder")
+	c.ObserveViolation(testHash("violator"), "violator")
+
+	snap := c.Snapshot(4)
+	if len(snap.TopBytes) != 4 {
+		t.Fatalf("topBytes len %d, want 4", len(snap.TopBytes))
+	}
+	// The two hot sessions dominate bytes despite 5000 light insertions.
+	if snap.TopBytes[0].ID != "hot-0" && snap.TopBytes[0].ID != "hot-1" {
+		t.Fatalf("heavy session evicted: top is %+v", snap.TopBytes[0])
+	}
+	if len(snap.TopSheds) != 1 || snap.TopSheds[0].ID != "shedder" {
+		t.Fatalf("topSheds: %+v", snap.TopSheds)
+	}
+	if len(snap.TopViolations) != 1 || snap.TopViolations[0].ID != "violator" {
+		t.Fatalf("topViolations: %+v", snap.TopViolations)
+	}
+
+	// Deterministic: the same state snapshots identically.
+	again := c.Snapshot(4)
+	for i := range snap.TopBytes {
+		if snap.TopBytes[i] != again.TopBytes[i] {
+			t.Fatalf("topBytes not deterministic: %+v vs %+v", snap.TopBytes[i], again.TopBytes[i])
+		}
+	}
+}
+
+// TestSessionStatsConcurrent hammers the collector from many goroutines
+// (meaningful under -race).
+func TestSessionStatsConcurrent(t *testing.T) {
+	c := NewSessionStatsCollector(2, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := fmt.Sprintf("g%d-%d", g, i%16)
+				h := testHash(id)
+				sl := c.AcquireSlot(h, id)
+				if sl != nil {
+					sl.Observe(int64(i+1), 100)
+				}
+				c.ObserveRelease(h, id, 128)
+				if i%7 == 0 {
+					c.ObserveShed(h, id)
+				}
+				c.FreeSlot(sl)
+				if i%50 == 0 {
+					c.Snapshot(5)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := c.Snapshot(0)
+	if snap.Sampled != 0 {
+		t.Fatalf("all slots freed but Sampled=%d", snap.Sampled)
+	}
+}

@@ -37,6 +37,9 @@ type SLOSnapshot struct {
 	P99Ns       int64  `json:"p99Ns"`
 	Violations  uint64 `json:"violations"`
 	InViolation bool   `json:"inViolation"`
+	// Stale marks a chain idle past the registry age-out: its windowed
+	// quantiles are reported as 0, not as the last burst's values.
+	Stale bool `json:"stale,omitempty"`
 }
 
 // sloWindow bounds the per-chain quantile window (matches the registry
@@ -53,6 +56,7 @@ type sloChain struct {
 	count       uint64
 	violations  uint64
 	inViolation bool
+	last        int64 // MonoNow stamp of the most recent observation
 }
 
 // SLOTracker tracks latency budgets per chain. Only chains with a
@@ -128,6 +132,7 @@ func (t *SLOTracker) Observe(chain string, latencyNs int64) {
 		c.n++
 	}
 	c.count++
+	c.last = MonoNow()
 	over := latencyNs > c.budgetNs
 	if over && !c.inViolation {
 		c.violations++
@@ -174,7 +179,12 @@ func (t *SLOTracker) Chains() []SLOSnapshot {
 	return out
 }
 
-func (c *sloChain) snapshot(chain string) SLOSnapshot {
+func (c *sloChain) snapshot(chain string) SLOSnapshot { return c.snapshotAt(chain, MonoNow()) }
+
+// snapshotAt computes the snapshot against an explicit clock reading (the
+// age-out regression tests drive it directly). The staleness rule matches
+// the registry histograms: an idle window reports the 0 sentinel.
+func (c *sloChain) snapshotAt(chain string, now int64) SLOSnapshot {
 	c.mu.Lock()
 	s := SLOSnapshot{
 		Chain:       chain,
@@ -183,10 +193,15 @@ func (c *sloChain) snapshot(chain string) SLOSnapshot {
 		Violations:  c.violations,
 		InViolation: c.inViolation,
 	}
+	stale := c.n > 0 && now-c.last > quantileStaleNs
 	samples := make([]int64, c.n)
 	copy(samples, c.ring[:c.n])
 	c.mu.Unlock()
 	if len(samples) == 0 {
+		return s
+	}
+	if stale {
+		s.Stale = true
 		return s
 	}
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The S1 regression: windowed quantiles used to replay the last burst's
+// values forever once a series went idle. Idle windows must age out to the
+// 0 sentinel with Stale set, and wake back up on the next observation.
+
+func TestHistogramQuantilesAgeOut(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "", nil)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	now := MonoNow()
+	fresh := h.snapshotAt(now)
+	if fresh.Stale || fresh.P50 == 0 {
+		t.Fatalf("fresh snapshot wrong: %+v", fresh)
+	}
+	stale := h.snapshotAt(now + quantileStaleNs + 1)
+	if !stale.Stale {
+		t.Fatalf("idle histogram not marked stale: %+v", stale)
+	}
+	if stale.P50 != 0 || stale.P95 != 0 || stale.P99 != 0 {
+		t.Fatalf("idle histogram kept quantiles: %+v", stale)
+	}
+	if stale.Count != fresh.Count || stale.Sum != fresh.Sum {
+		t.Fatalf("staleness clobbered lifetime count/sum: %+v vs %+v", stale, fresh)
+	}
+	// A new observation revives the window.
+	h.Observe(7)
+	revived := h.snapshotAt(now + quantileStaleNs + 2)
+	if revived.Stale || revived.P50 == 0 {
+		t.Fatalf("observation did not revive the window: %+v", revived)
+	}
+}
+
+func TestSLOChainQuantilesAgeOut(t *testing.T) {
+	tr := NewSLOTracker()
+	tr.SetBudget("chain", time.Second, nil)
+	for i := 0; i < 50; i++ {
+		tr.Observe("chain", int64(1000+i))
+	}
+	tr.mu.RLock()
+	c := tr.chains["chain"]
+	tr.mu.RUnlock()
+	now := MonoNow()
+	fresh := c.snapshotAt("chain", now)
+	if fresh.Stale || fresh.P50Ns == 0 {
+		t.Fatalf("fresh snapshot wrong: %+v", fresh)
+	}
+	stale := c.snapshotAt("chain", now+quantileStaleNs+1)
+	if !stale.Stale || stale.P50Ns != 0 || stale.P99Ns != 0 {
+		t.Fatalf("idle chain kept quantiles: %+v", stale)
+	}
+	if stale.Count != fresh.Count || stale.Violations != fresh.Violations {
+		t.Fatalf("staleness clobbered lifetime counters: %+v vs %+v", stale, fresh)
+	}
+	tr.Observe("chain", 500)
+	revived := c.snapshotAt("chain", now+quantileStaleNs+2)
+	if revived.Stale || revived.P50Ns == 0 {
+		t.Fatalf("observation did not revive the chain: %+v", revived)
+	}
+}
+
+// TestSnapshotValues: the /watch feed flattens every kind of series to
+// Prometheus series names.
+func TestSnapshotValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", nil).Add(3)
+	r.IntGauge("g", "", nil).Set(7)
+	h := r.Histogram("h", "", nil)
+	h.Observe(1)
+	h.Observe(2)
+	vals := r.SnapshotValues()
+	if vals["c_total"] != 3 || vals["g"] != 7 {
+		t.Fatalf("scalar series wrong: %v", vals)
+	}
+	if vals[`h_count`] != 2 || vals[`h_sum`] != 3 {
+		t.Fatalf("histogram sum/count wrong: %v", vals)
+	}
+	if _, ok := vals[`h{quantile="0.5"}`]; !ok {
+		t.Fatalf("histogram quantile series missing: %v", vals)
+	}
+}

@@ -19,6 +19,15 @@ import (
 //	GET /trace/<session>  JSON per-hop trace records for one session
 //	GET /streams          JSON stats snapshots of the deployed streams
 //	GET /slo              JSON latency-budget snapshots per tracked chain
+//	GET /sessions         JSON session observability: sampled per-session
+//	                      SLO windows plus heavy-hitter top-K lists
+//	                      (?k=N bounds the lists, default 10)
+//	GET /healthz          component health; 200 while every subsystem is
+//	                      healthy, 503 with the same JSON breakdown while
+//	                      any is degraded (each GET re-evaluates)
+//	GET /watch            server-sent-events stream: one full registry
+//	                      frame, then periodic deltas of changed series
+//	                      (?interval=dur, default 1s; mobigate-top's feed)
 //
 // The handler reads the process-wide obs registry and trace store; srv
 // supplies the per-stream snapshots (srv may be nil, which disables
@@ -70,6 +79,29 @@ func newMetricsMux(srv *Server, debug bool) http.Handler {
 	mux.HandleFunc("/slo", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{"chains": obs.SLO().Chains()})
 	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		k := 0 // 0 selects the default top-K
+		if s := r.URL.Query().Get("k"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "k must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			k = n
+		}
+		writeJSON(w, obs.SessionStats().Snapshot(k))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		snap := obs.Health().Eval()
+		w.Header().Set("Content-Type", "application/json")
+		if !snap.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	mux.HandleFunc("/watch", serveWatch)
 	if srv != nil {
 		mux.HandleFunc("/streams", func(w http.ResponseWriter, r *http.Request) {
 			out := map[string]any{}

@@ -1,0 +1,122 @@
+package server
+
+// The /watch endpoint: a server-sent-events stream of registry state for
+// live consoles (cmd/mobigate-top). The first frame is a full snapshot of
+// every series; subsequent frames carry only the series whose values
+// changed since the previous frame, plus the (small) health and session
+// snapshots, so an idle gateway streams near-empty deltas instead of
+// re-serializing the whole registry every tick. SSE keeps the consumer
+// trivially implementable — one GET, newline-framed events — with no
+// websocket dependency.
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"mobigate/internal/obs"
+)
+
+// watchFrame is one /watch event payload.
+type watchFrame struct {
+	// TsNs is the obs monotonic stamp of the frame.
+	TsNs int64 `json:"tsNs"`
+	// Series maps Prometheus series names to values — every series in a
+	// "full" frame, only the changed ones in a "delta" frame.
+	Series map[string]float64 `json:"series"`
+	// Health is the component-health verdict (re-evaluated per frame).
+	Health obs.HealthSnapshot `json:"health"`
+	// Sessions is the sampled-SLO / heavy-hitter snapshot.
+	Sessions obs.SessionStatsSnapshot `json:"sessions"`
+}
+
+const (
+	watchDefaultInterval = time.Second
+	watchMinInterval     = 50 * time.Millisecond
+)
+
+var (
+	mWatchClients = obs.DefaultIntGauge(obs.MWatchClients)
+	mWatchEvents  = obs.DefaultCounter(obs.MWatchEventsTotal)
+)
+
+func serveWatch(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	interval := watchDefaultInterval
+	if s := r.URL.Query().Get("interval"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d <= 0 {
+			http.Error(w, "interval must be a positive duration", http.StatusBadRequest)
+			return
+		}
+		if d < watchMinInterval {
+			d = watchMinInterval
+		}
+		interval = d
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	mWatchClients.Add(1)
+	defer mWatchClients.Add(-1)
+
+	send := func(event string, frame watchFrame) bool {
+		payload, err := json.Marshal(frame)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write([]byte("event: " + event + "\ndata: ")); err != nil {
+			return false
+		}
+		if _, err := w.Write(payload); err != nil {
+			return false
+		}
+		if _, err := w.Write([]byte("\n\n")); err != nil {
+			return false
+		}
+		flusher.Flush()
+		mWatchEvents.Inc()
+		return true
+	}
+
+	prev := obs.Default().SnapshotValues()
+	if !send("full", watchFrame{
+		TsNs:     obs.MonoNow(),
+		Series:   prev,
+		Health:   obs.Health().Eval(),
+		Sessions: obs.SessionStats().Snapshot(0),
+	}) {
+		return
+	}
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+		cur := obs.Default().SnapshotValues()
+		delta := make(map[string]float64)
+		for name, v := range cur {
+			if pv, ok := prev[name]; !ok || pv != v {
+				delta[name] = v
+			}
+		}
+		prev = cur
+		if !send("delta", watchFrame{
+			TsNs:     obs.MonoNow(),
+			Series:   delta,
+			Health:   obs.Health().Eval(),
+			Sessions: obs.SessionStats().Snapshot(0),
+		}) {
+			return
+		}
+	}
+}

@@ -92,6 +92,7 @@ var (
 	mSessAdmitShed   = obs.DefaultCounter(obs.MSessionAdmitShedTotal)
 	mSessLoadShed    = obs.DefaultCounter(obs.MSessionLoadShedTotal)
 	mSessQuotaShed   = obs.DefaultCounter(obs.MSessionQuotaShedTotal)
+	mSessSLOViol     = obs.DefaultCounter(obs.MSessionSLOViolationsTotal)
 	mSessLive        = obs.DefaultIntGauge(obs.MSessionLive)
 	mSessDraining    = obs.DefaultIntGauge(obs.MSessionDraining)
 	mSessQueued      = obs.DefaultIntGauge(obs.MSessionQueuedBytes)
@@ -106,6 +107,13 @@ type Session struct {
 	id    string
 	table *Table
 	plane *Plane
+
+	// hash is the table's FNV-1a of the id, reused for the heavy-hitter
+	// shard pick; slot is the per-session SLO window, non-nil only for the
+	// ~1/rate of sessions the deterministic sampler selects. Both are
+	// written before the session is published and never after.
+	hash uint32
+	slot *obs.SessionSlot
 
 	state atomic.Int32
 
@@ -131,6 +139,11 @@ func (s *Session) Plane() *Plane { return s.plane }
 
 // State returns the current lifecycle stage.
 func (s *Session) State() State { return State(s.state.Load()) }
+
+// Sampled reports whether the deterministic SLO sampler selected this
+// session (its delivery latencies feed a per-session quantile window on
+// /sessions).
+func (s *Session) Sampled() bool { return s.slot != nil }
 
 // Outstanding returns the messages admitted but not yet released.
 func (s *Session) Outstanding() int64 { return s.queuedMsgs.Load() }
@@ -171,6 +184,7 @@ func (s *Session) Admit(size int) error {
 		s.shed.Add(1)
 		t.loadShed.Add(1)
 		mSessLoadShed.Inc()
+		obs.SessionStats().ObserveShed(s.hash, s.id)
 		return ErrShed
 	}
 	if s.queuedMsgs.Add(1) > t.cfg.QuotaMessages {
@@ -178,6 +192,7 @@ func (s *Session) Admit(size int) error {
 		s.shed.Add(1)
 		t.quotaShed.Add(1)
 		mSessQuotaShed.Inc()
+		obs.SessionStats().ObserveShed(s.hash, s.id)
 		return ErrQuota
 	}
 	if s.queuedBytes.Add(int64(size)) > t.cfg.QuotaBytes {
@@ -186,6 +201,7 @@ func (s *Session) Admit(size int) error {
 		s.shed.Add(1)
 		t.quotaShed.Add(1)
 		mSessQuotaShed.Inc()
+		obs.SessionStats().ObserveShed(s.hash, s.id)
 		return ErrQuota
 	}
 	mSessQueued.Add(int64(size))
@@ -213,16 +229,27 @@ func (s *Session) Unadmit(size int) { s.release(size, false, 0) }
 func (s *Session) Release(size int, latencyNs int64) { s.release(size, true, latencyNs) }
 
 func (s *Session) release(size int, delivered bool, latencyNs int64) {
-	s.queuedBytes.Add(int64(-size))
-	left := s.queuedMsgs.Add(-1)
-	mSessQueued.Add(int64(-size))
+	// All per-session observation happens BEFORE the outstanding-message
+	// decrement: the final decrement is what lets finishClose return the
+	// sampler slot to the pool, so observing first makes every Observe
+	// happen-before the slot can be reused by another session.
 	if delivered {
 		s.delivered.Add(1)
 		s.table.delivered.Add(1)
-		if latencyNs > 0 && s.table.cfg.SLOBudget > 0 {
-			obs.SLO().Observe(s.plane.name, latencyNs)
+		obs.SessionStats().ObserveRelease(s.hash, s.id, int64(size))
+		if latencyNs > 0 {
+			if s.table.cfg.SLOBudget > 0 {
+				obs.SLO().Observe(s.plane.name, latencyNs)
+			}
+			if s.slot != nil && s.slot.Observe(latencyNs, int64(s.table.cfg.SLOBudget)) {
+				mSessSLOViol.Inc()
+				obs.SessionStats().ObserveViolation(s.hash, s.id)
+			}
 		}
 	}
+	s.queuedBytes.Add(int64(-size))
+	left := s.queuedMsgs.Add(-1)
+	mSessQueued.Add(int64(-size))
 	if left == 0 && State(s.state.Load()) == StateDraining {
 		s.finishClose("drained")
 	}
@@ -270,6 +297,7 @@ func (s *Session) PostN(entries []queue.Entry, stop <-chan struct{}) (posted, sh
 		// The entry that failed admission was counted inside Admit; count
 		// the tail it doomed without re-running admission per entry.
 		s.shed.Add(1)
+		obs.SessionStats().ObserveShed(s.hash, s.id)
 		if admitErr == ErrShed {
 			s.table.loadShed.Add(1)
 			mSessLoadShed.Inc()
@@ -338,6 +366,10 @@ func (s *Session) finishClose(how string) {
 	mSessDraining.Add(-1)
 	s.table.disconnects.Add(1)
 	mSessDisconnects.Inc()
+	// Safe to recycle: the closing path runs only after the final
+	// outstanding-message decrement, and every slot Observe precedes its
+	// own decrement (see release).
+	obs.SessionStats().FreeSlot(s.slot)
 	if obs.SpansEnabled() {
 		// Lifecycle journaling follows the data-plane rule (see the flight
 		// recorder's package comment): at session-churn rates an always-on

@@ -162,14 +162,19 @@ func (t *Table) Connect(id string) (*Session, error) {
 		t.shedAdmission(id, "plane-saturated")
 		return nil, ErrAdmission
 	}
-	s := &Session{id: id, table: t, plane: plane}
+	s := &Session{id: id, table: t, plane: plane, hash: h}
 	s.state.Store(int32(StateActive))
 	s.lastActive.Store(obs.MonoNow())
+	// Sampler selection is by the same hash the table shards by, so it is
+	// deterministic per id and costs nothing extra here. The slot is
+	// attached before the session is published to the shard map.
+	s.slot = obs.SessionStats().AcquireSlot(h, id)
 	sh := &t.shards[h&t.mask]
 	sh.mu.Lock()
 	if _, dup := sh.m[id]; dup {
 		sh.mu.Unlock()
 		t.live.Add(-1)
+		obs.SessionStats().FreeSlot(s.slot)
 		return nil, ErrDuplicate
 	}
 	sh.m[id] = s
@@ -186,6 +191,7 @@ func (t *Table) Connect(id string) (*Session, error) {
 func (t *Table) shedAdmission(id, why string) {
 	t.admitShed.Add(1)
 	mSessAdmitShed.Inc()
+	obs.SessionStats().ObserveShed(fnv1a(id), id)
 	obs.FlightRecord(obs.FlightSessionShed, id, why, t.live.Load())
 }
 
