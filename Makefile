@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke health-smoke docs-check vet fmt check examples experiments clean
+.PHONY: all build test race bench bench-baseline bench-compare bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke health-smoke fusion-smoke docs-check vet fmt check examples experiments clean
 
 all: build test
 
@@ -21,8 +21,8 @@ race:
 # the fault-injection survival scenario, the end-to-end span smoke, the
 # parallel-execution smoke, the adaptation-autopilot smoke, the
 # batched-handoff smoke, the multi-session scale smoke, the health-model
-# smoke, and the documentation linter.
-check: build test race bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke health-smoke docs-check
+# smoke, the chain-fusion smoke, and the documentation linter.
+check: build test race bench-smoke fault-smoke obs-smoke parallel-smoke adapt-smoke batch-smoke sessions-smoke health-smoke fusion-smoke docs-check
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -33,14 +33,16 @@ bench:
 # diagnosis), the per-service transform costs, the parallel fan-out chain,
 # the transcode cache, the batched chain sweep, the vectored encode, the
 # session layer (connect/disconnect churn + post/release hot path), and the
-# sampled-session SLO observation path.
-GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass|SpanOverhead|ServiceStreamlets|ParallelChain|TranscodeCache|BatchChain|MIMEWriteToV|SessionChurn|SessionSLOSample'
+# sampled-session SLO observation path, and the fused-vs-unfused stateless
+# chain pair.
+GATED_BENCH = 'QueuePostFetch|Fig72StreamletOverhead|Fig73Pass|SpanOverhead|ServiceStreamlets|ParallelChain|TranscodeCache|BatchChain|MIMEWriteToV|SessionChurn|SessionSLOSample|FusedChain'
 BENCH_FILE  = BENCH_PR2.json
 # Hot paths that must stay allocation-free even on their first benchmarked
 # run (no baseline entry needed): the batched queue ops, both encode
-# paths, the session admit/post/release hot path, and the same path on a
-# sampled session feeding per-session SLO quantiles.
-ZEROALLOC_BENCH = 'QueuePostFetchBatch|MIMEWriteToV|SessionChurn/post-release|SessionSLOSample'
+# paths, the session admit/post/release hot path, the same path on a
+# sampled session feeding per-session SLO quantiles, and the fused-segment
+# recirculation loop.
+ZEROALLOC_BENCH = 'QueuePostFetchBatch|MIMEWriteToV|SessionChurn/post-release|SessionSLOSample|FusedChain/steady-state'
 
 # Record the committed baseline the regression gate compares against.
 # -count=5 gives benchdiff repeated runs: -save keeps the median (typical
@@ -99,6 +101,14 @@ sessions-smoke:
 # flight recorder and on the event plane (exits nonzero if not).
 health-smoke:
 	$(GO) run ./cmd/mobibench -exp health
+
+# Chain-fusion smoke: a stateless chain run fused and unfused must deliver
+# byte-identical output with exact conservation and zero reorders, the
+# fused run must be faster, and a mid-run Insert must de-fuse the segment,
+# apply, and re-fuse with zero loss, leaving defuse/fuse flight-recorder
+# entries (exits nonzero if not).
+fusion-smoke:
+	$(GO) run ./cmd/mobibench -exp fusion
 
 # Documentation linter: every docs/*.md page must be linked from README.md,
 # every relative markdown link must resolve, and fenced MCL / CLI examples

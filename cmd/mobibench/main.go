@@ -14,6 +14,7 @@
 //	mobibench -exp batch    # batched-handoff sweep (delivery + FIFO asserted)
 //	mobibench -exp sessions # multi-session shared-plane scale (conservation + admission)
 //	mobibench -exp health   # health model: degrade under overload, policy reacts, recover
+//	mobibench -exp fusion   # chain fusion: fused vs per-hop equivalence + mid-run insert
 //	mobibench -exp all      # everything
 //
 // The list above, the -exp dispatch, and the usage text all come from the
@@ -33,6 +34,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -62,6 +65,7 @@ var experimentsTable = []struct {
 	{"batch", "batched-handoff sweep (delivery + FIFO asserted)", runBatch},
 	{"sessions", "multi-session shared-plane scale (conservation + admission)", runSessions},
 	{"health", "health model: degrade under overload, policy reacts, recover", runHealth},
+	{"fusion", "chain fusion: fused vs per-hop equivalence + mid-run insert", runFusion},
 }
 
 // experimentList renders the table for the usage text and the unknown-mode
@@ -83,10 +87,48 @@ var (
 	loss      = flag.Float64("loss", 0, "link loss rate for fig7.7 (0..1)")
 	bandwidth = flag.Int64("bandwidth", 100_000, "link bandwidth for the hops breakdown (bits/s)")
 	sessions  = flag.Int("sessions", 100_000, "concurrent session population for -exp sessions")
+	cpuprof   = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file (go tool pprof)")
+	memprof   = flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file (go tool pprof)")
 )
+
+// startProfiles arms the pprof outputs and returns the shutdown hook main
+// defers: CPU sampling covers every selected experiment; the heap profile
+// is a single post-run snapshot taken after a GC so live retention, not
+// transient garbage, is what the profile shows.
+func startProfiles() func() {
+	var cpu *os.File
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("cpuprofile: %v", err)
+		}
+		cpu = f
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if *memprof != "" {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatalf("memprofile: %v", err)
+			}
+			f.Close()
+		}
+	}
+}
 
 func main() {
 	flag.Parse()
+	defer startProfiles()()
 	switch *exp {
 	case "all":
 		for _, e := range experimentsTable {
@@ -322,6 +364,24 @@ func runHealth() {
 	fmt.Println("=== Component health: overload -> degrade -> adapt -> recover ===")
 	res, err := experiments.Health(experiments.DefaultHealthConfig())
 	fmt.Print(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+}
+
+// runFusion runs the chain-fusion experiment: the same stateless chain per-
+// hop and fused must produce byte-identical output with exact conservation,
+// zero reorders, and a faster fused run, and a mid-run Insert into the
+// fused segment must de-fuse, apply, and re-fuse with zero loss and the
+// defuse/fuse flight-recorder pair journaled. make fusion-smoke relies on
+// the non-zero exit when any invariant breaks.
+func runFusion() {
+	fmt.Println("=== Chain fusion: direct-call fused hops vs per-hop queues ===")
+	res, err := experiments.Fusion(experiments.DefaultFusionConfig())
+	if res != nil {
+		fmt.Print(res)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -48,6 +48,7 @@ var (
 	spans       = flag.Bool("spans", false, "enable end-to-end span tracing (deep diagnosis; adds per-message overhead)")
 	adaptEvery  = flag.Duration("adapt-interval", time.Second, "when-policy autopilot evaluation interval; 0 disables the autopilot")
 	sharedSess  = flag.Int("shared-sessions", 0, "shared-plane session mode: multiplex client connections onto a pool of N instances per stream instead of deploying one chain per connection; 0 keeps the per-connection model")
+	sessSweep   = flag.Duration("session-sweep", 30*time.Second, "idle-reaper interval in shared-session mode: sessions quiet for longer than this demote from Active to Idle; 0 disables the sweeper")
 )
 
 // reloadScript recompiles the script file and hot-swaps the gateway's
@@ -126,6 +127,14 @@ func main() {
 	if *sharedSess > 0 {
 		fe.EnableSharedSessions(server.SessionGatewayConfig{Instances: *sharedSess})
 		log.Printf("shared-plane session mode: %d instances per stream", *sharedSess)
+		if *sessSweep > 0 {
+			// The idle reaper: demote sessions quiet past the interval so
+			// operators (and the health model) can tell a full table from a
+			// busy one. Demotion is bookkeeping — the next post promotes the
+			// session back to Active.
+			defer fe.StartSessionSweeper(*sessSweep, *sessSweep)()
+			log.Printf("session idle-reaper: sweep every %v", *sessSweep)
+		}
 	}
 	addr, err := fe.Listen(*listenAddr)
 	if err != nil {

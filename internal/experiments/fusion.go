@@ -1,0 +1,380 @@
+package experiments
+
+// The chain-fusion experiment behind `mobibench -exp fusion` and
+// `make fusion-smoke`: the same stateless tagger chain run per-hop and
+// fused, with byte-exact output, exact-delivery, and zero-reorder
+// assertions — the end-to-end proof that fusion is purely a performance
+// transformation — followed by a mid-run Insert into the fused segment
+// that must de-fuse, apply under the Figure 7-4 drain protocol, and
+// re-fuse around the spliced member with zero loss and the defuse/fuse
+// pair journaled in the flight recorder.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/obs"
+	"mobigate/internal/services"
+	"mobigate/internal/stream"
+	"mobigate/internal/streamlet"
+)
+
+// fusionSeqHeader carries the send-order stamp the receiver checks FIFO with.
+const fusionSeqHeader = "X-Fusion-Seq"
+
+// FusionConfig parameterizes the experiment.
+type FusionConfig struct {
+	// Streamlets is the stateless-chain depth.
+	Streamlets int
+	// Messages is how many messages the fused-vs-unfused comparison pushes
+	// through each mode.
+	Messages int
+	// InsertMessages is how many messages are in flight around the mid-run
+	// Insert of the reconfiguration phase.
+	InsertMessages int
+	// TextBytes is the payload size per message.
+	TextBytes int
+	// Seed makes the generated payload reproducible.
+	Seed int64
+	// ReceiveTimeout bounds each outlet receive.
+	ReceiveTimeout time.Duration
+}
+
+// DefaultFusionConfig returns the configuration the smoke gate runs.
+func DefaultFusionConfig() FusionConfig {
+	return FusionConfig{
+		Streamlets:     5,
+		Messages:       2000,
+		InsertMessages: 400,
+		TextBytes:      4 << 10,
+		Seed:           17,
+		ReceiveTimeout: 10 * time.Second,
+	}
+}
+
+// FusionRow is one mode of the fused-vs-unfused comparison.
+type FusionRow struct {
+	Mode       string
+	Segments   int
+	Elapsed    time.Duration
+	MsgsPerSec float64
+	Sent       int
+	Delivered  int
+	Reorders   int
+	// Digest hashes every delivered body in delivery order; equal digests
+	// across modes mean byte-identical output in identical order.
+	Digest uint64
+}
+
+// FusionResult is everything the experiment measured.
+type FusionResult struct {
+	Streamlets int
+	Rows       []FusionRow
+	// Speedup is fused msgs/s over unfused msgs/s.
+	Speedup float64
+
+	// The mid-run Insert phase.
+	InsertSent      int
+	InsertDelivered int
+	InsertReorders  int
+	// SegmentsAfterInsert renders the re-fused segment (must include the
+	// spliced member).
+	SegmentsAfterInsert string
+	// DefuseJournaled / RefuseJournaled report the span-gated flight-
+	// recorder pair around the reconfiguration.
+	DefuseJournaled bool
+	RefuseJournaled bool
+}
+
+// String renders the result tables.
+func (r *FusionResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stateless tagger chain, %d streamlets\n", r.Streamlets)
+	b.WriteString("\n    mode  segments   msgs/s   sent  delivered  reorders            digest\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8s  %8d  %7.0f  %5d  %9d  %8d  %16x\n",
+			row.Mode, row.Segments, row.MsgsPerSec,
+			row.Sent, row.Delivered, row.Reorders, row.Digest)
+	}
+	fmt.Fprintf(&b, "\nfused speedup: %.2fx\n", r.Speedup)
+	fmt.Fprintf(&b, "mid-run insert: %d sent, %d delivered, %d reorders; segments after: %s\n",
+		r.InsertSent, r.InsertDelivered, r.InsertReorders, r.SegmentsAfterInsert)
+	fmt.Fprintf(&b, "flight journal: defuse(insert)=%v refuse=%v\n",
+		r.DefuseJournaled, r.RefuseJournaled)
+	return b.String()
+}
+
+// fusionDecl is the eligibility ticket: only declared-STATELESS instances
+// fuse.
+func fusionDecl() *mcl.StreamletDecl { return &mcl.StreamletDecl{Kind: mcl.Stateless} }
+
+// fusionTagger appends its id to the body, making the traversal path part
+// of the byte-exactness comparison.
+func fusionTagger(id string) streamlet.Processor {
+	tag := []byte("|" + id)
+	return streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+		in.Msg.SetBody(append(in.Msg.Body(), tag...))
+		return []streamlet.Emission{{Msg: in.Msg}}, nil
+	})
+}
+
+// buildFusionChain constructs in -> g0 -> ... -> g<k-1> -> out, unstarted.
+func buildFusionChain(name string, k int) (*stream.Stream, *stream.Inlet, *stream.Outlet, error) {
+	st := stream.New(name, msgpool.New(msgpool.ByReference), nil)
+	prev := ""
+	for i := 0; i < k; i++ {
+		id := fmt.Sprintf("g%d", i)
+		if _, err := st.AddStreamlet(id, fusionDecl(), fusionTagger(id)); err != nil {
+			return nil, nil, nil, err
+		}
+		if prev != "" {
+			if err := st.Connect(mcl.PortRef{Inst: prev, Port: "po"}, mcl.PortRef{Inst: id, Port: "pi"}, nil); err != nil {
+				return nil, nil, nil, err
+			}
+		}
+		prev = id
+	}
+	in, err := st.OpenInlet(mcl.PortRef{Inst: "g0", Port: "pi"}, 1<<24)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	out, err := st.OpenOutlet(mcl.PortRef{Inst: prev, Port: "po"})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return st, in, out, nil
+}
+
+// runFusionMode pushes cfg.Messages through the chain in one mode and
+// checks conservation and FIFO at the outlet.
+func runFusionMode(fused bool, cfg FusionConfig) (FusionRow, error) {
+	row := FusionRow{Mode: "unfused"}
+	if fused {
+		row.Mode = "fused"
+	}
+	st, in, out, err := buildFusionChain("fusion-"+row.Mode, cfg.Streamlets)
+	if err != nil {
+		return row, err
+	}
+	if !fused {
+		if err := st.SetFusion(false); err != nil {
+			return row, err
+		}
+	}
+	st.Start()
+	defer st.End()
+	row.Segments = len(st.FusedSegments())
+
+	body := services.GenText(cfg.TextBytes, cfg.Seed)
+	sendErr := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		for i := 0; i < cfg.Messages; i++ {
+			m := mime.NewMessage(services.TypePlainText, body)
+			m.SetHeader(fusionSeqHeader, strconv.Itoa(i))
+			if err := in.Send(m); err != nil {
+				sendErr <- fmt.Errorf("send %d: %w", i, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	digest := fnv.New64a()
+	last := -1
+	for i := 0; i < cfg.Messages; i++ {
+		m, err := out.Receive(cfg.ReceiveTimeout)
+		if err != nil {
+			return row, fmt.Errorf("%s: delivered %d of %d: %w",
+				row.Mode, row.Delivered, cfg.Messages, err)
+		}
+		row.Delivered++
+		digest.Write(m.Body())
+		seq, err := strconv.Atoi(m.Header(fusionSeqHeader))
+		if err != nil {
+			return row, fmt.Errorf("%s: message without %s stamp", row.Mode, fusionSeqHeader)
+		}
+		if seq <= last {
+			row.Reorders++
+		}
+		last = seq
+	}
+	row.Elapsed = time.Since(start)
+	if err := <-sendErr; err != nil {
+		return row, err
+	}
+	row.Sent = cfg.Messages
+	row.MsgsPerSec = float64(row.Delivered) / row.Elapsed.Seconds()
+	row.Digest = digest.Sum64()
+	return row, nil
+}
+
+// runFusionInsert drives traffic through a fused chain while splicing a new
+// member into the middle of the segment, then verifies conservation, FIFO,
+// post-insert traversal, the re-fused shape, and the journaled defuse/fuse
+// pair. Spans are enabled for the phase so the span-gated flight codes
+// record.
+func runFusionInsert(cfg FusionConfig, res *FusionResult) error {
+	obs.SetSpansEnabled(true)
+	defer obs.SetSpansEnabled(false)
+
+	st, in, out, err := buildFusionChain("fusion-insert", cfg.Streamlets)
+	if err != nil {
+		return err
+	}
+	st.Start()
+	defer st.End()
+	if segs := st.FusedSegments(); len(segs) != 1 {
+		return fmt.Errorf("insert phase: fused segments = %v, want one", segs)
+	}
+
+	body := services.GenText(cfg.TextBytes, cfg.Seed)
+	sendErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < cfg.InsertMessages; i++ {
+			m := mime.NewMessage(services.TypePlainText, body)
+			m.SetHeader(fusionSeqHeader, strconv.Itoa(i))
+			if err := in.Send(m); err != nil {
+				sendErr <- fmt.Errorf("send %d: %w", i, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	// Mid-run splice: g1 -> gx -> g2 inside the fused segment. The wrapper
+	// de-fuses the segment, applies the Figure 7-4 insert protocol, and
+	// re-fuses around the new member.
+	inserted := make(chan error, 1)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		if _, err := st.AddStreamlet("gx", fusionDecl(), fusionTagger("gx")); err != nil {
+			inserted <- err
+			return
+		}
+		inserted <- st.Insert("g1", "g2", "gx", "pi", "po")
+	}()
+
+	last := -1
+	for i := 0; i < cfg.InsertMessages; i++ {
+		m, err := out.Receive(cfg.ReceiveTimeout)
+		if err != nil {
+			return fmt.Errorf("insert phase: delivered %d of %d: %w",
+				res.InsertDelivered, cfg.InsertMessages, err)
+		}
+		res.InsertDelivered++
+		seq, err := strconv.Atoi(m.Header(fusionSeqHeader))
+		if err != nil {
+			return fmt.Errorf("insert phase: message without %s stamp", fusionSeqHeader)
+		}
+		if seq <= last {
+			res.InsertReorders++
+		}
+		last = seq
+	}
+	if err := <-sendErr; err != nil {
+		return err
+	}
+	res.InsertSent = cfg.InsertMessages
+	if err := <-inserted; err != nil {
+		return fmt.Errorf("insert phase: %w", err)
+	}
+
+	// Post-insert traffic must traverse the spliced member.
+	probe := mime.NewMessage(services.TypePlainText, []byte("probe"))
+	if err := in.Send(probe); err != nil {
+		return err
+	}
+	m, err := out.Receive(cfg.ReceiveTimeout)
+	if err != nil {
+		return fmt.Errorf("insert phase: post-insert probe lost: %w", err)
+	}
+	if got := string(m.Body()); !strings.Contains(got, "|gx") {
+		return fmt.Errorf("insert phase: probe body %q never traversed gx", got)
+	}
+
+	var shapes []string
+	for _, seg := range st.FusedSegments() {
+		shapes = append(shapes, strings.Join(seg, ">"))
+	}
+	res.SegmentsAfterInsert = strings.Join(shapes, " ")
+	if !strings.Contains(res.SegmentsAfterInsert, "gx") {
+		return fmt.Errorf("insert phase: segments %q never re-fused around gx", res.SegmentsAfterInsert)
+	}
+
+	for _, e := range obs.Flight().Snapshot(0).Events {
+		if e.Subject != st.Name() {
+			continue
+		}
+		switch e.Code {
+		case obs.FlightDefuse:
+			if strings.HasPrefix(e.Detail, "insert ") {
+				res.DefuseJournaled = true
+			}
+		case obs.FlightFuse:
+			if strings.Contains(e.Detail, "gx") {
+				res.RefuseJournaled = true
+			}
+		}
+	}
+	if !res.DefuseJournaled || !res.RefuseJournaled {
+		return fmt.Errorf("insert phase: flight journal defuse(insert)=%v refuse=%v, want both",
+			res.DefuseJournaled, res.RefuseJournaled)
+	}
+	return nil
+}
+
+// Fusion runs the comparison and the mid-run insert, returning an error
+// when any invariant the smoke gate relies on is broken: lost or reordered
+// messages, output bytes differing between modes, a fused run that is not
+// faster, a chain that failed to fuse (or to stay per-hop when disabled),
+// or a reconfiguration that did not de-fuse, apply, and re-fuse with the
+// journaled flight pair.
+func Fusion(cfg FusionConfig) (*FusionResult, error) {
+	res := &FusionResult{Streamlets: cfg.Streamlets}
+	var rows [2]FusionRow
+	for i, fused := range []bool{false, true} {
+		row, err := runFusionMode(fused, cfg)
+		if err != nil {
+			return res, err
+		}
+		if row.Sent != row.Delivered {
+			return res, fmt.Errorf("%s: sent %d != delivered %d", row.Mode, row.Sent, row.Delivered)
+		}
+		if row.Reorders != 0 {
+			return res, fmt.Errorf("%s: %d reorders (FIFO violated)", row.Mode, row.Reorders)
+		}
+		rows[i] = row
+		res.Rows = append(res.Rows, row)
+	}
+	if rows[0].Segments != 0 {
+		return res, fmt.Errorf("unfused: %d fused segments with fusion disabled", rows[0].Segments)
+	}
+	if rows[1].Segments != 1 {
+		return res, fmt.Errorf("fused: %d fused segments, want the whole chain in one", rows[1].Segments)
+	}
+	if rows[0].Digest != rows[1].Digest {
+		return res, fmt.Errorf("output diverged: unfused digest %x != fused digest %x",
+			rows[0].Digest, rows[1].Digest)
+	}
+	res.Speedup = rows[1].MsgsPerSec / rows[0].MsgsPerSec
+	if res.Speedup <= 1.0 {
+		return res, fmt.Errorf("fused run not faster: %.2fx", res.Speedup)
+	}
+	if err := runFusionInsert(cfg, res); err != nil {
+		return res, err
+	}
+	if res.InsertSent != res.InsertDelivered {
+		return res, fmt.Errorf("insert phase: sent %d != delivered %d", res.InsertSent, res.InsertDelivered)
+	}
+	if res.InsertReorders != 0 {
+		return res, fmt.Errorf("insert phase: %d reorders across the defuse/refuse", res.InsertReorders)
+	}
+	return res, nil
+}

@@ -79,10 +79,44 @@ type StreamletDecl struct {
 	// FIFO), so unlike `workers` it is open to STATEFUL streamlets too; the
 	// parser only bounds the value (see MaxBatch).
 	Batch int
+	// Fuse is the declared fusion eligibility (the `fuse` attribute): may
+	// the runtime collapse this streamlet into a fused hop with stateless
+	// neighbours, eliminating the queue handoff between them? The default
+	// (FuseDefault) leaves the decision to the runtime, which fuses
+	// STATELESS, serial, single-input instances. `fuse = off` pins the
+	// instance out of any fused segment; `fuse = on` only asserts
+	// eligibility — it never forces fusion of an instance the runtime
+	// would reject (and the parser rejects it on STATEFUL streamlets,
+	// mirroring the `workers` rule).
+	Fuse FuseMode
 	// Params are control-interface parameters, keyed without the "param-"
 	// prefix; values keep their source spelling.
 	Params map[string]string
 	Pos    Pos
+}
+
+// FuseMode is the tri-state `fuse` streamlet attribute.
+type FuseMode int
+
+const (
+	// FuseDefault defers to the runtime: stateless serial single-input
+	// streamlets fuse, everything else does not.
+	FuseDefault FuseMode = iota
+	// FuseOn asserts eligibility explicitly (still subject to the runtime
+	// fusability rules for neighbours and bindings).
+	FuseOn
+	// FuseOff pins the streamlet out of any fused segment.
+	FuseOff
+)
+
+func (f FuseMode) String() string {
+	switch f {
+	case FuseOn:
+		return "on"
+	case FuseOff:
+		return "off"
+	}
+	return "default"
 }
 
 // Port looks up a declared port by name.

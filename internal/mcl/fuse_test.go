@@ -1,0 +1,122 @@
+package mcl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseFuseAttribute(t *testing.T) {
+	src := `
+streamlet comp {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; library = "text/compress"; fuse = off; }
+}
+streamlet pass {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; fuse = on; }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f.Streamlet("comp")
+	if d.Fuse != FuseOff {
+		t.Errorf("comp fuse = %v, want off", d.Fuse)
+	}
+	d, _ = f.Streamlet("pass")
+	if d.Fuse != FuseOn {
+		t.Errorf("pass fuse = %v, want on", d.Fuse)
+	}
+}
+
+func TestParseFuseDefaults(t *testing.T) {
+	f, err := Parse(`streamlet a { attribute { type = STATELESS; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f.Streamlet("a")
+	if d.Fuse != FuseDefault {
+		t.Errorf("fuse = %v, want default", d.Fuse)
+	}
+}
+
+func TestParseFuseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{
+			"bad value",
+			`streamlet a { attribute { fuse = maybe; } }`,
+			"fuse must be on or off",
+		},
+		{
+			"numeric",
+			`streamlet a { attribute { fuse = 1; } }`,
+			"fuse must be on or off",
+		},
+		{
+			"stateful on",
+			`streamlet a { attribute { type = STATEFUL; fuse = on; } }`,
+			"requires type = STATELESS",
+		},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseFuseOffOnStateful(t *testing.T) {
+	// fuse = off is a pure opt-out and is always legal, even on STATEFUL
+	// streamlets (where it is redundant but harmless).
+	f, err := Parse(`streamlet a { attribute { type = STATEFUL; fuse = off; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := f.Streamlet("a")
+	if d.Fuse != FuseOff {
+		t.Errorf("fuse = %v, want off", d.Fuse)
+	}
+}
+
+func TestPrintFuseRoundTrip(t *testing.T) {
+	src := `
+streamlet comp {
+	port { in pi : text; out po : text; }
+	attribute { type = STATELESS; fuse = off; }
+}
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Format(f)
+	if !strings.Contains(out, "fuse = off;") {
+		t.Fatalf("formatted output lacks fuse attribute:\n%s", out)
+	}
+	f2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, out)
+	}
+	d, _ := f2.Streamlet("comp")
+	if d.Fuse != FuseOff {
+		t.Errorf("round-tripped fuse = %v, want off", d.Fuse)
+	}
+}
+
+func TestPrintOmitsDefaultFuse(t *testing.T) {
+	f, err := Parse(`streamlet a { attribute { type = STATELESS; } }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := Format(f); strings.Contains(out, "fuse") {
+		t.Errorf("default fuse should print nothing:\n%s", out)
+	}
+}

@@ -254,6 +254,15 @@ func (p *Parser) parseStreamletDecl() (*StreamletDecl, error) {
 						return nil, errf(a.pos, "streamlet batch = %d exceeds the maximum %d", a.num, MaxBatch)
 					}
 					d.Batch = a.num
+				case "fuse":
+					switch strings.ToLower(a.text) {
+					case "on":
+						d.Fuse = FuseOn
+					case "off":
+						d.Fuse = FuseOff
+					default:
+						return nil, errf(a.pos, "streamlet fuse must be on or off, got %q", a.text)
+					}
 				default:
 					if name, ok := strings.CutPrefix(a.key, "param-"); ok && name != "" {
 						if d.Params == nil {
@@ -622,6 +631,13 @@ func validateFile(f *File) error {
 		// resequences the outputs.
 		if d.Workers > 1 && d.Kind == Stateful {
 			return errf(d.Pos, "streamlet %s: workers = %d requires type = STATELESS (stateful streamlets cannot run in parallel)", d.Name, d.Workers)
+		}
+		// Fusion runs Process calls of adjacent streamlets back-to-back on
+		// one goroutine with no queue between them; a STATEFUL streamlet
+		// needs its own serialized hop, so an explicit fuse = on is a
+		// contradiction (fuse = off is always allowed).
+		if d.Fuse == FuseOn && d.Kind == Stateful {
+			return errf(d.Pos, "streamlet %s: fuse = on requires type = STATELESS (stateful streamlets keep their own hop)", d.Name)
 		}
 	}
 	for _, d := range f.Channels {

@@ -81,6 +81,9 @@ func (p printer) streamlet(d *StreamletDecl) {
 	if d.Batch > 1 {
 		p.linef(2, "batch = %d;", d.Batch)
 	}
+	if d.Fuse != FuseDefault {
+		p.linef(2, "fuse = %s;", d.Fuse)
+	}
 	keys := make([]string, 0, len(d.Params))
 	for k := range d.Params {
 		keys = append(keys, k)

@@ -43,6 +43,13 @@ const (
 	// detach and strand them).
 	MStreamDrainTimeoutsTotal = "mobigate_stream_reconfig_drain_timeouts_total"
 
+	// Streamlet chain fusion (internal/stream fuse pass): stateless pipeline
+	// segments collapsed into direct-call fused hops, and the dissolutions
+	// (reconfiguration, heal, workers change, stream end) that un-collapse
+	// them via the Figure 7-4 drain protocol.
+	MFusedSegments     = "mobigate_fused_segments"
+	MFusionDefuseTotal = "mobigate_fusion_defuse_total"
+
 	// Parallel execution mode (per-streamlet worker fan-out behind a
 	// sequence-numbered resequencer) and the content-addressed transcode
 	// cache (internal/cache).
@@ -195,6 +202,7 @@ func registerCatalog(r *Registry) {
 		{MAdaptFailuresTotal, "Policy actions that failed to apply (e.g. drain timeout)."},
 		{MAdaptReloadsTotal, "MCL hot-reloads applied to running servers."},
 		{MBatchFlushesTotal, "Batched post flushes (PostN calls) across all channel queues."},
+		{MFusionDefuseTotal, "Fused segments dissolved back into per-hop execution (reconfiguration, heal, workers change, or stream end)."},
 		{MSessionSampleOverflowTotal, "Sessions selected by the SLO sampler but refused because the slot pool was exhausted."},
 		{MSessionSLOViolationsTotal, "Per-session latency-budget violations detected on sampled sessions (edge-triggered per session)."},
 		{MHealthTransitionsTotal, "Component health transitions (degraded or recovered) raised by the health model."},
@@ -210,6 +218,7 @@ func registerCatalog(r *Registry) {
 		{MQueueQueuedBytes, "Bytes currently queued across all channels (the paragraph 4.2.2 buffer occupancy)."},
 		{MPoolMessages, "Messages currently held by the central pool."},
 		{MPoolBytes, "Body bytes currently held by the central pool."},
+		{MFusedSegments, "Stateless pipeline segments currently running as direct-call fused hops."},
 		{MStreamletWorkersBusy, "Parallel streamlet workers currently executing Process."},
 		{MStreamletReseqDepth, "Completions parked in resequencers waiting for an earlier sequence number."},
 		{MCacheEntries, "Entries currently held by transcode caches."},

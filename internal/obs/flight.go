@@ -86,6 +86,15 @@ const (
 	// that crossed).
 	FlightHealthDegraded
 	FlightHealthRecovered
+	// FlightFuse / FlightDefuse are fused-segment transitions: a stateless
+	// pipeline segment collapsed into a direct-call fused hop, or dissolved
+	// back into per-hop execution (Subject: the stream; Detail: the member
+	// chain or the dissolve reason; Value: the member count). Journaled only
+	// while spans are enabled, like the other data-plane codes — fusion
+	// flips on the hot path, and the defuse counter plus the fused-segments
+	// gauge carry the always-on record.
+	FlightFuse
+	FlightDefuse
 )
 
 var flightCodeNames = [...]string{
@@ -93,7 +102,7 @@ var flightCodeNames = [...]string{
 	"blackout", "restored", "reconfig", "handoff", "bandwidth", "event", "slo",
 	"cache-hit", "cache-miss", "adapt", "batch-flush",
 	"session-connect", "session-disconnect", "session-shed",
-	"health-degraded", "health-recovered",
+	"health-degraded", "health-recovered", "fuse", "defuse",
 }
 
 func (c FlightCode) String() string {

@@ -39,7 +39,8 @@ type Preorder struct {
 // Violation is one finding of the analyzer.
 type Violation struct {
 	// Kind is one of "feedback-loop", "open-circuit", "mutual-exclusion",
-	// "dependency", "preorder", "parallelism", "batching", "policy".
+	// "dependency", "preorder", "parallelism", "batching", "fusion",
+	// "policy".
 	Kind string
 	// Scenario is "initial" or "when(EVENT)" — the configuration state the
 	// violation occurs in.
@@ -78,6 +79,7 @@ func Analyze(sc *mcl.StreamConfig, rules Rules) *Report {
 
 	analyzeParallelism(r, sc)
 	analyzeBatching(r, sc)
+	analyzeFusion(r, sc)
 	analyzePolicies(r, sc)
 	analyzeScenario(r, "initial", g, sc, rules, false)
 	for _, w := range sc.Whens {
@@ -151,6 +153,41 @@ func analyzeBatching(r *Report, sc *mcl.StreamConfig) {
 			r.add("batching", "initial",
 				"instance %s: streamlet %s declares batch = %d but every input channel is SYNCHRONOUS; a rendezvous holds at most one unit, so batching cannot apply",
 				v, inst.Decl.Name, inst.Decl.Batch)
+		}
+	}
+}
+
+// analyzeFusion statically vets explicit `fuse = on` declarations against
+// the runtime fusability rules, so an assertion the runtime would silently
+// ignore is surfaced at compile time instead: a fused hop runs Process
+// calls back-to-back on one goroutine, which requires the instance to be
+// serial (workers <= 1) and single-input (a multi-input join needs its own
+// pump to interleave ports). STATEFUL is already rejected by the parser,
+// mirroring the `workers` rule. fuse = off never violates anything — it is
+// a pure opt-out. Configuration-level, independent of the routing scenario.
+func analyzeFusion(r *Report, sc *mcl.StreamConfig) {
+	for _, v := range sc.Order {
+		inst := sc.Instances[v]
+		if inst == nil || inst.Decl == nil || inst.Decl.Fuse != mcl.FuseOn {
+			continue
+		}
+		d := inst.Decl
+		if d.Workers > 1 {
+			r.add("fusion", "initial",
+				"instance %s: streamlet %s declares fuse = on with workers = %d; a fused hop is serial, so parallel instances cannot fuse",
+				v, d.Name, d.Workers)
+			continue
+		}
+		ins := 0
+		for _, p := range d.Ports {
+			if p.Dir == mcl.PortIn {
+				ins++
+			}
+		}
+		if ins > 1 {
+			r.add("fusion", "initial",
+				"instance %s: streamlet %s declares fuse = on but has %d input ports; multi-input streamlets need their own pump to interleave ports and cannot fuse",
+				v, d.Name, ins)
 		}
 	}
 }

@@ -358,3 +358,67 @@ stream s {
 		}
 	}
 }
+
+func TestAnalyzeFusionWorkersConflict(t *testing.T) {
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x"; workers = 4; fuse = on; } }
+stream s {
+	streamlet s1 = new-streamlet (f);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"s1.pi", "s1.po"}})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "fusion" && strings.Contains(v.Detail, "workers") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fuse = on with workers = 4 not reported: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeFusionMultiInput(t *testing.T) {
+	src := `
+streamlet join {
+	port { in pa : text; in pb : text; out po : text; }
+	attribute { type = STATELESS; library = "x"; fuse = on; }
+}
+stream s {
+	streamlet j = new-streamlet (join);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"j.pa", "j.pb", "j.po"}})
+	found := false
+	for _, v := range rep.Violations {
+		if v.Kind == "fusion" && strings.Contains(v.Detail, "input ports") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("fuse = on on a multi-input streamlet not reported: %v", rep.Violations)
+	}
+}
+
+func TestAnalyzeFusionCleanAndOptOut(t *testing.T) {
+	// fuse = on on a serial single-input stateless streamlet is exactly what
+	// the runtime fuses; fuse = off is a pure opt-out. Neither violates.
+	src := `
+streamlet f { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x"; fuse = on; } }
+streamlet g { port { in pi : text; out po : text; } attribute { type = STATELESS; library = "x"; fuse = off; } }
+stream s {
+	streamlet a = new-streamlet (f);
+	streamlet b = new-streamlet (g);
+	connect (a.po, b.pi);
+}
+`
+	cfg := mustCompile(t, src)
+	rep := Analyze(cfg.Stream("s"), Rules{AllowedOpenPorts: []string{"a.pi", "b.po"}})
+	for _, v := range rep.Violations {
+		if v.Kind == "fusion" {
+			t.Errorf("spurious fusion violation: %v", v)
+		}
+	}
+}

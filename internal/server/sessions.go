@@ -332,3 +332,47 @@ func (g *SessionGateway) Close() {
 		g.teardownInstances()
 	})
 }
+
+// SweepSessions runs one idle sweep across every open shared-plane
+// gateway, demoting sessions quiet for longer than idleAfter from Active
+// to Idle (session.Table.Sweep), and returns the total demoted. Idle is
+// bookkeeping, not a barrier — the next post promotes the session back —
+// but it keeps /sessions and the health model distinguishing a full table
+// from a busy one.
+func (f *Frontend) SweepSessions(idleAfter time.Duration) int {
+	f.gwMu.Lock()
+	gws := make([]*SessionGateway, 0, len(f.gwPool))
+	for _, g := range f.gwPool {
+		if g != nil {
+			gws = append(gws, g)
+		}
+	}
+	f.gwMu.Unlock()
+	idled := 0
+	for _, g := range gws {
+		idled += g.tbl.Sweep(idleAfter)
+	}
+	return idled
+}
+
+// StartSessionSweeper runs SweepSessions every interval until the returned
+// stop function is called (idempotent). Sessions quiet for longer than
+// idleAfter demote; the server wires both durations to its -session-sweep
+// flag.
+func (f *Frontend) StartSessionSweeper(interval, idleAfter time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				f.SweepSessions(idleAfter)
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}

@@ -14,15 +14,15 @@ import (
 	"mobigate/internal/obs"
 )
 
-// SetWorkersLive retunes a running native streamlet's parallel fan-out
+// setWorkersLive retunes a running native streamlet's parallel fan-out
 // width. Streamlet.SetWorkers only applies before Start, so the retune
 // replaces the instance with an identically-bound clone declared with
 // workers = n, under the same suspend → drain → rewire → reactivate
 // protocol self-healing uses: producers pause, in-flight messages finish,
 // the clone takes over the queues, and the instance keeps its id. Returns
 // ErrDrainTimeout (wrapped) without touching the topology when the drain
-// deadline passes.
-func (st *Stream) SetWorkersLive(inst string, n int, drainTimeout time.Duration) error {
+// deadline passes. Body of the SetWorkersLive wrapper in fuse.go.
+func (st *Stream) setWorkersLive(inst string, n int, drainTimeout time.Duration) error {
 	if n < 1 {
 		return fmt.Errorf("stream %s: workers %s = %d: workers must be >= 1", st.name, inst, n)
 	}
@@ -73,7 +73,7 @@ func (st *Stream) SetWorkersLive(inst string, n int, drainTimeout time.Duration)
 		obs.FlightRecord(obs.FlightDrain, st.name, "workers "+inst+" timeout", int64(drainTimeout))
 		return fmt.Errorf("stream %s: workers %s: %w (after %v)", st.name, inst, ErrDrainTimeout, drainTimeout)
 	}
-	if err := st.Replace(inst, tmpID); err != nil {
+	if err := st.replace(inst, tmpID); err != nil {
 		for _, p := range producers {
 			p.activate()
 		}

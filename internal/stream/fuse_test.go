@@ -1,0 +1,506 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mobigate/internal/mcl"
+	"mobigate/internal/mime"
+	"mobigate/internal/msgpool"
+	"mobigate/internal/obs"
+	"mobigate/internal/streamlet"
+)
+
+// statelessDecl returns a fresh STATELESS declaration — the eligibility
+// ticket the fusion pass requires (nil-decl instances never fuse).
+func statelessDecl(fuse mcl.FuseMode) *mcl.StreamletDecl {
+	return &mcl.StreamletDecl{Kind: mcl.Stateless, Fuse: fuse}
+}
+
+// buildFusedChain constructs in -> s0 -> ... -> s<k-1> -> out with STATELESS
+// declarations throughout, returning the stream and endpoints unstarted.
+func buildFusedChain(t testing.TB, k int, proc func(i int) streamlet.Processor) (*Stream, *Inlet, *Outlet) {
+	t.Helper()
+	st := New("fchain", nil, nil)
+	prev := ""
+	for i := 0; i < k; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if _, err := st.AddStreamlet(id, statelessDecl(mcl.FuseDefault), proc(i)); err != nil {
+			t.Fatal(err)
+		}
+		if prev != "" {
+			if err := st.Connect(ref(prev, "po"), ref(id, "pi"), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	in, err := st.OpenInlet(ref("s0", "pi"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.OpenOutlet(ref(prev, "po"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, in, out
+}
+
+func TestFusionEngagesOnStatelessChain(t *testing.T) {
+	const k = 5
+	st, in, out := buildFusedChain(t, k, func(i int) streamlet.Processor {
+		return tagger(fmt.Sprintf("s%d", i))
+	})
+	st.Start()
+	defer st.End()
+
+	segs := st.FusedSegments()
+	if len(segs) != 1 || len(segs[0]) != k {
+		t.Fatalf("fused segments = %v, want one segment of %d members", segs, k)
+	}
+
+	const n = 50
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = in.Send(textMsg(fmt.Sprintf("m%d", i)))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		got, err := out.Receive(2 * time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("m%d|s0|s1|s2|s3|s4", i)
+		if string(got.Body()) != want {
+			t.Fatalf("msg %d body = %q, want %q (fused chain must preserve FIFO and per-stage effects)", i, got.Body(), want)
+		}
+	}
+	// Per-stage counters stay exact inside the fused loop.
+	for i := 0; i < k; i++ {
+		if p := st.Streamlet(fmt.Sprintf("s%d", i)).Processed(); p != n {
+			t.Errorf("s%d processed = %d, want %d", i, p, n)
+		}
+	}
+	// Conservation: the head's pool entries drained with the messages.
+	deadline := time.Now().Add(time.Second)
+	for st.Pool().Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if st.Pool().Len() != 0 {
+		t.Errorf("pool leaked %d entries through the fused path", st.Pool().Len())
+	}
+}
+
+func TestFusionOptOutSplitsSegment(t *testing.T) {
+	st := New("fsplit", nil, nil)
+	modes := []mcl.FuseMode{mcl.FuseDefault, mcl.FuseDefault, mcl.FuseOff, mcl.FuseDefault, mcl.FuseDefault}
+	prev := ""
+	for i, m := range modes {
+		id := fmt.Sprintf("s%d", i)
+		if _, err := st.AddStreamlet(id, statelessDecl(m), tagger(id)); err != nil {
+			t.Fatal(err)
+		}
+		if prev != "" {
+			if err := st.Connect(ref(prev, "po"), ref(id, "pi"), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	if _, err := st.OpenInlet(ref("s0", "pi"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.OpenOutlet(ref("s4", "po")); err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	defer st.End()
+
+	segs := st.FusedSegments()
+	if len(segs) != 2 {
+		t.Fatalf("fused segments = %v, want the opted-out s2 to split the run in two", segs)
+	}
+	joined := map[string]bool{}
+	for _, s := range segs {
+		joined[strings.Join(s, ">")] = true
+	}
+	if !joined["s0>s1"] || !joined["s3>s4"] {
+		t.Errorf("fused segments = %v, want s0>s1 and s3>s4", segs)
+	}
+}
+
+func TestFusionSkipsWorkersAndStateful(t *testing.T) {
+	st := New("fskip", nil, nil)
+	decls := []*mcl.StreamletDecl{
+		statelessDecl(mcl.FuseDefault),
+		{Kind: mcl.Stateless, Workers: 2},
+		statelessDecl(mcl.FuseDefault),
+		{Kind: mcl.Stateful},
+		statelessDecl(mcl.FuseDefault),
+	}
+	prev := ""
+	for i, d := range decls {
+		id := fmt.Sprintf("s%d", i)
+		if _, err := st.AddStreamlet(id, d, tagger(id)); err != nil {
+			t.Fatal(err)
+		}
+		if d.Workers > 1 {
+			if err := st.Streamlet(id).SetWorkers(d.Workers); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if prev != "" {
+			if err := st.Connect(ref(prev, "po"), ref(id, "pi"), nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prev = id
+	}
+	if _, err := st.OpenInlet(ref("s0", "pi"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.OpenOutlet(ref("s4", "po")); err != nil {
+		t.Fatal(err)
+	}
+	st.Start()
+	defer st.End()
+
+	// s1 is parallel and s3 stateful: no adjacent pair of fusable members
+	// remains, so nothing fuses.
+	if segs := st.FusedSegments(); len(segs) != 0 {
+		t.Fatalf("fused segments = %v, want none (workers and stateful members keep their own hops)", segs)
+	}
+}
+
+func TestSetFusionToggle(t *testing.T) {
+	st, in, out := buildFusedChain(t, 3, func(i int) streamlet.Processor {
+		return tagger(fmt.Sprintf("s%d", i))
+	})
+	st.Start()
+	defer st.End()
+	if segs := st.FusedSegments(); len(segs) != 1 {
+		t.Fatalf("fused segments = %v, want 1", segs)
+	}
+	gaugeBefore := obs.DefaultIntGauge(obs.MFusedSegments).Value()
+
+	if err := st.SetFusion(false); err != nil {
+		t.Fatal(err)
+	}
+	if segs := st.FusedSegments(); len(segs) != 0 {
+		t.Fatalf("fused segments after opt-out = %v, want none", segs)
+	}
+	if d := gaugeBefore - obs.DefaultIntGauge(obs.MFusedSegments).Value(); d != 1 {
+		t.Errorf("fused-segments gauge dropped by %d on defuse, want 1", d)
+	}
+	// The dissolved chain still flows per-hop.
+	if err := in.Send(textMsg("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := out.Receive(2 * time.Second); err != nil || string(got.Body()) != "x|s0|s1|s2" {
+		t.Fatalf("unfused flow: %v %q", err, got.Body())
+	}
+
+	if err := st.SetFusion(true); err != nil {
+		t.Fatal(err)
+	}
+	if segs := st.FusedSegments(); len(segs) != 1 {
+		t.Fatalf("fused segments after re-enable = %v, want 1", segs)
+	}
+	if err := in.Send(textMsg("y")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := out.Receive(2 * time.Second); err != nil || string(got.Body()) != "y|s0|s1|s2" {
+		t.Fatalf("re-fused flow: %v %q", err, got.Body())
+	}
+}
+
+// TestFusionDefuseOnInsert drives traffic through a fused chain while a
+// streamlet is spliced into the middle of the segment: the insert must
+// dissolve the fused hop under the Figure 7-4 drain, apply, and re-fuse —
+// with zero loss, no reorder, and the fuse/defuse flight codes journaled
+// (spans are enabled so the span-gated codes record).
+func TestFusionDefuseOnInsert(t *testing.T) {
+	obs.SetSpansEnabled(true)
+	defer obs.SetSpansEnabled(false)
+
+	st, in, out := buildFusedChain(t, 3, func(i int) streamlet.Processor {
+		return tagger(fmt.Sprintf("s%d", i))
+	})
+	st.Start()
+	defer st.End()
+	if segs := st.FusedSegments(); len(segs) != 1 || len(segs[0]) != 3 {
+		t.Fatalf("fused segments = %v, want one of 3", segs)
+	}
+
+	const n = 400
+	sendErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			if err := in.Send(textMsg(fmt.Sprintf("m%d", i))); err != nil {
+				sendErr <- err
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	// Mid-run splice: s1 -> sx -> s2 inside the fused segment.
+	inserted := make(chan error, 1)
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		if _, err := st.AddStreamlet("sx", statelessDecl(mcl.FuseDefault), tagger("sx")); err != nil {
+			inserted <- err
+			return
+		}
+		inserted <- st.Insert("s1", "s2", "sx", "pi", "po")
+	}()
+
+	for i := 0; i < n; i++ {
+		got, err := out.Receive(5 * time.Second)
+		if err != nil {
+			t.Fatalf("msg %d: %v (fused insert lost messages)", i, err)
+		}
+		body := string(got.Body())
+		if !strings.HasPrefix(body, fmt.Sprintf("m%d|", i)) {
+			t.Fatalf("msg %d body = %q: reorder across the defuse/refuse", i, body)
+		}
+	}
+	if err := <-sendErr; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-inserted; err != nil {
+		t.Fatal(err)
+	}
+	// Post-insert traffic must traverse the spliced member.
+	if err := in.Send(textMsg("after")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := out.Receive(5 * time.Second); err != nil || string(got.Body()) != "after|s0|s1|sx|s2" {
+		t.Fatalf("post-insert flow: %v %q, want traversal through sx", err, got.Body())
+	}
+
+	// The re-fused segment must include the insert.
+	segs := st.FusedSegments()
+	if len(segs) != 1 || strings.Join(segs[0], ">") != "s0>s1>sx>s2" {
+		t.Fatalf("fused segments after insert = %v, want s0>s1>sx>s2", segs)
+	}
+
+	// Flight record: the defuse (reason "insert") and the re-fuse journaled.
+	var sawDefuse, sawRefuse bool
+	for _, e := range obs.Flight().Snapshot(0).Events {
+		if e.Subject != st.Name() {
+			continue
+		}
+		switch e.Code {
+		case obs.FlightDefuse:
+			if strings.HasPrefix(e.Detail, "insert ") {
+				sawDefuse = true
+			}
+		case obs.FlightFuse:
+			if strings.Contains(e.Detail, "sx") {
+				sawRefuse = true
+			}
+		}
+	}
+	if !sawDefuse || !sawRefuse {
+		t.Errorf("flight journal: defuse(insert)=%v refuse-with-sx=%v, want both", sawDefuse, sawRefuse)
+	}
+}
+
+// Randomized transparency (the PR's equivalence obligation): arbitrary
+// stateless chains — body transforms, identity-changing rewraps, fan-out
+// duplicators, and a mid-segment fault injector — must produce byte-
+// identical client output, identical per-stage trace hop sequences, and
+// identical fault dispositions whether the chain runs fused or per-hop.
+func TestFusionTransparencyRandomized(t *testing.T) {
+	obs.SetTracingEnabled(true)
+
+	// Deterministic generator: the same chains and inputs on every run.
+	rng := rand.New(rand.NewSource(7))
+
+	type result struct {
+		bodies []string
+		stages []string // per delivered message: trace-hop streamlet sequence
+		faults int
+	}
+
+	run := func(k, n int, kinds []int, faultAt int, byValue bool, fuse bool) result {
+		mode := msgpool.ByReference
+		if byValue {
+			mode = msgpool.ByValue
+		}
+		st := New("ftrans", msgpool.New(mode), nil)
+		var faultMu sync.Mutex
+		faults := 0
+		st.ErrorHandler = func(err error) {
+			faultMu.Lock()
+			faults++
+			faultMu.Unlock()
+		}
+		prev := ""
+		for i := 0; i < k; i++ {
+			id := fmt.Sprintf("s%d", i)
+			var proc streamlet.Processor
+			switch {
+			case i == faultAt:
+				// Injector: errors on marked bodies; the default PolicyFail
+				// drops the message and surfaces the error.
+				proc = streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+					if strings.Contains(string(in.Msg.Body()), "!boom") {
+						return nil, fmt.Errorf("injected")
+					}
+					in.Msg.SetBody(append(in.Msg.Body(), []byte("|"+id)...))
+					return []streamlet.Emission{{Msg: in.Msg}}, nil
+				})
+			case kinds[i] == 1:
+				// Rewrap: identity change — a fresh message replaces the input.
+				proc = streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+					m := mime.NewMessage(mime.MustParse("text/plain"), append(in.Msg.Body(), []byte("|"+id+"^")...))
+					return []streamlet.Emission{{Msg: m}}, nil
+				})
+			case kinds[i] == 2:
+				// Duplicator: fan-out of two ordered emissions.
+				proc = streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+					in.Msg.SetBody(append(in.Msg.Body(), []byte("|"+id)...))
+					cp := mime.NewMessage(mime.MustParse("text/plain"), append(append([]byte(nil), in.Msg.Body()...), []byte("+dup")...))
+					return []streamlet.Emission{{Msg: in.Msg}, {Msg: cp}}, nil
+				})
+			default:
+				proc = tagger(id)
+			}
+			if _, err := st.AddStreamlet(id, statelessDecl(mcl.FuseDefault), proc); err != nil {
+				t.Fatal(err)
+			}
+			if prev != "" {
+				if err := st.Connect(ref(prev, "po"), ref(id, "pi"), nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prev = id
+		}
+		in, err := st.OpenInlet(ref("s0", "pi"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := st.OpenOutlet(ref(prev, "po"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fuse {
+			if err := st.SetFusion(false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st.Start()
+		defer st.End()
+		if fused := len(st.FusedSegments()) > 0; fused != fuse {
+			t.Fatalf("fused=%v, want %v (k=%d kinds=%v)", fused, fuse, k, kinds)
+		}
+
+		for i := 0; i < n; i++ {
+			body := fmt.Sprintf("m%d", i)
+			if i%5 == 3 {
+				body += "!boom"
+			}
+			if err := in.Send(textMsg(body)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var res result
+		// Drain until silence: drops make the delivered count input-dependent.
+		for {
+			got, err := out.Receive(500 * time.Millisecond)
+			if err != nil {
+				break
+			}
+			res.bodies = append(res.bodies, string(got.Body()))
+			var stages []string
+			for _, hop := range strings.Split(got.Header(obs.TraceHeader), ",") {
+				stages = append(stages, strings.SplitN(hop, "~", 2)[0])
+			}
+			res.stages = append(res.stages, strings.Join(stages, ">"))
+		}
+		faultMu.Lock()
+		res.faults = faults
+		faultMu.Unlock()
+		return res
+	}
+
+	for trial := 0; trial < 4; trial++ {
+		k := 2 + rng.Intn(4) // 2..5 stages
+		kinds := make([]int, k)
+		for i := range kinds {
+			kinds[i] = rng.Intn(3)
+		}
+		faultAt := rng.Intn(k)
+		byValue := trial%2 == 1
+		const n = 25
+
+		fused := run(k, n, kinds, faultAt, byValue, true)
+		plain := run(k, n, kinds, faultAt, byValue, false)
+
+		name := fmt.Sprintf("trial %d (k=%d kinds=%v faultAt=%d byValue=%v)", trial, k, kinds, faultAt, byValue)
+		if len(fused.bodies) != len(plain.bodies) {
+			t.Fatalf("%s: delivered %d fused vs %d unfused", name, len(fused.bodies), len(plain.bodies))
+		}
+		for i := range fused.bodies {
+			if fused.bodies[i] != plain.bodies[i] {
+				t.Fatalf("%s: msg %d fused body %q != unfused %q", name, i, fused.bodies[i], plain.bodies[i])
+			}
+			if fused.stages[i] != plain.stages[i] {
+				t.Fatalf("%s: msg %d fused trace hops %q != unfused %q", name, i, fused.stages[i], plain.stages[i])
+			}
+		}
+		if fused.faults != plain.faults {
+			t.Fatalf("%s: fused faults %d != unfused %d", name, fused.faults, plain.faults)
+		}
+	}
+}
+
+// TestFusionFaultAttribution pins the per-member attribution: a fault in a
+// fused interior stage must be charged to that member, not the head.
+func TestFusionFaultAttribution(t *testing.T) {
+	st, in, out := buildFusedChain(t, 3, func(i int) streamlet.Processor {
+		id := fmt.Sprintf("s%d", i)
+		if i == 1 {
+			return streamlet.ProcessorFunc(func(in streamlet.Input) ([]streamlet.Emission, error) {
+				if strings.HasSuffix(string(in.Msg.Body()), "bad|s0") {
+					return nil, fmt.Errorf("refused")
+				}
+				in.Msg.SetBody(append(in.Msg.Body(), []byte("|"+id)...))
+				return []streamlet.Emission{{Msg: in.Msg}}, nil
+			})
+		}
+		return tagger(id)
+	})
+	var mu sync.Mutex
+	var errs []string
+	st.ErrorHandler = func(err error) {
+		mu.Lock()
+		errs = append(errs, err.Error())
+		mu.Unlock()
+	}
+	st.Start()
+	defer st.End()
+	if segs := st.FusedSegments(); len(segs) != 1 {
+		t.Fatalf("fused segments = %v, want 1", segs)
+	}
+
+	_ = in.Send(textMsg("bad"))
+	_ = in.Send(textMsg("ok"))
+	if got, err := out.Receive(2 * time.Second); err != nil || string(got.Body()) != "ok|s0|s1|s2" {
+		t.Fatalf("survivor: %v %q", err, got.Body())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(errs) != 1 || !strings.Contains(errs[0], "s1") {
+		t.Fatalf("errors = %v, want one attributed to s1", errs)
+	}
+	if f := st.Streamlet("s1").Processed(); f != 1 {
+		t.Errorf("s1 processed = %d, want 1 (the fault must not count as processed)", f)
+	}
+}

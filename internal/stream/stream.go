@@ -213,6 +213,14 @@ type Stream struct {
 
 	lastTiming ReconfigTiming
 	reconfigs  atomic.Uint64
+
+	// Fusion state (fuse.go): the live fused segments, the opt-out switch,
+	// and the mutex serializing fuse/defuse passes together with the
+	// reconfigurations they bracket. fuseMu is taken before st.mu and never
+	// while holding it.
+	fuseMu    sync.Mutex
+	fused     []*fusedSeg
+	fusionOff bool
 }
 
 var sessionCounter atomic.Uint64
@@ -427,14 +435,6 @@ func (st *Stream) node(id string) (node, error) {
 	return n, nil
 }
 
-// Connect wires from → to through channel q (nil creates the default
-// asynchronous BK channel of 100 KBytes). This is the connect primitive.
-func (st *Stream) Connect(from, to mcl.PortRef, q *queue.Queue) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.connectLocked(from, to, q)
-}
-
 func (st *Stream) connectLocked(from, to mcl.PortRef, q *queue.Queue) error {
 	nf, err := st.node(from.Inst)
 	if err != nil {
@@ -457,14 +457,6 @@ func (st *Stream) connectLocked(from, to mcl.PortRef, q *queue.Queue) error {
 	}
 	st.conns = append(st.conns, liveConn{from: from, to: to, q: q})
 	return nil
-}
-
-// Disconnect severs the from → to connection, honoring the channel
-// category's detach semantics (§4.2.2).
-func (st *Stream) Disconnect(from, to mcl.PortRef) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	return st.disconnectLocked(from, to)
 }
 
 func (st *Stream) disconnectLocked(from, to mcl.PortRef) error {
@@ -516,8 +508,9 @@ func (st *Stream) disconnectLocked(from, to mcl.PortRef) error {
 	return nil
 }
 
-// DisconnectAll severs every connection touching an instance.
-func (st *Stream) DisconnectAll(inst string) error {
+// disconnectAll severs every connection touching an instance (body of the
+// DisconnectAll wrapper in fuse.go).
+func (st *Stream) disconnectAll(inst string) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	var pairs [][2]mcl.PortRef
@@ -572,12 +565,9 @@ func (st *Stream) DetachOutRef(ref mcl.PortRef) {
 	}
 }
 
-// Insert splices newInst between producer p and consumer c per the
-// Figure 7-4 protocol: suspend p, detach p from the shared channel m,
-// attach newInst's output to m, create a fresh channel n from p to
-// newInst's input, and reactivate p. The new instance must already have
-// been added (AddStreamlet / NewStreamlet) and its ports named.
-func (st *Stream) Insert(pInst, cInst, newInst, newInPort, newOutPort string) error {
+// insert is the Figure 7-4 splice body behind the Insert wrapper in
+// fuse.go, which de-fuses the splice point first.
+func (st *Stream) insert(pInst, cInst, newInst, newInPort, newOutPort string) error {
 	st.mu.Lock()
 
 	found := false
@@ -674,14 +664,15 @@ func (st *Stream) connectRebind(n node, port string, q *queue.Queue) error {
 	return n.bindOut(port, q)
 }
 
-// Remove takes instance t out of a linear position: its upstream producer
+// remove takes instance t out of a linear position: its upstream producer
 // is suspended and allowed to finish its in-flight message, t is drained
 // (Figure 6-8 prerequisites), t's downstream channel is drained by its
 // consumer, the upstream channel is re-attached to that consumer, and the
 // producer is reactivated. t itself is ended and discarded. The drain steps
 // are what §6.6's message-loss avoidance requires: without them, messages
 // parked between t and its consumer would be stranded by the re-attach.
-func (st *Stream) Remove(t string, drainTimeout time.Duration) error {
+// Body of the Remove wrapper in fuse.go, which de-fuses around t first.
+func (st *Stream) remove(t string, drainTimeout time.Duration) error {
 	st.mu.Lock()
 
 	var inConn, outConn liveConn
@@ -829,10 +820,10 @@ func (st *Stream) removeConnLocked(from, to mcl.PortRef) {
 	}
 }
 
-// Replace swaps instance old for instance alt, which must already be added
+// replace swaps instance old for instance alt, which must already be added
 // and have ports of the same names. Producers feeding old are suspended
-// during the swap.
-func (st *Stream) Replace(old, alt string) error {
+// during the swap. Body of the Replace wrapper in fuse.go.
+func (st *Stream) replace(old, alt string) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	no, err := st.node(old)
@@ -897,17 +888,22 @@ func (st *Stream) Replace(old, alt string) error {
 	return nil
 }
 
-// Start activates every member (initConfig deployment).
+// Start activates every member (initConfig deployment), then runs the
+// first fusion pass over the now-live composition.
 func (st *Stream) Start() {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.started {
+		st.mu.Unlock()
 		return
 	}
 	st.started = true
 	for _, n := range st.nodes {
 		n.start()
 	}
+	st.mu.Unlock()
+	st.fuseMu.Lock()
+	st.fusePass()
+	st.fuseMu.Unlock()
 }
 
 // PauseAll suspends every member (the PAUSE system command).
@@ -1050,6 +1046,7 @@ func (st *Stream) End() {
 	for _, q := range queues {
 		q.Close()
 	}
+	st.dropFusedOnEnd()
 	// The session will observe no further latencies; drop its SLO chain.
 	obs.SLO().Remove(st.sessionID)
 }

@@ -172,13 +172,22 @@ func (st *Stream) heal(inst string, cfg SupervisionConfig) {
 		delete(st.healing, inst)
 		st.mu.Unlock()
 	}()
-	var err error
-	switch cfg.Heal {
-	case HealReplace:
-		err = st.healReplace(inst, cfg)
-	case HealRemove:
-		err = st.Remove(inst, cfg.HealDrainTimeout)
+	// The heal bracket mirrors the reconfiguration wrappers in fuse.go: a
+	// fused segment around the faulting instance dissolves before the drain
+	// (a fused member's own quiesce signal is only meaningful at its segment
+	// head), and the pass re-runs once the topology is repaired.
+	st.fuseMu.Lock()
+	err := st.defuseTouching("heal", inst)
+	if err == nil {
+		switch cfg.Heal {
+		case HealReplace:
+			err = st.healReplace(inst, cfg)
+		case HealRemove:
+			err = st.remove(inst, cfg.HealDrainTimeout)
+		}
 	}
+	st.fusePass()
+	st.fuseMu.Unlock()
 	if err != nil {
 		st.fail(fmt.Errorf("stream %s: heal %s (%s): %w", st.name, inst, cfg.Heal, err))
 		return
@@ -238,7 +247,7 @@ func (st *Stream) healReplace(inst string, cfg SupervisionConfig) error {
 		}
 		return err
 	}
-	if err := st.Replace(inst, spareID); err != nil {
+	if err := st.replace(inst, spareID); err != nil {
 		for _, p := range producers {
 			p.activate()
 		}
